@@ -1,0 +1,58 @@
+//! B1: wall-clock comparison of the evaluation strategies on the ancestor
+//! program (Appendix problem 1) over chains and binary trees, reproducing
+//! the Section 1 motivation: the rewrites beat the bottom-up baselines on
+//! bound queries, increasingly so as the data grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::{ancestor_chain, ancestor_tree};
+use magic_core::planner::Strategy;
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::NaiveBottomUp,
+        Strategy::SemiNaiveBottomUp,
+        Strategy::MagicSets,
+        Strategy::SupplementaryMagicSets,
+        Strategy::Counting,
+        Strategy::SupplementaryCounting,
+    ]
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ancestor_chain");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 56] {
+        let scenario = ancestor_chain(n);
+        for strategy in strategies() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), n),
+                &n,
+                |b, _| b.iter(|| scenario.run(strategy).expect("evaluation succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ancestor_tree");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for depth in [8usize] {
+        let scenario = ancestor_tree(depth);
+        for strategy in strategies() {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), depth),
+                &depth,
+                |b, _| b.iter(|| scenario.run(strategy).expect("evaluation succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_tree);
+criterion_main!(benches);

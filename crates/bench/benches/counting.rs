@@ -1,0 +1,54 @@
+//! B5: counting versus magic sets.  Section 11 argues counting pays off only
+//! when each fact has a unique derivation (tree-shaped data) and the
+//! semijoin optimization applies; on data with shared derivations (DAGs) the
+//! index fields multiply the number of stored facts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::Scenario;
+use magic_core::planner::Strategy;
+use magic_workloads::{binary_tree, programs, random_dag};
+
+fn tree_scenario(depth: usize) -> Scenario {
+    Scenario::new(
+        format!("tree{depth}"),
+        programs::ancestor(),
+        programs::ancestor_query("n0"),
+        binary_tree(depth),
+    )
+}
+
+fn dag_scenario(nodes: usize, edges: usize) -> Scenario {
+    Scenario::new(
+        format!("dag{nodes}"),
+        programs::ancestor(),
+        programs::ancestor_query("n0"),
+        random_dag(nodes, edges, 42),
+    )
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting_vs_magic");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let scenarios = vec![tree_scenario(9), dag_scenario(64, 128)];
+    for scenario in &scenarios {
+        for strategy in [
+            Strategy::MagicSets,
+            Strategy::SupplementaryMagicSets,
+            Strategy::Counting,
+            Strategy::CountingSemijoin,
+            Strategy::SupplementaryCountingSemijoin,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), &scenario.name),
+                &scenario.name,
+                |b, _| b.iter(|| scenario.run(strategy).expect("evaluation succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! B4: list reverse (Appendix problem 4) — a program with function symbols.
+//! The unrewritten program is not range-restricted, so only the rewrites are
+//! measured; their safety is guaranteed by Theorem 10.1 (positive
+//! binding-graph cycles).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::list_reverse;
+use magic_core::planner::Strategy;
+
+fn bench_list_reverse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_reverse");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [8usize, 24] {
+        let scenario = list_reverse(n);
+        for strategy in [
+            Strategy::MagicSets,
+            Strategy::SupplementaryMagicSets,
+            Strategy::Counting,
+            Strategy::SupplementaryCounting,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), n),
+                &n,
+                |b, _| b.iter(|| scenario.run(strategy).expect("evaluation succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_reverse);
+criterion_main!(benches);

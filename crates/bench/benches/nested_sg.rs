@@ -1,0 +1,35 @@
+//! B3: the nested same-generation program (Appendix problem 3), which
+//! exercises adornment propagation across two mutually dependent recursive
+//! predicates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::nested_same_generation;
+use magic_core::planner::Strategy;
+
+fn bench_nested_sg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nested_sg");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (depth, width) in [(3usize, 8usize)] {
+        let scenario = nested_same_generation(depth, width);
+        // The counting strategies diverge on this workload (the per-level
+        // same-generation relation is cyclic), so only the baselines and the
+        // magic-set strategies are compared.
+        for strategy in [
+            Strategy::SemiNaiveBottomUp,
+            Strategy::MagicSets,
+            Strategy::SupplementaryMagicSets,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), format!("{depth}x{width}")),
+                &(depth, width),
+                |b, _| b.iter(|| scenario.run(strategy).expect("evaluation succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested_sg);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! B6: the compile-time cost of each rewriting algorithm on the Appendix's
+//! four benchmark programs (adornment included).  All rewrites are
+//! compile-time transformations, so this is the overhead a query optimizer
+//! would pay per query form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_core::planner::{Planner, Strategy};
+use magic_datalog::{Program, Query};
+use magic_workloads::{list_term, programs};
+
+fn problems() -> Vec<(&'static str, Program, Query)> {
+    vec![
+        ("ancestor", programs::ancestor(), programs::ancestor_query("john")),
+        (
+            "same_generation",
+            programs::same_generation(),
+            programs::same_generation_query("john"),
+        ),
+        (
+            "nested_sg",
+            programs::nested_same_generation(),
+            programs::nested_sg_query("john"),
+        ),
+        (
+            "reverse",
+            programs::list_reverse(),
+            programs::reverse_query(list_term(3)),
+        ),
+    ]
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    for (name, program, query) in problems() {
+        for strategy in Strategy::REWRITES {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), name),
+                &name,
+                |b, _| {
+                    b.iter(|| {
+                        // The counting rewrites may be inapplicable to some
+                        // program/sip combinations; that cheap failure path
+                        // is part of what an optimizer would measure.
+                        let _ = Planner::new(strategy).rewrite(&program, &query);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

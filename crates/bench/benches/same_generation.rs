@@ -1,0 +1,34 @@
+//! B2: the nonlinear same-generation program (Example 1) over layered
+//! `up`/`flat`/`down` grids — the paper's running example and the case the
+//! original (PODS'86) magic sets could not handle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::same_generation;
+use magic_core::planner::Strategy;
+
+fn bench_same_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("same_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (depth, width) in [(3usize, 8usize)] {
+        let scenario = same_generation(depth, width);
+        for strategy in [
+            Strategy::SemiNaiveBottomUp,
+            Strategy::MagicSets,
+            Strategy::SupplementaryMagicSets,
+            Strategy::Counting,
+            Strategy::SupplementaryCounting,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.short_name(), format!("{depth}x{width}")),
+                &(depth, width),
+                |b, _| b.iter(|| scenario.run(strategy).expect("evaluation succeeds")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_same_generation);
+criterion_main!(benches);

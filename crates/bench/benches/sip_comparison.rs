@@ -1,0 +1,51 @@
+//! E10: full versus partial sips (Example 1's sips (IV) and (V),
+//! Lemma 9.3).  The fuller sip never computes more facts; this bench
+//! measures whether that translates into wall-clock wins on the
+//! same-generation workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_core::planner::{Planner, Strategy};
+use magic_core::sip_builder::SipStrategy;
+use magic_workloads::{programs, same_generation_grid, SgConfig};
+
+fn bench_sips(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sip_comparison");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let program = programs::same_generation();
+    let query = programs::same_generation_query("l0c0");
+    for (depth, width) in [(3usize, 8usize)] {
+        let db = same_generation_grid(SgConfig {
+            depth,
+            width,
+            flat_everywhere: true,
+        });
+        for (label, sip) in [
+            ("full", SipStrategy::FullLeftToRight),
+            ("partial", SipStrategy::LeftToRightLastOnly),
+        ] {
+            for strategy in [Strategy::MagicSets, Strategy::SupplementaryMagicSets] {
+                group.bench_with_input(
+                    BenchmarkId::new(
+                        format!("{}-{label}", strategy.short_name()),
+                        format!("{depth}x{width}"),
+                    ),
+                    &(depth, width),
+                    |b, _| {
+                        b.iter(|| {
+                            Planner::new(strategy)
+                                .with_sip(sip)
+                                .evaluate(&program, &query, &db)
+                                .expect("evaluation succeeds")
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sips);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! # magic-bench
+//!
+//! The benchmark harness for the *Power of Magic* reproduction.
+//!
+//! * The Criterion benches under `benches/` compare the evaluation
+//!   strategies (naive, semi-naive, GMS, GSMS, GC, GSC, ± semijoin) on the
+//!   paper's four benchmark problems over synthetic workloads.
+//! * `src/bin/appendix.rs` regenerates the paper's symbolic artifacts: the
+//!   adorned rule sets (Appendix A.2) and the rewritten rule sets of every
+//!   method (A.3–A.6).
+//! * `src/bin/fact_counts.rs` regenerates the fact-count accounting that
+//!   backs the paper's qualitative claims (Sections 1, 9 and 11).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use magic_core::planner::{PlanResult, Planner, Strategy};
+use magic_datalog::{Program, Query};
+use magic_storage::Database;
+
+/// A named scenario: a program, a query and an extensional database.
+pub struct Scenario {
+    /// Human-readable name (used in bench ids and report rows).
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The query.
+    pub query: Query,
+    /// The data.
+    pub database: Database,
+}
+
+impl Scenario {
+    /// Construct a scenario.
+    pub fn new(name: impl Into<String>, program: Program, query: Query, database: Database) -> Self {
+        Scenario {
+            name: name.into(),
+            program,
+            query,
+            database,
+        }
+    }
+
+    /// Evaluate the scenario under a strategy.
+    pub fn run(&self, strategy: Strategy) -> Result<PlanResult, magic_core::planner::PlanError> {
+        Planner::new(strategy).evaluate(&self.program, &self.query, &self.database)
+    }
+}
+
+/// The ancestor-on-a-chain scenario of Section 1.
+pub fn ancestor_chain(n: usize) -> Scenario {
+    Scenario::new(
+        format!("ancestor/chain/{n}"),
+        magic_workloads::programs::ancestor(),
+        magic_workloads::programs::ancestor_query("n0"),
+        magic_workloads::chain(n),
+    )
+}
+
+/// The ancestor-on-a-binary-tree scenario.
+pub fn ancestor_tree(depth: usize) -> Scenario {
+    Scenario::new(
+        format!("ancestor/tree/{depth}"),
+        magic_workloads::programs::ancestor(),
+        magic_workloads::programs::ancestor_query("n0"),
+        magic_workloads::binary_tree(depth),
+    )
+}
+
+/// The nonlinear same-generation scenario over a layered grid.
+pub fn same_generation(depth: usize, width: usize) -> Scenario {
+    let cfg = magic_workloads::SgConfig {
+        depth,
+        width,
+        flat_everywhere: true,
+    };
+    Scenario::new(
+        format!("same_generation/{depth}x{width}"),
+        magic_workloads::programs::same_generation(),
+        magic_workloads::programs::same_generation_query("l0c0"),
+        magic_workloads::same_generation_grid(cfg),
+    )
+}
+
+/// The nested same-generation scenario of Appendix problem (3).
+pub fn nested_same_generation(depth: usize, width: usize) -> Scenario {
+    let cfg = magic_workloads::SgConfig {
+        depth,
+        width,
+        flat_everywhere: true,
+    };
+    let mut db = magic_workloads::same_generation_grid(cfg);
+    magic_workloads::nested_sg_extras(cfg, &mut db);
+    Scenario::new(
+        format!("nested_sg/{depth}x{width}"),
+        magic_workloads::programs::nested_same_generation(),
+        magic_workloads::programs::nested_sg_query("l0c0"),
+        db,
+    )
+}
+
+/// The list-reverse scenario of Appendix problem (4).
+pub fn list_reverse(n: usize) -> Scenario {
+    Scenario::new(
+        format!("reverse/{n}"),
+        magic_workloads::programs::list_reverse(),
+        magic_workloads::programs::reverse_query(magic_workloads::list_term(n)),
+        magic_workloads::reverse_database(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_run_under_magic_sets() {
+        for scenario in [
+            ancestor_chain(16),
+            ancestor_tree(4),
+            same_generation(2, 4),
+            nested_same_generation(2, 4),
+            list_reverse(5),
+        ] {
+            let result = scenario.run(Strategy::MagicSets).unwrap();
+            assert!(
+                !result.answers.is_empty(),
+                "{} produced no answers",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_answers_are_reversed_lists() {
+        let result = list_reverse(4).run(Strategy::SupplementaryMagicSets).unwrap();
+        assert_eq!(result.answers.len(), 1);
+        let answer = result.answers.iter().next().unwrap();
+        let items = answer[0].as_list().unwrap();
+        let names: Vec<String> = items.iter().map(|v| v.to_string()).collect();
+        assert_eq!(names, vec!["e3", "e2", "e1", "e0"]);
+    }
+}

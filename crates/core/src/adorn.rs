@@ -1,0 +1,372 @@
+//! The adorned rule set (Section 3).
+//!
+//! Given a program, a query and a sip strategy, construct the adorned
+//! program `P^ad`: starting from the query's binding pattern, each reachable
+//! (predicate, adornment) pair gets one adorned version of every rule
+//! defining the predicate, with body literals adorned according to the
+//! chosen sip.
+
+use crate::sip::Sip;
+use crate::sip_builder::SipStrategy;
+use magic_datalog::{
+    Adornment, Atom, DatalogError, PredName, Program, Query, Rule, Symbol,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One adorned rule: the rewritten rule, its provenance, and the sip that
+/// produced it.
+#[derive(Clone, Debug)]
+pub struct AdornedRule {
+    /// The adorned rule.  Derived literals carry [`PredName::Adorned`] names;
+    /// base literals keep their plain names.  The body is ordered according
+    /// to the sip's total order.
+    pub rule: Rule,
+    /// The adornment of the head predicate.
+    pub head_adornment: Adornment,
+    /// Index of the rule in the original program this was generated from.
+    pub original_rule_idx: usize,
+    /// The sip attached to this adorned rule.  Arc targets refer to
+    /// positions of the (reordered) adorned body.
+    pub sip: Sip,
+    /// Per body literal: the adornment (for derived literals) or `None`
+    /// (for base literals).
+    pub body_adornments: Vec<Option<Adornment>>,
+}
+
+impl AdornedRule {
+    /// The base (un-adorned) head predicate symbol.
+    pub fn head_base(&self) -> Symbol {
+        self.rule.head.pred.base()
+    }
+}
+
+/// The adorned program `P^ad` together with the query information needed by
+/// the subsequent rewrites.
+#[derive(Clone, Debug)]
+pub struct AdornedProgram {
+    /// The adorned rules, in generation order.
+    pub rules: Vec<AdornedRule>,
+    /// The original query.
+    pub query: Query,
+    /// The query's adornment.
+    pub query_adornment: Adornment,
+    /// The base symbol of the query predicate.
+    pub query_pred: Symbol,
+    /// The derived predicates of the original program.
+    pub derived: BTreeSet<PredName>,
+    /// All (predicate, adornment) pairs generated.
+    pub adorned_preds: BTreeSet<(Symbol, Adornment)>,
+}
+
+impl AdornedProgram {
+    /// The adorned program as a plain [`Program`] (e.g. for direct bottom-up
+    /// evaluation, which by Theorem 3.1 computes the same relations as the
+    /// original program for every adorned predicate).
+    pub fn to_program(&self) -> Program {
+        Program::from_rules(self.rules.iter().map(|r| r.rule.clone()).collect())
+    }
+
+    /// The adorned name of the query predicate (`q^c` in the paper).
+    pub fn query_pred_name(&self) -> PredName {
+        PredName::Adorned {
+            base: self.query_pred,
+            adornment: self.query_adornment.clone(),
+        }
+    }
+
+    /// The atom to match against an evaluated database to read off the
+    /// query's answers.
+    pub fn answer_atom(&self) -> Atom {
+        Atom::new(self.query_pred_name(), self.query.atom.terms.clone())
+    }
+
+    /// The maximum body length over all adorned rules (the paper's `t`,
+    /// used as the base of the counting methods' occurrence encoding).
+    pub fn max_body_len(&self) -> usize {
+        self.rules.iter().map(|r| r.rule.body.len()).max().unwrap_or(0)
+    }
+}
+
+/// Turn an atom over a derived predicate into its adorned version.
+pub fn adorned_atom(atom: &Atom, adornment: Adornment) -> Atom {
+    Atom::new(
+        PredName::Adorned {
+            base: atom.pred.base(),
+            adornment,
+        },
+        atom.terms.clone(),
+    )
+}
+
+/// Construct the adorned program for `(program, query)` using `strategy` to
+/// choose one sip per (rule, head-adornment) pair.
+pub fn adorn(
+    program: &Program,
+    query: &Query,
+    strategy: SipStrategy,
+) -> Result<AdornedProgram, DatalogError> {
+    program.predicate_arities()?;
+    for rule in &program.rules {
+        rule.check_connected()?;
+    }
+    let derived = program.derived_preds();
+    let query_pred = query.pred().base();
+    if !derived.contains(&PredName::Plain(query_pred))
+        && !program.base_preds().contains(&PredName::Plain(query_pred))
+    {
+        return Err(DatalogError::UnknownQueryPredicate {
+            predicate: query_pred.to_string(),
+        });
+    }
+    let query_adornment = query.adornment();
+
+    let mut result = AdornedProgram {
+        rules: Vec::new(),
+        query: query.clone(),
+        query_adornment: query_adornment.clone(),
+        query_pred,
+        derived: derived.clone(),
+        adorned_preds: BTreeSet::new(),
+    };
+
+    // Work-list of unprocessed adorned predicates.
+    let mut queue: VecDeque<(Symbol, Adornment)> = VecDeque::new();
+    let mut seen: BTreeSet<(Symbol, Adornment)> = BTreeSet::new();
+    if derived.contains(&PredName::Plain(query_pred)) {
+        queue.push_back((query_pred, query_adornment.clone()));
+        seen.insert((query_pred, query_adornment));
+    }
+
+    while let Some((pred, adornment)) = queue.pop_front() {
+        result.adorned_preds.insert((pred, adornment.clone()));
+        for (original_rule_idx, rule) in program.rules_for(&PredName::Plain(pred)) {
+            let sip = strategy.build(rule, &adornment, &derived);
+            let order = sip
+                .total_order(rule.body.len())
+                .expect("built-in sip strategies produce acyclic sips");
+
+            // Reorder the body according to the sip's total order and remap
+            // the sip arcs through the permutation.
+            let permuted_body: Vec<Atom> =
+                order.iter().map(|&i| rule.body[i].clone()).collect();
+            let new_pos: BTreeMap<usize, usize> =
+                order.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let remapped_sip = Sip {
+                arcs: sip
+                    .arcs
+                    .iter()
+                    .map(|arc| crate::sip::SipArc {
+                        tail: arc
+                            .tail
+                            .iter()
+                            .map(|n| match n {
+                                crate::sip::SipNode::Head => crate::sip::SipNode::Head,
+                                crate::sip::SipNode::Body(j) => {
+                                    crate::sip::SipNode::Body(new_pos[j])
+                                }
+                            })
+                            .collect(),
+                        target: new_pos[&arc.target],
+                        label: arc.label.clone(),
+                    })
+                    .collect(),
+            };
+
+            // Adorn each body literal: an argument is bound iff all its
+            // variables are passed by the arcs entering the literal.
+            let mut body = Vec::with_capacity(permuted_body.len());
+            let mut body_adornments = Vec::with_capacity(permuted_body.len());
+            for (i, atom) in permuted_body.iter().enumerate() {
+                if derived.contains(&atom.pred) {
+                    // Per Section 3: an occurrence with no incoming arc gets
+                    // the all-free adornment; otherwise an argument is bound
+                    // iff all its variables are passed by the incoming arcs.
+                    let body_adornment = if remapped_sip.has_arc_into(i) {
+                        atom.adornment_under(&remapped_sip.passed_vars(i))
+                    } else {
+                        Adornment::all_free(atom.arity())
+                    };
+                    let base = atom.pred.base();
+                    if seen.insert((base, body_adornment.clone())) {
+                        queue.push_back((base, body_adornment.clone()));
+                    }
+                    body.push(adorned_atom(atom, body_adornment.clone()));
+                    body_adornments.push(Some(body_adornment));
+                } else {
+                    body.push(atom.clone());
+                    body_adornments.push(None);
+                }
+            }
+
+            let head = Atom::new(
+                PredName::Adorned {
+                    base: pred,
+                    adornment: adornment.clone(),
+                },
+                rule.head.terms.clone(),
+            );
+            result.rules.push(AdornedRule {
+                rule: Rule::new(head, body),
+                head_adornment: adornment.clone(),
+                original_rule_idx,
+                sip: remapped_sip,
+                body_adornments,
+            });
+        }
+    }
+
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::{parse_program, parse_query};
+
+    fn sg_program() -> Program {
+        parse_program(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_3_nonlinear_same_generation() {
+        // Example 3 of the paper: the adorned rule set for sg(john, Y)?
+        let program = sg_program();
+        let query = parse_query("sg(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        assert_eq!(adorned.rules.len(), 2);
+        assert_eq!(adorned.query_adornment.to_string(), "bf");
+        assert_eq!(
+            adorned.rules[0].rule.to_string(),
+            "sg_bf(X, Y) :- flat(X, Y)."
+        );
+        assert_eq!(
+            adorned.rules[1].rule.to_string(),
+            "sg_bf(X, Y) :- up(X, Z1), sg_bf(Z1, Z2), flat(Z2, Z3), sg_bf(Z3, Z4), down(Z4, Y)."
+        );
+        // Only one adorned version of sg is generated.
+        assert_eq!(adorned.adorned_preds.len(), 1);
+        assert_eq!(adorned.answer_atom().to_string(), "sg_bf(john, Y)");
+    }
+
+    #[test]
+    fn partial_sip_gives_same_adorned_program_as_full() {
+        // Noted in Example 3: the partial sip of Example 2 yields the same
+        // adorned program; the difference only shows up in the rewrites.
+        let program = sg_program();
+        let query = parse_query("sg(john, Y)").unwrap();
+        let full = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let partial = adorn(&program, &query, SipStrategy::LeftToRightLastOnly).unwrap();
+        assert_eq!(full.to_program(), partial.to_program());
+    }
+
+    #[test]
+    fn ancestor_adornment() {
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("anc(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        assert_eq!(
+            adorned.rules[1].rule.to_string(),
+            "anc_bf(X, Y) :- par(X, Z), anc_bf(Z, Y)."
+        );
+        assert_eq!(adorned.rules[1].body_adornments[1].as_ref().unwrap().to_string(), "bf");
+        assert!(adorned.rules[1].body_adornments[0].is_none());
+    }
+
+    #[test]
+    fn nested_same_generation_generates_two_adorned_predicates() {
+        // Appendix A.1 problem (3).
+        let program = parse_program(
+            "p(X, Y) :- b1(X, Y).
+             p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+             sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).",
+        )
+        .unwrap();
+        let query = parse_query("p(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        // Appendix A.2(3): p^bf and sg^bf, four adorned rules.
+        assert_eq!(adorned.rules.len(), 4);
+        assert_eq!(adorned.adorned_preds.len(), 2);
+        let texts: Vec<String> = adorned.rules.iter().map(|r| r.rule.to_string()).collect();
+        assert!(texts.contains(&"p_bf(X, Y) :- sg_bf(X, Z1), p_bf(Z1, Z2), b2(Z2, Y).".to_string()));
+        assert!(texts.contains(&"sg_bf(X, Y) :- up(X, Z1), sg_bf(Z1, Z2), down(Z2, Y).".to_string()));
+    }
+
+    #[test]
+    fn list_reverse_generates_bbf_append() {
+        // Appendix A.1 problem (4) / A.2(4).
+        let program = parse_program(
+            "append(V, [], [V]) :- .
+             append(V, [W | X], [W | Y]) :- append(V, X, Y).
+             reverse([], []) :- .
+             reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("reverse(list, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let preds: BTreeSet<String> = adorned
+            .adorned_preds
+            .iter()
+            .map(|(s, a)| format!("{s}_{a}"))
+            .collect();
+        assert!(preds.contains("reverse_bf"));
+        assert!(preds.contains("append_bbf"));
+        assert_eq!(adorned.rules.len(), 4);
+        let texts: Vec<String> = adorned.rules.iter().map(|r| r.rule.to_string()).collect();
+        assert!(texts
+            .contains(&"reverse_bf([V | X], Y) :- reverse_bf(X, Z), append_bbf(V, Z, Y).".to_string()));
+        assert!(texts
+            .contains(&"append_bbf(V, [W | X], [W | Y]) :- append_bbf(V, X, Y).".to_string()));
+    }
+
+    #[test]
+    fn multiple_adornments_for_one_predicate() {
+        // A program where the same predicate is queried with two binding
+        // patterns: path is called bf from the query and fb from the body of
+        // rev (because only its second argument is bound there).
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).
+             meet(X, Y) :- path(a, X), back(X, W), path(Y, W).",
+        )
+        .unwrap();
+        let query = parse_query("meet(U, V)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let adornments: BTreeSet<String> = adorned
+            .adorned_preds
+            .iter()
+            .filter(|(s, _)| s.as_str() == "path")
+            .map(|(_, a)| a.to_string())
+            .collect();
+        assert!(adornments.contains("bf"));
+        assert!(adornments.contains("fb"));
+    }
+
+    #[test]
+    fn unknown_query_predicate_is_an_error() {
+        let program = sg_program();
+        let query = parse_query("nosuch(john, Y)").unwrap();
+        assert!(adorn(&program, &query, SipStrategy::FullLeftToRight).is_err());
+    }
+
+    #[test]
+    fn all_free_query_still_adorns() {
+        let program = sg_program();
+        let query = parse_query("sg(X, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        assert_eq!(adorned.query_adornment.to_string(), "ff");
+        // With an all-free query the recursive literals still get arcs from
+        // the base literals (up binds Z1), so sg^bf is generated alongside
+        // sg^ff: two adorned versions, four adorned rules.
+        assert_eq!(adorned.adorned_preds.len(), 2);
+        assert_eq!(adorned.rules.len(), 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! # magic-core
+//!
+//! The paper's contribution, reproduced as a library: sideways information
+//! passing strategies (Section 2), adorned programs (Section 3), the
+//! generalized magic-sets (Section 4), generalized supplementary magic-sets
+//! (Section 5), generalized counting (Section 6) and generalized
+//! supplementary counting (Section 7) rewrites, the semijoin optimization
+//! (Section 8), sip-optimality accounting (Section 9) and safety analyses
+//! (Section 10) — all over the `magic-datalog` / `magic-engine` substrate.
+//!
+//! The high-level entry point is [`planner::Planner`], which takes a program,
+//! a query and a strategy, performs the adornment and rewriting, evaluates
+//! bottom-up and returns the answers together with evaluation metrics.
+//!
+//! ```
+//! use magic_core::planner::{Planner, Strategy};
+//! use magic_datalog::{parse_program, parse_query};
+//! use magic_storage::Database;
+//!
+//! let program = parse_program(
+//!     "anc(X, Y) :- par(X, Y).
+//!      anc(X, Y) :- par(X, Z), anc(Z, Y).",
+//! )
+//! .unwrap();
+//! let query = parse_query("anc(ann, Y)").unwrap();
+//! let mut db = Database::new();
+//! db.insert_pair("par", "ann", "bob");
+//! db.insert_pair("par", "bob", "cal");
+//! db.insert_pair("par", "zoe", "yan"); // unrelated to the query
+//!
+//! let plan = Planner::new(Strategy::SupplementaryMagicSets)
+//!     .plan(&program, &query)
+//!     .unwrap();
+//! let result = plan.execute(&db).unwrap();
+//! assert_eq!(result.answers.len(), 2); // bob, cal — zoe's family is never touched
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adorn;
+pub mod optimality;
+pub mod planner;
+pub mod rewrite;
+pub mod safety;
+pub mod sip;
+pub mod sip_builder;
+
+pub use adorn::{adorn, AdornedProgram, AdornedRule};
+pub use planner::{Plan, PlanResult, Planner, Strategy};
+pub use rewrite::{Method, RewriteError, RewrittenProgram};
+pub use sip::{Sip, SipArc, SipError, SipNode};
+pub use sip_builder::SipStrategy;

@@ -1,0 +1,448 @@
+//! The high-level planner: choose a strategy, rewrite, evaluate bottom-up,
+//! read off the answers.
+//!
+//! This is the "query evaluation algorithm = sideways information passing +
+//! control" decomposition of the paper made concrete: the sip strategy and
+//! the rewriting method are chosen here, and the control component is always
+//! the bottom-up engine of `magic-engine`.
+
+use crate::adorn::{adorn, AdornedProgram};
+use crate::optimality::{account, FactAccounting};
+use crate::rewrite::{counting, gms, gsc, gsms, semijoin, Method, RewriteError, RewrittenProgram};
+use crate::safety::{analyze, SafetyReport};
+use crate::sip_builder::SipStrategy;
+use magic_datalog::{PredName, Program, Query, Value};
+use magic_engine::{answers::project_answers, EvalError, EvalStats, Evaluator, IterationScheme, Limits};
+use magic_storage::Database;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The evaluation strategies offered by the planner: the two unrewritten
+/// bottom-up baselines and the paper's rewrites (Section 11's GMS, GSMS, GC,
+/// GSC, with and without the semijoin optimization).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Evaluate the original program with naive iteration, then select.
+    NaiveBottomUp,
+    /// Evaluate the original program with semi-naive iteration, then select.
+    SemiNaiveBottomUp,
+    /// Generalized magic sets (GMS).
+    MagicSets,
+    /// Generalized supplementary magic sets (GSMS).
+    SupplementaryMagicSets,
+    /// Generalized counting (GC).
+    Counting,
+    /// Generalized supplementary counting (GSC).
+    SupplementaryCounting,
+    /// GC followed by the semijoin optimization.
+    CountingSemijoin,
+    /// GSC followed by the semijoin optimization.
+    SupplementaryCountingSemijoin,
+}
+
+impl Strategy {
+    /// All strategies, in presentation order.
+    pub const ALL: [Strategy; 8] = [
+        Strategy::NaiveBottomUp,
+        Strategy::SemiNaiveBottomUp,
+        Strategy::MagicSets,
+        Strategy::SupplementaryMagicSets,
+        Strategy::Counting,
+        Strategy::SupplementaryCounting,
+        Strategy::CountingSemijoin,
+        Strategy::SupplementaryCountingSemijoin,
+    ];
+
+    /// The rewriting strategies (everything except the two baselines).
+    pub const REWRITES: [Strategy; 6] = [
+        Strategy::MagicSets,
+        Strategy::SupplementaryMagicSets,
+        Strategy::Counting,
+        Strategy::SupplementaryCounting,
+        Strategy::CountingSemijoin,
+        Strategy::SupplementaryCountingSemijoin,
+    ];
+
+    /// A short name suitable for tables.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Strategy::NaiveBottomUp => "naive",
+            Strategy::SemiNaiveBottomUp => "seminaive",
+            Strategy::MagicSets => "gms",
+            Strategy::SupplementaryMagicSets => "gsms",
+            Strategy::Counting => "gc",
+            Strategy::SupplementaryCounting => "gsc",
+            Strategy::CountingSemijoin => "gc+sj",
+            Strategy::SupplementaryCountingSemijoin => "gsc+sj",
+        }
+    }
+
+    /// True for the counting-based strategies (which have the restricted
+    /// applicability and divergence behaviour of Sections 6–8 and 10).
+    pub fn is_counting(&self) -> bool {
+        matches!(
+            self,
+            Strategy::Counting
+                | Strategy::SupplementaryCounting
+                | Strategy::CountingSemijoin
+                | Strategy::SupplementaryCountingSemijoin
+        )
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Errors raised while planning or executing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanError {
+    /// The rewrite could not be constructed.
+    Rewrite(RewriteError),
+    /// Evaluation failed (resource limits, range restriction, ...).
+    Eval(EvalError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Rewrite(e) => write!(f, "rewrite error: {e}"),
+            PlanError::Eval(e) => write!(f, "evaluation error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<RewriteError> for PlanError {
+    fn from(e: RewriteError) -> Self {
+        PlanError::Rewrite(e)
+    }
+}
+
+impl From<EvalError> for PlanError {
+    fn from(e: EvalError) -> Self {
+        PlanError::Eval(e)
+    }
+}
+
+/// A prepared plan: the program to evaluate bottom-up and how to read the
+/// answers back out.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The strategy that produced the plan.
+    pub strategy: Strategy,
+    /// The program handed to the engine (rewritten, or the original for the
+    /// baselines).
+    pub program: Program,
+    /// The rewritten program (absent for the baselines).
+    pub rewritten: Option<RewrittenProgram>,
+    /// The adorned program (absent for the baselines).
+    pub adorned: Option<AdornedProgram>,
+    /// The atom whose matches contain the answers.
+    pub answer_atom: magic_datalog::Atom,
+    /// The original query's free variables (the projection of the matches).
+    pub projection: Vec<magic_datalog::Variable>,
+    /// The base predicates of the original program (used for accounting).
+    pub base_preds: BTreeSet<PredName>,
+    /// Evaluation limits.
+    pub limits: Limits,
+    /// Iteration scheme handed to the engine.
+    pub scheme: IterationScheme,
+}
+
+/// The result of executing a plan.
+#[derive(Clone, Debug)]
+pub struct PlanResult {
+    /// The distinct answer rows (values of the query's free variables).
+    pub answers: BTreeSet<Vec<Value>>,
+    /// The full database at the fixpoint (base + derived facts).
+    pub database: Database,
+    /// Engine metrics.
+    pub stats: EvalStats,
+    /// Classification of the derived facts (Section 9 accounting).
+    pub accounting: FactAccounting,
+}
+
+impl Plan {
+    /// Evaluate the plan against an extensional database.
+    pub fn execute(&self, edb: &Database) -> Result<PlanResult, PlanError> {
+        let evaluator = Evaluator::new(self.program.clone())
+            .with_limits(self.limits)
+            .with_scheme(self.scheme);
+        let result = evaluator.run(edb)?;
+        let answers = project_answers(&result.database, &self.answer_atom, &self.projection);
+        let accounting = account(&result.database, &self.base_preds);
+        Ok(PlanResult {
+            answers,
+            database: result.database,
+            stats: result.stats,
+            accounting,
+        })
+    }
+
+    /// The safety report for the adorned program, when available.
+    pub fn safety(&self) -> Option<SafetyReport> {
+        self.adorned.as_ref().map(analyze)
+    }
+}
+
+/// The planner: strategy, sip strategy, evaluation limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Planner {
+    strategy: Strategy,
+    sip: SipStrategy,
+    limits: Limits,
+    gms_options: gms::GmsOptions,
+}
+
+impl Planner {
+    /// A planner for the given strategy with the full left-to-right sip and
+    /// default limits.
+    pub fn new(strategy: Strategy) -> Planner {
+        Planner {
+            strategy,
+            sip: SipStrategy::FullLeftToRight,
+            limits: Limits::default(),
+            gms_options: gms::GmsOptions::default(),
+        }
+    }
+
+    /// Use a different sip strategy.
+    pub fn with_sip(mut self, sip: SipStrategy) -> Planner {
+        self.sip = sip;
+        self
+    }
+
+    /// Use different evaluation limits.
+    pub fn with_limits(mut self, limits: Limits) -> Planner {
+        self.limits = limits;
+        self
+    }
+
+    /// Use non-default magic-sets options.
+    pub fn with_gms_options(mut self, options: gms::GmsOptions) -> Planner {
+        self.gms_options = options;
+        self
+    }
+
+    /// The strategy this planner uses.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Perform only the rewrite (adornment + rule rewriting), without
+    /// evaluating.  Errors for the two baseline strategies, which do not
+    /// rewrite.
+    pub fn rewrite(&self, program: &Program, query: &Query) -> Result<RewrittenProgram, PlanError> {
+        let adorned = adorn(program, query, self.sip).map_err(RewriteError::Datalog)?;
+        let rewritten = match self.strategy {
+            Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp => {
+                return Err(PlanError::Rewrite(RewriteError::CountingNotApplicable {
+                    reason: "the bottom-up baselines do not rewrite the program".into(),
+                }))
+            }
+            Strategy::MagicSets => gms::rewrite(&adorned, self.gms_options)?,
+            Strategy::SupplementaryMagicSets => gsms::rewrite(&adorned)?,
+            Strategy::Counting => counting::rewrite(&adorned)?,
+            Strategy::SupplementaryCounting => gsc::rewrite(&adorned)?,
+            Strategy::CountingSemijoin => semijoin::optimize(&counting::rewrite(&adorned)?)?,
+            Strategy::SupplementaryCountingSemijoin => {
+                semijoin::optimize(&gsc::rewrite(&adorned)?)?
+            }
+        };
+        Ok(rewritten)
+    }
+
+    /// Build a plan for `(program, query)`.
+    pub fn plan(&self, program: &Program, query: &Query) -> Result<Plan, PlanError> {
+        let base_preds = program.base_preds();
+        let scheme = if self.strategy == Strategy::NaiveBottomUp {
+            IterationScheme::Naive
+        } else {
+            IterationScheme::SemiNaive
+        };
+        match self.strategy {
+            Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp => Ok(Plan {
+                strategy: self.strategy,
+                program: program.clone(),
+                rewritten: None,
+                adorned: None,
+                answer_atom: query.atom.clone(),
+                projection: query.free_vars(),
+                base_preds,
+                limits: self.limits,
+                scheme,
+            }),
+            _ => {
+                let adorned = adorn(program, query, self.sip).map_err(RewriteError::Datalog)?;
+                let rewritten = self.rewrite(program, query)?;
+                Ok(Plan {
+                    strategy: self.strategy,
+                    program: rewritten.program.clone(),
+                    answer_atom: rewritten.answer_atom.clone(),
+                    projection: rewritten.projection.clone(),
+                    rewritten: Some(rewritten),
+                    adorned: Some(adorned),
+                    base_preds,
+                    limits: self.limits,
+                    scheme,
+                })
+            }
+        }
+    }
+
+    /// Convenience: plan and execute in one call.
+    pub fn evaluate(
+        &self,
+        program: &Program,
+        query: &Query,
+        edb: &Database,
+    ) -> Result<PlanResult, PlanError> {
+        self.plan(program, query)?.execute(edb)
+    }
+}
+
+/// The method corresponding to a strategy, when it is a rewrite.
+pub fn method_of(strategy: Strategy) -> Option<Method> {
+    match strategy {
+        Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp => None,
+        Strategy::MagicSets => Some(Method::Gms),
+        Strategy::SupplementaryMagicSets => Some(Method::Gsms),
+        Strategy::Counting => Some(Method::Gc),
+        Strategy::SupplementaryCounting => Some(Method::Gsc),
+        Strategy::CountingSemijoin => Some(Method::GcSemijoin),
+        Strategy::SupplementaryCountingSemijoin => Some(Method::GscSemijoin),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::{parse_program, parse_query};
+
+    fn ancestor_program() -> Program {
+        parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap()
+    }
+
+    fn chain_db(n: usize) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert_pair("par", &format!("n{i}"), &format!("n{}", i + 1));
+        }
+        db
+    }
+
+    #[test]
+    fn all_strategies_agree_on_ancestor_chain() {
+        let program = ancestor_program();
+        let query = parse_query("anc(n0, Y)").unwrap();
+        let db = chain_db(12);
+        let reference = Planner::new(Strategy::SemiNaiveBottomUp)
+            .evaluate(&program, &query, &db)
+            .unwrap();
+        assert_eq!(reference.answers.len(), 12);
+        for strategy in Strategy::ALL {
+            let result = Planner::new(strategy)
+                .evaluate(&program, &query, &db)
+                .unwrap();
+            assert_eq!(
+                result.answers, reference.answers,
+                "strategy {strategy} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn magic_restricts_computation_to_relevant_facts() {
+        // Section 1's motivating observation: bottom-up computes the whole
+        // anc relation, magic only the part reachable from the query
+        // constant.
+        let program = ancestor_program();
+        let query = parse_query("anc(n10, Y)").unwrap();
+        let db = chain_db(20);
+        let baseline = Planner::new(Strategy::SemiNaiveBottomUp)
+            .evaluate(&program, &query, &db)
+            .unwrap();
+        let magic = Planner::new(Strategy::MagicSets)
+            .evaluate(&program, &query, &db)
+            .unwrap();
+        assert_eq!(baseline.answers, magic.answers);
+        assert!(magic.accounting.answer_facts < baseline.accounting.answer_facts);
+        assert!(magic.stats.facts_derived < baseline.stats.facts_derived);
+        // The magic facts are exactly the nodes reachable from n10 (n10..n20).
+        assert_eq!(magic.accounting.subquery_facts, 11);
+    }
+
+    #[test]
+    fn planner_reports_safety() {
+        let program = ancestor_program();
+        let query = parse_query("anc(n0, Y)").unwrap();
+        let plan = Planner::new(Strategy::MagicSets).plan(&program, &query).unwrap();
+        let report = plan.safety().unwrap();
+        assert_eq!(report.magic, crate::safety::MagicSafety::SafeDatalog);
+        // Baseline plans carry no adorned program.
+        let baseline = Planner::new(Strategy::NaiveBottomUp)
+            .plan(&program, &query)
+            .unwrap();
+        assert!(baseline.safety().is_none());
+    }
+
+    #[test]
+    fn rewrite_only_errors_for_baselines() {
+        let program = ancestor_program();
+        let query = parse_query("anc(n0, Y)").unwrap();
+        assert!(Planner::new(Strategy::NaiveBottomUp)
+            .rewrite(&program, &query)
+            .is_err());
+        assert!(Planner::new(Strategy::MagicSets)
+            .rewrite(&program, &query)
+            .is_ok());
+    }
+
+    #[test]
+    fn strategy_helpers() {
+        assert_eq!(Strategy::ALL.len(), 8);
+        assert!(Strategy::Counting.is_counting());
+        assert!(!Strategy::MagicSets.is_counting());
+        assert_eq!(method_of(Strategy::SupplementaryMagicSets), Some(Method::Gsms));
+        assert_eq!(method_of(Strategy::NaiveBottomUp), None);
+        assert_eq!(Strategy::CountingSemijoin.to_string(), "gc+sj");
+    }
+
+    #[test]
+    fn partial_sip_still_produces_correct_answers() {
+        let program = parse_program(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+        )
+        .unwrap();
+        let query = parse_query("sg(a, Y)").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("up", "a", "m");
+        db.insert_pair("up", "b", "n");
+        db.insert_pair("flat", "m", "n");
+        db.insert_pair("flat", "n", "m");
+        db.insert_pair("flat", "a", "b");
+        db.insert_pair("down", "m", "c");
+        db.insert_pair("down", "n", "d");
+        let reference = Planner::new(Strategy::SemiNaiveBottomUp)
+            .evaluate(&program, &query, &db)
+            .unwrap();
+        for sip in [SipStrategy::FullLeftToRight, SipStrategy::LeftToRightLastOnly] {
+            for strategy in [Strategy::MagicSets, Strategy::SupplementaryMagicSets] {
+                let result = Planner::new(strategy)
+                    .with_sip(sip)
+                    .evaluate(&program, &query, &db)
+                    .unwrap();
+                assert_eq!(result.answers, reference.answers, "{strategy} with {sip:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Generalized counting (Section 6).
+//!
+//! Counting refines magic sets by remembering *how* a binding was reached:
+//! every derived predicate `p^a` (with at least one bound argument) becomes
+//! an indexed predicate `p_ind^a` with three extra arguments `(I, K, H)`
+//! encoding the derivation depth, the sequence of rules applied, and the
+//! sequence of body positions expanded.  The auxiliary `cnt_p_ind^a`
+//! predicates play the role of the magic predicates, indexed the same way.
+//!
+//! The encodings follow the paper: with `m` adorned rules and at most `t`
+//! literals per body, applying rule `i` at body position `j` maps the parent
+//! indexes `(I, K, H)` to `(I + 1, K·m + i, H·t + j)`.
+//!
+//! ## Notational normalization
+//!
+//! The paper writes modified-rule heads with `H/t` and body literals with
+//! `H + j`; we use the equivalent forward form in which the head and the
+//! `cnt` literal carry `H` and the body literals carry `H·t + j` (and
+//! similarly for `K`).  The encoded derivation paths are identical, and the
+//! engine can invert the linear expressions during matching, which is what
+//! the semijoin-optimized forms of Section 8 require.
+
+use crate::adorn::{AdornedProgram, AdornedRule};
+use crate::rewrite::{Method, RewriteError, RewrittenProgram};
+use crate::sip::SipNode;
+use magic_datalog::{Adornment, Atom, Fact, PredName, Program, Rule, Term, Value, Variable};
+use std::collections::BTreeSet;
+
+/// The three index variables used by a counting-rewritten rule.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct IndexVars {
+    /// Derivation depth variable `I`.
+    pub depth: Variable,
+    /// Rule-sequence encoding variable `K`.
+    pub rules: Variable,
+    /// Position-sequence encoding variable `H`.
+    pub positions: Variable,
+}
+
+/// Pick three index variable names that do not collide with the rule's own
+/// variables.
+pub(crate) fn fresh_index_vars(rule_vars: &BTreeSet<Variable>) -> IndexVars {
+    let fresh = |base: &str| -> Variable {
+        let mut name = base.to_string();
+        loop {
+            let candidate = Variable::new(&name);
+            if !rule_vars.contains(&candidate) {
+                return candidate;
+            }
+            name.push('0');
+        }
+    };
+    IndexVars {
+        depth: fresh("I"),
+        rules: fresh("K"),
+        positions: fresh("H"),
+    }
+}
+
+/// True iff the adorned body literal at `pos` is replaced by an indexed
+/// version (derived, with at least one bound argument).
+fn is_indexed(ar: &AdornedRule, pos: usize) -> bool {
+    ar.body_adornments[pos]
+        .as_ref()
+        .is_some_and(|a| a.bound_count() > 0)
+}
+
+/// The child index terms `(I+1, K·m+i, H·t+j)` for expanding body position
+/// `j` (1-based) of adorned rule number `i` (1-based).
+pub(crate) fn child_index_terms(
+    idx: IndexVars,
+    m: usize,
+    t: usize,
+    rule_number: usize,
+    position: usize,
+) -> Vec<Term> {
+    vec![
+        Term::linear(idx.depth, 1, 1),
+        Term::linear(idx.rules, m as i64, rule_number as i64),
+        Term::linear(idx.positions, t as i64, position as i64),
+    ]
+}
+
+/// The parent index terms `(I, K, H)`.
+pub(crate) fn parent_index_terms(idx: IndexVars) -> Vec<Term> {
+    vec![
+        Term::Var(idx.depth),
+        Term::Var(idx.rules),
+        Term::Var(idx.positions),
+    ]
+}
+
+/// The indexed version of a body literal: `q_ind^a(I+1, K·m+i, H·t+j, θ)` for
+/// derived literals with bound arguments, the literal unchanged otherwise.
+pub(crate) fn indexed_body_literal(
+    ar: &AdornedRule,
+    pos: usize,
+    idx: IndexVars,
+    m: usize,
+    t: usize,
+    rule_number: usize,
+) -> Atom {
+    let atom = &ar.rule.body[pos];
+    if is_indexed(ar, pos) {
+        let adornment = ar.body_adornments[pos].clone().expect("indexed literal");
+        let mut terms = child_index_terms(idx, m, t, rule_number, pos + 1);
+        terms.extend(atom.terms.iter().cloned());
+        Atom::new(
+            PredName::Indexed {
+                base: atom.pred.base(),
+                adornment,
+            },
+            terms,
+        )
+    } else {
+        atom.clone()
+    }
+}
+
+/// The `cnt_p_ind^a(I, K, H, χ^b)` literal of the rule head.
+pub(crate) fn head_count_literal(ar: &AdornedRule, idx: IndexVars) -> Atom {
+    let mut terms = parent_index_terms(idx);
+    terms.extend(ar.rule.head.bound_terms(&ar.head_adornment));
+    Atom::new(
+        PredName::Count {
+            base: ar.head_base(),
+            adornment: ar.head_adornment.clone(),
+        },
+        terms,
+    )
+}
+
+/// Verify the counting rewrite's applicability conditions for one adorned
+/// rule and return the sip arc target positions.
+pub(crate) fn check_applicable(ar: &AdornedRule) -> Result<Vec<usize>, RewriteError> {
+    if ar.head_adornment.bound_count() == 0 {
+        return Err(RewriteError::CountingNotApplicable {
+            reason: format!(
+                "rule for {} has a head adornment with no bound argument",
+                ar.rule.head.pred
+            ),
+        });
+    }
+    let mut targets = Vec::new();
+    for pos in 0..ar.rule.body.len() {
+        if !is_indexed(ar, pos) {
+            continue;
+        }
+        let arcs = ar.sip.arcs_into(pos);
+        if arcs.is_empty() {
+            continue;
+        }
+        if arcs.len() > 1 {
+            return Err(RewriteError::CountingNotApplicable {
+                reason: format!(
+                    "literal {} receives several sip arcs; the counting encoding assumes one",
+                    ar.rule.body[pos]
+                ),
+            });
+        }
+        if !arcs[0].tail.contains(&SipNode::Head) {
+            return Err(RewriteError::CountingNotApplicable {
+                reason: format!(
+                    "the sip arc into {} does not include the head, so no parent index is available",
+                    ar.rule.body[pos]
+                ),
+            });
+        }
+        targets.push(pos);
+    }
+    Ok(targets)
+}
+
+/// Rewrite one adorned rule (1-based number `rule_number`), appending the
+/// counting rules and the modified rule to `out`.
+fn rewrite_rule(
+    ar: &AdornedRule,
+    rule_number: usize,
+    m: usize,
+    t: usize,
+    out: &mut Vec<Rule>,
+) -> Result<(), RewriteError> {
+    let targets = check_applicable(ar)?;
+    let rule_vars: BTreeSet<Variable> = ar.rule.vars().into_iter().collect();
+    let idx = fresh_index_vars(&rule_vars);
+    let cnt_head_literal = head_count_literal(ar, idx);
+
+    // Counting rules, one per sip arc (Lemma 6.2 lets us omit the counting
+    // literals of the tail predicates, mirroring Proposition 4.3).
+    for &target in &targets {
+        let atom = &ar.rule.body[target];
+        let adornment: &Adornment = ar.body_adornments[target].as_ref().expect("indexed");
+        let mut head_terms = child_index_terms(idx, m, t, rule_number, target + 1);
+        head_terms.extend(atom.bound_terms(adornment));
+        let cnt_head = Atom::new(
+            PredName::Count {
+                base: atom.pred.base(),
+                adornment: adornment.clone(),
+            },
+            head_terms,
+        );
+        let arc = ar.sip.arcs_into(target)[0];
+        let mut body = vec![cnt_head_literal.clone()];
+        let mut tail_positions: Vec<usize> = arc
+            .tail
+            .iter()
+            .filter_map(|n| match n {
+                SipNode::Body(j) => Some(*j),
+                SipNode::Head => None,
+            })
+            .collect();
+        tail_positions.sort_unstable();
+        for j in tail_positions {
+            body.push(indexed_body_literal(ar, j, idx, m, t, rule_number));
+        }
+        out.push(Rule::new(cnt_head, body));
+    }
+
+    // The modified rule.
+    let mut head_terms = parent_index_terms(idx);
+    head_terms.extend(ar.rule.head.terms.iter().cloned());
+    let head = Atom::new(
+        PredName::Indexed {
+            base: ar.head_base(),
+            adornment: ar.head_adornment.clone(),
+        },
+        head_terms,
+    );
+    let mut body = vec![cnt_head_literal];
+    for pos in 0..ar.rule.body.len() {
+        body.push(indexed_body_literal(ar, pos, idx, m, t, rule_number));
+    }
+    out.push(Rule::new(head, body));
+    Ok(())
+}
+
+/// Apply the generalized counting rewrite to an adorned program.
+pub fn rewrite(adorned: &AdornedProgram) -> Result<RewrittenProgram, RewriteError> {
+    if adorned.query_adornment.bound_count() == 0 {
+        return Err(RewriteError::CountingNotApplicable {
+            reason: "the query has no bound argument".into(),
+        });
+    }
+    let m = adorned.rules.len().max(1);
+    let t = adorned.max_body_len().max(1);
+    let mut rules = Vec::new();
+    for (number, ar) in adorned.rules.iter().enumerate() {
+        rewrite_rule(ar, number + 1, m, t, &mut rules)?;
+    }
+
+    // Seed: cnt_q_ind^c(0, 0, 0, c̄).
+    let mut seed_values = vec![Value::Int(0), Value::Int(0), Value::Int(0)];
+    seed_values.extend(adorned.query.bound_values());
+    let seed = Fact::new(
+        PredName::Count {
+            base: adorned.query_pred,
+            adornment: adorned.query_adornment.clone(),
+        },
+        seed_values,
+    );
+    rules.push(Rule::fact(seed.to_atom()));
+
+    // The answer atom: the indexed query predicate with fresh index
+    // variables; answers are read off by projecting on the query's free
+    // variables (the equivalence of Theorem 6.1 holds for every index value).
+    let query_vars: BTreeSet<Variable> = adorned.query.atom.vars().into_iter().collect();
+    let idx = fresh_index_vars(&query_vars);
+    let mut answer_terms = parent_index_terms(idx);
+    answer_terms.extend(adorned.query.atom.terms.iter().cloned());
+    let answer_atom = Atom::new(
+        PredName::Indexed {
+            base: adorned.query_pred,
+            adornment: adorned.query_adornment.clone(),
+        },
+        answer_terms,
+    );
+
+    Ok(RewrittenProgram {
+        program: Program::from_rules(rules),
+        seed: Some(seed),
+        answer_atom,
+        projection: adorned.query.free_vars(),
+        method: Method::Gc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::adorn;
+    use crate::sip_builder::SipStrategy;
+    use magic_datalog::{parse_program, parse_query};
+
+    fn rewrite_source(src: &str, query: &str) -> Result<RewrittenProgram, RewriteError> {
+        let program = parse_program(src).unwrap();
+        let query = parse_query(query).unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        rewrite(&adorned)
+    }
+
+    fn texts(r: &RewrittenProgram) -> Vec<String> {
+        r.program.rules.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn assert_all_present(text: &[String], expected: &[&str]) {
+        for e in expected {
+            assert!(
+                text.contains(&e.to_string()),
+                "missing: {e}\nhave: {text:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_6_same_generation() {
+        // Example 6 of the paper: m = 2 rules, t = 5 literals.
+        let rewritten = rewrite_source(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+            "sg(john, Y)",
+        )
+        .unwrap();
+        let text = texts(&rewritten);
+        assert_all_present(
+            &text,
+            &[
+                // From rule 2, 2nd body literal.
+                "cnt_sg_ind_bf(I+1, K*2+2, H*5+2, Z1) :- cnt_sg_ind_bf(I, K, H, X), up(X, Z1).",
+                // From rule 2, 4th body literal.
+                "cnt_sg_ind_bf(I+1, K*2+2, H*5+4, Z3) :- cnt_sg_ind_bf(I, K, H, X), up(X, Z1), sg_ind_bf(I+1, K*2+2, H*5+2, Z1, Z2), flat(Z2, Z3).",
+                // Modified rule (1).
+                "sg_ind_bf(I, K, H, X, Y) :- cnt_sg_ind_bf(I, K, H, X), flat(X, Y).",
+                // Modified rule (2).
+                "sg_ind_bf(I, K, H, X, Y) :- cnt_sg_ind_bf(I, K, H, X), up(X, Z1), sg_ind_bf(I+1, K*2+2, H*5+2, Z1, Z2), flat(Z2, Z3), sg_ind_bf(I+1, K*2+2, H*5+4, Z3, Z4), down(Z4, Y).",
+                // Seed.
+                "cnt_sg_ind_bf(0, 0, 0, john).",
+            ],
+        );
+        assert_eq!(rewritten.program.len(), 5);
+        assert_eq!(rewritten.method, Method::Gc);
+    }
+
+    #[test]
+    fn appendix_a51_ancestor() {
+        let rewritten = rewrite_source(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).",
+            "a(john, Y)",
+        )
+        .unwrap();
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "cnt_a_ind_bf(I+1, K*2+2, H*2+2, Z) :- cnt_a_ind_bf(I, K, H, X), p(X, Z).",
+                "a_ind_bf(I, K, H, X, Y) :- cnt_a_ind_bf(I, K, H, X), p(X, Y).",
+                "a_ind_bf(I, K, H, X, Y) :- cnt_a_ind_bf(I, K, H, X), p(X, Z), a_ind_bf(I+1, K*2+2, H*2+2, Z, Y).",
+                "cnt_a_ind_bf(0, 0, 0, john).",
+            ],
+        );
+    }
+
+    #[test]
+    fn appendix_a52_nonlinear_ancestor_generates_self_incrementing_rule() {
+        // A.5.2: the rule
+        //   cnt_a_ind(I+1, K·2+2, H·2+1, X) :- cnt_a_ind(I, K, H, X)
+        // makes the counting strategy diverge; we still generate it (safety
+        // analysis flags it, Section 10).
+        let rewritten = rewrite_source(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- a(X, Z), a(Z, Y).",
+            "a(john, Y)",
+        )
+        .unwrap();
+        assert_all_present(
+            &texts(&rewritten),
+            &["cnt_a_ind_bf(I+1, K*2+2, H*2+1, X) :- cnt_a_ind_bf(I, K, H, X)."],
+        );
+    }
+
+    #[test]
+    fn appendix_a53_nested_same_generation() {
+        // m = 4 adorned rules, t = 3 literals.
+        let rewritten = rewrite_source(
+            "p(X, Y) :- b1(X, Y).
+             p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+             sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).",
+            "p(john, Y)",
+        )
+        .unwrap();
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "cnt_sg_ind_bf(I+1, K*4+2, H*3+1, X) :- cnt_p_ind_bf(I, K, H, X).",
+                "cnt_p_ind_bf(I+1, K*4+2, H*3+2, Z1) :- cnt_p_ind_bf(I, K, H, X), sg_ind_bf(I+1, K*4+2, H*3+1, X, Z1).",
+                "cnt_sg_ind_bf(I+1, K*4+4, H*3+2, Z1) :- cnt_sg_ind_bf(I, K, H, X), up(X, Z1).",
+                "p_ind_bf(I, K, H, X, Y) :- cnt_p_ind_bf(I, K, H, X), b1(X, Y).",
+                "p_ind_bf(I, K, H, X, Y) :- cnt_p_ind_bf(I, K, H, X), sg_ind_bf(I+1, K*4+2, H*3+1, X, Z1), p_ind_bf(I+1, K*4+2, H*3+2, Z1, Z2), b2(Z2, Y).",
+                "sg_ind_bf(I, K, H, X, Y) :- cnt_sg_ind_bf(I, K, H, X), flat(X, Y).",
+                "sg_ind_bf(I, K, H, X, Y) :- cnt_sg_ind_bf(I, K, H, X), up(X, Z1), sg_ind_bf(I+1, K*4+4, H*3+2, Z1, Z2), down(Z2, Y).",
+                "cnt_p_ind_bf(0, 0, 0, john).",
+            ],
+        );
+    }
+
+    #[test]
+    fn appendix_a54_list_reverse() {
+        let rewritten = rewrite_source(
+            "append(V, [], [V]) :- .
+             append(V, [W | X], [W | Y]) :- append(V, X, Y).
+             reverse([], []) :- .
+             reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).",
+            "reverse(list, Y)",
+        )
+        .unwrap();
+        // Adorned rule order: reverse exit (1), reverse recursive (2),
+        // append exit (3), append recursive (4); m = 4, t = 2.
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "cnt_reverse_ind_bf(I+1, K*4+2, H*2+1, X) :- cnt_reverse_ind_bf(I, K, H, [V | X]).",
+                "cnt_append_ind_bbf(I+1, K*4+2, H*2+2, V, Z) :- cnt_reverse_ind_bf(I, K, H, [V | X]), reverse_ind_bf(I+1, K*4+2, H*2+1, X, Z).",
+                "cnt_append_ind_bbf(I+1, K*4+4, H*2+1, V, X) :- cnt_append_ind_bbf(I, K, H, V, [W | X]).",
+                "reverse_ind_bf(I, K, H, [], []) :- cnt_reverse_ind_bf(I, K, H, []).",
+                "append_ind_bbf(I, K, H, V, [], [V]) :- cnt_append_ind_bbf(I, K, H, V, []).",
+                "append_ind_bbf(I, K, H, V, [W | X], [W | Y]) :- cnt_append_ind_bbf(I, K, H, V, [W | X]), append_ind_bbf(I+1, K*4+4, H*2+1, V, X, Y).",
+                "reverse_ind_bf(I, K, H, [V | X], Y) :- cnt_reverse_ind_bf(I, K, H, [V | X]), reverse_ind_bf(I+1, K*4+2, H*2+1, X, Z), append_ind_bbf(I+1, K*4+2, H*2+2, V, Z, Y).",
+                "cnt_reverse_ind_bf(0, 0, 0, list).",
+            ],
+        );
+    }
+
+    #[test]
+    fn counting_rejects_queries_without_bindings() {
+        let err = rewrite_source(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).",
+            "a(U, V)",
+        )
+        .unwrap_err();
+        assert!(matches!(err, RewriteError::CountingNotApplicable { .. }));
+    }
+
+    #[test]
+    fn counting_rejects_partial_sips_without_head_in_tail() {
+        // With the "last only" partial sip the arc into sg.2 does not include
+        // the head, so no parent index is available.
+        let program = parse_program(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+        )
+        .unwrap();
+        let query = parse_query("sg(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::LeftToRightLastOnly).unwrap();
+        assert!(matches!(
+            rewrite(&adorned),
+            Err(RewriteError::CountingNotApplicable { .. })
+        ));
+    }
+}

@@ -1,0 +1,391 @@
+//! Generalized magic sets (Section 4).
+//!
+//! For each adorned rule and each sip arc `N → q`, a *magic rule* is
+//! generated that computes the bindings passed into `q`; the adorned rule is
+//! then *modified* by guarding it with the magic predicate of its head.  The
+//! bottom-up evaluation of the resulting program simulates the sip
+//! collection: a rule instance fires only for bindings that the sip would
+//! actually pass (Theorem 4.1), making the evaluation sip-optimal
+//! (Theorem 9.1).
+
+use crate::adorn::{AdornedProgram, AdornedRule};
+use crate::rewrite::{Method, RewriteError, RewrittenProgram};
+use crate::sip::{SipArc, SipNode};
+use magic_datalog::{Adornment, Atom, Fact, PredName, Program, Rule, Symbol, Term};
+
+/// Options controlling the generalized magic-sets rewrite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GmsOptions {
+    /// Emit the fully-guarded form of the construction: every derived body
+    /// literal also receives its own magic guard, and magic-rule bodies keep
+    /// the magic literals of the tail predicates even when the head's magic
+    /// literal is present.  By default these redundant literals are omitted,
+    /// following Propositions 4.2/4.3 and the paper's own examples.
+    pub include_redundant_magic: bool,
+}
+
+/// The magic predicate name for an adorned predicate.
+fn magic_pred(base: Symbol, adornment: &Adornment) -> PredName {
+    PredName::Magic {
+        base,
+        adornment: adornment.clone(),
+    }
+}
+
+/// The magic literal `magic_p^a(χ^b)` for an atom and its adornment.
+pub(crate) fn magic_literal(atom: &Atom, adornment: &Adornment) -> Atom {
+    Atom::new(magic_pred(atom.pred.base(), adornment), atom.bound_terms(adornment))
+}
+
+/// The body of a magic (or label) rule generated from one sip arc
+/// (Section 4, step 2).
+fn arc_rule_body(ar: &AdornedRule, arc: &SipArc, options: GmsOptions) -> Vec<Atom> {
+    let head_bound = ar.head_adornment.bound_count() > 0;
+    let head_in_tail = arc.tail.contains(&SipNode::Head) && head_bound;
+    let mut body = Vec::new();
+    if head_in_tail {
+        body.push(magic_literal(&ar.rule.head, &ar.head_adornment));
+    }
+    // Tail body occurrences, in body order.
+    let mut tail_positions: Vec<usize> = arc
+        .tail
+        .iter()
+        .filter_map(|n| match n {
+            SipNode::Body(j) => Some(*j),
+            SipNode::Head => None,
+        })
+        .collect();
+    tail_positions.sort_unstable();
+    for j in tail_positions {
+        let atom = &ar.rule.body[j];
+        if let Some(aj) = &ar.body_adornments[j] {
+            // Proposition 4.3: the magic literal of a tail predicate is
+            // redundant when the head's magic literal is present.
+            if aj.bound_count() > 0 && (options.include_redundant_magic || !head_in_tail) {
+                body.push(magic_literal(atom, aj));
+            }
+        }
+        body.push(atom.clone());
+    }
+    body
+}
+
+/// Rewrite one adorned rule, appending the generated magic rules and the
+/// modified rule to `out`.
+fn rewrite_rule(ar: &AdornedRule, rule_number: usize, options: GmsOptions, out: &mut Vec<Rule>) {
+    // Step 2: magic (and, for multi-arc targets, label) rules.
+    for (i, atom) in ar.rule.body.iter().enumerate() {
+        let Some(ai) = &ar.body_adornments[i] else {
+            continue;
+        };
+        if ai.bound_count() == 0 {
+            continue;
+        }
+        let arcs = ar.sip.arcs_into(i);
+        if arcs.is_empty() {
+            continue;
+        }
+        let magic_head = magic_literal(atom, ai);
+        if arcs.len() == 1 {
+            out.push(Rule::new(magic_head, arc_rule_body(ar, arcs[0], options)));
+        } else {
+            // Several arcs enter the occurrence: one label rule per arc, and
+            // a magic rule joining the labels (Section 4).
+            let mut label_atoms = Vec::new();
+            for (k, arc) in arcs.iter().enumerate() {
+                let label_terms: Vec<Term> =
+                    arc.label.iter().map(|v| Term::Var(*v)).collect();
+                let label_head = Atom::new(
+                    PredName::Label {
+                        base: atom.pred.base(),
+                        adornment: ai.clone(),
+                        rule: rule_number,
+                        arc: k,
+                    },
+                    label_terms,
+                );
+                label_atoms.push(label_head.clone());
+                out.push(Rule::new(label_head, arc_rule_body(ar, arc, options)));
+            }
+            out.push(Rule::new(magic_head, label_atoms));
+        }
+    }
+
+    // Step 3: the modified rule.
+    let mut body = Vec::new();
+    if ar.head_adornment.bound_count() > 0 {
+        body.push(magic_literal(&ar.rule.head, &ar.head_adornment));
+    }
+    for (i, atom) in ar.rule.body.iter().enumerate() {
+        if options.include_redundant_magic {
+            if let Some(ai) = &ar.body_adornments[i] {
+                if ai.bound_count() > 0 {
+                    body.push(magic_literal(atom, ai));
+                }
+            }
+        }
+        body.push(atom.clone());
+    }
+    out.push(Rule::new(ar.rule.head.clone(), body));
+}
+
+/// Apply the generalized magic-sets rewrite to an adorned program.
+pub fn rewrite(adorned: &AdornedProgram, options: GmsOptions) -> Result<RewrittenProgram, RewriteError> {
+    let mut rules = Vec::new();
+    for (number, ar) in adorned.rules.iter().enumerate() {
+        rewrite_rule(ar, number, options, &mut rules);
+    }
+
+    // Step 4: the seed.
+    let seed = if adorned.query_adornment.bound_count() > 0 {
+        let seed = Fact::new(
+            magic_pred(adorned.query_pred, &adorned.query_adornment),
+            adorned.query.bound_values(),
+        );
+        rules.push(Rule::fact(seed.to_atom()));
+        Some(seed)
+    } else {
+        None
+    };
+
+    Ok(RewrittenProgram {
+        program: Program::from_rules(rules),
+        seed,
+        answer_atom: adorned.answer_atom(),
+        projection: adorned.query.free_vars(),
+        method: Method::Gms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::adorn;
+    use crate::sip_builder::SipStrategy;
+    use magic_datalog::{parse_program, parse_query};
+
+    fn sg_rewrite(strategy: SipStrategy) -> RewrittenProgram {
+        let program = parse_program(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+        )
+        .unwrap();
+        let query = parse_query("sg(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, strategy).unwrap();
+        rewrite(&adorned, GmsOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn example_4_full_sip() {
+        // Example 4 of the paper, full sip (IV).
+        let rewritten = sg_rewrite(SipStrategy::FullLeftToRight);
+        let text: Vec<String> = rewritten
+            .program
+            .rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert!(text.contains(&"magic_sg_bf(Z1) :- magic_sg_bf(X), up(X, Z1).".to_string()));
+        assert!(text.contains(
+            &"magic_sg_bf(Z3) :- magic_sg_bf(X), up(X, Z1), sg_bf(Z1, Z2), flat(Z2, Z3)."
+                .to_string()
+        ));
+        assert!(text.contains(&"sg_bf(X, Y) :- magic_sg_bf(X), flat(X, Y).".to_string()));
+        assert!(text.contains(
+            &"sg_bf(X, Y) :- magic_sg_bf(X), up(X, Z1), sg_bf(Z1, Z2), flat(Z2, Z3), sg_bf(Z3, Z4), down(Z4, Y)."
+                .to_string()
+        ));
+        assert!(text.contains(&"magic_sg_bf(john).".to_string()));
+        // 2 magic rules + 2 modified rules + seed.
+        assert_eq!(rewritten.program.len(), 5);
+        assert_eq!(rewritten.seed.as_ref().unwrap().to_string(), "magic_sg_bf(john)");
+        assert_eq!(rewritten.answer_atom.to_string(), "sg_bf(john, Y)");
+    }
+
+    #[test]
+    fn example_4_partial_sip() {
+        // Example 4, second variant: the partial sip (V) keeps the magic
+        // literal of sg.1 in the second magic rule because the head is not in
+        // the arc's tail.
+        let rewritten = sg_rewrite(SipStrategy::LeftToRightLastOnly);
+        let text: Vec<String> = rewritten
+            .program
+            .rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert!(text.contains(&"magic_sg_bf(Z1) :- magic_sg_bf(X), up(X, Z1).".to_string()));
+        assert!(text.contains(
+            &"magic_sg_bf(Z3) :- magic_sg_bf(Z1), sg_bf(Z1, Z2), flat(Z2, Z3).".to_string()
+        ));
+        assert_eq!(rewritten.program.len(), 5);
+    }
+
+    #[test]
+    fn ancestor_rewrite_matches_appendix_a31() {
+        // Appendix A.3.1.
+        let program = parse_program(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("a(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let rewritten = rewrite(&adorned, GmsOptions::default()).unwrap();
+        let text: Vec<String> = rewritten
+            .program
+            .rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert_eq!(
+            text,
+            vec![
+                "a_bf(X, Y) :- magic_a_bf(X), p(X, Y).".to_string(),
+                "magic_a_bf(Z) :- magic_a_bf(X), p(X, Z).".to_string(),
+                "a_bf(X, Y) :- magic_a_bf(X), p(X, Z), a_bf(Z, Y).".to_string(),
+                "magic_a_bf(john).".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn nonlinear_ancestor_matches_appendix_a32() {
+        // Appendix A.3.2.  The redundant magic rule
+        // `magic_a_bf(X) :- magic_a_bf(X)` noted in the appendix ("can be
+        // deleted") corresponds to the arc into the first a occurrence; we
+        // emit it for fidelity.
+        let program = parse_program(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- a(X, Z), a(Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("a(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let rewritten = rewrite(&adorned, GmsOptions::default()).unwrap();
+        let text: Vec<String> = rewritten
+            .program
+            .rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        assert!(text.contains(&"magic_a_bf(X) :- magic_a_bf(X).".to_string()));
+        assert!(text.contains(&"magic_a_bf(Z) :- magic_a_bf(X), a_bf(X, Z).".to_string()));
+        assert!(text.contains(
+            &"a_bf(X, Y) :- magic_a_bf(X), a_bf(X, Z), a_bf(Z, Y).".to_string()
+        ));
+    }
+
+    #[test]
+    fn nested_sg_matches_appendix_a33() {
+        let program = parse_program(
+            "p(X, Y) :- b1(X, Y).
+             p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+             sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).",
+        )
+        .unwrap();
+        let query = parse_query("p(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let rewritten = rewrite(&adorned, GmsOptions::default()).unwrap();
+        let text: Vec<String> = rewritten
+            .program
+            .rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        for expected in [
+            "magic_p_bf(Z1) :- magic_p_bf(X), sg_bf(X, Z1).",
+            "magic_sg_bf(X) :- magic_p_bf(X).",
+            "magic_sg_bf(Z1) :- magic_sg_bf(X), up(X, Z1).",
+            "p_bf(X, Y) :- magic_p_bf(X), b1(X, Y).",
+            "p_bf(X, Y) :- magic_p_bf(X), sg_bf(X, Z1), p_bf(Z1, Z2), b2(Z2, Y).",
+            "sg_bf(X, Y) :- magic_sg_bf(X), flat(X, Y).",
+            "sg_bf(X, Y) :- magic_sg_bf(X), up(X, Z1), sg_bf(Z1, Z2), down(Z2, Y).",
+            "magic_p_bf(john).",
+        ] {
+            assert!(text.contains(&expected.to_string()), "missing: {expected}\nhave: {text:#?}");
+        }
+    }
+
+    #[test]
+    fn list_reverse_matches_appendix_a34() {
+        let program = parse_program(
+            "append(V, [], [V]) :- .
+             append(V, [W | X], [W | Y]) :- append(V, X, Y).
+             reverse([], []) :- .
+             reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("reverse(list, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let rewritten = rewrite(&adorned, GmsOptions::default()).unwrap();
+        let text: Vec<String> = rewritten
+            .program
+            .rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        for expected in [
+            "magic_append_bbf(V, X) :- magic_append_bbf(V, [W | X]).",
+            "magic_append_bbf(V, Z) :- magic_reverse_bf([V | X]), reverse_bf(X, Z).",
+            "magic_reverse_bf(X) :- magic_reverse_bf([V | X]).",
+            "append_bbf(V, [], [V]) :- magic_append_bbf(V, []).",
+            "append_bbf(V, [W | X], [W | Y]) :- magic_append_bbf(V, [W | X]), append_bbf(V, X, Y).",
+            "reverse_bf([], []) :- magic_reverse_bf([]).",
+            "reverse_bf([V | X], Y) :- magic_reverse_bf([V | X]), reverse_bf(X, Z), append_bbf(V, Z, Y).",
+            "magic_reverse_bf(list).",
+        ] {
+            assert!(text.contains(&expected.to_string()), "missing: {expected}\nhave: {text:#?}");
+        }
+    }
+
+    #[test]
+    fn redundant_magic_option_adds_guards() {
+        let program = parse_program(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("a(john, Y)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let rewritten = rewrite(
+            &adorned,
+            GmsOptions {
+                include_redundant_magic: true,
+            },
+        )
+        .unwrap();
+        let text: Vec<String> = rewritten
+            .program
+            .rules
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        // The fully-guarded modified rule from Section 4's worked example.
+        assert!(text.contains(
+            &"a_bf(X, Y) :- magic_a_bf(X), p(X, Z), magic_a_bf(Z), a_bf(Z, Y).".to_string()
+        ));
+    }
+
+    #[test]
+    fn all_free_query_produces_no_seed() {
+        let program = parse_program(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("a(U, V)").unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        let rewritten = rewrite(&adorned, GmsOptions::default()).unwrap();
+        assert!(rewritten.seed.is_none());
+        // Still a valid program: the a^ff rules are unguarded, the a^bf rules
+        // (reached through the recursive literal, which is bound by p) are
+        // guarded.
+        assert!(rewritten
+            .program
+            .rules
+            .iter()
+            .any(|r| r.head.pred.to_string() == "a_ff"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Generalized supplementary counting (Section 7).
+//!
+//! The supplementary counting method is to generalized counting what
+//! generalized supplementary magic sets is to generalized magic sets: the
+//! prefix joins of each rule body are stored once in supplementary counting
+//! predicates `supcnt^r_j(I, K, H, φ_j)` and reused by the counting rules and
+//! the modified rule, eliminating the duplicate joins of Section 6.
+
+use crate::adorn::{AdornedProgram, AdornedRule};
+use crate::rewrite::counting::{
+    check_applicable, fresh_index_vars, head_count_literal, indexed_body_literal,
+    parent_index_terms,
+};
+use crate::rewrite::{Method, RewriteError, RewrittenProgram};
+use magic_datalog::{Adornment, Atom, Fact, PredName, Program, Rule, Term, Value, Variable};
+use std::collections::BTreeSet;
+
+/// Variables needed "later": in the head or in body literals at 0-based
+/// positions `>= from`.
+fn needed_later(ar: &AdornedRule, from: usize) -> BTreeSet<Variable> {
+    let mut needed: BTreeSet<Variable> = ar.rule.head.vars().into_iter().collect();
+    for atom in ar.rule.body.iter().skip(from) {
+        needed.extend(atom.vars());
+    }
+    needed
+}
+
+fn order_vars(ar: &AdornedRule, vars: &BTreeSet<Variable>) -> Vec<Variable> {
+    ar.rule
+        .vars()
+        .into_iter()
+        .filter(|v| vars.contains(v))
+        .collect()
+}
+
+/// Rewrite one adorned rule (1-based `rule_number`), appending the
+/// supplementary counting rules, counting rules and modified rule to `out`.
+fn rewrite_rule(
+    ar: &AdornedRule,
+    rule_number: usize,
+    m: usize,
+    t: usize,
+    out: &mut Vec<Rule>,
+) -> Result<(), RewriteError> {
+    let targets = check_applicable(ar)?;
+    let positions: Vec<usize> = targets.iter().map(|&p| p + 1).collect(); // 1-based
+    let last = positions.last().copied().unwrap_or(0);
+    let rule_vars: BTreeSet<Variable> = ar.rule.vars().into_iter().collect();
+    let idx = fresh_index_vars(&rule_vars);
+    let cnt_head_literal = head_count_literal(ar, idx);
+
+    if last == 0 {
+        // No arcs into the body: the modified rule is guarded by the head's
+        // counting literal alone (e.g. the exit rules of the Appendix).
+        let mut head_terms = parent_index_terms(idx);
+        head_terms.extend(ar.rule.head.terms.iter().cloned());
+        let head = Atom::new(
+            PredName::Indexed {
+                base: ar.head_base(),
+                adornment: ar.head_adornment.clone(),
+            },
+            head_terms,
+        );
+        let mut body = vec![cnt_head_literal];
+        for pos in 0..ar.rule.body.len() {
+            body.push(indexed_body_literal(ar, pos, idx, m, t, rule_number));
+        }
+        out.push(Rule::new(head, body));
+        return Ok(());
+    }
+
+    // Supplementary counting predicates.  supcnt_1 is optimized away and
+    // replaced by the head's counting literal, exactly as in Section 7's
+    // "simple optimizations".
+    let mut phi: BTreeSet<Variable> = ar
+        .rule
+        .head
+        .bound_terms(&ar.head_adornment)
+        .iter()
+        .flat_map(Term::vars)
+        .collect();
+    let needed0 = needed_later(ar, 0);
+    phi.retain(|v| needed0.contains(v));
+    let mut sup_heads: Vec<Option<Atom>> = vec![None; last + 1];
+    sup_heads[1] = Some(cnt_head_literal.clone());
+    let mut prev_literal = cnt_head_literal.clone();
+
+    for j in 2..=last {
+        let prev_body_atom = indexed_body_literal(ar, j - 2, idx, m, t, rule_number);
+        phi.extend(ar.rule.body[j - 2].vars());
+        let needed = needed_later(ar, j - 1);
+        phi.retain(|v| needed.contains(v));
+        let ordered = order_vars(ar, &phi);
+        let mut sup_terms = parent_index_terms(idx);
+        sup_terms.extend(ordered.iter().map(|v| Term::Var(*v)));
+        let sup_head = Atom::new(
+            PredName::SupCount {
+                base: ar.head_base(),
+                adornment: ar.head_adornment.clone(),
+                rule: rule_number,
+                position: j,
+            },
+            sup_terms,
+        );
+        out.push(Rule::new(
+            sup_head.clone(),
+            vec![prev_literal.clone(), prev_body_atom],
+        ));
+        sup_heads[j] = Some(sup_head.clone());
+        prev_literal = sup_head;
+    }
+
+    // Counting rules: cnt_q_ind^aj(I+1, K·m+i, H·t+j, θ_j^b) :- supcnt_j.
+    for &target in &targets {
+        let j = target + 1;
+        let atom = &ar.rule.body[target];
+        let adornment: &Adornment = ar.body_adornments[target].as_ref().expect("indexed");
+        let mut head_terms =
+            crate::rewrite::counting::child_index_terms(idx, m, t, rule_number, j);
+        head_terms.extend(atom.bound_terms(adornment));
+        let cnt_head = Atom::new(
+            PredName::Count {
+                base: atom.pred.base(),
+                adornment: adornment.clone(),
+            },
+            head_terms,
+        );
+        let source = sup_heads[j].clone().expect("supplementary counting atom");
+        out.push(Rule::new(cnt_head, vec![source]));
+    }
+
+    // Modified rule: supcnt_last followed by the remaining (indexed) body
+    // literals.
+    let mut head_terms = parent_index_terms(idx);
+    head_terms.extend(ar.rule.head.terms.iter().cloned());
+    let head = Atom::new(
+        PredName::Indexed {
+            base: ar.head_base(),
+            adornment: ar.head_adornment.clone(),
+        },
+        head_terms,
+    );
+    let mut body = vec![sup_heads[last].clone().expect("supplementary counting atom")];
+    for pos in (last - 1)..ar.rule.body.len() {
+        body.push(indexed_body_literal(ar, pos, idx, m, t, rule_number));
+    }
+    out.push(Rule::new(head, body));
+    Ok(())
+}
+
+/// Apply the generalized supplementary counting rewrite.
+pub fn rewrite(adorned: &AdornedProgram) -> Result<RewrittenProgram, RewriteError> {
+    if adorned.query_adornment.bound_count() == 0 {
+        return Err(RewriteError::CountingNotApplicable {
+            reason: "the query has no bound argument".into(),
+        });
+    }
+    let m = adorned.rules.len().max(1);
+    let t = adorned.max_body_len().max(1);
+    let mut rules = Vec::new();
+    for (number, ar) in adorned.rules.iter().enumerate() {
+        rewrite_rule(ar, number + 1, m, t, &mut rules)?;
+    }
+    let mut seed_values = vec![Value::Int(0), Value::Int(0), Value::Int(0)];
+    seed_values.extend(adorned.query.bound_values());
+    let seed = Fact::new(
+        PredName::Count {
+            base: adorned.query_pred,
+            adornment: adorned.query_adornment.clone(),
+        },
+        seed_values,
+    );
+    rules.push(Rule::fact(seed.to_atom()));
+
+    let query_vars: BTreeSet<Variable> = adorned.query.atom.vars().into_iter().collect();
+    let idx = fresh_index_vars(&query_vars);
+    let mut answer_terms = parent_index_terms(idx);
+    answer_terms.extend(adorned.query.atom.terms.iter().cloned());
+    let answer_atom = Atom::new(
+        PredName::Indexed {
+            base: adorned.query_pred,
+            adornment: adorned.query_adornment.clone(),
+        },
+        answer_terms,
+    );
+
+    Ok(RewrittenProgram {
+        program: Program::from_rules(rules),
+        seed: Some(seed),
+        answer_atom,
+        projection: adorned.query.free_vars(),
+        method: Method::Gsc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::adorn;
+    use crate::sip_builder::SipStrategy;
+    use magic_datalog::{parse_program, parse_query};
+
+    fn rewrite_source(src: &str, query: &str) -> RewrittenProgram {
+        let program = parse_program(src).unwrap();
+        let query = parse_query(query).unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        rewrite(&adorned).unwrap()
+    }
+
+    fn texts(r: &RewrittenProgram) -> Vec<String> {
+        r.program.rules.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn assert_all_present(text: &[String], expected: &[&str]) {
+        for e in expected {
+            assert!(
+                text.contains(&e.to_string()),
+                "missing: {e}\nhave: {text:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_7_same_generation() {
+        // Example 7 of the paper.
+        let rewritten = rewrite_source(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+            "sg(john, Y)",
+        );
+        let text = texts(&rewritten);
+        assert_all_present(
+            &text,
+            &[
+                "supcnt_r2_2_sg_bf(I, K, H, X, Z1) :- cnt_sg_ind_bf(I, K, H, X), up(X, Z1).",
+                "supcnt_r2_3_sg_bf(I, K, H, X, Z2) :- supcnt_r2_2_sg_bf(I, K, H, X, Z1), sg_ind_bf(I+1, K*2+2, H*5+2, Z1, Z2).",
+                "supcnt_r2_4_sg_bf(I, K, H, X, Z3) :- supcnt_r2_3_sg_bf(I, K, H, X, Z2), flat(Z2, Z3).",
+                "sg_ind_bf(I, K, H, X, Y) :- cnt_sg_ind_bf(I, K, H, X), flat(X, Y).",
+                "sg_ind_bf(I, K, H, X, Y) :- supcnt_r2_4_sg_bf(I, K, H, X, Z3), sg_ind_bf(I+1, K*2+2, H*5+4, Z3, Z4), down(Z4, Y).",
+                "cnt_sg_ind_bf(I+1, K*2+2, H*5+2, Z1) :- supcnt_r2_2_sg_bf(I, K, H, X, Z1).",
+                "cnt_sg_ind_bf(I+1, K*2+2, H*5+4, Z3) :- supcnt_r2_4_sg_bf(I, K, H, X, Z3).",
+                "cnt_sg_ind_bf(0, 0, 0, john).",
+            ],
+        );
+        assert_eq!(rewritten.program.len(), 8);
+        assert_eq!(rewritten.method, Method::Gsc);
+    }
+
+    #[test]
+    fn appendix_a61_ancestor() {
+        let rewritten = rewrite_source(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).",
+            "a(john, Y)",
+        );
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "supcnt_r2_2_a_bf(I, K, H, X, Z) :- cnt_a_ind_bf(I, K, H, X), p(X, Z).",
+                "a_ind_bf(I, K, H, X, Y) :- cnt_a_ind_bf(I, K, H, X), p(X, Y).",
+                "a_ind_bf(I, K, H, X, Y) :- supcnt_r2_2_a_bf(I, K, H, X, Z), a_ind_bf(I+1, K*2+2, H*2+2, Z, Y).",
+                "cnt_a_ind_bf(I+1, K*2+2, H*2+2, Z) :- supcnt_r2_2_a_bf(I, K, H, X, Z).",
+                "cnt_a_ind_bf(0, 0, 0, john).",
+            ],
+        );
+    }
+
+    #[test]
+    fn appendix_a64_list_reverse() {
+        let rewritten = rewrite_source(
+            "append(V, [], [V]) :- .
+             append(V, [W | X], [W | Y]) :- append(V, X, Y).
+             reverse([], []) :- .
+             reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).",
+            "reverse(list, Y)",
+        );
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "supcnt_r2_2_reverse_bf(I, K, H, V, X, Z) :- cnt_reverse_ind_bf(I, K, H, [V | X]), reverse_ind_bf(I+1, K*4+2, H*2+1, X, Z).",
+                "reverse_ind_bf(I, K, H, [], []) :- cnt_reverse_ind_bf(I, K, H, []).",
+                "reverse_ind_bf(I, K, H, [V | X], Y) :- supcnt_r2_2_reverse_bf(I, K, H, V, X, Z), append_ind_bbf(I+1, K*4+2, H*2+2, V, Z, Y).",
+                "cnt_append_ind_bbf(I+1, K*4+2, H*2+2, V, Z) :- supcnt_r2_2_reverse_bf(I, K, H, V, X, Z).",
+                "cnt_append_ind_bbf(I+1, K*4+4, H*2+1, V, X) :- cnt_append_ind_bbf(I, K, H, V, [W | X]).",
+                "append_ind_bbf(I, K, H, V, [W | X], [W | Y]) :- cnt_append_ind_bbf(I, K, H, V, [W | X]), append_ind_bbf(I+1, K*4+4, H*2+1, V, X, Y).",
+                "cnt_reverse_ind_bf(0, 0, 0, list).",
+            ],
+        );
+    }
+
+    #[test]
+    fn supcnt_chain_only_built_up_to_last_arc() {
+        // Nested same-generation: the last arc in the recursive p rule enters
+        // the p literal (position 2), so only supcnt_2 is generated and b2 is
+        // joined directly in the modified rule (Appendix A.6.3).
+        let rewritten = rewrite_source(
+            "p(X, Y) :- b1(X, Y).
+             p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+             sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).",
+            "p(john, Y)",
+        );
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "supcnt_r2_2_p_bf(I, K, H, X, Z1) :- cnt_p_ind_bf(I, K, H, X), sg_ind_bf(I+1, K*4+2, H*3+1, X, Z1).",
+                "p_ind_bf(I, K, H, X, Y) :- supcnt_r2_2_p_bf(I, K, H, X, Z1), p_ind_bf(I+1, K*4+2, H*3+2, Z1, Z2), b2(Z2, Y).",
+                "cnt_sg_ind_bf(I+1, K*4+2, H*3+1, X) :- cnt_p_ind_bf(I, K, H, X).",
+                "cnt_p_ind_bf(I+1, K*4+2, H*3+2, Z1) :- supcnt_r2_2_p_bf(I, K, H, X, Z1).",
+            ],
+        );
+    }
+}

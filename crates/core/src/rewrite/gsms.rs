@@ -1,0 +1,343 @@
+//! Generalized supplementary magic sets (Section 5).
+//!
+//! The plain magic-sets rewrite recomputes the same joins in several rules
+//! (the join of `magic_p` with the prefix of a rule body appears in every
+//! magic rule derived from that body, and again in the modified rule).  The
+//! supplementary variant stores those prefix joins in *supplementary magic
+//! predicates* `supmagic^r_i`, one per body position, and defines each magic
+//! predicate and the modified rule from the appropriate supplementary
+//! predicate — trading memory for the elimination of duplicate work, as
+//! Saccà and Zaniolo proposed and the Alexander method implements.
+
+use crate::adorn::{AdornedProgram, AdornedRule};
+use crate::rewrite::gms::magic_literal;
+use crate::rewrite::{Method, RewriteError, RewrittenProgram};
+use crate::sip::SipNode;
+use magic_datalog::{Adornment, Atom, Fact, PredName, Program, Rule, Term, Variable};
+use std::collections::BTreeSet;
+
+/// The 1-based body positions that receive a sip arc and whose literal is a
+/// derived literal with at least one bound argument.
+fn arc_positions(ar: &AdornedRule) -> Vec<usize> {
+    (0..ar.rule.body.len())
+        .filter(|&i| {
+            ar.sip.has_arc_into(i)
+                && ar.body_adornments[i]
+                    .as_ref()
+                    .is_some_and(|a| a.bound_count() > 0)
+        })
+        .map(|i| i + 1)
+        .collect()
+}
+
+/// Variables needed "later": in the head or in body literals at 0-based
+/// positions `>= from`.
+fn needed_later(ar: &AdornedRule, from: usize) -> BTreeSet<Variable> {
+    let mut needed: BTreeSet<Variable> = ar.rule.head.vars().into_iter().collect();
+    for atom in ar.rule.body.iter().skip(from) {
+        needed.extend(atom.vars());
+    }
+    needed
+}
+
+/// Order a variable set by first occurrence in the rule (head first, then
+/// body), so supplementary predicates have deterministic argument orders.
+fn order_vars(ar: &AdornedRule, vars: &BTreeSet<Variable>) -> Vec<Variable> {
+    ar.rule
+        .vars()
+        .into_iter()
+        .filter(|v| vars.contains(v))
+        .collect()
+}
+
+fn sup_atom(ar: &AdornedRule, rule_number: usize, position: usize, vars: &[Variable]) -> Atom {
+    Atom::new(
+        PredName::Supplementary {
+            base: ar.head_base(),
+            adornment: ar.head_adornment.clone(),
+            rule: rule_number,
+            position,
+        },
+        vars.iter().map(|v| Term::Var(*v)).collect(),
+    )
+}
+
+/// Rewrite a single adorned rule, pushing the generated rules onto `out`.
+fn rewrite_rule(ar: &AdornedRule, rule_number: usize, out: &mut Vec<Rule>) {
+    let head_bound = ar.head_adornment.bound_count() > 0;
+    let positions = arc_positions(ar);
+    let m = positions.last().copied().unwrap_or(0);
+
+    if !head_bound || m == 0 {
+        // Degenerate cases.  With no bound head arguments there is no magic
+        // predicate to seed the supplementary chain from, so we fall back to
+        // the plain magic-sets construction for this rule; with no arcs into
+        // the body there is nothing worth storing, so the modified rule is
+        // simply guarded by the head's magic literal (Example 5, rule 1).
+        for (i, atom) in ar.rule.body.iter().enumerate() {
+            let Some(ai) = &ar.body_adornments[i] else { continue };
+            if ai.bound_count() == 0 {
+                continue;
+            }
+            for arc in ar.sip.arcs_into(i) {
+                let head_in_tail = arc.tail.contains(&SipNode::Head) && head_bound;
+                let mut body = Vec::new();
+                if head_in_tail {
+                    body.push(magic_literal(&ar.rule.head, &ar.head_adornment));
+                }
+                let mut tail_positions: Vec<usize> = arc
+                    .tail
+                    .iter()
+                    .filter_map(|n| match n {
+                        SipNode::Body(j) => Some(*j),
+                        SipNode::Head => None,
+                    })
+                    .collect();
+                tail_positions.sort_unstable();
+                for j in tail_positions {
+                    if let Some(aj) = &ar.body_adornments[j] {
+                        if aj.bound_count() > 0 && !head_in_tail {
+                            body.push(magic_literal(&ar.rule.body[j], aj));
+                        }
+                    }
+                    body.push(ar.rule.body[j].clone());
+                }
+                out.push(Rule::new(magic_literal(atom, ai), body));
+            }
+        }
+        let mut body = Vec::new();
+        if head_bound {
+            body.push(magic_literal(&ar.rule.head, &ar.head_adornment));
+        }
+        body.extend(ar.rule.body.iter().cloned());
+        out.push(Rule::new(ar.rule.head.clone(), body));
+        return;
+    }
+
+    // φ_1 is the set of variables of the bound head arguments, φ_i extends
+    // φ_{i-1} with the variables of body literal i-1, both restricted to
+    // variables still needed later.  The supplementary predicate for
+    // position 1 is optimized away: its occurrences are replaced by the
+    // head's magic literal (as in the paper's examples).
+    let head_magic = magic_literal(&ar.rule.head, &ar.head_adornment);
+    let mut phi: BTreeSet<Variable> = ar
+        .rule
+        .head
+        .bound_terms(&ar.head_adornment)
+        .iter()
+        .flat_map(Term::vars)
+        .collect();
+    let needed0 = needed_later(ar, 0);
+    phi.retain(|v| needed0.contains(v));
+    let mut prev_literal = head_magic.clone();
+    // The supplementary atom generated for each position (used by the magic
+    // rules and the modified rule below).
+    let mut sup_heads: Vec<Option<Atom>> = vec![None; m + 1];
+    sup_heads[1] = Some(head_magic.clone());
+
+    for i in 2..=m {
+        let prev_body_atom = ar.rule.body[i - 2].clone();
+        phi.extend(prev_body_atom.vars());
+        let needed = needed_later(ar, i - 1);
+        phi.retain(|v| needed.contains(v));
+        let ordered = order_vars(ar, &phi);
+        let sup_head = sup_atom(ar, rule_number, i, &ordered);
+        out.push(Rule::new(
+            sup_head.clone(),
+            vec![prev_literal.clone(), prev_body_atom],
+        ));
+        sup_heads[i] = Some(sup_head.clone());
+        prev_literal = sup_head;
+    }
+
+    // Magic rules: one per arc target, defined from the supplementary
+    // predicate at that position (Example 5's last two rules).
+    for &pos in &positions {
+        let atom = &ar.rule.body[pos - 1];
+        let ai: &Adornment = ar.body_adornments[pos - 1]
+            .as_ref()
+            .expect("arc positions are derived literals");
+        let source = sup_heads[pos].clone().expect("supplementary atom exists");
+        out.push(Rule::new(magic_literal(atom, ai), vec![source]));
+    }
+
+    // Modified rule: the supplementary predicate for position m followed by
+    // the remaining body literals.
+    let mut body = vec![sup_heads[m].clone().expect("supplementary atom exists")];
+    body.extend(ar.rule.body.iter().skip(m - 1).cloned());
+    out.push(Rule::new(ar.rule.head.clone(), body));
+}
+
+/// Apply the generalized supplementary magic-sets rewrite.
+pub fn rewrite(adorned: &AdornedProgram) -> Result<RewrittenProgram, RewriteError> {
+    let mut rules = Vec::new();
+    for (number, ar) in adorned.rules.iter().enumerate() {
+        rewrite_rule(ar, number, &mut rules);
+    }
+    let seed = if adorned.query_adornment.bound_count() > 0 {
+        let seed = Fact::new(
+            PredName::Magic {
+                base: adorned.query_pred,
+                adornment: adorned.query_adornment.clone(),
+            },
+            adorned.query.bound_values(),
+        );
+        rules.push(Rule::fact(seed.to_atom()));
+        Some(seed)
+    } else {
+        None
+    };
+    Ok(RewrittenProgram {
+        program: Program::from_rules(rules),
+        seed,
+        answer_atom: adorned.answer_atom(),
+        projection: adorned.query.free_vars(),
+        method: Method::Gsms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::adorn;
+    use crate::sip_builder::SipStrategy;
+    use magic_datalog::{parse_program, parse_query};
+
+    fn rewrite_source(src: &str, query: &str) -> RewrittenProgram {
+        let program = parse_program(src).unwrap();
+        let query = parse_query(query).unwrap();
+        let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+        rewrite(&adorned).unwrap()
+    }
+
+    fn texts(r: &RewrittenProgram) -> Vec<String> {
+        r.program.rules.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn assert_all_present(text: &[String], expected: &[&str]) {
+        for e in expected {
+            assert!(
+                text.contains(&e.to_string()),
+                "missing: {e}\nhave: {text:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_5_same_generation() {
+        // Example 5 of the paper (supplementary predicate numbering follows
+        // the paper: supmagic^2_i, here rendered supmagic_r1_i because our
+        // rule indices are 0-based).
+        let rewritten = rewrite_source(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+            "sg(john, Y)",
+        );
+        let text = texts(&rewritten);
+        assert_all_present(
+            &text,
+            &[
+                "supmagic_r1_2_sg_bf(X, Z1) :- magic_sg_bf(X), up(X, Z1).",
+                "supmagic_r1_3_sg_bf(X, Z2) :- supmagic_r1_2_sg_bf(X, Z1), sg_bf(Z1, Z2).",
+                "supmagic_r1_4_sg_bf(X, Z3) :- supmagic_r1_3_sg_bf(X, Z2), flat(Z2, Z3).",
+                "sg_bf(X, Y) :- magic_sg_bf(X), flat(X, Y).",
+                "sg_bf(X, Y) :- supmagic_r1_4_sg_bf(X, Z3), sg_bf(Z3, Z4), down(Z4, Y).",
+                "magic_sg_bf(Z1) :- supmagic_r1_2_sg_bf(X, Z1).",
+                "magic_sg_bf(Z3) :- supmagic_r1_4_sg_bf(X, Z3).",
+                "magic_sg_bf(john).",
+            ],
+        );
+        assert_eq!(rewritten.program.len(), 8);
+        assert_eq!(rewritten.method, Method::Gsms);
+    }
+
+    #[test]
+    fn appendix_a41_linear_ancestor() {
+        let rewritten = rewrite_source(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).",
+            "a(john, Y)",
+        );
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "supmagic_r1_2_a_bf(X, Z) :- magic_a_bf(X), p(X, Z).",
+                "a_bf(X, Y) :- magic_a_bf(X), p(X, Y).",
+                "a_bf(X, Y) :- supmagic_r1_2_a_bf(X, Z), a_bf(Z, Y).",
+                "magic_a_bf(Z) :- supmagic_r1_2_a_bf(X, Z).",
+                "magic_a_bf(john).",
+            ],
+        );
+    }
+
+    #[test]
+    fn appendix_a42_nonlinear_ancestor() {
+        let rewritten = rewrite_source(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- a(X, Z), a(Z, Y).",
+            "a(john, Y)",
+        );
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "supmagic_r1_2_a_bf(X, Z) :- magic_a_bf(X), a_bf(X, Z).",
+                "a_bf(X, Y) :- magic_a_bf(X), p(X, Y).",
+                "a_bf(X, Y) :- supmagic_r1_2_a_bf(X, Z), a_bf(Z, Y).",
+                "magic_a_bf(X) :- magic_a_bf(X).",
+                "magic_a_bf(Z) :- supmagic_r1_2_a_bf(X, Z).",
+                "magic_a_bf(john).",
+            ],
+        );
+    }
+
+    #[test]
+    fn appendix_a43_nested_same_generation() {
+        let rewritten = rewrite_source(
+            "p(X, Y) :- b1(X, Y).
+             p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+             sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).",
+            "p(john, Y)",
+        );
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "supmagic_r1_2_p_bf(X, Z1) :- magic_p_bf(X), sg_bf(X, Z1).",
+                "supmagic_r3_2_sg_bf(X, Z1) :- magic_sg_bf(X), up(X, Z1).",
+                "p_bf(X, Y) :- magic_p_bf(X), b1(X, Y).",
+                "p_bf(X, Y) :- supmagic_r1_2_p_bf(X, Z1), p_bf(Z1, Z2), b2(Z2, Y).",
+                "sg_bf(X, Y) :- magic_sg_bf(X), flat(X, Y).",
+                "sg_bf(X, Y) :- supmagic_r3_2_sg_bf(X, Z1), sg_bf(Z1, Z2), down(Z2, Y).",
+                "magic_sg_bf(X) :- magic_p_bf(X).",
+                "magic_p_bf(Z1) :- supmagic_r1_2_p_bf(X, Z1).",
+                "magic_sg_bf(Z1) :- supmagic_r3_2_sg_bf(X, Z1).",
+                "magic_p_bf(john).",
+            ],
+        );
+    }
+
+    #[test]
+    fn appendix_a44_list_reverse() {
+        let rewritten = rewrite_source(
+            "append(V, [], [V]) :- .
+             append(V, [W | X], [W | Y]) :- append(V, X, Y).
+             reverse([], []) :- .
+             reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).",
+            "reverse(list, Y)",
+        );
+        assert_all_present(
+            &texts(&rewritten),
+            &[
+                "supmagic_r1_2_reverse_bf(V, X, Z) :- magic_reverse_bf([V | X]), reverse_bf(X, Z).",
+                "append_bbf(V, [], [V]) :- magic_append_bbf(V, []).",
+                "append_bbf(V, [W | X], [W | Y]) :- magic_append_bbf(V, [W | X]), append_bbf(V, X, Y).",
+                "reverse_bf([], []) :- magic_reverse_bf([]).",
+                "reverse_bf([V | X], Y) :- supmagic_r1_2_reverse_bf(V, X, Z), append_bbf(V, Z, Y).",
+                "magic_append_bbf(V, X) :- magic_append_bbf(V, [W | X]).",
+                "magic_append_bbf(V, Z) :- supmagic_r1_2_reverse_bf(V, X, Z).",
+                "magic_reverse_bf(X) :- magic_reverse_bf([V | X]).",
+                "magic_reverse_bf(list).",
+            ],
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! The rule-rewriting algorithms of Sections 4–8: generalized magic sets,
+//! generalized supplementary magic sets, generalized counting, generalized
+//! supplementary counting, and the semijoin optimization.
+//!
+//! Every rewriter consumes an [`AdornedProgram`](crate::adorn::AdornedProgram)
+//! and produces a [`RewrittenProgram`]: an ordinary program (including the
+//! query's seed fact) whose *bottom-up* evaluation implements the sip
+//! collection attached to the adorned rules.
+
+pub mod counting;
+pub mod gms;
+pub mod gsms;
+pub mod gsc;
+pub mod semijoin;
+
+use magic_datalog::{Atom, DatalogError, Fact, Program, Variable};
+use std::fmt;
+
+/// Which rewriting method produced a [`RewrittenProgram`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Method {
+    /// The adorned program itself (no magic predicates).
+    Adorned,
+    /// Generalized magic sets (Section 4).
+    Gms,
+    /// Generalized supplementary magic sets (Section 5).
+    Gsms,
+    /// Generalized counting (Section 6).
+    Gc,
+    /// Generalized supplementary counting (Section 7).
+    Gsc,
+    /// Generalized counting followed by the semijoin optimization
+    /// (Sections 6 and 8).
+    GcSemijoin,
+    /// Generalized supplementary counting followed by the semijoin
+    /// optimization (Sections 7 and 8).
+    GscSemijoin,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Adorned => "adorned",
+            Method::Gms => "generalized magic sets",
+            Method::Gsms => "generalized supplementary magic sets",
+            Method::Gc => "generalized counting",
+            Method::Gsc => "generalized supplementary counting",
+            Method::GcSemijoin => "generalized counting + semijoin",
+            Method::GscSemijoin => "generalized supplementary counting + semijoin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The output of a rewrite: a program to evaluate bottom-up plus the
+/// information needed to read the query's answers back out.
+#[derive(Clone, Debug)]
+pub struct RewrittenProgram {
+    /// The rewritten rules, including the seed fact.
+    pub program: Program,
+    /// The seed fact derived from the query (absent when the query has no
+    /// bound arguments).
+    pub seed: Option<Fact>,
+    /// The atom to match against the evaluated database to obtain answers.
+    /// Its variables include the original query's free variables.
+    pub answer_atom: Atom,
+    /// The original query's free variables, in order — the projection of
+    /// [`RewrittenProgram::answer_atom`] matches that defines the answers.
+    pub projection: Vec<Variable>,
+    /// The rewriting method used.
+    pub method: Method,
+}
+
+impl fmt::Display for RewrittenProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "% method: {}", self.method)?;
+        writeln!(f, "% answers: {} projected on {:?}", self.answer_atom, self
+            .projection
+            .iter()
+            .map(Variable::name)
+            .collect::<Vec<_>>())?;
+        write!(f, "{}", self.program)
+    }
+}
+
+/// Errors raised by the rewriting algorithms.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RewriteError {
+    /// The counting methods require every reachable adorned rule head to have
+    /// at least one bound argument and every sip arc tail to include the
+    /// head; the given program/sips do not satisfy this (the paper notes the
+    /// counting methods are of restricted applicability).
+    CountingNotApplicable {
+        /// Why the counting rewrite could not be applied.
+        reason: String,
+    },
+    /// A language-level validation error.
+    Datalog(DatalogError),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::CountingNotApplicable { reason } => {
+                write!(f, "the counting rewrite is not applicable: {reason}")
+            }
+            RewriteError::Datalog(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<DatalogError> for RewriteError {
+    fn from(e: DatalogError) -> Self {
+        RewriteError::Datalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::Gms.to_string(), "generalized magic sets");
+        assert_eq!(
+            Method::GscSemijoin.to_string(),
+            "generalized supplementary counting + semijoin"
+        );
+    }
+
+    #[test]
+    fn rewrite_error_display() {
+        let e = RewriteError::CountingNotApplicable {
+            reason: "head has no bound arguments".into(),
+        };
+        assert!(e.to_string().contains("not applicable"));
+    }
+}

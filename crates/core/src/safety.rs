@@ -1,0 +1,418 @@
+//! Safety analysis (Section 10): does the bottom-up evaluation of a
+//! rewritten program terminate after computing all answers?
+//!
+//! Three results from the paper are implemented:
+//!
+//! * **Theorem 10.2** — the magic-sets rewrites are always safe on Datalog
+//!   programs (no function symbols).
+//! * **Theorem 10.1** — for programs with function symbols, the magic and
+//!   counting rewrites terminate if every cycle of the query's *binding
+//!   graph* has positive length, where the length of an arc is the
+//!   difference between the (symbolic) sizes of the bound arguments of its
+//!   endpoints.
+//! * **Theorem 10.3** — the counting rewrites do *not* terminate when the
+//!   reachable part of the *argument graph* is cyclic (e.g. the nonlinear
+//!   ancestor program), regardless of the data.  (Cyclic *data* is a further
+//!   divergence source that is only detectable at run time; the engine's
+//!   resource limits make it observable.)
+
+use crate::adorn::AdornedProgram;
+use magic_datalog::{Adornment, Symbol, SymbolicLength, Variable};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A node of the binding graph: an adorned predicate.
+pub type BindingNode = (Symbol, Adornment);
+
+/// The binding graph of a query (Section 10): nodes are adorned predicates;
+/// there is an arc from the head of each adorned rule to every derived
+/// literal in its body, labelled with a conservative lower bound on the
+/// difference between the sizes of the bound arguments.
+#[derive(Clone, Debug, Default)]
+pub struct BindingGraph {
+    /// Arcs `(from, to, arc-length lower bound)`; `None` when the length is
+    /// unbounded below.
+    pub arcs: Vec<(BindingNode, BindingNode, Option<i64>)>,
+    /// All nodes.
+    pub nodes: BTreeSet<BindingNode>,
+}
+
+impl BindingGraph {
+    /// Build the binding graph of an adorned program.
+    pub fn build(adorned: &AdornedProgram) -> BindingGraph {
+        let mut graph = BindingGraph::default();
+        for ar in &adorned.rules {
+            let from: BindingNode = (ar.head_base(), ar.head_adornment.clone());
+            graph.nodes.insert(from.clone());
+            let head_len = total_bound_length(
+                &ar.rule.head.bound_terms(&ar.head_adornment)
+                    .iter()
+                    .map(|t| t.symbolic_length())
+                    .collect::<Vec<_>>(),
+            );
+            for (i, atom) in ar.rule.body.iter().enumerate() {
+                let Some(adornment) = &ar.body_adornments[i] else { continue };
+                let to: BindingNode = (atom.pred.base(), adornment.clone());
+                graph.nodes.insert(to.clone());
+                let body_len = total_bound_length(
+                    &atom
+                        .bound_terms(adornment)
+                        .iter()
+                        .map(|t| t.symbolic_length())
+                        .collect::<Vec<_>>(),
+                );
+                let diff = head_len.minus(&body_len);
+                graph
+                    .arcs
+                    .push((from.clone(), to.clone(), diff.lower_bound(&BTreeMap::new())));
+            }
+        }
+        graph
+    }
+
+    /// True iff every cycle of the graph has a provably positive length
+    /// (the hypothesis of Theorem 10.1).
+    pub fn all_cycles_positive(&self) -> bool {
+        // Floyd–Warshall on minimum path lengths; an arc with an unknown
+        // (unbounded-below) length is treated as -∞, conservatively.
+        let nodes: Vec<BindingNode> = self.nodes.iter().cloned().collect();
+        let n = nodes.len();
+        let idx: BTreeMap<BindingNode, usize> = nodes
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        const INF: i64 = i64::MAX / 4;
+        const NEG_INF: i64 = i64::MIN / 4;
+        let mut dist = vec![vec![INF; n]; n];
+        for (from, to, len) in &self.arcs {
+            let (i, j) = (idx[from], idx[to]);
+            let w = len.unwrap_or(NEG_INF);
+            dist[i][j] = dist[i][j].min(w);
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    if dist[i][k] < INF && dist[k][j] < INF {
+                        let through = (dist[i][k] + dist[k][j]).max(NEG_INF);
+                        if through < dist[i][j] {
+                            dist[i][j] = through;
+                        }
+                    }
+                }
+            }
+        }
+        (0..n).all(|i| dist[i][i] == INF || dist[i][i] > 0)
+    }
+}
+
+fn total_bound_length(lengths: &[SymbolicLength]) -> SymbolicLength {
+    lengths
+        .iter()
+        .fold(SymbolicLength::constant(0), |acc, l| acc.plus(l))
+}
+
+/// A node of the argument graph (Theorem 10.3): a bound argument position of
+/// an adorned predicate.
+pub type ArgumentNode = (Symbol, Adornment, usize);
+
+/// The argument graph used to detect counting divergence (Theorem 10.3).
+#[derive(Clone, Debug, Default)]
+pub struct ArgumentGraph {
+    /// Arcs between bound argument positions that share a variable across a
+    /// rule head and a body literal.
+    pub arcs: BTreeSet<(ArgumentNode, ArgumentNode)>,
+    /// All nodes.
+    pub nodes: BTreeSet<ArgumentNode>,
+}
+
+impl ArgumentGraph {
+    /// Build the argument graph of an adorned program.
+    pub fn build(adorned: &AdornedProgram) -> ArgumentGraph {
+        let mut graph = ArgumentGraph::default();
+        for ar in &adorned.rules {
+            let head_base = ar.head_base();
+            for hp in ar.head_adornment.bound_positions() {
+                let head_vars: BTreeSet<Variable> =
+                    ar.rule.head.terms[hp].vars().into_iter().collect();
+                let from: ArgumentNode = (head_base, ar.head_adornment.clone(), hp);
+                graph.nodes.insert(from.clone());
+                for (i, atom) in ar.rule.body.iter().enumerate() {
+                    let Some(adornment) = &ar.body_adornments[i] else { continue };
+                    for bp in adornment.bound_positions() {
+                        let body_vars: BTreeSet<Variable> =
+                            atom.terms[bp].vars().into_iter().collect();
+                        if head_vars.intersection(&body_vars).next().is_some() {
+                            let to: ArgumentNode = (atom.pred.base(), adornment.clone(), bp);
+                            graph.nodes.insert(to.clone());
+                            graph.arcs.insert((from.clone(), to));
+                        }
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    /// True iff the part of the graph reachable from the query's bound
+    /// argument positions contains a cycle.
+    pub fn reachable_part_is_cyclic(&self, adorned: &AdornedProgram) -> bool {
+        let roots: Vec<ArgumentNode> = adorned
+            .query_adornment
+            .bound_positions()
+            .into_iter()
+            .map(|p| (adorned.query_pred, adorned.query_adornment.clone(), p))
+            .collect();
+        // Reachable set.
+        let mut reachable: BTreeSet<ArgumentNode> = BTreeSet::new();
+        let mut stack = roots;
+        while let Some(node) = stack.pop() {
+            if reachable.insert(node.clone()) {
+                for (from, to) in &self.arcs {
+                    if from == &node && !reachable.contains(to) {
+                        stack.push(to.clone());
+                    }
+                }
+            }
+        }
+        // Cycle detection within the reachable sub-graph (DFS colouring).
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let nodes: Vec<ArgumentNode> = reachable.iter().cloned().collect();
+        let idx: BTreeMap<ArgumentNode, usize> = nodes
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        let succs: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|node| {
+                self.arcs
+                    .iter()
+                    .filter(|(from, to)| from == node && reachable.contains(to))
+                    .filter_map(|(_, to)| idx.get(to).copied())
+                    .collect()
+            })
+            .collect();
+        let mut colour = vec![Colour::White; nodes.len()];
+        fn dfs(v: usize, succs: &[Vec<usize>], colour: &mut [Colour]) -> bool {
+            colour[v] = Colour::Grey;
+            for &w in &succs[v] {
+                match colour[w] {
+                    Colour::Grey => return true,
+                    Colour::White => {
+                        if dfs(w, succs, colour) {
+                            return true;
+                        }
+                    }
+                    Colour::Black => {}
+                }
+            }
+            colour[v] = Colour::Black;
+            false
+        }
+        (0..nodes.len()).any(|v| colour[v] == Colour::White && dfs(v, &succs, &mut colour))
+    }
+}
+
+/// The verdict of the safety analysis for the magic-sets rewrites.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MagicSafety {
+    /// The program is Datalog: safe by Theorem 10.2.
+    SafeDatalog,
+    /// Every binding-graph cycle has positive length: safe by Theorem 10.1.
+    SafePositiveCycles,
+    /// Safety could not be established statically (evaluation may still
+    /// terminate; Corollary 9.2 says it does whenever *any* sip strategy is
+    /// safe for the program).
+    Unknown,
+}
+
+impl fmt::Display for MagicSafety {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MagicSafety::SafeDatalog => write!(f, "safe (Datalog, Theorem 10.2)"),
+            MagicSafety::SafePositiveCycles => {
+                write!(f, "safe (positive binding-graph cycles, Theorem 10.1)")
+            }
+            MagicSafety::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// The verdict of the safety analysis for the counting rewrites.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CountingSafety {
+    /// The reachable argument graph is cyclic: counting will not terminate
+    /// (Theorem 10.3).
+    NonTerminating,
+    /// Statically plausible; may still diverge on cyclic data.
+    MayTerminate,
+}
+
+impl fmt::Display for CountingSafety {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountingSafety::NonTerminating => {
+                write!(f, "non-terminating (cyclic argument graph, Theorem 10.3)")
+            }
+            CountingSafety::MayTerminate => write!(f, "may terminate (acyclic argument graph)"),
+        }
+    }
+}
+
+/// Analyse the safety of the magic-sets rewrites for an adorned program.
+pub fn magic_safety(adorned: &AdornedProgram) -> MagicSafety {
+    let program = adorned.to_program();
+    let plain_is_datalog = program.is_datalog();
+    if plain_is_datalog {
+        return MagicSafety::SafeDatalog;
+    }
+    if BindingGraph::build(adorned).all_cycles_positive() {
+        return MagicSafety::SafePositiveCycles;
+    }
+    MagicSafety::Unknown
+}
+
+/// Analyse the safety of the counting rewrites for an adorned program.
+pub fn counting_safety(adorned: &AdornedProgram) -> CountingSafety {
+    let graph = ArgumentGraph::build(adorned);
+    if adorned.to_program().is_datalog() && graph.reachable_part_is_cyclic(adorned) {
+        CountingSafety::NonTerminating
+    } else {
+        CountingSafety::MayTerminate
+    }
+}
+
+/// A combined safety report, suitable for display.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SafetyReport {
+    /// Verdict for the magic-sets rewrites.
+    pub magic: MagicSafety,
+    /// Verdict for the counting rewrites.
+    pub counting: CountingSafety,
+}
+
+/// Analyse both families of rewrites at once.
+pub fn analyze(adorned: &AdornedProgram) -> SafetyReport {
+    SafetyReport {
+        magic: magic_safety(adorned),
+        counting: counting_safety(adorned),
+    }
+}
+
+impl fmt::Display for SafetyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "magic: {}; counting: {}", self.magic, self.counting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adorn::adorn;
+    use crate::sip_builder::SipStrategy;
+    use magic_datalog::{parse_program, parse_query};
+
+    fn adorned(src: &str, query: &str) -> AdornedProgram {
+        let program = parse_program(src).unwrap();
+        let query = parse_query(query).unwrap();
+        adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap()
+    }
+
+    #[test]
+    fn datalog_programs_are_safe_for_magic() {
+        let a = adorned(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+            "anc(john, Y)",
+        );
+        assert_eq!(magic_safety(&a), MagicSafety::SafeDatalog);
+    }
+
+    #[test]
+    fn list_reverse_is_safe_by_positive_cycles() {
+        // Every recursive call strictly decreases the bound argument's size
+        // (|[V|X]| > |X|), so all binding-graph cycles are positive.
+        let a = adorned(
+            "append(V, [], [V]) :- .
+             append(V, [W | X], [W | Y]) :- append(V, X, Y).
+             reverse([], []) :- .
+             reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).",
+            "reverse(list, Y)",
+        );
+        assert_eq!(magic_safety(&a), MagicSafety::SafePositiveCycles);
+        let graph = BindingGraph::build(&a);
+        assert!(graph.all_cycles_positive());
+        assert!(!graph.arcs.is_empty());
+    }
+
+    #[test]
+    fn growing_recursion_is_not_provably_safe() {
+        // The bound argument grows through the recursion: the binding-graph
+        // cycle has negative length and magic-set evaluation would diverge.
+        let a = adorned(
+            "grow(X, Y) :- base(X, Y).
+             grow(X, Y) :- grow([a | X], Y).",
+            "grow([], Y)",
+        );
+        assert_eq!(magic_safety(&a), MagicSafety::Unknown);
+    }
+
+    #[test]
+    fn nonlinear_ancestor_counting_diverges() {
+        // Appendix A.5.2 / Theorem 10.3: the argument graph has a cycle on
+        // the first argument of a^bf through the rule a(X,Y) :- a(X,Z), a(Z,Y).
+        let a = adorned(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- a(X, Z), a(Z, Y).",
+            "a(john, Y)",
+        );
+        assert_eq!(counting_safety(&a), CountingSafety::NonTerminating);
+        // Magic sets remain safe on the same program (it is Datalog).
+        assert_eq!(magic_safety(&a), MagicSafety::SafeDatalog);
+    }
+
+    #[test]
+    fn linear_ancestor_counting_may_terminate() {
+        let a = adorned(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- p(X, Z), a(Z, Y).",
+            "a(john, Y)",
+        );
+        assert_eq!(counting_safety(&a), CountingSafety::MayTerminate);
+        let report = analyze(&a);
+        assert_eq!(report.magic, MagicSafety::SafeDatalog);
+        assert!(report.to_string().contains("safe"));
+    }
+
+    #[test]
+    fn same_generation_counting_may_terminate() {
+        let a = adorned(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+            "sg(john, Y)",
+        );
+        assert_eq!(counting_safety(&a), CountingSafety::MayTerminate);
+    }
+
+    #[test]
+    fn argument_graph_structure() {
+        let a = adorned(
+            "a(X, Y) :- p(X, Y).
+             a(X, Y) :- a(X, Z), a(Z, Y).",
+            "a(john, Y)",
+        );
+        let g = ArgumentGraph::build(&a);
+        // The bound position of a^bf maps to itself through the first body
+        // literal a(X, Z).
+        let node: ArgumentNode = (Symbol::new("a"), "bf".parse().unwrap(), 0);
+        assert!(g.arcs.contains(&(node.clone(), node)));
+    }
+}

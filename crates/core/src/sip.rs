@@ -1,0 +1,529 @@
+//! Sideways information passing strategies (sips), Section 2 of the paper.
+//!
+//! A sip for a rule is a labelled graph whose nodes are the special head
+//! node `p_h` (the head predicate restricted to its bound arguments) and the
+//! body predicate occurrences, and whose arcs `N →_χ q` say: *the join of the
+//! predicates in N produces bindings for the variables χ, which are passed to
+//! the occurrence q*.
+
+use magic_datalog::{Adornment, Rule, Variable};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A node of a sip graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SipNode {
+    /// The special node `p_h`: the rule head restricted to its bound
+    /// arguments.
+    Head,
+    /// The body predicate occurrence with the given index (0-based position
+    /// in the rule body).
+    Body(usize),
+}
+
+impl fmt::Display for SipNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SipNode::Head => write!(f, "head"),
+            SipNode::Body(i) => write!(f, "body[{i}]"),
+        }
+    }
+}
+
+/// An arc `N →_χ q` of a sip.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SipArc {
+    /// The tail set `N`.
+    pub tail: BTreeSet<SipNode>,
+    /// The target body occurrence `q` (index into the rule body).
+    pub target: usize,
+    /// The label `χ`: the variables whose bindings are passed.
+    pub label: BTreeSet<Variable>,
+}
+
+/// Errors raised by sip validation (conditions (1)–(3) of Section 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SipError {
+    /// An arc target is not a body occurrence of the rule.
+    TargetOutOfRange {
+        /// The offending target index.
+        target: usize,
+    },
+    /// A tail node is not a body occurrence of the rule.
+    TailOutOfRange {
+        /// The offending node.
+        node: usize,
+    },
+    /// Condition (2)(i): a label variable does not appear in the tail.
+    LabelVariableNotInTail {
+        /// The variable.
+        variable: String,
+        /// The arc target.
+        target: usize,
+    },
+    /// Condition (2)(ii): a tail member is not connected to any label
+    /// variable (within the rule's variable-connection relation).
+    TailMemberNotConnected {
+        /// The offending node.
+        node: SipNode,
+        /// The arc target.
+        target: usize,
+    },
+    /// Condition (2)(iii): a label variable does not appear in any argument
+    /// of the target that is fully covered by the label.
+    LabelVariableNotCovering {
+        /// The variable.
+        variable: String,
+        /// The arc target.
+        target: usize,
+    },
+    /// Condition (3): the precedence relation induced by the sip is cyclic.
+    CyclicPrecedence,
+}
+
+impl fmt::Display for SipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SipError::TargetOutOfRange { target } => {
+                write!(f, "sip arc target {target} is out of range")
+            }
+            SipError::TailOutOfRange { node } => {
+                write!(f, "sip tail node {node} is out of range")
+            }
+            SipError::LabelVariableNotInTail { variable, target } => write!(
+                f,
+                "label variable {variable} of the arc into body[{target}] does not appear in the arc's tail"
+            ),
+            SipError::TailMemberNotConnected { node, target } => write!(
+                f,
+                "tail member {node} of the arc into body[{target}] is not connected to any label variable"
+            ),
+            SipError::LabelVariableNotCovering { variable, target } => write!(
+                f,
+                "label variable {variable} does not cover any argument of body[{target}]"
+            ),
+            SipError::CyclicPrecedence => {
+                write!(f, "the precedence relation induced by the sip is cyclic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SipError {}
+
+/// A sip for one rule under one head adornment.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Sip {
+    /// The arcs of the sip.
+    pub arcs: Vec<SipArc>,
+}
+
+impl Sip {
+    /// A sip with no arcs: no information is passed sideways (every body
+    /// literal is evaluated with all arguments free).
+    pub fn empty() -> Sip {
+        Sip { arcs: Vec::new() }
+    }
+
+    /// The arcs entering body occurrence `target`.
+    pub fn arcs_into(&self, target: usize) -> Vec<&SipArc> {
+        self.arcs.iter().filter(|a| a.target == target).collect()
+    }
+
+    /// The union of the labels of all arcs entering `target` — the variable
+    /// set χ used to adorn the occurrence (Section 3).
+    pub fn passed_vars(&self, target: usize) -> BTreeSet<Variable> {
+        self.arcs_into(target)
+            .into_iter()
+            .flat_map(|a| a.label.iter().copied())
+            .collect()
+    }
+
+    /// True iff some arc enters `target`.
+    pub fn has_arc_into(&self, target: usize) -> bool {
+        self.arcs.iter().any(|a| a.target == target)
+    }
+
+    /// The body occurrence indices that receive at least one arc.
+    pub fn targets(&self) -> BTreeSet<usize> {
+        self.arcs.iter().map(|a| a.target).collect()
+    }
+
+    /// A total evaluation order of the body occurrences consistent with the
+    /// sip's precedence relation (condition (3')): occurrences appearing in
+    /// the sip come first, in an order where every tail member precedes the
+    /// arc's target, and occurrences not in the sip follow, in textual order.
+    pub fn total_order(&self, body_len: usize) -> Result<Vec<usize>, SipError> {
+        // Precedence edges between body occurrences.
+        let mut preds: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+        let mut in_sip: BTreeSet<usize> = BTreeSet::new();
+        for arc in &self.arcs {
+            in_sip.insert(arc.target);
+            for node in &arc.tail {
+                if let SipNode::Body(j) = node {
+                    in_sip.insert(*j);
+                    preds.entry(arc.target).or_default().insert(*j);
+                }
+            }
+        }
+        // Kahn's algorithm over the occurrences that appear in the sip,
+        // breaking ties by textual position for determinism.
+        let mut order = Vec::with_capacity(body_len);
+        let mut placed: BTreeSet<usize> = BTreeSet::new();
+        while placed.len() < in_sip.len() {
+            let next = in_sip
+                .iter()
+                .copied()
+                .find(|i| {
+                    !placed.contains(i)
+                        && preds
+                            .get(i)
+                            .map(|ps| ps.iter().all(|p| placed.contains(p)))
+                            .unwrap_or(true)
+                })
+                .ok_or(SipError::CyclicPrecedence)?;
+            placed.insert(next);
+            order.push(next);
+        }
+        for i in 0..body_len {
+            if !in_sip.contains(&i) {
+                order.push(i);
+            }
+        }
+        Ok(order)
+    }
+
+    /// Validate the sip against its rule and head adornment (conditions
+    /// (1)–(3) of Section 2).
+    pub fn validate(&self, rule: &Rule, head_adornment: &Adornment) -> Result<(), SipError> {
+        let head_bound_vars: BTreeSet<Variable> = head_adornment
+            .bound_positions()
+            .into_iter()
+            .flat_map(|p| rule.head.terms[p].vars())
+            .collect();
+        // The connectivity relation on variables within the rule.
+        let connected = connected_variables(rule);
+        for arc in &self.arcs {
+            if arc.target >= rule.body.len() {
+                return Err(SipError::TargetOutOfRange { target: arc.target });
+            }
+            // Variables available in the tail.
+            let mut tail_vars: BTreeSet<Variable> = BTreeSet::new();
+            for node in &arc.tail {
+                match node {
+                    SipNode::Head => tail_vars.extend(head_bound_vars.iter().copied()),
+                    SipNode::Body(j) => {
+                        if *j >= rule.body.len() {
+                            return Err(SipError::TailOutOfRange { node: *j });
+                        }
+                        tail_vars.extend(rule.body[*j].vars());
+                    }
+                }
+            }
+            // (2)(i) every label variable appears in the tail.
+            for v in &arc.label {
+                if !tail_vars.contains(v) {
+                    return Err(SipError::LabelVariableNotInTail {
+                        variable: v.name().to_string(),
+                        target: arc.target,
+                    });
+                }
+            }
+            // (2)(ii) every tail member is connected to a label variable.
+            for node in &arc.tail {
+                let member_vars: BTreeSet<Variable> = match node {
+                    SipNode::Head => head_bound_vars.clone(),
+                    SipNode::Body(j) => rule.body[*j].vars().into_iter().collect(),
+                };
+                let ok = member_vars.iter().any(|mv| {
+                    arc.label.iter().any(|lv| {
+                        mv == lv
+                            || connected
+                                .get(mv)
+                                .map(|s| s.contains(lv))
+                                .unwrap_or(false)
+                    })
+                });
+                if !ok && !arc.label.is_empty() {
+                    return Err(SipError::TailMemberNotConnected {
+                        node: *node,
+                        target: arc.target,
+                    });
+                }
+            }
+            // (2)(iii) every label variable appears in some argument of the
+            // target all of whose variables are labelled.
+            let target_atom = &rule.body[arc.target];
+            for v in &arc.label {
+                let covers = target_atom.terms.iter().any(|t| {
+                    let vars = t.vars();
+                    !vars.is_empty()
+                        && vars.contains(v)
+                        && vars.iter().all(|tv| arc.label.contains(tv))
+                });
+                if !covers {
+                    return Err(SipError::LabelVariableNotCovering {
+                        variable: v.name().to_string(),
+                        target: arc.target,
+                    });
+                }
+            }
+        }
+        // (3) acyclicity of the induced precedence relation.
+        self.total_order(rule.body.len())?;
+        Ok(())
+    }
+
+    /// Sip containment (Section 2.1): `self ⊆ other` iff for every arc
+    /// `N →_χ q` of `self` there is an arc `N' →_χ' q` of `other` with
+    /// `N ⊆ N'` and `χ ⊆ χ'`.
+    pub fn contained_in(&self, other: &Sip) -> bool {
+        self.arcs.iter().all(|a| {
+            other.arcs.iter().any(|b| {
+                b.target == a.target
+                    && a.tail.is_subset(&b.tail)
+                    && a.label.is_subset(&b.label)
+            })
+        })
+    }
+
+    /// True iff `self` is a *partial* sip relative to `other`: it is
+    /// contained in `other` and the containment is proper.
+    pub fn partial_of(&self, other: &Sip) -> bool {
+        self.contained_in(other) && !other.contained_in(self)
+    }
+}
+
+impl fmt::Display for Sip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, arc) in self.arcs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{{")?;
+            for (j, node) in arc.tail.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{node}")?;
+            }
+            write!(f, "}} -")?;
+            for (j, v) in arc.label.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "-> body[{}]", arc.target)?;
+        }
+        Ok(())
+    }
+}
+
+/// The symmetric, transitive "connected" relation on the variables of a rule
+/// (Section 1.1): two variables are connected if they occur in the same
+/// predicate occurrence, extended through chains.
+fn connected_variables(rule: &Rule) -> BTreeMap<Variable, BTreeSet<Variable>> {
+    let mut adjacency: BTreeMap<Variable, BTreeSet<Variable>> = BTreeMap::new();
+    let mut note_group = |vars: Vec<Variable>| {
+        for a in &vars {
+            for b in &vars {
+                if a != b {
+                    adjacency.entry(*a).or_default().insert(*b);
+                }
+            }
+            adjacency.entry(*a).or_default();
+        }
+    };
+    note_group(rule.head.vars());
+    for atom in &rule.body {
+        note_group(atom.vars());
+    }
+    // Transitive closure by BFS from each variable (rules are tiny).
+    let vars: Vec<Variable> = adjacency.keys().copied().collect();
+    let mut closure: BTreeMap<Variable, BTreeSet<Variable>> = BTreeMap::new();
+    for &v in &vars {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            if seen.insert(x) {
+                if let Some(next) = adjacency.get(&x) {
+                    stack.extend(next.iter().copied().filter(|n| !seen.contains(n)));
+                }
+            }
+        }
+        seen.remove(&v);
+        closure.insert(v, seen);
+    }
+    closure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::parse_rule;
+
+    fn vset(names: &[&str]) -> BTreeSet<Variable> {
+        names.iter().map(|n| Variable::new(n)).collect()
+    }
+
+    fn sg_rule() -> Rule {
+        parse_rule("sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).")
+            .unwrap()
+    }
+
+    /// The full sip (I)/(IV) of Example 1 for the nonlinear same-generation
+    /// rule under the `bf` head adornment.
+    fn full_sip() -> Sip {
+        Sip {
+            arcs: vec![
+                SipArc {
+                    tail: [SipNode::Head, SipNode::Body(0)].into_iter().collect(),
+                    target: 1,
+                    label: vset(&["Z1"]),
+                },
+                SipArc {
+                    tail: [
+                        SipNode::Head,
+                        SipNode::Body(0),
+                        SipNode::Body(1),
+                        SipNode::Body(2),
+                    ]
+                    .into_iter()
+                    .collect(),
+                    target: 3,
+                    label: vset(&["Z3"]),
+                },
+            ],
+        }
+    }
+
+    /// The partial sip (II)/(V) of Example 1.
+    fn partial_sip() -> Sip {
+        Sip {
+            arcs: vec![
+                SipArc {
+                    tail: [SipNode::Head, SipNode::Body(0)].into_iter().collect(),
+                    target: 1,
+                    label: vset(&["Z1"]),
+                },
+                SipArc {
+                    tail: [SipNode::Body(1), SipNode::Body(2)].into_iter().collect(),
+                    target: 3,
+                    label: vset(&["Z3"]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn example_sips_validate() {
+        let rule = sg_rule();
+        let bf: Adornment = "bf".parse().unwrap();
+        assert_eq!(full_sip().validate(&rule, &bf), Ok(()));
+        assert_eq!(partial_sip().validate(&rule, &bf), Ok(()));
+    }
+
+    #[test]
+    fn containment_classifies_partial_sips() {
+        assert!(partial_sip().contained_in(&full_sip()));
+        assert!(!full_sip().contained_in(&partial_sip()));
+        assert!(partial_sip().partial_of(&full_sip()));
+        assert!(!full_sip().partial_of(&partial_sip()));
+        assert!(full_sip().contained_in(&full_sip()));
+    }
+
+    #[test]
+    fn condition_2i_label_not_in_tail() {
+        let rule = sg_rule();
+        let bf: Adornment = "bf".parse().unwrap();
+        let bad = Sip {
+            arcs: vec![SipArc {
+                tail: [SipNode::Head].into_iter().collect(),
+                target: 1,
+                label: vset(&["Z1"]), // Z1 does not appear in the head
+            }],
+        };
+        assert!(matches!(
+            bad.validate(&rule, &bf),
+            Err(SipError::LabelVariableNotInTail { .. })
+        ));
+    }
+
+    #[test]
+    fn condition_2iii_label_must_cover_an_argument() {
+        // sg(X, Y) :- up(X, Z1), pair(Z1, Z2, W), ...  label {Z1} into an
+        // atom whose arguments are f(Z1, W) and Y: Z1 does not cover any
+        // argument alone.
+        let rule = parse_rule("p(X, Y) :- up(X, Z1), q(f(Z1, W), Y).").unwrap();
+        let bf: Adornment = "bf".parse().unwrap();
+        let bad = Sip {
+            arcs: vec![SipArc {
+                tail: [SipNode::Head, SipNode::Body(0)].into_iter().collect(),
+                target: 1,
+                label: vset(&["Z1"]),
+            }],
+        };
+        assert!(matches!(
+            bad.validate(&rule, &bf),
+            Err(SipError::LabelVariableNotCovering { .. })
+        ));
+    }
+
+    #[test]
+    fn condition_3_cyclic_precedence_rejected() {
+        let rule = parse_rule("p(X) :- q(X, Y), r(Y, X).").unwrap();
+        let b: Adornment = "b".parse().unwrap();
+        // q assumes Y is bound by r, r assumes X is bound by q: cyclic.
+        let bad = Sip {
+            arcs: vec![
+                SipArc {
+                    tail: [SipNode::Body(1)].into_iter().collect(),
+                    target: 0,
+                    label: vset(&["Y"]),
+                },
+                SipArc {
+                    tail: [SipNode::Body(0)].into_iter().collect(),
+                    target: 1,
+                    label: vset(&["X", "Y"]),
+                },
+            ],
+        };
+        assert_eq!(bad.validate(&rule, &b), Err(SipError::CyclicPrecedence));
+    }
+
+    #[test]
+    fn total_order_respects_precedence() {
+        let order = full_sip().total_order(5).unwrap();
+        assert_eq!(order.len(), 5);
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(2) < pos(3));
+        // Occurrence 4 (down) is not in the sip and comes last.
+        assert_eq!(order[4], 4);
+    }
+
+    #[test]
+    fn passed_vars_unions_arc_labels() {
+        let sip = full_sip();
+        assert_eq!(sip.passed_vars(1), vset(&["Z1"]));
+        assert_eq!(sip.passed_vars(3), vset(&["Z3"]));
+        assert!(sip.passed_vars(0).is_empty());
+        assert!(sip.has_arc_into(3));
+        assert!(!sip.has_arc_into(4));
+        assert_eq!(sip.targets(), [1, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn empty_sip_is_contained_in_everything() {
+        assert!(Sip::empty().contained_in(&full_sip()));
+        assert!(Sip::empty().validate(&sg_rule(), &"bf".parse().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = full_sip().to_string();
+        assert!(s.contains("head"));
+        assert!(s.contains("body[1]"));
+    }
+}

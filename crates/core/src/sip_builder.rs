@@ -1,0 +1,257 @@
+//! Built-in sip construction strategies.
+//!
+//! The paper leaves the *choice* of sip open; these builders produce the
+//! standard choices used in its examples:
+//!
+//! * [`SipStrategy::FullLeftToRight`] — the full, compressed sip (I)/(IV) of
+//!   Example 1: body literals are taken in textual order, and every arc
+//!   carries all bindings established so far (head plus all preceding
+//!   literals).
+//! * [`SipStrategy::LeftToRightLastOnly`] — the partial sip (II)/(V): only
+//!   the most recently solved derived literal (or the head) together with the
+//!   base literals solved since then feed each arc, so "past" information is
+//!   not carried along.
+//! * [`SipStrategy::Empty`] — no sideways information passing at all; the
+//!   rewrites degenerate to (roughly) the original program.
+
+use crate::sip::{Sip, SipArc, SipNode};
+use magic_datalog::{Adornment, PredName, Rule, Variable};
+use std::collections::BTreeSet;
+
+/// A strategy for choosing a sip for each (rule, head adornment) pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SipStrategy {
+    /// Full left-to-right compressed sips (the default throughout the paper's
+    /// examples).
+    #[default]
+    FullLeftToRight,
+    /// Partial left-to-right sips that forget "past" information (Example 1,
+    /// sip (II)).
+    LeftToRightLastOnly,
+    /// No information passing.
+    Empty,
+}
+
+impl SipStrategy {
+    /// Build the sip for `rule` when invoked with head adornment
+    /// `head_adornment`.  `derived` is the set of derived predicates of the
+    /// program; arcs are only generated into derived body occurrences (the
+    /// paper's generalized notation — bindings to base predicates are used as
+    /// selections by the evaluator and need no arcs).
+    pub fn build(
+        &self,
+        rule: &Rule,
+        head_adornment: &Adornment,
+        derived: &BTreeSet<PredName>,
+    ) -> Sip {
+        match self {
+            SipStrategy::Empty => Sip::empty(),
+            SipStrategy::FullLeftToRight => build_left_to_right(rule, head_adornment, derived, true),
+            SipStrategy::LeftToRightLastOnly => {
+                build_left_to_right(rule, head_adornment, derived, false)
+            }
+        }
+    }
+}
+
+fn head_bound_vars(rule: &Rule, head_adornment: &Adornment) -> BTreeSet<Variable> {
+    head_adornment
+        .bound_positions()
+        .into_iter()
+        .flat_map(|p| rule.head.terms[p].vars())
+        .collect()
+}
+
+/// The label of an arc into `target`: the variables of `available` that occur
+/// in an argument of the target atom all of whose variables are available
+/// (condition (2)(iii)).
+fn covering_label(
+    rule: &Rule,
+    target: usize,
+    available: &BTreeSet<Variable>,
+) -> BTreeSet<Variable> {
+    let mut label = BTreeSet::new();
+    for term in &rule.body[target].terms {
+        let vars = term.vars();
+        if !vars.is_empty() && vars.iter().all(|v| available.contains(v)) {
+            label.extend(vars);
+        }
+    }
+    label
+}
+
+fn build_left_to_right(
+    rule: &Rule,
+    head_adornment: &Adornment,
+    derived: &BTreeSet<PredName>,
+    full: bool,
+) -> Sip {
+    let head_vars = head_bound_vars(rule, head_adornment);
+    let mut arcs = Vec::new();
+
+    // State for the "full" variant: everything bound so far.
+    let mut bound: BTreeSet<Variable> = head_vars.clone();
+    let mut solved: Vec<SipNode> = if head_vars.is_empty() {
+        Vec::new()
+    } else {
+        vec![SipNode::Head]
+    };
+
+    // State for the "last only" variant: the most recent derived (or head)
+    // node and the base literals solved since then, with their variables.
+    let mut recent_nodes: Vec<SipNode> = solved.clone();
+    let mut recent_vars: BTreeSet<Variable> = head_vars;
+
+    for (i, atom) in rule.body.iter().enumerate() {
+        let is_derived = derived.contains(&atom.pred);
+        if is_derived {
+            let (available, tail_nodes): (&BTreeSet<Variable>, &Vec<SipNode>) = if full {
+                (&bound, &solved)
+            } else {
+                (&recent_vars, &recent_nodes)
+            };
+            let label = covering_label(rule, i, available);
+            if !label.is_empty() {
+                // Condition (2)(ii): keep only tail members connected to a
+                // label variable through the rule's variable-connection
+                // relation; with condition (C) every member qualifies, so we
+                // simply keep every solved node that shares at least one
+                // variable with the rule (i.e. all of them).
+                let tail: BTreeSet<SipNode> = tail_nodes.iter().copied().collect();
+                arcs.push(SipArc {
+                    tail,
+                    target: i,
+                    label,
+                });
+            }
+        }
+        // After this literal is solved, its variables become available.
+        let atom_vars: BTreeSet<Variable> = atom.vars().into_iter().collect();
+        bound.extend(atom_vars.iter().copied());
+        solved.push(SipNode::Body(i));
+        if is_derived {
+            // A derived literal resets the "recent" window.
+            recent_nodes = vec![SipNode::Body(i)];
+            recent_vars = atom_vars;
+        } else {
+            recent_nodes.push(SipNode::Body(i));
+            recent_vars.extend(atom_vars);
+        }
+    }
+    Sip { arcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::parse_rule;
+
+    fn derived_sg() -> BTreeSet<PredName> {
+        [PredName::plain("sg")].into_iter().collect()
+    }
+
+    fn sg_rule() -> Rule {
+        parse_rule("sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).")
+            .unwrap()
+    }
+
+    #[test]
+    fn full_sip_matches_example_1_sip_iv() {
+        let bf: Adornment = "bf".parse().unwrap();
+        let sip = SipStrategy::FullLeftToRight.build(&sg_rule(), &bf, &derived_sg());
+        assert!(sip.validate(&sg_rule(), &bf).is_ok());
+        assert_eq!(sip.arcs.len(), 2);
+        // Arc into sg.1 (occurrence 1): tail {head, up}, label {Z1}.
+        let a0 = &sip.arcs[0];
+        assert_eq!(a0.target, 1);
+        assert_eq!(
+            a0.tail,
+            [SipNode::Head, SipNode::Body(0)].into_iter().collect()
+        );
+        assert_eq!(a0.label, [Variable::new("Z1")].into_iter().collect());
+        // Arc into sg.2 (occurrence 3): tail {head, up, sg.1, flat}, label {Z3}.
+        let a1 = &sip.arcs[1];
+        assert_eq!(a1.target, 3);
+        assert_eq!(
+            a1.tail,
+            [
+                SipNode::Head,
+                SipNode::Body(0),
+                SipNode::Body(1),
+                SipNode::Body(2)
+            ]
+            .into_iter()
+            .collect()
+        );
+        assert_eq!(a1.label, [Variable::new("Z3")].into_iter().collect());
+    }
+
+    #[test]
+    fn partial_sip_matches_example_1_sip_v() {
+        let bf: Adornment = "bf".parse().unwrap();
+        let sip = SipStrategy::LeftToRightLastOnly.build(&sg_rule(), &bf, &derived_sg());
+        assert!(sip.validate(&sg_rule(), &bf).is_ok());
+        assert_eq!(sip.arcs.len(), 2);
+        // Arc into sg.2: tail {sg.1, flat}, label {Z3} (the head and up are
+        // forgotten).
+        let a1 = &sip.arcs[1];
+        assert_eq!(a1.target, 3);
+        assert_eq!(
+            a1.tail,
+            [SipNode::Body(1), SipNode::Body(2)].into_iter().collect()
+        );
+        // The partial sip is properly contained in the full sip (Lemma 9.3's
+        // hypothesis).
+        let full = SipStrategy::FullLeftToRight.build(&sg_rule(), &bf, &derived_sg());
+        assert!(sip.partial_of(&full));
+    }
+
+    #[test]
+    fn empty_strategy_builds_no_arcs() {
+        let bf: Adornment = "bf".parse().unwrap();
+        let sip = SipStrategy::Empty.build(&sg_rule(), &bf, &derived_sg());
+        assert!(sip.arcs.is_empty());
+    }
+
+    #[test]
+    fn free_head_adornment_can_still_pass_from_base_literals() {
+        // With an all-free head, bindings can only originate from base
+        // literals solved with all arguments free; the full strategy still
+        // produces arcs into later derived literals.
+        let ff: Adornment = "ff".parse().unwrap();
+        let sip = SipStrategy::FullLeftToRight.build(&sg_rule(), &ff, &derived_sg());
+        assert!(sip.validate(&sg_rule(), &ff).is_ok());
+        // up(X, Z1) binds Z1, so sg.1 still receives an arc whose tail does
+        // not include the head.
+        let arcs1 = sip.arcs_into(1);
+        assert_eq!(arcs1.len(), 1);
+        assert!(!arcs1[0].tail.contains(&SipNode::Head));
+    }
+
+    #[test]
+    fn ancestor_rule_full_sip() {
+        let rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).").unwrap();
+        let derived: BTreeSet<PredName> = [PredName::plain("anc")].into_iter().collect();
+        let bf: Adornment = "bf".parse().unwrap();
+        let sip = SipStrategy::FullLeftToRight.build(&rule, &bf, &derived);
+        assert_eq!(sip.arcs.len(), 1);
+        assert_eq!(sip.arcs[0].target, 1);
+        assert_eq!(
+            sip.arcs[0].label,
+            [Variable::new("Z")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn bound_bound_head_binds_everything() {
+        let rule = parse_rule("append(V, W, Y) :- append(V, W, Y2), glue(Y2, Y).").unwrap();
+        let derived: BTreeSet<PredName> = [PredName::plain("append")].into_iter().collect();
+        let bb_f: Adornment = "bbf".parse().unwrap();
+        let sip = SipStrategy::FullLeftToRight.build(&rule, &bb_f, &derived);
+        assert_eq!(sip.arcs.len(), 1);
+        assert_eq!(
+            sip.arcs[0].label,
+            [Variable::new("V"), Variable::new("W")].into_iter().collect()
+        );
+    }
+}

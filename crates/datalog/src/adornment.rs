@@ -1,0 +1,191 @@
+//! Adornments: bound/free annotations on predicate argument positions
+//! (Section 3 of the paper).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A single argument position annotation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Binding {
+    /// The argument is bound (all its variables are bound).
+    Bound,
+    /// The argument is free (at least one of its variables is free).
+    Free,
+}
+
+impl Binding {
+    /// `true` for [`Binding::Bound`].
+    pub fn is_bound(self) -> bool {
+        matches!(self, Binding::Bound)
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Binding::Bound => write!(f, "b"),
+            Binding::Free => write!(f, "f"),
+        }
+    }
+}
+
+/// An adornment for an `n`-ary predicate: a string of `b`/`f` of length `n`
+/// (Section 3).  `p^bf` denotes "first argument bound, second free".
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default)]
+pub struct Adornment(Vec<Binding>);
+
+impl Adornment {
+    /// Build an adornment from explicit bindings.
+    pub fn new(bindings: Vec<Binding>) -> Adornment {
+        Adornment(bindings)
+    }
+
+    /// An all-free adornment of the given arity.
+    pub fn all_free(arity: usize) -> Adornment {
+        Adornment(vec![Binding::Free; arity])
+    }
+
+    /// An all-bound adornment of the given arity.
+    pub fn all_bound(arity: usize) -> Adornment {
+        Adornment(vec![Binding::Bound; arity])
+    }
+
+    /// Build an adornment from the set of bound positions.
+    pub fn from_bound_positions(arity: usize, bound: &[usize]) -> Adornment {
+        let mut v = vec![Binding::Free; arity];
+        for &i in bound {
+            v[i] = Binding::Bound;
+        }
+        Adornment(v)
+    }
+
+    /// The arity of the adorned predicate.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The binding at position `i`.
+    pub fn get(&self, i: usize) -> Binding {
+        self.0[i]
+    }
+
+    /// Iterate over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = Binding> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Indices of the bound positions, in order.
+    pub fn bound_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.is_bound().then_some(i))
+            .collect()
+    }
+
+    /// Indices of the free positions, in order.
+    pub fn free_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| (!b.is_bound()).then_some(i))
+            .collect()
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|b| b.is_bound()).count()
+    }
+
+    /// True iff every position is free.
+    pub fn is_all_free(&self) -> bool {
+        self.0.iter().all(|b| !b.is_bound())
+    }
+
+    /// True iff every position is bound.
+    pub fn is_all_bound(&self) -> bool {
+        self.0.iter().all(|b| b.is_bound())
+    }
+
+    /// True iff every position bound in `self` is also bound in `other`
+    /// (i.e. `other` passes at least as much information).
+    pub fn is_weaker_or_equal(&self, other: &Adornment) -> bool {
+        self.arity() == other.arity()
+            && self
+                .0
+                .iter()
+                .zip(other.0.iter())
+                .all(|(a, b)| !a.is_bound() || b.is_bound())
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Adornment {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.chars()
+            .map(|c| match c {
+                'b' => Ok(Binding::Bound),
+                'f' => Ok(Binding::Free),
+                other => Err(format!("invalid adornment character: {other:?}")),
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map(Adornment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let a: Adornment = "bf".parse().unwrap();
+        assert_eq!(a.to_string(), "bf");
+        assert_eq!(a.arity(), 2);
+        assert!(a.get(0).is_bound());
+        assert!(!a.get(1).is_bound());
+        assert!("bx".parse::<Adornment>().is_err());
+    }
+
+    #[test]
+    fn positions() {
+        let a: Adornment = "bfb".parse().unwrap();
+        assert_eq!(a.bound_positions(), vec![0, 2]);
+        assert_eq!(a.free_positions(), vec![1]);
+        assert_eq!(a.bound_count(), 2);
+    }
+
+    #[test]
+    fn all_free_all_bound() {
+        assert!(Adornment::all_free(3).is_all_free());
+        assert!(Adornment::all_bound(2).is_all_bound());
+        assert_eq!(Adornment::all_free(3).to_string(), "fff");
+    }
+
+    #[test]
+    fn from_bound_positions() {
+        let a = Adornment::from_bound_positions(3, &[2]);
+        assert_eq!(a.to_string(), "ffb");
+    }
+
+    #[test]
+    fn weaker_or_equal() {
+        let bf: Adornment = "bf".parse().unwrap();
+        let bb: Adornment = "bb".parse().unwrap();
+        let ff: Adornment = "ff".parse().unwrap();
+        assert!(ff.is_weaker_or_equal(&bf));
+        assert!(bf.is_weaker_or_equal(&bb));
+        assert!(!bb.is_weaker_or_equal(&bf));
+        assert!(bf.is_weaker_or_equal(&bf));
+    }
+}

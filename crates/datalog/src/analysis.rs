@@ -1,0 +1,355 @@
+//! Program analyses: predicate dependency graph, strongly connected
+//! components ("blocks" of mutually recursive predicates, Section 8), and
+//! recursion classification.
+
+use crate::pred::PredName;
+use crate::program::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The predicate dependency graph of a program: an edge `p -> q` exists when
+/// some rule with head `p` mentions `q` in its body.
+#[derive(Clone, Debug, Default)]
+pub struct DependencyGraph {
+    /// Adjacency: head predicate -> body predicates it depends on.
+    pub edges: BTreeMap<PredName, BTreeSet<PredName>>,
+    /// All predicates mentioned by the program.
+    pub nodes: BTreeSet<PredName>,
+}
+
+impl DependencyGraph {
+    /// Build the dependency graph of `program`.
+    pub fn build(program: &Program) -> DependencyGraph {
+        let mut edges: BTreeMap<PredName, BTreeSet<PredName>> = BTreeMap::new();
+        let mut nodes = BTreeSet::new();
+        for rule in &program.rules {
+            nodes.insert(rule.head.pred.clone());
+            let entry = edges.entry(rule.head.pred.clone()).or_default();
+            for atom in &rule.body {
+                nodes.insert(atom.pred.clone());
+                entry.insert(atom.pred.clone());
+            }
+        }
+        DependencyGraph { edges, nodes }
+    }
+
+    /// Successors of a predicate (empty set if it has no rules).
+    pub fn successors(&self, pred: &PredName) -> BTreeSet<PredName> {
+        self.edges.get(pred).cloned().unwrap_or_default()
+    }
+
+    /// Predicates reachable from `start` (including `start` itself).
+    pub fn reachable_from(&self, start: &PredName) -> BTreeSet<PredName> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start.clone()];
+        while let Some(p) = stack.pop() {
+            if seen.insert(p.clone()) {
+                for q in self.successors(&p) {
+                    if !seen.contains(&q) {
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// The strongly connected components of the graph, in reverse
+    /// topological order (callees before callers).  Each component is a
+    /// *block* of mutually recursive predicates in the sense of Section 8.
+    pub fn sccs(&self) -> Vec<BTreeSet<PredName>> {
+        // Iterative Tarjan's algorithm.
+        #[derive(Clone)]
+        struct NodeState {
+            index: Option<usize>,
+            lowlink: usize,
+            on_stack: bool,
+        }
+        let nodes: Vec<PredName> = self.nodes.iter().cloned().collect();
+        let id_of: BTreeMap<PredName, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        let succs: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|p| {
+                self.successors(p)
+                    .iter()
+                    .filter_map(|q| id_of.get(q).copied())
+                    .collect()
+            })
+            .collect();
+
+        let mut state = vec![
+            NodeState {
+                index: None,
+                lowlink: 0,
+                on_stack: false,
+            };
+            nodes.len()
+        ];
+        let mut index = 0usize;
+        let mut stack: Vec<usize> = Vec::new();
+        let mut components: Vec<BTreeSet<PredName>> = Vec::new();
+
+        for start in 0..nodes.len() {
+            if state[start].index.is_some() {
+                continue;
+            }
+            // Explicit DFS stack of (node, next-successor-position).
+            let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&mut (v, ref mut pos)) = work.last_mut() {
+                if *pos == 0 {
+                    state[v].index = Some(index);
+                    state[v].lowlink = index;
+                    index += 1;
+                    stack.push(v);
+                    state[v].on_stack = true;
+                }
+                if *pos < succs[v].len() {
+                    let w = succs[v][*pos];
+                    *pos += 1;
+                    match state[w].index {
+                        None => work.push((w, 0)),
+                        Some(widx) => {
+                            if state[w].on_stack {
+                                state[v].lowlink = state[v].lowlink.min(widx);
+                            }
+                        }
+                    }
+                } else {
+                    // Finished v.
+                    if state[v].lowlink == state[v].index.unwrap() {
+                        let mut component = BTreeSet::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack non-empty");
+                            state[w].on_stack = false;
+                            component.insert(nodes[w].clone());
+                            if w == v {
+                                break;
+                            }
+                        }
+                        components.push(component);
+                    }
+                    work.pop();
+                    if let Some(&mut (parent, _)) = work.last_mut() {
+                        let child_low = state[v].lowlink;
+                        state[parent].lowlink = state[parent].lowlink.min(child_low);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// The block (maximal set of mutually recursive predicates) containing
+    /// `pred`, per Section 8.  A non-recursive predicate forms a singleton.
+    pub fn block_of(&self, pred: &PredName) -> BTreeSet<PredName> {
+        self.sccs()
+            .into_iter()
+            .find(|c| c.contains(pred))
+            .unwrap_or_else(|| std::iter::once(pred.clone()).collect())
+    }
+
+    /// True iff `pred` is (directly or mutually) recursive.
+    pub fn is_recursive(&self, pred: &PredName) -> bool {
+        let block = self.block_of(pred);
+        if block.len() > 1 {
+            return true;
+        }
+        // A singleton SCC is recursive only if it has a self loop.
+        self.successors(pred).contains(pred)
+    }
+}
+
+/// Classification of a program's recursion structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RecursionKind {
+    /// No derived predicate depends on a derived predicate.
+    NonRecursive,
+    /// Every recursive rule has at most one occurrence of a predicate from
+    /// its head's block in its body (e.g. the ancestor program).
+    Linear,
+    /// Some rule has two or more occurrences of predicates from its head's
+    /// block (e.g. the nonlinear same-generation program).
+    NonLinear,
+}
+
+/// Classify the recursion structure of a program.
+pub fn recursion_kind(program: &Program) -> RecursionKind {
+    let graph = DependencyGraph::build(program);
+    let mut any_recursive = false;
+    let mut nonlinear = false;
+    for rule in &program.rules {
+        let block = graph.block_of(&rule.head.pred);
+        let head_recursive = graph.is_recursive(&rule.head.pred);
+        if !head_recursive {
+            continue;
+        }
+        let in_block = rule
+            .body
+            .iter()
+            .filter(|a| block.contains(&a.pred))
+            .count();
+        if in_block >= 1 {
+            any_recursive = true;
+        }
+        if in_block >= 2 {
+            nonlinear = true;
+        }
+    }
+    if nonlinear {
+        RecursionKind::NonLinear
+    } else if any_recursive {
+        RecursionKind::Linear
+    } else {
+        RecursionKind::NonRecursive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::rule::Rule;
+    use crate::term::Term;
+
+    fn pred(s: &str) -> PredName {
+        PredName::plain(s)
+    }
+
+    fn linear_ancestor() -> Program {
+        Program::from_rules(vec![
+            Rule::new(
+                Atom::plain("anc", vec![Term::var("X"), Term::var("Y")]),
+                vec![Atom::plain("par", vec![Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                Atom::plain("anc", vec![Term::var("X"), Term::var("Y")]),
+                vec![
+                    Atom::plain("par", vec![Term::var("X"), Term::var("Z")]),
+                    Atom::plain("anc", vec![Term::var("Z"), Term::var("Y")]),
+                ],
+            ),
+        ])
+    }
+
+    fn nonlinear_ancestor() -> Program {
+        Program::from_rules(vec![
+            Rule::new(
+                Atom::plain("anc", vec![Term::var("X"), Term::var("Y")]),
+                vec![Atom::plain("par", vec![Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                Atom::plain("anc", vec![Term::var("X"), Term::var("Y")]),
+                vec![
+                    Atom::plain("anc", vec![Term::var("X"), Term::var("Z")]),
+                    Atom::plain("anc", vec![Term::var("Z"), Term::var("Y")]),
+                ],
+            ),
+        ])
+    }
+
+    fn nested_sg() -> Program {
+        // p depends on sg and itself; sg depends on itself.
+        Program::from_rules(vec![
+            Rule::new(
+                Atom::plain("p", vec![Term::var("X"), Term::var("Y")]),
+                vec![Atom::plain("b1", vec![Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                Atom::plain("p", vec![Term::var("X"), Term::var("Y")]),
+                vec![
+                    Atom::plain("sg", vec![Term::var("X"), Term::var("Z1")]),
+                    Atom::plain("p", vec![Term::var("Z1"), Term::var("Z2")]),
+                    Atom::plain("b2", vec![Term::var("Z2"), Term::var("Y")]),
+                ],
+            ),
+            Rule::new(
+                Atom::plain("sg", vec![Term::var("X"), Term::var("Y")]),
+                vec![Atom::plain("flat", vec![Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                Atom::plain("sg", vec![Term::var("X"), Term::var("Y")]),
+                vec![
+                    Atom::plain("up", vec![Term::var("X"), Term::var("Z1")]),
+                    Atom::plain("sg", vec![Term::var("Z1"), Term::var("Z2")]),
+                    Atom::plain("down", vec![Term::var("Z2"), Term::var("Y")]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn dependency_graph_edges() {
+        let g = DependencyGraph::build(&linear_ancestor());
+        assert!(g.successors(&pred("anc")).contains(&pred("par")));
+        assert!(g.successors(&pred("anc")).contains(&pred("anc")));
+        assert!(g.successors(&pred("par")).is_empty());
+    }
+
+    #[test]
+    fn reachability() {
+        let g = DependencyGraph::build(&nested_sg());
+        let reach = g.reachable_from(&pred("p"));
+        assert!(reach.contains(&pred("sg")));
+        assert!(reach.contains(&pred("up")));
+        assert!(reach.contains(&pred("b1")));
+        let reach_sg = g.reachable_from(&pred("sg"));
+        assert!(!reach_sg.contains(&pred("p")));
+    }
+
+    #[test]
+    fn sccs_and_blocks() {
+        let g = DependencyGraph::build(&nested_sg());
+        assert!(g.is_recursive(&pred("p")));
+        assert!(g.is_recursive(&pred("sg")));
+        assert!(!g.is_recursive(&pred("up")));
+        assert_eq!(g.block_of(&pred("p")).len(), 1);
+        assert_eq!(g.block_of(&pred("sg")).len(), 1);
+        // Reverse topological order: sg's block must come before p's block.
+        let sccs = g.sccs();
+        let pos_sg = sccs.iter().position(|c| c.contains(&pred("sg"))).unwrap();
+        let pos_p = sccs.iter().position(|c| c.contains(&pred("p"))).unwrap();
+        assert!(pos_sg < pos_p);
+    }
+
+    #[test]
+    fn mutual_recursion_forms_one_block() {
+        let p = Program::from_rules(vec![
+            Rule::new(
+                Atom::plain("even", vec![Term::var("X")]),
+                vec![
+                    Atom::plain("succ", vec![Term::var("Y"), Term::var("X")]),
+                    Atom::plain("odd", vec![Term::var("Y")]),
+                ],
+            ),
+            Rule::new(
+                Atom::plain("odd", vec![Term::var("X")]),
+                vec![
+                    Atom::plain("succ", vec![Term::var("Y"), Term::var("X")]),
+                    Atom::plain("even", vec![Term::var("Y")]),
+                ],
+            ),
+        ]);
+        let g = DependencyGraph::build(&p);
+        let block = g.block_of(&pred("even"));
+        assert_eq!(block.len(), 2);
+        assert!(block.contains(&pred("odd")));
+        assert!(g.is_recursive(&pred("even")));
+    }
+
+    #[test]
+    fn recursion_kinds() {
+        assert_eq!(recursion_kind(&linear_ancestor()), RecursionKind::Linear);
+        assert_eq!(
+            recursion_kind(&nonlinear_ancestor()),
+            RecursionKind::NonLinear
+        );
+        let flat = Program::from_rules(vec![Rule::new(
+            Atom::plain("q", vec![Term::var("X")]),
+            vec![Atom::plain("b", vec![Term::var("X")])],
+        )]);
+        assert_eq!(recursion_kind(&flat), RecursionKind::NonRecursive);
+    }
+}

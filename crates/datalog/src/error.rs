@@ -1,0 +1,109 @@
+//! Error types for the language substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing, parsing or validating programs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DatalogError {
+    /// A rule violates condition (WF): a head variable does not appear in the
+    /// body.
+    NotWellFormed {
+        /// The offending rule, pretty-printed.
+        rule: String,
+        /// The head variable that does not occur in the body.
+        variable: String,
+    },
+    /// A rule violates condition (C): a body atom is not connected to the
+    /// head through shared variables.
+    NotConnected {
+        /// The offending rule, pretty-printed.
+        rule: String,
+        /// The disconnected body atom.
+        atom: String,
+    },
+    /// A predicate is used with inconsistent arities.
+    ArityMismatch {
+        /// The predicate name.
+        predicate: String,
+        /// One observed arity.
+        expected: usize,
+        /// The conflicting arity.
+        found: usize,
+    },
+    /// A base (database) predicate appears as the head of a rule.
+    BasePredicateInHead {
+        /// The offending rule, pretty-printed.
+        rule: String,
+    },
+    /// A parse error with a position and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The program does not define or use the query predicate.
+    UnknownQueryPredicate {
+        /// The query predicate name.
+        predicate: String,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::NotWellFormed { rule, variable } => write!(
+                f,
+                "rule is not well-formed (head variable {variable} does not occur in the body): {rule}"
+            ),
+            DatalogError::NotConnected { rule, atom } => write!(
+                f,
+                "rule body is not connected (atom {atom} shares no variable chain with the head): {rule}"
+            ),
+            DatalogError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate {predicate} used with inconsistent arities {expected} and {found}"
+            ),
+            DatalogError::BasePredicateInHead { rule } => {
+                write!(f, "base predicate appears as a rule head: {rule}")
+            }
+            DatalogError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            DatalogError::UnknownQueryPredicate { predicate } => {
+                write!(f, "query predicate {predicate} is not defined by the program")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_reasonably() {
+        let e = DatalogError::Parse {
+            line: 3,
+            column: 7,
+            message: "expected ')'".into(),
+        };
+        assert!(e.to_string().contains("3:7"));
+        let e = DatalogError::ArityMismatch {
+            predicate: "par".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("par"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # magic-datalog
+//!
+//! The Horn-clause / Datalog language substrate for the *Power of Magic*
+//! reproduction: terms with function symbols, atoms, rules, programs,
+//! adornments, structured predicate names, a parser, and the structural
+//! analyses (connectivity, dependency graph, recursion classification) that
+//! the sideways-information-passing machinery builds on.
+//!
+//! The crate is deliberately independent of any evaluation strategy: it
+//! describes *programs*, not how to run them.  See `magic-engine` for
+//! bottom-up evaluation and `magic-core` for the paper's rewrites.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use magic_datalog::parser::parse_source;
+//!
+//! let parsed = parse_source(
+//!     "anc(X, Y) :- par(X, Y).
+//!      anc(X, Y) :- par(X, Z), anc(Z, Y).
+//!      par(john, mary).
+//!      ?- anc(john, Y).",
+//! )
+//! .unwrap();
+//! assert_eq!(parsed.program.len(), 2);
+//! assert_eq!(parsed.facts.len(), 1);
+//! assert_eq!(parsed.queries[0].adornment().to_string(), "bf");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adornment;
+pub mod analysis;
+pub mod atom;
+pub mod error;
+pub mod parser;
+pub mod pred;
+pub mod program;
+pub mod rule;
+pub mod symbol;
+pub mod term;
+
+pub use adornment::{Adornment, Binding};
+pub use analysis::{recursion_kind, DependencyGraph, RecursionKind};
+pub use atom::{Atom, Fact};
+pub use error::DatalogError;
+pub use parser::{parse_program, parse_query, parse_rule, parse_source, parse_term, ParsedSource};
+pub use pred::PredName;
+pub use program::Program;
+pub use rule::{Query, Rule};
+pub use symbol::Symbol;
+pub use term::{Bindings, LinearExpr, SymbolicLength, Term, Value, Variable};

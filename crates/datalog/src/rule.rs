@@ -1,0 +1,301 @@
+//! Horn clauses (rules), queries, and the paper's well-formedness conditions.
+
+use crate::atom::Atom;
+use crate::error::DatalogError;
+use crate::pred::PredName;
+use crate::term::{Term, Value, Variable};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A Horn clause `head :- body`.  A rule with an empty body is a fact
+/// (and, by condition (WF), must be ground).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body atoms (predicate occurrences), in textual order.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Construct a rule.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// Construct a fact (a rule with an empty body).
+    pub fn fact(head: Atom) -> Rule {
+        Rule { head, body: Vec::new() }
+    }
+
+    /// True iff the rule has an empty body.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// All variables of the rule, in first-occurrence order (head first).
+    pub fn vars(&self) -> Vec<Variable> {
+        let mut out = Vec::new();
+        for t in &self.head.terms {
+            t.collect_vars(&mut out);
+        }
+        for atom in &self.body {
+            for t in &atom.terms {
+                t.collect_vars(&mut out);
+            }
+        }
+        out
+    }
+
+    /// The set of variables appearing in the body.
+    pub fn body_vars(&self) -> BTreeSet<Variable> {
+        self.body.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// Check condition (WF): every variable in the head also appears in the
+    /// body.  (For facts this means the head must be ground.)
+    pub fn check_well_formed(&self) -> Result<(), DatalogError> {
+        let body_vars = self.body_vars();
+        for v in self.head.vars() {
+            if !body_vars.contains(&v) {
+                return Err(DatalogError::NotWellFormed {
+                    rule: self.to_string(),
+                    variable: v.name().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Check condition (C): the predicate occurrences of the rule (head and
+    /// body) form a single connected component under shared variables.
+    ///
+    /// Ground atoms (no variables) are connected to nothing, so a rule with a
+    /// ground body atom and a non-empty rest fails the check — exactly the
+    /// "existential subquery" case the paper factors out.
+    pub fn check_connected(&self) -> Result<(), DatalogError> {
+        if self.body.is_empty() {
+            return Ok(());
+        }
+        // Union-find over atom indices 0..=body.len(), where index 0 is the
+        // head and i+1 is body[i].
+        let n = self.body.len() + 1;
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        fn union(parent: &mut [usize], a: usize, b: usize) {
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        let mut var_home: HashMap<Variable, usize> = HashMap::new();
+        let atoms: Vec<&Atom> = std::iter::once(&self.head).chain(self.body.iter()).collect();
+        for (i, atom) in atoms.iter().enumerate() {
+            for v in atom.vars() {
+                match var_home.get(&v) {
+                    Some(&j) => union(&mut parent, i, j),
+                    None => {
+                        var_home.insert(v, i);
+                    }
+                }
+            }
+        }
+        let root = find(&mut parent, 0);
+        for i in 1..n {
+            if find(&mut parent, i) != root {
+                return Err(DatalogError::NotConnected {
+                    rule: self.to_string(),
+                    atom: self.body[i - 1].to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of predicate names occurring in the body.
+    pub fn body_preds(&self) -> BTreeSet<PredName> {
+        self.body.iter().map(|a| a.pred.clone()).collect()
+    }
+
+    /// Rename every variable of the rule using `f`.
+    pub fn rename_vars(&self, f: &mut impl FnMut(Variable) -> Variable) -> Rule {
+        Rule {
+            head: self.head.rename_vars(f),
+            body: self.body.iter().map(|a| a.rename_vars(f)).collect(),
+        }
+    }
+
+    /// Rename the rule's variables apart by appending a suffix — used when a
+    /// rule is instantiated several times in one derivation context.
+    pub fn standardize_apart(&self, suffix: usize) -> Rule {
+        self.rename_vars(&mut |v| Variable::new(&format!("{}__{}", v.name(), suffix)))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, atom) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{atom}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A query: a single predicate occurrence with some argument positions bound
+/// to constants (Section 1.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    /// The query atom, e.g. `anc(john, Y)`.
+    pub atom: Atom,
+}
+
+impl Query {
+    /// Construct a query from its atom.
+    pub fn new(atom: Atom) -> Query {
+        Query { atom }
+    }
+
+    /// Construct a query over a plain predicate.
+    pub fn plain(name: &str, terms: Vec<Term>) -> Query {
+        Query {
+            atom: Atom::plain(name, terms),
+        }
+    }
+
+    /// The query predicate.
+    pub fn pred(&self) -> &PredName {
+        &self.atom.pred
+    }
+
+    /// The adornment determined by the query: positions holding ground terms
+    /// are bound, positions holding terms with variables are free.
+    pub fn adornment(&self) -> crate::adornment::Adornment {
+        self.atom.adornment_under(&BTreeSet::new())
+    }
+
+    /// The ground values in the bound positions of the query, in order.
+    /// These form the magic / counting seed (Section 4, step 4).
+    pub fn bound_values(&self) -> Vec<Value> {
+        self.atom
+            .terms
+            .iter()
+            .filter(|t| t.is_ground())
+            .map(|t| t.to_value().expect("ground term"))
+            .collect()
+    }
+
+    /// The variables in the free positions of the query, in order.
+    pub fn free_vars(&self) -> Vec<Variable> {
+        self.atom.vars()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?- {}.", self.atom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anc_rule() -> Rule {
+        // anc(X, Y) :- par(X, Z), anc(Z, Y).
+        Rule::new(
+            Atom::plain("anc", vec![Term::var("X"), Term::var("Y")]),
+            vec![
+                Atom::plain("par", vec![Term::var("X"), Term::var("Z")]),
+                Atom::plain("anc", vec![Term::var("Z"), Term::var("Y")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            anc_rule().to_string(),
+            "anc(X, Y) :- par(X, Z), anc(Z, Y)."
+        );
+        let f = Rule::fact(Atom::plain("par", vec![Term::sym("a"), Term::sym("b")]));
+        assert_eq!(f.to_string(), "par(a, b).");
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(anc_rule().check_well_formed().is_ok());
+        let bad = Rule::new(
+            Atom::plain("p", vec![Term::var("X"), Term::var("Y")]),
+            vec![Atom::plain("q", vec![Term::var("X")])],
+        );
+        assert!(bad.check_well_formed().is_err());
+        // A fact with variables violates WF.
+        let bad_fact = Rule::fact(Atom::plain("p", vec![Term::var("X")]));
+        assert!(bad_fact.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(anc_rule().check_connected().is_ok());
+        // p(X) :- q(X), r(Y).  r(Y) is a disconnected existential subquery.
+        let bad = Rule::new(
+            Atom::plain("p", vec![Term::var("X")]),
+            vec![
+                Atom::plain("q", vec![Term::var("X")]),
+                Atom::plain("r", vec![Term::var("Y")]),
+            ],
+        );
+        assert!(bad.check_connected().is_err());
+        // Connection through a chain of variables is allowed.
+        let chained = Rule::new(
+            Atom::plain("p", vec![Term::var("X")]),
+            vec![
+                Atom::plain("q", vec![Term::var("X"), Term::var("Y")]),
+                Atom::plain("r", vec![Term::var("Y"), Term::var("Z")]),
+                Atom::plain("s", vec![Term::var("Z")]),
+            ],
+        );
+        assert!(chained.check_connected().is_ok());
+    }
+
+    #[test]
+    fn vars_order() {
+        let vars = anc_rule().vars();
+        assert_eq!(
+            vars,
+            vec![Variable::new("X"), Variable::new("Y"), Variable::new("Z")]
+        );
+    }
+
+    #[test]
+    fn query_adornment_and_seed() {
+        let q = Query::plain("anc", vec![Term::sym("john"), Term::var("Y")]);
+        assert_eq!(q.adornment().to_string(), "bf");
+        assert_eq!(q.bound_values(), vec![Value::sym("john")]);
+        assert_eq!(q.free_vars(), vec![Variable::new("Y")]);
+        assert_eq!(q.to_string(), "?- anc(john, Y).");
+    }
+
+    #[test]
+    fn standardize_apart_renames_consistently() {
+        let r = anc_rule().standardize_apart(7);
+        assert_eq!(
+            r.to_string(),
+            "anc(X__7, Y__7) :- par(X__7, Z__7), anc(Z__7, Y__7)."
+        );
+    }
+}

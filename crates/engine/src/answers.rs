@@ -1,0 +1,117 @@
+//! Extracting query answers from an evaluated database.
+
+use magic_datalog::{Atom, Bindings, Query, Value, Variable};
+use magic_storage::Database;
+use std::collections::BTreeSet;
+
+/// All binding environments under which `atom` matches a stored fact.
+pub fn match_atom(db: &Database, atom: &Atom) -> Vec<Bindings> {
+    let Some(relation) = db.relation(&atom.pred) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in relation.iter() {
+        if row.len() != atom.arity() {
+            continue;
+        }
+        let mut env = Bindings::new();
+        if atom.match_row(row, &mut env) {
+            out.push(env);
+        }
+    }
+    out
+}
+
+/// The distinct value vectors taken by `projection` (a list of variables of
+/// `atom`) over all matches of `atom` in `db`.
+pub fn project_answers(db: &Database, atom: &Atom, projection: &[Variable]) -> BTreeSet<Vec<Value>> {
+    match_atom(db, atom)
+        .into_iter()
+        .filter_map(|env| {
+            projection
+                .iter()
+                .map(|v| env.get(v).cloned())
+                .collect::<Option<Vec<Value>>>()
+        })
+        .collect()
+}
+
+/// The answers to a query: the distinct vectors of values for the query's
+/// free variables, in the order the variables appear in the query atom.
+///
+/// This is "the set of bindings to the vector of variables X that make the
+/// query expression true" from Section 1.1.
+pub fn query_answers(db: &Database, query: &Query) -> BTreeSet<Vec<Value>> {
+    let projection = query.free_vars();
+    project_answers(db, &query.atom, &projection)
+}
+
+/// True iff the database contains at least one match for the query.
+pub fn holds(db: &Database, query: &Query) -> bool {
+    !match_atom(db, &query.atom).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::{parse_query, PredName, Term};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert_pair("anc", "john", "mary");
+        db.insert_pair("anc", "john", "ann");
+        db.insert_pair("anc", "mary", "ann");
+        db
+    }
+
+    #[test]
+    fn query_answers_filters_on_bound_args() {
+        let q = parse_query("anc(john, Y)").unwrap();
+        let answers = query_answers(&db(), &q);
+        assert_eq!(answers.len(), 2);
+        assert!(answers.contains(&vec![Value::sym("mary")]));
+        assert!(answers.contains(&vec![Value::sym("ann")]));
+    }
+
+    #[test]
+    fn fully_free_query_returns_all_rows() {
+        let q = parse_query("anc(X, Y)").unwrap();
+        assert_eq!(query_answers(&db(), &q).len(), 3);
+    }
+
+    #[test]
+    fn fully_bound_query_acts_as_membership_test() {
+        let yes = parse_query("anc(john, ann)").unwrap();
+        let no = parse_query("anc(ann, john)").unwrap();
+        assert!(holds(&db(), &yes));
+        assert!(!holds(&db(), &no));
+        // A fully bound query has no free variables: one empty answer row.
+        assert_eq!(query_answers(&db(), &yes).len(), 1);
+        assert_eq!(query_answers(&db(), &no).len(), 0);
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let mut d = db();
+        d.insert_pair("anc", "x", "x");
+        let atom = Atom::plain("anc", vec![Term::var("X"), Term::var("X")]);
+        let matches = match_atom(&d, &atom);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn missing_relation_gives_no_answers() {
+        let q = parse_query("unknown(X)").unwrap();
+        assert!(query_answers(&db(), &q).is_empty());
+        assert!(!holds(&db(), &q));
+    }
+
+    #[test]
+    fn project_on_subset_of_variables() {
+        let atom = Atom::plain("anc", vec![Term::var("X"), Term::var("Y")]);
+        let proj = project_answers(&db(), &atom, &[Variable::new("X")]);
+        assert_eq!(proj.len(), 2); // john, mary
+        assert!(proj.contains(&vec![Value::sym("john")]));
+        let _ = PredName::plain("anc");
+    }
+}

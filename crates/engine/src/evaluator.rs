@@ -1,0 +1,368 @@
+//! The fixpoint evaluator: naive and semi-naive bottom-up evaluation.
+
+use crate::error::EvalError;
+use crate::join::{evaluate_rule, DeltaWindow};
+use crate::limits::Limits;
+use crate::metrics::EvalStats;
+use crate::plan::RulePlan;
+use magic_datalog::{PredName, Program};
+use magic_storage::Database;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which fixpoint iteration scheme to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IterationScheme {
+    /// Naive evaluation: every iteration re-evaluates every rule against the
+    /// full relations.  This is the textbook least-fixpoint computation the
+    /// paper describes in Section 1.1.
+    Naive,
+    /// Semi-naive evaluation: after the first iteration, a rule is only
+    /// re-evaluated with at least one derived body occurrence restricted to
+    /// the facts that were new in the previous iteration.
+    #[default]
+    SemiNaive,
+}
+
+/// The result of an evaluation: the final database (base facts plus all
+/// derived facts) and the collected metrics.
+#[derive(Clone, Debug)]
+pub struct EvalResult {
+    /// Base and derived facts at the fixpoint.
+    pub database: Database,
+    /// Metrics collected during evaluation.
+    pub stats: EvalStats,
+}
+
+/// A bottom-up evaluator for a fixed program.
+///
+/// ```
+/// use magic_datalog::{parse_program, parse_query};
+/// use magic_engine::Evaluator;
+/// use magic_storage::Database;
+///
+/// let program = parse_program(
+///     "anc(X, Y) :- par(X, Y).
+///      anc(X, Y) :- par(X, Z), anc(Z, Y).",
+/// )
+/// .unwrap();
+/// let mut db = Database::new();
+/// db.insert_pair("par", "a", "b");
+/// db.insert_pair("par", "b", "c");
+///
+/// let result = Evaluator::new(program).run(&db).unwrap();
+/// let query = parse_query("anc(a, Y)").unwrap();
+/// let answers = magic_engine::answers::query_answers(&result.database, &query);
+/// assert_eq!(answers.len(), 2); // b and c
+/// ```
+#[derive(Clone, Debug)]
+pub struct Evaluator {
+    program: Program,
+    limits: Limits,
+    scheme: IterationScheme,
+}
+
+impl Evaluator {
+    /// Create an evaluator with default limits and semi-naive iteration.
+    pub fn new(program: Program) -> Evaluator {
+        Evaluator {
+            program,
+            limits: Limits::default(),
+            scheme: IterationScheme::SemiNaive,
+        }
+    }
+
+    /// Override the resource limits.
+    pub fn with_limits(mut self, limits: Limits) -> Evaluator {
+        self.limits = limits;
+        self
+    }
+
+    /// Override the iteration scheme.
+    pub fn with_scheme(mut self, scheme: IterationScheme) -> Evaluator {
+        self.scheme = scheme;
+        self
+    }
+
+    /// The program being evaluated.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Evaluate to the least fixpoint starting from `edb`.
+    pub fn run(&self, edb: &Database) -> Result<EvalResult, EvalError> {
+        let derived: BTreeSet<PredName> = self.program.derived_preds();
+        let plans: Vec<RulePlan> = self
+            .program
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RulePlan::compile(r, i, &derived))
+            .collect();
+
+        let mut db = edb.clone();
+        // Create relations for every predicate mentioned by the program so
+        // that missing base relations behave as empty and derived relations
+        // exist from the start.
+        if let Ok(arities) = self.program.predicate_arities() {
+            for (pred, arity) in &arities {
+                db.relation_mut(pred, *arity);
+            }
+        }
+        // Ensure indexes for every access path the plans will use.
+        for plan in &plans {
+            for atom in &plan.atoms {
+                if !atom.key_positions.is_empty() {
+                    db.relation_mut(&atom.pred, atom.arity)
+                        .ensure_index(&atom.key_positions);
+                }
+            }
+        }
+
+        let base_facts = db.total_facts();
+        let mut stats = EvalStats::default();
+        // Row-id marks delimiting the delta of the previous iteration.
+        let mut prev_marks: BTreeMap<PredName, usize> = BTreeMap::new();
+        for pred in &derived {
+            prev_marks.insert(pred.clone(), db.count(pred));
+        }
+
+        loop {
+            stats.iterations += 1;
+            if stats.iterations > self.limits.max_iterations {
+                return Err(EvalError::IterationLimit {
+                    limit: self.limits.max_iterations,
+                });
+            }
+            // Snapshot the current extents: rows in [prev_mark, cur_mark)
+            // form the delta of the previous iteration.
+            let cur_marks: BTreeMap<PredName, usize> = derived
+                .iter()
+                .map(|p| (p.clone(), db.count(p)))
+                .collect();
+
+            let first_iteration = stats.iterations == 1;
+            let mut produced: Vec<(usize, Vec<magic_datalog::Fact>)> = Vec::new();
+
+            for plan in &plans {
+                let mut out = Vec::new();
+                let use_delta = self.scheme == IterationScheme::SemiNaive && !first_iteration;
+                if use_delta {
+                    if plan.derived_occurrences.is_empty() {
+                        continue; // already fully evaluated in iteration 1
+                    }
+                    for &occ in &plan.derived_occurrences {
+                        let pred = &plan.atoms[occ].pred;
+                        let from = prev_marks.get(pred).copied().unwrap_or(0);
+                        let to = cur_marks.get(pred).copied().unwrap_or(0);
+                        if from >= to {
+                            continue; // no new facts for this occurrence
+                        }
+                        let window = DeltaWindow {
+                            occurrence: occ,
+                            from,
+                            to,
+                        };
+                        let counters =
+                            evaluate_rule(plan, &db, Some(window), &self.limits, &mut out)?;
+                        stats.join_probes += counters.probes;
+                    }
+                } else {
+                    let counters = evaluate_rule(plan, &db, None, &self.limits, &mut out)?;
+                    stats.join_probes += counters.probes;
+                }
+                if !out.is_empty() {
+                    produced.push((plan.rule_idx, out));
+                }
+            }
+
+            let mut new_facts = 0usize;
+            for (rule_idx, facts) in produced {
+                for fact in facts {
+                    let is_new = db.insert(fact.pred.clone(), fact.values);
+                    stats.record_firing(rule_idx, &fact.pred, is_new);
+                    if is_new {
+                        new_facts += 1;
+                    }
+                }
+            }
+            if db.total_facts() - base_facts > self.limits.max_facts {
+                return Err(EvalError::FactLimit {
+                    limit: self.limits.max_facts,
+                });
+            }
+            if new_facts == 0 {
+                break;
+            }
+            prev_marks = cur_marks;
+        }
+
+        Ok(EvalResult {
+            database: db,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answers::query_answers;
+    use magic_datalog::{parse_program, parse_query, Value};
+
+    fn chain_db(n: usize) -> Database {
+        let mut db = Database::new();
+        for i in 0..n {
+            db.insert_pair("par", &format!("n{i}"), &format!("n{}", i + 1));
+        }
+        db
+    }
+
+    fn ancestor() -> Program {
+        parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ancestor_chain_full_closure() {
+        let db = chain_db(10);
+        let result = Evaluator::new(ancestor()).run(&db).unwrap();
+        // Full transitive closure of an 11-node chain: 10+9+...+1 = 55 pairs.
+        assert_eq!(result.database.count(&PredName::plain("anc")), 55);
+        let q = parse_query("anc(n0, Y)").unwrap();
+        assert_eq!(query_answers(&result.database, &q).len(), 10);
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree() {
+        let db = chain_db(12);
+        let semi = Evaluator::new(ancestor()).run(&db).unwrap();
+        let naive = Evaluator::new(ancestor())
+            .with_scheme(IterationScheme::Naive)
+            .run(&db)
+            .unwrap();
+        assert_eq!(
+            semi.database.count(&PredName::plain("anc")),
+            naive.database.count(&PredName::plain("anc"))
+        );
+        // Semi-naive performs strictly fewer duplicate derivations on a chain.
+        assert!(semi.stats.duplicate_derivations < naive.stats.duplicate_derivations);
+    }
+
+    #[test]
+    fn nonlinear_ancestor_agrees_with_linear() {
+        let db = chain_db(8);
+        let nonlinear = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- anc(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let a = Evaluator::new(ancestor()).run(&db).unwrap();
+        let b = Evaluator::new(nonlinear).run(&db).unwrap();
+        assert_eq!(
+            a.database.count(&PredName::plain("anc")),
+            b.database.count(&PredName::plain("anc"))
+        );
+    }
+
+    #[test]
+    fn fact_rules_fire_once() {
+        let program = parse_program("p(a). q(X) :- p(X).").unwrap();
+        // parse_program strips ground facts... so embed via a rule instead.
+        let program = if program.len() < 2 {
+            parse_program("q(X) :- p(X).").unwrap()
+        } else {
+            program
+        };
+        let mut db = Database::new();
+        db.insert(PredName::plain("p"), vec![Value::sym("a")]);
+        let result = Evaluator::new(program).run(&db).unwrap();
+        assert_eq!(result.database.count(&PredName::plain("q")), 1);
+    }
+
+    #[test]
+    fn iteration_limit_is_enforced() {
+        let db = chain_db(50);
+        let err = Evaluator::new(ancestor())
+            .with_limits(Limits::default().with_max_iterations(3))
+            .run(&db)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::IterationLimit { limit: 3 }));
+    }
+
+    #[test]
+    fn fact_limit_is_enforced() {
+        let db = chain_db(60);
+        let err = Evaluator::new(ancestor())
+            .with_limits(Limits::default().with_max_facts(10))
+            .run(&db)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::FactLimit { .. }));
+    }
+
+    #[test]
+    fn same_generation_nonlinear() {
+        // The paper's running example (Example 1).
+        let program = parse_program(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        // Two-level structure: a,b go up to m,n; flat connects m-n and n-m;
+        // m,n go down to c,d.
+        db.insert_pair("up", "a", "m");
+        db.insert_pair("up", "b", "n");
+        db.insert_pair("flat", "m", "n");
+        db.insert_pair("flat", "n", "m");
+        db.insert_pair("flat", "a", "b");
+        db.insert_pair("down", "m", "c");
+        db.insert_pair("down", "n", "d");
+        let result = Evaluator::new(program).run(&db).unwrap();
+        let q = parse_query("sg(a, Y)").unwrap();
+        let answers = query_answers(&result.database, &q);
+        // sg(a, b) via flat; sg(a, d) via up/sg/flat/sg/down:
+        //   up(a,m), sg(m,n) [flat], flat(n,m), sg(m,n) [flat], down(n,d).
+        let rendered: BTreeSet<String> = answers
+            .iter()
+            .map(|row| row.iter().map(Value::to_string).collect::<Vec<_>>().join(","))
+            .collect();
+        assert!(rendered.contains("b"));
+        assert!(rendered.contains("d"));
+    }
+
+    #[test]
+    fn list_append_with_magic_style_guard() {
+        // append is not range-restricted without a guard; provide the guard
+        // relation directly to exercise function-symbol evaluation.
+        let program = parse_program(
+            "append(V, X, Y) :- guard(V, X), build(V, X, Y).
+             build(V, nil, cons(V, nil)) :- guard(V, nil).
+             build(V, cons(W, X), cons(W, Y)) :- guard(V, cons(W, X)), build(V, X, Y).
+             guard(V, X) :- guard(V, cons(W, X)).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        let list = Value::list(vec![Value::sym("a"), Value::sym("b")]);
+        db.insert(
+            PredName::plain("guard"),
+            vec![Value::sym("z"), list.clone()],
+        );
+        let result = Evaluator::new(program).run(&db).unwrap();
+        let append = result.database.relation(&PredName::plain("append")).unwrap();
+        // One append fact per suffix of the guarded list: [a,b], [b], [].
+        assert_eq!(append.len(), 3);
+        let full = append
+            .iter()
+            .find(|row| row[1] == list)
+            .expect("append fact for the full list");
+        assert_eq!(
+            full[2].as_list().unwrap(),
+            vec![Value::sym("a"), Value::sym("b"), Value::sym("z")]
+        );
+    }
+
+    use std::collections::BTreeSet;
+}

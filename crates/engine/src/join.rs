@@ -1,0 +1,229 @@
+//! The rule-body join: trail-based backtracking over indexed relations.
+
+use crate::error::EvalError;
+use crate::limits::Limits;
+use crate::plan::RulePlan;
+use magic_datalog::{Bindings, Fact, Value, Variable};
+use magic_storage::Database;
+
+/// Restriction of one body occurrence to a "delta" window of its relation
+/// (row ids in `from..to`), used by semi-naive evaluation.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaWindow {
+    /// The body occurrence (index into the rule body) that must read the
+    /// delta.
+    pub occurrence: usize,
+    /// First row id included.
+    pub from: usize,
+    /// One past the last row id included.
+    pub to: usize,
+}
+
+/// Counters produced by evaluating a single rule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JoinCounters {
+    /// Candidate tuples examined.
+    pub probes: usize,
+    /// Successful body matches (head instantiations produced).
+    pub matches: usize,
+}
+
+/// Evaluate one rule against `db`, appending every head fact produced by a
+/// satisfied body to `out`.
+///
+/// If `delta` is given, the designated body occurrence only ranges over the
+/// row-id window — the semi-naive restriction.
+pub fn evaluate_rule(
+    plan: &RulePlan,
+    db: &Database,
+    delta: Option<DeltaWindow>,
+    limits: &Limits,
+    out: &mut Vec<Fact>,
+) -> Result<JoinCounters, EvalError> {
+    let mut env = Bindings::new();
+    let mut counters = JoinCounters::default();
+    descend(plan, db, delta, limits, 0, &mut env, out, &mut counters)?;
+    Ok(counters)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    plan: &RulePlan,
+    db: &Database,
+    delta: Option<DeltaWindow>,
+    limits: &Limits,
+    depth: usize,
+    env: &mut Bindings,
+    out: &mut Vec<Fact>,
+    counters: &mut JoinCounters,
+) -> Result<(), EvalError> {
+    if depth == plan.atoms.len() {
+        // Body satisfied: produce the head fact.
+        let fact = plan.rule.head.eval(env).ok_or_else(|| EvalError::NotRangeRestricted {
+            rule: plan.rule.to_string(),
+        })?;
+        if fact
+            .values
+            .iter()
+            .any(|v| v.depth() > limits.max_term_depth)
+        {
+            return Err(EvalError::TermDepthLimit {
+                limit: limits.max_term_depth,
+            });
+        }
+        counters.matches += 1;
+        out.push(fact);
+        return Ok(());
+    }
+
+    let atom_plan = &plan.atoms[depth];
+    let Some(relation) = db.relation(&atom_plan.pred) else {
+        return Ok(()); // empty relation: no matches
+    };
+    if relation.arity() != atom_plan.arity {
+        return Err(EvalError::ArityMismatch {
+            predicate: atom_plan.pred.to_string(),
+            rule_arity: atom_plan.arity,
+            stored_arity: relation.arity(),
+        });
+    }
+
+    // Compute the index key from the evaluable positions.
+    let mut key: Vec<Value> = Vec::with_capacity(atom_plan.key_terms.len());
+    for term in &atom_plan.key_terms {
+        match term.eval(env) {
+            Some(v) => key.push(v),
+            // A key term that fails to evaluate (e.g. a linear expression
+            // over a non-integer) simply cannot match anything.
+            None => return Ok(()),
+        }
+    }
+
+    let ids: Vec<usize> = if atom_plan.key_positions.is_empty() {
+        (0..relation.len()).collect()
+    } else {
+        match relation.lookup(&atom_plan.key_positions, &key) {
+            Some(ids) => ids.to_vec(),
+            None => relation.scan_select(&atom_plan.key_positions, &key),
+        }
+    };
+
+    let window = delta.filter(|w| w.occurrence == depth);
+
+    for id in ids {
+        if let Some(w) = window {
+            if id < w.from || id >= w.to {
+                continue;
+            }
+        }
+        counters.probes += 1;
+        let row = relation.row(id);
+        // Match the non-key positions, recording newly bound variables so we
+        // can backtrack.
+        let mut trail: Vec<Variable> = Vec::new();
+        let mut ok = true;
+        for (pos, term) in &atom_plan.check {
+            let before: Vec<Variable> = term
+                .vars()
+                .into_iter()
+                .filter(|v| !env.contains_key(v))
+                .collect();
+            if term.match_value(&row[*pos], env) {
+                for v in before {
+                    if env.contains_key(&v) {
+                        trail.push(v);
+                    }
+                }
+            } else {
+                // Partial bindings from a failed match must also be undone.
+                for v in before {
+                    env.remove(&v);
+                }
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            descend(plan, db, delta, limits, depth + 1, env, out, counters)?;
+        }
+        for v in trail {
+            env.remove(&v);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RulePlan;
+    use magic_datalog::{parse_rule, PredName};
+    use std::collections::BTreeSet;
+
+    fn db_with_par() -> Database {
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("par", "b", "c");
+        db.insert_pair("par", "c", "d");
+        db
+    }
+
+    #[test]
+    fn single_atom_rule_produces_all_matches() {
+        let rule = parse_rule("anc(X, Y) :- par(X, Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let db = db_with_par();
+        let mut out = Vec::new();
+        let counters = evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(counters.matches, 3);
+    }
+
+    #[test]
+    fn join_through_shared_variable() {
+        // grand(X, Z) :- par(X, Y), par(Y, Z).
+        let rule = parse_rule("grand(X, Z) :- par(X, Y), par(Y, Z).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let db = db_with_par();
+        let mut out = Vec::new();
+        evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
+        let rendered: Vec<String> = out.iter().map(|f| f.to_string()).collect();
+        assert_eq!(rendered, vec!["grand(a, c)", "grand(b, d)"]);
+    }
+
+    #[test]
+    fn delta_window_restricts_one_occurrence() {
+        let rule = parse_rule("anc(X, Y) :- par(X, Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let db = db_with_par();
+        let mut out = Vec::new();
+        let window = DeltaWindow {
+            occurrence: 0,
+            from: 1,
+            to: 3,
+        };
+        evaluate_rule(&plan, &db, Some(window), &Limits::default(), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn non_range_restricted_rule_errors() {
+        let rule = parse_rule("p(X, W) :- q(X).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut db = Database::new();
+        db.insert(PredName::plain("q"), vec![magic_datalog::Value::sym("a")]);
+        let mut out = Vec::new();
+        let err = evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap_err();
+        assert!(matches!(err, EvalError::NotRangeRestricted { .. }));
+    }
+
+    #[test]
+    fn missing_relation_is_empty() {
+        let rule = parse_rule("p(X) :- nothing(X).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let db = Database::new();
+        let mut out = Vec::new();
+        evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+}

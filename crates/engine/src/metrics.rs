@@ -1,0 +1,107 @@
+//! Evaluation metrics.
+//!
+//! Section 9 of the paper compares strategies by the *facts* and *subqueries*
+//! they generate; Section 11 and the companion study [5] compare them by rule
+//! firings and duplicate derivations.  These counters make all of those
+//! observable.
+
+use magic_datalog::PredName;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters collected during one evaluation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of fixpoint iterations executed.
+    pub iterations: usize,
+    /// Number of successful rule firings (head instantiations produced,
+    /// including duplicates of already-known facts).
+    pub rule_firings: usize,
+    /// Number of *new* facts derived (excluding the base facts).
+    pub facts_derived: usize,
+    /// Number of duplicate derivations (firings whose head fact was already
+    /// known).
+    pub duplicate_derivations: usize,
+    /// Number of candidate tuples examined while joining rule bodies.
+    pub join_probes: usize,
+    /// New facts per predicate.
+    pub facts_by_pred: BTreeMap<PredName, usize>,
+    /// Firings per rule index.
+    pub firings_by_rule: BTreeMap<usize, usize>,
+}
+
+impl EvalStats {
+    /// Record a successful firing of rule `rule_idx` deriving `pred`;
+    /// `is_new` indicates whether the head fact was new.
+    pub fn record_firing(&mut self, rule_idx: usize, pred: &PredName, is_new: bool) {
+        self.rule_firings += 1;
+        *self.firings_by_rule.entry(rule_idx).or_insert(0) += 1;
+        if is_new {
+            self.facts_derived += 1;
+            *self.facts_by_pred.entry(pred.clone()).or_insert(0) += 1;
+        } else {
+            self.duplicate_derivations += 1;
+        }
+    }
+
+    /// Total facts derived for predicates satisfying `filter`.
+    pub fn facts_matching(&self, mut filter: impl FnMut(&PredName) -> bool) -> usize {
+        self.facts_by_pred
+            .iter()
+            .filter(|(p, _)| filter(p))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Facts derived in auxiliary (magic / supplementary / counting)
+    /// predicates.
+    pub fn auxiliary_facts(&self) -> usize {
+        self.facts_matching(|p| p.is_auxiliary())
+    }
+
+    /// Facts derived in answer (plain / adorned / indexed) predicates.
+    pub fn answer_facts(&self) -> usize {
+        self.facts_matching(|p| p.is_answer_predicate())
+    }
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "iterations: {}, firings: {}, new facts: {}, duplicates: {}, join probes: {}",
+            self.iterations,
+            self.rule_firings,
+            self.facts_derived,
+            self.duplicate_derivations,
+            self.join_probes
+        )?;
+        for (pred, n) in &self.facts_by_pred {
+            writeln!(f, "  {pred}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_firing_updates_counters() {
+        let mut s = EvalStats::default();
+        let p = PredName::plain("anc");
+        let m = PredName::magic("anc", "bf".parse().unwrap());
+        s.record_firing(0, &p, true);
+        s.record_firing(0, &p, false);
+        s.record_firing(1, &m, true);
+        assert_eq!(s.rule_firings, 3);
+        assert_eq!(s.facts_derived, 2);
+        assert_eq!(s.duplicate_derivations, 1);
+        assert_eq!(s.facts_by_pred[&p], 1);
+        assert_eq!(s.firings_by_rule[&0], 2);
+        assert_eq!(s.auxiliary_facts(), 1);
+        assert_eq!(s.answer_facts(), 1);
+        assert!(s.to_string().contains("firings: 3"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Compiled evaluation plans for rules.
+//!
+//! A rule is evaluated left-to-right (the rewrites of `magic-core` emit rule
+//! bodies already ordered according to the sip, with guard literals first).
+//! For each body atom we precompute which argument positions will be fully
+//! evaluable — usable as an index key — by the time the atom is reached, and
+//! which positions must be matched tuple-by-tuple.
+
+use magic_datalog::{PredName, Rule, Term, Variable};
+use std::collections::BTreeSet;
+
+/// The per-atom part of a compiled rule plan.
+#[derive(Clone, Debug)]
+pub struct AtomPlan {
+    /// The predicate this atom reads.
+    pub pred: PredName,
+    /// The atom's arity.
+    pub arity: usize,
+    /// Positions whose terms are fully evaluable when the atom is reached
+    /// (all their variables bound by earlier atoms, or ground).
+    pub key_positions: Vec<usize>,
+    /// The terms at `key_positions`.
+    pub key_terms: Vec<Term>,
+    /// The remaining positions, with their terms, matched against each
+    /// candidate row (extending the environment).
+    pub check: Vec<(usize, Term)>,
+}
+
+/// A compiled rule: the original rule plus per-atom access plans.
+#[derive(Clone, Debug)]
+pub struct RulePlan {
+    /// The source rule.
+    pub rule: Rule,
+    /// The index of the rule in the program (used in metrics).
+    pub rule_idx: usize,
+    /// Access plans, one per body atom, in evaluation order.
+    pub atoms: Vec<AtomPlan>,
+    /// Body occurrence indices whose predicate is derived in the program
+    /// (candidates for delta-restricted evaluation in semi-naive mode).
+    pub derived_occurrences: Vec<usize>,
+}
+
+impl RulePlan {
+    /// Compile a rule.  `derived` is the set of predicates defined by rules
+    /// of the program being evaluated.
+    pub fn compile(rule: &Rule, rule_idx: usize, derived: &BTreeSet<PredName>) -> RulePlan {
+        let mut bound: BTreeSet<Variable> = BTreeSet::new();
+        let mut atoms = Vec::with_capacity(rule.body.len());
+        let mut derived_occurrences = Vec::new();
+        for (i, atom) in rule.body.iter().enumerate() {
+            let mut key_positions = Vec::new();
+            let mut key_terms = Vec::new();
+            let mut check = Vec::new();
+            for (p, term) in atom.terms.iter().enumerate() {
+                let vars = term.vars();
+                if vars.iter().all(|v| bound.contains(v)) {
+                    key_positions.push(p);
+                    key_terms.push(term.clone());
+                } else {
+                    check.push((p, term.clone()));
+                }
+            }
+            // After this atom is solved, all its variables are bound.
+            bound.extend(atom.vars());
+            if derived.contains(&atom.pred) {
+                derived_occurrences.push(i);
+            }
+            atoms.push(AtomPlan {
+                pred: atom.pred.clone(),
+                arity: atom.arity(),
+                key_positions,
+                key_terms,
+                check,
+            });
+        }
+        RulePlan {
+            rule: rule.clone(),
+            rule_idx,
+            atoms,
+            derived_occurrences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::parse_rule;
+
+    #[test]
+    fn key_positions_follow_left_to_right_binding() {
+        let rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).").unwrap();
+        let derived: BTreeSet<PredName> = [PredName::plain("anc")].into_iter().collect();
+        let plan = RulePlan::compile(&rule, 1, &derived);
+        // par(X, Z): nothing bound yet, both positions are checks.
+        assert!(plan.atoms[0].key_positions.is_empty());
+        assert_eq!(plan.atoms[0].check.len(), 2);
+        // anc(Z, Y): Z is bound by par, Y is not.
+        assert_eq!(plan.atoms[1].key_positions, vec![0]);
+        assert_eq!(plan.atoms[1].check.len(), 1);
+        assert_eq!(plan.derived_occurrences, vec![1]);
+    }
+
+    #[test]
+    fn ground_arguments_are_keys() {
+        let rule = parse_rule("p(X) :- q(john, X).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        assert_eq!(plan.atoms[0].key_positions, vec![0]);
+        assert!(plan.derived_occurrences.is_empty());
+    }
+
+    #[test]
+    fn compound_terms_partially_bound_are_checks() {
+        let rule = parse_rule("p(X, Y) :- q(X), r(f(X, Y)).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        // f(X, Y): X bound by q but Y free -> not evaluable, so a check.
+        assert!(plan.atoms[1].key_positions.is_empty());
+        assert_eq!(plan.atoms[1].check.len(), 1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Databases: named collections of relations (the EDB, and the IDB produced
+//! by evaluation).
+
+use crate::relation::{Relation, Row};
+use magic_datalog::{Fact, PredName, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database: a finite set of finite relations, keyed by predicate name.
+///
+/// The same type stores the extensional database (base facts) and the
+/// derived relations an evaluation produces.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<PredName, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database {
+            relations: BTreeMap::new(),
+        }
+    }
+
+    /// Build a database from an iterator of facts.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Database {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert_fact(&f);
+        }
+        db
+    }
+
+    /// Insert a fact; returns `true` if it was new.
+    pub fn insert_fact(&mut self, fact: &Fact) -> bool {
+        self.insert(fact.pred.clone(), fact.values.clone())
+    }
+
+    /// Insert a row under a predicate name; returns `true` if it was new.
+    pub fn insert(&mut self, pred: PredName, row: Row) -> bool {
+        let arity = row.len();
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(arity))
+            .insert(row)
+    }
+
+    /// Insert a binary tuple of symbolic constants — the common case for the
+    /// paper's workloads (`par`, `up`, `flat`, `down`).
+    pub fn insert_pair(&mut self, pred: &str, a: &str, b: &str) -> bool {
+        self.insert(PredName::plain(pred), vec![Value::sym(a), Value::sym(b)])
+    }
+
+    /// The relation for `pred`, if present.
+    pub fn relation(&self, pred: &PredName) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// The relation for `pred`, creating an empty one of the given arity if
+    /// absent.
+    pub fn relation_mut(&mut self, pred: &PredName, arity: usize) -> &mut Relation {
+        self.relations
+            .entry(pred.clone())
+            .or_insert_with(|| Relation::new(arity))
+    }
+
+    /// True iff the database contains the fact.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relations
+            .get(&fact.pred)
+            .is_some_and(|r| r.contains(&fact.values))
+    }
+
+    /// Number of rows stored for `pred` (0 if absent).
+    pub fn count(&self, pred: &PredName) -> usize {
+        self.relations.get(pred).map_or(0, Relation::len)
+    }
+
+    /// Total number of rows across all relations.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Iterate over `(predicate, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PredName, &Relation)> + '_ {
+        self.relations.iter()
+    }
+
+    /// The predicates present in the database.
+    pub fn predicates(&self) -> impl Iterator<Item = &PredName> + '_ {
+        self.relations.keys()
+    }
+
+    /// Iterate over every fact in the database.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(pred, rel)| {
+            rel.iter()
+                .map(move |row| Fact::new(pred.clone(), row.clone()))
+        })
+    }
+
+    /// Merge all relations of `other` into `self`; returns the number of new
+    /// rows.
+    pub fn merge(&mut self, other: &Database) -> usize {
+        let mut added = 0;
+        for (pred, rel) in other.iter() {
+            for row in rel.iter() {
+                if self.insert(pred.clone(), row.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+
+    /// Per-predicate row counts (useful for reporting fact-count tables).
+    pub fn counts(&self) -> BTreeMap<PredName, usize> {
+        self.relations
+            .iter()
+            .map(|(p, r)| (p.clone(), r.len()))
+            .collect()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pred, rel) in &self.relations {
+            for row in rel.iter() {
+                write!(f, "{pred}(")?;
+                for (i, v) in row.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                writeln!(f, ").")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Fact> for Database {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        Database::from_facts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = Database::new();
+        assert!(db.insert_pair("par", "a", "b"));
+        assert!(!db.insert_pair("par", "a", "b"));
+        assert!(db.insert_pair("par", "b", "c"));
+        assert_eq!(db.count(&PredName::plain("par")), 2);
+        assert_eq!(db.total_facts(), 2);
+        assert!(db.contains(&Fact::plain("par", vec![Value::sym("a"), Value::sym("b")])));
+        assert!(!db.contains(&Fact::plain("par", vec![Value::sym("z"), Value::sym("b")])));
+    }
+
+    #[test]
+    fn from_facts_roundtrip() {
+        let facts = vec![
+            Fact::plain("p", vec![Value::int(1)]),
+            Fact::plain("q", vec![Value::int(2), Value::int(3)]),
+        ];
+        let db = Database::from_facts(facts.clone());
+        let collected: Vec<Fact> = db.facts().collect();
+        assert_eq!(collected.len(), 2);
+        for f in &facts {
+            assert!(db.contains(f));
+        }
+    }
+
+    #[test]
+    fn merge_and_counts() {
+        let mut a = Database::new();
+        a.insert_pair("par", "a", "b");
+        let mut b = Database::new();
+        b.insert_pair("par", "a", "b");
+        b.insert_pair("up", "a", "c");
+        assert_eq!(a.merge(&b), 1);
+        let counts = a.counts();
+        assert_eq!(counts[&PredName::plain("par")], 1);
+        assert_eq!(counts[&PredName::plain("up")], 1);
+    }
+
+    #[test]
+    fn display_lists_facts() {
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        assert_eq!(db.to_string(), "par(a, b).\n");
+    }
+
+    #[test]
+    fn relation_mut_creates() {
+        let mut db = Database::new();
+        db.relation_mut(&PredName::plain("empty"), 3);
+        assert_eq!(db.count(&PredName::plain("empty")), 0);
+        assert!(db.relation(&PredName::plain("empty")).is_some());
+    }
+}

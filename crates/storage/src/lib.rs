@@ -1,0 +1,28 @@
+//! # magic-storage
+//!
+//! Fact storage for the deductive database substrate: relations of ground
+//! tuples with hash indexes on bound-position patterns, and databases keyed
+//! by (structured) predicate names.
+//!
+//! ```
+//! use magic_storage::Database;
+//! use magic_datalog::{Fact, PredName, Value};
+//!
+//! let mut db = Database::new();
+//! db.insert_pair("par", "john", "mary");
+//! db.insert_pair("par", "mary", "ann");
+//! assert_eq!(db.count(&PredName::plain("par")), 2);
+//! assert!(db.contains(&Fact::plain(
+//!     "par",
+//!     vec![Value::sym("john"), Value::sym("mary")]
+//! )));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod database;
+pub mod relation;
+
+pub use database::Database;
+pub use relation::{Relation, Row};

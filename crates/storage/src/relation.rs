@@ -1,0 +1,301 @@
+//! In-memory relations with hash indexes on bound-position patterns.
+
+use magic_datalog::Value;
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// A row (tuple) of ground values.
+pub type Row = Vec<Value>;
+
+/// An in-memory relation: a set of rows of fixed arity, with hash indexes
+/// built on demand for the bound-position patterns the evaluator needs.
+///
+/// Rows are stored append-only in insertion order (so iteration is
+/// deterministic) with a hash set for duplicate elimination.  Indexes map a
+/// key — the values at a fixed list of positions — to the list of row ids
+/// having that key, and are maintained incrementally on insert.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Row>,
+    present: HashSet<Row>,
+    /// positions -> key values -> row ids
+    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<usize>>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            rows: Vec::new(),
+            present: HashSet::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity does not match the relation's.
+    pub fn insert(&mut self, row: Row) -> bool {
+        assert_eq!(
+            row.len(),
+            self.arity,
+            "row arity {} does not match relation arity {}",
+            row.len(),
+            self.arity
+        );
+        if self.present.contains(&row) {
+            return false;
+        }
+        let id = self.rows.len();
+        for (positions, index) in self.indexes.iter_mut() {
+            let key: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
+            index.entry(key).or_default().push(id);
+        }
+        self.present.insert(row.clone());
+        self.rows.push(row);
+        true
+    }
+
+    /// True iff the relation contains `row`.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.present.contains(row)
+    }
+
+    /// Iterate over all rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> + '_ {
+        self.rows.iter()
+    }
+
+    /// The row with the given id (insertion order).
+    pub fn row(&self, id: usize) -> &Row {
+        &self.rows[id]
+    }
+
+    /// Rows with ids in `from..` (used by delta-based evaluation).
+    pub fn rows_from(&self, from: usize) -> &[Row] {
+        &self.rows[from.min(self.rows.len())..]
+    }
+
+    /// Ensure an index exists on `positions` and return the matching row ids
+    /// for `key` (the values at those positions).
+    ///
+    /// An empty `positions` list means "no selection": all row ids match.
+    pub fn select_ids(&mut self, positions: &[usize], key: &[Value]) -> Vec<usize> {
+        debug_assert_eq!(positions.len(), key.len());
+        if positions.is_empty() {
+            return (0..self.rows.len()).collect();
+        }
+        if !self.indexes.contains_key(positions) {
+            let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+            for (id, row) in self.rows.iter().enumerate() {
+                let k: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
+                index.entry(k).or_default().push(id);
+            }
+            self.indexes.insert(positions.to_vec(), index);
+        }
+        self.indexes[positions]
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Ensure a (incrementally maintained) hash index exists on `positions`.
+    pub fn ensure_index(&mut self, positions: &[usize]) {
+        if positions.is_empty() || self.indexes.contains_key(positions) {
+            return;
+        }
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (id, row) in self.rows.iter().enumerate() {
+            let k: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
+            index.entry(k).or_default().push(id);
+        }
+        self.indexes.insert(positions.to_vec(), index);
+    }
+
+    /// Look up the row ids matching `key` on a previously ensured index.
+    /// Returns `None` if no index exists on `positions` (callers fall back to
+    /// [`Relation::scan_select`]).
+    pub fn lookup(&self, positions: &[usize], key: &[Value]) -> Option<&[usize]> {
+        let index = self.indexes.get(positions)?;
+        Some(index.get(key).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Like [`Relation::select_ids`] but without building or using indexes
+    /// (linear scan).  Useful for read-only access paths.
+    pub fn scan_select(&self, positions: &[usize], key: &[Value]) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| positions.iter().zip(key).all(|(&p, v)| &row[p] == v))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Project the relation onto the given positions, returning the distinct
+    /// projected rows in first-appearance order.
+    pub fn project(&self, positions: &[usize]) -> Vec<Row> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            let projected: Row = positions.iter().map(|&p| row[p].clone()).collect();
+            if seen.insert(projected.clone()) {
+                out.push(projected);
+            }
+        }
+        out
+    }
+
+    /// Merge all rows of `other` into `self`; returns the number of new rows.
+    pub fn merge(&mut self, other: &Relation) -> usize {
+        let mut added = 0;
+        for row in other.iter() {
+            if self.insert(row.clone()) {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.present == other.present
+    }
+}
+
+impl Eq for Relation {}
+
+impl FromIterator<Row> for Relation {
+    fn from_iter<T: IntoIterator<Item = Row>>(iter: T) -> Self {
+        let rows: Vec<Row> = iter.into_iter().collect();
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut rel = Relation::new(arity);
+        for r in rows {
+            rel.insert(r);
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    #[test]
+    fn insert_and_dedup() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![v("a"), v("b")]));
+        assert!(!r.insert(vec![v("a"), v("b")]));
+        assert!(r.insert(vec![v("a"), v("c")]));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[v("a"), v("b")]));
+        assert!(!r.contains(&[v("b"), v("a")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(vec![v("a")]);
+    }
+
+    #[test]
+    fn select_builds_index_and_stays_current() {
+        let mut r = Relation::new(2);
+        r.insert(vec![v("a"), v("b")]);
+        r.insert(vec![v("a"), v("c")]);
+        r.insert(vec![v("d"), v("e")]);
+        let ids = r.select_ids(&[0], &[v("a")]);
+        assert_eq!(ids.len(), 2);
+        // Index must be maintained across later inserts.
+        r.insert(vec![v("a"), v("f")]);
+        let ids = r.select_ids(&[0], &[v("a")]);
+        assert_eq!(ids.len(), 3);
+        // Multi-position keys.
+        let ids = r.select_ids(&[0, 1], &[v("a"), v("c")]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(r.row(ids[0]), &vec![v("a"), v("c")]);
+        // Missing keys return nothing.
+        assert!(r.select_ids(&[0], &[v("zzz")]).is_empty());
+        // Empty position list selects everything.
+        assert_eq!(r.select_ids(&[], &[]).len(), 4);
+    }
+
+    #[test]
+    fn scan_select_agrees_with_index() {
+        let mut r = Relation::new(3);
+        for i in 0..10i64 {
+            r.insert(vec![Value::Int(i % 3), Value::Int(i), Value::Int(i * 2)]);
+        }
+        let scanned = r.scan_select(&[0], &[Value::Int(1)]);
+        let indexed = r.select_ids(&[0], &[Value::Int(1)]);
+        assert_eq!(scanned, indexed);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let mut r = Relation::new(2);
+        r.insert(vec![v("a"), v("b")]);
+        r.insert(vec![v("a"), v("c")]);
+        r.insert(vec![v("d"), v("b")]);
+        let proj = r.project(&[0]);
+        assert_eq!(proj, vec![vec![v("a")], vec![v("d")]]);
+        let proj = r.project(&[1, 0]);
+        assert_eq!(proj.len(), 3);
+    }
+
+    #[test]
+    fn merge_counts_new_rows() {
+        let mut a = Relation::new(1);
+        a.insert(vec![v("x")]);
+        let mut b = Relation::new(1);
+        b.insert(vec![v("x")]);
+        b.insert(vec![v("y")]);
+        assert_eq!(a.merge(&b), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn rows_from_slices_deltas() {
+        let mut r = Relation::new(1);
+        r.insert(vec![v("a")]);
+        r.insert(vec![v("b")]);
+        r.insert(vec![v("c")]);
+        assert_eq!(r.rows_from(1).len(), 2);
+        assert_eq!(r.rows_from(5).len(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = Relation::new(1);
+        a.insert(vec![v("x")]);
+        a.insert(vec![v("y")]);
+        let mut b = Relation::new(1);
+        b.insert(vec![v("y")]);
+        b.insert(vec![v("x")]);
+        assert_eq!(a, b);
+    }
+}

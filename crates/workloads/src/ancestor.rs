@@ -1,0 +1,116 @@
+//! Parenthood relations for the ancestor programs: chains, balanced trees,
+//! random DAGs and cycles.
+
+use magic_storage::Database;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The name of the node with the given index (`n0`, `n1`, ...).
+pub fn node(i: usize) -> String {
+    format!("n{i}")
+}
+
+/// A chain `par(n0, n1), par(n1, n2), ..., par(n_{n-1}, n_n)`.
+///
+/// The full `anc` relation over a chain of `n` edges has `n(n+1)/2` tuples,
+/// while the answers to `anc(n0, Y)?` number only `n` — the gap the
+/// magic-sets rewrite exploits (Section 1).
+pub fn chain(n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert_pair("par", &node(i), &node(i + 1));
+    }
+    db
+}
+
+/// A complete binary tree of the given depth: node `i` is the parent of
+/// nodes `2i+1` and `2i+2`.  Depth `d` yields `2^(d+1) - 1` nodes.
+pub fn binary_tree(depth: usize) -> Database {
+    let mut db = Database::new();
+    let nodes = (1usize << (depth + 1)) - 1;
+    let internal = (1usize << depth) - 1;
+    for i in 0..internal {
+        for child in [2 * i + 1, 2 * i + 2] {
+            if child < nodes {
+                db.insert_pair("par", &node(i), &node(child));
+            }
+        }
+    }
+    db
+}
+
+/// A random DAG over `n` nodes with roughly `edges` edges, all oriented from
+/// lower-numbered to higher-numbered nodes (hence acyclic).  Deterministic
+/// for a given `seed`.
+pub fn random_dag(n: usize, edges: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    if n < 2 {
+        return db;
+    }
+    for _ in 0..edges {
+        let a = rng.random_range(0..n - 1);
+        let b = rng.random_range(a + 1..n);
+        db.insert_pair("par", &node(a), &node(b));
+    }
+    db
+}
+
+/// A directed cycle over `n` nodes (`par(n0, n1), ..., par(n_{n-1}, n0)`).
+/// Magic sets terminate on cyclic data; the counting methods do not
+/// (Section 10).
+pub fn cycle(n: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert_pair("par", &node(i), &node((i + 1) % n));
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::PredName;
+
+    #[test]
+    fn chain_sizes() {
+        assert_eq!(chain(10).count(&PredName::plain("par")), 10);
+        assert_eq!(chain(0).total_facts(), 0);
+    }
+
+    #[test]
+    fn binary_tree_sizes() {
+        // Depth 3: 15 nodes, 14 edges.
+        assert_eq!(binary_tree(3).count(&PredName::plain("par")), 14);
+        assert_eq!(binary_tree(0).total_facts(), 0);
+    }
+
+    #[test]
+    fn random_dag_is_deterministic_and_acyclic() {
+        let a = random_dag(50, 200, 7);
+        let b = random_dag(50, 200, 7);
+        assert_eq!(a, b);
+        // Acyclic by construction: all edges go from lower to higher ids.
+        for row in a
+            .relation(&PredName::plain("par"))
+            .unwrap()
+            .iter()
+        {
+            let from: usize = row[0].to_string()[1..].parse().unwrap();
+            let to: usize = row[1].to_string()[1..].parse().unwrap();
+            assert!(from < to);
+        }
+        let c = random_dag(50, 200, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cycle_wraps_around() {
+        let db = cycle(5);
+        assert_eq!(db.count(&PredName::plain("par")), 5);
+        assert!(db.contains(&magic_datalog::Fact::plain(
+            "par",
+            vec!["n4".into(), "n0".into()]
+        )));
+    }
+}

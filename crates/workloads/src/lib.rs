@@ -1,0 +1,20 @@
+//! # magic-workloads
+//!
+//! Synthetic workload generators for the *Power of Magic* experiments: the
+//! canonical deductive-database benchmark data sets used throughout the
+//! magic-sets literature (parent chains, trees and random DAGs for
+//! `ancestor`; layered `up`/`flat`/`down` structures for `same-generation`;
+//! ground lists for `reverse`), the cyclic variants used by the safety
+//! experiments, and the Appendix's four benchmark programs ready-parsed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ancestor;
+pub mod lists;
+pub mod programs;
+pub mod same_generation;
+
+pub use ancestor::{binary_tree, chain, cycle, random_dag};
+pub use lists::{list_term, list_value, reverse_database};
+pub use same_generation::{nested_sg_extras, same_generation_grid, SgConfig};

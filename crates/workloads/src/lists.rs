@@ -1,0 +1,40 @@
+//! Ground lists for the `reverse`/`append` workload (Appendix problem 4).
+
+use magic_datalog::{Term, Value};
+use magic_storage::Database;
+
+/// The ground list value `[e0, e1, ..., e_{n-1}]`.
+pub fn list_value(n: usize) -> Value {
+    Value::list((0..n).map(|i| Value::sym(&format!("e{i}"))).collect())
+}
+
+/// The ground list term `[e0, e1, ..., e_{n-1}]`.
+pub fn list_term(n: usize) -> Term {
+    list_value(n).to_term()
+}
+
+/// The (empty) extensional database for the reverse workload — `reverse` and
+/// `append` are entirely derived, the input list lives in the query.
+pub fn reverse_database() -> Database {
+    Database::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_roundtrip() {
+        let v = list_value(3);
+        assert_eq!(v.as_list().unwrap().len(), 3);
+        assert_eq!(list_term(3).to_string(), "[e0, e1, e2]");
+        assert_eq!(list_term(0).to_string(), "[]");
+        assert_eq!(reverse_database().total_facts(), 0);
+    }
+
+    #[test]
+    fn list_length_matches_paper_measure() {
+        // |[e0,...,e_{n-1}]| = 2n + 1 (n cons cells, n constants, one nil).
+        assert_eq!(list_value(4).length(), 9);
+    }
+}

@@ -1,0 +1,120 @@
+//! The four benchmark programs of the paper's Appendix (A.1), ready-parsed.
+
+use magic_datalog::{parse_program, parse_query, Program, Query, Term};
+
+/// Appendix problem (1): the linear ancestor program.
+pub fn ancestor() -> Program {
+    parse_program(
+        "a(X, Y) :- par(X, Y).
+         a(X, Y) :- par(X, Z), a(Z, Y).",
+    )
+    .expect("ancestor program parses")
+}
+
+/// The ancestor program written over the `par`/`anc` names used in the
+/// paper's introduction (identical structure to [`ancestor`]).
+pub fn ancestor_intro() -> Program {
+    parse_program(
+        "anc(X, Y) :- par(X, Y).
+         anc(X, Y) :- par(X, Z), anc(Z, Y).",
+    )
+    .expect("ancestor program parses")
+}
+
+/// Appendix problem (2): the nonlinear ancestor program.
+pub fn nonlinear_ancestor() -> Program {
+    parse_program(
+        "a(X, Y) :- par(X, Y).
+         a(X, Y) :- a(X, Z), a(Z, Y).",
+    )
+    .expect("nonlinear ancestor program parses")
+}
+
+/// Example 1: the nonlinear same-generation program.
+pub fn same_generation() -> Program {
+    parse_program(
+        "sg(X, Y) :- flat(X, Y).
+         sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+    )
+    .expect("same-generation program parses")
+}
+
+/// Appendix problem (3): the nested same-generation program.
+pub fn nested_same_generation() -> Program {
+    parse_program(
+        "p(X, Y) :- b1(X, Y).
+         p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+         sg(X, Y) :- flat(X, Y).
+         sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).",
+    )
+    .expect("nested same-generation program parses")
+}
+
+/// Appendix problem (4): list reverse (with append).
+pub fn list_reverse() -> Program {
+    parse_program(
+        "append(V, [], [V]) :- .
+         append(V, [W | X], [W | Y]) :- append(V, X, Y).
+         reverse([], []) :- .
+         reverse([V | X], Y) :- reverse(X, Z), append(V, Z, Y).",
+    )
+    .expect("list reverse program parses")
+}
+
+/// The query `a(n0, Y)?` used by the ancestor experiments.
+pub fn ancestor_query(constant: &str) -> Query {
+    parse_query(&format!("a({constant}, Y)")).expect("query parses")
+}
+
+/// The query `sg(c, Y)?` used by the same-generation experiments.
+pub fn same_generation_query(constant: &str) -> Query {
+    parse_query(&format!("sg({constant}, Y)")).expect("query parses")
+}
+
+/// The query `p(c, Y)?` used by the nested same-generation experiments.
+pub fn nested_sg_query(constant: &str) -> Query {
+    parse_query(&format!("p({constant}, Y)")).expect("query parses")
+}
+
+/// The query `reverse(list, Y)?` for a concrete input list.
+pub fn reverse_query(list: Term) -> Query {
+    Query::plain("reverse", vec![list, Term::var("Y")])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lists::list_term;
+
+    #[test]
+    fn all_programs_parse_and_validate_connectivity() {
+        for program in [
+            ancestor(),
+            ancestor_intro(),
+            nonlinear_ancestor(),
+            same_generation(),
+            nested_same_generation(),
+            list_reverse(),
+        ] {
+            for rule in &program.rules {
+                rule.check_connected().unwrap();
+            }
+            assert!(!program.is_empty());
+        }
+    }
+
+    #[test]
+    fn queries_have_expected_adornments() {
+        assert_eq!(ancestor_query("n0").adornment().to_string(), "bf");
+        assert_eq!(same_generation_query("l0c0").adornment().to_string(), "bf");
+        assert_eq!(nested_sg_query("l0c0").adornment().to_string(), "bf");
+        assert_eq!(reverse_query(list_term(3)).adornment().to_string(), "bf");
+    }
+
+    #[test]
+    fn datalog_classification() {
+        assert!(ancestor().is_datalog());
+        assert!(nested_same_generation().is_datalog());
+        assert!(!list_reverse().is_datalog());
+    }
+}

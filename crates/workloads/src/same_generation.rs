@@ -1,0 +1,135 @@
+//! `up` / `flat` / `down` structures for the (nonlinear and nested)
+//! same-generation programs.
+
+use magic_storage::Database;
+
+/// Configuration of the layered same-generation workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SgConfig {
+    /// Number of `up`/`down` levels above the base level.
+    pub depth: usize,
+    /// Number of nodes per level.
+    pub width: usize,
+    /// Whether `flat` edges are generated on every level (true) or only on
+    /// the top level (false).
+    pub flat_everywhere: bool,
+}
+
+impl Default for SgConfig {
+    fn default() -> Self {
+        SgConfig {
+            depth: 3,
+            width: 8,
+            flat_everywhere: true,
+        }
+    }
+}
+
+/// The name of the node at `(level, column)`.
+pub fn grid_node(level: usize, column: usize) -> String {
+    format!("l{level}c{column}")
+}
+
+/// A layered grid:
+///
+/// * `up(l{i}c{j}, l{i+1}c{j})` — each node points up to the node above it;
+/// * `down(l{i+1}c{j}, l{i}c{j})` — and back down;
+/// * `flat(l{i}c{j}, l{i}c{j±1})` — adjacent columns of a level are "flat"
+///   neighbours (on the top level only, unless `flat_everywhere`).
+///
+/// Two base-level nodes are in the same generation whenever they are
+/// connected through some number of up-moves, a flat move and the matching
+/// down-moves — exactly the shape of the nonlinear `sg` rule.
+pub fn same_generation_grid(config: SgConfig) -> Database {
+    let mut db = Database::new();
+    for level in 0..config.depth {
+        for col in 0..config.width {
+            db.insert_pair("up", &grid_node(level, col), &grid_node(level + 1, col));
+            db.insert_pair("down", &grid_node(level + 1, col), &grid_node(level, col));
+        }
+    }
+    for level in 0..=config.depth {
+        if !config.flat_everywhere && level != config.depth {
+            continue;
+        }
+        for col in 0..config.width.saturating_sub(1) {
+            db.insert_pair("flat", &grid_node(level, col), &grid_node(level, col + 1));
+            db.insert_pair("flat", &grid_node(level, col + 1), &grid_node(level, col));
+        }
+    }
+    db
+}
+
+/// The extra `b1`/`b2` relations used by the *nested* same-generation
+/// program of the Appendix (problem 3): `b1` mirrors `flat` on the base
+/// level and `b2` is the identity on base-level nodes, so the nested `p`
+/// relation is non-trivial but finite.
+pub fn nested_sg_extras(config: SgConfig, db: &mut Database) {
+    for col in 0..config.width.saturating_sub(1) {
+        db.insert_pair("b1", &grid_node(0, col), &grid_node(0, col + 1));
+    }
+    for col in 0..config.width {
+        db.insert_pair("b2", &grid_node(0, col), &grid_node(0, col));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::PredName;
+
+    #[test]
+    fn grid_sizes() {
+        let cfg = SgConfig {
+            depth: 2,
+            width: 4,
+            flat_everywhere: true,
+        };
+        let db = same_generation_grid(cfg);
+        assert_eq!(db.count(&PredName::plain("up")), 8);
+        assert_eq!(db.count(&PredName::plain("down")), 8);
+        // 3 levels × 3 adjacent pairs × 2 directions.
+        assert_eq!(db.count(&PredName::plain("flat")), 18);
+    }
+
+    #[test]
+    fn flat_only_on_top() {
+        let cfg = SgConfig {
+            depth: 2,
+            width: 4,
+            flat_everywhere: false,
+        };
+        let db = same_generation_grid(cfg);
+        assert_eq!(db.count(&PredName::plain("flat")), 6);
+    }
+
+    #[test]
+    fn nested_extras() {
+        let cfg = SgConfig::default();
+        let mut db = same_generation_grid(cfg);
+        nested_sg_extras(cfg, &mut db);
+        assert_eq!(db.count(&PredName::plain("b1")), cfg.width - 1);
+        assert_eq!(db.count(&PredName::plain("b2")), cfg.width);
+    }
+
+    #[test]
+    fn same_generation_answers_exist() {
+        // End-to-end sanity: the nonlinear sg program over a small grid has
+        // answers for a base-level query.
+        use magic_datalog::{parse_program, parse_query};
+        use magic_engine::{answers::query_answers, Evaluator};
+        let program = parse_program(
+            "sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), flat(Z2, Z3), sg(Z3, Z4), down(Z4, Y).",
+        )
+        .unwrap();
+        let db = same_generation_grid(SgConfig {
+            depth: 2,
+            width: 4,
+            flat_everywhere: true,
+        });
+        let result = Evaluator::new(program).run(&db).unwrap();
+        let q = parse_query("sg(l0c0, Y)").unwrap();
+        assert!(!query_answers(&result.database, &q).is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Safety in practice (Section 10): magic sets terminate on cyclic data and
+//! on the nonlinear ancestor program; the counting methods do not — the
+//! static argument-graph analysis (Theorem 10.3) predicts the program-level
+//! divergence, and the engine's resource limits catch the data-level one.
+//!
+//! Run with `cargo run --example cyclic_safety`.
+
+use power_of_magic::engine::Limits;
+use power_of_magic::magic::adorn::adorn;
+use power_of_magic::magic::planner::{Planner, Strategy};
+use power_of_magic::magic::safety::{analyze, CountingSafety};
+use power_of_magic::magic::sip_builder::SipStrategy;
+use power_of_magic::workloads::{chain, cycle, programs};
+
+fn main() {
+    let limits = Limits::strict();
+
+    // Case 1: the nonlinear ancestor program — counting diverges regardless
+    // of the data (Theorem 10.3, Appendix A.5.2).
+    let nonlinear = programs::nonlinear_ancestor();
+    let query = programs::ancestor_query("n0");
+    let adorned = adorn(&nonlinear, &query, SipStrategy::FullLeftToRight).unwrap();
+    let report = analyze(&adorned);
+    println!("nonlinear ancestor: {report}");
+    assert_eq!(report.counting, CountingSafety::NonTerminating);
+
+    let magic = Planner::new(Strategy::MagicSets)
+        .with_limits(limits)
+        .evaluate(&nonlinear, &query, &chain(20))
+        .expect("magic sets terminate");
+    println!("  magic sets:   {} answers (terminates)", magic.answers.len());
+    match Planner::new(Strategy::Counting)
+        .with_limits(limits)
+        .evaluate(&nonlinear, &query, &chain(20))
+    {
+        Err(e) => println!("  counting:     diverges as predicted ({e})"),
+        Ok(r) => println!("  counting:     unexpectedly terminated with {} answers", r.answers.len()),
+    }
+
+    // Case 2: the linear ancestor program on cyclic data — statically fine,
+    // but the cycle makes the counting indexes grow without bound.
+    let linear = programs::ancestor();
+    let adorned = adorn(&linear, &query, SipStrategy::FullLeftToRight).unwrap();
+    println!("\nlinear ancestor on a 12-node cycle: {}", analyze(&adorned));
+    let cyclic_db = cycle(12);
+    let magic = Planner::new(Strategy::MagicSets)
+        .with_limits(limits)
+        .evaluate(&linear, &query, &cyclic_db)
+        .expect("magic sets terminate on cyclic data (Theorem 10.2)");
+    println!("  magic sets:   {} answers (terminates)", magic.answers.len());
+    match Planner::new(Strategy::Counting)
+        .with_limits(limits)
+        .evaluate(&linear, &query, &cyclic_db)
+    {
+        Err(e) => println!("  counting:     diverges on the cyclic data ({e})"),
+        Ok(r) => println!("  counting:     unexpectedly terminated with {} answers", r.answers.len()),
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: evaluate a recursive query with and without the magic-sets
+//! rewrite.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use power_of_magic::magic::planner::{Planner, Strategy};
+use power_of_magic::{parse_program, parse_query, Database};
+
+fn main() {
+    // The ancestor program from Section 1 of the paper.
+    let program = parse_program(
+        "anc(X, Y) :- par(X, Y).
+         anc(X, Y) :- par(X, Z), anc(Z, Y).",
+    )
+    .expect("program parses");
+
+    // A small family database: two unrelated families.
+    let mut db = Database::new();
+    for (parent, child) in [
+        ("john", "mary"),
+        ("mary", "ann"),
+        ("ann", "peter"),
+        ("zoe", "yan"),
+        ("yan", "omar"),
+        ("omar", "lea"),
+        ("lea", "max"),
+    ] {
+        db.insert_pair("par", parent, child);
+    }
+
+    // Ask for the ancestors... or rather the descendants reachable from john
+    // under this orientation of `par` — the paper's query `anc(john, Y)?`.
+    let query = parse_query("anc(john, Y)").expect("query parses");
+
+    for strategy in [
+        Strategy::SemiNaiveBottomUp,
+        Strategy::MagicSets,
+        Strategy::SupplementaryMagicSets,
+    ] {
+        let result = Planner::new(strategy)
+            .evaluate(&program, &query, &db)
+            .expect("evaluation succeeds");
+        let answers: Vec<String> = result
+            .answers
+            .iter()
+            .map(|row| row[0].to_string())
+            .collect();
+        println!("strategy: {strategy}");
+        println!("  answers:            {answers:?}");
+        println!("  derived facts:      {}", result.stats.facts_derived);
+        println!("  answer facts:       {}", result.accounting.answer_facts);
+        println!("  magic (subquery):   {}", result.accounting.subquery_facts);
+        println!("  rule firings:       {}", result.stats.rule_firings);
+        println!();
+    }
+
+    println!(
+        "Note how the bottom-up baseline derives the anc tuples of zoe's family\n\
+         as well, while the rewrites touch only facts reachable from john —\n\
+         that is Theorem 9.1's sip-optimality in action."
+    );
+}

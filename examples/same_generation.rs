@@ -1,0 +1,50 @@
+//! The paper's running example: the nonlinear same-generation program
+//! (Example 1), evaluated under every strategy over a layered
+//! `up`/`flat`/`down` grid, with the Section 9/11 fact accounting printed as
+//! a comparison table.
+//!
+//! Run with `cargo run --example same_generation`.
+
+use power_of_magic::magic::planner::{Planner, Strategy};
+use power_of_magic::workloads::{programs, same_generation_grid, SgConfig};
+
+fn main() {
+    let program = programs::same_generation();
+    let query = programs::same_generation_query("l0c0");
+    let db = same_generation_grid(SgConfig {
+        depth: 3,
+        width: 8,
+        flat_everywhere: true,
+    });
+
+    println!("program:\n{program}");
+    println!("query:   {query}");
+    println!("data:    {} base facts\n", db.total_facts());
+
+    println!(
+        "{:<12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>7}",
+        "strategy", "answers", "answer.facts", "subquery", "suppl.", "firings", "iters"
+    );
+    for strategy in Strategy::ALL {
+        match Planner::new(strategy).evaluate(&program, &query, &db) {
+            Ok(result) => println!(
+                "{:<12} {:>8} {:>12} {:>10} {:>10} {:>10} {:>7}",
+                strategy.short_name(),
+                result.answers.len(),
+                result.accounting.answer_facts,
+                result.accounting.subquery_facts,
+                result.accounting.supplementary_facts,
+                result.stats.rule_firings,
+                result.stats.iterations
+            ),
+            Err(e) => println!("{:<12} failed: {e}", strategy.short_name()),
+        }
+    }
+
+    println!(
+        "\nExpected shape (Sections 1, 9, 11): every strategy returns the same\n\
+         answers; the baselines derive the whole sg relation while the rewrites\n\
+         derive only the part reachable from l0c0; the supplementary variants\n\
+         trade extra stored facts for fewer duplicate firings."
+    );
+}

@@ -1,0 +1,32 @@
+//! # power-of-magic
+//!
+//! A reproduction of *"On the Power of Magic"* (Catriel Beeri and Raghu
+//! Ramakrishnan, PODS 1987 / J. Logic Programming 1991): sideways
+//! information passing, adorned programs, and the generalized magic-sets,
+//! supplementary magic-sets, counting and supplementary counting rewrites —
+//! all evaluated bottom-up on a from-scratch Datalog engine.
+//!
+//! This facade crate re-exports the workspace crates under one roof:
+//!
+//! * [`lang`] — the Horn-clause language substrate (`magic-datalog`).
+//! * [`storage`] — relations and databases (`magic-storage`).
+//! * [`engine`] — naive and semi-naive bottom-up evaluation (`magic-engine`).
+//! * [`magic`] — the paper's contribution: sips, adornment, the four
+//!   rewrites, semijoin optimization, safety and optimality analyses
+//!   (`magic-core`).
+//! * [`workloads`] — synthetic data generators (`magic-workloads`).
+//!
+//! See the `examples/` directory for end-to-end usage and the `tests/`
+//! directory for the reproduction of the paper's Appendix examples.
+
+#![warn(missing_docs)]
+
+pub use magic_core as magic;
+pub use magic_datalog as lang;
+pub use magic_engine as engine;
+pub use magic_storage as storage;
+pub use magic_workloads as workloads;
+
+pub use magic_core::planner::{Plan, Planner, Strategy};
+pub use magic_datalog::{parse_program, parse_query, parse_source, Program, Query};
+pub use magic_storage::Database;

@@ -1,0 +1,115 @@
+//! Property-based equivalence tests (Theorems 4.1, 5.1, 6.1, 7.1): on
+//! randomized acyclic data and randomized query constants, every rewriting
+//! strategy computes exactly the answers of the semi-naive bottom-up
+//! baseline.
+
+use power_of_magic::magic::planner::{Planner, Strategy};
+use power_of_magic::workloads::{programs, random_dag};
+use power_of_magic::Database;
+use proptest::prelude::*;
+
+fn answers(
+    strategy: Strategy,
+    program: &power_of_magic::Program,
+    query: &power_of_magic::Query,
+    db: &Database,
+) -> std::collections::BTreeSet<Vec<power_of_magic::lang::Value>> {
+    Planner::new(strategy)
+        .evaluate(program, query, db)
+        .unwrap_or_else(|e| panic!("{strategy} failed: {e}"))
+        .answers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Ancestor over random DAGs: all strategies agree for every query node.
+    #[test]
+    fn ancestor_strategies_agree_on_random_dags(
+        nodes in 4usize..28,
+        edge_factor in 1usize..3,
+        seed in 0u64..1000,
+        query_node in 0usize..28,
+    ) {
+        let program = programs::ancestor();
+        let db = random_dag(nodes, nodes * edge_factor, seed);
+        let query = programs::ancestor_query(&format!("n{}", query_node % nodes));
+        let reference = answers(Strategy::SemiNaiveBottomUp, &program, &query, &db);
+        for strategy in Strategy::ALL {
+            prop_assert_eq!(
+                answers(strategy, &program, &query, &db),
+                reference.clone(),
+                "strategy {} disagrees", strategy
+            );
+        }
+    }
+
+    /// The nonlinear ancestor program agrees with the linear one under the
+    /// magic rewrites (same least model, different rules and sips).
+    #[test]
+    fn nonlinear_and_linear_ancestor_agree(
+        nodes in 4usize..25,
+        seed in 0u64..500,
+        query_node in 0usize..25,
+    ) {
+        let linear = programs::ancestor();
+        let nonlinear = programs::nonlinear_ancestor();
+        let db = random_dag(nodes, nodes * 2, seed);
+        let query = programs::ancestor_query(&format!("n{}", query_node % nodes));
+        let reference = answers(Strategy::SemiNaiveBottomUp, &linear, &query, &db);
+        for strategy in [Strategy::MagicSets, Strategy::SupplementaryMagicSets] {
+            prop_assert_eq!(answers(strategy, &nonlinear, &query, &db), reference.clone());
+        }
+    }
+
+    /// Magic answers are monotone in the data: adding edges never removes
+    /// answers (a soundness smoke test for the delta-based evaluation).
+    #[test]
+    fn magic_answers_are_monotone(
+        nodes in 4usize..25,
+        seed in 0u64..500,
+        query_node in 0usize..25,
+    ) {
+        let program = programs::ancestor();
+        let small = random_dag(nodes, nodes, seed);
+        let large = {
+            let mut db = random_dag(nodes, nodes, seed);
+            let extra = random_dag(nodes, nodes, seed.wrapping_add(1));
+            db.merge(&extra);
+            db
+        };
+        let query = programs::ancestor_query(&format!("n{}", query_node % nodes));
+        let small_answers = answers(Strategy::MagicSets, &program, &query, &small);
+        let large_answers = answers(Strategy::MagicSets, &program, &query, &large);
+        prop_assert!(small_answers.is_subset(&large_answers));
+    }
+
+    /// Reverse computes the actual reversal for arbitrary small lists, under
+    /// every rewrite (the baselines cannot run this program).
+    #[test]
+    fn reverse_is_correct_for_random_lists(len in 0usize..10) {
+        let program = programs::list_reverse();
+        let db = power_of_magic::workloads::reverse_database();
+        let query = programs::reverse_query(power_of_magic::workloads::list_term(len));
+        let expected: Vec<String> = (0..len).rev().map(|i| format!("e{i}")).collect();
+        for strategy in [
+            Strategy::MagicSets,
+            Strategy::SupplementaryMagicSets,
+            Strategy::Counting,
+            Strategy::SupplementaryCounting,
+        ] {
+            let result = answers(strategy, &program, &query, &db);
+            prop_assert_eq!(result.len(), 1);
+            let items: Vec<String> = result
+                .iter()
+                .next()
+                .unwrap()[0]
+                .as_list()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
+            prop_assert_eq!(items, expected.clone());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based round-trip tests for the parser and pretty-printer: any
+//! program we can print, we can parse back to an identical AST.
+
+use power_of_magic::lang::{parse_program, parse_rule, parse_term, Atom, Program, Rule, Term};
+use proptest::prelude::*;
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        "[a-z][a-z0-9]{0,5}".prop_map(|s| Term::sym(&s)),
+        "[A-Z][a-z0-9]{0,5}".prop_map(|s| Term::var(&s)),
+        (-1000i64..1000).prop_map(Term::Int),
+        Just(Term::nil()),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                "[a-z][a-z0-9]{0,5}",
+                prop::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(f, args)| Term::app(&f, args)),
+            (inner.clone(), inner).prop_map(|(h, t)| Term::cons(h, t)),
+        ]
+    })
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (
+        "[a-z][a-z0-9]{0,5}",
+        prop::collection::vec(term_strategy(), 0..4),
+    )
+        .prop_map(|(p, terms)| Atom::plain(&p, terms))
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (atom_strategy(), prop::collection::vec(atom_strategy(), 0..4))
+        .prop_map(|(head, body)| Rule::new(head, body))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn term_display_parse_roundtrip(term in term_strategy()) {
+        let printed = term.to_string();
+        let reparsed = parse_term(&printed).unwrap_or_else(|e| panic!("could not reparse {printed}: {e}"));
+        prop_assert_eq!(reparsed, term);
+    }
+
+    #[test]
+    fn rule_display_parse_roundtrip(rule in rule_strategy()) {
+        let printed = rule.to_string();
+        let reparsed = parse_rule(&printed).unwrap_or_else(|e| panic!("could not reparse {printed}: {e}"));
+        prop_assert_eq!(reparsed, rule);
+    }
+
+    #[test]
+    fn program_display_parse_roundtrip(rules in prop::collection::vec(rule_strategy(), 0..6)) {
+        let program = Program::from_rules(rules);
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(reparsed, program);
+    }
+}

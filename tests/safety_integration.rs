@@ -1,0 +1,160 @@
+//! Safety, end to end (Section 10): the static verdicts and the runtime
+//! behaviour they predict.
+
+use power_of_magic::engine::{EvalError, Limits};
+use power_of_magic::magic::adorn::adorn;
+use power_of_magic::magic::planner::{PlanError, Planner, Strategy};
+use power_of_magic::magic::safety::{analyze, counting_safety, magic_safety, CountingSafety, MagicSafety};
+use power_of_magic::magic::sip_builder::SipStrategy;
+use power_of_magic::workloads::{chain, cycle, list_term, nested_sg_extras, programs, same_generation_grid, SgConfig};
+
+fn strict() -> Limits {
+    Limits::strict()
+}
+
+#[test]
+fn theorem_10_2_magic_is_safe_on_cyclic_datalog_data() {
+    // Magic sets terminate on cyclic data; every node on the cycle is an
+    // ancestor of every node (including itself).
+    let program = programs::ancestor();
+    let db = cycle(15);
+    let query = programs::ancestor_query("n0");
+    let result = Planner::new(Strategy::MagicSets)
+        .with_limits(strict())
+        .evaluate(&program, &query, &db)
+        .expect("magic sets terminate on cyclic data");
+    assert_eq!(result.answers.len(), 15);
+    let gsms = Planner::new(Strategy::SupplementaryMagicSets)
+        .with_limits(strict())
+        .evaluate(&program, &query, &db)
+        .expect("supplementary magic sets terminate on cyclic data");
+    assert_eq!(gsms.answers, result.answers);
+}
+
+#[test]
+fn counting_diverges_on_cyclic_data() {
+    // The well-known failure mode: the counting indexes grow forever around
+    // the cycle.  The engine's limits turn the divergence into an error.
+    let program = programs::ancestor();
+    let db = cycle(8);
+    let query = programs::ancestor_query("n0");
+    for strategy in [Strategy::Counting, Strategy::SupplementaryCounting] {
+        let err = Planner::new(strategy)
+            .with_limits(strict())
+            .evaluate(&program, &query, &db)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PlanError::Eval(EvalError::FactLimit { .. })
+                    | PlanError::Eval(EvalError::IterationLimit { .. })
+            ),
+            "{strategy}: expected a resource-limit error, got {err}"
+        );
+    }
+}
+
+#[test]
+fn theorem_10_3_nonlinear_ancestor_counting_diverges_even_on_acyclic_data() {
+    let program = programs::nonlinear_ancestor();
+    let query = programs::ancestor_query("n0");
+    let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+    // Predicted statically...
+    assert_eq!(counting_safety(&adorned), CountingSafety::NonTerminating);
+    // ...and observed at run time, on a perfectly acyclic chain.
+    let err = Planner::new(Strategy::Counting)
+        .with_limits(strict())
+        .evaluate(&program, &query, &chain(10))
+        .unwrap_err();
+    assert!(matches!(err, PlanError::Eval(_)));
+    // Magic sets handle the same program without trouble.
+    let ok = Planner::new(Strategy::MagicSets)
+        .with_limits(strict())
+        .evaluate(&program, &query, &chain(10))
+        .unwrap();
+    assert_eq!(ok.answers.len(), 10);
+}
+
+#[test]
+fn data_dependent_counting_divergence_on_nested_same_generation() {
+    // The nested same-generation workload has a cyclic same-generation
+    // relation per level, so counting diverges even though the static
+    // argument graph is acyclic — exactly the distinction the paper draws
+    // between Theorem 10.3 (program-level) and cyclic-data divergence.
+    let program = programs::nested_same_generation();
+    let query = programs::nested_sg_query("l0c0");
+    let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+    assert_eq!(counting_safety(&adorned), CountingSafety::MayTerminate);
+
+    let cfg = SgConfig {
+        depth: 2,
+        width: 4,
+        flat_everywhere: true,
+    };
+    let mut db = same_generation_grid(cfg);
+    nested_sg_extras(cfg, &mut db);
+    let err = Planner::new(Strategy::Counting)
+        .with_limits(strict())
+        .evaluate(&program, &query, &db)
+        .unwrap_err();
+    assert!(matches!(err, PlanError::Eval(_)));
+    // Magic sets are fine on the same data.
+    assert!(Planner::new(Strategy::MagicSets)
+        .with_limits(strict())
+        .evaluate(&program, &query, &db)
+        .is_ok());
+}
+
+#[test]
+fn theorem_10_1_reverse_is_statically_safe_and_terminates() {
+    let program = programs::list_reverse();
+    let query = programs::reverse_query(list_term(8));
+    let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+    assert_eq!(magic_safety(&adorned), MagicSafety::SafePositiveCycles);
+    assert_eq!(counting_safety(&adorned), CountingSafety::MayTerminate);
+    for strategy in Strategy::REWRITES {
+        // Default limits: the point here is that evaluation terminates on its
+        // own, as Theorem 10.1 predicts.
+        let result = Planner::new(strategy)
+            .evaluate(&program, &query, &power_of_magic::workloads::reverse_database())
+            .unwrap();
+        assert_eq!(result.answers.len(), 1, "{strategy}");
+    }
+}
+
+#[test]
+fn unrewritten_reverse_is_rejected_as_not_range_restricted() {
+    let program = programs::list_reverse();
+    let query = programs::reverse_query(list_term(4));
+    let err = Planner::new(Strategy::SemiNaiveBottomUp)
+        .evaluate(&program, &query, &power_of_magic::workloads::reverse_database())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        PlanError::Eval(EvalError::NotRangeRestricted { .. })
+    ));
+}
+
+#[test]
+fn growing_recursion_is_flagged_and_diverges() {
+    // A program whose bound argument grows through the recursion: statically
+    // "unknown", and the magic rewrite really does diverge (caught by the
+    // limits).
+    let program = power_of_magic::parse_program(
+        "grow(X, Y) :- base(X, Y).
+         grow(X, Y) :- grow([a | X], Y).",
+    )
+    .unwrap();
+    let query = power_of_magic::parse_query("grow([], Y)").unwrap();
+    let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
+    assert_eq!(magic_safety(&adorned), MagicSafety::Unknown);
+    assert!(analyze(&adorned).to_string().contains("unknown"));
+
+    let mut db = power_of_magic::Database::new();
+    db.insert_pair("base", "x", "y");
+    let err = Planner::new(Strategy::MagicSets)
+        .with_limits(Limits::strict().with_max_term_depth(64))
+        .evaluate(&program, &query, &db)
+        .unwrap_err();
+    assert!(matches!(err, PlanError::Eval(_)));
+}
