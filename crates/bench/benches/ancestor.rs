@@ -3,8 +3,9 @@
 //! the Section 1 motivation: the rewrites beat the bottom-up baselines on
 //! bound queries, increasingly so as the data grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::harness::{BenchmarkId, Criterion};
 use magic_bench::{ancestor_chain, ancestor_tree};
+use magic_bench::{criterion_group, criterion_main};
 use magic_core::planner::Strategy;
 
 fn strategies() -> Vec<Strategy> {
@@ -26,11 +27,9 @@ fn bench_chain(c: &mut Criterion) {
     for n in [16usize, 56] {
         let scenario = ancestor_chain(n);
         for strategy in strategies() {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.short_name(), n),
-                &n,
-                |b, _| b.iter(|| scenario.run(strategy).expect("evaluation succeeds")),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.short_name(), n), &n, |b, _| {
+                b.iter(|| scenario.run(strategy).expect("evaluation succeeds"))
+            });
         }
     }
     group.finish();

@@ -3,8 +3,9 @@
 //! semijoin optimization applies; on data with shared derivations (DAGs) the
 //! index fields multiply the number of stored facts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::harness::{BenchmarkId, Criterion};
 use magic_bench::Scenario;
+use magic_bench::{criterion_group, criterion_main};
 use magic_core::planner::Strategy;
 use magic_workloads::{binary_tree, programs, random_dag};
 

@@ -3,8 +3,9 @@
 //! measured; their safety is guaranteed by Theorem 10.1 (positive
 //! binding-graph cycles).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::harness::{BenchmarkId, Criterion};
 use magic_bench::list_reverse;
+use magic_bench::{criterion_group, criterion_main};
 use magic_core::planner::Strategy;
 
 fn bench_list_reverse(c: &mut Criterion) {
@@ -20,11 +21,9 @@ fn bench_list_reverse(c: &mut Criterion) {
             Strategy::Counting,
             Strategy::SupplementaryCounting,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.short_name(), n),
-                &n,
-                |b, _| b.iter(|| scenario.run(strategy).expect("evaluation succeeds")),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.short_name(), n), &n, |b, _| {
+                b.iter(|| scenario.run(strategy).expect("evaluation succeeds"))
+            });
         }
     }
     group.finish();

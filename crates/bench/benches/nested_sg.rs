@@ -2,8 +2,9 @@
 //! exercises adornment propagation across two mutually dependent recursive
 //! predicates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::harness::{BenchmarkId, Criterion};
 use magic_bench::nested_same_generation;
+use magic_bench::{criterion_group, criterion_main};
 use magic_core::planner::Strategy;
 
 fn bench_nested_sg(c: &mut Criterion) {

@@ -3,14 +3,19 @@
 //! compile-time transformations, so this is the overhead a query optimizer
 //! would pay per query form.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::harness::{BenchmarkId, Criterion};
+use magic_bench::{criterion_group, criterion_main};
 use magic_core::planner::{Planner, Strategy};
 use magic_datalog::{Program, Query};
 use magic_workloads::{list_term, programs};
 
 fn problems() -> Vec<(&'static str, Program, Query)> {
     vec![
-        ("ancestor", programs::ancestor(), programs::ancestor_query("john")),
+        (
+            "ancestor",
+            programs::ancestor(),
+            programs::ancestor_query("john"),
+        ),
         (
             "same_generation",
             programs::same_generation(),

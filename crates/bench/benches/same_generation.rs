@@ -2,8 +2,9 @@
 //! `up`/`flat`/`down` grids — the paper's running example and the case the
 //! original (PODS'86) magic sets could not handle.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::harness::{BenchmarkId, Criterion};
 use magic_bench::same_generation;
+use magic_bench::{criterion_group, criterion_main};
 use magic_core::planner::Strategy;
 
 fn bench_same_generation(c: &mut Criterion) {

@@ -3,7 +3,8 @@
 //! measures whether that translates into wall-clock wins on the
 //! same-generation workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use magic_bench::harness::{BenchmarkId, Criterion};
+use magic_bench::{criterion_group, criterion_main};
 use magic_core::planner::{Planner, Strategy};
 use magic_core::sip_builder::SipStrategy;
 use magic_workloads::{programs, same_generation_grid, SgConfig};

@@ -17,7 +17,9 @@
 //!
 //! Run with `cargo run --release -p magic-bench --bin fact_counts`.
 
-use magic_bench::{ancestor_chain, ancestor_tree, list_reverse, nested_same_generation, same_generation, Scenario};
+use magic_bench::{
+    ancestor_chain, ancestor_tree, list_reverse, nested_same_generation, same_generation, Scenario,
+};
 use magic_core::planner::Strategy;
 
 /// Strategies that are known to work on the scenario.
@@ -29,8 +31,8 @@ use magic_core::planner::Strategy;
 ///   `H·t + j`) only represents ~60 derivation levels in an `i64`, so they
 ///   are excluded from the deepest chain (see DESIGN.md, "index encodings").
 fn applicable(scenario: &Scenario) -> Vec<Strategy> {
-    let magic_only = scenario.name.starts_with("nested_sg")
-        || scenario.name == "ancestor/chain/256";
+    let magic_only =
+        scenario.name.starts_with("nested_sg") || scenario.name == "ancestor/chain/256";
     if magic_only {
         vec![
             Strategy::NaiveBottomUp,

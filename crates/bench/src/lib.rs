@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod harness;
+
 use magic_core::planner::{PlanResult, Planner, Strategy};
 use magic_datalog::{Program, Query};
 use magic_storage::Database;
@@ -32,7 +34,12 @@ pub struct Scenario {
 
 impl Scenario {
     /// Construct a scenario.
-    pub fn new(name: impl Into<String>, program: Program, query: Query, database: Database) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        program: Program,
+        query: Query,
+        database: Database,
+    ) -> Self {
         Scenario {
             name: name.into(),
             program,
@@ -133,7 +140,9 @@ mod tests {
 
     #[test]
     fn reverse_answers_are_reversed_lists() {
-        let result = list_reverse(4).run(Strategy::SupplementaryMagicSets).unwrap();
+        let result = list_reverse(4)
+            .run(Strategy::SupplementaryMagicSets)
+            .unwrap();
         assert_eq!(result.answers.len(), 1);
         let answer = result.answers.iter().next().unwrap();
         let items = answer[0].as_list().unwrap();

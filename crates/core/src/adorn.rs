@@ -8,9 +8,7 @@
 
 use crate::sip::Sip;
 use crate::sip_builder::SipStrategy;
-use magic_datalog::{
-    Adornment, Atom, DatalogError, PredName, Program, Query, Rule, Symbol,
-};
+use magic_datalog::{Adornment, Atom, DatalogError, PredName, Program, Query, Rule, Symbol};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// One adorned rule: the rewritten rule, its provenance, and the sip that
@@ -83,7 +81,11 @@ impl AdornedProgram {
     /// The maximum body length over all adorned rules (the paper's `t`,
     /// used as the base of the counting methods' occurrence encoding).
     pub fn max_body_len(&self) -> usize {
-        self.rules.iter().map(|r| r.rule.body.len()).max().unwrap_or(0)
+        self.rules
+            .iter()
+            .map(|r| r.rule.body.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -147,10 +149,12 @@ pub fn adorn(
 
             // Reorder the body according to the sip's total order and remap
             // the sip arcs through the permutation.
-            let permuted_body: Vec<Atom> =
-                order.iter().map(|&i| rule.body[i].clone()).collect();
-            let new_pos: BTreeMap<usize, usize> =
-                order.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+            let permuted_body: Vec<Atom> = order.iter().map(|&i| rule.body[i].clone()).collect();
+            let new_pos: BTreeMap<usize, usize> = order
+                .iter()
+                .enumerate()
+                .map(|(new, &old)| (old, new))
+                .collect();
             let remapped_sip = Sip {
                 arcs: sip
                     .arcs
@@ -276,7 +280,13 @@ mod tests {
             adorned.rules[1].rule.to_string(),
             "anc_bf(X, Y) :- par(X, Z), anc_bf(Z, Y)."
         );
-        assert_eq!(adorned.rules[1].body_adornments[1].as_ref().unwrap().to_string(), "bf");
+        assert_eq!(
+            adorned.rules[1].body_adornments[1]
+                .as_ref()
+                .unwrap()
+                .to_string(),
+            "bf"
+        );
         assert!(adorned.rules[1].body_adornments[0].is_none());
     }
 
@@ -297,7 +307,9 @@ mod tests {
         assert_eq!(adorned.adorned_preds.len(), 2);
         let texts: Vec<String> = adorned.rules.iter().map(|r| r.rule.to_string()).collect();
         assert!(texts.contains(&"p_bf(X, Y) :- sg_bf(X, Z1), p_bf(Z1, Z2), b2(Z2, Y).".to_string()));
-        assert!(texts.contains(&"sg_bf(X, Y) :- up(X, Z1), sg_bf(Z1, Z2), down(Z2, Y).".to_string()));
+        assert!(
+            texts.contains(&"sg_bf(X, Y) :- up(X, Z1), sg_bf(Z1, Z2), down(Z2, Y).".to_string())
+        );
     }
 
     #[test]
@@ -321,10 +333,12 @@ mod tests {
         assert!(preds.contains("append_bbf"));
         assert_eq!(adorned.rules.len(), 4);
         let texts: Vec<String> = adorned.rules.iter().map(|r| r.rule.to_string()).collect();
-        assert!(texts
-            .contains(&"reverse_bf([V | X], Y) :- reverse_bf(X, Z), append_bbf(V, Z, Y).".to_string()));
-        assert!(texts
-            .contains(&"append_bbf(V, [W | X], [W | Y]) :- append_bbf(V, X, Y).".to_string()));
+        assert!(texts.contains(
+            &"reverse_bf([V | X], Y) :- reverse_bf(X, Z), append_bbf(V, Z, Y).".to_string()
+        ));
+        assert!(
+            texts.contains(&"append_bbf(V, [W | X], [W | Y]) :- append_bbf(V, X, Y).".to_string())
+        );
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::rewrite::{counting, gms, gsc, gsms, semijoin, Method, RewriteError, R
 use crate::safety::{analyze, SafetyReport};
 use crate::sip_builder::SipStrategy;
 use magic_datalog::{PredName, Program, Query, Value};
-use magic_engine::{answers::project_answers, EvalError, EvalStats, Evaluator, IterationScheme, Limits};
+use magic_engine::{
+    answers::project_answers, EvalError, EvalStats, Evaluator, IterationScheme, Limits,
+};
 use magic_storage::Database;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -384,7 +386,9 @@ mod tests {
     fn planner_reports_safety() {
         let program = ancestor_program();
         let query = parse_query("anc(n0, Y)").unwrap();
-        let plan = Planner::new(Strategy::MagicSets).plan(&program, &query).unwrap();
+        let plan = Planner::new(Strategy::MagicSets)
+            .plan(&program, &query)
+            .unwrap();
         let report = plan.safety().unwrap();
         assert_eq!(report.magic, crate::safety::MagicSafety::SafeDatalog);
         // Baseline plans carry no adorned program.
@@ -411,7 +415,10 @@ mod tests {
         assert_eq!(Strategy::ALL.len(), 8);
         assert!(Strategy::Counting.is_counting());
         assert!(!Strategy::MagicSets.is_counting());
-        assert_eq!(method_of(Strategy::SupplementaryMagicSets), Some(Method::Gsms));
+        assert_eq!(
+            method_of(Strategy::SupplementaryMagicSets),
+            Some(Method::Gsms)
+        );
         assert_eq!(method_of(Strategy::NaiveBottomUp), None);
         assert_eq!(Strategy::CountingSemijoin.to_string(), "gc+sj");
     }
@@ -435,7 +442,10 @@ mod tests {
         let reference = Planner::new(Strategy::SemiNaiveBottomUp)
             .evaluate(&program, &query, &db)
             .unwrap();
-        for sip in [SipStrategy::FullLeftToRight, SipStrategy::LeftToRightLastOnly] {
+        for sip in [
+            SipStrategy::FullLeftToRight,
+            SipStrategy::LeftToRightLastOnly,
+        ] {
             for strategy in [Strategy::MagicSets, Strategy::SupplementaryMagicSets] {
                 let result = Planner::new(strategy)
                     .with_sip(sip)

@@ -34,7 +34,10 @@ fn magic_pred(base: Symbol, adornment: &Adornment) -> PredName {
 
 /// The magic literal `magic_p^a(χ^b)` for an atom and its adornment.
 pub(crate) fn magic_literal(atom: &Atom, adornment: &Adornment) -> Atom {
-    Atom::new(magic_pred(atom.pred.base(), adornment), atom.bound_terms(adornment))
+    Atom::new(
+        magic_pred(atom.pred.base(), adornment),
+        atom.bound_terms(adornment),
+    )
 }
 
 /// The body of a magic (or label) rule generated from one sip arc
@@ -93,8 +96,7 @@ fn rewrite_rule(ar: &AdornedRule, rule_number: usize, options: GmsOptions, out: 
             // a magic rule joining the labels (Section 4).
             let mut label_atoms = Vec::new();
             for (k, arc) in arcs.iter().enumerate() {
-                let label_terms: Vec<Term> =
-                    arc.label.iter().map(|v| Term::Var(*v)).collect();
+                let label_terms: Vec<Term> = arc.label.iter().map(|v| Term::Var(*v)).collect();
                 let label_head = Atom::new(
                     PredName::Label {
                         base: atom.pred.base(),
@@ -130,7 +132,10 @@ fn rewrite_rule(ar: &AdornedRule, rule_number: usize, options: GmsOptions, out: 
 }
 
 /// Apply the generalized magic-sets rewrite to an adorned program.
-pub fn rewrite(adorned: &AdornedProgram, options: GmsOptions) -> Result<RewrittenProgram, RewriteError> {
+pub fn rewrite(
+    adorned: &AdornedProgram,
+    options: GmsOptions,
+) -> Result<RewrittenProgram, RewriteError> {
     let mut rules = Vec::new();
     for (number, ar) in adorned.rules.iter().enumerate() {
         rewrite_rule(ar, number, options, &mut rules);
@@ -198,7 +203,10 @@ mod tests {
         assert!(text.contains(&"magic_sg_bf(john).".to_string()));
         // 2 magic rules + 2 modified rules + seed.
         assert_eq!(rewritten.program.len(), 5);
-        assert_eq!(rewritten.seed.as_ref().unwrap().to_string(), "magic_sg_bf(john)");
+        assert_eq!(
+            rewritten.seed.as_ref().unwrap().to_string(),
+            "magic_sg_bf(john)"
+        );
         assert_eq!(rewritten.answer_atom.to_string(), "sg_bf(john, Y)");
     }
 
@@ -271,9 +279,7 @@ mod tests {
             .collect();
         assert!(text.contains(&"magic_a_bf(X) :- magic_a_bf(X).".to_string()));
         assert!(text.contains(&"magic_a_bf(Z) :- magic_a_bf(X), a_bf(X, Z).".to_string()));
-        assert!(text.contains(
-            &"a_bf(X, Y) :- magic_a_bf(X), a_bf(X, Z), a_bf(Z, Y).".to_string()
-        ));
+        assert!(text.contains(&"a_bf(X, Y) :- magic_a_bf(X), a_bf(X, Z), a_bf(Z, Y).".to_string()));
     }
 
     #[test]
@@ -304,7 +310,10 @@ mod tests {
             "sg_bf(X, Y) :- magic_sg_bf(X), up(X, Z1), sg_bf(Z1, Z2), down(Z2, Y).",
             "magic_p_bf(john).",
         ] {
-            assert!(text.contains(&expected.to_string()), "missing: {expected}\nhave: {text:#?}");
+            assert!(
+                text.contains(&expected.to_string()),
+                "missing: {expected}\nhave: {text:#?}"
+            );
         }
     }
 

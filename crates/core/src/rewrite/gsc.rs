@@ -85,6 +85,9 @@ fn rewrite_rule(
     sup_heads[1] = Some(cnt_head_literal.clone());
     let mut prev_literal = cnt_head_literal.clone();
 
+    // Indexing is clearer than enumerate here: the loop fills sup_heads[j]
+    // while threading phi/prev_literal state at paper-numbered positions.
+    #[allow(clippy::needless_range_loop)]
     for j in 2..=last {
         let prev_body_atom = indexed_body_literal(ar, j - 2, idx, m, t, rule_number);
         phi.extend(ar.rule.body[j - 2].vars());
@@ -115,8 +118,7 @@ fn rewrite_rule(
         let j = target + 1;
         let atom = &ar.rule.body[target];
         let adornment: &Adornment = ar.body_adornments[target].as_ref().expect("indexed");
-        let mut head_terms =
-            crate::rewrite::counting::child_index_terms(idx, m, t, rule_number, j);
+        let mut head_terms = crate::rewrite::counting::child_index_terms(idx, m, t, rule_number, j);
         head_terms.extend(atom.bound_terms(adornment));
         let cnt_head = Atom::new(
             PredName::Count {
@@ -140,7 +142,9 @@ fn rewrite_rule(
         },
         head_terms,
     );
-    let mut body = vec![sup_heads[last].clone().expect("supplementary counting atom")];
+    let mut body = vec![sup_heads[last]
+        .clone()
+        .expect("supplementary counting atom")];
     for pos in (last - 1)..ar.rule.body.len() {
         body.push(indexed_body_literal(ar, pos, idx, m, t, rule_number));
     }

@@ -75,7 +75,9 @@ fn rewrite_rule(ar: &AdornedRule, rule_number: usize, out: &mut Vec<Rule>) {
         // the body there is nothing worth storing, so the modified rule is
         // simply guarded by the head's magic literal (Example 5, rule 1).
         for (i, atom) in ar.rule.body.iter().enumerate() {
-            let Some(ai) = &ar.body_adornments[i] else { continue };
+            let Some(ai) = &ar.body_adornments[i] else {
+                continue;
+            };
             if ai.bound_count() == 0 {
                 continue;
             }
@@ -135,6 +137,9 @@ fn rewrite_rule(ar: &AdornedRule, rule_number: usize, out: &mut Vec<Rule>) {
     let mut sup_heads: Vec<Option<Atom>> = vec![None; m + 1];
     sup_heads[1] = Some(head_magic.clone());
 
+    // Indexing is clearer than enumerate here: the loop fills sup_heads[i]
+    // while threading phi/prev_literal state at paper-numbered positions.
+    #[allow(clippy::needless_range_loop)]
     for i in 2..=m {
         let prev_body_atom = ar.rule.body[i - 2].clone();
         phi.extend(prev_body_atom.vars());

@@ -9,8 +9,8 @@
 
 pub mod counting;
 pub mod gms;
-pub mod gsms;
 pub mod gsc;
+pub mod gsms;
 pub mod semijoin;
 
 use magic_datalog::{Atom, DatalogError, Fact, Program, Variable};
@@ -74,11 +74,15 @@ pub struct RewrittenProgram {
 impl fmt::Display for RewrittenProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "% method: {}", self.method)?;
-        writeln!(f, "% answers: {} projected on {:?}", self.answer_atom, self
-            .projection
-            .iter()
-            .map(Variable::name)
-            .collect::<Vec<_>>())?;
+        writeln!(
+            f,
+            "% answers: {} projected on {:?}",
+            self.answer_atom,
+            self.projection
+                .iter()
+                .map(Variable::name)
+                .collect::<Vec<_>>()
+        )?;
         write!(f, "{}", self.program)
     }
 }

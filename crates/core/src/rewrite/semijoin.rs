@@ -125,10 +125,7 @@ fn occurrence_ok(rule: &Rule, pos: usize, candidates: &BTreeSet<PredName>) -> bo
     // Condition (1): variables in bound arguments of the occurrence appear
     // nowhere else except in dropped positions or within N (or the index
     // positions).
-    let bound_vars: BTreeSet<Variable> = bound
-        .iter()
-        .flat_map(|&p| atom.terms[p].vars())
-        .collect();
+    let bound_vars: BTreeSet<Variable> = bound.iter().flat_map(|&p| atom.terms[p].vars()).collect();
     for v in bound_vars {
         if idx_vars.contains(&v) {
             continue;
@@ -139,10 +136,8 @@ fn occurrence_ok(rule: &Rule, pos: usize, candidates: &BTreeSet<PredName>) -> bo
     }
     // Condition (2): variables of N appear nowhere else except in bound
     // arguments of candidate occurrences (or index positions).
-    let prefix_vars: BTreeSet<Variable> = prefix
-        .iter()
-        .flat_map(|&p| rule.body[p].vars())
-        .collect();
+    let prefix_vars: BTreeSet<Variable> =
+        prefix.iter().flat_map(|&p| rule.body[p].vars()).collect();
     for v in prefix_vars {
         if idx_vars.contains(&v) {
             continue;
@@ -209,7 +204,12 @@ fn narrow_atom(atom: &Atom, surviving: &BTreeSet<PredName>) -> Atom {
         return atom.clone();
     };
     let keep: Vec<usize> = (0..INDEX_ARITY)
-        .chain(adornment.free_positions().into_iter().map(|p| p + INDEX_ARITY))
+        .chain(
+            adornment
+                .free_positions()
+                .into_iter()
+                .map(|p| p + INDEX_ARITY),
+        )
         .collect();
     let terms: Vec<Term> = keep.iter().map(|&p| atom.terms[p].clone()).collect();
     let narrowed = Adornment::all_free(adornment.free_positions().len());
@@ -299,9 +299,8 @@ pub struct SemijoinReport {
 /// Compute a report comparing the original and optimized programs.
 pub fn report(original: &RewrittenProgram, optimized: &RewrittenProgram) -> SemijoinReport {
     let mut narrowed = BTreeSet::new();
-    let arity = |p: &Program| -> BTreeMap<PredName, usize> {
-        p.predicate_arities().unwrap_or_default()
-    };
+    let arity =
+        |p: &Program| -> BTreeMap<PredName, usize> { p.predicate_arities().unwrap_or_default() };
     let before = arity(&original.program);
     let after = arity(&optimized.program);
     for (pred, a) in &after {
@@ -313,8 +312,7 @@ pub fn report(original: &RewrittenProgram, optimized: &RewrittenProgram) -> Semi
             narrowed.insert(pred.to_string());
         }
     }
-    let count_literals =
-        |p: &Program| -> usize { p.rules.iter().map(|r| r.body.len()).sum() };
+    let count_literals = |p: &Program| -> usize { p.rules.iter().map(|r| r.body.len()).sum() };
     SemijoinReport {
         narrowed,
         literals_deleted: count_literals(&original.program)
@@ -444,9 +442,7 @@ mod tests {
         );
         let optimized = optimize(&base).unwrap();
         // No narrowing happened: t_ind keeps its bf adornment everywhere.
-        assert!(texts(&optimized)
-            .iter()
-            .all(|r| !r.contains("t_ind_f(")));
+        assert!(texts(&optimized).iter().all(|r| !r.contains("t_ind_f(")));
         assert_eq!(report(&base, &optimized).literals_deleted, 0);
     }
 }

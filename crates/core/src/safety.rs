@@ -45,13 +45,17 @@ impl BindingGraph {
             let from: BindingNode = (ar.head_base(), ar.head_adornment.clone());
             graph.nodes.insert(from.clone());
             let head_len = total_bound_length(
-                &ar.rule.head.bound_terms(&ar.head_adornment)
+                &ar.rule
+                    .head
+                    .bound_terms(&ar.head_adornment)
                     .iter()
                     .map(|t| t.symbolic_length())
                     .collect::<Vec<_>>(),
             );
             for (i, atom) in ar.rule.body.iter().enumerate() {
-                let Some(adornment) = &ar.body_adornments[i] else { continue };
+                let Some(adornment) = &ar.body_adornments[i] else {
+                    continue;
+                };
                 let to: BindingNode = (atom.pred.base(), adornment.clone());
                 graph.nodes.insert(to.clone());
                 let body_len = total_bound_length(
@@ -139,7 +143,9 @@ impl ArgumentGraph {
                 let from: ArgumentNode = (head_base, ar.head_adornment.clone(), hp);
                 graph.nodes.insert(from.clone());
                 for (i, atom) in ar.rule.body.iter().enumerate() {
-                    let Some(adornment) = &ar.body_adornments[i] else { continue };
+                    let Some(adornment) = &ar.body_adornments[i] else {
+                        continue;
+                    };
                     for bp in adornment.bound_positions() {
                         let body_vars: BTreeSet<Variable> =
                             atom.terms[bp].vars().into_iter().collect();

@@ -237,11 +237,7 @@ impl Sip {
                 };
                 let ok = member_vars.iter().any(|mv| {
                     arc.label.iter().any(|lv| {
-                        mv == lv
-                            || connected
-                                .get(mv)
-                                .map(|s| s.contains(lv))
-                                .unwrap_or(false)
+                        mv == lv || connected.get(mv).map(|s| s.contains(lv)).unwrap_or(false)
                     })
                 });
                 if !ok && !arc.label.is_empty() {
@@ -280,9 +276,7 @@ impl Sip {
     pub fn contained_in(&self, other: &Sip) -> bool {
         self.arcs.iter().all(|a| {
             other.arcs.iter().any(|b| {
-                b.target == a.target
-                    && a.tail.is_subset(&b.tail)
-                    && a.label.is_subset(&b.label)
+                b.target == a.target && a.tail.is_subset(&b.tail) && a.label.is_subset(&b.label)
             })
         })
     }
@@ -517,7 +511,9 @@ mod tests {
     #[test]
     fn empty_sip_is_contained_in_everything() {
         assert!(Sip::empty().contained_in(&full_sip()));
-        assert!(Sip::empty().validate(&sg_rule(), &"bf".parse().unwrap()).is_ok());
+        assert!(Sip::empty()
+            .validate(&sg_rule(), &"bf".parse().unwrap())
+            .is_ok());
     }
 
     #[test]

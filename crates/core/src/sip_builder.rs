@@ -46,7 +46,9 @@ impl SipStrategy {
     ) -> Sip {
         match self {
             SipStrategy::Empty => Sip::empty(),
-            SipStrategy::FullLeftToRight => build_left_to_right(rule, head_adornment, derived, true),
+            SipStrategy::FullLeftToRight => {
+                build_left_to_right(rule, head_adornment, derived, true)
+            }
             SipStrategy::LeftToRightLastOnly => {
                 build_left_to_right(rule, head_adornment, derived, false)
             }
@@ -251,7 +253,9 @@ mod tests {
         assert_eq!(sip.arcs.len(), 1);
         assert_eq!(
             sip.arcs[0].label,
-            [Variable::new("V"), Variable::new("W")].into_iter().collect()
+            [Variable::new("V"), Variable::new("W")]
+                .into_iter()
+                .collect()
         );
     }
 }

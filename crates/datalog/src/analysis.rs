@@ -186,11 +186,7 @@ pub fn recursion_kind(program: &Program) -> RecursionKind {
         if !head_recursive {
             continue;
         }
-        let in_block = rule
-            .body
-            .iter()
-            .filter(|a| block.contains(&a.pred))
-            .count();
+        let in_block = rule.body.iter().filter(|a| block.contains(&a.pred)).count();
         if in_block >= 1 {
             any_recursive = true;
         }

@@ -53,7 +53,7 @@ enum Token {
     Comma,
     Dot,
     Pipe,
-    Implies, // :-
+    Implies,     // :-
     QueryPrefix, // ?-
 }
 

@@ -160,9 +160,7 @@ impl Program {
         }
         self.rules.iter().all(|r| {
             r.head.terms.iter().all(term_is_flat)
-                && r.body
-                    .iter()
-                    .all(|a| a.terms.iter().all(term_is_flat))
+                && r.body.iter().all(|a| a.terms.iter().all(term_is_flat))
         })
     }
 

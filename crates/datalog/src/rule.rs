@@ -25,7 +25,10 @@ impl Rule {
 
     /// Construct a fact (a rule with an empty body).
     pub fn fact(head: Atom) -> Rule {
-        Rule { head, body: Vec::new() }
+        Rule {
+            head,
+            body: Vec::new(),
+        }
     }
 
     /// True iff the rule has an empty body.
@@ -96,7 +99,9 @@ impl Rule {
             }
         }
         let mut var_home: HashMap<Variable, usize> = HashMap::new();
-        let atoms: Vec<&Atom> = std::iter::once(&self.head).chain(self.body.iter()).collect();
+        let atoms: Vec<&Atom> = std::iter::once(&self.head)
+            .chain(self.body.iter())
+            .collect();
         for (i, atom) in atoms.iter().enumerate() {
             for v in atom.vars() {
                 match var_home.get(&v) {
@@ -227,10 +232,7 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            anc_rule().to_string(),
-            "anc(X, Y) :- par(X, Z), anc(Z, Y)."
-        );
+        assert_eq!(anc_rule().to_string(), "anc(X, Y) :- par(X, Z), anc(Z, Y).");
         let f = Rule::fact(Atom::plain("par", vec![Term::sym("a"), Term::sym("b")]));
         assert_eq!(f.to_string(), "par(a, b).");
     }

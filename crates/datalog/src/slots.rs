@@ -1,0 +1,299 @@
+//! Slot-compiled terms: the zero-allocation evaluation form of [`Term`].
+//!
+//! The map-based [`Bindings`](crate::Bindings) API is convenient for the
+//! rewrite layers, which manipulate small environments a handful of times
+//! per rule.  It is wrong for the join inner loop, where every candidate
+//! tuple hashes `Variable` keys, clones `Vec`s of variables and
+//! inserts/removes map entries.  A [`SlotTerm`] is a [`Term`] whose
+//! variables have been resolved — once, at rule-compile time — to dense
+//! slot ids `0..n` local to one rule; evaluation then runs against a flat
+//! frame `[Option<Value>]` indexed by slot id, and bindings are undone by
+//! truncating a trail of slot ids instead of removing map entries.
+//!
+//! The engine's `RulePlan` performs the numbering (see
+//! `magic_engine::plan`); this module provides the compiled representation
+//! and its two evaluation primitives, [`SlotTerm::eval_slots`] and
+//! [`SlotTerm::match_value_slots`].
+
+use crate::symbol::Symbol;
+use crate::term::{LinearExpr, Term, Value, Variable};
+
+/// A binding frame: one optional ground value per rule-local variable slot.
+///
+/// Allocated once per rule evaluation and reused across every candidate
+/// tuple; the engine unwinds it through a trail of slot ids.
+pub type Frame = Vec<Option<Value>>;
+
+/// A trail of slot ids bound since some mark, used to unwind a [`Frame`]
+/// without scanning it.
+pub type Trail = Vec<u32>;
+
+/// Unbind every slot recorded on `trail` past `mark` and truncate the trail
+/// back to it.  The one authoritative backtracking primitive, shared by
+/// [`SlotTerm::match_value_slots`]'s failure path and the engine's per-row
+/// backtracking.
+#[inline]
+pub fn unwind(frame: &mut [Option<Value>], trail: &mut Trail, mark: usize) {
+    for &slot in &trail[mark..] {
+        frame[slot as usize] = None;
+    }
+    trail.truncate(mark);
+}
+
+/// A term whose variables are resolved to dense rule-local slot ids.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SlotTerm {
+    /// A variable, as its slot id.
+    Slot(u32),
+    /// An integer constant.
+    Int(i64),
+    /// A symbolic constant.
+    Sym(Symbol),
+    /// A function symbol applied to slot terms.
+    App(Symbol, Vec<SlotTerm>),
+    /// A linear index expression `slot * mul + add` (counting rewrites).
+    Linear {
+        /// The slot the expression is linear in.
+        slot: u32,
+        /// Multiplier (non-zero).
+        mul: i64,
+        /// Additive constant.
+        add: i64,
+    },
+}
+
+impl Term {
+    /// Compile this term to slot form.  `slot_of` assigns (and memoizes) the
+    /// slot id of each variable; the engine passes a closure over its dense
+    /// numbering.
+    pub fn to_slots(&self, slot_of: &mut impl FnMut(Variable) -> u32) -> SlotTerm {
+        match self {
+            Term::Var(v) => SlotTerm::Slot(slot_of(*v)),
+            Term::Int(i) => SlotTerm::Int(*i),
+            Term::Sym(s) => SlotTerm::Sym(*s),
+            Term::App(f, args) => {
+                SlotTerm::App(*f, args.iter().map(|a| a.to_slots(slot_of)).collect())
+            }
+            Term::Linear(l) => SlotTerm::Linear {
+                slot: slot_of(l.var),
+                mul: l.mul,
+                add: l.add,
+            },
+        }
+    }
+}
+
+impl SlotTerm {
+    /// Evaluate to a ground [`Value`] against `frame`.
+    ///
+    /// Returns `None` if any slot of the term is unbound (or a linear
+    /// expression is applied to a non-integer value).  The slot analogue of
+    /// [`Term::eval`].
+    pub fn eval_slots(&self, frame: &[Option<Value>]) -> Option<Value> {
+        match self {
+            SlotTerm::Slot(s) => frame[*s as usize].clone(),
+            SlotTerm::Int(i) => Some(Value::Int(*i)),
+            SlotTerm::Sym(s) => Some(Value::Sym(*s)),
+            SlotTerm::Linear { slot, mul, add } => match frame[*slot as usize] {
+                Some(Value::Int(i)) => Some(Value::Int(LinearExpr::eval_parts(*mul, *add, i))),
+                _ => None,
+            },
+            SlotTerm::App(f, args) => {
+                let vals: Option<Vec<Value>> = args.iter().map(|a| a.eval_slots(frame)).collect();
+                Some(Value::app(*f, vals?))
+            }
+        }
+    }
+
+    /// Match against a ground value, extending `frame` and recording every
+    /// newly bound slot on `trail`.  The slot analogue of
+    /// [`Term::match_value`].
+    ///
+    /// Unlike the map-based primitive, a failed match leaves `frame` and
+    /// `trail` exactly as they were: partial bindings are unwound here, so
+    /// the caller needs no per-term bookkeeping (and no allocation) on the
+    /// failure path.
+    pub fn match_value_slots(
+        &self,
+        value: &Value,
+        frame: &mut [Option<Value>],
+        trail: &mut Trail,
+    ) -> bool {
+        let mark = trail.len();
+        if self.match_inner(value, frame, trail) {
+            true
+        } else {
+            unwind(frame, trail, mark);
+            false
+        }
+    }
+
+    /// The matching recursion; may leave partial bindings behind on failure
+    /// (cleaned up by [`SlotTerm::match_value_slots`]).
+    fn match_inner(&self, value: &Value, frame: &mut [Option<Value>], trail: &mut Trail) -> bool {
+        match self {
+            SlotTerm::Slot(s) => match &frame[*s as usize] {
+                Some(existing) => existing == value,
+                None => {
+                    frame[*s as usize] = Some(value.clone());
+                    trail.push(*s);
+                    true
+                }
+            },
+            SlotTerm::Int(i) => matches!(value, Value::Int(j) if i == j),
+            SlotTerm::Sym(s) => matches!(value, Value::Sym(t) if s == t),
+            SlotTerm::Linear { slot, mul, add } => match value {
+                Value::Int(observed) => match &frame[*slot as usize] {
+                    Some(Value::Int(bound)) => {
+                        LinearExpr::eval_parts(*mul, *add, *bound) == *observed
+                    }
+                    Some(_) => false,
+                    None => match LinearExpr::invert_parts(*mul, *add, *observed) {
+                        Some(x) => {
+                            frame[*slot as usize] = Some(Value::Int(x));
+                            trail.push(*slot);
+                            true
+                        }
+                        None => false,
+                    },
+                },
+                _ => false,
+            },
+            SlotTerm::App(f, args) => match value {
+                Value::App(cell) => {
+                    let (vf, vargs) = (&cell.0, &cell.1);
+                    vf == f
+                        && vargs.len() == args.len()
+                        && args
+                            .iter()
+                            .zip(vargs.iter())
+                            .all(|(t, v)| t.match_inner(v, frame, trail))
+                }
+                _ => false,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A slot numbering for tests: first-come, first-numbered.
+    fn compile(term: &Term) -> (SlotTerm, Vec<Variable>) {
+        let mut order: Vec<Variable> = Vec::new();
+        let mut map: HashMap<Variable, u32> = HashMap::new();
+        let slotted = term.to_slots(&mut |v| {
+            *map.entry(v).or_insert_with(|| {
+                order.push(v);
+                (order.len() - 1) as u32
+            })
+        });
+        (slotted, order)
+    }
+
+    #[test]
+    fn slot_compile_numbers_by_first_occurrence() {
+        let t = Term::app("f", vec![Term::var("X"), Term::var("Y"), Term::var("X")]);
+        let (s, order) = compile(&t);
+        assert_eq!(order, vec![Variable::new("X"), Variable::new("Y")]);
+        assert_eq!(
+            s,
+            SlotTerm::App(
+                Symbol::new("f"),
+                vec![SlotTerm::Slot(0), SlotTerm::Slot(1), SlotTerm::Slot(0)]
+            )
+        );
+    }
+
+    #[test]
+    fn eval_slots_matches_map_based_eval() {
+        let t = Term::app("f", vec![Term::var("X"), Term::int(3)]);
+        let (s, _) = compile(&t);
+        let mut frame: Frame = vec![None];
+        assert_eq!(s.eval_slots(&frame), None);
+        frame[0] = Some(Value::sym("a"));
+        let mut bindings = crate::term::Bindings::new();
+        bindings.insert(Variable::new("X"), Value::sym("a"));
+        assert_eq!(s.eval_slots(&frame), t.eval(&bindings));
+    }
+
+    #[test]
+    fn match_binds_and_repeated_slots_enforce_equality() {
+        let t = Term::app("f", vec![Term::var("X"), Term::var("X")]);
+        let (s, _) = compile(&t);
+        let mut frame: Frame = vec![None];
+        let mut trail: Trail = Vec::new();
+        let good = Value::app(Symbol::new("f"), vec![Value::sym("a"), Value::sym("a")]);
+        assert!(s.match_value_slots(&good, &mut frame, &mut trail));
+        assert_eq!(frame[0], Some(Value::sym("a")));
+        assert_eq!(trail, vec![0]);
+
+        let mut frame2: Frame = vec![None];
+        let mut trail2: Trail = Vec::new();
+        let bad = Value::app(Symbol::new("f"), vec![Value::sym("a"), Value::sym("b")]);
+        assert!(!s.match_value_slots(&bad, &mut frame2, &mut trail2));
+        // Failure unwinds the partial binding of X.
+        assert_eq!(frame2[0], None);
+        assert!(trail2.is_empty());
+    }
+
+    #[test]
+    fn match_respects_existing_bindings() {
+        let (s, _) = compile(&Term::var("X"));
+        let mut frame: Frame = vec![Some(Value::sym("a"))];
+        let mut trail: Trail = Vec::new();
+        assert!(s.match_value_slots(&Value::sym("a"), &mut frame, &mut trail));
+        assert!(!s.match_value_slots(&Value::sym("b"), &mut frame, &mut trail));
+        assert!(trail.is_empty());
+    }
+
+    #[test]
+    fn linear_slots_forward_and_inverse() {
+        let t = Term::linear(Variable::new("K"), 2, 2);
+        let (s, _) = compile(&t);
+        let mut frame: Frame = vec![None];
+        let mut trail: Trail = Vec::new();
+        // Unbound: invert 8 = 2K + 2 -> K = 3.
+        assert!(s.match_value_slots(&Value::Int(8), &mut frame, &mut trail));
+        assert_eq!(frame[0], Some(Value::Int(3)));
+        assert_eq!(trail, vec![0]);
+        // Bound: must agree.
+        assert!(s.match_value_slots(&Value::Int(8), &mut frame, &mut trail));
+        assert!(!s.match_value_slots(&Value::Int(10), &mut frame, &mut trail));
+        // Non-divisible inversion fails without binding.
+        let mut frame2: Frame = vec![None];
+        let mut trail2: Trail = Vec::new();
+        assert!(!s.match_value_slots(&Value::Int(7), &mut frame2, &mut trail2));
+        assert_eq!(frame2[0], None);
+        // Forward evaluation.
+        assert_eq!(s.eval_slots(&frame), Some(Value::Int(8)));
+    }
+
+    #[test]
+    fn nested_app_failure_unwinds_all_partial_bindings() {
+        // g(X, f(Y, X)) against g(a, f(b, c)): X binds to a, Y binds to b,
+        // then the inner X=c check fails; both bindings must be undone.
+        let t = Term::app(
+            "g",
+            vec![
+                Term::var("X"),
+                Term::app("f", vec![Term::var("Y"), Term::var("X")]),
+            ],
+        );
+        let (s, _) = compile(&t);
+        let v = Value::app(
+            Symbol::new("g"),
+            vec![
+                Value::sym("a"),
+                Value::app(Symbol::new("f"), vec![Value::sym("b"), Value::sym("c")]),
+            ],
+        );
+        let mut frame: Frame = vec![None, None];
+        let mut trail: Trail = Vec::new();
+        assert!(!s.match_value_slots(&v, &mut frame, &mut trail));
+        assert_eq!(frame, vec![None, None]);
+        assert!(trail.is_empty());
+    }
+}

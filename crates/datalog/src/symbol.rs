@@ -6,10 +6,9 @@
 //! hashing O(1), which matters because the bottom-up engine compares and
 //! hashes values in every join step.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
 ///
@@ -60,17 +59,17 @@ impl Symbol {
     pub fn new(s: &str) -> Symbol {
         // Fast path: read lock only.
         {
-            let guard = interner().read();
+            let guard = interner().read().unwrap();
             if let Some(&id) = guard.map.get(s) {
                 return Symbol(id);
             }
         }
-        Symbol(interner().write().intern(s))
+        Symbol(interner().write().unwrap().intern(s))
     }
 
     /// The interned string.
     pub fn as_str(&self) -> &'static str {
-        interner().read().resolve(self.0)
+        interner().read().unwrap().resolve(self.0)
     }
 
     /// A stable numeric id (useful for dense tables keyed by symbol).

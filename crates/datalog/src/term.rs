@@ -73,20 +73,38 @@ impl LinearExpr {
     /// ~60 levels.  Saturation keeps evaluation panic-free; the engine's
     /// resource limits are the intended way to surface such divergence.
     pub fn eval(&self, v: i64) -> i64 {
-        v.saturating_mul(self.mul).saturating_add(self.add)
+        LinearExpr::eval_parts(self.mul, self.add, v)
     }
 
     /// Invert the expression: find `x` with `x * mul + add == value`,
     /// if such an integer exists.
     pub fn invert(&self, value: i64) -> Option<i64> {
-        let num = value - self.add;
-        if self.mul == 0 {
+        LinearExpr::invert_parts(self.mul, self.add, value)
+    }
+
+    /// [`LinearExpr::eval`] without a variable: `v * mul + add`, saturating.
+    /// Used by the slot-compiled form, which stores only the coefficients.
+    pub fn eval_parts(mul: i64, add: i64, v: i64) -> i64 {
+        v.saturating_mul(mul).saturating_add(add)
+    }
+
+    /// [`LinearExpr::invert`] without a variable: find `x` with
+    /// `x * mul + add == value`, if such an integer exists.
+    ///
+    /// Checked arithmetic throughout: `eval_parts` saturates, so values
+    /// near `i64::MAX`/`i64::MIN` do occur (divergent counting runs,
+    /// Section 10), and an inversion that would overflow has no exact
+    /// integer preimage — it answers `None` rather than wrapping.
+    pub fn invert_parts(mul: i64, add: i64, value: i64) -> Option<i64> {
+        let num = value.checked_sub(add)?;
+        if mul == 0 {
             return if num == 0 { Some(0) } else { None };
         }
-        if num % self.mul != 0 {
+        // checked_rem/checked_div also reject i64::MIN / -1 overflow.
+        if num.checked_rem(mul)? != 0 {
             return None;
         }
-        Some(num / self.mul)
+        num.checked_div(mul)
     }
 }
 
@@ -236,9 +254,7 @@ impl Term {
                 Some(Value::Int(i)) => Term::Int(l.eval(*i)),
                 _ => self.clone(),
             },
-            Term::App(f, args) => {
-                Term::App(*f, args.iter().map(|a| a.apply(bindings)).collect())
-            }
+            Term::App(f, args) => Term::App(*f, args.iter().map(|a| a.apply(bindings)).collect()),
             Term::Int(_) | Term::Sym(_) => self.clone(),
         }
     }
@@ -694,7 +710,10 @@ mod tests {
     fn vars_in_first_occurrence_order() {
         let t = Term::app(
             "f",
-            vec![Term::var("X"), Term::app("g", vec![Term::var("Y"), Term::var("X")])],
+            vec![
+                Term::var("X"),
+                Term::app("g", vec![Term::var("Y"), Term::var("X")]),
+            ],
         );
         let vars = t.vars();
         assert_eq!(vars, vec![Variable::new("X"), Variable::new("Y")]);
@@ -740,6 +759,17 @@ mod tests {
         // Bound case: must agree.
         assert!(t.match_value(&Value::Int(8), &mut b));
         assert!(!t.match_value(&Value::Int(10), &mut b));
+    }
+
+    #[test]
+    fn linear_inversion_near_saturation_does_not_overflow() {
+        // eval_parts saturates, so extreme values occur in divergent runs;
+        // inverting them must answer None, not wrap or panic.
+        assert_eq!(LinearExpr::invert_parts(1, -1, i64::MAX), None);
+        assert_eq!(LinearExpr::invert_parts(-1, 0, i64::MIN), None);
+        assert_eq!(LinearExpr::invert_parts(2, i64::MIN, i64::MAX), None);
+        // Ordinary inversion still works.
+        assert_eq!(LinearExpr::invert_parts(3, 1, 10), Some(3));
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub fn match_atom(db: &Database, atom: &Atom) -> Vec<Bindings> {
 
 /// The distinct value vectors taken by `projection` (a list of variables of
 /// `atom`) over all matches of `atom` in `db`.
-pub fn project_answers(db: &Database, atom: &Atom, projection: &[Variable]) -> BTreeSet<Vec<Value>> {
+pub fn project_answers(
+    db: &Database,
+    atom: &Atom,
+    projection: &[Variable],
+) -> BTreeSet<Vec<Value>> {
     match_atom(db, atom)
         .into_iter()
         .filter_map(|env| {

@@ -6,8 +6,8 @@ use crate::limits::Limits;
 use crate::metrics::EvalStats;
 use crate::plan::RulePlan;
 use magic_datalog::{PredName, Program};
-use magic_storage::Database;
-use std::collections::{BTreeMap, BTreeSet};
+use magic_storage::{Database, Row};
+use std::collections::BTreeSet;
 
 /// Which fixpoint iteration scheme to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -99,6 +99,27 @@ impl Evaluator {
             .map(|(i, r)| RulePlan::compile(r, i, &derived))
             .collect();
 
+        // Dense numbering of the derived predicates: the per-iteration delta
+        // marks are plain vectors indexed by it, so the fixpoint loop clones
+        // no `PredName`s.  The list is sorted (it comes from a `BTreeSet`),
+        // which lets the per-plan resolution below binary-search it.
+        let derived_list: Vec<PredName> = derived.iter().cloned().collect();
+        // Per plan: (body occurrence, index into `derived_list`).
+        let delta_occurrences: Vec<Vec<(usize, usize)>> = plans
+            .iter()
+            .map(|plan| {
+                plan.derived_occurrences
+                    .iter()
+                    .map(|&occ| {
+                        let idx = derived_list
+                            .binary_search(&plan.atoms[occ].pred)
+                            .expect("derived occurrence predicate is derived");
+                        (occ, idx)
+                    })
+                    .collect()
+            })
+            .collect();
+
         let mut db = edb.clone();
         // Create relations for every predicate mentioned by the program so
         // that missing base relations behave as empty and derived relations
@@ -108,23 +129,27 @@ impl Evaluator {
                 db.relation_mut(pred, *arity);
             }
         }
-        // Ensure indexes for every access path the plans will use.
+        // Ensure indexes for every access path the plans will use.  A
+        // relation whose stored arity disagrees with the atom is left
+        // unindexed here (indexing key positions beyond its arity would be
+        // out of bounds); `evaluate_rule` reports the mismatch gracefully.
         for plan in &plans {
             for atom in &plan.atoms {
                 if !atom.key_positions.is_empty() {
-                    db.relation_mut(&atom.pred, atom.arity)
-                        .ensure_index(&atom.key_positions);
+                    let relation = db.relation_mut(&atom.pred, atom.arity);
+                    if relation.arity() == atom.arity {
+                        relation.ensure_index(&atom.key_positions);
+                    }
                 }
             }
         }
 
         let base_facts = db.total_facts();
         let mut stats = EvalStats::default();
-        // Row-id marks delimiting the delta of the previous iteration.
-        let mut prev_marks: BTreeMap<PredName, usize> = BTreeMap::new();
-        for pred in &derived {
-            prev_marks.insert(pred.clone(), db.count(pred));
-        }
+        let started = std::time::Instant::now();
+        // Row-id marks delimiting the delta of the previous iteration,
+        // indexed like `derived_list`.
+        let mut prev_marks: Vec<usize> = derived_list.iter().map(|p| db.count(p)).collect();
 
         loop {
             stats.iterations += 1;
@@ -133,27 +158,28 @@ impl Evaluator {
                     limit: self.limits.max_iterations,
                 });
             }
+            if let Some(max_wall) = self.limits.max_wall {
+                if started.elapsed() > max_wall {
+                    return Err(EvalError::TimeLimit { limit: max_wall });
+                }
+            }
             // Snapshot the current extents: rows in [prev_mark, cur_mark)
             // form the delta of the previous iteration.
-            let cur_marks: BTreeMap<PredName, usize> = derived
-                .iter()
-                .map(|p| (p.clone(), db.count(p)))
-                .collect();
+            let cur_marks: Vec<usize> = derived_list.iter().map(|p| db.count(p)).collect();
 
             let first_iteration = stats.iterations == 1;
-            let mut produced: Vec<(usize, Vec<magic_datalog::Fact>)> = Vec::new();
+            let mut produced: Vec<(usize, Vec<Row>)> = Vec::new();
 
-            for plan in &plans {
+            for (plan_idx, plan) in plans.iter().enumerate() {
                 let mut out = Vec::new();
                 let use_delta = self.scheme == IterationScheme::SemiNaive && !first_iteration;
                 if use_delta {
                     if plan.derived_occurrences.is_empty() {
                         continue; // already fully evaluated in iteration 1
                     }
-                    for &occ in &plan.derived_occurrences {
-                        let pred = &plan.atoms[occ].pred;
-                        let from = prev_marks.get(pred).copied().unwrap_or(0);
-                        let to = cur_marks.get(pred).copied().unwrap_or(0);
+                    for &(occ, derived_idx) in &delta_occurrences[plan_idx] {
+                        let from = prev_marks[derived_idx];
+                        let to = cur_marks[derived_idx];
                         if from >= to {
                             continue; // no new facts for this occurrence
                         }
@@ -171,15 +197,21 @@ impl Evaluator {
                     stats.join_probes += counters.probes;
                 }
                 if !out.is_empty() {
-                    produced.push((plan.rule_idx, out));
+                    produced.push((plan_idx, out));
                 }
             }
 
             let mut new_facts = 0usize;
-            for (rule_idx, facts) in produced {
-                for fact in facts {
-                    let is_new = db.insert(fact.pred.clone(), fact.values);
-                    stats.record_firing(rule_idx, &fact.pred, is_new);
+            for (plan_idx, rows) in produced {
+                let plan = &plans[plan_idx];
+                // All rows of one plan belong to its head predicate: resolve
+                // the relation once and insert the rows directly, instead of
+                // cloning a `PredName` per produced fact.
+                let arity = plan.head_terms.len();
+                let relation = db.relation_mut(&plan.head_pred, arity);
+                for row in rows {
+                    let is_new = relation.insert(row);
+                    stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
                     if is_new {
                         new_facts += 1;
                     }
@@ -283,6 +315,19 @@ mod tests {
     }
 
     #[test]
+    fn edb_arity_mismatch_is_an_error_not_a_panic() {
+        // The EDB stores q with arity 1 while the program uses arity 3;
+        // index ensuring must not index out of bounds, and evaluation must
+        // surface the graceful ArityMismatch error.
+        let program = parse_program("p(X) :- b(X), q(X, X, Y).").unwrap();
+        let mut db = Database::new();
+        db.insert(PredName::plain("b"), vec![Value::sym("a")]);
+        db.insert(PredName::plain("q"), vec![Value::sym("a")]);
+        let err = Evaluator::new(program).run(&db).unwrap_err();
+        assert!(matches!(err, crate::EvalError::ArityMismatch { .. }));
+    }
+
+    #[test]
     fn iteration_limit_is_enforced() {
         let db = chain_db(50);
         let err = Evaluator::new(ancestor())
@@ -327,7 +372,12 @@ mod tests {
         //   up(a,m), sg(m,n) [flat], flat(n,m), sg(m,n) [flat], down(n,d).
         let rendered: BTreeSet<String> = answers
             .iter()
-            .map(|row| row.iter().map(Value::to_string).collect::<Vec<_>>().join(","))
+            .map(|row| {
+                row.iter()
+                    .map(Value::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
             .collect();
         assert!(rendered.contains("b"));
         assert!(rendered.contains("d"));
@@ -351,7 +401,10 @@ mod tests {
             vec![Value::sym("z"), list.clone()],
         );
         let result = Evaluator::new(program).run(&db).unwrap();
-        let append = result.database.relation(&PredName::plain("append")).unwrap();
+        let append = result
+            .database
+            .relation(&PredName::plain("append"))
+            .unwrap();
         // One append fact per suffix of the guarded list: [a,b], [b], [].
         assert_eq!(append.len(), 3);
         let full = append

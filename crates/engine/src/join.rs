@@ -1,10 +1,27 @@
-//! The rule-body join: trail-based backtracking over indexed relations.
+//! The rule-body join: the interpreter loop over slot-compiled plans.
+//!
+//! This is the engine's hottest code.  The loop structure is classic
+//! trail-based backtracking over indexed relations, but every per-probe
+//! cost has been compiled away (see `crate::plan` for the compilation
+//! story):
+//!
+//! * bindings live in a flat frame indexed by slot id — no `HashMap`
+//!   insert/remove, no `Variable` hashing;
+//! * index probes borrow the relation's id slice — no `to_vec()` copies;
+//! * the semi-naive delta window is applied by binary-searching the
+//!   (ascending) id slice — no per-id filtering;
+//! * backtracking truncates a shared trail of slot ids — no per-term
+//!   `vars()` vectors.
+//!
+//! The only remaining per-row work is the check-term matches themselves and
+//! the recursion; the only allocations are one frame, one trail and one key
+//! buffer per atom, all hoisted to `evaluate_rule` entry and reused.
 
 use crate::error::EvalError;
 use crate::limits::Limits;
 use crate::plan::RulePlan;
-use magic_datalog::{Bindings, Fact, Value, Variable};
-use magic_storage::Database;
+use magic_datalog::{Frame, Trail, Value};
+use magic_storage::{Database, Relation, Row};
 
 /// Restriction of one body occurrence to a "delta" window of its relation
 /// (row ids in `from..to`), used by semi-naive evaluation.
@@ -28,128 +45,210 @@ pub struct JoinCounters {
     pub matches: usize,
 }
 
-/// Evaluate one rule against `db`, appending every head fact produced by a
-/// satisfied body to `out`.
+/// Shared, read-only state of one rule evaluation.
+struct JoinCtx<'a> {
+    plan: &'a RulePlan,
+    /// The relation of each body atom, resolved once (`None` = no relation
+    /// stored, i.e. empty).
+    relations: Vec<&'a Relation>,
+    delta: Option<DeltaWindow>,
+    limits: &'a Limits,
+}
+
+/// Evaluate one rule against `db`, appending the head row of every
+/// satisfied body instantiation to `out` (all rows belong to
+/// `plan.head_pred`).
 ///
 /// If `delta` is given, the designated body occurrence only ranges over the
 /// row-id window — the semi-naive restriction.
+///
+/// Arity mismatches between a body atom and its stored relation are
+/// reported eagerly, even for atoms an empty earlier atom would have kept
+/// the join from reaching.  A mismatch means the program and the database
+/// disagree about a predicate; failing deterministically beats failing
+/// only when the data happens to reach the inconsistent atom.
 pub fn evaluate_rule(
     plan: &RulePlan,
     db: &Database,
     delta: Option<DeltaWindow>,
     limits: &Limits,
-    out: &mut Vec<Fact>,
+    out: &mut Vec<Row>,
 ) -> Result<JoinCounters, EvalError> {
-    let mut env = Bindings::new();
     let mut counters = JoinCounters::default();
-    descend(plan, db, delta, limits, 0, &mut env, out, &mut counters)?;
+    // Resolve and arity-check each atom's relation once per rule evaluation
+    // instead of once per atom visit.  Every present relation is
+    // arity-checked before concluding anything, so the mismatch error does
+    // not depend on whether an earlier atom happens to be missing or empty.
+    let mut resolved = Vec::with_capacity(plan.atoms.len());
+    for atom in &plan.atoms {
+        let relation = db.relation(&atom.pred);
+        if let Some(relation) = relation {
+            if relation.arity() != atom.arity {
+                return Err(EvalError::ArityMismatch {
+                    predicate: atom.pred.to_string(),
+                    rule_arity: atom.arity,
+                    stored_arity: relation.arity(),
+                });
+            }
+        }
+        resolved.push(relation);
+    }
+    // A missing relation is empty: the conjunctive body cannot match.
+    let Some(relations) = resolved.into_iter().collect::<Option<Vec<_>>>() else {
+        return Ok(counters);
+    };
+    let ctx = JoinCtx {
+        plan,
+        relations,
+        delta,
+        limits,
+    };
+    let mut frame: Frame = vec![None; plan.num_slots];
+    let mut trail: Trail = Vec::new();
+    let mut keys: Vec<Vec<Value>> = plan
+        .atoms
+        .iter()
+        .map(|a| Vec::with_capacity(a.key_terms.len()))
+        .collect();
+    descend(
+        &ctx,
+        0,
+        &mut frame,
+        &mut trail,
+        &mut keys,
+        out,
+        &mut counters,
+    )?;
     Ok(counters)
+}
+
+/// Clamp `range` to a delta window.
+fn window_range(len: usize, window: Option<DeltaWindow>) -> std::ops::Range<usize> {
+    match window {
+        None => 0..len,
+        Some(w) => w.from.min(len)..w.to.min(len),
+    }
+}
+
+/// Slice the (ascending) id list down to a delta window by binary search.
+fn window_slice(ids: &[usize], window: Option<DeltaWindow>) -> &[usize] {
+    match window {
+        None => ids,
+        Some(w) => {
+            let lo = ids.partition_point(|&id| id < w.from);
+            let hi = ids.partition_point(|&id| id < w.to);
+            &ids[lo..hi]
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn descend(
-    plan: &RulePlan,
-    db: &Database,
-    delta: Option<DeltaWindow>,
-    limits: &Limits,
+    ctx: &JoinCtx<'_>,
     depth: usize,
-    env: &mut Bindings,
-    out: &mut Vec<Fact>,
+    frame: &mut Frame,
+    trail: &mut Trail,
+    keys: &mut [Vec<Value>],
+    out: &mut Vec<Row>,
     counters: &mut JoinCounters,
 ) -> Result<(), EvalError> {
-    if depth == plan.atoms.len() {
-        // Body satisfied: produce the head fact.
-        let fact = plan.rule.head.eval(env).ok_or_else(|| EvalError::NotRangeRestricted {
-            rule: plan.rule.to_string(),
-        })?;
-        if fact
-            .values
-            .iter()
-            .any(|v| v.depth() > limits.max_term_depth)
-        {
-            return Err(EvalError::TermDepthLimit {
-                limit: limits.max_term_depth,
-            });
+    if depth == ctx.plan.atoms.len() {
+        // Body satisfied: produce the head row.
+        let mut row = Vec::with_capacity(ctx.plan.head_terms.len());
+        for term in &ctx.plan.head_terms {
+            let value = term
+                .eval_slots(frame)
+                .ok_or_else(|| EvalError::NotRangeRestricted {
+                    rule: ctx.plan.rule.to_string(),
+                })?;
+            if value.depth() > ctx.limits.max_term_depth {
+                return Err(EvalError::TermDepthLimit {
+                    limit: ctx.limits.max_term_depth,
+                });
+            }
+            row.push(value);
         }
         counters.matches += 1;
-        out.push(fact);
+        out.push(row);
         return Ok(());
     }
 
-    let atom_plan = &plan.atoms[depth];
-    let Some(relation) = db.relation(&atom_plan.pred) else {
-        return Ok(()); // empty relation: no matches
-    };
-    if relation.arity() != atom_plan.arity {
-        return Err(EvalError::ArityMismatch {
-            predicate: atom_plan.pred.to_string(),
-            rule_arity: atom_plan.arity,
-            stored_arity: relation.arity(),
-        });
-    }
+    let atom = &ctx.plan.atoms[depth];
+    let relation = ctx.relations[depth];
 
-    // Compute the index key from the evaluable positions.
-    let mut key: Vec<Value> = Vec::with_capacity(atom_plan.key_terms.len());
-    for term in &atom_plan.key_terms {
-        match term.eval(env) {
-            Some(v) => key.push(v),
-            // A key term that fails to evaluate (e.g. a linear expression
-            // over a non-integer) simply cannot match anything.
-            None => return Ok(()),
+    // Compute the index key from the evaluable positions — once per atom
+    // visit, not per candidate row.
+    {
+        let key = &mut keys[depth];
+        key.clear();
+        for term in &atom.key_terms {
+            match term.eval_slots(frame) {
+                Some(v) => key.push(v),
+                // A key term that fails to evaluate (e.g. a linear expression
+                // over a non-integer) simply cannot match anything.
+                None => return Ok(()),
+            }
         }
     }
 
-    let ids: Vec<usize> = if atom_plan.key_positions.is_empty() {
-        (0..relation.len()).collect()
+    let window = ctx.delta.filter(|w| w.occurrence == depth);
+
+    if atom.key_positions.is_empty() {
+        // No evaluable positions: scan the (windowed) relation directly.
+        for id in window_range(relation.len(), window) {
+            probe(ctx, depth, relation, id, frame, trail, keys, out, counters)?;
+        }
     } else {
-        match relation.lookup(&atom_plan.key_positions, &key) {
-            Some(ids) => ids.to_vec(),
-            None => relation.scan_select(&atom_plan.key_positions, &key),
-        }
-    };
-
-    let window = delta.filter(|w| w.occurrence == depth);
-
-    for id in ids {
-        if let Some(w) = window {
-            if id < w.from || id >= w.to {
-                continue;
+        // The borrowed-slice fast path.  `scan_select` only runs when no
+        // index exists on this pattern, which the evaluator prevents by
+        // ensuring indexes for every plan access path up front.
+        let scanned: Vec<usize>;
+        let ids: &[usize] = match relation.lookup(&atom.key_positions, &keys[depth]) {
+            Some(ids) => ids,
+            None => {
+                scanned = relation.scan_select(&atom.key_positions, &keys[depth]);
+                &scanned
             }
-        }
-        counters.probes += 1;
-        let row = relation.row(id);
-        // Match the non-key positions, recording newly bound variables so we
-        // can backtrack.
-        let mut trail: Vec<Variable> = Vec::new();
-        let mut ok = true;
-        for (pos, term) in &atom_plan.check {
-            let before: Vec<Variable> = term
-                .vars()
-                .into_iter()
-                .filter(|v| !env.contains_key(v))
-                .collect();
-            if term.match_value(&row[*pos], env) {
-                for v in before {
-                    if env.contains_key(&v) {
-                        trail.push(v);
-                    }
-                }
-            } else {
-                // Partial bindings from a failed match must also be undone.
-                for v in before {
-                    env.remove(&v);
-                }
-                ok = false;
-                break;
-            }
-        }
-        if ok {
-            descend(plan, db, delta, limits, depth + 1, env, out, counters)?;
-        }
-        for v in trail {
-            env.remove(&v);
+        };
+        for &id in window_slice(ids, window) {
+            probe(ctx, depth, relation, id, frame, trail, keys, out, counters)?;
         }
     }
+    Ok(())
+}
+
+/// Examine one candidate row: run the atom's check program against it and
+/// recurse on success.  The frame is unwound through the trail afterwards,
+/// so the caller observes no binding changes.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn probe(
+    ctx: &JoinCtx<'_>,
+    depth: usize,
+    relation: &Relation,
+    id: usize,
+    frame: &mut Frame,
+    trail: &mut Trail,
+    keys: &mut [Vec<Value>],
+    out: &mut Vec<Row>,
+    counters: &mut JoinCounters,
+) -> Result<(), EvalError> {
+    counters.probes += 1;
+    let row = relation.row(id);
+    let mark = trail.len();
+    let mut ok = true;
+    for (pos, term) in &ctx.plan.atoms[depth].check {
+        // A failed match unwinds its own partial bindings; earlier check
+        // terms' bindings are unwound below through the trail mark.
+        if !term.match_value_slots(&row[*pos], frame, trail) {
+            ok = false;
+            break;
+        }
+    }
+    if ok {
+        descend(ctx, depth + 1, frame, trail, keys, out, counters)?;
+    }
+    magic_datalog::slots::unwind(frame, trail, mark);
     Ok(())
 }
 
@@ -166,6 +265,15 @@ mod tests {
         db.insert_pair("par", "b", "c");
         db.insert_pair("par", "c", "d");
         db
+    }
+
+    fn render(pred: &str, rows: &[Row]) -> Vec<String> {
+        rows.iter()
+            .map(|row| {
+                let args: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                format!("{pred}({})", args.join(", "))
+            })
+            .collect()
     }
 
     #[test]
@@ -187,8 +295,7 @@ mod tests {
         let db = db_with_par();
         let mut out = Vec::new();
         evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
-        let rendered: Vec<String> = out.iter().map(|f| f.to_string()).collect();
-        assert_eq!(rendered, vec!["grand(a, c)", "grand(b, d)"]);
+        assert_eq!(render("grand", &out), vec!["grand(a, c)", "grand(b, d)"]);
     }
 
     #[test]
@@ -207,6 +314,27 @@ mod tests {
     }
 
     #[test]
+    fn delta_window_binary_searches_indexed_ids() {
+        // Indexed access path (second atom keyed on Z) with a delta window
+        // on the indexed occurrence: the window must slice the id list.
+        let rule = parse_rule("grand(X, Z) :- par(X, Y), par(Y, Z).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut db = db_with_par();
+        db.relation_mut(&PredName::plain("par"), 2)
+            .ensure_index(&[0]);
+        // Window excluding row 1 (par(b, c)): grand(a, c) needs it at
+        // occurrence 1, so only grand(b, d) (via row 2) survives.
+        let window = DeltaWindow {
+            occurrence: 1,
+            from: 2,
+            to: 3,
+        };
+        let mut out = Vec::new();
+        evaluate_rule(&plan, &db, Some(window), &Limits::default(), &mut out).unwrap();
+        assert_eq!(render("grand", &out), vec!["grand(b, d)"]);
+    }
+
+    #[test]
     fn non_range_restricted_rule_errors() {
         let rule = parse_rule("p(X, W) :- q(X).").unwrap();
         let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
@@ -218,6 +346,18 @@ mod tests {
     }
 
     #[test]
+    fn arity_mismatch_is_reported_even_when_an_earlier_relation_is_missing() {
+        let rule = parse_rule("p(X, Y) :- nothing(X), q(X, Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut db = Database::new();
+        // q stored with arity 1, used with arity 2; `nothing` is absent.
+        db.insert(PredName::plain("q"), vec![Value::sym("a")]);
+        let mut out = Vec::new();
+        let err = evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap_err();
+        assert!(matches!(err, EvalError::ArityMismatch { .. }));
+    }
+
+    #[test]
     fn missing_relation_is_empty() {
         let rule = parse_rule("p(X) :- nothing(X).").unwrap();
         let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
@@ -225,5 +365,21 @@ mod tests {
         let mut out = Vec::new();
         evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn backtracking_unbinds_frame_slots_between_rows() {
+        // p(X, Y) :- q(X), r(X, Y): for each q row, r is checked with X
+        // bound; X must be unbound again before the next q row.
+        let rule = parse_rule("p(X, Y) :- q(X), r(X, Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut db = Database::new();
+        db.insert(PredName::plain("q"), vec![Value::sym("a")]);
+        db.insert(PredName::plain("q"), vec![Value::sym("b")]);
+        db.insert_pair("r", "a", "x");
+        db.insert_pair("r", "b", "y");
+        let mut out = Vec::new();
+        evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
+        assert_eq!(render("p", &out), vec!["p(a, x)", "p(b, y)"]);
     }
 }

@@ -13,6 +13,12 @@ pub struct Limits {
     pub max_facts: usize,
     /// Maximum nesting depth of any derived value (function-symbol growth).
     pub max_term_depth: usize,
+    /// Maximum wall-clock duration of the whole evaluation, checked once per
+    /// fixpoint iteration (`None` = unlimited).  Iteration and fact limits
+    /// bound divergence only loosely when each iteration derives a trickle
+    /// of new facts over an ever-growing database; a time budget bounds it
+    /// hard, which benchmark harnesses rely on.
+    pub max_wall: Option<std::time::Duration>,
 }
 
 impl Limits {
@@ -21,6 +27,7 @@ impl Limits {
         max_iterations: 1_000_000,
         max_facts: 50_000_000,
         max_term_depth: 100_000,
+        max_wall: None,
     };
 
     /// Tight limits for tests that expect divergence to be detected quickly.
@@ -34,6 +41,7 @@ impl Limits {
             max_iterations: 56,
             max_facts: 200_000,
             max_term_depth: 512,
+            max_wall: None,
         }
     }
 
@@ -52,6 +60,12 @@ impl Limits {
     /// Override the term-depth limit.
     pub fn with_max_term_depth(mut self, limit: usize) -> Limits {
         self.max_term_depth = limit;
+        self
+    }
+
+    /// Set a wall-clock budget for the evaluation.
+    pub fn with_max_wall(mut self, limit: std::time::Duration) -> Limits {
+        self.max_wall = Some(limit);
         self
     }
 }
@@ -75,6 +89,9 @@ mod tests {
         assert_eq!(l.max_iterations, 10);
         assert_eq!(l.max_facts, 20);
         assert_eq!(l.max_term_depth, 30);
+        assert_eq!(l.max_wall, None);
+        let timed = l.with_max_wall(std::time::Duration::from_secs(5));
+        assert_eq!(timed.max_wall, Some(std::time::Duration::from_secs(5)));
         assert!(Limits::strict().max_iterations < Limits::DEFAULT.max_iterations);
     }
 }

@@ -38,7 +38,12 @@ impl EvalStats {
         *self.firings_by_rule.entry(rule_idx).or_insert(0) += 1;
         if is_new {
             self.facts_derived += 1;
-            *self.facts_by_pred.entry(pred.clone()).or_insert(0) += 1;
+            // Clone the name only on the first fact of a predicate.
+            if let Some(n) = self.facts_by_pred.get_mut(pred) {
+                *n += 1;
+            } else {
+                self.facts_by_pred.insert(pred.clone(), 1);
+            }
         } else {
             self.duplicate_derivations += 1;
         }

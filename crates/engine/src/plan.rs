@@ -1,12 +1,47 @@
-//! Compiled evaluation plans for rules.
+//! Compiled evaluation plans for rules: the slot-frame join machine.
+//!
+//! # Design: compile-time variable slots
 //!
 //! A rule is evaluated left-to-right (the rewrites of `magic-core` emit rule
 //! bodies already ordered according to the sip, with guard literals first).
-//! For each body atom we precompute which argument positions will be fully
-//! evaluable — usable as an index key — by the time the atom is reached, and
-//! which positions must be matched tuple-by-tuple.
+//! Historically the join carried a `HashMap<Variable, Value>` environment:
+//! every candidate tuple hashed variable keys, inserted and removed map
+//! entries, and allocated a `Vec` of variables per checked term to know what
+//! to undo on backtracking.  All of that work is resolvable at
+//! compile time, so [`RulePlan::compile`] now does it once per rule:
+//!
+//! * **Dense slot numbering.**  Every variable of the rule (body first, in
+//!   binding order, then any head-only variables) is assigned a dense slot
+//!   id `0..num_slots`.  The run-time environment is then a flat *frame*
+//!   `Vec<Option<Value>>` indexed by slot id — no hashing, no map nodes —
+//!   allocated once per rule evaluation and reused across all candidate
+//!   tuples.
+//!
+//! * **Per-atom key extractor programs.**  For each body atom we precompute
+//!   which argument positions are fully evaluable by the time the atom is
+//!   reached (all their variables bound by earlier atoms, or ground).
+//!   Those become `key_positions`/`key_terms`: an index key evaluated once
+//!   per atom *visit* (not per candidate row) and handed to
+//!   `Relation::lookup`, which returns a borrowed id slice — the join never
+//!   copies id vectors.
+//!
+//! * **Per-atom check programs.**  The remaining positions become `check`:
+//!   [`SlotTerm`]s matched against each candidate row.
+//!   `SlotTerm::match_value_slots` records newly bound slots on a shared
+//!   *trail* (`Vec<u32>`); backtracking truncates the trail and clears the
+//!   recorded frame entries.  Nothing in the per-row path allocates.
+//!
+//! * **Slot-compiled head.**  The head atom's terms are compiled to
+//!   [`SlotTerm`]s too, so producing an output row is a frame read per
+//!   argument.
+//!
+//! The semi-naive delta restriction composes with this machinery by
+//! *slicing* the borrowed id sequence: index id lists are in ascending row-id
+//! order (rows are append-only), so a delta window `[from, to)` is a binary
+//! search, not a per-id filter.  See `crate::join` for the interpreter loop
+//! over these programs.
 
-use magic_datalog::{PredName, Rule, Term, Variable};
+use magic_datalog::{PredName, Rule, SlotTerm, Variable};
 use std::collections::BTreeSet;
 
 /// The per-atom part of a compiled rule plan.
@@ -19,20 +54,29 @@ pub struct AtomPlan {
     /// Positions whose terms are fully evaluable when the atom is reached
     /// (all their variables bound by earlier atoms, or ground).
     pub key_positions: Vec<usize>,
-    /// The terms at `key_positions`.
-    pub key_terms: Vec<Term>,
-    /// The remaining positions, with their terms, matched against each
-    /// candidate row (extending the environment).
-    pub check: Vec<(usize, Term)>,
+    /// The slot-compiled terms at `key_positions`.
+    pub key_terms: Vec<SlotTerm>,
+    /// The remaining positions, with their slot-compiled terms, matched
+    /// against each candidate row (extending the frame).
+    pub check: Vec<(usize, SlotTerm)>,
 }
 
-/// A compiled rule: the original rule plus per-atom access plans.
+/// A compiled rule: the original rule plus per-atom access plans in terms of
+/// dense variable slots (see the module docs).
 #[derive(Clone, Debug)]
 pub struct RulePlan {
-    /// The source rule.
+    /// The source rule (kept for diagnostics and error messages).
     pub rule: Rule,
     /// The index of the rule in the program (used in metrics).
     pub rule_idx: usize,
+    /// The head predicate (every output row of this plan belongs to it).
+    pub head_pred: PredName,
+    /// The slot-compiled head argument terms.
+    pub head_terms: Vec<SlotTerm>,
+    /// Number of variable slots; the join allocates one frame of this size.
+    pub num_slots: usize,
+    /// Slot id -> source variable (diagnostics only).
+    pub slot_vars: Vec<Variable>,
     /// Access plans, one per body atom, in evaluation order.
     pub atoms: Vec<AtomPlan>,
     /// Body occurrence indices whose predicate is derived in the program
@@ -44,6 +88,16 @@ impl RulePlan {
     /// Compile a rule.  `derived` is the set of predicates defined by rules
     /// of the program being evaluated.
     pub fn compile(rule: &Rule, rule_idx: usize, derived: &BTreeSet<PredName>) -> RulePlan {
+        let mut slot_vars: Vec<Variable> = Vec::new();
+        let mut slot_of = |v: Variable| -> u32 {
+            match slot_vars.iter().position(|&u| u == v) {
+                Some(i) => i as u32,
+                None => {
+                    slot_vars.push(v);
+                    (slot_vars.len() - 1) as u32
+                }
+            }
+        };
         let mut bound: BTreeSet<Variable> = BTreeSet::new();
         let mut atoms = Vec::with_capacity(rule.body.len());
         let mut derived_occurrences = Vec::new();
@@ -55,9 +109,9 @@ impl RulePlan {
                 let vars = term.vars();
                 if vars.iter().all(|v| bound.contains(v)) {
                     key_positions.push(p);
-                    key_terms.push(term.clone());
+                    key_terms.push(term.to_slots(&mut slot_of));
                 } else {
-                    check.push((p, term.clone()));
+                    check.push((p, term.to_slots(&mut slot_of)));
                 }
             }
             // After this atom is solved, all its variables are bound.
@@ -73,9 +127,20 @@ impl RulePlan {
                 check,
             });
         }
+        let head_terms = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| t.to_slots(&mut slot_of))
+            .collect();
+        let num_slots = slot_vars.len();
         RulePlan {
             rule: rule.clone(),
             rule_idx,
+            head_pred: rule.head.pred.clone(),
+            head_terms,
+            num_slots,
+            slot_vars,
             atoms,
             derived_occurrences,
         }
@@ -116,5 +181,32 @@ mod tests {
         // f(X, Y): X bound by q but Y free -> not evaluable, so a check.
         assert!(plan.atoms[1].key_positions.is_empty());
         assert_eq!(plan.atoms[1].check.len(), 1);
+    }
+
+    #[test]
+    fn slots_are_dense_and_shared_across_atoms() {
+        let rule = parse_rule("anc(X, Y) :- par(X, Z), anc(Z, Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        // X, Z from par; Y from anc: three dense slots.
+        assert_eq!(plan.num_slots, 3);
+        use magic_datalog::Variable;
+        assert_eq!(
+            plan.slot_vars,
+            vec![Variable::new("X"), Variable::new("Z"), Variable::new("Y")]
+        );
+        // The key of the second atom reads the slot Z was bound to (1).
+        assert_eq!(plan.atoms[1].key_terms, vec![SlotTerm::Slot(1)]);
+        // The head reads slots 0 and 2.
+        assert_eq!(plan.head_terms, vec![SlotTerm::Slot(0), SlotTerm::Slot(2)]);
+    }
+
+    #[test]
+    fn head_only_variables_get_slots() {
+        // Not range-restricted: W never occurs in the body; it still gets a
+        // slot (which stays unbound, surfacing the error at evaluation).
+        let rule = parse_rule("p(X, W) :- q(X).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        assert_eq!(plan.num_slots, 2);
+        assert_eq!(plan.head_terms.len(), 2);
     }
 }

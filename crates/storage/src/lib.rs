@@ -22,7 +22,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod database;
+pub mod fxhash;
 pub mod relation;
 
 pub use database::Database;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use relation::{Relation, Row};

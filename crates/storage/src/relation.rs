@@ -1,26 +1,68 @@
 //! In-memory relations with hash indexes on bound-position patterns.
 
+use crate::fxhash::{FxBuildHasher, FxHashMap};
 use magic_datalog::Value;
-use std::collections::HashMap;
 use std::collections::HashSet;
+use std::hash::{BuildHasher, Hash};
 
 /// A row (tuple) of ground values.
 pub type Row = Vec<Value>;
 
+/// The row ids sharing one row hash in the dedup table.
+///
+/// Hash collisions between distinct rows are ~nonexistent at 64 bits, so
+/// the common case is a single id stored inline with no heap allocation;
+/// the `Many` spill keeps correctness when a collision does happen.
+#[derive(Clone, Debug)]
+enum HashBucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl HashBucket {
+    fn ids(&self) -> &[u32] {
+        match self {
+            HashBucket::One(id) => std::slice::from_ref(id),
+            HashBucket::Many(ids) => ids,
+        }
+    }
+
+    fn push(&mut self, id: u32) {
+        match self {
+            HashBucket::One(first) => *self = HashBucket::Many(vec![*first, id]),
+            HashBucket::Many(ids) => ids.push(id),
+        }
+    }
+}
+
 /// An in-memory relation: a set of rows of fixed arity, with hash indexes
 /// built on demand for the bound-position patterns the evaluator needs.
 ///
-/// Rows are stored append-only in insertion order (so iteration is
-/// deterministic) with a hash set for duplicate elimination.  Indexes map a
-/// key — the values at a fixed list of positions — to the list of row ids
-/// having that key, and are maintained incrementally on insert.
+/// Rows are stored **once**, append-only in insertion order (so row ids are
+/// stable and iteration is deterministic).  Duplicate elimination goes
+/// through a row-hash → row-id table instead of a second `HashSet<Row>`
+/// copy of every row.  Indexes map a key — the values at a fixed list of
+/// positions — to the ids of the rows having that key, kept in ascending id
+/// order (they are appended in insertion order), which is what lets the
+/// evaluator slice delta windows out of them by binary search.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     arity: usize,
     rows: Vec<Row>,
-    present: HashSet<Row>,
-    /// positions -> key values -> row ids
-    indexes: HashMap<Vec<usize>, HashMap<Vec<Value>, Vec<usize>>>,
+    /// row hash -> ids of rows with that hash (dedup without a row copy).
+    dedup: FxHashMap<u64, HashBucket>,
+    /// positions -> key values -> ascending row ids.
+    indexes: FxHashMap<Vec<usize>, FxHashMap<Row, Vec<usize>>>,
+    /// Reusable key buffer for incremental index maintenance.
+    key_scratch: Row,
+}
+
+fn hash_row(row: &[Value]) -> u64 {
+    let mut state = FxBuildHasher::default().build_hasher();
+    // Hash as a slice so lookups with borrowed `&[Value]` agree with keys
+    // inserted as owned `Vec<Value>` (std's `Borrow` contract).
+    row.hash(&mut state);
+    std::hash::Hasher::finish(&state)
 }
 
 impl Relation {
@@ -28,9 +70,7 @@ impl Relation {
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            rows: Vec::new(),
-            present: HashSet::new(),
-            indexes: HashMap::new(),
+            ..Relation::default()
         }
     }
 
@@ -62,22 +102,46 @@ impl Relation {
             row.len(),
             self.arity
         );
-        if self.present.contains(&row) {
-            return false;
-        }
+        let hash = hash_row(&row);
         let id = self.rows.len();
-        for (positions, index) in self.indexes.iter_mut() {
-            let key: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
-            index.entry(key).or_default().push(id);
+        let id32 = u32::try_from(id).expect("relation exceeds u32::MAX rows");
+        // One dedup-map probe per insert: duplicate check and id recording
+        // go through the same entry.
+        match self.dedup.entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let rows = &self.rows;
+                if entry.get().ids().iter().any(|&id| rows[id as usize] == row) {
+                    return false;
+                }
+                entry.get_mut().push(id32);
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(HashBucket::One(id32));
+            }
         }
-        self.present.insert(row.clone());
+        // Maintain every index without allocating a fresh key per index:
+        // the scratch buffer is reused, and an owned key is cloned only the
+        // first time a key value is seen.
+        let mut scratch = std::mem::take(&mut self.key_scratch);
+        for (positions, index) in self.indexes.iter_mut() {
+            scratch.clear();
+            scratch.extend(positions.iter().map(|&p| row[p].clone()));
+            if let Some(ids) = index.get_mut(scratch.as_slice()) {
+                ids.push(id);
+            } else {
+                index.insert(scratch.clone(), vec![id]);
+            }
+        }
+        self.key_scratch = scratch;
         self.rows.push(row);
         true
     }
 
     /// True iff the relation contains `row`.
     pub fn contains(&self, row: &[Value]) -> bool {
-        self.present.contains(row)
+        self.dedup
+            .get(&hash_row(row))
+            .is_some_and(|bucket| bucket.ids().iter().any(|&id| self.rows[id as usize] == row))
     }
 
     /// Iterate over all rows in insertion order.
@@ -96,7 +160,9 @@ impl Relation {
     }
 
     /// Ensure an index exists on `positions` and return the matching row ids
-    /// for `key` (the values at those positions).
+    /// for `key` as an owned vector.  Convenience wrapper over
+    /// [`Relation::ensure_index`] + [`Relation::lookup`]; the evaluator's
+    /// hot path uses those directly to borrow the id slice instead.
     ///
     /// An empty `positions` list means "no selection": all row ids match.
     pub fn select_ids(&mut self, positions: &[usize], key: &[Value]) -> Vec<usize> {
@@ -104,35 +170,31 @@ impl Relation {
         if positions.is_empty() {
             return (0..self.rows.len()).collect();
         }
-        if !self.indexes.contains_key(positions) {
-            let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-            for (id, row) in self.rows.iter().enumerate() {
-                let k: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
-                index.entry(k).or_default().push(id);
-            }
-            self.indexes.insert(positions.to_vec(), index);
-        }
-        self.indexes[positions]
-            .get(key)
-            .cloned()
-            .unwrap_or_default()
+        self.ensure_index(positions);
+        self.lookup(positions, key)
+            .expect("index was just ensured")
+            .to_vec()
     }
 
-    /// Ensure a (incrementally maintained) hash index exists on `positions`.
+    /// Ensure an (incrementally maintained) hash index exists on `positions`.
     pub fn ensure_index(&mut self, positions: &[usize]) {
         if positions.is_empty() || self.indexes.contains_key(positions) {
             return;
         }
-        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        let mut index: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
         for (id, row) in self.rows.iter().enumerate() {
-            let k: Vec<Value> = positions.iter().map(|&p| row[p].clone()).collect();
-            index.entry(k).or_default().push(id);
+            let key: Row = positions.iter().map(|&p| row[p].clone()).collect();
+            index.entry(key).or_default().push(id);
         }
         self.indexes.insert(positions.to_vec(), index);
     }
 
     /// Look up the row ids matching `key` on a previously ensured index.
-    /// Returns `None` if no index exists on `positions` (callers fall back to
+    ///
+    /// This is the join's single hot-path entry point: the returned slice is
+    /// borrowed (never copied) and its ids are in **ascending order** —
+    /// semi-naive delta windows are binary-searched out of it.  Returns
+    /// `None` if no index exists on `positions` (callers fall back to
     /// [`Relation::scan_select`]).
     pub fn lookup(&self, positions: &[usize], key: &[Value]) -> Option<&[usize]> {
         let index = self.indexes.get(positions)?;
@@ -140,7 +202,7 @@ impl Relation {
     }
 
     /// Like [`Relation::select_ids`] but without building or using indexes
-    /// (linear scan).  Useful for read-only access paths.
+    /// (linear scan, ids ascending).  Useful for read-only access paths.
     pub fn scan_select(&self, positions: &[usize], key: &[Value]) -> Vec<usize> {
         self.rows
             .iter()
@@ -178,7 +240,11 @@ impl Relation {
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.arity == other.arity && self.present == other.present
+        // Set equality: both sides are duplicate-free, so equal lengths plus
+        // one-way containment suffice.
+        self.arity == other.arity
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().all(|row| other.contains(row))
     }
 }
 
@@ -245,6 +311,21 @@ mod tests {
     }
 
     #[test]
+    fn index_ids_stay_ascending_across_inserts() {
+        // The delta-window binary search relies on this invariant.
+        let mut r = Relation::new(2);
+        r.ensure_index(&[0]);
+        for i in 0..40i64 {
+            r.insert(vec![Value::Int(i % 4), Value::Int(i)]);
+        }
+        for k in 0..4i64 {
+            let ids = r.lookup(&[0], &[Value::Int(k)]).unwrap();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids not ascending");
+            assert_eq!(ids.len(), 10);
+        }
+    }
+
+    #[test]
     fn scan_select_agrees_with_index() {
         let mut r = Relation::new(3);
         for i in 0..10i64 {
@@ -297,5 +378,32 @@ mod tests {
         b.insert(vec![v("y")]);
         b.insert(vec![v("x")]);
         assert_eq!(a, b);
+        b.insert(vec![v("z")]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_bucket_collision_spill() {
+        let mut bucket = HashBucket::One(3);
+        assert_eq!(bucket.ids(), &[3]);
+        bucket.push(9);
+        assert_eq!(bucket.ids(), &[3, 9]);
+        bucket.push(12);
+        assert_eq!(bucket.ids(), &[3, 9, 12]);
+    }
+
+    #[test]
+    fn dedup_survives_many_inserts() {
+        // Exercise the dedup table with enough rows that any hashing bug
+        // (e.g. slice/Vec disagreement) would show as phantom duplicates.
+        let mut r = Relation::new(2);
+        for i in 0..1000i64 {
+            assert!(r.insert(vec![Value::Int(i / 25), Value::Int(i % 25)]));
+        }
+        for i in 0..1000i64 {
+            assert!(!r.insert(vec![Value::Int(i / 25), Value::Int(i % 25)]));
+            assert!(r.contains(&[Value::Int(i / 25), Value::Int(i % 25)]));
+        }
+        assert_eq!(r.len(), 1000);
     }
 }

@@ -1,9 +1,8 @@
 //! Parenthood relations for the ancestor programs: chains, balanced trees,
 //! random DAGs and cycles.
 
+use crate::rng::SplitMix64;
 use magic_storage::Database;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// The name of the node with the given index (`n0`, `n1`, ...).
 pub fn node(i: usize) -> String {
@@ -44,7 +43,7 @@ pub fn binary_tree(depth: usize) -> Database {
 /// for a given `seed`.
 pub fn random_dag(n: usize, edges: usize, seed: u64) -> Database {
     let mut db = Database::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     if n < 2 {
         return db;
     }
@@ -91,11 +90,7 @@ mod tests {
         let b = random_dag(50, 200, 7);
         assert_eq!(a, b);
         // Acyclic by construction: all edges go from lower to higher ids.
-        for row in a
-            .relation(&PredName::plain("par"))
-            .unwrap()
-            .iter()
-        {
+        for row in a.relation(&PredName::plain("par")).unwrap().iter() {
             let from: usize = row[0].to_string()[1..].parse().unwrap();
             let to: usize = row[1].to_string()[1..].parse().unwrap();
             assert!(from < to);

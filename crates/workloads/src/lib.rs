@@ -13,8 +13,10 @@
 pub mod ancestor;
 pub mod lists;
 pub mod programs;
+pub mod rng;
 pub mod same_generation;
 
 pub use ancestor::{binary_tree, chain, cycle, random_dag};
 pub use lists::{list_term, list_value, reverse_database};
+pub use rng::SplitMix64;
 pub use same_generation::{nested_sg_extras, same_generation_grid, SgConfig};

@@ -1,0 +1,92 @@
+//! A minimal, dependency-free deterministic PRNG.
+//!
+//! The build environment has no access to crates.io, so the workloads (and
+//! the randomized test suites) use this SplitMix64 generator instead of
+//! `rand`.  SplitMix64 (Steele, Lea & Flood, "Fast Splittable Pseudorandom
+//! Number Generators", OOPSLA 2014) passes BigCrush, needs eight lines of
+//! code, and — critically for reproducible workloads — is fully determined
+//! by its seed on every platform.
+
+/// A SplitMix64 pseudorandom number generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn seed_from_u64(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly distributed `usize` in `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift rejection-free mapping is fine here: span is tiny
+        // relative to 2^64, so the bias is unobservable for test workloads.
+        range.start + ((self.next_u64() as u128 * span as u128) >> 64) as usize
+    }
+
+    /// A uniformly distributed `i64` in `lo..hi`.
+    pub fn random_range_i64(&mut self, range: std::ops::Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        // wrapping_sub: the span of a range wider than i64::MAX still fits
+        // in u64, but the plain subtraction would overflow.
+        let span = range.end.wrapping_sub(range.start) as u64;
+        let offset = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start.wrapping_add(offset as i64)
+    }
+
+    /// A bernoulli draw with probability `num / den`.
+    pub fn random_ratio(&mut self, num: u32, den: u32) -> bool {
+        debug_assert!(num <= den && den > 0);
+        self.random_range(0..den as usize) < num as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range_i64(-5..5);
+            assert!((-5..5).contains(&w));
+        }
+        // Every value of a small range is eventually hit.
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -28,31 +28,46 @@ fn main() {
         .with_limits(limits)
         .evaluate(&nonlinear, &query, &chain(20))
         .expect("magic sets terminate");
-    println!("  magic sets:   {} answers (terminates)", magic.answers.len());
+    println!(
+        "  magic sets:   {} answers (terminates)",
+        magic.answers.len()
+    );
     match Planner::new(Strategy::Counting)
         .with_limits(limits)
         .evaluate(&nonlinear, &query, &chain(20))
     {
         Err(e) => println!("  counting:     diverges as predicted ({e})"),
-        Ok(r) => println!("  counting:     unexpectedly terminated with {} answers", r.answers.len()),
+        Ok(r) => println!(
+            "  counting:     unexpectedly terminated with {} answers",
+            r.answers.len()
+        ),
     }
 
     // Case 2: the linear ancestor program on cyclic data — statically fine,
     // but the cycle makes the counting indexes grow without bound.
     let linear = programs::ancestor();
     let adorned = adorn(&linear, &query, SipStrategy::FullLeftToRight).unwrap();
-    println!("\nlinear ancestor on a 12-node cycle: {}", analyze(&adorned));
+    println!(
+        "\nlinear ancestor on a 12-node cycle: {}",
+        analyze(&adorned)
+    );
     let cyclic_db = cycle(12);
     let magic = Planner::new(Strategy::MagicSets)
         .with_limits(limits)
         .evaluate(&linear, &query, &cyclic_db)
         .expect("magic sets terminate on cyclic data (Theorem 10.2)");
-    println!("  magic sets:   {} answers (terminates)", magic.answers.len());
+    println!(
+        "  magic sets:   {} answers (terminates)",
+        magic.answers.len()
+    );
     match Planner::new(Strategy::Counting)
         .with_limits(limits)
         .evaluate(&linear, &query, &cyclic_db)
     {
         Err(e) => println!("  counting:     diverges on the cyclic data ({e})"),
-        Ok(r) => println!("  counting:     unexpectedly terminated with {} answers", r.answers.len()),
+        Ok(r) => println!(
+            "  counting:     unexpectedly terminated with {} answers",
+            r.answers.len()
+        ),
     }
 }

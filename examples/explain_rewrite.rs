@@ -67,7 +67,10 @@ fn main() {
             }
         }
     }
-    println!("\n== adorned program (Section 3) ==\n{}", adorned.to_program());
+    println!(
+        "\n== adorned program (Section 3) ==\n{}",
+        adorned.to_program()
+    );
     println!("== safety (Section 10) ==\n{}\n", analyze(&adorned));
 
     for strategy in Strategy::REWRITES {

@@ -21,14 +21,20 @@ fn main() {
 
     // Static safety analysis.
     let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).expect("adornment");
-    println!("adorned program (Appendix A.2(4)):\n{}", adorned.to_program());
+    println!(
+        "adorned program (Appendix A.2(4)):\n{}",
+        adorned.to_program()
+    );
     println!("safety:  {}\n", analyze(&adorned));
 
     // The magic rewrite, printed in full (Appendix A.3.4).
     let rewritten = Planner::new(Strategy::MagicSets)
         .rewrite(&program, &query)
         .expect("rewrite succeeds");
-    println!("generalized magic sets rewrite (Appendix A.3.4):\n{}", rewritten.program);
+    println!(
+        "generalized magic sets rewrite (Appendix A.3.4):\n{}",
+        rewritten.program
+    );
 
     // Evaluate with each applicable strategy.
     let db = reverse_database();

@@ -210,7 +210,10 @@ fn fully_bound_query_acts_as_boolean_test() {
         Strategy::SupplementaryMagicSets,
     ] {
         let answers = answers_for(strategy, &program, &negative, &db);
-        assert!(answers.is_empty(), "{strategy}: anc(n7, n0) should not hold");
+        assert!(
+            answers.is_empty(),
+            "{strategy}: anc(n7, n0) should not hold"
+        );
     }
 }
 

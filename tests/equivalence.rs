@@ -1,12 +1,16 @@
-//! Property-based equivalence tests (Theorems 4.1, 5.1, 6.1, 7.1): on
+//! Randomized equivalence tests (Theorems 4.1, 5.1, 6.1, 7.1): on
 //! randomized acyclic data and randomized query constants, every rewriting
 //! strategy computes exactly the answers of the semi-naive bottom-up
 //! baseline.
+//!
+//! Originally written against `proptest`; the build environment has no
+//! crates.io access, so the same properties are now driven from the
+//! in-tree [`SplitMix64`] PRNG with fixed seeds (deterministic, so a
+//! failure is always reproducible from the case index).
 
 use power_of_magic::magic::planner::{Planner, Strategy};
-use power_of_magic::workloads::{programs, random_dag};
+use power_of_magic::workloads::{programs, random_dag, SplitMix64};
 use power_of_magic::Database;
-use proptest::prelude::*;
 
 fn answers(
     strategy: Strategy,
@@ -20,56 +24,62 @@ fn answers(
         .answers
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Ancestor over random DAGs: all strategies agree for every query node.
-    #[test]
-    fn ancestor_strategies_agree_on_random_dags(
-        nodes in 4usize..28,
-        edge_factor in 1usize..3,
-        seed in 0u64..1000,
-        query_node in 0usize..28,
-    ) {
+/// Ancestor over random DAGs: all strategies agree for every query node.
+#[test]
+fn ancestor_strategies_agree_on_random_dags() {
+    let mut rng = SplitMix64::seed_from_u64(1987);
+    for case in 0..16 {
+        let nodes = rng.random_range(4..28);
+        let edge_factor = rng.random_range(1..3);
+        let seed = rng.next_u64() % 1000;
+        let query_node = rng.random_range(0..28) % nodes;
         let program = programs::ancestor();
         let db = random_dag(nodes, nodes * edge_factor, seed);
-        let query = programs::ancestor_query(&format!("n{}", query_node % nodes));
+        let query = programs::ancestor_query(&format!("n{query_node}"));
         let reference = answers(Strategy::SemiNaiveBottomUp, &program, &query, &db);
         for strategy in Strategy::ALL {
-            prop_assert_eq!(
+            assert_eq!(
                 answers(strategy, &program, &query, &db),
-                reference.clone(),
-                "strategy {} disagrees", strategy
+                reference,
+                "case {case}: strategy {strategy} disagrees (nodes={nodes}, seed={seed}, query=n{query_node})"
             );
         }
     }
+}
 
-    /// The nonlinear ancestor program agrees with the linear one under the
-    /// magic rewrites (same least model, different rules and sips).
-    #[test]
-    fn nonlinear_and_linear_ancestor_agree(
-        nodes in 4usize..25,
-        seed in 0u64..500,
-        query_node in 0usize..25,
-    ) {
+/// The nonlinear ancestor program agrees with the linear one under the
+/// magic rewrites (same least model, different rules and sips).
+#[test]
+fn nonlinear_and_linear_ancestor_agree() {
+    let mut rng = SplitMix64::seed_from_u64(41);
+    for case in 0..16 {
+        let nodes = rng.random_range(4..25);
+        let seed = rng.next_u64() % 500;
+        let query_node = rng.random_range(0..25) % nodes;
         let linear = programs::ancestor();
         let nonlinear = programs::nonlinear_ancestor();
         let db = random_dag(nodes, nodes * 2, seed);
-        let query = programs::ancestor_query(&format!("n{}", query_node % nodes));
+        let query = programs::ancestor_query(&format!("n{query_node}"));
         let reference = answers(Strategy::SemiNaiveBottomUp, &linear, &query, &db);
         for strategy in [Strategy::MagicSets, Strategy::SupplementaryMagicSets] {
-            prop_assert_eq!(answers(strategy, &nonlinear, &query, &db), reference.clone());
+            assert_eq!(
+                answers(strategy, &nonlinear, &query, &db),
+                reference,
+                "case {case}: {strategy} (nodes={nodes}, seed={seed}, query=n{query_node})"
+            );
         }
     }
+}
 
-    /// Magic answers are monotone in the data: adding edges never removes
-    /// answers (a soundness smoke test for the delta-based evaluation).
-    #[test]
-    fn magic_answers_are_monotone(
-        nodes in 4usize..25,
-        seed in 0u64..500,
-        query_node in 0usize..25,
-    ) {
+/// Magic answers are monotone in the data: adding edges never removes
+/// answers (a soundness smoke test for the delta-based evaluation).
+#[test]
+fn magic_answers_are_monotone() {
+    let mut rng = SplitMix64::seed_from_u64(90210);
+    for case in 0..16 {
+        let nodes = rng.random_range(4..25);
+        let seed = rng.next_u64() % 500;
+        let query_node = rng.random_range(0..25) % nodes;
         let program = programs::ancestor();
         let small = random_dag(nodes, nodes, seed);
         let large = {
@@ -78,16 +88,21 @@ proptest! {
             db.merge(&extra);
             db
         };
-        let query = programs::ancestor_query(&format!("n{}", query_node % nodes));
+        let query = programs::ancestor_query(&format!("n{query_node}"));
         let small_answers = answers(Strategy::MagicSets, &program, &query, &small);
         let large_answers = answers(Strategy::MagicSets, &program, &query, &large);
-        prop_assert!(small_answers.is_subset(&large_answers));
+        assert!(
+            small_answers.is_subset(&large_answers),
+            "case {case}: monotonicity violated (nodes={nodes}, seed={seed}, query=n{query_node})"
+        );
     }
+}
 
-    /// Reverse computes the actual reversal for arbitrary small lists, under
-    /// every rewrite (the baselines cannot run this program).
-    #[test]
-    fn reverse_is_correct_for_random_lists(len in 0usize..10) {
+/// Reverse computes the actual reversal for arbitrary small lists, under
+/// every rewrite (the baselines cannot run this program).
+#[test]
+fn reverse_is_correct_for_random_lists() {
+    for len in 0..10 {
         let program = programs::list_reverse();
         let db = power_of_magic::workloads::reverse_database();
         let query = programs::reverse_query(power_of_magic::workloads::list_term(len));
@@ -99,17 +114,14 @@ proptest! {
             Strategy::SupplementaryCounting,
         ] {
             let result = answers(strategy, &program, &query, &db);
-            prop_assert_eq!(result.len(), 1);
-            let items: Vec<String> = result
-                .iter()
-                .next()
-                .unwrap()[0]
+            assert_eq!(result.len(), 1, "len {len}, {strategy}");
+            let items: Vec<String> = result.iter().next().unwrap()[0]
                 .as_list()
                 .unwrap()
                 .iter()
                 .map(|v| v.to_string())
                 .collect();
-            prop_assert_eq!(items, expected.clone());
+            assert_eq!(items, expected, "len {len}, {strategy}");
         }
     }
 }

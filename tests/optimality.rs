@@ -148,7 +148,10 @@ fn supplementary_variants_reduce_duplicate_firings() {
     assert_eq!(gms.accounting.supplementary_facts, 0);
     // Magic facts are a minority of the derived facts on this workload.
     let fraction = gms.accounting.subquery_fraction().unwrap();
-    assert!(fraction < 0.5, "magic fraction unexpectedly high: {fraction}");
+    assert!(
+        fraction < 0.5,
+        "magic fraction unexpectedly high: {fraction}"
+    );
 }
 
 /// Counting refines magic: projecting out the index fields of the counting

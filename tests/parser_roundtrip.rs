@@ -1,63 +1,106 @@
-//! Property-based round-trip tests for the parser and pretty-printer: any
+//! Randomized round-trip tests for the parser and pretty-printer: any
 //! program we can print, we can parse back to an identical AST.
+//!
+//! These were originally written against `proptest`; the build environment
+//! has no crates.io access, so they now drive the same generators from the
+//! in-tree [`SplitMix64`] PRNG with a fixed seed (deterministic, so a
+//! failure is always reproducible from the case index).
 
 use power_of_magic::lang::{parse_program, parse_rule, parse_term, Atom, Program, Rule, Term};
-use proptest::prelude::*;
+use power_of_magic::workloads::SplitMix64;
 
-fn term_strategy() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        "[a-z][a-z0-9]{0,5}".prop_map(|s| Term::sym(&s)),
-        "[A-Z][a-z0-9]{0,5}".prop_map(|s| Term::var(&s)),
-        (-1000i64..1000).prop_map(Term::Int),
-        Just(Term::nil()),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (
-                "[a-z][a-z0-9]{0,5}",
-                prop::collection::vec(inner.clone(), 1..3)
-            )
-                .prop_map(|(f, args)| Term::app(&f, args)),
-            (inner.clone(), inner).prop_map(|(h, t)| Term::cons(h, t)),
-        ]
-    })
+const CASES: usize = 128;
+
+fn lower_name(rng: &mut SplitMix64) -> String {
+    random_name(rng, b'a'..=b'z')
 }
 
-fn atom_strategy() -> impl Strategy<Value = Atom> {
-    (
-        "[a-z][a-z0-9]{0,5}",
-        prop::collection::vec(term_strategy(), 0..4),
-    )
-        .prop_map(|(p, terms)| Atom::plain(&p, terms))
+fn upper_name(rng: &mut SplitMix64) -> String {
+    random_name(rng, b'A'..=b'Z')
 }
 
-fn rule_strategy() -> impl Strategy<Value = Rule> {
-    (atom_strategy(), prop::collection::vec(atom_strategy(), 0..4))
-        .prop_map(|(head, body)| Rule::new(head, body))
+/// A name matching `[first][a-z0-9]{0,5}`.
+fn random_name(rng: &mut SplitMix64, first: std::ops::RangeInclusive<u8>) -> String {
+    let mut s = String::new();
+    let span = (*first.end() - *first.start()) as usize + 1;
+    s.push((*first.start() + rng.random_range(0..span) as u8) as char);
+    for _ in 0..rng.random_range(0..6) {
+        let tail = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        s.push(tail[rng.random_range(0..tail.len())] as char);
+    }
+    s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random term with nesting depth at most `depth`.
+fn random_term(rng: &mut SplitMix64, depth: usize) -> Term {
+    let max_choice = if depth == 0 { 4 } else { 6 };
+    match rng.random_range(0..max_choice) {
+        0 => Term::sym(&lower_name(rng)),
+        1 => Term::var(&upper_name(rng)),
+        2 => Term::Int(rng.random_range_i64(-1000..1000)),
+        3 => Term::nil(),
+        4 => {
+            let f = lower_name(rng);
+            let n = rng.random_range(1..3);
+            let args = (0..n).map(|_| random_term(rng, depth - 1)).collect();
+            Term::app(&f, args)
+        }
+        _ => {
+            let head = random_term(rng, depth - 1);
+            let tail = random_term(rng, depth - 1);
+            Term::cons(head, tail)
+        }
+    }
+}
 
-    #[test]
-    fn term_display_parse_roundtrip(term in term_strategy()) {
+fn random_atom(rng: &mut SplitMix64) -> Atom {
+    let p = lower_name(rng);
+    let n = rng.random_range(0..4);
+    let terms = (0..n).map(|_| random_term(rng, 2)).collect();
+    Atom::plain(&p, terms)
+}
+
+fn random_rule(rng: &mut SplitMix64) -> Rule {
+    let head = random_atom(rng);
+    let n = rng.random_range(0..4);
+    let body = (0..n).map(|_| random_atom(rng)).collect();
+    Rule::new(head, body)
+}
+
+#[test]
+fn term_display_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xC0FFEE);
+    for case in 0..CASES {
+        let term = random_term(&mut rng, 3);
         let printed = term.to_string();
-        let reparsed = parse_term(&printed).unwrap_or_else(|e| panic!("could not reparse {printed}: {e}"));
-        prop_assert_eq!(reparsed, term);
+        let reparsed = parse_term(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: could not reparse {printed}: {e}"));
+        assert_eq!(reparsed, term, "case {case}: {printed}");
     }
+}
 
-    #[test]
-    fn rule_display_parse_roundtrip(rule in rule_strategy()) {
+#[test]
+fn rule_display_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF);
+    for case in 0..CASES {
+        let rule = random_rule(&mut rng);
         let printed = rule.to_string();
-        let reparsed = parse_rule(&printed).unwrap_or_else(|e| panic!("could not reparse {printed}: {e}"));
-        prop_assert_eq!(reparsed, rule);
+        let reparsed = parse_rule(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: could not reparse {printed}: {e}"));
+        assert_eq!(reparsed, rule, "case {case}: {printed}");
     }
+}
 
-    #[test]
-    fn program_display_parse_roundtrip(rules in prop::collection::vec(rule_strategy(), 0..6)) {
+#[test]
+fn program_display_parse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xDA7A);
+    for case in 0..CASES {
+        let n = rng.random_range(0..6);
+        let rules: Vec<Rule> = (0..n).map(|_| random_rule(&mut rng)).collect();
         let program = Program::from_rules(rules);
         let printed = program.to_string();
-        let reparsed = parse_program(&printed).unwrap();
-        prop_assert_eq!(reparsed, program);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("case {case}: could not reparse {printed}: {e}"));
+        assert_eq!(reparsed, program, "case {case}");
     }
 }

@@ -4,9 +4,13 @@
 use power_of_magic::engine::{EvalError, Limits};
 use power_of_magic::magic::adorn::adorn;
 use power_of_magic::magic::planner::{PlanError, Planner, Strategy};
-use power_of_magic::magic::safety::{analyze, counting_safety, magic_safety, CountingSafety, MagicSafety};
+use power_of_magic::magic::safety::{
+    analyze, counting_safety, magic_safety, CountingSafety, MagicSafety,
+};
 use power_of_magic::magic::sip_builder::SipStrategy;
-use power_of_magic::workloads::{chain, cycle, list_term, nested_sg_extras, programs, same_generation_grid, SgConfig};
+use power_of_magic::workloads::{
+    chain, cycle, list_term, nested_sg_extras, programs, same_generation_grid, SgConfig,
+};
 
 fn strict() -> Limits {
     Limits::strict()
@@ -116,7 +120,11 @@ fn theorem_10_1_reverse_is_statically_safe_and_terminates() {
         // Default limits: the point here is that evaluation terminates on its
         // own, as Theorem 10.1 predicts.
         let result = Planner::new(strategy)
-            .evaluate(&program, &query, &power_of_magic::workloads::reverse_database())
+            .evaluate(
+                &program,
+                &query,
+                &power_of_magic::workloads::reverse_database(),
+            )
             .unwrap();
         assert_eq!(result.answers.len(), 1, "{strategy}");
     }
@@ -127,7 +135,11 @@ fn unrewritten_reverse_is_rejected_as_not_range_restricted() {
     let program = programs::list_reverse();
     let query = programs::reverse_query(list_term(4));
     let err = Planner::new(Strategy::SemiNaiveBottomUp)
-        .evaluate(&program, &query, &power_of_magic::workloads::reverse_database())
+        .evaluate(
+            &program,
+            &query,
+            &power_of_magic::workloads::reverse_database(),
+        )
         .unwrap_err();
     assert!(matches!(
         err,
