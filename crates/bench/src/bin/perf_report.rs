@@ -1,19 +1,26 @@
 //! Performance snapshot: run the paper's four Appendix benchmark scenarios
-//! under every planner strategy and write a machine-readable JSON report.
+//! under every planner strategy, plus the `incr_*` incremental-maintenance
+//! scenarios (single-fact insert/retract against a live magic-set view vs
+//! from-scratch re-evaluation), and write a machine-readable JSON report.
 //!
 //! The report is the per-PR performance trajectory for this repository:
-//! PR 1 checks in `BENCH_PR1.json`, and later engine changes regenerate the
-//! file and compare.  Usage:
+//! PR 1 checked in `BENCH_PR1.json`, PR 2 adds the `incr_*` scenarios and
+//! checks in `BENCH_PR2.json`; the classic scenarios' probe counts must
+//! not move between the two.  Usage:
 //!
 //! ```text
 //! cargo run --release -p magic-bench --bin perf_report -- \
-//!     [--out BENCH_PR1.json] [--baseline BENCH_PR0_baseline.json] [--quick] \
+//!     [--out BENCH_PR2.json] [--baseline BENCH_PR1.json] [--quick] \
 //!     [--filter <scenario-substring>] [--strategy <short-name>]...
 //! ```
 //!
 //! With `--baseline`, wall-clock speedups versus the named earlier snapshot
 //! are computed and embedded under `"speedup_vs_baseline"`.  `--quick`
-//! shrinks the scenarios (used by the smoke test in CI).
+//! shrinks the scenarios (used by the smoke test in CI).  Each `incr_*`
+//! scenario carries two cells — `incr` (the maintenance operation) and
+//! `scratch` (full re-evaluation of the same rewritten program over the
+//! updated base facts) — and the `incr` cell embeds
+//! `"speedup_vs_scratch"`.
 //!
 //! The JSON is written by hand: the build environment has no crates.io
 //! access, so there is no serde.  The format is flat and stable on purpose.
@@ -22,7 +29,9 @@ use magic_bench::{
     ancestor_chain, list_reverse, nested_same_generation, same_generation, Scenario,
 };
 use magic_core::planner::{Planner, Strategy};
-use magic_engine::Limits;
+use magic_datalog::{Fact, Value};
+use magic_engine::{EvalStats, Evaluator, Limits};
+use magic_incr::MaterializedView;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -39,10 +48,23 @@ fn report_limits(quick: bool) -> Limits {
         .with_max_wall(std::time::Duration::from_secs(if quick { 5 } else { 30 }))
 }
 
-/// One (scenario, strategy) measurement.
+/// One (scenario, strategy) measurement.  `label` is a planner strategy
+/// short name for the classic scenarios, or `incr` / `scratch` for the
+/// incremental ones; `extra` is raw JSON appended into the cell object.
 struct Cell {
-    strategy: Strategy,
+    label: String,
     outcome: Outcome,
+    extra: String,
+}
+
+impl Cell {
+    fn new(label: impl Into<String>, outcome: Outcome) -> Cell {
+        Cell {
+            label: label.into(),
+            outcome,
+            extra: String::new(),
+        }
+    }
 }
 
 enum Outcome {
@@ -131,6 +153,257 @@ fn measure(scenario: &Scenario, strategy: Strategy, quick: bool) -> Outcome {
     }
 }
 
+/// An incremental-maintenance scenario: a live view over the magic-set
+/// rewriting of a benchmark scenario, one base-fact update against it, and
+/// the from-scratch re-evaluation it is raced against.
+struct IncrScenario {
+    name: String,
+    /// The rewritten (gms) program the view maintains.
+    program: magic_datalog::Program,
+    database: magic_storage::Database,
+    /// How to read the query's answers out of the fixpoint.
+    answer_atom: magic_datalog::Atom,
+    projection: Vec<magic_datalog::Variable>,
+    update: Fact,
+    /// `false`: measure insert (restore by retract); `true`: measure
+    /// retract (restore by insert).
+    measure_retract: bool,
+}
+
+fn incr_scenarios(quick: bool) -> Vec<IncrScenario> {
+    let chain_n = if quick { 64 } else { 1024 };
+    let (sg_depth, sg_width) = if quick { (2, 4) } else { (6, 8) };
+    let gms = Planner::new(Strategy::MagicSets);
+    let mut out = Vec::new();
+
+    let chain = ancestor_chain(chain_n);
+    let plan = gms
+        .plan(&chain.program, &chain.query)
+        .expect("gms plans ancestor");
+    let sym_edge = |i: usize, j: usize| {
+        Fact::plain(
+            "par",
+            vec![
+                Value::sym(&magic_workloads::node(i)),
+                Value::sym(&magic_workloads::node(j)),
+            ],
+        )
+    };
+    out.push(IncrScenario {
+        name: format!("incr_insert/{}", chain.name),
+        program: plan.program.clone(),
+        database: chain.database.clone(),
+        answer_atom: plan.answer_atom.clone(),
+        projection: plan.projection.clone(),
+        update: sym_edge(chain_n, chain_n + 1),
+        measure_retract: false,
+    });
+    out.push(IncrScenario {
+        name: format!("incr_retract/{}", chain.name),
+        program: plan.program,
+        database: chain.database,
+        answer_atom: plan.answer_atom,
+        projection: plan.projection,
+        update: sym_edge(chain_n - 1, chain_n),
+        measure_retract: true,
+    });
+
+    let sg = same_generation(sg_depth, sg_width);
+    let plan = gms
+        .plan(&sg.program, &sg.query)
+        .expect("gms plans same-generation");
+    let flat = |a: &str, b: &str| Fact::plain("flat", vec![Value::sym(a), Value::sym(b)]);
+    out.push(IncrScenario {
+        name: format!("incr_insert/{}", sg.name),
+        program: plan.program.clone(),
+        database: sg.database.clone(),
+        answer_atom: plan.answer_atom.clone(),
+        projection: plan.projection.clone(),
+        // A non-adjacent flat edge: absent from the generated grid.
+        update: flat(
+            &magic_workloads::grid_node(0, 0),
+            &magic_workloads::grid_node(0, 2),
+        ),
+        measure_retract: false,
+    });
+    out.push(IncrScenario {
+        name: format!("incr_retract/{}", sg.name),
+        program: plan.program,
+        database: sg.database,
+        answer_atom: plan.answer_atom,
+        projection: plan.projection,
+        update: flat(
+            &magic_workloads::grid_node(0, 0),
+            &magic_workloads::grid_node(0, 1),
+        ),
+        measure_retract: true,
+    });
+    out
+}
+
+/// Counter deltas of the last timed maintenance op.
+fn stats_delta(after: &EvalStats, before: &EvalStats) -> (usize, usize, usize, usize, usize) {
+    (
+        after.iterations - before.iterations,
+        after.rule_firings - before.rule_firings,
+        after.facts_derived - before.facts_derived,
+        after.duplicate_derivations - before.duplicate_derivations,
+        after.join_probes - before.join_probes,
+    )
+}
+
+/// Measure one incremental scenario: the maintenance op on a live view
+/// (min wall over repeated op+restore round trips) and the from-scratch
+/// re-evaluation of the same program over the updated base facts.
+fn measure_incr(scenario: &IncrScenario, quick: bool) -> (Cell, Cell) {
+    let limits = report_limits(quick);
+    let mut view =
+        match MaterializedView::with_limits(&scenario.program, &scenario.database, limits) {
+            Ok(view) => view,
+            Err(e) => {
+                let message = e.to_string();
+                return (
+                    Cell::new(
+                        "incr",
+                        Outcome::Error {
+                            message: message.clone(),
+                        },
+                    ),
+                    Cell::new("scratch", Outcome::Error { message }),
+                );
+            }
+        };
+
+    let budget = Instant::now();
+    let mut best = f64::INFINITY;
+    let mut samples = 0usize;
+    let mut delta = (0, 0, 0, 0, 0);
+    let mut failure: Option<String> = None;
+    while samples < 200 && (samples == 0 || budget.elapsed().as_secs_f64() <= 3.0) {
+        let before = view.stats().clone();
+        let start = Instant::now();
+        let result = if scenario.measure_retract {
+            view.retract(&scenario.update)
+        } else {
+            view.insert(&scenario.update)
+        };
+        let wall = start.elapsed().as_secs_f64();
+        let changed = match result {
+            Ok(changed) => changed,
+            Err(e) => {
+                failure = Some(e.to_string());
+                break;
+            }
+        };
+        if !changed {
+            failure = Some("maintenance op was a no-op".into());
+            break;
+        }
+        if wall < best {
+            best = wall;
+            delta = stats_delta(view.stats(), &before);
+        }
+        samples += 1;
+        // Untimed restore, so every sample measures the same transition.
+        let restore = if scenario.measure_retract {
+            view.insert(&scenario.update)
+        } else {
+            view.retract(&scenario.update)
+        };
+        if let Err(e) = restore {
+            failure = Some(format!("restore failed: {e}"));
+            break;
+        }
+    }
+    if let Some(message) = failure {
+        return (
+            Cell::new(
+                "incr",
+                Outcome::Error {
+                    message: message.clone(),
+                },
+            ),
+            Cell::new("scratch", Outcome::Error { message }),
+        );
+    }
+
+    // From-scratch rival: evaluate the same rewritten program over the
+    // updated base facts (what serving the update without incremental
+    // maintenance would cost).
+    let mut updated = scenario.database.clone();
+    if scenario.measure_retract {
+        updated.remove_fact(&scenario.update);
+    } else {
+        updated.insert_fact(&scenario.update);
+    }
+    let evaluator = Evaluator::new(scenario.program.clone()).with_limits(limits);
+    let scratch_budget = Instant::now();
+    let mut scratch_best = f64::INFINITY;
+    let mut scratch_samples = 0usize;
+    let mut scratch_result = None;
+    while scratch_samples < 200
+        && (scratch_samples == 0 || scratch_budget.elapsed().as_secs_f64() <= 3.0)
+    {
+        let start = Instant::now();
+        match evaluator.run(&updated) {
+            Ok(result) => {
+                scratch_best = scratch_best.min(start.elapsed().as_secs_f64());
+                scratch_samples += 1;
+                scratch_result = Some(result);
+            }
+            Err(e) => {
+                let message = e.to_string();
+                return (
+                    Cell::new(
+                        "incr",
+                        Outcome::Error {
+                            message: message.clone(),
+                        },
+                    ),
+                    Cell::new("scratch", Outcome::Error { message }),
+                );
+            }
+        }
+    }
+    let scratch_result = scratch_result.expect("at least one scratch sample ran");
+    let scratch_answers = magic_engine::answers::project_answers(
+        &scratch_result.database,
+        &scenario.answer_atom,
+        &scenario.projection,
+    )
+    .len();
+
+    let (iterations, rule_firings, facts_derived, duplicate_derivations, join_probes) = delta;
+    let mut incr_cell = Cell::new(
+        "incr",
+        Outcome::Ok {
+            wall_secs: best,
+            samples,
+            answers: scratch_answers,
+            iterations,
+            rule_firings,
+            facts_derived,
+            duplicate_derivations,
+            join_probes,
+        },
+    );
+    incr_cell.extra = format!(", \"speedup_vs_scratch\": {:.2}", scratch_best / best);
+    let scratch_cell = Cell::new(
+        "scratch",
+        Outcome::Ok {
+            wall_secs: scratch_best,
+            samples: scratch_samples,
+            answers: scratch_answers,
+            iterations: scratch_result.stats.iterations,
+            rule_firings: scratch_result.stats.rule_firings,
+            facts_derived: scratch_result.stats.facts_derived,
+            duplicate_derivations: scratch_result.stats.duplicate_derivations,
+            join_probes: scratch_result.stats.join_probes,
+        },
+    );
+    (incr_cell, scratch_cell)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -138,7 +411,7 @@ fn json_escape(s: &str) -> String {
 fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"pr\": 1,");
+    let _ = writeln!(out, "  \"pr\": 2,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(engine));
     let _ = writeln!(
         out,
@@ -172,9 +445,8 @@ fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &st
                          \"iterations\": {iterations}, \"rule_firings\": {rule_firings}, \
                          \"facts_derived\": {facts_derived}, \
                          \"duplicate_derivations\": {duplicate_derivations}, \
-                         \"join_probes\": {join_probes}}}{comma}",
-                        cell.strategy.short_name(),
-                        wall_secs,
+                         \"join_probes\": {join_probes}{}}}{comma}",
+                        cell.label, wall_secs, cell.extra,
                     );
                 }
                 Outcome::Skipped { reason } => {
@@ -182,7 +454,7 @@ fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &st
                         out,
                         "        {{\"strategy\": \"{}\", \"status\": \"skipped\", \
                          \"reason\": \"{}\"}}{comma}",
-                        cell.strategy.short_name(),
+                        cell.label,
                         json_escape(reason),
                     );
                 }
@@ -191,7 +463,7 @@ fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &st
                         out,
                         "        {{\"strategy\": \"{}\", \"status\": \"error\", \
                          \"error\": \"{}\"}}{comma}",
-                        cell.strategy.short_name(),
+                        cell.label,
                         json_escape(message),
                     );
                 }
@@ -227,10 +499,10 @@ fn baseline_wall_secs(snapshot: &str, scenario: &str, strategy: &str) -> Option<
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR1.json".to_string();
+    let mut out_path = "BENCH_PR2.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut quick = false;
-    let mut engine = "slot-compiled".to_string();
+    let mut engine = "slot-compiled+incr".to_string();
     let mut filter: Option<String> = None;
     let mut strategies: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -288,9 +560,39 @@ fn main() {
                 Outcome::Skipped { .. } => eprintln!(" skipped"),
                 Outcome::Error { message } => eprintln!(" error: {message}"),
             }
-            cells.push(Cell { strategy, outcome });
+            cells.push(Cell::new(strategy.short_name(), outcome));
         }
         results.push((scenario.name.clone(), cells));
+    }
+
+    for scenario in incr_scenarios(quick) {
+        if let Some(f) = &filter {
+            if !scenario.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        if !strategies.is_empty() && !strategies.iter().any(|s| s == "incr" || s == "scratch") {
+            continue;
+        }
+        eprintln!("scenario {}", scenario.name);
+        let (incr_cell, scratch_cell) = measure_incr(&scenario, quick);
+        for cell in [&incr_cell, &scratch_cell] {
+            match &cell.outcome {
+                Outcome::Ok {
+                    wall_secs,
+                    join_probes,
+                    ..
+                } => eprintln!(
+                    "  {:<10} {wall_secs:>12.6}s  probes {join_probes}{}",
+                    cell.label, cell.extra
+                ),
+                Outcome::Skipped { .. } => eprintln!("  {:<10} skipped", cell.label),
+                Outcome::Error { message } => {
+                    eprintln!("  {:<10} error: {message}", cell.label)
+                }
+            }
+        }
+        results.push((scenario.name.clone(), vec![incr_cell, scratch_cell]));
     }
 
     let comparison = baseline_path.map(|path| {
@@ -303,7 +605,7 @@ fn main() {
         for (name, cells) in &results {
             for cell in cells {
                 if let Outcome::Ok { wall_secs, .. } = cell.outcome {
-                    let strategy = cell.strategy.short_name();
+                    let strategy = cell.label.as_str();
                     if let Some(before) = baseline_wall_secs(&snapshot, name, strategy) {
                         lines.push(format!(
                             "    \"{}/{}\": {{\"before_secs\": {:.6}, \"after_secs\": {:.6}, \"speedup\": {:.2}}}",

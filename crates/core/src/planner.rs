@@ -174,7 +174,10 @@ impl Plan {
         let evaluator = Evaluator::new(self.program.clone())
             .with_limits(self.limits)
             .with_scheme(self.scheme);
-        let result = evaluator.run(edb)?;
+        let mut result = evaluator.run(edb)?;
+        // Index the answer atom's bound-constant positions so the answer
+        // projection probes the index instead of scanning the relation.
+        magic_engine::answers::ensure_atom_index(&mut result.database, &self.answer_atom);
         let answers = project_answers(&result.database, &self.answer_atom, &self.projection);
         let accounting = account(&result.database, &self.base_preds);
         Ok(PlanResult {
@@ -188,6 +191,26 @@ impl Plan {
     /// The safety report for the adorned program, when available.
     pub fn safety(&self) -> Option<SafetyReport> {
         self.adorned.as_ref().map(analyze)
+    }
+
+    /// A stable key naming the materializable view this plan computes: the
+    /// answer predicate with the adornment and bound constants of the query
+    /// it was planned for, e.g. `anc[bf](john)`.  Two queries with the same
+    /// binding pattern and constants produce the same key (whatever their
+    /// free variables are called), which is what view catalogs cache on.
+    pub fn view_binding(&self) -> String {
+        let atom = &self.answer_atom;
+        let mut adornment = String::new();
+        let mut bound: Vec<String> = Vec::new();
+        for term in &atom.terms {
+            if term.vars().is_empty() {
+                adornment.push('b');
+                bound.push(term.to_string());
+            } else {
+                adornment.push('f');
+            }
+        }
+        format!("{}[{}]({})", atom.pred, adornment, bound.join(", "))
     }
 }
 

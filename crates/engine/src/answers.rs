@@ -4,19 +4,77 @@ use magic_datalog::{Atom, Bindings, Query, Value, Variable};
 use magic_storage::Database;
 use std::collections::BTreeSet;
 
+/// The positions of `atom` holding ground terms, with their values.
+///
+/// These are the bound constants of a query atom — the selection the
+/// relation's hash indexes can answer directly.
+fn ground_positions(atom: &Atom) -> Option<(Vec<usize>, Vec<Value>)> {
+    let empty = Bindings::new();
+    let mut positions = Vec::new();
+    let mut key = Vec::new();
+    for (p, term) in atom.terms.iter().enumerate() {
+        if term.vars().is_empty() {
+            // A ground term that does not evaluate (only possible for
+            // malformed linear expressions) matches nothing.
+            positions.push(p);
+            key.push(term.eval(&empty)?);
+        }
+    }
+    Some((positions, key))
+}
+
+/// Ensure the relation of `atom` carries an index on the atom's
+/// bound-constant positions, so that [`match_atom`]'s `select_ids`-style
+/// probe hits it.  The planner calls this once per executed plan before
+/// projecting answers; it is a no-op for fully free atoms.
+pub fn ensure_atom_index(db: &mut Database, atom: &Atom) {
+    let Some((positions, _)) = ground_positions(atom) else {
+        return;
+    };
+    if positions.is_empty() {
+        return;
+    }
+    let relation = db.relation_mut(&atom.pred, atom.arity());
+    if relation.arity() == atom.arity() {
+        relation.ensure_index(&positions);
+    }
+}
+
 /// All binding environments under which `atom` matches a stored fact.
+///
+/// When the atom carries bound constants, the candidate rows are selected
+/// through the relation's hash index on those positions (the same
+/// `ensure_index`/`lookup` pair `Relation::select_ids` is built from)
+/// instead of scanning every row; `scan_select` is the fallback when no
+/// index has been ensured on the pattern yet.
 pub fn match_atom(db: &Database, atom: &Atom) -> Vec<Bindings> {
     let Some(relation) = db.relation(&atom.pred) else {
         return Vec::new();
     };
+    if relation.arity() != atom.arity() {
+        return Vec::new();
+    }
+    let Some((positions, key)) = ground_positions(atom) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
-    for row in relation.iter() {
-        if row.len() != atom.arity() {
-            continue;
-        }
+    let mut match_id = |id: usize| {
         let mut env = Bindings::new();
-        if atom.match_row(row, &mut env) {
+        if atom.match_row(relation.row(id), &mut env) {
             out.push(env);
+        }
+    };
+    if positions.is_empty() {
+        for id in 0..relation.len() {
+            match_id(id);
+        }
+    } else {
+        match relation.lookup(&positions, &key) {
+            Some(ids) => ids.iter().for_each(|&id| match_id(id)),
+            None => relation
+                .scan_select(&positions, &key)
+                .into_iter()
+                .for_each(&mut match_id),
         }
     }
     out

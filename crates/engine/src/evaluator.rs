@@ -1,7 +1,14 @@
 //! The fixpoint evaluator: naive and semi-naive bottom-up evaluation.
+//!
+//! The fixpoint loop itself lives in [`FixpointRunner`], a compiled, reusable
+//! form of a program (slot-compiled [`RulePlan`]s plus the bookkeeping of
+//! which body occurrences read tracked deltas).  [`Evaluator`] is the
+//! classic run-to-fixpoint front end over it; the incremental-maintenance
+//! layer (`magic-incr`) keeps a runner alive across calls and *re-enters*
+//! the loop with externally seeded deltas via [`FixpointRunner::resume`].
 
 use crate::error::EvalError;
-use crate::join::{evaluate_rule, DeltaWindow};
+use crate::join::{evaluate_rule_windows, DeltaWindow};
 use crate::limits::Limits;
 use crate::metrics::EvalStats;
 use crate::plan::RulePlan;
@@ -23,6 +30,31 @@ pub enum IterationScheme {
     SemiNaive,
 }
 
+/// How semi-naive delta windows are combined per rule evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum WindowDiscipline {
+    /// One window per tracked occurrence; every other occurrence ranges over
+    /// the full relation.  A derivation whose body contains two facts that
+    /// are new in the same iteration is enumerated once per such occurrence.
+    /// This is the engine's historical behaviour and the cheapest complete
+    /// discipline (fewest windows per call).
+    #[default]
+    Overlapping,
+    /// The textbook disjoint discipline: when occurrence `j` reads the
+    /// delta, every *earlier* tracked occurrence is restricted to the
+    /// pre-delta rows.  Each derivation is enumerated exactly once across
+    /// the whole run, which is what lets the incremental layer maintain
+    /// exact per-row derivation counts.
+    Disjoint,
+}
+
+/// Observer of individual rule firings, called once per produced head row
+/// during the insertion phase of each iteration (`is_new` tells whether the
+/// row was actually new).  The incremental layer uses this to maintain
+/// per-row derivation-support counts; `plan_idx` indexes
+/// [`FixpointRunner::plans`].
+pub type FiringObserver<'a> = &'a mut dyn FnMut(usize, &Row, bool);
+
 /// The result of an evaluation: the final database (base facts plus all
 /// derived facts) and the collected metrics.
 #[derive(Clone, Debug)]
@@ -31,6 +63,453 @@ pub struct EvalResult {
     pub database: Database,
     /// Metrics collected during evaluation.
     pub stats: EvalStats,
+}
+
+/// A compiled, re-enterable fixpoint machine for a fixed program.
+///
+/// Compiling a runner resolves each rule to its slot-compiled [`RulePlan`]
+/// and records, per rule, the body occurrences of the *tracked* predicates —
+/// the ones whose deltas drive semi-naive re-evaluation.  The classic
+/// [`Evaluator`] tracks exactly the derived predicates; the incremental
+/// layer tracks every body predicate so that a freshly inserted *base* fact
+/// can seed the loop too.
+///
+/// The plans, the tracked numbering, and the prepared indexes are all
+/// reusable across calls: build once, [`FixpointRunner::run`] to
+/// materialize, then [`FixpointRunner::resume`] any number of times with
+/// externally seeded deltas.
+#[derive(Clone, Debug)]
+pub struct FixpointRunner {
+    plans: Vec<RulePlan>,
+    /// Tracked predicates, sorted ascending (delta marks index into this).
+    tracked: Vec<PredName>,
+    /// Per plan: (body occurrence, index into `tracked`).
+    tracked_occurrences: Vec<Vec<(usize, usize)>>,
+    /// Per plan, parallel to `tracked_occurrences`: the *delta-driven*
+    /// variant of the plan with that occurrence's atom moved to the front
+    /// of the body and the remaining atoms greedily reordered along shared
+    /// variables.  `resume` joins outward from the (tiny) delta instead
+    /// of re-scanning the rule's leading atoms every iteration — without
+    /// this, maintaining a view after a single-fact insert would cost a
+    /// full leading-atom scan per fixpoint iteration, erasing the point of
+    /// incrementality.  Empty when the runner was built run-only
+    /// ([`FixpointRunner::for_program`]).
+    delta_plans: Vec<Vec<DeltaVariant>>,
+    /// Predicate arities of the program (used by `prepare`).
+    arities: Vec<(PredName, usize)>,
+    limits: Limits,
+    scheme: IterationScheme,
+    discipline: WindowDiscipline,
+}
+
+/// A delta-driven variant of a rule plan: the plan itself plus the body
+/// permutation that produced it.
+#[derive(Clone, Debug)]
+struct DeltaVariant {
+    plan: RulePlan,
+    /// `pos_of_orig[o]` is the variant body position of original
+    /// occurrence `o` (the lead occurrence maps to 0).
+    pos_of_orig: Vec<usize>,
+}
+
+/// Build the delta-driven variant of `rule` with occurrence `lead` first:
+/// the remaining atoms are ordered greedily by how many of their variables
+/// are already bound (ties by original position), so the join fans out
+/// from the delta atom through shared variables instead of re-scanning
+/// unrelated leading atoms.
+fn delta_variant(
+    rule: &magic_datalog::Rule,
+    rule_idx: usize,
+    lead: usize,
+    derived: &BTreeSet<PredName>,
+) -> DeltaVariant {
+    let mut pos_of_orig = vec![usize::MAX; rule.body.len()];
+    let mut body = Vec::with_capacity(rule.body.len());
+    pos_of_orig[lead] = 0;
+    body.push(rule.body[lead].clone());
+    let mut bound = rule.body[lead].var_set();
+    let mut remaining: Vec<usize> = (0..rule.body.len()).filter(|&o| o != lead).collect();
+    while !remaining.is_empty() {
+        let (pick, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &o)| {
+                let vars = rule.body[o].var_set();
+                let bound_vars = vars.intersection(&bound).count();
+                // Most bound variables wins; earliest original position
+                // breaks ties (remaining is in ascending original order).
+                (bound_vars, std::cmp::Reverse(o))
+            })
+            .expect("remaining is non-empty");
+        let o = remaining.remove(pick);
+        pos_of_orig[o] = body.len();
+        bound.extend(rule.body[o].var_set());
+        body.push(rule.body[o].clone());
+    }
+    let reordered = magic_datalog::Rule::new(rule.head.clone(), body);
+    DeltaVariant {
+        plan: RulePlan::compile(&reordered, rule_idx, derived),
+        pos_of_orig,
+    }
+}
+
+impl FixpointRunner {
+    /// Compile `program` with the given tracked-predicate set.
+    ///
+    /// `tracked` must contain every predicate whose delta should re-trigger
+    /// rule bodies: the derived predicates for a classic run, plus any base
+    /// predicates that external callers will seed deltas for.
+    pub fn compile(program: &Program, tracked: &BTreeSet<PredName>) -> FixpointRunner {
+        FixpointRunner::build(program, tracked, true)
+    }
+
+    /// Compile with the classic tracked set — the program's derived
+    /// predicates — and without the delta-driven plan variants.  This is
+    /// the run-to-fixpoint form [`Evaluator`] uses; `resume` is
+    /// unavailable on it.
+    pub fn for_program(program: &Program) -> FixpointRunner {
+        FixpointRunner::build(program, &program.derived_preds(), false)
+    }
+
+    fn build(program: &Program, tracked: &BTreeSet<PredName>, resumable: bool) -> FixpointRunner {
+        let derived: BTreeSet<PredName> = program.derived_preds();
+        let plans: Vec<RulePlan> = program
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| RulePlan::compile(r, i, &derived))
+            .collect();
+        // Dense numbering of the tracked predicates: the per-iteration delta
+        // marks are plain vectors indexed by it, so the fixpoint loop clones
+        // no `PredName`s.  The list is sorted (it comes from a `BTreeSet`),
+        // which lets the per-plan resolution below binary-search it.
+        let tracked_list: Vec<PredName> = tracked.iter().cloned().collect();
+        let tracked_occurrences: Vec<Vec<(usize, usize)>> = plans
+            .iter()
+            .map(|plan| {
+                plan.atoms
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(occ, atom)| {
+                        tracked_list
+                            .binary_search(&atom.pred)
+                            .ok()
+                            .map(|idx| (occ, idx))
+                    })
+                    .collect()
+            })
+            .collect();
+        let delta_plans: Vec<Vec<DeltaVariant>> = if resumable {
+            program
+                .rules
+                .iter()
+                .enumerate()
+                .zip(&tracked_occurrences)
+                .map(|((rule_idx, rule), occurrences)| {
+                    occurrences
+                        .iter()
+                        .map(|&(occ, _)| delta_variant(rule, rule_idx, occ, &derived))
+                        .collect()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let arities = program
+            .predicate_arities()
+            .map(|map| map.into_iter().collect())
+            .unwrap_or_default();
+        FixpointRunner {
+            plans,
+            tracked: tracked_list,
+            tracked_occurrences,
+            delta_plans,
+            arities,
+            limits: Limits::default(),
+            scheme: IterationScheme::SemiNaive,
+            discipline: WindowDiscipline::Overlapping,
+        }
+    }
+
+    /// Override the resource limits.
+    pub fn with_limits(mut self, limits: Limits) -> FixpointRunner {
+        self.limits = limits;
+        self
+    }
+
+    /// Override the iteration scheme.
+    pub fn with_scheme(mut self, scheme: IterationScheme) -> FixpointRunner {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Override the window discipline (see [`WindowDiscipline`]).
+    pub fn with_discipline(mut self, discipline: WindowDiscipline) -> FixpointRunner {
+        self.discipline = discipline;
+        self
+    }
+
+    /// The compiled rule plans, in program rule order.
+    pub fn plans(&self) -> &[RulePlan] {
+        &self.plans
+    }
+
+    /// The tracked predicates, sorted ascending.  Delta-mark vectors index
+    /// into this list.
+    pub fn tracked(&self) -> &[PredName] {
+        &self.tracked
+    }
+
+    /// The tracked body occurrences of plan `plan_idx`, as
+    /// `(body occurrence, index into tracked())` pairs in body order.
+    pub fn occurrences_of(&self, plan_idx: usize) -> &[(usize, usize)] {
+        &self.tracked_occurrences[plan_idx]
+    }
+
+    /// The delta-driven variant of plan `plan_idx` whose `nth` tracked
+    /// occurrence (per [`FixpointRunner::occurrences_of`]) leads the body.
+    /// Body positions are permuted; see
+    /// [`FixpointRunner::delta_positions`].  Only available on runners
+    /// built with [`FixpointRunner::compile`].
+    pub fn delta_plan(&self, plan_idx: usize, nth: usize) -> &RulePlan {
+        &self.delta_plans[plan_idx][nth].plan
+    }
+
+    /// The body permutation of [`FixpointRunner::delta_plan`]: entry `o` is
+    /// the variant position of original body occurrence `o` (the lead maps
+    /// to 0).
+    pub fn delta_positions(&self, plan_idx: usize, nth: usize) -> &[usize] {
+        &self.delta_plans[plan_idx][nth].pos_of_orig
+    }
+
+    /// The current row counts of the tracked predicates — the delta marks
+    /// that [`FixpointRunner::resume`] measures seeded insertions against.
+    pub fn marks(&self, db: &Database) -> Vec<usize> {
+        self.tracked.iter().map(|p| db.count(p)).collect()
+    }
+
+    /// Create relations for every predicate of the program (so missing base
+    /// relations behave as empty) and ensure indexes for every access path
+    /// the plans will use.  Idempotent; `run` calls it, and callers that
+    /// mutate relations wholesale (e.g. batch row removal) need not repeat
+    /// it because indexes, once ensured, are maintained by the relation.
+    pub fn prepare(&self, db: &mut Database) {
+        for (pred, arity) in &self.arities {
+            db.relation_mut(pred, *arity);
+        }
+        // A relation whose stored arity disagrees with the atom is left
+        // unindexed here (indexing key positions beyond its arity would be
+        // out of bounds); `evaluate_rule` reports the mismatch gracefully.
+        for plan in self
+            .plans
+            .iter()
+            .chain(self.delta_plans.iter().flatten().map(|v| &v.plan))
+        {
+            for atom in &plan.atoms {
+                if !atom.key_positions.is_empty() {
+                    let relation = db.relation_mut(&atom.pred, atom.arity);
+                    if relation.arity() == atom.arity {
+                        relation.ensure_index(&atom.key_positions);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run to the least fixpoint from the current contents of `db`,
+    /// mutating it in place.  The first iteration evaluates every rule in
+    /// full; subsequent iterations are delta-restricted (under
+    /// [`IterationScheme::SemiNaive`]).
+    pub fn run(
+        &self,
+        db: &mut Database,
+        stats: &mut EvalStats,
+        observer: Option<FiringObserver<'_>>,
+    ) -> Result<(), EvalError> {
+        self.prepare(db);
+        self.fixpoint(db, stats, None, observer)
+    }
+
+    /// Re-enter the fixpoint with externally seeded deltas: `prev_marks`
+    /// are the tracked row counts (see [`FixpointRunner::marks`]) taken
+    /// *before* the caller appended the seed rows.  Every iteration —
+    /// including the first — is delta-restricted, so a call whose seeds
+    /// touch nothing returns after one cheap iteration.
+    ///
+    /// Requires `db` to be a fixpoint of the program up to the seeds (which
+    /// is what [`FixpointRunner::run`] or a previous `resume` leaves
+    /// behind).
+    pub fn resume(
+        &self,
+        db: &mut Database,
+        prev_marks: Vec<usize>,
+        stats: &mut EvalStats,
+        observer: Option<FiringObserver<'_>>,
+    ) -> Result<(), EvalError> {
+        assert_eq!(
+            prev_marks.len(),
+            self.tracked.len(),
+            "seed marks must cover the tracked predicates"
+        );
+        assert!(
+            self.plans.is_empty() || !self.delta_plans.is_empty(),
+            "resume requires a runner built with FixpointRunner::compile \
+             (for_program builds a run-only runner)"
+        );
+        self.fixpoint(db, stats, Some(prev_marks), observer)
+    }
+
+    /// The shared loop.  `seed_marks` switches between run mode (first
+    /// iteration full) and resume mode (first iteration windowed against
+    /// the given marks).
+    fn fixpoint(
+        &self,
+        db: &mut Database,
+        stats: &mut EvalStats,
+        seed_marks: Option<Vec<usize>>,
+        mut observer: Option<FiringObserver<'_>>,
+    ) -> Result<(), EvalError> {
+        let base_facts = db.total_facts();
+        let started = std::time::Instant::now();
+        let seeded = seed_marks.is_some();
+        let first_iteration_at = stats.iterations + 1;
+        // Row-id marks delimiting the delta of the previous iteration,
+        // indexed like `tracked`.
+        let mut prev_marks = match seed_marks {
+            Some(marks) => marks,
+            None => self.marks(db),
+        };
+        // Per-plan output buffers, allocated once and reused across
+        // iterations: inserting drains the rows out, leaving capacity
+        // behind.
+        let mut outs: Vec<Vec<Row>> = self.plans.iter().map(|_| Vec::new()).collect();
+        // Reusable window buffer for the disjoint discipline.
+        let mut windows: Vec<DeltaWindow> = Vec::new();
+
+        loop {
+            stats.iterations += 1;
+            if stats.iterations > self.limits.max_iterations {
+                return Err(EvalError::IterationLimit {
+                    limit: self.limits.max_iterations,
+                });
+            }
+            if let Some(max_wall) = self.limits.max_wall {
+                if started.elapsed() > max_wall {
+                    return Err(EvalError::TimeLimit { limit: max_wall });
+                }
+            }
+            // Snapshot the current extents: rows in [prev_mark, cur_mark)
+            // form the delta of the previous iteration (or the seeds, on
+            // the first iteration of a resume).
+            let cur_marks: Vec<usize> = self.marks(db);
+
+            let full_first = !seeded && stats.iterations == first_iteration_at;
+            let mut produced = false;
+
+            for (plan_idx, plan) in self.plans.iter().enumerate() {
+                let out = &mut outs[plan_idx];
+                let use_delta = self.scheme == IterationScheme::SemiNaive && !full_first;
+                if use_delta {
+                    let occurrences = &self.tracked_occurrences[plan_idx];
+                    if occurrences.is_empty() {
+                        continue; // already fully evaluated in iteration 1
+                    }
+                    for (nth, &(occ, tracked_idx)) in occurrences.iter().enumerate() {
+                        let from = prev_marks[tracked_idx];
+                        let to = cur_marks[tracked_idx];
+                        if from >= to {
+                            continue; // no new facts for this occurrence
+                        }
+                        // In resume mode the delta-driven variant moves
+                        // the windowed atom to the front, so the join
+                        // fans out from the delta instead of re-scanning
+                        // the rule's leading atoms; window positions are
+                        // remapped through the variant's permutation.
+                        let (eval_plan, positions) = if seeded {
+                            let variant = &self.delta_plans[plan_idx][nth];
+                            (&variant.plan, Some(&variant.pos_of_orig))
+                        } else {
+                            (plan, None)
+                        };
+                        let map = |o: usize| match positions {
+                            Some(pos_of_orig) => pos_of_orig[o],
+                            None => o,
+                        };
+                        windows.clear();
+                        if self.discipline == WindowDiscipline::Disjoint {
+                            // Earlier tracked occurrences read the
+                            // pre-delta rows only, so a derivation touching
+                            // several delta facts is enumerated exactly
+                            // once (at its first delta occurrence).
+                            for &(prev_occ, prev_idx) in &occurrences[..nth] {
+                                if prev_marks[prev_idx] < cur_marks[prev_idx] {
+                                    windows.push(DeltaWindow {
+                                        occurrence: map(prev_occ),
+                                        from: 0,
+                                        to: prev_marks[prev_idx],
+                                    });
+                                }
+                            }
+                        }
+                        windows.push(DeltaWindow {
+                            occurrence: map(occ),
+                            from,
+                            to,
+                        });
+                        let counters =
+                            evaluate_rule_windows(eval_plan, db, &windows, &self.limits, out)?;
+                        stats.join_probes += counters.probes;
+                    }
+                } else {
+                    let counters = evaluate_rule_windows(plan, db, &[], &self.limits, out)?;
+                    stats.join_probes += counters.probes;
+                }
+                produced |= !out.is_empty();
+            }
+
+            let mut new_facts = 0usize;
+            if produced {
+                for (plan_idx, out) in outs.iter_mut().enumerate() {
+                    if out.is_empty() {
+                        continue;
+                    }
+                    let plan = &self.plans[plan_idx];
+                    // All rows of one plan belong to its head predicate:
+                    // resolve the relation once and insert the rows
+                    // directly, instead of cloning a `PredName` per
+                    // produced fact.
+                    let arity = plan.head_terms.len();
+                    let relation = db.relation_mut(&plan.head_pred, arity);
+                    for row in out.drain(..) {
+                        // Only the observed path pays the per-firing row
+                        // clone (the observer needs the row after insertion
+                        // consumed it).
+                        let is_new = if let Some(observer) = observer.as_deref_mut() {
+                            let inserted = relation.insert(row.clone());
+                            observer(plan_idx, &row, inserted);
+                            inserted
+                        } else {
+                            relation.insert(row)
+                        };
+                        stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
+                        if is_new {
+                            new_facts += 1;
+                        }
+                    }
+                }
+            }
+            if db.total_facts() - base_facts > self.limits.max_facts {
+                return Err(EvalError::FactLimit {
+                    limit: self.limits.max_facts,
+                });
+            }
+            if new_facts == 0 {
+                break;
+            }
+            prev_marks = cur_marks;
+        }
+        Ok(())
+    }
 }
 
 /// A bottom-up evaluator for a fixed program.
@@ -90,144 +569,12 @@ impl Evaluator {
 
     /// Evaluate to the least fixpoint starting from `edb`.
     pub fn run(&self, edb: &Database) -> Result<EvalResult, EvalError> {
-        let derived: BTreeSet<PredName> = self.program.derived_preds();
-        let plans: Vec<RulePlan> = self
-            .program
-            .rules
-            .iter()
-            .enumerate()
-            .map(|(i, r)| RulePlan::compile(r, i, &derived))
-            .collect();
-
-        // Dense numbering of the derived predicates: the per-iteration delta
-        // marks are plain vectors indexed by it, so the fixpoint loop clones
-        // no `PredName`s.  The list is sorted (it comes from a `BTreeSet`),
-        // which lets the per-plan resolution below binary-search it.
-        let derived_list: Vec<PredName> = derived.iter().cloned().collect();
-        // Per plan: (body occurrence, index into `derived_list`).
-        let delta_occurrences: Vec<Vec<(usize, usize)>> = plans
-            .iter()
-            .map(|plan| {
-                plan.derived_occurrences
-                    .iter()
-                    .map(|&occ| {
-                        let idx = derived_list
-                            .binary_search(&plan.atoms[occ].pred)
-                            .expect("derived occurrence predicate is derived");
-                        (occ, idx)
-                    })
-                    .collect()
-            })
-            .collect();
-
+        let runner = FixpointRunner::for_program(&self.program)
+            .with_limits(self.limits)
+            .with_scheme(self.scheme);
         let mut db = edb.clone();
-        // Create relations for every predicate mentioned by the program so
-        // that missing base relations behave as empty and derived relations
-        // exist from the start.
-        if let Ok(arities) = self.program.predicate_arities() {
-            for (pred, arity) in &arities {
-                db.relation_mut(pred, *arity);
-            }
-        }
-        // Ensure indexes for every access path the plans will use.  A
-        // relation whose stored arity disagrees with the atom is left
-        // unindexed here (indexing key positions beyond its arity would be
-        // out of bounds); `evaluate_rule` reports the mismatch gracefully.
-        for plan in &plans {
-            for atom in &plan.atoms {
-                if !atom.key_positions.is_empty() {
-                    let relation = db.relation_mut(&atom.pred, atom.arity);
-                    if relation.arity() == atom.arity {
-                        relation.ensure_index(&atom.key_positions);
-                    }
-                }
-            }
-        }
-
-        let base_facts = db.total_facts();
         let mut stats = EvalStats::default();
-        let started = std::time::Instant::now();
-        // Row-id marks delimiting the delta of the previous iteration,
-        // indexed like `derived_list`.
-        let mut prev_marks: Vec<usize> = derived_list.iter().map(|p| db.count(p)).collect();
-
-        loop {
-            stats.iterations += 1;
-            if stats.iterations > self.limits.max_iterations {
-                return Err(EvalError::IterationLimit {
-                    limit: self.limits.max_iterations,
-                });
-            }
-            if let Some(max_wall) = self.limits.max_wall {
-                if started.elapsed() > max_wall {
-                    return Err(EvalError::TimeLimit { limit: max_wall });
-                }
-            }
-            // Snapshot the current extents: rows in [prev_mark, cur_mark)
-            // form the delta of the previous iteration.
-            let cur_marks: Vec<usize> = derived_list.iter().map(|p| db.count(p)).collect();
-
-            let first_iteration = stats.iterations == 1;
-            let mut produced: Vec<(usize, Vec<Row>)> = Vec::new();
-
-            for (plan_idx, plan) in plans.iter().enumerate() {
-                let mut out = Vec::new();
-                let use_delta = self.scheme == IterationScheme::SemiNaive && !first_iteration;
-                if use_delta {
-                    if plan.derived_occurrences.is_empty() {
-                        continue; // already fully evaluated in iteration 1
-                    }
-                    for &(occ, derived_idx) in &delta_occurrences[plan_idx] {
-                        let from = prev_marks[derived_idx];
-                        let to = cur_marks[derived_idx];
-                        if from >= to {
-                            continue; // no new facts for this occurrence
-                        }
-                        let window = DeltaWindow {
-                            occurrence: occ,
-                            from,
-                            to,
-                        };
-                        let counters =
-                            evaluate_rule(plan, &db, Some(window), &self.limits, &mut out)?;
-                        stats.join_probes += counters.probes;
-                    }
-                } else {
-                    let counters = evaluate_rule(plan, &db, None, &self.limits, &mut out)?;
-                    stats.join_probes += counters.probes;
-                }
-                if !out.is_empty() {
-                    produced.push((plan_idx, out));
-                }
-            }
-
-            let mut new_facts = 0usize;
-            for (plan_idx, rows) in produced {
-                let plan = &plans[plan_idx];
-                // All rows of one plan belong to its head predicate: resolve
-                // the relation once and insert the rows directly, instead of
-                // cloning a `PredName` per produced fact.
-                let arity = plan.head_terms.len();
-                let relation = db.relation_mut(&plan.head_pred, arity);
-                for row in rows {
-                    let is_new = relation.insert(row);
-                    stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
-                    if is_new {
-                        new_facts += 1;
-                    }
-                }
-            }
-            if db.total_facts() - base_facts > self.limits.max_facts {
-                return Err(EvalError::FactLimit {
-                    limit: self.limits.max_facts,
-                });
-            }
-            if new_facts == 0 {
-                break;
-            }
-            prev_marks = cur_marks;
-        }
-
+        runner.run(&mut db, &mut stats, None)?;
         Ok(EvalResult {
             database: db,
             stats,
@@ -415,6 +762,77 @@ mod tests {
             full[2].as_list().unwrap(),
             vec![Value::sym("a"), Value::sym("b"), Value::sym("z")]
         );
+    }
+
+    #[test]
+    fn resume_from_seeded_base_delta_reaches_the_new_fixpoint() {
+        // Materialize the chain closure, then append one edge and resume:
+        // the runner must derive exactly the closure of the longer chain
+        // without re-running from scratch.
+        let program = ancestor();
+        let mut tracked = program.derived_preds();
+        tracked.extend(program.base_preds());
+        let runner =
+            FixpointRunner::compile(&program, &tracked).with_discipline(WindowDiscipline::Disjoint);
+        let mut db = chain_db(10);
+        let mut stats = EvalStats::default();
+        runner.run(&mut db, &mut stats, None).unwrap();
+        assert_eq!(db.count(&PredName::plain("anc")), 55);
+
+        let marks = runner.marks(&db);
+        db.insert_pair("par", "n10", "n11");
+        let mut resume_stats = EvalStats::default();
+        runner
+            .resume(&mut db, marks, &mut resume_stats, None)
+            .unwrap();
+        // Closure of a 12-node chain: 11+10+...+1 = 66 pairs.
+        assert_eq!(db.count(&PredName::plain("anc")), 66);
+        // The resumed run only derived the new pairs.
+        assert_eq!(resume_stats.facts_derived, 11);
+        // And did so with far less join work than the full run.
+        assert!(resume_stats.join_probes < stats.join_probes / 2);
+    }
+
+    #[test]
+    fn resume_with_no_seeds_is_a_cheap_no_op() {
+        let program = ancestor();
+        let mut tracked = program.derived_preds();
+        tracked.extend(program.base_preds());
+        let runner = FixpointRunner::compile(&program, &tracked);
+        let mut db = chain_db(6);
+        let mut stats = EvalStats::default();
+        runner.run(&mut db, &mut stats, None).unwrap();
+        let before = db.clone();
+        let marks = runner.marks(&db);
+        let mut resume_stats = EvalStats::default();
+        runner
+            .resume(&mut db, marks, &mut resume_stats, None)
+            .unwrap();
+        assert_eq!(db, before);
+        assert_eq!(resume_stats.join_probes, 0);
+        assert_eq!(resume_stats.iterations, 1);
+    }
+
+    #[test]
+    fn observer_sees_every_firing_with_newness() {
+        let program = ancestor();
+        let runner = FixpointRunner::for_program(&program);
+        let mut db = chain_db(4);
+        let mut stats = EvalStats::default();
+        let mut firings = 0usize;
+        let mut new = 0usize;
+        let mut observer = |_plan: usize, _row: &Row, is_new: bool| {
+            firings += 1;
+            if is_new {
+                new += 1;
+            }
+        };
+        runner
+            .run(&mut db, &mut stats, Some(&mut observer))
+            .unwrap();
+        assert_eq!(firings, stats.rule_firings);
+        assert_eq!(new, stats.facts_derived);
+        assert_eq!(new, 4 * 5 / 2);
     }
 
     use std::collections::BTreeSet;

@@ -16,6 +16,29 @@
 //! The only remaining per-row work is the check-term matches themselves and
 //! the recursion; the only allocations are one frame, one trail and one key
 //! buffer per atom, all hoisted to `evaluate_rule` entry and reused.
+//!
+//! # Entry points
+//!
+//! Three consumers drive the same `descend` loop through a zero-cost
+//! [`MatchSink`] parameter (monomorphized; the classic row-producing path
+//! compiles to exactly the code it had before the abstraction existed):
+//!
+//! * [`evaluate_rule`] / [`evaluate_rule_windows`] — forward evaluation,
+//!   appending head rows to an output buffer.  The `_windows` variant takes
+//!   *several* delta windows (at most one per body occurrence), which is
+//!   what lets the incremental-maintenance layer run the textbook
+//!   *disjoint* semi-naive discipline (delta at occurrence *j*, old facts
+//!   at earlier tracked occurrences) and thereby count each derivation
+//!   exactly once.
+//! * [`evaluate_rule_visit`] — like the above, but hands every match to a
+//!   visitor together with the chosen row id per body occurrence.  The
+//!   incremental counting-deletion pass uses the ids to discount
+//!   derivations that an earlier-processed deleted row already accounted
+//!   for.
+//! * [`count_derivations`] — the *head-bound* join: match a concrete head
+//!   row against the rule head, then count the body instantiations
+//!   consistent with it.  This is the support oracle behind
+//!   delete-and-rederive.
 
 use crate::error::EvalError;
 use crate::limits::Limits;
@@ -51,34 +74,107 @@ struct JoinCtx<'a> {
     /// The relation of each body atom, resolved once (`None` = no relation
     /// stored, i.e. empty).
     relations: Vec<&'a Relation>,
-    delta: Option<DeltaWindow>,
+    /// Per-occurrence delta windows (at most one per body occurrence).
+    windows: &'a [DeltaWindow],
     limits: &'a Limits,
 }
 
-/// Evaluate one rule against `db`, appending the head row of every
-/// satisfied body instantiation to `out` (all rows belong to
-/// `plan.head_pred`).
-///
-/// If `delta` is given, the designated body occurrence only ranges over the
-/// row-id window — the semi-naive restriction.
+/// What to do with a satisfied body instantiation.  Implementations are
+/// monomorphized into `descend`, so the classic row-producing path pays
+/// nothing for the abstraction, and the id-tracking push/pop in `probe` is
+/// compiled out entirely when `NEEDS_IDS` is false.
+trait MatchSink {
+    /// Whether `probe` must maintain the per-depth chosen-row-id stack.
+    const NEEDS_IDS: bool;
+    /// Called once per satisfied body instantiation with the full frame and
+    /// (when `NEEDS_IDS`) the chosen row id per body occurrence.
+    fn emit(&mut self, ctx: &JoinCtx<'_>, frame: &Frame, chosen: &[usize])
+        -> Result<(), EvalError>;
+}
+
+/// Evaluate the head terms of `ctx.plan` against `frame` into a fresh row.
+fn head_row(ctx: &JoinCtx<'_>, frame: &Frame) -> Result<Row, EvalError> {
+    let mut row = Vec::with_capacity(ctx.plan.head_terms.len());
+    for term in &ctx.plan.head_terms {
+        let value = term
+            .eval_slots(frame)
+            .ok_or_else(|| EvalError::NotRangeRestricted {
+                rule: ctx.plan.rule.to_string(),
+            })?;
+        if value.depth() > ctx.limits.max_term_depth {
+            return Err(EvalError::TermDepthLimit {
+                limit: ctx.limits.max_term_depth,
+            });
+        }
+        row.push(value);
+    }
+    Ok(row)
+}
+
+/// The classic sink: append the head row to an output buffer.
+struct RowSink<'a> {
+    out: &'a mut Vec<Row>,
+}
+
+impl MatchSink for RowSink<'_> {
+    const NEEDS_IDS: bool = false;
+
+    #[inline]
+    fn emit(
+        &mut self,
+        ctx: &JoinCtx<'_>,
+        frame: &Frame,
+        _chosen: &[usize],
+    ) -> Result<(), EvalError> {
+        self.out.push(head_row(ctx, frame)?);
+        Ok(())
+    }
+}
+
+/// Sink that hands each match (head row + chosen body row ids) to a visitor.
+struct VisitSink<'a, 'v> {
+    visit: &'a mut dyn FnMut(Row, &[usize]),
+    _marker: std::marker::PhantomData<&'v ()>,
+}
+
+impl MatchSink for VisitSink<'_, '_> {
+    const NEEDS_IDS: bool = true;
+
+    fn emit(
+        &mut self,
+        ctx: &JoinCtx<'_>,
+        frame: &Frame,
+        chosen: &[usize],
+    ) -> Result<(), EvalError> {
+        (self.visit)(head_row(ctx, frame)?, chosen);
+        Ok(())
+    }
+}
+
+/// Sink that only counts (the head is already fully bound by the caller).
+struct CountSink;
+
+impl MatchSink for CountSink {
+    const NEEDS_IDS: bool = false;
+
+    #[inline]
+    fn emit(&mut self, _: &JoinCtx<'_>, _: &Frame, _: &[usize]) -> Result<(), EvalError> {
+        Ok(())
+    }
+}
+
+/// Resolve and arity-check each body atom's relation.
 ///
 /// Arity mismatches between a body atom and its stored relation are
 /// reported eagerly, even for atoms an empty earlier atom would have kept
 /// the join from reaching.  A mismatch means the program and the database
 /// disagree about a predicate; failing deterministically beats failing
-/// only when the data happens to reach the inconsistent atom.
-pub fn evaluate_rule(
+/// only when the data happens to reach the inconsistent atom.  Returns
+/// `None` when some relation is absent (the body cannot match).
+fn resolve_relations<'a>(
     plan: &RulePlan,
-    db: &Database,
-    delta: Option<DeltaWindow>,
-    limits: &Limits,
-    out: &mut Vec<Row>,
-) -> Result<JoinCounters, EvalError> {
-    let mut counters = JoinCounters::default();
-    // Resolve and arity-check each atom's relation once per rule evaluation
-    // instead of once per atom visit.  Every present relation is
-    // arity-checked before concluding anything, so the mismatch error does
-    // not depend on whether an earlier atom happens to be missing or empty.
+    db: &'a Database,
+) -> Result<Option<Vec<&'a Relation>>, EvalError> {
     let mut resolved = Vec::with_capacity(plan.atoms.len());
     for atom in &plan.atoms {
         let relation = db.relation(&atom.pred);
@@ -93,33 +189,136 @@ pub fn evaluate_rule(
         }
         resolved.push(relation);
     }
-    // A missing relation is empty: the conjunctive body cannot match.
-    let Some(relations) = resolved.into_iter().collect::<Option<Vec<_>>>() else {
+    Ok(resolved.into_iter().collect())
+}
+
+/// Drive the join for `plan` with the given sink over a pre-bound frame.
+fn run_join<S: MatchSink>(
+    plan: &RulePlan,
+    db: &Database,
+    windows: &[DeltaWindow],
+    limits: &Limits,
+    frame: &mut Frame,
+    trail: &mut Trail,
+    sink: &mut S,
+) -> Result<JoinCounters, EvalError> {
+    let mut counters = JoinCounters::default();
+    let Some(relations) = resolve_relations(plan, db)? else {
         return Ok(counters);
     };
     let ctx = JoinCtx {
         plan,
         relations,
-        delta,
+        windows,
         limits,
     };
-    let mut frame: Frame = vec![None; plan.num_slots];
-    let mut trail: Trail = Vec::new();
     let mut keys: Vec<Vec<Value>> = plan
         .atoms
         .iter()
         .map(|a| Vec::with_capacity(a.key_terms.len()))
         .collect();
+    let mut chosen: Vec<usize> = Vec::new();
     descend(
         &ctx,
         0,
-        &mut frame,
-        &mut trail,
+        frame,
+        trail,
         &mut keys,
-        out,
+        &mut chosen,
+        sink,
         &mut counters,
     )?;
     Ok(counters)
+}
+
+/// Evaluate one rule against `db`, appending the head row of every
+/// satisfied body instantiation to `out` (all rows belong to
+/// `plan.head_pred`).
+///
+/// If `delta` is given, the designated body occurrence only ranges over the
+/// row-id window — the semi-naive restriction.
+pub fn evaluate_rule(
+    plan: &RulePlan,
+    db: &Database,
+    delta: Option<DeltaWindow>,
+    limits: &Limits,
+    out: &mut Vec<Row>,
+) -> Result<JoinCounters, EvalError> {
+    match delta {
+        Some(w) => evaluate_rule_windows(plan, db, &[w], limits, out),
+        None => evaluate_rule_windows(plan, db, &[], limits, out),
+    }
+}
+
+/// Like [`evaluate_rule`], but with several delta windows — at most one per
+/// body occurrence.  An occurrence without a window ranges over the full
+/// relation.  This is the primitive behind the *disjoint* semi-naive
+/// discipline of the incremental layer: restricting occurrence `j` to the
+/// delta and earlier tracked occurrences to the pre-delta rows enumerates
+/// every new derivation exactly once.
+pub fn evaluate_rule_windows(
+    plan: &RulePlan,
+    db: &Database,
+    windows: &[DeltaWindow],
+    limits: &Limits,
+    out: &mut Vec<Row>,
+) -> Result<JoinCounters, EvalError> {
+    let mut frame: Frame = vec![None; plan.num_slots];
+    let mut trail: Trail = Vec::new();
+    let mut sink = RowSink { out };
+    run_join(plan, db, windows, limits, &mut frame, &mut trail, &mut sink)
+}
+
+/// Evaluate one rule and hand every match to `visit` together with the
+/// chosen row id per body occurrence (`chosen[i]` is the row id the `i`-th
+/// body atom matched).  Used by the incremental counting-deletion pass,
+/// which must reject derivations whose body touches an already-processed
+/// deleted row.
+pub fn evaluate_rule_visit(
+    plan: &RulePlan,
+    db: &Database,
+    windows: &[DeltaWindow],
+    limits: &Limits,
+    visit: &mut dyn FnMut(Row, &[usize]),
+) -> Result<JoinCounters, EvalError> {
+    let mut frame: Frame = vec![None; plan.num_slots];
+    let mut trail: Trail = Vec::new();
+    let mut sink = VisitSink {
+        visit,
+        _marker: std::marker::PhantomData,
+    };
+    run_join(plan, db, windows, limits, &mut frame, &mut trail, &mut sink)
+}
+
+/// The head-bound join: count the body instantiations of `plan` (against
+/// `db`) whose head row equals `row`.  Matching the head terms first binds
+/// the head variables, so the body join runs with those positions fixed —
+/// with the indexes the evaluator maintains this is a narrow probe, not a
+/// rule-wide scan.
+///
+/// Returns 0 when the head does not match `row` at all (wrong constants or
+/// non-invertible terms).  This is the one-step support oracle used by
+/// delete-and-rederive: a deleted row with a positive count from the
+/// remaining database has an alternative derivation and must survive.
+pub fn count_derivations(
+    plan: &RulePlan,
+    db: &Database,
+    row: &[Value],
+    limits: &Limits,
+) -> Result<usize, EvalError> {
+    if plan.head_terms.len() != row.len() {
+        return Ok(0);
+    }
+    let mut frame: Frame = vec![None; plan.num_slots];
+    let mut trail: Trail = Vec::new();
+    for (term, value) in plan.head_terms.iter().zip(row) {
+        if !term.match_value_slots(value, &mut frame, &mut trail) {
+            return Ok(0);
+        }
+    }
+    let mut sink = CountSink;
+    let counters = run_join(plan, db, &[], limits, &mut frame, &mut trail, &mut sink)?;
+    Ok(counters.matches)
 }
 
 /// Clamp `range` to a delta window.
@@ -143,34 +342,19 @@ fn window_slice(ids: &[usize], window: Option<DeltaWindow>) -> &[usize] {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn descend(
+fn descend<S: MatchSink>(
     ctx: &JoinCtx<'_>,
     depth: usize,
     frame: &mut Frame,
     trail: &mut Trail,
     keys: &mut [Vec<Value>],
-    out: &mut Vec<Row>,
+    chosen: &mut Vec<usize>,
+    sink: &mut S,
     counters: &mut JoinCounters,
 ) -> Result<(), EvalError> {
     if depth == ctx.plan.atoms.len() {
-        // Body satisfied: produce the head row.
-        let mut row = Vec::with_capacity(ctx.plan.head_terms.len());
-        for term in &ctx.plan.head_terms {
-            let value = term
-                .eval_slots(frame)
-                .ok_or_else(|| EvalError::NotRangeRestricted {
-                    rule: ctx.plan.rule.to_string(),
-                })?;
-            if value.depth() > ctx.limits.max_term_depth {
-                return Err(EvalError::TermDepthLimit {
-                    limit: ctx.limits.max_term_depth,
-                });
-            }
-            row.push(value);
-        }
         counters.matches += 1;
-        out.push(row);
-        return Ok(());
+        return sink.emit(ctx, frame, chosen);
     }
 
     let atom = &ctx.plan.atoms[depth];
@@ -191,12 +375,14 @@ fn descend(
         }
     }
 
-    let window = ctx.delta.filter(|w| w.occurrence == depth);
+    let window = ctx.windows.iter().find(|w| w.occurrence == depth).copied();
 
     if atom.key_positions.is_empty() {
         // No evaluable positions: scan the (windowed) relation directly.
         for id in window_range(relation.len(), window) {
-            probe(ctx, depth, relation, id, frame, trail, keys, out, counters)?;
+            probe(
+                ctx, depth, relation, id, frame, trail, keys, chosen, sink, counters,
+            )?;
         }
     } else {
         // The borrowed-slice fast path.  `scan_select` only runs when no
@@ -211,7 +397,9 @@ fn descend(
             }
         };
         for &id in window_slice(ids, window) {
-            probe(ctx, depth, relation, id, frame, trail, keys, out, counters)?;
+            probe(
+                ctx, depth, relation, id, frame, trail, keys, chosen, sink, counters,
+            )?;
         }
     }
     Ok(())
@@ -222,7 +410,7 @@ fn descend(
 /// so the caller observes no binding changes.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn probe(
+fn probe<S: MatchSink>(
     ctx: &JoinCtx<'_>,
     depth: usize,
     relation: &Relation,
@@ -230,7 +418,8 @@ fn probe(
     frame: &mut Frame,
     trail: &mut Trail,
     keys: &mut [Vec<Value>],
-    out: &mut Vec<Row>,
+    chosen: &mut Vec<usize>,
+    sink: &mut S,
     counters: &mut JoinCounters,
 ) -> Result<(), EvalError> {
     counters.probes += 1;
@@ -246,7 +435,13 @@ fn probe(
         }
     }
     if ok {
-        descend(ctx, depth + 1, frame, trail, keys, out, counters)?;
+        if S::NEEDS_IDS {
+            chosen.push(id);
+        }
+        descend(ctx, depth + 1, frame, trail, keys, chosen, sink, counters)?;
+        if S::NEEDS_IDS {
+            chosen.pop();
+        }
     }
     magic_datalog::slots::unwind(frame, trail, mark);
     Ok(())
@@ -332,6 +527,78 @@ mod tests {
         let mut out = Vec::new();
         evaluate_rule(&plan, &db, Some(window), &Limits::default(), &mut out).unwrap();
         assert_eq!(render("grand", &out), vec!["grand(b, d)"]);
+    }
+
+    #[test]
+    fn multiple_windows_restrict_independent_occurrences() {
+        // Both occurrences windowed: only derivations whose first row is in
+        // [0, 2) AND second row is in [2, 3) survive.
+        let rule = parse_rule("grand(X, Z) :- par(X, Y), par(Y, Z).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let db = db_with_par();
+        let windows = [
+            DeltaWindow {
+                occurrence: 0,
+                from: 0,
+                to: 2,
+            },
+            DeltaWindow {
+                occurrence: 1,
+                from: 2,
+                to: 3,
+            },
+        ];
+        let mut out = Vec::new();
+        evaluate_rule_windows(&plan, &db, &windows, &Limits::default(), &mut out).unwrap();
+        // Only grand(b, d): par(b, c) at id 1 joined with par(c, d) at id 2.
+        assert_eq!(render("grand", &out), vec!["grand(b, d)"]);
+    }
+
+    #[test]
+    fn visit_reports_chosen_row_ids() {
+        let rule = parse_rule("grand(X, Z) :- par(X, Y), par(Y, Z).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let db = db_with_par();
+        let mut seen: Vec<(String, Vec<usize>)> = Vec::new();
+        evaluate_rule_visit(&plan, &db, &[], &Limits::default(), &mut |row, ids| {
+            seen.push((render("grand", &[row]).remove(0), ids.to_vec()));
+        })
+        .unwrap();
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                ("grand(a, c)".to_string(), vec![0, 1]),
+                ("grand(b, d)".to_string(), vec![1, 2]),
+            ]
+        );
+    }
+
+    #[test]
+    fn count_derivations_is_the_head_bound_join() {
+        let rule = parse_rule("anc(X, Y) :- par(X, Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let db = db_with_par();
+        let a_b = vec![Value::sym("a"), Value::sym("b")];
+        let a_z = vec![Value::sym("a"), Value::sym("z")];
+        assert_eq!(
+            count_derivations(&plan, &db, &a_b, &Limits::default()).unwrap(),
+            1
+        );
+        assert_eq!(
+            count_derivations(&plan, &db, &a_z, &Limits::default()).unwrap(),
+            0
+        );
+        // Multiple derivations of the same head row.
+        let rule = parse_rule("reach(X) :- par(Y, X).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut db = db_with_par();
+        db.insert_pair("par", "z", "b");
+        let b = vec![Value::sym("b")];
+        assert_eq!(
+            count_derivations(&plan, &db, &b, &Limits::default()).unwrap(),
+            2
+        );
     }
 
     #[test]

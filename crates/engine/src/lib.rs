@@ -40,8 +40,13 @@ pub mod metrics;
 pub mod plan;
 
 pub use error::EvalError;
-pub use evaluator::{EvalResult, Evaluator, IterationScheme};
-pub use join::{evaluate_rule, DeltaWindow, JoinCounters};
+pub use evaluator::{
+    EvalResult, Evaluator, FiringObserver, FixpointRunner, IterationScheme, WindowDiscipline,
+};
+pub use join::{
+    count_derivations, evaluate_rule, evaluate_rule_visit, evaluate_rule_windows, DeltaWindow,
+    JoinCounters,
+};
 pub use limits::Limits;
 pub use metrics::EvalStats;
 pub use plan::{AtomPlan, RulePlan};

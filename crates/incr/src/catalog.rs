@@ -1,0 +1,243 @@
+//! A catalog of live materialized views, keyed by adorned query binding.
+//!
+//! The serving shape the ROADMAP's north star needs: plan a query once
+//! (rewrite under a strategy), materialize the rewritten program as a
+//! [`MaterializedView`], and cache it under the query's *adorned binding
+//! key* — the answer predicate, its bound/free adornment, and the bound
+//! constants (`anc[bf](john)`).  Repeated queries with the same binding hit
+//! the cached view; base-fact updates stream into every cached view through
+//! [`ViewCatalog::update_all`].
+
+use crate::error::IncrError;
+use crate::view::{MaterializedView, Update};
+use magic_core::planner::{PlanError, Planner, Strategy};
+use magic_datalog::{Atom, Program, Query, Value, Variable};
+use magic_engine::{answers::project_answers, Limits};
+use magic_storage::Database;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Errors raised by catalog operations.
+#[derive(Clone, Debug)]
+pub enum CatalogError {
+    /// Planning (adornment / rewriting) failed.
+    Plan(PlanError),
+    /// Materializing or maintaining the view failed.
+    Incr(IncrError),
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Plan(e) => write!(f, "planning error: {e}"),
+            CatalogError::Incr(e) => write!(f, "maintenance error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<PlanError> for CatalogError {
+    fn from(e: PlanError) -> Self {
+        CatalogError::Plan(e)
+    }
+}
+
+impl From<IncrError> for CatalogError {
+    fn from(e: IncrError) -> Self {
+        CatalogError::Incr(e)
+    }
+}
+
+/// One cached view plus how to read the query's answers back out of it.
+#[derive(Clone, Debug)]
+struct CatalogEntry {
+    view: MaterializedView,
+    answer_atom: Atom,
+    projection: Vec<Variable>,
+}
+
+/// A set of live materialized views keyed by adorned query binding.
+///
+/// ```
+/// use magic_core::planner::Strategy;
+/// use magic_datalog::{parse_program, parse_query, Fact, Value};
+/// use magic_incr::{Update, ViewCatalog};
+/// use magic_storage::Database;
+///
+/// let program = parse_program(
+///     "anc(X, Y) :- par(X, Y).
+///      anc(X, Y) :- par(X, Z), anc(Z, Y).",
+/// )
+/// .unwrap();
+/// let query = parse_query("anc(a, Y)").unwrap();
+/// let mut db = Database::new();
+/// db.insert_pair("par", "a", "b");
+///
+/// let mut catalog = ViewCatalog::new(Strategy::MagicSets);
+/// let key = catalog.materialize(&program, &query, &db).unwrap();
+/// assert_eq!(catalog.answers(&key).unwrap().len(), 1);
+///
+/// let edge = Fact::plain("par", vec![Value::sym("b"), Value::sym("c")]);
+/// catalog.update_all(&Update::Insert(edge)).unwrap();
+/// assert_eq!(catalog.answers(&key).unwrap().len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ViewCatalog {
+    strategy: Strategy,
+    limits: Limits,
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+impl ViewCatalog {
+    /// An empty catalog materializing under `strategy`.
+    pub fn new(strategy: Strategy) -> ViewCatalog {
+        ViewCatalog {
+            strategy,
+            limits: Limits::default(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Override the evaluation limits applied to every view.
+    pub fn with_limits(mut self, limits: Limits) -> ViewCatalog {
+        self.limits = limits;
+        self
+    }
+
+    /// The catalog's rewrite strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Plan `(program, query)` under the catalog's strategy and
+    /// materialize the rewritten program over `edb` — unless a view with
+    /// the same adorned binding key *and the same rewritten program* is
+    /// already cached, in which case the existing (live, maintained) view
+    /// is kept and `edb` is ignored: the cached view's database reflects
+    /// every update streamed into it since materialization, which is the
+    /// point of the cache.  A cache hit whose stored program differs
+    /// (the caller changed the rules) re-materializes over `edb` instead
+    /// of silently serving answers for the old rules.  Returns the key.
+    pub fn materialize(
+        &mut self,
+        program: &Program,
+        query: &Query,
+        edb: &Database,
+    ) -> Result<String, CatalogError> {
+        let plan = Planner::new(self.strategy)
+            .with_limits(self.limits)
+            .plan(program, query)?;
+        let key = format!("{}@{}", plan.view_binding(), self.strategy.short_name());
+        let fresh = match self.entries.get(&key) {
+            Some(entry) => entry.view.program() != &plan.program,
+            None => true,
+        };
+        if fresh {
+            let view = MaterializedView::with_limits(&plan.program, edb, self.limits)?;
+            self.entries.insert(
+                key.clone(),
+                CatalogEntry {
+                    view,
+                    answer_atom: plan.answer_atom.clone(),
+                    projection: plan.projection.clone(),
+                },
+            );
+        }
+        Ok(key)
+    }
+
+    /// The view cached under `key`.
+    pub fn view(&self, key: &str) -> Option<&MaterializedView> {
+        self.entries.get(key).map(|e| &e.view)
+    }
+
+    /// Mutable access to the view cached under `key` (for targeted
+    /// insert/retract/apply).
+    pub fn view_mut(&mut self, key: &str) -> Option<&mut MaterializedView> {
+        self.entries.get_mut(key).map(|e| &mut e.view)
+    }
+
+    /// The current answers of the query cached under `key`.
+    pub fn answers(&self, key: &str) -> Option<BTreeSet<Vec<Value>>> {
+        self.entries
+            .get(key)
+            .map(|e| project_answers(e.view.database(), &e.answer_atom, &e.projection))
+    }
+
+    /// Apply one base-fact update to every cached view that can accept it
+    /// (views deriving the fact's predicate are skipped — their copy of it
+    /// is maintained, not edited).  Returns how many views changed.
+    pub fn update_all(&mut self, update: &Update) -> Result<usize, CatalogError> {
+        let mut changed = 0;
+        for entry in self.entries.values_mut() {
+            let result = match update {
+                Update::Insert(fact) => entry.view.insert(fact),
+                Update::Retract(fact) => entry.view.retract(fact),
+            };
+            match result {
+                Ok(true) => changed += 1,
+                Ok(false) | Err(IncrError::NotABasePredicate { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Number of cached views.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff no view is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached binding keys, in order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> + '_ {
+        self.entries.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::{parse_program, parse_query};
+
+    #[test]
+    fn changed_program_rematerializes_instead_of_serving_stale_rules() {
+        let v1 = parse_program("anc(X, Y) :- par(X, Y).").unwrap();
+        let v2 = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("anc(a, Y)").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("par", "b", "c");
+
+        let mut catalog = ViewCatalog::new(Strategy::MagicSets);
+        let k1 = catalog.materialize(&v1, &query, &db).unwrap();
+        assert_eq!(catalog.answers(&k1).unwrap().len(), 1); // only (a, b)
+
+        // Same binding, new rules: the stale view must not be served.
+        let k2 = catalog.materialize(&v2, &query, &db).unwrap();
+        assert_eq!(k1, k2);
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.answers(&k2).unwrap().len(), 2); // b and c
+
+        // Same binding, same rules: cache hit keeps the live view (with
+        // its streamed updates), ignoring the passed database.
+        catalog
+            .update_all(&Update::Insert(magic_datalog::Fact::plain(
+                "par",
+                vec![Value::sym("c"), Value::sym("d")],
+            )))
+            .unwrap();
+        let k3 = catalog.materialize(&v2, &query, &Database::new()).unwrap();
+        assert_eq!(k2, k3);
+        assert_eq!(catalog.answers(&k3).unwrap().len(), 3);
+    }
+}

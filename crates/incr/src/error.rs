@@ -1,0 +1,57 @@
+//! Errors of the incremental-maintenance layer.
+
+use magic_engine::EvalError;
+use std::fmt;
+
+/// Errors raised while constructing or maintaining a materialized view.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IncrError {
+    /// The underlying fixpoint evaluation failed (limits, range
+    /// restriction, arity conflicts, ...).
+    Eval(EvalError),
+    /// The fact's predicate is derived by the view's program: view outputs
+    /// are maintained, not edited.
+    NotABasePredicate {
+        /// The offending predicate.
+        pred: String,
+    },
+    /// The fact's arity disagrees with the stored relation.
+    ArityMismatch {
+        /// The offending predicate.
+        pred: String,
+        /// Arity of the offered fact.
+        fact_arity: usize,
+        /// Arity of the stored relation.
+        stored_arity: usize,
+    },
+}
+
+impl fmt::Display for IncrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncrError::Eval(e) => write!(f, "evaluation error: {e}"),
+            IncrError::NotABasePredicate { pred } => write!(
+                f,
+                "{pred} is derived by the view's program; only base facts can be \
+                 inserted or retracted"
+            ),
+            IncrError::ArityMismatch {
+                pred,
+                fact_arity,
+                stored_arity,
+            } => write!(
+                f,
+                "fact for {pred} has arity {fact_arity} but the stored relation \
+                 has arity {stored_arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IncrError {}
+
+impl From<EvalError> for IncrError {
+    fn from(e: EvalError) -> Self {
+        IncrError::Eval(e)
+    }
+}

@@ -1,0 +1,1021 @@
+//! Materialized-view sessions: construct once, then maintain under live
+//! fact insertions and retractions without re-running the fixpoint.
+//!
+//! # Insertion
+//!
+//! The database at a fixpoint plus one new base fact is exactly a
+//! semi-naive evaluation state whose delta is that fact, so insertion
+//! *re-enters* the engine's fixpoint loop
+//! ([`FixpointRunner::resume`](magic_engine::FixpointRunner::resume)) with
+//! the seed as the delta window.  The runner tracks *every* body predicate
+//! (not just the derived ones), joins outward from the delta through
+//! delta-driven plan variants, and uses the disjoint window discipline so
+//! each new derivation is enumerated exactly once — which keeps the
+//! per-row derivation counts in the [`SupportTable`] exact.
+//!
+//! # Retraction
+//!
+//! Two strategies, chosen per retracted predicate at construction time:
+//!
+//! * **Counting** — when every derived predicate the retracted fact can
+//!   reach is non-recursive, support is acyclic and exact reference
+//!   counting is sound.  A worklist pass pins each deleted row at each of
+//!   its body occurrences (a width-1 delta window on a delta-driven plan)
+//!   and decrements the support of every lost derivation's head; rows
+//!   reaching zero support are deleted and propagate.  Derivations that
+//!   touch several deleted rows are discounted exactly once via the
+//!   processed-row filter (see `retract_counting`).
+//! * **DRed (delete and re-derive)** — for recursive cones, where cyclic
+//!   support makes counting unsound (the classic `p ⇄ q` island that
+//!   keeps itself alive).  An *overdeletion* shadow program computes the
+//!   overapproximate deleted set, those rows are removed in one batch,
+//!   rows with a surviving alternative one-step derivation (per the
+//!   head-bound [`count_derivations`] join) are re-inserted as seeds, and
+//!   the fixpoint is resumed to propagate re-derivations.  Support counts
+//!   are recomputed exactly for everything that was touched.
+//!
+//! Both paths leave the database bit-for-bit equal (as a fact set) to a
+//! from-scratch evaluation of the program over the updated base facts —
+//! the oracle the test suite checks against, following Drabent's
+//! correctness-proof framing of magic-transformation equivalence.
+
+use crate::error::IncrError;
+use magic_datalog::{analysis::DependencyGraph, Fact, PredName, Program};
+use magic_engine::{
+    count_derivations, evaluate_rule_visit, DeltaWindow, EvalStats, FixpointRunner, Limits,
+    WindowDiscipline,
+};
+use magic_storage::{Database, Row, SupportTable};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// One element of a batched update stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Update {
+    /// Insert a base fact.
+    Insert(Fact),
+    /// Retract a base fact.
+    Retract(Fact),
+}
+
+/// What a batched [`MaterializedView::apply`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Updates that changed the database (fact was new / was present).
+    pub applied: usize,
+    /// Updates that were no-ops (duplicate insert, absent retract).
+    pub no_ops: usize,
+}
+
+/// How retractions of a given base predicate are maintained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetractStrategy {
+    /// Exact reference counting (the predicate's derived cone is acyclic).
+    Counting,
+    /// Delete-and-rederive (the cone contains recursion).
+    DRed,
+}
+
+/// A live materialized view: a program fixpoint maintained under
+/// insertions and retractions of base facts.
+///
+/// ```
+/// use magic_datalog::{parse_program, Fact, PredName, Value};
+/// use magic_incr::MaterializedView;
+/// use magic_storage::Database;
+///
+/// let program = parse_program(
+///     "anc(X, Y) :- par(X, Y).
+///      anc(X, Y) :- par(X, Z), anc(Z, Y).",
+/// )
+/// .unwrap();
+/// let mut db = Database::new();
+/// db.insert_pair("par", "a", "b");
+///
+/// let mut view = MaterializedView::new(&program, &db).unwrap();
+/// assert_eq!(view.database().count(&PredName::plain("anc")), 1);
+///
+/// let edge = Fact::plain("par", vec![Value::sym("b"), Value::sym("c")]);
+/// view.insert(&edge).unwrap();
+/// assert_eq!(view.database().count(&PredName::plain("anc")), 3);
+///
+/// view.retract(&edge).unwrap();
+/// assert_eq!(view.database().count(&PredName::plain("anc")), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MaterializedView {
+    program: Program,
+    runner: FixpointRunner,
+    db: Database,
+    support: SupportTable,
+    /// Head predicate per plan index (avoids re-borrowing the runner in
+    /// observer closures).
+    head_preds: Vec<PredName>,
+    base_preds: BTreeSet<PredName>,
+    derived_preds: BTreeSet<PredName>,
+    /// Base predicates whose entire derived cone is non-recursive: exact
+    /// counting deletion is sound for them.
+    counting_safe: BTreeSet<PredName>,
+    /// Rows of derived predicates that were present in the initial EDB.
+    /// They are axioms, not derivations: retraction never deletes them even
+    /// at zero support.
+    exogenous: BTreeMap<PredName, HashSet<Row>>,
+    /// The overdeletion shadow machine, built on first DRed retraction.
+    od: Option<OdMachine>,
+    limits: Limits,
+    /// Cumulative maintenance metrics (construction + every update).
+    stats: EvalStats,
+}
+
+/// The compiled overdeletion program: for each rule `h :- b1 … bk` of the
+/// source program and each occurrence `i`, a rule
+/// `od_h :- od_bi, b1 … bi-1, bi+1 … bk` (the shadow atom leads the body so
+/// evaluation fans out from the tiny deleted set).  `od_p ⊆ p` always
+/// holds: every shadow row witnesses a real derivation over the
+/// pre-deletion fixpoint.
+#[derive(Clone, Debug)]
+struct OdMachine {
+    runner: FixpointRunner,
+    /// Original predicate -> shadow predicate.
+    shadow: BTreeMap<PredName, PredName>,
+}
+
+/// The shadow (overdeletion) name of a predicate.  The `~` prefix cannot be
+/// produced by the parser, so shadow names cannot collide with program
+/// predicates.
+fn shadow_pred(pred: &PredName) -> PredName {
+    PredName::plain(&format!("~od~{pred}"))
+}
+
+/// Memoized shadow name of `pred`.
+fn shadow_entry(map: &mut BTreeMap<PredName, PredName>, pred: &PredName) -> PredName {
+    map.entry(pred.clone())
+        .or_insert_with(|| shadow_pred(pred))
+        .clone()
+}
+
+impl OdMachine {
+    fn build(program: &Program, limits: Limits) -> OdMachine {
+        let mut shadow: BTreeMap<PredName, PredName> = BTreeMap::new();
+        let mut od_rules = Vec::new();
+        for rule in &program.rules {
+            for occ in 0..rule.body.len() {
+                let od_head = rule
+                    .head
+                    .with_pred(shadow_entry(&mut shadow, &rule.head.pred));
+                let mut body = Vec::with_capacity(rule.body.len());
+                body.push(
+                    rule.body[occ].with_pred(shadow_entry(&mut shadow, &rule.body[occ].pred)),
+                );
+                for (i, atom) in rule.body.iter().enumerate() {
+                    if i != occ {
+                        body.push(atom.clone());
+                    }
+                }
+                od_rules.push(magic_datalog::Rule::new(od_head, body));
+            }
+        }
+        let od_program = Program::from_rules(od_rules);
+        let runner = FixpointRunner::for_program(&od_program).with_limits(limits);
+        OdMachine { runner, shadow }
+    }
+}
+
+impl MaterializedView {
+    /// Materialize the fixpoint of `program` over `edb` and return the
+    /// live view session.
+    pub fn new(program: &Program, edb: &Database) -> Result<MaterializedView, IncrError> {
+        MaterializedView::with_limits(program, edb, Limits::default())
+    }
+
+    /// Like [`MaterializedView::new`] with explicit evaluation limits
+    /// (applied to construction and to every maintenance operation).
+    pub fn with_limits(
+        program: &Program,
+        edb: &Database,
+        limits: Limits,
+    ) -> Result<MaterializedView, IncrError> {
+        let derived_preds = program.derived_preds();
+        let base_preds = program.base_preds();
+        let mut tracked = derived_preds.clone();
+        tracked.extend(base_preds.iter().cloned());
+        let runner = FixpointRunner::compile(program, &tracked)
+            .with_limits(limits)
+            .with_discipline(WindowDiscipline::Disjoint);
+        let head_preds: Vec<PredName> =
+            runner.plans().iter().map(|p| p.head_pred.clone()).collect();
+
+        // Derived rows already present in the EDB are axioms: record them so
+        // retraction never deletes them, whatever their derivation count.
+        let mut exogenous: BTreeMap<PredName, HashSet<Row>> = BTreeMap::new();
+        for pred in &derived_preds {
+            if let Some(rel) = edb.relation(pred) {
+                if !rel.is_empty() {
+                    exogenous.insert(pred.clone(), rel.iter().cloned().collect());
+                }
+            }
+        }
+
+        // A base predicate is counting-safe when no recursive derived
+        // predicate can be affected by it: every lost derivation chain is
+        // then acyclic and reference counts are a sound deletion criterion.
+        let graph = DependencyGraph::build(program);
+        let recursive: BTreeSet<PredName> = derived_preds
+            .iter()
+            .filter(|p| graph.is_recursive(p))
+            .cloned()
+            .collect();
+        let mut counting_safe = BTreeSet::new();
+        for base in &base_preds {
+            let affected_by_recursion = recursive
+                .iter()
+                .any(|r| graph.reachable_from(r).contains(base));
+            if !affected_by_recursion {
+                counting_safe.insert(base.clone());
+            }
+        }
+
+        let mut db = edb.clone();
+        let mut stats = EvalStats::default();
+        let mut support = SupportTable::new();
+        let mut op_stats = EvalStats::default();
+        {
+            let mut observer = |plan_idx: usize, row: &Row, _is_new: bool| {
+                support.add(&head_preds[plan_idx], row, 1);
+            };
+            runner
+                .run(&mut db, &mut op_stats, Some(&mut observer))
+                .map_err(IncrError::Eval)?;
+        }
+        merge_stats(&mut stats, &op_stats);
+
+        Ok(MaterializedView {
+            program: program.clone(),
+            runner,
+            db,
+            support,
+            head_preds,
+            base_preds,
+            derived_preds,
+            counting_safe,
+            exogenous,
+            od: None,
+            limits,
+            stats,
+        })
+    }
+
+    /// The maintained database: base facts plus every derived fact of the
+    /// current fixpoint.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The program whose fixpoint this view maintains.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Cumulative evaluation metrics over construction and all updates.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// The exact number of rule-body derivations currently supporting a
+    /// derived fact (0 for untracked or base facts).
+    pub fn support_of(&self, fact: &Fact) -> u64 {
+        self.support.get(&fact.pred, &fact.values)
+    }
+
+    /// How retractions of `pred` are maintained.
+    pub fn retract_strategy(&self, pred: &PredName) -> RetractStrategy {
+        if self.counting_safe.contains(pred) {
+            RetractStrategy::Counting
+        } else {
+            RetractStrategy::DRed
+        }
+    }
+
+    /// Reject updates on predicates the program derives (view outputs are
+    /// maintained, not edited) and rows that disagree with a stored
+    /// relation's arity (inserting would panic in storage).
+    fn check_updatable(&self, fact: &Fact) -> Result<(), IncrError> {
+        if self.derived_preds.contains(&fact.pred) {
+            return Err(IncrError::NotABasePredicate {
+                pred: fact.pred.to_string(),
+            });
+        }
+        if let Some(rel) = self.db.relation(&fact.pred) {
+            if rel.arity() != fact.arity() {
+                return Err(IncrError::ArityMismatch {
+                    pred: fact.pred.to_string(),
+                    fact_arity: fact.arity(),
+                    stored_arity: rel.arity(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a base fact and propagate; returns `false` (and does
+    /// nothing) if the fact was already present.
+    pub fn insert(&mut self, fact: &Fact) -> Result<bool, IncrError> {
+        self.check_updatable(fact)?;
+        if self.db.contains(fact) {
+            return Ok(false);
+        }
+        let marks = self.runner.marks(&self.db);
+        self.db.insert(fact.pred.clone(), fact.values.clone());
+        self.resume(marks)?;
+        Ok(true)
+    }
+
+    /// Retract a base fact and propagate; returns `false` (and does
+    /// nothing) if the fact was not present.
+    pub fn retract(&mut self, fact: &Fact) -> Result<bool, IncrError> {
+        self.check_updatable(fact)?;
+        if !self.db.contains(fact) {
+            return Ok(false);
+        }
+        if self.counting_safe.contains(&fact.pred) || !self.base_preds.contains(&fact.pred) {
+            // Predicates outside the program's body cannot affect any
+            // derived fact; the counting pass handles them trivially.
+            self.retract_counting(fact)?;
+        } else {
+            self.retract_dred(fact)?;
+        }
+        Ok(true)
+    }
+
+    /// Apply a batch of updates in order; consecutive insertions are
+    /// coalesced into one fixpoint re-entry.
+    ///
+    /// On error the already-applied prefix of the batch stays applied (and
+    /// propagated), the offending update onward is dropped: the view is
+    /// always left at a fixpoint of its program.
+    pub fn apply<I: IntoIterator<Item = Update>>(
+        &mut self,
+        updates: I,
+    ) -> Result<ApplyReport, IncrError> {
+        let mut report = ApplyReport::default();
+        // Marks taken before the first pending insertion, if any.
+        let mut pending: Option<Vec<usize>> = None;
+        let mut failure: Option<IncrError> = None;
+        for update in updates {
+            let step = self.apply_step(update, &mut report, &mut pending);
+            if let Err(e) = step {
+                failure = Some(e);
+                break;
+            }
+        }
+        // Flush even on the error path: pending coalesced inserts are
+        // already in the database, and dropping their marks would leave
+        // the view off-fixpoint (and the support table stale) forever.
+        if let Some(marks) = pending.take() {
+            self.resume(marks)?;
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// One update of a batch; pending inserts accumulate under `pending`.
+    fn apply_step(
+        &mut self,
+        update: Update,
+        report: &mut ApplyReport,
+        pending: &mut Option<Vec<usize>>,
+    ) -> Result<(), IncrError> {
+        match update {
+            Update::Insert(fact) => {
+                self.check_updatable(&fact)?;
+                if self.db.contains(&fact) {
+                    report.no_ops += 1;
+                    return Ok(());
+                }
+                if pending.is_none() {
+                    *pending = Some(self.runner.marks(&self.db));
+                }
+                self.db.insert(fact.pred.clone(), fact.values.clone());
+                report.applied += 1;
+            }
+            Update::Retract(fact) => {
+                if let Some(marks) = pending.take() {
+                    self.resume(marks)?;
+                }
+                if self.retract(&fact)? {
+                    report.applied += 1;
+                } else {
+                    report.no_ops += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-enter the fixpoint from seeded deltas, maintaining support
+    /// counts for every enumerated derivation.
+    fn resume(&mut self, marks: Vec<usize>) -> Result<(), IncrError> {
+        let mut op_stats = EvalStats::default();
+        {
+            let support = &mut self.support;
+            let head_preds = &self.head_preds;
+            let mut observer = |plan_idx: usize, row: &Row, _is_new: bool| {
+                support.add(&head_preds[plan_idx], row, 1);
+            };
+            self.runner
+                .resume(&mut self.db, marks, &mut op_stats, Some(&mut observer))
+                .map_err(IncrError::Eval)?;
+        }
+        merge_stats(&mut self.stats, &op_stats);
+        Ok(())
+    }
+
+    /// True iff `(pred, row)` is an exogenous axiom (came in through the
+    /// EDB under a derived predicate).
+    fn is_exogenous(&self, pred: &PredName, row: &[magic_datalog::Value]) -> bool {
+        self.exogenous
+            .get(pred)
+            .is_some_and(|rows| rows.contains(row))
+    }
+
+    /// Exact counting deletion (acyclic cones).
+    ///
+    /// Physical removal is deferred to the end so row ids stay stable; a
+    /// deleted row is *pinned* at each of its body occurrences through a
+    /// width-1 delta window on the delta-driven plan variant, and every
+    /// enumerated derivation decrements its head row's support.  A
+    /// derivation touching several deleted rows is discounted exactly once:
+    /// the pin of row `d` rejects instantiations where any other deletable
+    /// occurrence holds a row processed *before* `d`, or holds `d` itself
+    /// at an earlier original body position (the first pin to see the
+    /// derivation claims it).
+    fn retract_counting(&mut self, fact: &Fact) -> Result<(), IncrError> {
+        // (pred, row id) pairs already pinned; rows here reject derivations
+        // at later pins.
+        let mut processed: BTreeMap<PredName, HashSet<usize>> = BTreeMap::new();
+        // Rows queued for pinning, plus membership set to avoid re-queuing.
+        let mut queue: VecDeque<(PredName, usize)> = VecDeque::new();
+        let mut marked: BTreeMap<PredName, HashSet<usize>> = BTreeMap::new();
+
+        let seed_id = self
+            .db
+            .relation(&fact.pred)
+            .and_then(|rel| rel.id_of(&fact.values))
+            .expect("retract_counting caller checked presence");
+        marked.entry(fact.pred.clone()).or_default().insert(seed_id);
+        queue.push_back((fact.pred.clone(), seed_id));
+
+        // Deferred support decrements of one pin, applied after the
+        // (immutable) join visit completes.
+        let mut lost: Vec<(usize, Row)> = Vec::new();
+        // Tracked occurrences per plan, copied once per retraction (not
+        // once per worklist row) to keep the borrow checker away from the
+        // support/stats mutations inside the loop.
+        let occurrences_by_plan: Vec<Vec<(usize, usize)>> = (0..self.runner.plans().len())
+            .map(|plan_idx| self.runner.occurrences_of(plan_idx).to_vec())
+            .collect();
+
+        while let Some((pred, id)) = queue.pop_front() {
+            for (plan_idx, occurrences) in occurrences_by_plan.iter().enumerate() {
+                for (nth, &(occ, tracked_idx)) in occurrences.iter().enumerate() {
+                    if self.runner.tracked()[tracked_idx] != pred {
+                        continue;
+                    }
+                    let variant = self.runner.delta_plan(plan_idx, nth);
+                    let pos_of_orig = self.runner.delta_positions(plan_idx, nth);
+                    let pin = DeltaWindow {
+                        occurrence: 0,
+                        from: id,
+                        to: id + 1,
+                    };
+                    lost.clear();
+                    let counters = {
+                        let processed = &processed;
+                        let mut visit = |row: Row, chosen: &[usize]| {
+                            // Walk the other body occurrences (in original
+                            // order, through the variant's permutation);
+                            // reject derivations holding an already-pinned
+                            // row, or the pinned row itself at an earlier
+                            // original position (that pin claims them).
+                            for (o, &vpos) in pos_of_orig.iter().enumerate() {
+                                if o == occ {
+                                    continue;
+                                }
+                                let atom = &variant.atoms[vpos];
+                                let row_id = chosen[vpos];
+                                if processed
+                                    .get(&atom.pred)
+                                    .is_some_and(|ids| ids.contains(&row_id))
+                                {
+                                    return;
+                                }
+                                if atom.pred == pred && row_id == id && o < occ {
+                                    return;
+                                }
+                            }
+                            lost.push((plan_idx, row));
+                        };
+                        evaluate_rule_visit(variant, &self.db, &[pin], &self.limits, &mut visit)
+                            .map_err(IncrError::Eval)?
+                    };
+                    self.stats.join_probes += counters.probes;
+                    for (lost_plan, head_row) in lost.drain(..) {
+                        let head_pred = &self.head_preds[lost_plan];
+                        if self.support.get(head_pred, &head_row) == 0 {
+                            // An exogenous axiom with no tracked
+                            // derivations: nothing to discount.
+                            debug_assert!(self.is_exogenous(head_pred, &head_row));
+                            continue;
+                        }
+                        let remaining = self.support.sub(head_pred, &head_row, 1);
+                        if remaining == 0 && !self.is_exogenous(head_pred, &head_row) {
+                            let Some(row_id) = self
+                                .db
+                                .relation(head_pred)
+                                .and_then(|rel| rel.id_of(&head_row))
+                            else {
+                                continue;
+                            };
+                            if marked.entry(head_pred.clone()).or_default().insert(row_id) {
+                                queue.push_back((head_pred.clone(), row_id));
+                            }
+                        }
+                    }
+                }
+            }
+            processed.entry(pred.clone()).or_default().insert(id);
+        }
+
+        // One batched physical removal per touched relation.
+        for (pred, ids) in marked {
+            let Some(rel) = self.db.relation(&pred) else {
+                continue;
+            };
+            let rows: Vec<Row> = ids.iter().map(|&id| rel.row(id).clone()).collect();
+            for row in &rows {
+                self.support.remove(&pred, row);
+            }
+            self.db
+                .relation_mut(&pred, rows[0].len())
+                .remove_rows(&rows);
+        }
+        Ok(())
+    }
+
+    /// Delete-and-rederive (recursive cones): overdelete through the
+    /// shadow program, batch-remove, re-seed rows with surviving
+    /// alternative derivations, resume the fixpoint.
+    fn retract_dred(&mut self, fact: &Fact) -> Result<(), IncrError> {
+        if self.od.is_none() {
+            self.od = Some(OdMachine::build(&self.program, self.limits));
+        }
+        let od = self.od.as_ref().expect("just built");
+
+        // 1. Overdeletion fixpoint: seed the retracted fact's shadow and
+        //    run the shadow program against the pre-deletion database.
+        let seed_pred = od
+            .shadow
+            .get(&fact.pred)
+            .cloned()
+            .unwrap_or_else(|| shadow_pred(&fact.pred));
+        self.db.insert(seed_pred, fact.values.clone());
+        let mut od_stats = EvalStats::default();
+        od.runner
+            .run(&mut self.db, &mut od_stats, None)
+            .map_err(IncrError::Eval)?;
+        merge_stats(&mut self.stats, &od_stats);
+
+        // 2. Collect the overdeleted rows per derived predicate (shadow
+        //    rows that are actually present and not exogenous axioms), then
+        //    drop every shadow relation again.
+        let mut overdeleted: Vec<(PredName, Vec<Row>)> = Vec::new();
+        // Exogenous axioms touched by overdeletion survive removal but may
+        // have lost derivations; their support is recomputed below.
+        let mut touched_axioms: Vec<(PredName, Row)> = Vec::new();
+        for (orig, shadow) in &od.shadow {
+            if !self.derived_preds.contains(orig) {
+                continue;
+            }
+            let Some(shadow_rel) = self.db.relation(shadow) else {
+                continue;
+            };
+            let Some(rel) = self.db.relation(orig) else {
+                continue;
+            };
+            let mut rows = Vec::new();
+            for row in shadow_rel.iter() {
+                if !rel.contains(row) {
+                    continue;
+                }
+                if self.is_exogenous(orig, row) {
+                    touched_axioms.push((orig.clone(), row.clone()));
+                } else {
+                    rows.push(row.clone());
+                }
+            }
+            if !rows.is_empty() {
+                overdeleted.push((orig.clone(), rows));
+            }
+        }
+        let shadow_preds: Vec<PredName> = od.shadow.values().cloned().collect();
+        for shadow in shadow_preds {
+            self.db.remove_relation(&shadow);
+        }
+
+        // 3. Batch physical removal: the retracted base fact plus the
+        //    overdeleted derived rows.  Support entries of removed rows are
+        //    discarded (re-derived rows get fresh exact counts below).
+        self.db.remove(&fact.pred, &fact.values);
+        for (pred, rows) in &overdeleted {
+            for row in rows {
+                self.support.remove(pred, row);
+            }
+            self.db.relation_mut(pred, rows[0].len()).remove_rows(rows);
+        }
+
+        // 4. Re-derivation seeds: removed rows with at least one surviving
+        //    one-step derivation from the remaining database.  All counts
+        //    are taken against the seed-free database, then the seeds are
+        //    appended after the marks so the resumed windows count exactly
+        //    the derivations that involve re-inserted rows.
+        let mut seeds: Vec<(PredName, Row, u64)> = Vec::new();
+        for (pred, rows) in &overdeleted {
+            for row in rows {
+                let count = self.one_step_support(pred, row)?;
+                if count > 0 {
+                    seeds.push((pred.clone(), row.clone(), count));
+                }
+            }
+        }
+        // Touched axioms stay in place; reset their counts to the surviving
+        // derivations (the resume below adds back any involving re-derived
+        // rows, same as for the seeds).
+        for (pred, row) in &touched_axioms {
+            let count = self.one_step_support(pred, row)?;
+            self.support.remove(pred, row);
+            if count > 0 {
+                self.support.add(pred, row, count);
+            }
+        }
+        let marks = self.runner.marks(&self.db);
+        for (pred, row, count) in seeds {
+            self.db.insert(pred.clone(), row.clone());
+            self.support.add(&pred, &row, count);
+        }
+        self.resume(marks)
+    }
+}
+
+impl MaterializedView {
+    /// Sum of `count_derivations` over the rules deriving `pred` — the
+    /// current one-step support of a row, computed from the database as it
+    /// stands.
+    fn one_step_support(
+        &self,
+        pred: &PredName,
+        row: &[magic_datalog::Value],
+    ) -> Result<u64, IncrError> {
+        let mut count = 0u64;
+        for (plan_idx, plan) in self.runner.plans().iter().enumerate() {
+            if &self.head_preds[plan_idx] != pred {
+                continue;
+            }
+            count += count_derivations(plan, &self.db, row, &self.limits)
+                .map_err(IncrError::Eval)? as u64;
+        }
+        Ok(count)
+    }
+}
+
+impl MaterializedView {
+    /// Check the support invariant: for every derived row, the recorded
+    /// count equals the number of rule-body derivations recomputed from
+    /// scratch by the head-bound join (plus nothing for exogenous axioms,
+    /// which are allowed a zero count).  Test/debug helper — full-join
+    /// cost.
+    pub fn verify_support(&self) -> Result<(), String> {
+        for pred in &self.derived_preds {
+            let Some(rel) = self.db.relation(pred) else {
+                continue;
+            };
+            for row in rel.iter() {
+                let expected = self
+                    .one_step_support(pred, row)
+                    .map_err(|e| e.to_string())?;
+                let recorded = self.support.get(pred, row);
+                if recorded != expected {
+                    return Err(format!(
+                        "support drift for {pred}{row:?}: recorded {recorded}, \
+                         recomputed {expected}"
+                    ));
+                }
+                if expected == 0 && !self.is_exogenous(pred, row) {
+                    return Err(format!(
+                        "unfounded row {pred}{row:?}: present with zero support"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Accumulate one operation's metrics into the view's lifetime metrics.
+fn merge_stats(into: &mut EvalStats, from: &EvalStats) {
+    into.iterations += from.iterations;
+    into.rule_firings += from.rule_firings;
+    into.facts_derived += from.facts_derived;
+    into.duplicate_derivations += from.duplicate_derivations;
+    into.join_probes += from.join_probes;
+    for (pred, n) in &from.facts_by_pred {
+        *into.facts_by_pred.entry(pred.clone()).or_insert(0) += n;
+    }
+    for (rule, n) in &from.firings_by_rule {
+        *into.firings_by_rule.entry(*rule).or_insert(0) += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::{parse_program, Value};
+    use magic_engine::Evaluator;
+
+    fn fact2(pred: &str, a: &str, b: &str) -> Fact {
+        Fact::plain(pred, vec![Value::sym(a), Value::sym(b)])
+    }
+
+    /// The view database must equal a from-scratch evaluation over its
+    /// current base facts.
+    fn assert_matches_oracle(view: &MaterializedView, label: &str) {
+        let mut edb = Database::new();
+        for (pred, rel) in view.database().iter() {
+            if !view.program().is_derived(pred) {
+                for row in rel.iter() {
+                    edb.insert(pred.clone(), row.clone());
+                }
+            }
+        }
+        // Exogenous axioms are EDB rows too.
+        for (pred, rows) in &view.exogenous {
+            for row in rows {
+                edb.insert(pred.clone(), row.clone());
+            }
+        }
+        let oracle = Evaluator::new(view.program().clone()).run(&edb).unwrap();
+        let view_facts: std::collections::BTreeSet<String> =
+            view.database().facts().map(|f| f.to_string()).collect();
+        let oracle_facts: std::collections::BTreeSet<String> =
+            oracle.database.facts().map(|f| f.to_string()).collect();
+        assert_eq!(view_facts, oracle_facts, "{label}: view != oracle");
+        view.verify_support()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+    }
+
+    #[test]
+    fn grandparent_retraction_uses_exact_counting() {
+        // Non-recursive: the counting path must be selected and stay exact
+        // even when one grandparent pair has several derivations.
+        let program = parse_program("gp(X, Z) :- par(X, Y), par(Y, Z).").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b1");
+        db.insert_pair("par", "a", "b2");
+        db.insert_pair("par", "b1", "c");
+        db.insert_pair("par", "b2", "c");
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        assert_eq!(
+            view.retract_strategy(&PredName::plain("par")),
+            RetractStrategy::Counting
+        );
+        let gp = Fact::plain("gp", vec![Value::sym("a"), Value::sym("c")]);
+        assert_eq!(view.support_of(&gp), 2);
+
+        // Removing one path keeps gp(a, c) with one derivation left.
+        view.retract(&fact2("par", "a", "b1")).unwrap();
+        assert!(view.database().contains(&gp));
+        assert_eq!(view.support_of(&gp), 1);
+        assert_matches_oracle(&view, "after first retraction");
+
+        // Removing the second path deletes it.
+        view.retract(&fact2("par", "b2", "c")).unwrap();
+        assert!(!view.database().contains(&gp));
+        assert_matches_oracle(&view, "after second retraction");
+    }
+
+    #[test]
+    fn triangle_rule_discounts_multi_occurrence_losses_once() {
+        // e occurs three times in the body; retracting an edge that is
+        // used at several occurrences of the same derivation must
+        // decrement that derivation exactly once.
+        let program = parse_program("tri(X) :- e(X, Y), e(Y, Z), e(Z, X).").unwrap();
+        let mut db = Database::new();
+        // Triangle a-b-c plus a self-loop at d (uses the same edge three
+        // times in one derivation).
+        db.insert_pair("e", "a", "b");
+        db.insert_pair("e", "b", "c");
+        db.insert_pair("e", "c", "a");
+        db.insert_pair("e", "d", "d");
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        assert_eq!(
+            view.retract_strategy(&PredName::plain("e")),
+            RetractStrategy::Counting
+        );
+        assert_matches_oracle(&view, "initial");
+
+        view.retract(&fact2("e", "d", "d")).unwrap();
+        assert_matches_oracle(&view, "after self-loop retraction");
+        assert!(!view
+            .database()
+            .contains(&Fact::plain("tri", vec![Value::sym("d")])));
+
+        view.retract(&fact2("e", "b", "c")).unwrap();
+        assert_matches_oracle(&view, "after triangle edge retraction");
+        assert!(!view
+            .database()
+            .contains(&Fact::plain("tri", vec![Value::sym("a")])));
+    }
+
+    #[test]
+    fn recursive_cone_selects_dred_and_rederives_alternatives() {
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("par", "b", "c");
+        db.insert_pair("par", "a", "c"); // alternative path to c
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        assert_eq!(
+            view.retract_strategy(&PredName::plain("par")),
+            RetractStrategy::DRed
+        );
+        view.retract(&fact2("par", "b", "c")).unwrap();
+        // anc(a, c) survives through the direct edge; anc(b, c) is gone.
+        assert!(view.database().contains(&fact2("anc", "a", "c")));
+        assert!(!view.database().contains(&fact2("anc", "b", "c")));
+        assert_matches_oracle(&view, "after retraction with alternative");
+    }
+
+    #[test]
+    fn cyclic_support_is_torn_down() {
+        // The classic DRed test: on a cycle, every anc fact supports the
+        // others; retracting the one bridge edge must not leave the island
+        // alive.
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("par", "b", "c");
+        db.insert_pair("par", "c", "a"); // cycle a -> b -> c -> a
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        assert_eq!(view.database().count(&PredName::plain("anc")), 9);
+
+        view.retract(&fact2("par", "b", "c")).unwrap();
+        assert_matches_oracle(&view, "after breaking the cycle");
+        // Only a -> b and c -> a -> b remain.
+        assert_eq!(view.database().count(&PredName::plain("anc")), 3);
+    }
+
+    #[test]
+    fn insert_then_retract_restores_the_original_view() {
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            db.insert_pair("par", a, b);
+        }
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        let before: std::collections::BTreeSet<String> =
+            view.database().facts().map(|f| f.to_string()).collect();
+        let edge = fact2("par", "d", "e");
+        assert!(view.insert(&edge).unwrap());
+        assert!(!view.insert(&edge).unwrap()); // duplicate is a no-op
+        assert_eq!(view.database().count(&PredName::plain("anc")), 10);
+        assert_matches_oracle(&view, "after insert");
+        assert!(view.retract(&edge).unwrap());
+        assert!(!view.retract(&edge).unwrap()); // absent is a no-op
+        let after: std::collections::BTreeSet<String> =
+            view.database().facts().map(|f| f.to_string()).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn batched_apply_coalesces_inserts() {
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        let report = view
+            .apply(vec![
+                Update::Insert(fact2("par", "b", "c")),
+                Update::Insert(fact2("par", "c", "d")),
+                Update::Retract(fact2("par", "a", "b")),
+                Update::Insert(fact2("par", "a", "b")), // back again
+                Update::Retract(fact2("par", "zz", "zz")), // absent: no-op
+            ])
+            .unwrap();
+        assert_eq!(report.applied, 4);
+        assert_eq!(report.no_ops, 1);
+        assert_eq!(view.database().count(&PredName::plain("anc")), 6);
+        assert_matches_oracle(&view, "after batched apply");
+    }
+
+    #[test]
+    fn failed_apply_still_propagates_the_applied_prefix() {
+        // A batch that errors mid-way must leave the view at a fixpoint:
+        // the coalesced inserts before the failure are flushed, not
+        // stranded in the database with stale support.
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        let err = view
+            .apply(vec![
+                Update::Insert(fact2("par", "b", "c")),
+                Update::Insert(fact2("anc", "x", "y")), // derived: rejected
+                Update::Insert(fact2("par", "c", "d")), // dropped
+            ])
+            .unwrap_err();
+        assert!(matches!(err, IncrError::NotABasePredicate { .. }));
+        // par(b, c) was applied and must be fully propagated.
+        assert!(view.database().contains(&fact2("anc", "a", "c")));
+        assert!(!view.database().contains(&fact2("par", "c", "d")));
+        assert_matches_oracle(&view, "after failed batch");
+    }
+
+    #[test]
+    fn derived_predicates_reject_updates() {
+        let program = parse_program("anc(X, Y) :- par(X, Y).").unwrap();
+        let db = Database::new();
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        let err = view.insert(&fact2("anc", "a", "b")).unwrap_err();
+        assert!(matches!(err, IncrError::NotABasePredicate { .. }));
+        let err = view
+            .insert(&Fact::plain("par", vec![Value::sym("a")]))
+            .unwrap_err();
+        assert!(matches!(err, IncrError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn exogenous_derived_rows_survive_retraction() {
+        // anc(x, y) arrives through the EDB (an axiom, not derived);
+        // retracting base support must not delete it.
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("anc", "x", "y"); // exogenous axiom
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        view.retract(&fact2("par", "a", "b")).unwrap();
+        assert!(view.database().contains(&fact2("anc", "x", "y")));
+        assert!(!view.database().contains(&fact2("anc", "a", "b")));
+        assert_matches_oracle(&view, "after retracting all base support");
+    }
+
+    #[test]
+    fn mixed_cone_routes_by_predicate() {
+        // par feeds the recursive anc; tag only feeds the non-recursive
+        // label: the two base predicates get different strategies.
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).
+             label(X, L) :- tag(X, L).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("tag", "a", "red");
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        assert_eq!(
+            view.retract_strategy(&PredName::plain("par")),
+            RetractStrategy::DRed
+        );
+        assert_eq!(
+            view.retract_strategy(&PredName::plain("tag")),
+            RetractStrategy::Counting
+        );
+        view.retract(&fact2("tag", "a", "red")).unwrap();
+        assert!(!view.database().contains(&fact2("label", "a", "red")));
+        assert_matches_oracle(&view, "after counting retraction");
+    }
+}

@@ -65,6 +65,26 @@ impl Database {
             .or_insert_with(|| Relation::new(arity))
     }
 
+    /// Remove a row from the relation of `pred`; returns `true` if it was
+    /// present.  Rebuild-based — see [`Relation::remove_rows`] for batching.
+    pub fn remove(&mut self, pred: &PredName, row: &[Value]) -> bool {
+        self.relations
+            .get_mut(pred)
+            .is_some_and(|rel| rel.remove(row))
+    }
+
+    /// Remove a fact; returns `true` if it was present.
+    pub fn remove_fact(&mut self, fact: &Fact) -> bool {
+        self.remove(&fact.pred, &fact.values)
+    }
+
+    /// Remove a whole relation, returning it if present.  Used to clean up
+    /// scratch relations (e.g. the overdeletion shadow predicates of
+    /// incremental maintenance) after a pass over the database.
+    pub fn remove_relation(&mut self, pred: &PredName) -> Option<Relation> {
+        self.relations.remove(pred)
+    }
+
     /// True iff the database contains the fact.
     pub fn contains(&self, fact: &Fact) -> bool {
         self.relations

@@ -24,7 +24,9 @@
 pub mod database;
 pub mod fxhash;
 pub mod relation;
+pub mod support;
 
 pub use database::Database;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
 pub use relation::{Relation, Row};
+pub use support::SupportTable;

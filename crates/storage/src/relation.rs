@@ -226,6 +226,76 @@ impl Relation {
         out
     }
 
+    /// The stored id of `row`, if present.
+    pub fn id_of(&self, row: &[Value]) -> Option<usize> {
+        self.dedup.get(&hash_row(row)).and_then(|bucket| {
+            bucket
+                .ids()
+                .iter()
+                .map(|&id| id as usize)
+                .find(|&id| self.rows[id] == row)
+        })
+    }
+
+    /// Remove one row; returns `true` if it was present.
+    ///
+    /// Removal is rebuild-based (see [`Relation::remove_rows`]); callers
+    /// with several rows to drop should batch them into one call.
+    pub fn remove(&mut self, row: &[Value]) -> bool {
+        match self.id_of(row) {
+            Some(id) => {
+                self.rebuild_without(&std::iter::once(id).collect());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove every row of `rows` that is present; returns how many were.
+    ///
+    /// Removal compacts the row store, so **row ids shift**: any ids or
+    /// delta marks taken before a removal are invalidated.  The dedup
+    /// table is rebuilt and every existing index is rebuilt on its same
+    /// position pattern (so previously ensured access paths stay warm).
+    /// One call costs `O(stored rows + removed)` regardless of how many
+    /// rows are removed — batch removals accordingly.
+    pub fn remove_rows(&mut self, rows: &[Row]) -> usize {
+        let dead: HashSet<usize> = rows.iter().filter_map(|row| self.id_of(row)).collect();
+        if dead.is_empty() {
+            return 0;
+        }
+        self.rebuild_without(&dead);
+        dead.len()
+    }
+
+    /// Drop the rows with the given ids and rebuild dedup + indexes.
+    fn rebuild_without(&mut self, dead: &HashSet<usize>) {
+        let old = std::mem::take(&mut self.rows);
+        self.rows = old
+            .into_iter()
+            .enumerate()
+            .filter(|(id, _)| !dead.contains(id))
+            .map(|(_, row)| row)
+            .collect();
+        self.dedup.clear();
+        for (id, row) in self.rows.iter().enumerate() {
+            let id32 = u32::try_from(id).expect("relation exceeds u32::MAX rows");
+            match self.dedup.entry(hash_row(row)) {
+                std::collections::hash_map::Entry::Occupied(mut entry) => {
+                    entry.get_mut().push(id32)
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(HashBucket::One(id32));
+                }
+            }
+        }
+        let patterns: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
+        self.indexes.clear();
+        for positions in patterns {
+            self.ensure_index(&positions);
+        }
+    }
+
     /// Merge all rows of `other` into `self`; returns the number of new rows.
     pub fn merge(&mut self, other: &Relation) -> usize {
         let mut added = 0;
@@ -380,6 +450,45 @@ mod tests {
         assert_eq!(a, b);
         b.insert(vec![v("z")]);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn remove_keeps_dedup_and_indexes_consistent() {
+        let mut r = Relation::new(2);
+        r.insert(vec![v("a"), v("b")]);
+        r.insert(vec![v("a"), v("c")]);
+        r.insert(vec![v("d"), v("e")]);
+        r.ensure_index(&[0]);
+        assert!(r.remove(&[v("a"), v("b")]));
+        assert!(!r.remove(&[v("a"), v("b")]));
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&[v("a"), v("b")]));
+        // Index answers reflect the removal and later inserts still work.
+        assert_eq!(r.lookup(&[0], &[v("a")]).unwrap().len(), 1);
+        assert!(r.insert(vec![v("a"), v("b")]));
+        assert_eq!(r.lookup(&[0], &[v("a")]).unwrap().len(), 2);
+        assert!(r
+            .lookup(&[0], &[v("a")])
+            .unwrap()
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn remove_rows_batches_and_reports_presence() {
+        let mut r = Relation::new(1);
+        for s in ["a", "b", "c", "d"] {
+            r.insert(vec![v(s)]);
+        }
+        let removed = r.remove_rows(&[vec![v("b")], vec![v("zzz")], vec![v("d")]]);
+        assert_eq!(removed, 2);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[v("a")]));
+        assert!(r.contains(&[v("c")]));
+        // Ids compact in order.
+        assert_eq!(r.id_of(&[v("a")]), Some(0));
+        assert_eq!(r.id_of(&[v("c")]), Some(1));
+        assert_eq!(r.id_of(&[v("b")]), None);
     }
 
     #[test]

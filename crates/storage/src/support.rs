@@ -1,0 +1,172 @@
+//! Per-row derivation-support counts for incremental view maintenance.
+//!
+//! A [`SupportTable`] records, for each derived row of a materialized view,
+//! how many distinct rule-body instantiations currently derive it.  The
+//! incremental layer (`magic-incr`) keeps the counts *exact* by enumerating
+//! every derivation exactly once (the disjoint semi-naive window
+//! discipline); retraction then becomes reference-count maintenance: a row
+//! whose support reaches zero has no remaining derivation and is deleted,
+//! and its deletion propagates.  For predicates whose support can be cyclic
+//! (recursive cones) the counts alone are not a sound deletion criterion —
+//! that is the delete-and-rederive (DRed) fallback's job — but they stay
+//! exact either way, which the test suite checks against the head-bound
+//! join oracle.
+//!
+//! The table is storage-layer state rather than engine state because it is
+//! part of what a materialized relation *is* under maintenance: rows plus
+//! their support.
+
+use crate::fxhash::FxHashMap;
+use crate::relation::Row;
+use magic_datalog::PredName;
+use std::collections::BTreeMap;
+
+/// Exact per-row derivation counts, keyed by predicate then row.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SupportTable {
+    counts: BTreeMap<PredName, FxHashMap<Row, u64>>,
+}
+
+impl SupportTable {
+    /// An empty table.
+    pub fn new() -> SupportTable {
+        SupportTable::default()
+    }
+
+    /// Add `n` derivations of `row` under `pred`; returns the new count.
+    ///
+    /// The row is cloned only when it is first seen under the predicate.
+    pub fn add(&mut self, pred: &PredName, row: &[magic_datalog::Value], n: u64) -> u64 {
+        let by_row = match self.counts.get_mut(pred) {
+            Some(by_row) => by_row,
+            None => self.counts.entry(pred.clone()).or_default(),
+        };
+        match by_row.get_mut(row) {
+            Some(count) => {
+                *count += n;
+                *count
+            }
+            None => {
+                by_row.insert(row.to_vec(), n);
+                n
+            }
+        }
+    }
+
+    /// Subtract `n` derivations of `row` under `pred`; returns the
+    /// remaining count.  A count that reaches zero drops its entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the row's recorded support is smaller
+    /// than `n` — the incremental algebra never over-subtracts; doing so
+    /// means counts and derivations have drifted apart.
+    pub fn sub(&mut self, pred: &PredName, row: &[magic_datalog::Value], n: u64) -> u64 {
+        let Some(by_row) = self.counts.get_mut(pred) else {
+            debug_assert!(n == 0, "subtracting support from an untracked predicate");
+            return 0;
+        };
+        let Some(count) = by_row.get_mut(row) else {
+            debug_assert!(n == 0, "subtracting support from an untracked row");
+            return 0;
+        };
+        debug_assert!(*count >= n, "support underflow: {count} - {n}");
+        *count = count.saturating_sub(n);
+        if *count == 0 {
+            by_row.remove(row);
+            0
+        } else {
+            *count
+        }
+    }
+
+    /// The recorded support of `row` under `pred` (zero if untracked).
+    pub fn get(&self, pred: &PredName, row: &[magic_datalog::Value]) -> u64 {
+        self.counts
+            .get(pred)
+            .and_then(|by_row| by_row.get(row))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Drop the entry of `row` under `pred` regardless of its count;
+    /// returns the count it had.
+    pub fn remove(&mut self, pred: &PredName, row: &[magic_datalog::Value]) -> u64 {
+        self.counts
+            .get_mut(pred)
+            .and_then(|by_row| by_row.remove(row))
+            .unwrap_or(0)
+    }
+
+    /// Iterate over the tracked rows of `pred` with their counts.
+    pub fn rows_of(&self, pred: &PredName) -> impl Iterator<Item = (&Row, u64)> + '_ {
+        self.counts
+            .get(pred)
+            .into_iter()
+            .flat_map(|by_row| by_row.iter().map(|(row, &n)| (row, n)))
+    }
+
+    /// The predicates with at least one tracked row.
+    pub fn preds(&self) -> impl Iterator<Item = &PredName> + '_ {
+        self.counts
+            .iter()
+            .filter(|(_, by_row)| !by_row.is_empty())
+            .map(|(pred, _)| pred)
+    }
+
+    /// Total number of tracked rows across all predicates.
+    pub fn tracked_rows(&self) -> usize {
+        self.counts.values().map(FxHashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_datalog::Value;
+
+    fn row(s: &str) -> Row {
+        vec![Value::sym(s)]
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut t = SupportTable::new();
+        let p = PredName::plain("p");
+        assert_eq!(t.add(&p, &row("a"), 2), 2);
+        assert_eq!(t.add(&p, &row("a"), 3), 5);
+        assert_eq!(t.get(&p, &row("a")), 5);
+        assert_eq!(t.sub(&p, &row("a"), 4), 1);
+        assert_eq!(t.sub(&p, &row("a"), 1), 0);
+        // Entry dropped at zero.
+        assert_eq!(t.get(&p, &row("a")), 0);
+        assert_eq!(t.tracked_rows(), 0);
+    }
+
+    #[test]
+    fn per_predicate_isolation() {
+        let mut t = SupportTable::new();
+        let p = PredName::plain("p");
+        let q = PredName::plain("q");
+        t.add(&p, &row("a"), 1);
+        t.add(&q, &row("a"), 7);
+        assert_eq!(t.get(&p, &row("a")), 1);
+        assert_eq!(t.get(&q, &row("a")), 7);
+        assert_eq!(t.remove(&q, &row("a")), 7);
+        assert_eq!(t.get(&q, &row("a")), 0);
+        let preds: Vec<_> = t.preds().collect();
+        assert_eq!(preds, vec![&p]);
+    }
+
+    #[test]
+    fn rows_of_lists_tracked_rows() {
+        let mut t = SupportTable::new();
+        let p = PredName::plain("p");
+        t.add(&p, &row("a"), 1);
+        t.add(&p, &row("b"), 2);
+        let mut rows: Vec<(String, u64)> =
+            t.rows_of(&p).map(|(r, n)| (r[0].to_string(), n)).collect();
+        rows.sort();
+        assert_eq!(rows, vec![("a".into(), 1), ("b".into(), 2)]);
+    }
+}

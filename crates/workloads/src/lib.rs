@@ -15,8 +15,12 @@ pub mod lists;
 pub mod programs;
 pub mod rng;
 pub mod same_generation;
+pub mod updates;
 
+pub use ancestor::node;
 pub use ancestor::{binary_tree, chain, cycle, random_dag};
 pub use lists::{list_term, list_value, reverse_database};
 pub use rng::SplitMix64;
+pub use same_generation::grid_node;
 pub use same_generation::{nested_sg_extras, same_generation_grid, SgConfig};
+pub use updates::{ancestor_update_stream, same_generation_update_stream, UpdateOp};

@@ -1,0 +1,201 @@
+//! Streaming update generators: deterministic insert/retract sequences
+//! over the paper's benchmark shapes, for exercising and benchmarking
+//! incremental view maintenance.
+//!
+//! Streams are *stateful*: the generator tracks the current fact set, so
+//! insertions are always new facts and retractions always hit present
+//! facts — every generated op is a real state change, which is what an
+//! incremental-maintenance bench or equivalence test wants to measure.
+
+use crate::rng::SplitMix64;
+use crate::{grid_node, node, SgConfig};
+use magic_datalog::{Fact, Value};
+use std::collections::BTreeSet;
+
+/// One streamed update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateOp {
+    /// Insert a base fact that is currently absent.
+    Insert(Fact),
+    /// Retract a base fact that is currently present.
+    Retract(Fact),
+}
+
+impl UpdateOp {
+    /// The fact being inserted or retracted.
+    pub fn fact(&self) -> &Fact {
+        match self {
+            UpdateOp::Insert(f) | UpdateOp::Retract(f) => f,
+        }
+    }
+
+    /// True for insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, UpdateOp::Insert(_))
+    }
+}
+
+fn pair_fact(pred: &str, a: String, b: String) -> Fact {
+    Fact::plain(pred, vec![Value::sym(&a), Value::sym(&b)])
+}
+
+/// A stateful stream generator over binary facts: draws random inserts of
+/// absent candidate facts and retracts of present ones.
+struct PairStream {
+    rng: SplitMix64,
+    /// Facts currently present, as candidate-index pairs.
+    present: BTreeSet<usize>,
+    /// Probability numerator (out of 100) of drawing an insert.
+    insert_pct: u32,
+}
+
+impl PairStream {
+    fn next_op(
+        &mut self,
+        candidates: usize,
+        fact_of: &mut impl FnMut(usize) -> Fact,
+    ) -> Option<UpdateOp> {
+        let want_insert = self.present.is_empty()
+            || (self.present.len() < candidates && self.rng.random_ratio(self.insert_pct, 100));
+        if want_insert {
+            // Rejection-sample an absent candidate; the candidate space is
+            // at most a small constant factor larger than the present set.
+            for _ in 0..(4 * candidates).max(16) {
+                let i = self.rng.random_range(0..candidates);
+                if self.present.insert(i) {
+                    return Some(UpdateOp::Insert(fact_of(i)));
+                }
+            }
+            None
+        } else {
+            let nth = self.rng.random_range(0..self.present.len());
+            let &i = self.present.iter().nth(nth).expect("nth < len");
+            self.present.remove(&i);
+            Some(UpdateOp::Retract(fact_of(i)))
+        }
+    }
+}
+
+/// A deterministic insert/retract stream of `par` edges over the node set
+/// of an `n`-node ancestor workload.
+///
+/// Candidate edges are `par(node(i), node(j))` for `i, j < n`; the stream
+/// starts from the chain edges `par(node(i), node(i+1))` being present (the
+/// state [`crate::chain`]`(n - 1)` produces, so a stream can be replayed
+/// directly against a view materialized over that database).
+/// `insert_pct` of the ops (roughly) are insertions.
+pub fn ancestor_update_stream(n: usize, ops: usize, insert_pct: u32, seed: u64) -> Vec<UpdateOp> {
+    assert!(n >= 2, "need at least two nodes");
+    let candidates = n * n;
+    let present: BTreeSet<usize> = (0..n - 1).map(|i| i * n + (i + 1)).collect();
+    let mut stream = PairStream {
+        rng: SplitMix64::seed_from_u64(seed),
+        present,
+        insert_pct,
+    };
+    let mut fact_of = |i: usize| pair_fact("par", node(i / n), node(i % n));
+    (0..ops)
+        .filter_map(|_| stream.next_op(candidates, &mut fact_of))
+        .collect()
+}
+
+/// A deterministic insert/retract stream of `flat` edges over the node set
+/// of a same-generation grid (see [`crate::same_generation_grid`]).
+///
+/// The `up`/`down` skeleton is left untouched (retracting it mostly
+/// disconnects the query constant); the stream churns the `flat` relation,
+/// which is where same-generation derivations actually branch.  The stream
+/// assumes the `flat_everywhere` grid as its starting state.
+pub fn same_generation_update_stream(
+    config: SgConfig,
+    ops: usize,
+    insert_pct: u32,
+    seed: u64,
+) -> Vec<UpdateOp> {
+    assert!(config.width >= 2, "need at least two columns");
+    let levels = config.depth + 1;
+    let width = config.width;
+    // Candidate flat edges: any ordered pair of distinct columns per level.
+    let per_level = width * (width - 1);
+    let candidates = levels * per_level;
+    let index_of = |level: usize, a: usize, b: usize| {
+        debug_assert_ne!(a, b);
+        let pair = a * (width - 1) + if b < a { b } else { b - 1 };
+        level * per_level + pair
+    };
+    // The grid starts with bidirectional adjacent-column edges (on every
+    // level, or only the top one — mirror `same_generation_grid`).
+    let mut present = BTreeSet::new();
+    for level in 0..levels {
+        if !config.flat_everywhere && level != config.depth {
+            continue;
+        }
+        for col in 0..width - 1 {
+            present.insert(index_of(level, col, col + 1));
+            present.insert(index_of(level, col + 1, col));
+        }
+    }
+    let mut stream = PairStream {
+        rng: SplitMix64::seed_from_u64(seed),
+        present,
+        insert_pct,
+    };
+    let mut fact_of = |i: usize| {
+        let level = i / per_level;
+        let pair = i % per_level;
+        let a = pair / (width - 1);
+        let rest = pair % (width - 1);
+        let b = if rest < a { rest } else { rest + 1 };
+        pair_fact("flat", grid_node(level, a), grid_node(level, b))
+    };
+    (0..ops)
+        .filter_map(|_| stream.next_op(candidates, &mut fact_of))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::same_generation_grid;
+    use magic_storage::Database;
+
+    /// Replaying a stream against its starting database must keep every op
+    /// a real state change.
+    fn assert_state_changing(start: &Database, stream: &[UpdateOp]) {
+        let mut db = start.clone();
+        for op in stream {
+            match op {
+                UpdateOp::Insert(f) => assert!(db.insert_fact(f), "{f:?} was present"),
+                UpdateOp::Retract(f) => assert!(db.remove_fact(f), "{f:?} was absent"),
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_stream_is_deterministic_and_state_changing() {
+        let a = ancestor_update_stream(8, 60, 60, 0xFEED);
+        let b = ancestor_update_stream(8, 60, 60, 0xFEED);
+        assert_eq!(a, b);
+        assert_ne!(a, ancestor_update_stream(8, 60, 60, 0xBEEF));
+        assert!(a.len() >= 50, "stream should rarely drop ops");
+        assert_state_changing(&crate::chain(7), &a);
+        assert!(a.iter().any(UpdateOp::is_insert));
+        assert!(a.iter().any(|op| !op.is_insert()));
+    }
+
+    #[test]
+    fn sg_stream_matches_grid_start_state() {
+        let cfg = SgConfig {
+            depth: 2,
+            width: 4,
+            flat_everywhere: true,
+        };
+        let stream = same_generation_update_stream(cfg, 40, 50, 0x5EED);
+        assert!(!stream.is_empty());
+        assert_state_changing(&same_generation_grid(cfg), &stream);
+        // Only flat facts are streamed.
+        for op in &stream {
+            assert_eq!(op.fact().pred.to_string(), "flat");
+        }
+    }
+}

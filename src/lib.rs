@@ -14,6 +14,8 @@
 //! * [`magic`] — the paper's contribution: sips, adornment, the four
 //!   rewrites, semijoin optimization, safety and optimality analyses
 //!   (`magic-core`).
+//! * [`incr`] — incremental view maintenance: live insert/retract over
+//!   materialized magic-set views (`magic-incr`).
 //! * [`workloads`] — synthetic data generators (`magic-workloads`).
 //!
 //! See the `examples/` directory for end-to-end usage and the `tests/`
@@ -24,6 +26,7 @@
 pub use magic_core as magic;
 pub use magic_datalog as lang;
 pub use magic_engine as engine;
+pub use magic_incr as incr;
 pub use magic_storage as storage;
 pub use magic_workloads as workloads;
 
