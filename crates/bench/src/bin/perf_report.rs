@@ -1,16 +1,19 @@
 //! Performance snapshot: run the paper's four Appendix benchmark scenarios
-//! under every planner strategy, plus the `incr_*` incremental-maintenance
-//! scenarios (single-fact insert/retract against a live magic-set view vs
-//! from-scratch re-evaluation), and write a machine-readable JSON report.
+//! under every planner strategy, plus the large-scale stress scenarios
+//! (`ancestor/chain/8192`, `same_generation/64x64`) and the `incr_*`
+//! incremental-maintenance scenarios (single-fact insert/retract against a
+//! live magic-set view vs from-scratch re-evaluation), and write a
+//! machine-readable JSON report.
 //!
 //! The report is the per-PR performance trajectory for this repository:
-//! PR 1 checked in `BENCH_PR1.json`, PR 2 adds the `incr_*` scenarios and
-//! checks in `BENCH_PR2.json`; the classic scenarios' probe counts must
-//! not move between the two.  Usage:
+//! PR 1 checked in `BENCH_PR1.json`, PR 2 added the `incr_*` scenarios
+//! (`BENCH_PR2.json`), PR 3 moves storage to interned packed rows and adds
+//! the stress scenarios (`BENCH_PR3.json`); the pre-existing scenarios'
+//! probe counts must not move between snapshots.  Usage:
 //!
 //! ```text
 //! cargo run --release -p magic-bench --bin perf_report -- \
-//!     [--out BENCH_PR2.json] [--baseline BENCH_PR1.json] [--quick] \
+//!     [--out BENCH_PR3.json] [--baseline BENCH_PR2.json] [--quick] \
 //!     [--filter <scenario-substring>] [--strategy <short-name>]...
 //! ```
 //!
@@ -96,6 +99,25 @@ fn skip_reason(scenario: &str, strategy: Strategy) -> Option<String> {
         return Some(
             "naive evaluation re-derives the full quadratic closure every iteration; \
              it needs hours on a 1024-edge chain"
+                .into(),
+        );
+    }
+    if scenario.starts_with("ancestor/chain/8192")
+        && !matches!(
+            strategy,
+            Strategy::CountingSemijoin | Strategy::SupplementaryCountingSemijoin
+        )
+    {
+        return Some(
+            "the quadratic closure of an 8192-edge chain (~33.5M pairs) exceeds the \
+             fact budget; only the linear counting+semijoin strategies run at this scale"
+                .into(),
+        );
+    }
+    if scenario.starts_with("same_generation/64x64") && strategy == Strategy::NaiveBottomUp {
+        return Some(
+            "naive re-derivation over the 64x64 grid exceeds the wall budget; the \
+             semi-naive baseline covers the unrewritten comparison"
                 .into(),
         );
     }
@@ -411,7 +433,7 @@ fn json_escape(s: &str) -> String {
 fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"pr\": 2,");
+    let _ = writeln!(out, "  \"pr\": 3,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(engine));
     let _ = writeln!(
         out,
@@ -499,10 +521,10 @@ fn baseline_wall_secs(snapshot: &str, scenario: &str, strategy: &str) -> Option<
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut out_path = "BENCH_PR3.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut quick = false;
-    let mut engine = "slot-compiled+incr".to_string();
+    let mut engine = "packed-rows+incr".to_string();
     let mut filter: Option<String> = None;
     let mut strategies: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -533,6 +555,11 @@ fn main() {
             same_generation(6, 8),
             nested_same_generation(4, 6),
             list_reverse(64),
+            // Large-scale stress cases: an 8192-edge chain (linear
+            // strategies only, see skip_reason) and a 64x64
+            // same-generation grid.
+            ancestor_chain(8192),
+            same_generation(64, 64),
         ]
     };
 

@@ -174,10 +174,32 @@ impl Plan {
         let evaluator = Evaluator::new(self.program.clone())
             .with_limits(self.limits)
             .with_scheme(self.scheme);
-        let mut result = evaluator.run(edb)?;
-        // Index the answer atom's bound-constant positions so the answer
-        // projection probes the index instead of scanning the relation.
-        magic_engine::answers::ensure_atom_index(&mut result.database, &self.answer_atom);
+        // Index the answer atom's bound-constant positions *before*
+        // evaluation: building it on the (empty or small) pre-derivation
+        // relation is free, and every insert then maintains it
+        // incrementally — the answer projection probes a warm index with
+        // no post-run rebuild scan over the derived rows.
+        //
+        // Guard: `ensure_atom_index` creates the relation if absent, and a
+        // relation created at the *query's* arity would make evaluation of
+        // a program that derives the same predicate at a different arity
+        // fail — whereas a mistyped query historically just returned no
+        // answers.  Only pre-ensure when the query's arity agrees with
+        // whatever the database or the program already says.
+        let mut db = edb.clone();
+        let stored_arity = db.relation(&self.answer_atom.pred).map(|r| r.arity());
+        let declared_arity = self
+            .program
+            .predicate_arities()
+            .ok()
+            .and_then(|arities| arities.get(&self.answer_atom.pred).copied());
+        let arity_consistent = stored_arity
+            .or(declared_arity)
+            .is_none_or(|arity| arity == self.answer_atom.arity());
+        if arity_consistent {
+            magic_engine::answers::ensure_atom_index(&mut db, &self.answer_atom);
+        }
+        let result = evaluator.run_db(db)?;
         let answers = project_answers(&result.database, &self.answer_atom, &self.projection);
         let accounting = account(&result.database, &self.base_preds);
         Ok(PlanResult {
@@ -419,6 +441,21 @@ mod tests {
             .plan(&program, &query)
             .unwrap();
         assert!(baseline.safety().is_none());
+    }
+
+    #[test]
+    fn arity_mismatched_query_returns_no_answers_not_an_error() {
+        // anc is derived at arity 2; querying it at arity 1 is a user
+        // mistake that has always meant "no answers".  The pre-evaluation
+        // answer-index ensure must not turn it into an ArityMismatch by
+        // creating the relation at the query's arity.
+        let program = ancestor_program();
+        let query = magic_datalog::parse_query("anc(n0)").unwrap();
+        let db = chain_db(4);
+        let result = Planner::new(Strategy::SemiNaiveBottomUp)
+            .evaluate(&program, &query, &db)
+            .unwrap();
+        assert!(result.answers.is_empty());
     }
 
     #[test]

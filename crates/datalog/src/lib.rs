@@ -32,6 +32,7 @@
 
 pub mod adornment;
 pub mod analysis;
+pub mod arena;
 pub mod atom;
 pub mod error;
 pub mod parser;
@@ -44,6 +45,7 @@ pub mod term;
 
 pub use adornment::{Adornment, Binding};
 pub use analysis::{recursion_kind, DependencyGraph, RecursionKind};
+pub use arena::ValId;
 pub use atom::{Atom, Fact};
 pub use error::DatalogError;
 pub use parser::{parse_program, parse_query, parse_rule, parse_source, parse_term, ParsedSource};

@@ -6,23 +6,33 @@
 //! tuple hashes `Variable` keys, clones `Vec`s of variables and
 //! inserts/removes map entries.  A [`SlotTerm`] is a [`Term`] whose
 //! variables have been resolved — once, at rule-compile time — to dense
-//! slot ids `0..n` local to one rule; evaluation then runs against a flat
-//! frame `[Option<Value>]` indexed by slot id, and bindings are undone by
-//! truncating a trail of slot ids instead of removing map entries.
+//! slot ids `0..n` local to one rule, and whose ground subterms have been
+//! interned to [`ValId`]s; evaluation then runs against a flat frame
+//! `[ValId]` indexed by slot id ([`ValId::NULL`] means unbound), and
+//! bindings are undone by truncating a trail of slot ids instead of
+//! removing map entries.
+//!
+//! Since relations store interned rows (see `magic_storage`), matching a
+//! check term against a candidate value is a `u32` compare for constants
+//! and a four-byte copy for a fresh variable binding — no `Value` clone,
+//! no `Arc` refcount traffic, no hashing.  Only compound patterns with
+//! variables descend into the arena's (lock-free) node table.
 //!
 //! The engine's `RulePlan` performs the numbering (see
 //! `magic_engine::plan`); this module provides the compiled representation
 //! and its two evaluation primitives, [`SlotTerm::eval_slots`] and
 //! [`SlotTerm::match_value_slots`].
 
+use crate::arena::ValId;
 use crate::symbol::Symbol;
-use crate::term::{LinearExpr, Term, Value, Variable};
+use crate::term::{LinearExpr, Term, Variable};
 
-/// A binding frame: one optional ground value per rule-local variable slot.
+/// A binding frame: one [`ValId`] per rule-local variable slot, with
+/// [`ValId::NULL`] marking unbound slots.
 ///
 /// Allocated once per rule evaluation and reused across every candidate
 /// tuple; the engine unwinds it through a trail of slot ids.
-pub type Frame = Vec<Option<Value>>;
+pub type Frame = Vec<ValId>;
 
 /// A trail of slot ids bound since some mark, used to unwind a [`Frame`]
 /// without scanning it.
@@ -33,23 +43,22 @@ pub type Trail = Vec<u32>;
 /// [`SlotTerm::match_value_slots`]'s failure path and the engine's per-row
 /// backtracking.
 #[inline]
-pub fn unwind(frame: &mut [Option<Value>], trail: &mut Trail, mark: usize) {
+pub fn unwind(frame: &mut [ValId], trail: &mut Trail, mark: usize) {
     for &slot in &trail[mark..] {
-        frame[slot as usize] = None;
+        frame[slot as usize] = ValId::NULL;
     }
     trail.truncate(mark);
 }
 
-/// A term whose variables are resolved to dense rule-local slot ids.
+/// A term whose variables are resolved to dense rule-local slot ids and
+/// whose ground subterms are interned to [`ValId`]s.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SlotTerm {
     /// A variable, as its slot id.
     Slot(u32),
-    /// An integer constant.
-    Int(i64),
-    /// A symbolic constant.
-    Sym(Symbol),
-    /// A function symbol applied to slot terms.
+    /// An interned ground constant (integer, symbol, or ground compound).
+    Const(ValId),
+    /// A non-ground compound: function symbol applied to slot terms.
     App(Symbol, Vec<SlotTerm>),
     /// A linear index expression `slot * mul + add` (counting rewrites).
     Linear {
@@ -65,14 +74,27 @@ pub enum SlotTerm {
 impl Term {
     /// Compile this term to slot form.  `slot_of` assigns (and memoizes) the
     /// slot id of each variable; the engine passes a closure over its dense
-    /// numbering.
+    /// numbering.  Ground subterms collapse to interned [`SlotTerm::Const`]s,
+    /// so the run-time matcher compares them as single `u32`s.
     pub fn to_slots(&self, slot_of: &mut impl FnMut(Variable) -> u32) -> SlotTerm {
         match self {
             Term::Var(v) => SlotTerm::Slot(slot_of(*v)),
-            Term::Int(i) => SlotTerm::Int(*i),
-            Term::Sym(s) => SlotTerm::Sym(*s),
+            Term::Int(i) => SlotTerm::Const(ValId::from_int(*i)),
+            Term::Sym(s) => SlotTerm::Const(ValId::from_sym(*s)),
             Term::App(f, args) => {
-                SlotTerm::App(*f, args.iter().map(|a| a.to_slots(slot_of)).collect())
+                let slotted: Vec<SlotTerm> = args.iter().map(|a| a.to_slots(slot_of)).collect();
+                if let Some(ids) = slotted
+                    .iter()
+                    .map(|t| match t {
+                        SlotTerm::Const(id) => Some(*id),
+                        _ => None,
+                    })
+                    .collect::<Option<Vec<ValId>>>()
+                {
+                    SlotTerm::Const(ValId::from_app(*f, &ids))
+                } else {
+                    SlotTerm::App(*f, slotted)
+                }
             }
             Term::Linear(l) => SlotTerm::Linear {
                 slot: slot_of(l.var),
@@ -84,41 +106,48 @@ impl Term {
 }
 
 impl SlotTerm {
-    /// Evaluate to a ground [`Value`] against `frame`.
+    /// Evaluate to an interned value against `frame`.
     ///
-    /// Returns `None` if any slot of the term is unbound (or a linear
-    /// expression is applied to a non-integer value).  The slot analogue of
-    /// [`Term::eval`].
-    pub fn eval_slots(&self, frame: &[Option<Value>]) -> Option<Value> {
+    /// Returns [`ValId::NULL`] if any slot of the term is unbound (or a
+    /// linear expression is applied to a non-integer value).  The slot
+    /// analogue of [`Term::eval`].
+    pub fn eval_slots(&self, frame: &[ValId]) -> ValId {
         match self {
-            SlotTerm::Slot(s) => frame[*s as usize].clone(),
-            SlotTerm::Int(i) => Some(Value::Int(*i)),
-            SlotTerm::Sym(s) => Some(Value::Sym(*s)),
-            SlotTerm::Linear { slot, mul, add } => match frame[*slot as usize] {
-                Some(Value::Int(i)) => Some(Value::Int(LinearExpr::eval_parts(*mul, *add, i))),
-                _ => None,
-            },
+            SlotTerm::Slot(s) => frame[*s as usize],
+            SlotTerm::Const(id) => *id,
+            SlotTerm::Linear { slot, mul, add } => {
+                let bound = frame[*slot as usize];
+                if bound.is_null() {
+                    return ValId::NULL;
+                }
+                match bound.as_int() {
+                    Some(i) => ValId::from_int(LinearExpr::eval_parts(*mul, *add, i)),
+                    None => ValId::NULL,
+                }
+            }
             SlotTerm::App(f, args) => {
-                let vals: Option<Vec<Value>> = args.iter().map(|a| a.eval_slots(frame)).collect();
-                Some(Value::app(*f, vals?))
+                let mut ids = Vec::with_capacity(args.len());
+                for a in args {
+                    let id = a.eval_slots(frame);
+                    if id.is_null() {
+                        return ValId::NULL;
+                    }
+                    ids.push(id);
+                }
+                ValId::from_app(*f, &ids)
             }
         }
     }
 
-    /// Match against a ground value, extending `frame` and recording every
-    /// newly bound slot on `trail`.  The slot analogue of
+    /// Match against an interned ground value, extending `frame` and
+    /// recording every newly bound slot on `trail`.  The slot analogue of
     /// [`Term::match_value`].
     ///
     /// Unlike the map-based primitive, a failed match leaves `frame` and
     /// `trail` exactly as they were: partial bindings are unwound here, so
     /// the caller needs no per-term bookkeeping (and no allocation) on the
     /// failure path.
-    pub fn match_value_slots(
-        &self,
-        value: &Value,
-        frame: &mut [Option<Value>],
-        trail: &mut Trail,
-    ) -> bool {
+    pub fn match_value_slots(&self, value: ValId, frame: &mut [ValId], trail: &mut Trail) -> bool {
         let mark = trail.len();
         if self.match_inner(value, frame, trail) {
             true
@@ -130,46 +159,51 @@ impl SlotTerm {
 
     /// The matching recursion; may leave partial bindings behind on failure
     /// (cleaned up by [`SlotTerm::match_value_slots`]).
-    fn match_inner(&self, value: &Value, frame: &mut [Option<Value>], trail: &mut Trail) -> bool {
+    fn match_inner(&self, value: ValId, frame: &mut [ValId], trail: &mut Trail) -> bool {
         match self {
-            SlotTerm::Slot(s) => match &frame[*s as usize] {
-                Some(existing) => existing == value,
-                None => {
-                    frame[*s as usize] = Some(value.clone());
+            SlotTerm::Slot(s) => {
+                let existing = frame[*s as usize];
+                if existing.is_null() {
+                    frame[*s as usize] = value;
                     trail.push(*s);
                     true
+                } else {
+                    existing == value
                 }
-            },
-            SlotTerm::Int(i) => matches!(value, Value::Int(j) if i == j),
-            SlotTerm::Sym(s) => matches!(value, Value::Sym(t) if s == t),
-            SlotTerm::Linear { slot, mul, add } => match value {
-                Value::Int(observed) => match &frame[*slot as usize] {
-                    Some(Value::Int(bound)) => {
-                        LinearExpr::eval_parts(*mul, *add, *bound) == *observed
-                    }
-                    Some(_) => false,
-                    None => match LinearExpr::invert_parts(*mul, *add, *observed) {
+            }
+            // Hash-consing makes structural equality an id compare.
+            SlotTerm::Const(id) => *id == value,
+            SlotTerm::Linear { slot, mul, add } => {
+                let Some(observed) = value.as_int() else {
+                    return false;
+                };
+                let bound = frame[*slot as usize];
+                if bound.is_null() {
+                    match LinearExpr::invert_parts(*mul, *add, observed) {
                         Some(x) => {
-                            frame[*slot as usize] = Some(Value::Int(x));
+                            frame[*slot as usize] = ValId::from_int(x);
                             trail.push(*slot);
                             true
                         }
                         None => false,
-                    },
-                },
-                _ => false,
-            },
-            SlotTerm::App(f, args) => match value {
-                Value::App(cell) => {
-                    let (vf, vargs) = (&cell.0, &cell.1);
-                    vf == f
+                    }
+                } else {
+                    match bound.as_int() {
+                        Some(i) => LinearExpr::eval_parts(*mul, *add, i) == observed,
+                        None => false,
+                    }
+                }
+            }
+            SlotTerm::App(f, args) => match value.as_app() {
+                Some((vf, vargs)) => {
+                    vf == *f
                         && vargs.len() == args.len()
                         && args
                             .iter()
                             .zip(vargs.iter())
-                            .all(|(t, v)| t.match_inner(v, frame, trail))
+                            .all(|(t, v)| t.match_inner(*v, frame, trail))
                 }
-                _ => false,
+                None => false,
             },
         }
     }
@@ -178,6 +212,7 @@ impl SlotTerm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::term::Value;
     use std::collections::HashMap;
 
     /// A slot numbering for tests: first-come, first-numbered.
@@ -193,59 +228,84 @@ mod tests {
         (slotted, order)
     }
 
+    fn vid(v: &Value) -> ValId {
+        ValId::intern(v)
+    }
+
     #[test]
     fn slot_compile_numbers_by_first_occurrence() {
         let t = Term::app("f", vec![Term::var("X"), Term::var("Y"), Term::var("X")]);
         let (s, order) = compile(&t);
         assert_eq!(order, vec![Variable::new("X"), Variable::new("Y")]);
-        assert_eq!(
-            s,
-            SlotTerm::App(
-                Symbol::new("f"),
-                vec![SlotTerm::Slot(0), SlotTerm::Slot(1), SlotTerm::Slot(0)]
-            )
-        );
+        match s {
+            SlotTerm::App(f, args) => {
+                assert_eq!(f, Symbol::new("f"));
+                assert_eq!(
+                    args,
+                    vec![SlotTerm::Slot(0), SlotTerm::Slot(1), SlotTerm::Slot(0)]
+                );
+            }
+            other => panic!("expected App, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_compounds_collapse_to_interned_constants() {
+        let t = Term::app("f", vec![Term::sym("a"), Term::int(3)]);
+        let (s, order) = compile(&t);
+        assert!(order.is_empty());
+        let expected = vid(&Value::app(
+            Symbol::new("f"),
+            vec![Value::sym("a"), Value::Int(3)],
+        ));
+        assert_eq!(s, SlotTerm::Const(expected));
     }
 
     #[test]
     fn eval_slots_matches_map_based_eval() {
         let t = Term::app("f", vec![Term::var("X"), Term::int(3)]);
         let (s, _) = compile(&t);
-        let mut frame: Frame = vec![None];
-        assert_eq!(s.eval_slots(&frame), None);
-        frame[0] = Some(Value::sym("a"));
+        let mut frame: Frame = vec![ValId::NULL];
+        assert!(s.eval_slots(&frame).is_null());
+        frame[0] = vid(&Value::sym("a"));
         let mut bindings = crate::term::Bindings::new();
         bindings.insert(Variable::new("X"), Value::sym("a"));
-        assert_eq!(s.eval_slots(&frame), t.eval(&bindings));
+        assert_eq!(s.eval_slots(&frame).value(), t.eval(&bindings).unwrap());
     }
 
     #[test]
     fn match_binds_and_repeated_slots_enforce_equality() {
         let t = Term::app("f", vec![Term::var("X"), Term::var("X")]);
         let (s, _) = compile(&t);
-        let mut frame: Frame = vec![None];
+        let mut frame: Frame = vec![ValId::NULL];
         let mut trail: Trail = Vec::new();
-        let good = Value::app(Symbol::new("f"), vec![Value::sym("a"), Value::sym("a")]);
-        assert!(s.match_value_slots(&good, &mut frame, &mut trail));
-        assert_eq!(frame[0], Some(Value::sym("a")));
+        let good = vid(&Value::app(
+            Symbol::new("f"),
+            vec![Value::sym("a"), Value::sym("a")],
+        ));
+        assert!(s.match_value_slots(good, &mut frame, &mut trail));
+        assert_eq!(frame[0], vid(&Value::sym("a")));
         assert_eq!(trail, vec![0]);
 
-        let mut frame2: Frame = vec![None];
+        let mut frame2: Frame = vec![ValId::NULL];
         let mut trail2: Trail = Vec::new();
-        let bad = Value::app(Symbol::new("f"), vec![Value::sym("a"), Value::sym("b")]);
-        assert!(!s.match_value_slots(&bad, &mut frame2, &mut trail2));
+        let bad = vid(&Value::app(
+            Symbol::new("f"),
+            vec![Value::sym("a"), Value::sym("b")],
+        ));
+        assert!(!s.match_value_slots(bad, &mut frame2, &mut trail2));
         // Failure unwinds the partial binding of X.
-        assert_eq!(frame2[0], None);
+        assert!(frame2[0].is_null());
         assert!(trail2.is_empty());
     }
 
     #[test]
     fn match_respects_existing_bindings() {
         let (s, _) = compile(&Term::var("X"));
-        let mut frame: Frame = vec![Some(Value::sym("a"))];
+        let mut frame: Frame = vec![vid(&Value::sym("a"))];
         let mut trail: Trail = Vec::new();
-        assert!(s.match_value_slots(&Value::sym("a"), &mut frame, &mut trail));
-        assert!(!s.match_value_slots(&Value::sym("b"), &mut frame, &mut trail));
+        assert!(s.match_value_slots(vid(&Value::sym("a")), &mut frame, &mut trail));
+        assert!(!s.match_value_slots(vid(&Value::sym("b")), &mut frame, &mut trail));
         assert!(trail.is_empty());
     }
 
@@ -253,22 +313,35 @@ mod tests {
     fn linear_slots_forward_and_inverse() {
         let t = Term::linear(Variable::new("K"), 2, 2);
         let (s, _) = compile(&t);
-        let mut frame: Frame = vec![None];
+        let mut frame: Frame = vec![ValId::NULL];
         let mut trail: Trail = Vec::new();
         // Unbound: invert 8 = 2K + 2 -> K = 3.
-        assert!(s.match_value_slots(&Value::Int(8), &mut frame, &mut trail));
-        assert_eq!(frame[0], Some(Value::Int(3)));
+        assert!(s.match_value_slots(ValId::from_int(8), &mut frame, &mut trail));
+        assert_eq!(frame[0], ValId::from_int(3));
         assert_eq!(trail, vec![0]);
         // Bound: must agree.
-        assert!(s.match_value_slots(&Value::Int(8), &mut frame, &mut trail));
-        assert!(!s.match_value_slots(&Value::Int(10), &mut frame, &mut trail));
+        assert!(s.match_value_slots(ValId::from_int(8), &mut frame, &mut trail));
+        assert!(!s.match_value_slots(ValId::from_int(10), &mut frame, &mut trail));
         // Non-divisible inversion fails without binding.
-        let mut frame2: Frame = vec![None];
+        let mut frame2: Frame = vec![ValId::NULL];
         let mut trail2: Trail = Vec::new();
-        assert!(!s.match_value_slots(&Value::Int(7), &mut frame2, &mut trail2));
-        assert_eq!(frame2[0], None);
+        assert!(!s.match_value_slots(ValId::from_int(7), &mut frame2, &mut trail2));
+        assert!(frame2[0].is_null());
         // Forward evaluation.
-        assert_eq!(s.eval_slots(&frame), Some(Value::Int(8)));
+        assert_eq!(s.eval_slots(&frame), ValId::from_int(8));
+    }
+
+    #[test]
+    fn linear_matches_out_of_inline_range_ints() {
+        // Saturated counting indexes overflow the inline encoding; the
+        // table path must behave identically.
+        let t = Term::linear(Variable::new("K"), 1, -1);
+        let (s, _) = compile(&t);
+        let mut frame: Frame = vec![ValId::NULL];
+        let mut trail: Trail = Vec::new();
+        let big = (1i64 << 40) + 1;
+        assert!(s.match_value_slots(ValId::from_int(big - 1), &mut frame, &mut trail));
+        assert_eq!(frame[0].as_int(), Some(big));
     }
 
     #[test]
@@ -283,17 +356,17 @@ mod tests {
             ],
         );
         let (s, _) = compile(&t);
-        let v = Value::app(
+        let v = vid(&Value::app(
             Symbol::new("g"),
             vec![
                 Value::sym("a"),
                 Value::app(Symbol::new("f"), vec![Value::sym("b"), Value::sym("c")]),
             ],
-        );
-        let mut frame: Frame = vec![None, None];
+        ));
+        let mut frame: Frame = vec![ValId::NULL, ValId::NULL];
         let mut trail: Trail = Vec::new();
-        assert!(!s.match_value_slots(&v, &mut frame, &mut trail));
-        assert_eq!(frame, vec![None, None]);
+        assert!(!s.match_value_slots(v, &mut frame, &mut trail));
+        assert!(frame.iter().all(|id| id.is_null()));
         assert!(trail.is_empty());
     }
 }

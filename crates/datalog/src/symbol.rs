@@ -76,6 +76,14 @@ impl Symbol {
     pub fn id(&self) -> u32 {
         self.0
     }
+
+    /// The symbol with the given interner id.  The inverse of
+    /// [`Symbol::id`]; the id must have been produced by this process's
+    /// interner — crate-private because only the value arena's
+    /// inline-symbol encoding (`crate::arena`) can uphold that.
+    pub(crate) fn from_id(id: u32) -> Symbol {
+        Symbol(id)
+    }
 }
 
 impl From<&str> for Symbol {

@@ -46,7 +46,9 @@ pub fn ensure_atom_index(db: &mut Database, atom: &Atom) {
 /// through the relation's hash index on those positions (the same
 /// `ensure_index`/`lookup` pair `Relation::select_ids` is built from)
 /// instead of scanning every row; `scan_select` is the fallback when no
-/// index has been ensured on the pattern yet.
+/// index has been ensured on the pattern yet.  Rows are decoded from the
+/// packed storage only for the candidates that reach the matcher — this is
+/// the API edge where `Value`s re-enter.
 pub fn match_atom(db: &Database, atom: &Atom) -> Vec<Bindings> {
     let Some(relation) = db.relation(&atom.pred) else {
         return Vec::new();
@@ -60,15 +62,16 @@ pub fn match_atom(db: &Database, atom: &Atom) -> Vec<Bindings> {
     let mut out = Vec::new();
     let mut match_id = |id: usize| {
         let mut env = Bindings::new();
-        if atom.match_row(relation.row(id), &mut env) {
+        if atom.match_row(&relation.row_values(id), &mut env) {
             out.push(env);
         }
     };
     if positions.is_empty() {
-        for id in 0..relation.len() {
+        for (id, _) in relation.iter_ids() {
             match_id(id);
         }
     } else {
+        let key = magic_storage::arena::intern_row(&key);
         match relation.lookup(&positions, &key) {
             Some(ids) => ids.iter().for_each(|&id| match_id(id)),
             None => relation

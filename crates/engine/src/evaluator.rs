@@ -12,8 +12,8 @@ use crate::join::{evaluate_rule_windows, DeltaWindow};
 use crate::limits::Limits;
 use crate::metrics::EvalStats;
 use crate::plan::RulePlan;
-use magic_datalog::{PredName, Program};
-use magic_storage::{Database, Row};
+use magic_datalog::{PredName, Program, ValId};
+use magic_storage::{Database, Relation};
 use std::collections::BTreeSet;
 
 /// Which fixpoint iteration scheme to use.
@@ -48,12 +48,12 @@ pub enum WindowDiscipline {
     Disjoint,
 }
 
-/// Observer of individual rule firings, called once per produced head row
-/// during the insertion phase of each iteration (`is_new` tells whether the
-/// row was actually new).  The incremental layer uses this to maintain
-/// per-row derivation-support counts; `plan_idx` indexes
+/// Observer of individual rule firings, called once per produced (packed)
+/// head row during the insertion phase of each iteration (`is_new` tells
+/// whether the row was actually new).  The incremental layer uses this to
+/// maintain per-row derivation-support counts; `plan_idx` indexes
 /// [`FixpointRunner::plans`].
-pub type FiringObserver<'a> = &'a mut dyn FnMut(usize, &Row, bool);
+pub type FiringObserver<'a> = &'a mut dyn FnMut(usize, &[ValId], bool);
 
 /// The result of an evaluation: the final database (base facts plus all
 /// derived facts) and the collected metrics.
@@ -95,6 +95,10 @@ pub struct FixpointRunner {
     /// incrementality.  Empty when the runner was built run-only
     /// ([`FixpointRunner::for_program`]).
     delta_plans: Vec<Vec<DeltaVariant>>,
+    /// Per plan: the head-bound variant (head variables treated as bound
+    /// when access paths are chosen), used by the incremental layer's
+    /// support oracle (`count_derivations`).  Empty on run-only runners.
+    head_bound_plans: Vec<RulePlan>,
     /// Predicate arities of the program (used by `prepare`).
     arities: Vec<(PredName, usize)>,
     limits: Limits,
@@ -215,6 +219,16 @@ impl FixpointRunner {
         } else {
             Vec::new()
         };
+        let head_bound_plans: Vec<RulePlan> = if resumable {
+            program
+                .rules
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RulePlan::compile_head_bound(r, i, &derived))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let arities = program
             .predicate_arities()
             .map(|map| map.into_iter().collect())
@@ -224,6 +238,7 @@ impl FixpointRunner {
             tracked: tracked_list,
             tracked_occurrences,
             delta_plans,
+            head_bound_plans,
             arities,
             limits: Limits::default(),
             scheme: IterationScheme::SemiNaive,
@@ -282,10 +297,24 @@ impl FixpointRunner {
         &self.delta_plans[plan_idx][nth].pos_of_orig
     }
 
-    /// The current row counts of the tracked predicates — the delta marks
-    /// that [`FixpointRunner::resume`] measures seeded insertions against.
+    /// The head-bound variant of plan `plan_idx` (see
+    /// [`RulePlan::compile_head_bound`]) — the plan to hand to
+    /// [`count_derivations`](crate::join::count_derivations).  Only
+    /// available on runners built with [`FixpointRunner::compile`].
+    pub fn head_bound_plan(&self, plan_idx: usize) -> &RulePlan {
+        &self.head_bound_plans[plan_idx]
+    }
+
+    /// The current row-id **watermarks** of the tracked predicates — the
+    /// delta marks that [`FixpointRunner::resume`] measures seeded
+    /// insertions against.  Watermarks (not live counts) are the monotone
+    /// quantity: tombstoned removals leave them in place, so rows inserted
+    /// after a mark always have ids `>=` it.
     pub fn marks(&self, db: &Database) -> Vec<usize> {
-        self.tracked.iter().map(|p| db.count(p)).collect()
+        self.tracked
+            .iter()
+            .map(|p| db.relation(p).map_or(0, Relation::watermark))
+            .collect()
     }
 
     /// Create relations for every predicate of the program (so missing base
@@ -304,6 +333,7 @@ impl FixpointRunner {
             .plans
             .iter()
             .chain(self.delta_plans.iter().flatten().map(|v| &v.plan))
+            .chain(self.head_bound_plans.iter())
         {
             for atom in &plan.atoms {
                 if !atom.key_positions.is_empty() {
@@ -379,10 +409,15 @@ impl FixpointRunner {
             Some(marks) => marks,
             None => self.marks(db),
         };
-        // Per-plan output buffers, allocated once and reused across
-        // iterations: inserting drains the rows out, leaving capacity
-        // behind.
-        let mut outs: Vec<Vec<Row>> = self.plans.iter().map(|_| Vec::new()).collect();
+        // Per-plan flat output buffers (packed rows in arity-sized chunks),
+        // allocated once and reused across iterations: inserting clears
+        // them, leaving capacity behind.
+        let mut outs: Vec<Vec<ValId>> = self.plans.iter().map(|_| Vec::new()).collect();
+        // Per-plan body-match counts of the current iteration.  For
+        // positive-arity heads this is implied by the buffer length; for
+        // zero-arity heads (fully bound magic/answer predicates) it is the
+        // only record of how many firings happened.
+        let mut match_counts: Vec<usize> = vec![0; self.plans.len()];
         // Reusable window buffer for the disjoint discipline.
         let mut windows: Vec<DeltaWindow> = Vec::new();
 
@@ -459,43 +494,57 @@ impl FixpointRunner {
                         let counters =
                             evaluate_rule_windows(eval_plan, db, &windows, &self.limits, out)?;
                         stats.join_probes += counters.probes;
+                        match_counts[plan_idx] += counters.matches;
                     }
                 } else {
                     let counters = evaluate_rule_windows(plan, db, &[], &self.limits, out)?;
                     stats.join_probes += counters.probes;
+                    match_counts[plan_idx] += counters.matches;
                 }
-                produced |= !out.is_empty();
+                produced |= match_counts[plan_idx] > 0;
             }
 
             let mut new_facts = 0usize;
             if produced {
                 for (plan_idx, out) in outs.iter_mut().enumerate() {
-                    if out.is_empty() {
+                    let matches = std::mem::take(&mut match_counts[plan_idx]);
+                    if matches == 0 {
                         continue;
                     }
                     let plan = &self.plans[plan_idx];
                     // All rows of one plan belong to its head predicate:
-                    // resolve the relation once and insert the rows
-                    // directly, instead of cloning a `PredName` per
-                    // produced fact.
+                    // resolve the relation once and insert the packed
+                    // chunks directly — no per-fact allocation or clone.
                     let arity = plan.head_terms.len();
                     let relation = db.relation_mut(&plan.head_pred, arity);
-                    for row in out.drain(..) {
-                        // Only the observed path pays the per-firing row
-                        // clone (the observer needs the row after insertion
-                        // consumed it).
-                        let is_new = if let Some(observer) = observer.as_deref_mut() {
-                            let inserted = relation.insert(row.clone());
-                            observer(plan_idx, &row, inserted);
-                            inserted
-                        } else {
-                            relation.insert(row)
-                        };
+                    if arity == 0 {
+                        // A zero-arity head (fully bound magic/answer
+                        // predicate) leaves the flat buffer empty; every
+                        // match fires the empty row, of which at most the
+                        // first is new.
+                        for nth in 0..matches {
+                            let is_new = nth == 0 && relation.insert_ids(&[]);
+                            if let Some(observer) = observer.as_deref_mut() {
+                                observer(plan_idx, &[], is_new);
+                            }
+                            stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
+                            if is_new {
+                                new_facts += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    for row in out.chunks_exact(arity) {
+                        let is_new = relation.insert_ids(row);
+                        if let Some(observer) = observer.as_deref_mut() {
+                            observer(plan_idx, row, is_new);
+                        }
                         stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
                         if is_new {
                             new_facts += 1;
                         }
                     }
+                    out.clear();
                 }
             }
             if db.total_facts() - base_facts > self.limits.max_facts {
@@ -569,10 +618,18 @@ impl Evaluator {
 
     /// Evaluate to the least fixpoint starting from `edb`.
     pub fn run(&self, edb: &Database) -> Result<EvalResult, EvalError> {
+        self.run_db(edb.clone())
+    }
+
+    /// Evaluate to the least fixpoint over an owned database (taking it by
+    /// value avoids the clone of [`Evaluator::run`], and lets callers
+    /// pre-ensure indexes — e.g. the planner's answer-atom index — that
+    /// are then maintained incrementally through the evaluation instead of
+    /// being rebuilt afterwards).
+    pub fn run_db(&self, mut db: Database) -> Result<EvalResult, EvalError> {
         let runner = FixpointRunner::for_program(&self.program)
             .with_limits(self.limits)
             .with_scheme(self.scheme);
-        let mut db = edb.clone();
         let mut stats = EvalStats::default();
         runner.run(&mut db, &mut stats, None)?;
         Ok(EvalResult {
@@ -821,7 +878,7 @@ mod tests {
         let mut stats = EvalStats::default();
         let mut firings = 0usize;
         let mut new = 0usize;
-        let mut observer = |_plan: usize, _row: &Row, is_new: bool| {
+        let mut observer = |_plan: usize, _row: &[ValId], is_new: bool| {
             firings += 1;
             if is_new {
                 new += 1;

@@ -5,13 +5,17 @@
 //! cost has been compiled away (see `crate::plan` for the compilation
 //! story):
 //!
-//! * bindings live in a flat frame indexed by slot id — no `HashMap`
-//!   insert/remove, no `Variable` hashing;
+//! * bindings live in a flat frame of interned [`ValId`]s indexed by slot
+//!   id — binding a variable copies four bytes, comparing a constant is a
+//!   `u32` compare;
 //! * index probes borrow the relation's id slice — no `to_vec()` copies;
 //! * the semi-naive delta window is applied by binary-searching the
 //!   (ascending) id slice — no per-id filtering;
 //! * backtracking truncates a shared trail of slot ids — no per-term
-//!   `vars()` vectors.
+//!   `vars()` vectors;
+//! * output rows are appended to a **flat** `Vec<ValId>` buffer
+//!   (`arity`-sized chunks) — no per-row `Vec` allocation, no `Value`
+//!   clones anywhere between the stored relation and the inserted fact.
 //!
 //! The only remaining per-row work is the check-term matches themselves and
 //! the recursion; the only allocations are one frame, one trail and one key
@@ -24,9 +28,9 @@
 //! compiles to exactly the code it had before the abstraction existed):
 //!
 //! * [`evaluate_rule`] / [`evaluate_rule_windows`] — forward evaluation,
-//!   appending head rows to an output buffer.  The `_windows` variant takes
-//!   *several* delta windows (at most one per body occurrence), which is
-//!   what lets the incremental-maintenance layer run the textbook
+//!   appending head rows to a flat output buffer.  The `_windows` variant
+//!   takes *several* delta windows (at most one per body occurrence), which
+//!   is what lets the incremental-maintenance layer run the textbook
 //!   *disjoint* semi-naive discipline (delta at occurrence *j*, old facts
 //!   at earlier tracked occurrences) and thereby count each derivation
 //!   exactly once.
@@ -43,8 +47,8 @@
 use crate::error::EvalError;
 use crate::limits::Limits;
 use crate::plan::RulePlan;
-use magic_datalog::{Frame, Trail, Value};
-use magic_storage::{Database, Relation, Row};
+use magic_datalog::{Frame, Trail, ValId};
+use magic_storage::{Database, Relation};
 
 /// Restriction of one body occurrence to a "delta" window of its relation
 /// (row ids in `from..to`), used by semi-naive evaluation.
@@ -92,28 +96,30 @@ trait MatchSink {
         -> Result<(), EvalError>;
 }
 
-/// Evaluate the head terms of `ctx.plan` against `frame` into a fresh row.
-fn head_row(ctx: &JoinCtx<'_>, frame: &Frame) -> Result<Row, EvalError> {
-    let mut row = Vec::with_capacity(ctx.plan.head_terms.len());
+/// Evaluate the head terms of `ctx.plan` against `frame`, appending the
+/// packed row to `out`.  An error aborts the whole rule evaluation, so a
+/// partially appended row is never observed by a successful caller.
+fn push_head_row(ctx: &JoinCtx<'_>, frame: &Frame, out: &mut Vec<ValId>) -> Result<(), EvalError> {
     for term in &ctx.plan.head_terms {
-        let value = term
-            .eval_slots(frame)
-            .ok_or_else(|| EvalError::NotRangeRestricted {
+        let value = term.eval_slots(frame);
+        if value.is_null() {
+            return Err(EvalError::NotRangeRestricted {
                 rule: ctx.plan.rule.to_string(),
-            })?;
+            });
+        }
         if value.depth() > ctx.limits.max_term_depth {
             return Err(EvalError::TermDepthLimit {
                 limit: ctx.limits.max_term_depth,
             });
         }
-        row.push(value);
+        out.push(value);
     }
-    Ok(row)
+    Ok(())
 }
 
-/// The classic sink: append the head row to an output buffer.
+/// The classic sink: append the packed head row to a flat output buffer.
 struct RowSink<'a> {
-    out: &'a mut Vec<Row>,
+    out: &'a mut Vec<ValId>,
 }
 
 impl MatchSink for RowSink<'_> {
@@ -126,18 +132,19 @@ impl MatchSink for RowSink<'_> {
         frame: &Frame,
         _chosen: &[usize],
     ) -> Result<(), EvalError> {
-        self.out.push(head_row(ctx, frame)?);
-        Ok(())
+        push_head_row(ctx, frame, self.out)
     }
 }
 
-/// Sink that hands each match (head row + chosen body row ids) to a visitor.
-struct VisitSink<'a, 'v> {
-    visit: &'a mut dyn FnMut(Row, &[usize]),
-    _marker: std::marker::PhantomData<&'v ()>,
+/// Sink that hands each match (packed head row + chosen body row ids) to a
+/// visitor.
+struct VisitSink<'a> {
+    visit: &'a mut dyn FnMut(&[ValId], &[usize]),
+    /// Reusable head-row scratch.
+    row: Vec<ValId>,
 }
 
-impl MatchSink for VisitSink<'_, '_> {
+impl MatchSink for VisitSink<'_> {
     const NEEDS_IDS: bool = true;
 
     fn emit(
@@ -146,7 +153,9 @@ impl MatchSink for VisitSink<'_, '_> {
         frame: &Frame,
         chosen: &[usize],
     ) -> Result<(), EvalError> {
-        (self.visit)(head_row(ctx, frame)?, chosen);
+        self.row.clear();
+        push_head_row(ctx, frame, &mut self.row)?;
+        (self.visit)(&self.row, chosen);
         Ok(())
     }
 }
@@ -212,7 +221,7 @@ fn run_join<S: MatchSink>(
         windows,
         limits,
     };
-    let mut keys: Vec<Vec<Value>> = plan
+    let mut keys: Vec<Vec<ValId>> = plan
         .atoms
         .iter()
         .map(|a| Vec::with_capacity(a.key_terms.len()))
@@ -231,9 +240,9 @@ fn run_join<S: MatchSink>(
     Ok(counters)
 }
 
-/// Evaluate one rule against `db`, appending the head row of every
-/// satisfied body instantiation to `out` (all rows belong to
-/// `plan.head_pred`).
+/// Evaluate one rule against `db`, appending the packed head row of every
+/// satisfied body instantiation to `out` in `arity`-sized chunks (all rows
+/// belong to `plan.head_pred`).
 ///
 /// If `delta` is given, the designated body occurrence only ranges over the
 /// row-id window — the semi-naive restriction.
@@ -242,7 +251,7 @@ pub fn evaluate_rule(
     db: &Database,
     delta: Option<DeltaWindow>,
     limits: &Limits,
-    out: &mut Vec<Row>,
+    out: &mut Vec<ValId>,
 ) -> Result<JoinCounters, EvalError> {
     match delta {
         Some(w) => evaluate_rule_windows(plan, db, &[w], limits, out),
@@ -261,9 +270,9 @@ pub fn evaluate_rule_windows(
     db: &Database,
     windows: &[DeltaWindow],
     limits: &Limits,
-    out: &mut Vec<Row>,
+    out: &mut Vec<ValId>,
 ) -> Result<JoinCounters, EvalError> {
-    let mut frame: Frame = vec![None; plan.num_slots];
+    let mut frame: Frame = vec![ValId::NULL; plan.num_slots];
     let mut trail: Trail = Vec::new();
     let mut sink = RowSink { out };
     run_join(plan, db, windows, limits, &mut frame, &mut trail, &mut sink)
@@ -279,22 +288,22 @@ pub fn evaluate_rule_visit(
     db: &Database,
     windows: &[DeltaWindow],
     limits: &Limits,
-    visit: &mut dyn FnMut(Row, &[usize]),
+    visit: &mut dyn FnMut(&[ValId], &[usize]),
 ) -> Result<JoinCounters, EvalError> {
-    let mut frame: Frame = vec![None; plan.num_slots];
+    let mut frame: Frame = vec![ValId::NULL; plan.num_slots];
     let mut trail: Trail = Vec::new();
     let mut sink = VisitSink {
         visit,
-        _marker: std::marker::PhantomData,
+        row: Vec::with_capacity(plan.head_terms.len()),
     };
     run_join(plan, db, windows, limits, &mut frame, &mut trail, &mut sink)
 }
 
 /// The head-bound join: count the body instantiations of `plan` (against
-/// `db`) whose head row equals `row`.  Matching the head terms first binds
-/// the head variables, so the body join runs with those positions fixed —
-/// with the indexes the evaluator maintains this is a narrow probe, not a
-/// rule-wide scan.
+/// `db`) whose head row equals the packed `row`.  Matching the head terms
+/// first binds the head variables, so the body join runs with those
+/// positions fixed — with the indexes the evaluator maintains this is a
+/// narrow probe, not a rule-wide scan.
 ///
 /// Returns 0 when the head does not match `row` at all (wrong constants or
 /// non-invertible terms).  This is the one-step support oracle used by
@@ -303,16 +312,16 @@ pub fn evaluate_rule_visit(
 pub fn count_derivations(
     plan: &RulePlan,
     db: &Database,
-    row: &[Value],
+    row: &[ValId],
     limits: &Limits,
 ) -> Result<usize, EvalError> {
     if plan.head_terms.len() != row.len() {
         return Ok(0);
     }
-    let mut frame: Frame = vec![None; plan.num_slots];
+    let mut frame: Frame = vec![ValId::NULL; plan.num_slots];
     let mut trail: Trail = Vec::new();
     for (term, value) in plan.head_terms.iter().zip(row) {
-        if !term.match_value_slots(value, &mut frame, &mut trail) {
+        if !term.match_value_slots(*value, &mut frame, &mut trail) {
             return Ok(0);
         }
     }
@@ -347,7 +356,7 @@ fn descend<S: MatchSink>(
     depth: usize,
     frame: &mut Frame,
     trail: &mut Trail,
-    keys: &mut [Vec<Value>],
+    keys: &mut [Vec<ValId>],
     chosen: &mut Vec<usize>,
     sink: &mut S,
     counters: &mut JoinCounters,
@@ -366,12 +375,13 @@ fn descend<S: MatchSink>(
         let key = &mut keys[depth];
         key.clear();
         for term in &atom.key_terms {
-            match term.eval_slots(frame) {
-                Some(v) => key.push(v),
-                // A key term that fails to evaluate (e.g. a linear expression
-                // over a non-integer) simply cannot match anything.
-                None => return Ok(()),
+            let v = term.eval_slots(frame);
+            // A key term that fails to evaluate (e.g. a linear expression
+            // over a non-integer) simply cannot match anything.
+            if v.is_null() {
+                return Ok(());
             }
+            key.push(v);
         }
     }
 
@@ -379,7 +389,16 @@ fn descend<S: MatchSink>(
 
     if atom.key_positions.is_empty() {
         // No evaluable positions: scan the (windowed) relation directly.
-        for id in window_range(relation.len(), window) {
+        // The scan ranges over row-id space up to the watermark; tombstoned
+        // slots are skipped *before* the probe counter, so removal leaves
+        // probe counts exactly as if the dead rows had never existed (the
+        // liveness test is hoisted behind one well-predicted flag for the
+        // common tombstone-free case).
+        let has_dead = relation.tombstones() != 0;
+        for id in window_range(relation.watermark(), window) {
+            if has_dead && !relation.is_live(id) {
+                continue;
+            }
             probe(
                 ctx, depth, relation, id, frame, trail, keys, chosen, sink, counters,
             )?;
@@ -387,7 +406,8 @@ fn descend<S: MatchSink>(
     } else {
         // The borrowed-slice fast path.  `scan_select` only runs when no
         // index exists on this pattern, which the evaluator prevents by
-        // ensuring indexes for every plan access path up front.
+        // ensuring indexes for every plan access path up front.  Index id
+        // lists contain live rows only (removal drops ids eagerly).
         let scanned: Vec<usize>;
         let ids: &[usize] = match relation.lookup(&atom.key_positions, &keys[depth]) {
             Some(ids) => ids,
@@ -417,19 +437,19 @@ fn probe<S: MatchSink>(
     id: usize,
     frame: &mut Frame,
     trail: &mut Trail,
-    keys: &mut [Vec<Value>],
+    keys: &mut [Vec<ValId>],
     chosen: &mut Vec<usize>,
     sink: &mut S,
     counters: &mut JoinCounters,
 ) -> Result<(), EvalError> {
     counters.probes += 1;
-    let row = relation.row(id);
+    let row = relation.row_ids(id);
     let mark = trail.len();
     let mut ok = true;
     for (pos, term) in &ctx.plan.atoms[depth].check {
         // A failed match unwinds its own partial bindings; earlier check
         // terms' bindings are unwound below through the trail mark.
-        if !term.match_value_slots(&row[*pos], frame, trail) {
+        if !term.match_value_slots(row[*pos], frame, trail) {
             ok = false;
             break;
         }
@@ -451,7 +471,8 @@ fn probe<S: MatchSink>(
 mod tests {
     use super::*;
     use crate::plan::RulePlan;
-    use magic_datalog::{parse_rule, PredName};
+    use magic_datalog::{parse_rule, PredName, Value};
+    use magic_storage::arena::decode_row;
     use std::collections::BTreeSet;
 
     fn db_with_par() -> Database {
@@ -462,8 +483,8 @@ mod tests {
         db
     }
 
-    fn render(pred: &str, rows: &[Row]) -> Vec<String> {
-        rows.iter()
+    fn render_flat(pred: &str, arity: usize, out: &[ValId]) -> Vec<String> {
+        out.chunks_exact(arity)
             .map(|row| {
                 let args: Vec<String> = row.iter().map(|v| v.to_string()).collect();
                 format!("{pred}({})", args.join(", "))
@@ -478,7 +499,7 @@ mod tests {
         let db = db_with_par();
         let mut out = Vec::new();
         let counters = evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
-        assert_eq!(out.len(), 3);
+        assert_eq!(out.len() / 2, 3);
         assert_eq!(counters.matches, 3);
     }
 
@@ -490,7 +511,10 @@ mod tests {
         let db = db_with_par();
         let mut out = Vec::new();
         evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
-        assert_eq!(render("grand", &out), vec!["grand(a, c)", "grand(b, d)"]);
+        assert_eq!(
+            render_flat("grand", 2, &out),
+            vec!["grand(a, c)", "grand(b, d)"]
+        );
     }
 
     #[test]
@@ -505,7 +529,7 @@ mod tests {
             to: 3,
         };
         evaluate_rule(&plan, &db, Some(window), &Limits::default(), &mut out).unwrap();
-        assert_eq!(out.len(), 2);
+        assert_eq!(out.len() / 2, 2);
     }
 
     #[test]
@@ -526,7 +550,7 @@ mod tests {
         };
         let mut out = Vec::new();
         evaluate_rule(&plan, &db, Some(window), &Limits::default(), &mut out).unwrap();
-        assert_eq!(render("grand", &out), vec!["grand(b, d)"]);
+        assert_eq!(render_flat("grand", 2, &out), vec!["grand(b, d)"]);
     }
 
     #[test]
@@ -551,7 +575,21 @@ mod tests {
         let mut out = Vec::new();
         evaluate_rule_windows(&plan, &db, &windows, &Limits::default(), &mut out).unwrap();
         // Only grand(b, d): par(b, c) at id 1 joined with par(c, d) at id 2.
-        assert_eq!(render("grand", &out), vec!["grand(b, d)"]);
+        assert_eq!(render_flat("grand", 2, &out), vec!["grand(b, d)"]);
+    }
+
+    #[test]
+    fn tombstoned_rows_are_skipped_without_probes() {
+        // Remove the middle row: the scan path must neither match nor
+        // count it, exactly as if it had never been inserted.
+        let rule = parse_rule("anc(X, Y) :- par(X, Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut db = db_with_par();
+        db.remove(&PredName::plain("par"), &[Value::sym("b"), Value::sym("c")]);
+        let mut out = Vec::new();
+        let counters = evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
+        assert_eq!(counters.probes, 2);
+        assert_eq!(render_flat("anc", 2, &out), vec!["anc(a, b)", "anc(c, d)"]);
     }
 
     #[test]
@@ -561,7 +599,7 @@ mod tests {
         let db = db_with_par();
         let mut seen: Vec<(String, Vec<usize>)> = Vec::new();
         evaluate_rule_visit(&plan, &db, &[], &Limits::default(), &mut |row, ids| {
-            seen.push((render("grand", &[row]).remove(0), ids.to_vec()));
+            seen.push((render_flat("grand", 2, row).remove(0), ids.to_vec()));
         })
         .unwrap();
         seen.sort();
@@ -576,11 +614,12 @@ mod tests {
 
     #[test]
     fn count_derivations_is_the_head_bound_join() {
+        use magic_storage::arena::intern_row;
         let rule = parse_rule("anc(X, Y) :- par(X, Y).").unwrap();
         let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
         let db = db_with_par();
-        let a_b = vec![Value::sym("a"), Value::sym("b")];
-        let a_z = vec![Value::sym("a"), Value::sym("z")];
+        let a_b = intern_row(&[Value::sym("a"), Value::sym("b")]);
+        let a_z = intern_row(&[Value::sym("a"), Value::sym("z")]);
         assert_eq!(
             count_derivations(&plan, &db, &a_b, &Limits::default()).unwrap(),
             1
@@ -594,7 +633,7 @@ mod tests {
         let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
         let mut db = db_with_par();
         db.insert_pair("par", "z", "b");
-        let b = vec![Value::sym("b")];
+        let b = intern_row(&[Value::sym("b")]);
         assert_eq!(
             count_derivations(&plan, &db, &b, &Limits::default()).unwrap(),
             2
@@ -606,7 +645,7 @@ mod tests {
         let rule = parse_rule("p(X, W) :- q(X).").unwrap();
         let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
         let mut db = Database::new();
-        db.insert(PredName::plain("q"), vec![magic_datalog::Value::sym("a")]);
+        db.insert(PredName::plain("q"), vec![Value::sym("a")]);
         let mut out = Vec::new();
         let err = evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap_err();
         assert!(matches!(err, EvalError::NotRangeRestricted { .. }));
@@ -647,6 +686,17 @@ mod tests {
         db.insert_pair("r", "b", "y");
         let mut out = Vec::new();
         evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
-        assert_eq!(render("p", &out), vec!["p(a, x)", "p(b, y)"]);
+        assert_eq!(render_flat("p", 2, &out), vec!["p(a, x)", "p(b, y)"]);
+    }
+
+    #[test]
+    fn flat_rows_decode_back_to_values() {
+        let rule = parse_rule("anc(X, Y) :- par(X, Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let db = db_with_par();
+        let mut out = Vec::new();
+        evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
+        let first = decode_row(&out[..2]);
+        assert_eq!(first, vec![Value::sym("a"), Value::sym("b")]);
     }
 }

@@ -88,6 +88,30 @@ impl RulePlan {
     /// Compile a rule.  `derived` is the set of predicates defined by rules
     /// of the program being evaluated.
     pub fn compile(rule: &Rule, rule_idx: usize, derived: &BTreeSet<PredName>) -> RulePlan {
+        RulePlan::compile_inner(rule, rule_idx, derived, false)
+    }
+
+    /// Compile the **head-bound** variant of a rule: the access plans are
+    /// computed as if every head variable were already bound when the body
+    /// starts.  This is the right plan for the head-bound join
+    /// (`count_derivations`): the caller matches a concrete row against the
+    /// head first, so leading body atoms sharing head variables probe
+    /// indexes instead of being scanned.  Match *results* are identical to
+    /// the forward plan's — only the access paths differ.
+    pub fn compile_head_bound(
+        rule: &Rule,
+        rule_idx: usize,
+        derived: &BTreeSet<PredName>,
+    ) -> RulePlan {
+        RulePlan::compile_inner(rule, rule_idx, derived, true)
+    }
+
+    fn compile_inner(
+        rule: &Rule,
+        rule_idx: usize,
+        derived: &BTreeSet<PredName>,
+        head_bound: bool,
+    ) -> RulePlan {
         let mut slot_vars: Vec<Variable> = Vec::new();
         let mut slot_of = |v: Variable| -> u32 {
             match slot_vars.iter().position(|&u| u == v) {
@@ -99,6 +123,12 @@ impl RulePlan {
             }
         };
         let mut bound: BTreeSet<Variable> = BTreeSet::new();
+        if head_bound {
+            // Successfully matching the head row binds every head variable
+            // (compound patterns bind recursively; linear terms either
+            // invert or fail), so the body may treat them as given.
+            bound.extend(rule.head.vars());
+        }
         let mut atoms = Vec::with_capacity(rule.body.len());
         let mut derived_occurrences = Vec::new();
         for (i, atom) in rule.body.iter().enumerate() {

@@ -134,7 +134,12 @@ impl ViewCatalog {
             None => true,
         };
         if fresh {
-            let view = MaterializedView::with_limits(&plan.program, edb, self.limits)?;
+            let mut view = MaterializedView::with_limits(&plan.program, edb, self.limits)?;
+            // Index the answer atom's bound positions once: every insert
+            // and retract the view applies maintains it from here on, so
+            // repeated `answers` calls probe a warm index instead of
+            // scanning (and nothing ever rebuilds it).
+            view.ensure_answer_index(&plan.answer_atom);
             self.entries.insert(
                 key.clone(),
                 CatalogEntry {

@@ -40,13 +40,17 @@
 //! correctness-proof framing of magic-transformation equivalence.
 
 use crate::error::IncrError;
-use magic_datalog::{analysis::DependencyGraph, Fact, PredName, Program};
+use magic_datalog::{analysis::DependencyGraph, Atom, Fact, PredName, Program, ValId};
 use magic_engine::{
     count_derivations, evaluate_rule_visit, DeltaWindow, EvalStats, FixpointRunner, Limits,
     WindowDiscipline,
 };
-use magic_storage::{Database, Row, SupportTable};
+use magic_storage::{arena::intern_row, Database, SupportTable};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+/// A packed (interned) row, the representation maintenance works in; values
+/// are decoded only at the public API edge.
+type PackedRow = Vec<ValId>;
 
 /// One element of a batched update stream.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -118,7 +122,7 @@ pub struct MaterializedView {
     /// Rows of derived predicates that were present in the initial EDB.
     /// They are axioms, not derivations: retraction never deletes them even
     /// at zero support.
-    exogenous: BTreeMap<PredName, HashSet<Row>>,
+    exogenous: BTreeMap<PredName, HashSet<PackedRow>>,
     /// The overdeletion shadow machine, built on first DRed retraction.
     od: Option<OdMachine>,
     limits: Limits,
@@ -206,11 +210,14 @@ impl MaterializedView {
 
         // Derived rows already present in the EDB are axioms: record them so
         // retraction never deletes them, whatever their derivation count.
-        let mut exogenous: BTreeMap<PredName, HashSet<Row>> = BTreeMap::new();
+        let mut exogenous: BTreeMap<PredName, HashSet<PackedRow>> = BTreeMap::new();
         for pred in &derived_preds {
             if let Some(rel) = edb.relation(pred) {
                 if !rel.is_empty() {
-                    exogenous.insert(pred.clone(), rel.iter().cloned().collect());
+                    exogenous.insert(
+                        pred.clone(),
+                        rel.iter_ids().map(|(_, row)| row.to_vec()).collect(),
+                    );
                 }
             }
         }
@@ -239,7 +246,7 @@ impl MaterializedView {
         let mut support = SupportTable::new();
         let mut op_stats = EvalStats::default();
         {
-            let mut observer = |plan_idx: usize, row: &Row, _is_new: bool| {
+            let mut observer = |plan_idx: usize, row: &[ValId], _is_new: bool| {
                 support.add(&head_preds[plan_idx], row, 1);
             };
             runner
@@ -283,7 +290,27 @@ impl MaterializedView {
     /// The exact number of rule-body derivations currently supporting a
     /// derived fact (0 for untracked or base facts).
     pub fn support_of(&self, fact: &Fact) -> u64 {
-        self.support.get(&fact.pred, &fact.values)
+        self.support.get(&fact.pred, &intern_row(&fact.values))
+    }
+
+    /// Ensure the view's database carries an index on the bound-constant
+    /// positions of `atom`, so answer projections probe an index instead of
+    /// scanning.  Built once (cheap) and thereafter maintained
+    /// incrementally by every insert and (tombstone) retract the view
+    /// applies — never rebuilt per query.
+    ///
+    /// A no-op unless the atom's relation already exists at the atom's
+    /// arity (materialization creates every program relation): indexing a
+    /// foreign or mistyped atom must not plant a wrong-arity relation in
+    /// the maintained database.
+    pub fn ensure_answer_index(&mut self, atom: &Atom) {
+        let matches = self
+            .db
+            .relation(&atom.pred)
+            .is_some_and(|rel| rel.arity() == atom.arity());
+        if matches {
+            magic_engine::answers::ensure_atom_index(&mut self.db, atom);
+        }
     }
 
     /// How retractions of `pred` are maintained.
@@ -420,7 +447,7 @@ impl MaterializedView {
         {
             let support = &mut self.support;
             let head_preds = &self.head_preds;
-            let mut observer = |plan_idx: usize, row: &Row, _is_new: bool| {
+            let mut observer = |plan_idx: usize, row: &[ValId], _is_new: bool| {
                 support.add(&head_preds[plan_idx], row, 1);
             };
             self.runner
@@ -433,10 +460,23 @@ impl MaterializedView {
 
     /// True iff `(pred, row)` is an exogenous axiom (came in through the
     /// EDB under a derived predicate).
-    fn is_exogenous(&self, pred: &PredName, row: &[magic_datalog::Value]) -> bool {
+    fn is_exogenous(&self, pred: &PredName, row: &[ValId]) -> bool {
         self.exogenous
             .get(pred)
             .is_some_and(|rows| rows.contains(row))
+    }
+
+    /// Reclaim tombstoned storage of `pred`'s relation once the dead-slot
+    /// share crosses a threshold.  Called between maintenance operations
+    /// only: compaction renumbers row ids, and fresh delta marks are taken
+    /// after it.
+    fn maybe_compact(&mut self, pred: &PredName) {
+        const MIN_TOMBSTONES: usize = 256;
+        if let Some(rel) = self.db.relation_mut_opt(pred) {
+            if rel.tombstones() >= MIN_TOMBSTONES && rel.tombstones() * 2 >= rel.watermark() {
+                rel.compact();
+            }
+        }
     }
 
     /// Exact counting deletion (acyclic cones).
@@ -468,7 +508,7 @@ impl MaterializedView {
 
         // Deferred support decrements of one pin, applied after the
         // (immutable) join visit completes.
-        let mut lost: Vec<(usize, Row)> = Vec::new();
+        let mut lost: Vec<(usize, PackedRow)> = Vec::new();
         // Tracked occurrences per plan, copied once per retraction (not
         // once per worklist row) to keep the borrow checker away from the
         // support/stats mutations inside the loop.
@@ -492,7 +532,7 @@ impl MaterializedView {
                     lost.clear();
                     let counters = {
                         let processed = &processed;
-                        let mut visit = |row: Row, chosen: &[usize]| {
+                        let mut visit = |row: &[ValId], chosen: &[usize]| {
                             // Walk the other body occurrences (in original
                             // order, through the variant's permutation);
                             // reject derivations holding an already-pinned
@@ -514,7 +554,7 @@ impl MaterializedView {
                                     return;
                                 }
                             }
-                            lost.push((plan_idx, row));
+                            lost.push((plan_idx, row.to_vec()));
                         };
                         evaluate_rule_visit(variant, &self.db, &[pin], &self.limits, &mut visit)
                             .map_err(IncrError::Eval)?
@@ -533,7 +573,7 @@ impl MaterializedView {
                             let Some(row_id) = self
                                 .db
                                 .relation(head_pred)
-                                .and_then(|rel| rel.id_of(&head_row))
+                                .and_then(|rel| rel.find_id(&head_row))
                             else {
                                 continue;
                             };
@@ -547,18 +587,21 @@ impl MaterializedView {
             processed.entry(pred.clone()).or_default().insert(id);
         }
 
-        // One batched physical removal per touched relation.
+        // Physical removal: tombstone each marked id (ids stayed valid
+        // through the worklist because removal was deferred), then compact
+        // the relation if dead slots piled up.
         for (pred, ids) in marked {
-            let Some(rel) = self.db.relation(&pred) else {
+            let Some(rel) = self.db.relation_mut_opt(&pred) else {
                 continue;
             };
-            let rows: Vec<Row> = ids.iter().map(|&id| rel.row(id).clone()).collect();
-            for row in &rows {
-                self.support.remove(&pred, row);
+            for &id in &ids {
+                // Support first, while the row slice can still be borrowed
+                // (the tombstoned slot would keep decoding, but this saves
+                // the copy).
+                self.support.remove(&pred, rel.row_ids(id));
+                rel.remove_id(id);
             }
-            self.db
-                .relation_mut(&pred, rows[0].len())
-                .remove_rows(&rows);
+            self.maybe_compact(&pred);
         }
         Ok(())
     }
@@ -589,10 +632,10 @@ impl MaterializedView {
         // 2. Collect the overdeleted rows per derived predicate (shadow
         //    rows that are actually present and not exogenous axioms), then
         //    drop every shadow relation again.
-        let mut overdeleted: Vec<(PredName, Vec<Row>)> = Vec::new();
+        let mut overdeleted: Vec<(PredName, Vec<PackedRow>)> = Vec::new();
         // Exogenous axioms touched by overdeletion survive removal but may
         // have lost derivations; their support is recomputed below.
-        let mut touched_axioms: Vec<(PredName, Row)> = Vec::new();
+        let mut touched_axioms: Vec<(PredName, PackedRow)> = Vec::new();
         for (orig, shadow) in &od.shadow {
             if !self.derived_preds.contains(orig) {
                 continue;
@@ -604,14 +647,14 @@ impl MaterializedView {
                 continue;
             };
             let mut rows = Vec::new();
-            for row in shadow_rel.iter() {
-                if !rel.contains(row) {
+            for (_, row) in shadow_rel.iter_ids() {
+                if !rel.contains_ids(row) {
                     continue;
                 }
                 if self.is_exogenous(orig, row) {
-                    touched_axioms.push((orig.clone(), row.clone()));
+                    touched_axioms.push((orig.clone(), row.to_vec()));
                 } else {
-                    rows.push(row.clone());
+                    rows.push(row.to_vec());
                 }
             }
             if !rows.is_empty() {
@@ -623,15 +666,23 @@ impl MaterializedView {
             self.db.remove_relation(&shadow);
         }
 
-        // 3. Batch physical removal: the retracted base fact plus the
-        //    overdeleted derived rows.  Support entries of removed rows are
-        //    discarded (re-derived rows get fresh exact counts below).
+        // 3. Physical removal: the retracted base fact plus the overdeleted
+        //    derived rows (tombstone marks; row ids stay valid).  Support
+        //    entries of removed rows are discarded (re-derived rows get
+        //    fresh exact counts below).  Relations with enough dead slots
+        //    are compacted here, *before* the marks below are taken.
         self.db.remove(&fact.pred, &fact.values);
+        self.maybe_compact(&fact.pred);
         for (pred, rows) in &overdeleted {
             for row in rows {
                 self.support.remove(pred, row);
+                if let Some(rel) = self.db.relation_mut_opt(pred) {
+                    if let Some(id) = rel.find_id(row) {
+                        rel.remove_id(id);
+                    }
+                }
             }
-            self.db.relation_mut(pred, rows[0].len()).remove_rows(rows);
+            self.maybe_compact(pred);
         }
 
         // 4. Re-derivation seeds: removed rows with at least one surviving
@@ -639,7 +690,7 @@ impl MaterializedView {
         //    are taken against the seed-free database, then the seeds are
         //    appended after the marks so the resumed windows count exactly
         //    the derivations that involve re-inserted rows.
-        let mut seeds: Vec<(PredName, Row, u64)> = Vec::new();
+        let mut seeds: Vec<(PredName, PackedRow, u64)> = Vec::new();
         for (pred, rows) in &overdeleted {
             for row in rows {
                 let count = self.one_step_support(pred, row)?;
@@ -660,7 +711,7 @@ impl MaterializedView {
         }
         let marks = self.runner.marks(&self.db);
         for (pred, row, count) in seeds {
-            self.db.insert(pred.clone(), row.clone());
+            self.db.relation_mut(&pred, row.len()).insert_ids(&row);
             self.support.add(&pred, &row, count);
         }
         self.resume(marks)
@@ -669,18 +720,17 @@ impl MaterializedView {
 
 impl MaterializedView {
     /// Sum of `count_derivations` over the rules deriving `pred` — the
-    /// current one-step support of a row, computed from the database as it
-    /// stands.
-    fn one_step_support(
-        &self,
-        pred: &PredName,
-        row: &[magic_datalog::Value],
-    ) -> Result<u64, IncrError> {
+    /// current one-step support of a (packed) row, computed from the
+    /// database as it stands.  Runs on the head-bound plan variants, whose
+    /// access paths exploit the bindings the matched head row provides
+    /// (the forward plans would scan their leading atoms instead).
+    fn one_step_support(&self, pred: &PredName, row: &[ValId]) -> Result<u64, IncrError> {
         let mut count = 0u64;
-        for (plan_idx, plan) in self.runner.plans().iter().enumerate() {
+        for plan_idx in 0..self.runner.plans().len() {
             if &self.head_preds[plan_idx] != pred {
                 continue;
             }
+            let plan = self.runner.head_bound_plan(plan_idx);
             count += count_derivations(plan, &self.db, row, &self.limits)
                 .map_err(IncrError::Eval)? as u64;
         }
@@ -699,7 +749,7 @@ impl MaterializedView {
             let Some(rel) = self.db.relation(pred) else {
                 continue;
             };
-            for row in rel.iter() {
+            for (_, row) in rel.iter_ids() {
                 let expected = self
                     .one_step_support(pred, row)
                     .map_err(|e| e.to_string())?;
@@ -753,14 +803,14 @@ mod tests {
         for (pred, rel) in view.database().iter() {
             if !view.program().is_derived(pred) {
                 for row in rel.iter() {
-                    edb.insert(pred.clone(), row.clone());
+                    edb.insert(pred.clone(), row);
                 }
             }
         }
         // Exogenous axioms are EDB rows too.
         for (pred, rows) in &view.exogenous {
             for row in rows {
-                edb.insert(pred.clone(), row.clone());
+                edb.insert(pred.clone(), magic_storage::arena::decode_row(row));
             }
         }
         let oracle = Evaluator::new(view.program().clone()).run(&edb).unwrap();

@@ -65,8 +65,15 @@ impl Database {
             .or_insert_with(|| Relation::new(arity))
     }
 
+    /// Mutable access to the relation for `pred`, if present (never
+    /// creates).
+    pub fn relation_mut_opt(&mut self, pred: &PredName) -> Option<&mut Relation> {
+        self.relations.get_mut(pred)
+    }
+
     /// Remove a row from the relation of `pred`; returns `true` if it was
-    /// present.  Rebuild-based — see [`Relation::remove_rows`] for batching.
+    /// present.  Tombstone-based — see [`Relation::remove_id`] for the
+    /// lifecycle.
     pub fn remove(&mut self, pred: &PredName, row: &[Value]) -> bool {
         self.relations
             .get_mut(pred)
@@ -114,10 +121,9 @@ impl Database {
 
     /// Iterate over every fact in the database.
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
-        self.relations.iter().flat_map(|(pred, rel)| {
-            rel.iter()
-                .map(move |row| Fact::new(pred.clone(), row.clone()))
-        })
+        self.relations
+            .iter()
+            .flat_map(|(pred, rel)| rel.iter().map(move |row| Fact::new(pred.clone(), row)))
     }
 
     /// Merge all relations of `other` into `self`; returns the number of new
@@ -126,7 +132,7 @@ impl Database {
         let mut added = 0;
         for (pred, rel) in other.iter() {
             for row in rel.iter() {
-                if self.insert(pred.clone(), row.clone()) {
+                if self.insert(pred.clone(), row) {
                     added += 1;
                 }
             }

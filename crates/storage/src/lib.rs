@@ -4,6 +4,43 @@
 //! tuples with hash indexes on bound-position patterns, and databases keyed
 //! by (structured) predicate names.
 //!
+//! ## Storage layout: interned packed rows
+//!
+//! Every ground [`Value`](magic_datalog::Value) is interned once in the
+//! process-wide **value arena** (re-exported here as [`ValId`]; it lives in
+//! `magic_datalog::arena` so the slot-compiled term evaluator can match at
+//! id level too).  A `ValId` is a `Copy` `u32` with a 2-bit tag: small
+//! integers (±2^29) and symbols are encoded **inline** in the payload and
+//! never touch a table; out-of-range integers and compound terms are
+//! hash-consed into an append-only node table with lock-free reads, so
+//! structural equality of any two ground values is a single integer
+//! compare, all the way down.
+//!
+//! A [`Relation`] stores all of its rows in one flat `Vec<ValId>` arena,
+//! addressed by `(row id × arity)`.  Duplicate elimination hashes the
+//! packed id slice (FxHash over `u32`s) into a row-hash → row-id table;
+//! secondary indexes map packed key slices to ascending lists of row ids.
+//! Nothing on the insert or probe path hashes or clones a `Value`; rows
+//! are decoded back to `Vec<Value>` only at the API edge
+//! ([`Relation::iter`], [`Relation::row_values`], query answers).
+//!
+//! ## Tombstone lifecycle
+//!
+//! Removal never rebuilds the store.  [`Relation::remove_id`] (and the
+//! value-level wrappers [`Relation::remove`] / [`Relation::remove_rows`])
+//! mark the row's slot **dead** in a liveness bitset and eagerly drop its
+//! id from the dedup table and from every index, so lookups, scans and
+//! iteration never observe dead rows — at O(indexes) per removed row.  The
+//! dead slot itself stays in the arena, which keeps **row ids stable**:
+//! the semi-naive delta machinery marks relation extents with the monotone
+//! [`Relation::watermark`] (high-water row id) rather than the live count,
+//! so ids and delta marks taken before a removal stay valid after it.
+//! [`Relation::compact`] reclaims the dead slots (renumbering rows and
+//! rebuilding dedup + indexes); callers — the incremental view layer —
+//! invoke it between maintenance operations once
+//! [`Relation::tombstones`] crosses a threshold, and take fresh marks
+//! afterwards.
+//!
 //! ```
 //! use magic_storage::Database;
 //! use magic_datalog::{Fact, PredName, Value};
@@ -25,6 +62,11 @@ pub mod database;
 pub mod fxhash;
 pub mod relation;
 pub mod support;
+
+/// The value arena (defined in `magic_datalog::arena`, re-exported here as
+/// the storage-facing interning API).
+pub use magic_datalog::arena;
+pub use magic_datalog::ValId;
 
 pub use database::Database;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};

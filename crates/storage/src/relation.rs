@@ -1,11 +1,17 @@
-//! In-memory relations with hash indexes on bound-position patterns.
+//! In-memory relations over interned packed rows, with hash indexes on
+//! bound-position patterns and tombstone-based removal.
+//!
+//! See the crate-level docs for the storage layout and the tombstone
+//! lifecycle.
 
 use crate::fxhash::{FxBuildHasher, FxHashMap};
-use magic_datalog::Value;
+use magic_datalog::arena::{decode_row, intern_row};
+use magic_datalog::{ValId, Value};
 use std::collections::HashSet;
-use std::hash::{BuildHasher, Hash};
+use std::hash::{BuildHasher, Hasher};
 
-/// A row (tuple) of ground values.
+/// A row (tuple) of ground values — the *boundary* representation, decoded
+/// from the packed storage at the API edge.
 pub type Row = Vec<Value>;
 
 /// The row ids sharing one row hash in the dedup table.
@@ -33,36 +39,67 @@ impl HashBucket {
             HashBucket::Many(ids) => ids.push(id),
         }
     }
+
+    /// Remove `id`; returns `true` when the bucket is now empty.
+    fn remove(&mut self, id: u32) -> bool {
+        match self {
+            HashBucket::One(only) => *only == id,
+            HashBucket::Many(ids) => {
+                ids.retain(|&i| i != id);
+                ids.is_empty()
+            }
+        }
+    }
 }
 
-/// An in-memory relation: a set of rows of fixed arity, with hash indexes
-/// built on demand for the bound-position patterns the evaluator needs.
+/// An in-memory relation: a set of rows of fixed arity, stored as interned
+/// [`ValId`]s in one flat arena vector, with hash indexes built on demand
+/// for the bound-position patterns the evaluator needs.
 ///
-/// Rows are stored **once**, append-only in insertion order (so row ids are
-/// stable and iteration is deterministic).  Duplicate elimination goes
-/// through a row-hash → row-id table instead of a second `HashSet<Row>`
-/// copy of every row.  Indexes map a key — the values at a fixed list of
-/// positions — to the ids of the rows having that key, kept in ascending id
-/// order (they are appended in insertion order), which is what lets the
-/// evaluator slice delta windows out of them by binary search.
+/// Rows are stored **once**, append-only in insertion order, at
+/// `data[id * arity .. (id + 1) * arity]` — so row ids are stable and
+/// iteration is deterministic.  Duplicate elimination goes through a
+/// row-hash → row-id table keyed on the packed id slice (no `Value`
+/// hashing or cloning on any probe).  Indexes map a key — the ids at a
+/// fixed list of positions — to the ids of the live rows having that key,
+/// kept in ascending id order, which is what lets the evaluator slice
+/// delta windows out of them by binary search.
+///
+/// Removal marks rows dead (tombstones) and surgically drops them from the
+/// dedup table and every index — O(removed × indexes), never a rebuild of
+/// the store.  Dead slots stay in `data` until [`Relation::compact`], so
+/// row ids survive removals; [`Relation::watermark`] (the high-water row
+/// id) is the monotone quantity delta windows are measured against, while
+/// [`Relation::len`] counts live rows only.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     arity: usize,
-    rows: Vec<Row>,
-    /// row hash -> ids of rows with that hash (dedup without a row copy).
+    /// Flat packed row storage; row `id` occupies
+    /// `data[id * arity .. (id + 1) * arity]`.
+    data: Vec<ValId>,
+    /// Number of row slots ever allocated (live + tombstoned).
+    rows: usize,
+    /// Liveness bitset, one bit per row slot.
+    live: Vec<u64>,
+    /// Number of tombstoned slots (`rows - live count`).
+    dead: usize,
+    /// row hash -> ids of live rows with that hash (dedup without a copy).
     dedup: FxHashMap<u64, HashBucket>,
-    /// positions -> key values -> ascending row ids.
-    indexes: FxHashMap<Vec<usize>, FxHashMap<Row, Vec<usize>>>,
+    /// positions -> key ids -> ascending live row ids.
+    indexes: FxHashMap<Vec<usize>, KeyIndex>,
     /// Reusable key buffer for incremental index maintenance.
-    key_scratch: Row,
+    key_scratch: Vec<ValId>,
 }
 
-fn hash_row(row: &[Value]) -> u64 {
+/// A secondary index: packed key -> ascending live row ids.
+type KeyIndex = FxHashMap<Box<[ValId]>, Vec<usize>>;
+
+fn hash_ids(row: &[ValId]) -> u64 {
     let mut state = FxBuildHasher::default().build_hasher();
-    // Hash as a slice so lookups with borrowed `&[Value]` agree with keys
-    // inserted as owned `Vec<Value>` (std's `Borrow` contract).
-    row.hash(&mut state);
-    std::hash::Hasher::finish(&state)
+    for id in row {
+        state.write_u32(id.raw());
+    }
+    state.finish()
 }
 
 impl Relation {
@@ -79,22 +116,60 @@ impl Relation {
         self.arity
     }
 
-    /// Number of rows.
+    /// Number of **live** rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.rows - self.dead
     }
 
-    /// True iff the relation has no rows.
+    /// True iff the relation has no live rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len() == 0
     }
 
-    /// Insert a row; returns `true` if it was new.
+    /// One past the highest row id ever allocated (live or dead).  This is
+    /// the monotone delta mark: rows inserted after a caller observed
+    /// `watermark()` have ids `>=` that observation, whatever removals
+    /// happen in between.  Reset only by [`Relation::compact`].
+    pub fn watermark(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of tombstoned row slots awaiting [`Relation::compact`].
+    pub fn tombstones(&self) -> usize {
+        self.dead
+    }
+
+    /// True iff row id `id` is live (in bounds and not tombstoned).
+    #[inline]
+    pub fn is_live(&self, id: usize) -> bool {
+        id < self.rows && self.live[id >> 6] & (1 << (id & 63)) != 0
+    }
+
+    #[inline]
+    fn clear_live(&mut self, id: usize) {
+        self.live[id >> 6] &= !(1 << (id & 63));
+    }
+
+    /// Insert a row of values; returns `true` if it was new.  Interns the
+    /// values and delegates to [`Relation::insert_ids`].
     ///
     /// # Panics
     ///
     /// Panics if the row's arity does not match the relation's.
     pub fn insert(&mut self, row: Row) -> bool {
+        let ids = intern_row(&row);
+        self.insert_ids(&ids)
+    }
+
+    /// Insert a packed row; returns `true` if it was new.  The storage hot
+    /// path: one FxHash over the id slice, one dedup-map probe, and an
+    /// append — no per-row allocation beyond the arena vector's amortized
+    /// growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity does not match the relation's.
+    pub fn insert_ids(&mut self, row: &[ValId]) -> bool {
         assert_eq!(
             row.len(),
             self.arity,
@@ -102,15 +177,21 @@ impl Relation {
             row.len(),
             self.arity
         );
-        let hash = hash_row(&row);
-        let id = self.rows.len();
+        let hash = hash_ids(row);
+        let id = self.rows;
         let id32 = u32::try_from(id).expect("relation exceeds u32::MAX rows");
         // One dedup-map probe per insert: duplicate check and id recording
         // go through the same entry.
         match self.dedup.entry(hash) {
             std::collections::hash_map::Entry::Occupied(mut entry) => {
-                let rows = &self.rows;
-                if entry.get().ids().iter().any(|&id| rows[id as usize] == row) {
+                let data = &self.data;
+                let arity = self.arity;
+                if entry
+                    .get()
+                    .ids()
+                    .iter()
+                    .any(|&id| &data[id as usize * arity..(id as usize + 1) * arity] == row)
+                {
                     return false;
                 }
                 entry.get_mut().push(id32);
@@ -120,167 +201,246 @@ impl Relation {
             }
         }
         // Maintain every index without allocating a fresh key per index:
-        // the scratch buffer is reused, and an owned key is cloned only the
+        // the scratch buffer is reused, and an owned key is copied only the
         // first time a key value is seen.
         let mut scratch = std::mem::take(&mut self.key_scratch);
         for (positions, index) in self.indexes.iter_mut() {
             scratch.clear();
-            scratch.extend(positions.iter().map(|&p| row[p].clone()));
+            scratch.extend(positions.iter().map(|&p| row[p]));
             if let Some(ids) = index.get_mut(scratch.as_slice()) {
                 ids.push(id);
             } else {
-                index.insert(scratch.clone(), vec![id]);
+                index.insert(scratch.as_slice().into(), vec![id]);
             }
         }
         self.key_scratch = scratch;
-        self.rows.push(row);
+        self.append_row_slot(row);
         true
     }
 
-    /// True iff the relation contains `row`.
+    /// Append `row` to the flat arena as the next (live) row slot; the
+    /// shared tail of [`Relation::insert_ids`] and [`Relation::compact`].
+    /// Dedup/index bookkeeping is the caller's responsibility.
+    fn append_row_slot(&mut self, row: &[ValId]) -> usize {
+        let id = self.rows;
+        self.data.extend_from_slice(row);
+        if self.rows.is_multiple_of(64) {
+            self.live.push(0);
+        }
+        self.rows += 1;
+        self.live[id >> 6] |= 1 << (id & 63);
+        id
+    }
+
+    /// True iff the relation contains the (value-level) row.
     pub fn contains(&self, row: &[Value]) -> bool {
-        self.dedup
-            .get(&hash_row(row))
-            .is_some_and(|bucket| bucket.ids().iter().any(|&id| self.rows[id as usize] == row))
+        self.contains_ids(&intern_row(row))
     }
 
-    /// Iterate over all rows in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Row> + '_ {
-        self.rows.iter()
+    /// True iff the relation contains the packed row.
+    pub fn contains_ids(&self, row: &[ValId]) -> bool {
+        self.find_id(row).is_some()
     }
 
-    /// The row with the given id (insertion order).
-    pub fn row(&self, id: usize) -> &Row {
-        &self.rows[id]
+    /// The stored id of a (value-level) row, if present and live.
+    pub fn id_of(&self, row: &[Value]) -> Option<usize> {
+        self.find_id(&intern_row(row))
     }
 
-    /// Rows with ids in `from..` (used by delta-based evaluation).
-    pub fn rows_from(&self, from: usize) -> &[Row] {
-        &self.rows[from.min(self.rows.len())..]
+    /// The stored id of a packed row, if present and live.
+    pub fn find_id(&self, row: &[ValId]) -> Option<usize> {
+        let bucket = self.dedup.get(&hash_ids(row))?;
+        bucket
+            .ids()
+            .iter()
+            .map(|&id| id as usize)
+            .find(|&id| self.row_ids(id) == row)
     }
 
-    /// Ensure an index exists on `positions` and return the matching row ids
-    /// for `key` as an owned vector.  Convenience wrapper over
+    /// The packed row with the given id.  The id must be in bounds; dead
+    /// rows still decode (their slots persist until compaction).
+    #[inline]
+    pub fn row_ids(&self, id: usize) -> &[ValId] {
+        &self.data[id * self.arity..(id + 1) * self.arity]
+    }
+
+    /// The row with the given id, decoded to values.
+    pub fn row_values(&self, id: usize) -> Row {
+        decode_row(self.row_ids(id))
+    }
+
+    /// Iterate over all live rows (decoded) in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Row> + '_ {
+        self.iter_ids().map(|(_, ids)| decode_row(ids))
+    }
+
+    /// Iterate over `(id, packed row)` for all live rows in id order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (usize, &[ValId])> + '_ {
+        (0..self.rows)
+            .filter(|&id| self.is_live(id))
+            .map(|id| (id, self.row_ids(id)))
+    }
+
+    /// Ensure an index exists on `positions` and return the matching live
+    /// row ids for `key` as an owned vector.  Convenience wrapper over
     /// [`Relation::ensure_index`] + [`Relation::lookup`]; the evaluator's
     /// hot path uses those directly to borrow the id slice instead.
     ///
-    /// An empty `positions` list means "no selection": all row ids match.
+    /// An empty `positions` list means "no selection": all live row ids
+    /// match.
     pub fn select_ids(&mut self, positions: &[usize], key: &[Value]) -> Vec<usize> {
         debug_assert_eq!(positions.len(), key.len());
         if positions.is_empty() {
-            return (0..self.rows.len()).collect();
+            return (0..self.rows).filter(|&id| self.is_live(id)).collect();
         }
         self.ensure_index(positions);
-        self.lookup(positions, key)
+        self.lookup(positions, &intern_row(key))
             .expect("index was just ensured")
             .to_vec()
     }
 
-    /// Ensure an (incrementally maintained) hash index exists on `positions`.
+    /// Ensure an (incrementally maintained) hash index exists on
+    /// `positions`.  Indexes are kept current by [`Relation::insert_ids`]
+    /// and the removal entry points alike.
     pub fn ensure_index(&mut self, positions: &[usize]) {
         if positions.is_empty() || self.indexes.contains_key(positions) {
             return;
         }
-        let mut index: FxHashMap<Row, Vec<usize>> = FxHashMap::default();
-        for (id, row) in self.rows.iter().enumerate() {
-            let key: Row = positions.iter().map(|&p| row[p].clone()).collect();
+        let mut index: KeyIndex = FxHashMap::default();
+        for (id, row) in self.iter_ids() {
+            let key: Box<[ValId]> = positions.iter().map(|&p| row[p]).collect();
             index.entry(key).or_default().push(id);
         }
         self.indexes.insert(positions.to_vec(), index);
     }
 
-    /// Look up the row ids matching `key` on a previously ensured index.
+    /// Look up the live row ids matching the packed `key` on a previously
+    /// ensured index.
     ///
     /// This is the join's single hot-path entry point: the returned slice is
-    /// borrowed (never copied) and its ids are in **ascending order** —
-    /// semi-naive delta windows are binary-searched out of it.  Returns
-    /// `None` if no index exists on `positions` (callers fall back to
-    /// [`Relation::scan_select`]).
-    pub fn lookup(&self, positions: &[usize], key: &[Value]) -> Option<&[usize]> {
+    /// borrowed (never copied), contains live rows only, and its ids are in
+    /// **ascending order** — semi-naive delta windows are binary-searched
+    /// out of it.  Returns `None` if no index exists on `positions`
+    /// (callers fall back to [`Relation::scan_select`]).
+    pub fn lookup(&self, positions: &[usize], key: &[ValId]) -> Option<&[usize]> {
         let index = self.indexes.get(positions)?;
         Some(index.get(key).map(Vec::as_slice).unwrap_or(&[]))
     }
 
-    /// Like [`Relation::select_ids`] but without building or using indexes
-    /// (linear scan, ids ascending).  Useful for read-only access paths.
-    pub fn scan_select(&self, positions: &[usize], key: &[Value]) -> Vec<usize> {
-        self.rows
-            .iter()
-            .enumerate()
+    /// Like [`Relation::select_ids`] (packed key) but without building or
+    /// using indexes (linear scan over live rows, ids ascending).  Useful
+    /// for read-only access paths.
+    pub fn scan_select(&self, positions: &[usize], key: &[ValId]) -> Vec<usize> {
+        self.iter_ids()
             .filter(|(_, row)| positions.iter().zip(key).all(|(&p, v)| &row[p] == v))
             .map(|(id, _)| id)
             .collect()
     }
 
     /// Project the relation onto the given positions, returning the distinct
-    /// projected rows in first-appearance order.
+    /// projected rows (decoded) in first-appearance order.
     pub fn project(&self, positions: &[usize]) -> Vec<Row> {
-        let mut seen = HashSet::new();
+        let mut seen: HashSet<Box<[ValId]>> = HashSet::new();
         let mut out = Vec::new();
-        for row in &self.rows {
-            let projected: Row = positions.iter().map(|&p| row[p].clone()).collect();
-            if seen.insert(projected.clone()) {
-                out.push(projected);
+        for (_, row) in self.iter_ids() {
+            let projected: Box<[ValId]> = positions.iter().map(|&p| row[p]).collect();
+            if !seen.contains(&projected) {
+                out.push(decode_row(&projected));
+                seen.insert(projected);
             }
         }
         out
     }
 
-    /// The stored id of `row`, if present.
-    pub fn id_of(&self, row: &[Value]) -> Option<usize> {
-        self.dedup.get(&hash_row(row)).and_then(|bucket| {
-            bucket
-                .ids()
-                .iter()
-                .map(|&id| id as usize)
-                .find(|&id| self.rows[id] == row)
-        })
-    }
-
-    /// Remove one row; returns `true` if it was present.
-    ///
-    /// Removal is rebuild-based (see [`Relation::remove_rows`]); callers
-    /// with several rows to drop should batch them into one call.
+    /// Remove one (value-level) row; returns `true` if it was present.
+    /// Tombstone-based: O(indexes), no rebuild.
     pub fn remove(&mut self, row: &[Value]) -> bool {
         match self.id_of(row) {
-            Some(id) => {
-                self.rebuild_without(&std::iter::once(id).collect());
-                true
-            }
+            Some(id) => self.remove_id(id),
             None => false,
         }
     }
 
     /// Remove every row of `rows` that is present; returns how many were.
-    ///
-    /// Removal compacts the row store, so **row ids shift**: any ids or
-    /// delta marks taken before a removal are invalidated.  The dedup
-    /// table is rebuilt and every existing index is rebuilt on its same
-    /// position pattern (so previously ensured access paths stay warm).
-    /// One call costs `O(stored rows + removed)` regardless of how many
-    /// rows are removed — batch removals accordingly.
+    /// Each removal is an independent tombstone mark — there is no longer a
+    /// batching advantage over repeated [`Relation::remove`] calls, but the
+    /// batched signature is kept for callers that collect rows first.
     pub fn remove_rows(&mut self, rows: &[Row]) -> usize {
-        let dead: HashSet<usize> = rows.iter().filter_map(|row| self.id_of(row)).collect();
-        if dead.is_empty() {
-            return 0;
+        let mut removed = 0;
+        for row in rows {
+            if self.remove(row) {
+                removed += 1;
+            }
         }
-        self.rebuild_without(&dead);
-        dead.len()
+        removed
     }
 
-    /// Drop the rows with the given ids and rebuild dedup + indexes.
-    fn rebuild_without(&mut self, dead: &HashSet<usize>) {
-        let old = std::mem::take(&mut self.rows);
-        self.rows = old
-            .into_iter()
-            .enumerate()
-            .filter(|(id, _)| !dead.contains(id))
-            .map(|(_, row)| row)
-            .collect();
+    /// Tombstone the row with id `id`; returns `false` if it was already
+    /// dead.  Row ids are **stable** across removals: the slot persists
+    /// (dead) until [`Relation::compact`], so ids and delta marks taken
+    /// before the removal stay valid.  The dedup table and every index drop
+    /// the id eagerly, so lookups and scans never observe dead rows.
+    pub fn remove_id(&mut self, id: usize) -> bool {
+        if !self.is_live(id) {
+            return false;
+        }
+        self.clear_live(id);
+        self.dead += 1;
+        let id32 = id as u32;
+        let hash = hash_ids(self.row_ids(id));
+        if let Some(bucket) = self.dedup.get_mut(&hash) {
+            if bucket.remove(id32) {
+                self.dedup.remove(&hash);
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.key_scratch);
+        let (data, arity) = (&self.data, self.arity);
+        let row = &data[id * arity..(id + 1) * arity];
+        for (positions, index) in self.indexes.iter_mut() {
+            scratch.clear();
+            scratch.extend(positions.iter().map(|&p| row[p]));
+            if let Some(ids) = index.get_mut(scratch.as_slice()) {
+                // Ids are ascending, so the victim is found by binary
+                // search and removed with one shift of its (short) tail.
+                if let Ok(pos) = ids.binary_search(&id) {
+                    ids.remove(pos);
+                }
+                if ids.is_empty() {
+                    index.remove(scratch.as_slice());
+                }
+            }
+        }
+        self.key_scratch = scratch;
+        true
+    }
+
+    /// Reclaim tombstoned slots: rewrite the arena with live rows only (in
+    /// id order), rebuild the dedup table, and rebuild every existing index
+    /// on its same position pattern.  **Row ids shift** — any ids, delta
+    /// marks or watermarks taken before compaction are invalidated, so only
+    /// call between operations (the incremental layer compacts after a
+    /// retraction batch, before taking fresh marks).
+    pub fn compact(&mut self) {
+        if self.dead == 0 {
+            return;
+        }
+        let old = std::mem::take(&mut self.data);
+        let old_rows = self.rows;
+        let old_live = std::mem::take(&mut self.live);
+        let is_live = |id: usize| old_live[id >> 6] & (1 << (id & 63)) != 0;
+        self.data = Vec::with_capacity((old_rows - self.dead) * self.arity);
+        self.rows = 0;
+        self.dead = 0;
         self.dedup.clear();
-        for (id, row) in self.rows.iter().enumerate() {
-            let id32 = u32::try_from(id).expect("relation exceeds u32::MAX rows");
-            match self.dedup.entry(hash_row(row)) {
+        for id in 0..old_rows {
+            if !is_live(id) {
+                continue;
+            }
+            let row = &old[id * self.arity..(id + 1) * self.arity];
+            let id32 = u32::try_from(self.rows).expect("relation exceeds u32::MAX rows");
+            // Rows are unique (they survived the live dedup), so no
+            // duplicate check — just record the id under the row hash.
+            match self.dedup.entry(hash_ids(row)) {
                 std::collections::hash_map::Entry::Occupied(mut entry) => {
                     entry.get_mut().push(id32)
                 }
@@ -288,6 +448,7 @@ impl Relation {
                     entry.insert(HashBucket::One(id32));
                 }
             }
+            self.append_row_slot(row);
         }
         let patterns: Vec<Vec<usize>> = self.indexes.keys().cloned().collect();
         self.indexes.clear();
@@ -299,8 +460,8 @@ impl Relation {
     /// Merge all rows of `other` into `self`; returns the number of new rows.
     pub fn merge(&mut self, other: &Relation) -> usize {
         let mut added = 0;
-        for row in other.iter() {
-            if self.insert(row.clone()) {
+        for (_, row) in other.iter_ids() {
+            if self.insert_ids(row) {
                 added += 1;
             }
         }
@@ -310,11 +471,11 @@ impl Relation {
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        // Set equality: both sides are duplicate-free, so equal lengths plus
-        // one-way containment suffice.
+        // Set equality: both sides are duplicate-free, so equal live counts
+        // plus one-way containment suffice.
         self.arity == other.arity
-            && self.rows.len() == other.rows.len()
-            && self.rows.iter().all(|row| other.contains(row))
+            && self.len() == other.len()
+            && self.iter_ids().all(|(_, row)| other.contains_ids(row))
     }
 }
 
@@ -373,7 +534,7 @@ mod tests {
         // Multi-position keys.
         let ids = r.select_ids(&[0, 1], &[v("a"), v("c")]);
         assert_eq!(ids.len(), 1);
-        assert_eq!(r.row(ids[0]), &vec![v("a"), v("c")]);
+        assert_eq!(r.row_values(ids[0]), vec![v("a"), v("c")]);
         // Missing keys return nothing.
         assert!(r.select_ids(&[0], &[v("zzz")]).is_empty());
         // Empty position list selects everything.
@@ -389,7 +550,10 @@ mod tests {
             r.insert(vec![Value::Int(i % 4), Value::Int(i)]);
         }
         for k in 0..4i64 {
-            let ids = r.lookup(&[0], &[Value::Int(k)]).unwrap();
+            let ids = r
+                .lookup(&[0], &intern_row(&[Value::Int(k)]))
+                .unwrap()
+                .to_vec();
             assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids not ascending");
             assert_eq!(ids.len(), 10);
         }
@@ -401,7 +565,8 @@ mod tests {
         for i in 0..10i64 {
             r.insert(vec![Value::Int(i % 3), Value::Int(i), Value::Int(i * 2)]);
         }
-        let scanned = r.scan_select(&[0], &[Value::Int(1)]);
+        let key = intern_row(&[Value::Int(1)]);
+        let scanned = r.scan_select(&[0], &key);
         let indexed = r.select_ids(&[0], &[Value::Int(1)]);
         assert_eq!(scanned, indexed);
     }
@@ -430,16 +595,6 @@ mod tests {
     }
 
     #[test]
-    fn rows_from_slices_deltas() {
-        let mut r = Relation::new(1);
-        r.insert(vec![v("a")]);
-        r.insert(vec![v("b")]);
-        r.insert(vec![v("c")]);
-        assert_eq!(r.rows_from(1).len(), 2);
-        assert_eq!(r.rows_from(5).len(), 0);
-    }
-
-    #[test]
     fn equality_ignores_insertion_order() {
         let mut a = Relation::new(1);
         a.insert(vec![v("x")]);
@@ -464,18 +619,19 @@ mod tests {
         assert_eq!(r.len(), 2);
         assert!(!r.contains(&[v("a"), v("b")]));
         // Index answers reflect the removal and later inserts still work.
-        assert_eq!(r.lookup(&[0], &[v("a")]).unwrap().len(), 1);
+        let key_a = intern_row(&[v("a")]);
+        assert_eq!(r.lookup(&[0], &key_a).unwrap().len(), 1);
         assert!(r.insert(vec![v("a"), v("b")]));
-        assert_eq!(r.lookup(&[0], &[v("a")]).unwrap().len(), 2);
+        assert_eq!(r.lookup(&[0], &key_a).unwrap().len(), 2);
         assert!(r
-            .lookup(&[0], &[v("a")])
+            .lookup(&[0], &key_a)
             .unwrap()
             .windows(2)
             .all(|w| w[0] < w[1]));
     }
 
     #[test]
-    fn remove_rows_batches_and_reports_presence() {
+    fn remove_tombstones_and_preserves_row_ids() {
         let mut r = Relation::new(1);
         for s in ["a", "b", "c", "d"] {
             r.insert(vec![v(s)]);
@@ -483,12 +639,47 @@ mod tests {
         let removed = r.remove_rows(&[vec![v("b")], vec![v("zzz")], vec![v("d")]]);
         assert_eq!(removed, 2);
         assert_eq!(r.len(), 2);
+        assert_eq!(r.tombstones(), 2);
+        assert_eq!(r.watermark(), 4);
         assert!(r.contains(&[v("a")]));
         assert!(r.contains(&[v("c")]));
-        // Ids compact in order.
+        // Ids are stable: survivors keep their slots.
         assert_eq!(r.id_of(&[v("a")]), Some(0));
-        assert_eq!(r.id_of(&[v("c")]), Some(1));
+        assert_eq!(r.id_of(&[v("c")]), Some(2));
         assert_eq!(r.id_of(&[v("b")]), None);
+        assert!(!r.is_live(1));
+        // Iteration skips tombstones.
+        let rows: Vec<Row> = r.iter().collect();
+        assert_eq!(rows, vec![vec![v("a")], vec![v("c")]]);
+        // Re-inserting a removed row appends a fresh id past the watermark.
+        assert!(r.insert(vec![v("b")]));
+        assert_eq!(r.id_of(&[v("b")]), Some(4));
+        assert_eq!(r.watermark(), 5);
+    }
+
+    #[test]
+    fn compact_reclaims_tombstones_and_renumbers() {
+        let mut r = Relation::new(1);
+        for s in ["a", "b", "c", "d"] {
+            r.insert(vec![v(s)]);
+        }
+        r.ensure_index(&[0]);
+        r.remove(&[v("a")]);
+        r.remove(&[v("c")]);
+        r.compact();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tombstones(), 0);
+        assert_eq!(r.watermark(), 2);
+        // Survivors are renumbered densely in former id order.
+        assert_eq!(r.id_of(&[v("b")]), Some(0));
+        assert_eq!(r.id_of(&[v("d")]), Some(1));
+        // Indexes were rebuilt on the same pattern and stay maintained.
+        assert_eq!(r.lookup(&[0], &intern_row(&[v("b")])).unwrap(), &[0]);
+        assert!(r.insert(vec![v("e")]));
+        assert_eq!(r.lookup(&[0], &intern_row(&[v("e")])).unwrap(), &[2]);
+        // Compacting a tombstone-free relation is a no-op.
+        r.compact();
+        assert_eq!(r.len(), 3);
     }
 
     #[test]
@@ -499,12 +690,14 @@ mod tests {
         assert_eq!(bucket.ids(), &[3, 9]);
         bucket.push(12);
         assert_eq!(bucket.ids(), &[3, 9, 12]);
+        assert!(!bucket.remove(9));
+        assert_eq!(bucket.ids(), &[3, 12]);
     }
 
     #[test]
     fn dedup_survives_many_inserts() {
         // Exercise the dedup table with enough rows that any hashing bug
-        // (e.g. slice/Vec disagreement) would show as phantom duplicates.
+        // would show as phantom duplicates.
         let mut r = Relation::new(2);
         for i in 0..1000i64 {
             assert!(r.insert(vec![Value::Int(i / 25), Value::Int(i % 25)]));

@@ -12,19 +12,21 @@
 //! exact either way, which the test suite checks against the head-bound
 //! join oracle.
 //!
+//! Rows are keyed in their packed ([`ValId`]) form, matching the relation
+//! storage: maintaining a count hashes a few `u32`s, never a `Value`.
+//!
 //! The table is storage-layer state rather than engine state because it is
 //! part of what a materialized relation *is* under maintenance: rows plus
 //! their support.
 
 use crate::fxhash::FxHashMap;
-use crate::relation::Row;
-use magic_datalog::PredName;
+use magic_datalog::{PredName, ValId};
 use std::collections::BTreeMap;
 
-/// Exact per-row derivation counts, keyed by predicate then row.
+/// Exact per-row derivation counts, keyed by predicate then packed row.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SupportTable {
-    counts: BTreeMap<PredName, FxHashMap<Row, u64>>,
+    counts: BTreeMap<PredName, FxHashMap<Box<[ValId]>, u64>>,
 }
 
 impl SupportTable {
@@ -35,8 +37,8 @@ impl SupportTable {
 
     /// Add `n` derivations of `row` under `pred`; returns the new count.
     ///
-    /// The row is cloned only when it is first seen under the predicate.
-    pub fn add(&mut self, pred: &PredName, row: &[magic_datalog::Value], n: u64) -> u64 {
+    /// The row is copied only when it is first seen under the predicate.
+    pub fn add(&mut self, pred: &PredName, row: &[ValId], n: u64) -> u64 {
         let by_row = match self.counts.get_mut(pred) {
             Some(by_row) => by_row,
             None => self.counts.entry(pred.clone()).or_default(),
@@ -47,7 +49,7 @@ impl SupportTable {
                 *count
             }
             None => {
-                by_row.insert(row.to_vec(), n);
+                by_row.insert(row.into(), n);
                 n
             }
         }
@@ -61,7 +63,7 @@ impl SupportTable {
     /// Panics (in debug builds) if the row's recorded support is smaller
     /// than `n` — the incremental algebra never over-subtracts; doing so
     /// means counts and derivations have drifted apart.
-    pub fn sub(&mut self, pred: &PredName, row: &[magic_datalog::Value], n: u64) -> u64 {
+    pub fn sub(&mut self, pred: &PredName, row: &[ValId], n: u64) -> u64 {
         let Some(by_row) = self.counts.get_mut(pred) else {
             debug_assert!(n == 0, "subtracting support from an untracked predicate");
             return 0;
@@ -81,7 +83,7 @@ impl SupportTable {
     }
 
     /// The recorded support of `row` under `pred` (zero if untracked).
-    pub fn get(&self, pred: &PredName, row: &[magic_datalog::Value]) -> u64 {
+    pub fn get(&self, pred: &PredName, row: &[ValId]) -> u64 {
         self.counts
             .get(pred)
             .and_then(|by_row| by_row.get(row))
@@ -91,19 +93,19 @@ impl SupportTable {
 
     /// Drop the entry of `row` under `pred` regardless of its count;
     /// returns the count it had.
-    pub fn remove(&mut self, pred: &PredName, row: &[magic_datalog::Value]) -> u64 {
+    pub fn remove(&mut self, pred: &PredName, row: &[ValId]) -> u64 {
         self.counts
             .get_mut(pred)
             .and_then(|by_row| by_row.remove(row))
             .unwrap_or(0)
     }
 
-    /// Iterate over the tracked rows of `pred` with their counts.
-    pub fn rows_of(&self, pred: &PredName) -> impl Iterator<Item = (&Row, u64)> + '_ {
+    /// Iterate over the tracked (packed) rows of `pred` with their counts.
+    pub fn rows_of(&self, pred: &PredName) -> impl Iterator<Item = (&[ValId], u64)> + '_ {
         self.counts
             .get(pred)
             .into_iter()
-            .flat_map(|by_row| by_row.iter().map(|(row, &n)| (row, n)))
+            .flat_map(|by_row| by_row.iter().map(|(row, &n)| (row.as_ref(), n)))
     }
 
     /// The predicates with at least one tracked row.
@@ -125,8 +127,8 @@ mod tests {
     use super::*;
     use magic_datalog::Value;
 
-    fn row(s: &str) -> Row {
-        vec![Value::sym(s)]
+    fn row(s: &str) -> Vec<ValId> {
+        vec![ValId::intern(&Value::sym(s))]
     }
 
     #[test]
@@ -164,8 +166,10 @@ mod tests {
         let p = PredName::plain("p");
         t.add(&p, &row("a"), 1);
         t.add(&p, &row("b"), 2);
-        let mut rows: Vec<(String, u64)> =
-            t.rows_of(&p).map(|(r, n)| (r[0].to_string(), n)).collect();
+        let mut rows: Vec<(String, u64)> = t
+            .rows_of(&p)
+            .map(|(r, n)| (r[0].value().to_string(), n))
+            .collect();
         rows.sort();
         assert_eq!(rows, vec![("a".into(), 1), ("b".into(), 2)]);
     }

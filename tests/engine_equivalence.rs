@@ -36,7 +36,7 @@ fn oracle_fixpoint(program: &Program, edb: &Database) -> BTreeSet<String> {
                                 continue;
                             }
                             let mut candidate = env.clone();
-                            if atom.match_row(row, &mut candidate) {
+                            if atom.match_row(&row, &mut candidate) {
                                 next.push(candidate);
                             }
                         }
