@@ -7,17 +7,26 @@
 //!
 //! The report is the per-PR performance trajectory for this repository:
 //! PR 1 checked in `BENCH_PR1.json`, PR 2 added the `incr_*` scenarios
-//! (`BENCH_PR2.json`), PR 3 moves storage to interned packed rows and adds
-//! the stress scenarios (`BENCH_PR3.json`); the pre-existing scenarios'
-//! probe counts must not move between snapshots.  Usage:
+//! (`BENCH_PR2.json`), PR 3 moved storage to interned packed rows and
+//! added the stress scenarios (`BENCH_PR3.json`), PR 4 adds the
+//! stratified parallel scheduler (`BENCH_PR4.json`): every classic cell
+//! is measured single-threaded *and* at the parallel thread count, with
+//! a `"threads"` field per cell and labels `gms@t4` for the parallel
+//! legs.  The pre-existing scenarios' probe counts must not move between
+//! snapshots, and — the scheduler's determinism contract — every counter
+//! of a parallel cell must be bit-identical to its single-threaded twin
+//! (the report generator asserts this).  Usage:
 //!
 //! ```text
 //! cargo run --release -p magic-bench --bin perf_report -- \
-//!     [--out BENCH_PR3.json] [--baseline BENCH_PR2.json] [--quick] \
-//!     [--filter <scenario-substring>] [--strategy <short-name>]...
+//!     [--out BENCH_PR4.json] [--baseline BENCH_PR3.json] [--quick] \
+//!     [--threads N] [--filter <scenario-substring>] \
+//!     [--strategy <short-name>]...
 //! ```
 //!
-//! With `--baseline`, wall-clock speedups versus the named earlier snapshot
+//! `--threads N` sets the parallel leg's thread count (default: available
+//! parallelism; a resolved count of 1 skips the parallel legs).  With
+//! `--baseline`, wall-clock speedups versus the named earlier snapshot
 //! are computed and embedded under `"speedup_vs_baseline"`.  `--quick`
 //! shrinks the scenarios (used by the smoke test in CI).  Each `incr_*`
 //! scenario carries two cells — `incr` (the maintenance operation) and
@@ -25,13 +34,17 @@
 //! updated base facts) — and the `incr` cell embeds
 //! `"speedup_vs_scratch"`.
 //!
+//! Counting plans that the planner's cycle-detecting pre-check refuses
+//! (`PlanError::CountingUnsafe`, Theorem 10.3) are recorded as skipped
+//! cells with the typed reason instead of burning the wall budget.
+//!
 //! The JSON is written by hand: the build environment has no crates.io
 //! access, so there is no serde.  The format is flat and stable on purpose.
 
 use magic_bench::{
     ancestor_chain, list_reverse, nested_same_generation, same_generation, Scenario,
 };
-use magic_core::planner::{Planner, Strategy};
+use magic_core::planner::{PlanError, Planner, Strategy};
 use magic_datalog::{Fact, Value};
 use magic_engine::{EvalStats, Evaluator, Limits};
 use magic_incr::MaterializedView;
@@ -44,11 +57,23 @@ use std::time::Instant;
 /// methods' divergence on the cyclic (nested) same-generation data
 /// (Section 10) surfaces as a recorded time-limit error instead of spinning
 /// toward the iteration limit for hours.
-fn report_limits(quick: bool) -> Limits {
-    Limits::default()
+///
+/// `ancestor/chain/8192` under gms is the deliberate outlier: its
+/// quadratic closure (~33.5M `anc` pairs) needs a bigger fact budget and
+/// a few minutes of wall — it is the parallel scheduler's headline
+/// scenario, so it runs despite the cost.
+fn report_limits(quick: bool, scenario: &str) -> Limits {
+    let limits = Limits::default()
         .with_max_iterations(20_000)
         .with_max_facts(20_000_000)
-        .with_max_wall(std::time::Duration::from_secs(if quick { 5 } else { 30 }))
+        .with_max_wall(std::time::Duration::from_secs(if quick { 5 } else { 30 }));
+    if scenario.starts_with("ancestor/chain/8192") {
+        limits
+            .with_max_facts(40_000_000)
+            .with_max_wall(std::time::Duration::from_secs(600))
+    } else {
+        limits
+    }
 }
 
 /// One (scenario, strategy) measurement.  `label` is a planner strategy
@@ -105,12 +130,16 @@ fn skip_reason(scenario: &str, strategy: Strategy) -> Option<String> {
     if scenario.starts_with("ancestor/chain/8192")
         && !matches!(
             strategy,
-            Strategy::CountingSemijoin | Strategy::SupplementaryCountingSemijoin
+            Strategy::MagicSets
+                | Strategy::CountingSemijoin
+                | Strategy::SupplementaryCountingSemijoin
         )
     {
         return Some(
-            "the quadratic closure of an 8192-edge chain (~33.5M pairs) exceeds the \
-             fact budget; only the linear counting+semijoin strategies run at this scale"
+            "the quadratic closure of an 8192-edge chain (~33.5M pairs) needs minutes \
+             per run; gms carries the full-closure measurement (the parallel \
+             scheduler's headline), the linear counting+semijoin strategies the \
+             cheap one"
                 .into(),
         );
     }
@@ -131,18 +160,26 @@ fn skip_reason(scenario: &str, strategy: Strategy) -> Option<String> {
     None
 }
 
-/// Measure one cell: repeat the run until a 3 s budget or 200 samples,
-/// whichever comes first, and report the minimum wall time.
-fn measure(scenario: &Scenario, strategy: Strategy, quick: bool) -> Outcome {
+/// Measure one cell at the given thread count: repeat the run until a 3 s
+/// budget or 200 samples, whichever comes first, and report the minimum
+/// wall time.  Plans the cycle-detecting pre-check refuses are recorded as
+/// typed skips.
+fn measure(scenario: &Scenario, strategy: Strategy, quick: bool, threads: usize) -> Outcome {
     if let Some(reason) = skip_reason(&scenario.name, strategy) {
         return Outcome::Skipped { reason };
     }
-    let planner = Planner::new(strategy).with_limits(report_limits(quick));
+    let limits = report_limits(quick, &scenario.name).with_threads(threads);
+    let planner = Planner::new(strategy).with_limits(limits);
     let run = || planner.evaluate(&scenario.program, &scenario.query, &scenario.database);
     let budget = Instant::now();
     let start = Instant::now();
     let result = match run() {
         Ok(result) => result,
+        Err(e @ PlanError::CountingUnsafe { .. }) => {
+            return Outcome::Skipped {
+                reason: e.to_string(),
+            }
+        }
         Err(e) => {
             return Outcome::Error {
                 message: e.to_string(),
@@ -278,7 +315,10 @@ fn stats_delta(after: &EvalStats, before: &EvalStats) -> (usize, usize, usize, u
 /// (min wall over repeated op+restore round trips) and the from-scratch
 /// re-evaluation of the same program over the updated base facts.
 fn measure_incr(scenario: &IncrScenario, quick: bool) -> (Cell, Cell) {
-    let limits = report_limits(quick);
+    // Incr cells are pinned single-threaded (like the classic `t=1`
+    // legs): without the explicit pin they would silently inherit an
+    // ambient MAGIC_THREADS and record env-dependent wall times.
+    let limits = report_limits(quick, &scenario.name).with_threads(1);
     let mut view =
         match MaterializedView::with_limits(&scenario.program, &scenario.database, limits) {
             Ok(view) => view,
@@ -409,8 +449,11 @@ fn measure_incr(scenario: &IncrScenario, quick: bool) -> (Cell, Cell) {
             join_probes,
         },
     );
-    incr_cell.extra = format!(", \"speedup_vs_scratch\": {:.2}", scratch_best / best);
-    let scratch_cell = Cell::new(
+    incr_cell.extra = format!(
+        ", \"threads\": 1, \"speedup_vs_scratch\": {:.2}",
+        scratch_best / best
+    );
+    let mut scratch_cell = Cell::new(
         "scratch",
         Outcome::Ok {
             wall_secs: scratch_best,
@@ -423,6 +466,7 @@ fn measure_incr(scenario: &IncrScenario, quick: bool) -> (Cell, Cell) {
             join_probes: scratch_result.stats.join_probes,
         },
     );
+    scratch_cell.extra = ", \"threads\": 1".to_string();
     (incr_cell, scratch_cell)
 }
 
@@ -430,10 +474,44 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Enforce the scheduler's determinism contract while the report is
+/// generated: a parallel cell that succeeded must match its
+/// single-threaded twin on every counter, bit for bit.
+fn assert_counters_pinned(scenario: &str, single: &Outcome, parallel: &Outcome) {
+    if let (
+        Outcome::Ok {
+            answers: a1,
+            rule_firings: f1,
+            facts_derived: d1,
+            duplicate_derivations: u1,
+            join_probes: p1,
+            iterations: i1,
+            ..
+        },
+        Outcome::Ok {
+            answers: a2,
+            rule_firings: f2,
+            facts_derived: d2,
+            duplicate_derivations: u2,
+            join_probes: p2,
+            iterations: i2,
+            ..
+        },
+    ) = (single, parallel)
+    {
+        assert!(
+            (a1, f1, d1, u1, p1, i1) == (a2, f2, d2, u2, p2, i2),
+            "{scenario}: parallel counters diverged from single-threaded \
+             (answers {a1}/{a2}, firings {f1}/{f2}, facts {d1}/{d2}, \
+             duplicates {u1}/{u2}, probes {p1}/{p2}, iterations {i1}/{i2})"
+        );
+    }
+}
+
 fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"pr\": 3,");
+    let _ = writeln!(out, "  \"pr\": 4,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(engine));
     let _ = writeln!(
         out,
@@ -521,12 +599,13 @@ fn baseline_wall_secs(snapshot: &str, scenario: &str, strategy: &str) -> Option<
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR3.json".to_string();
+    let mut out_path = "BENCH_PR4.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut quick = false;
-    let mut engine = "packed-rows+incr".to_string();
+    let mut engine = "stratified-parallel".to_string();
     let mut filter: Option<String> = None;
     let mut strategies: Vec<String> = Vec::new();
+    let mut par_threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -537,10 +616,23 @@ fn main() {
             "--engine" => engine = it.next().expect("--engine needs a name").clone(),
             "--filter" => filter = Some(it.next().expect("--filter needs a substring").clone()),
             "--strategy" => strategies.push(it.next().expect("--strategy needs a name").clone()),
+            "--threads" => {
+                par_threads = Some(
+                    it.next()
+                        .expect("--threads needs a count")
+                        .parse()
+                        .expect("--threads needs a number"),
+                )
+            }
             "--quick" => quick = true,
             other => panic!("unknown argument: {other}"),
         }
     }
+    // The parallel leg's thread count: explicit flag, else available
+    // parallelism.  A resolved count of 1 skips the parallel legs (the
+    // single-threaded cells already cover that machine).
+    let par_threads =
+        par_threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
 
     let scenarios: Vec<Scenario> = if quick {
         vec![
@@ -577,7 +669,7 @@ fn main() {
                 continue;
             }
             eprint!("  {:<10}", strategy.short_name());
-            let outcome = measure(scenario, strategy, quick);
+            let outcome = measure(scenario, strategy, quick, 1);
             match &outcome {
                 Outcome::Ok {
                     wall_secs,
@@ -587,7 +679,31 @@ fn main() {
                 Outcome::Skipped { .. } => eprintln!(" skipped"),
                 Outcome::Error { message } => eprintln!(" error: {message}"),
             }
-            cells.push(Cell::new(strategy.short_name(), outcome));
+            let mut cell = Cell::new(strategy.short_name(), outcome);
+            cell.extra = ", \"threads\": 1".to_string();
+            let single = cells.len();
+            cells.push(cell);
+            // The parallel leg: same cell at `par_threads` workers, with
+            // the determinism contract asserted — every counter must be
+            // bit-identical to the single-threaded twin.
+            if par_threads > 1 {
+                let label = format!("{}@t{}", strategy.short_name(), par_threads);
+                eprint!("  {label:<10}");
+                let outcome = measure(scenario, strategy, quick, par_threads);
+                match &outcome {
+                    Outcome::Ok {
+                        wall_secs,
+                        join_probes,
+                        ..
+                    } => eprintln!(" {wall_secs:>12.6}s  probes {join_probes}"),
+                    Outcome::Skipped { .. } => eprintln!(" skipped"),
+                    Outcome::Error { message } => eprintln!(" error: {message}"),
+                }
+                assert_counters_pinned(&scenario.name, &cells[single].outcome, &outcome);
+                let mut cell = Cell::new(label, outcome);
+                cell.extra = format!(", \"threads\": {par_threads}");
+                cells.push(cell);
+            }
         }
         results.push((scenario.name.clone(), cells));
     }

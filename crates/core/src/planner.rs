@@ -11,7 +11,7 @@ use crate::optimality::{account, FactAccounting};
 use crate::rewrite::{counting, gms, gsc, gsms, semijoin, Method, RewriteError, RewrittenProgram};
 use crate::safety::{analyze, SafetyReport};
 use crate::sip_builder::SipStrategy;
-use magic_datalog::{PredName, Program, Query, Value};
+use magic_datalog::{PredName, Program, Query, Schedule, Value};
 use magic_engine::{
     answers::project_answers, EvalError, EvalStats, Evaluator, IterationScheme, Limits,
 };
@@ -105,6 +105,17 @@ pub enum PlanError {
     Rewrite(RewriteError),
     /// Evaluation failed (resource limits, range restriction, ...).
     Eval(EvalError),
+    /// A counting plan was refused by the cycle-detecting safety
+    /// pre-check (Section 10, Theorem 10.3): the rewritten program
+    /// recurses through counting-indexed predicates and the query's
+    /// argument graph is cyclic, so the counting indexes would grow
+    /// without bound — bottom-up evaluation cannot terminate, whatever
+    /// the data.  Refusing up front replaces the old behaviour of
+    /// spinning until `Limits::max_wall`.
+    CountingUnsafe {
+        /// A counting-indexed predicate of the offending recursive cone.
+        pred: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -112,6 +123,12 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::Rewrite(e) => write!(f, "rewrite error: {e}"),
             PlanError::Eval(e) => write!(f, "evaluation error: {e}"),
+            PlanError::CountingUnsafe { pred } => write!(
+                f,
+                "counting plan refused: recursion through counting-indexed \
+                 predicate {pred} with a cyclic argument graph cannot \
+                 terminate (Theorem 10.3)"
+            ),
         }
     }
 }
@@ -326,6 +343,9 @@ impl Planner {
             _ => {
                 let adorned = adorn(program, query, self.sip).map_err(RewriteError::Datalog)?;
                 let rewritten = self.rewrite(program, query)?;
+                if self.strategy.is_counting() {
+                    check_counting_safe(&adorned, &rewritten.program)?;
+                }
                 Ok(Plan {
                     strategy: self.strategy,
                     program: rewritten.program.clone(),
@@ -350,6 +370,35 @@ impl Planner {
     ) -> Result<PlanResult, PlanError> {
         self.plan(program, query)?.execute(edb)
     }
+}
+
+/// The cycle-detecting counting pre-check (paper Section 10).
+///
+/// Two facts are combined: the [`Schedule`]'s SCC pass over the rewritten
+/// program finds the cones that are *recursive through counting-indexed
+/// predicates* (indexed / counting / supplementary-counting strata), and
+/// the static argument-graph analysis ([`counting_safety`], Theorem 10.3)
+/// proves whether their counting indexes can grow without bound.  Only
+/// when both hold is the plan refused — a recursive counting cone with an
+/// acyclic argument graph (e.g. the linear ancestor chain) terminates and
+/// must stay plannable.  Data-level divergence (cyclic EDB under a
+/// statically fine program) remains a run-time concern bounded by
+/// [`Limits::max_wall`].
+fn check_counting_safe(adorned: &AdornedProgram, rewritten: &Program) -> Result<(), PlanError> {
+    if crate::safety::counting_safety(adorned) != crate::safety::CountingSafety::NonTerminating {
+        return Ok(());
+    }
+    let schedule = Schedule::build(rewritten);
+    let witness = schedule
+        .recursive_counting_strata()
+        .flat_map(|s| s.preds.iter())
+        .next();
+    if let Some(pred) = witness {
+        return Err(PlanError::CountingUnsafe {
+            pred: pred.to_string(),
+        });
+    }
+    Ok(())
 }
 
 /// The method corresponding to a strategy, when it is a rewrite.
@@ -456,6 +505,39 @@ mod tests {
             .evaluate(&program, &query, &db)
             .unwrap();
         assert!(result.answers.is_empty());
+    }
+
+    #[test]
+    fn counting_on_a_cyclic_argument_graph_is_refused_up_front() {
+        // Theorem 10.3: nonlinear ancestor makes every counting strategy
+        // diverge regardless of data; the planner must refuse with the
+        // typed error instead of relying on run-time limits.
+        let nonlinear = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- anc(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("anc(n0, Y)").unwrap();
+        for strategy in [
+            Strategy::Counting,
+            Strategy::SupplementaryCounting,
+            Strategy::CountingSemijoin,
+            Strategy::SupplementaryCountingSemijoin,
+        ] {
+            let err = Planner::new(strategy).plan(&nonlinear, &query).unwrap_err();
+            assert!(
+                matches!(err, PlanError::CountingUnsafe { .. }),
+                "{strategy}: expected CountingUnsafe, got {err}"
+            );
+        }
+        // The magic strategies stay plannable on the same program, and the
+        // linear variant stays plannable under counting.
+        assert!(Planner::new(Strategy::MagicSets)
+            .plan(&nonlinear, &query)
+            .is_ok());
+        assert!(Planner::new(Strategy::Counting)
+            .plan(&ancestor_program(), &query)
+            .is_ok());
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod parser;
 pub mod pred;
 pub mod program;
 pub mod rule;
+pub mod schedule;
 pub mod slots;
 pub mod symbol;
 pub mod term;
@@ -52,6 +53,7 @@ pub use parser::{parse_program, parse_query, parse_rule, parse_source, parse_ter
 pub use pred::PredName;
 pub use program::Program;
 pub use rule::{Query, Rule};
+pub use schedule::{Schedule, Stratum};
 pub use slots::{Frame, SlotTerm, Trail};
 pub use symbol::Symbol;
 pub use term::{Bindings, LinearExpr, SymbolicLength, Term, Value, Variable};

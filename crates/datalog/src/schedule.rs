@@ -1,0 +1,323 @@
+//! Stratified rule schedules: the predicate dependency graph condensed
+//! into a topologically ordered sequence of *strata*.
+//!
+//! A [`Schedule`] is the static shape the engine's fixpoint scheduler and
+//! the planner's safety pre-checks share.  [`Schedule::build`] constructs
+//! the rule/predicate dependency graph of a (possibly rewritten) program,
+//! computes its strongly connected components
+//! ([`DependencyGraph::sccs`]), and emits one [`Stratum`] per SCC that
+//! defines at least one rule, in dependency (reverse topological) order:
+//! every derived predicate a stratum's rules read is defined in the same
+//! stratum or an earlier one, never a later one.
+//!
+//! # What consumers do with it
+//!
+//! * The engine's `FixpointRunner` walks strata in order each iteration,
+//!   retires a stratum permanently once it and everything below it have
+//!   converged (no rule outside a stratum can ever feed it again — all
+//!   rules deriving a predicate live in that predicate's stratum), and
+//!   fans the active strata's rule evaluations out across worker threads.
+//! * The planner's counting safety pre-check asks which strata are
+//!   *recursive through counting-indexed predicates*
+//!   ([`Schedule::recursive_counting_strata`]) — the cones whose
+//!   bottom-up evaluation diverges when the paper's Theorem 10.3 argument
+//!   graph is cyclic.
+//! * The incremental layer seeds resumed deltas into the lowest dirty
+//!   stratum: strata below the seeds retire on the first iteration
+//!   instead of re-checking the full rule list forever.
+//!
+//! # Determinism contract
+//!
+//! The schedule is a *pure function of the program*: strata are ordered
+//! by the SCC condensation (ties broken by the deterministic Tarjan
+//! traversal over `BTreeSet`-ordered predicates), rules within a stratum
+//! stay in program order, and independence groups are emitted in
+//! first-rule order.  Combined with the engine's deterministic merge
+//! (stratum order, then rule index, then shard index) this is what makes
+//! evaluation counters — answers, `rule_firings`, summed `join_probes` —
+//! independent of how many worker threads execute the schedule.
+
+use crate::analysis::DependencyGraph;
+use crate::pred::PredName;
+use crate::program::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One stratum of a [`Schedule`]: a strongly connected component of the
+/// predicate dependency graph together with the rules that define its
+/// predicates.
+#[derive(Clone, Debug)]
+pub struct Stratum {
+    /// The derived predicates defined by this stratum (the SCC members
+    /// that have rules).
+    pub preds: BTreeSet<PredName>,
+    /// Indices (into `program.rules`) of the rules whose head predicate
+    /// belongs to this stratum, in program order.
+    pub rules: Vec<usize>,
+    /// True iff the stratum is recursive: its SCC has more than one
+    /// predicate, or its single predicate depends on itself.
+    pub recursive: bool,
+    /// Partition of [`Stratum::rules`] into mutually *independent* groups:
+    /// two rules land in the same group iff they are (transitively)
+    /// connected by a shared stratum-local predicate — a head they both
+    /// derive, or one's head read in the other's body.  Rules in different
+    /// groups touch disjoint writable predicates, so even an engine with
+    /// in-place writes could run them concurrently; the engine's
+    /// deferred-write merge makes *all* rules of a stratum safe to
+    /// evaluate concurrently, and uses these groups for diagnostics and
+    /// scheduling tests.  Groups are ordered by their first rule index,
+    /// rules ascending within each group.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// A stratified evaluation schedule for a program.  See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    strata: Vec<Stratum>,
+    /// Rule index -> stratum index.
+    stratum_of_rule: Vec<usize>,
+    /// Derived predicate -> stratum index.
+    stratum_of_pred: BTreeMap<PredName, usize>,
+}
+
+impl Schedule {
+    /// Build the schedule of `program`: dependency graph, SCC
+    /// condensation, one stratum per rule-defining SCC in dependency
+    /// order, plus the per-stratum independence groups.
+    pub fn build(program: &Program) -> Schedule {
+        let graph = DependencyGraph::build(program);
+        // Every rule needs a stratum, so cover all head predicates — a
+        // superset of `derived_preds()`, which excludes ground fact rules.
+        let derived: BTreeSet<PredName> =
+            program.rules.iter().map(|r| r.head.pred.clone()).collect();
+        let mut strata: Vec<Stratum> = Vec::new();
+        let mut stratum_of_pred: BTreeMap<PredName, usize> = BTreeMap::new();
+        // `sccs()` yields components in reverse topological order (callees
+        // before callers): exactly evaluation order.  Base predicates have
+        // no outgoing edges, so they always form rule-less singleton SCCs
+        // and are filtered out here.
+        for scc in graph.sccs() {
+            let preds: BTreeSet<PredName> = scc.intersection(&derived).cloned().collect();
+            if preds.is_empty() {
+                continue;
+            }
+            let recursive = scc.len() > 1 || {
+                let only = scc.iter().next().expect("SCCs are non-empty");
+                graph.successors(only).contains(only)
+            };
+            let index = strata.len();
+            for pred in &preds {
+                stratum_of_pred.insert(pred.clone(), index);
+            }
+            strata.push(Stratum {
+                preds,
+                rules: Vec::new(),
+                recursive,
+                groups: Vec::new(),
+            });
+        }
+        let mut stratum_of_rule = Vec::with_capacity(program.rules.len());
+        for rule in &program.rules {
+            let s = stratum_of_pred[&rule.head.pred];
+            strata[s].rules.push(stratum_of_rule.len());
+            stratum_of_rule.push(s);
+        }
+        for stratum in &mut strata {
+            stratum.groups = independence_groups(program, stratum);
+        }
+        Schedule {
+            strata,
+            stratum_of_rule,
+            stratum_of_pred,
+        }
+    }
+
+    /// The strata in evaluation (dependency) order.
+    pub fn strata(&self) -> &[Stratum] {
+        &self.strata
+    }
+
+    /// Number of strata.
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// True iff the program had no rules.
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+
+    /// The stratum index of rule `rule_idx`.
+    pub fn stratum_of_rule(&self, rule_idx: usize) -> usize {
+        self.stratum_of_rule[rule_idx]
+    }
+
+    /// The stratum index deriving `pred`, if the program derives it.
+    pub fn stratum_of_pred(&self, pred: &PredName) -> Option<usize> {
+        self.stratum_of_pred.get(pred).copied()
+    }
+
+    /// The strata that are recursive *through counting-indexed
+    /// predicates* — an SCC containing an indexed, counting, or
+    /// supplementary-counting predicate (the rewrite outputs of Sections
+    /// 6–7).  When the query's argument graph is cyclic (Theorem 10.3),
+    /// these are exactly the cones whose counting indexes grow without
+    /// bound, so the planner refuses such plans up front.
+    pub fn recursive_counting_strata(&self) -> impl Iterator<Item = &Stratum> + '_ {
+        self.strata.iter().filter(|s| {
+            s.recursive
+                && s.preds.iter().any(|p| {
+                    matches!(
+                        p,
+                        PredName::Indexed { .. }
+                            | PredName::Count { .. }
+                            | PredName::SupCount { .. }
+                    )
+                })
+        })
+    }
+}
+
+/// Partition `stratum.rules` into independence groups (see
+/// [`Stratum::groups`]): union-find over the rules, keyed by the
+/// stratum-local predicates each rule touches (its head, plus any body
+/// predicate defined in this stratum).  Predicates of *lower* strata are
+/// frozen by the time a stratum runs, so sharing them read-only does not
+/// couple two rules.
+fn independence_groups(program: &Program, stratum: &Stratum) -> Vec<Vec<usize>> {
+    let n = stratum.rules.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner: BTreeMap<&PredName, usize> = BTreeMap::new();
+    for (slot, &rule_idx) in stratum.rules.iter().enumerate() {
+        let rule = &program.rules[rule_idx];
+        let touched = std::iter::once(&rule.head.pred)
+            .chain(rule.body.iter().map(|a| &a.pred))
+            .filter(|p| stratum.preds.contains(*p));
+        for pred in touched {
+            match owner.get(pred) {
+                Some(&prev) => {
+                    let (a, b) = (find(&mut parent, prev), find(&mut parent, slot));
+                    if a != b {
+                        // Union toward the smaller slot so the
+                        // representative is the group's first rule.
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        parent[hi] = lo;
+                    }
+                }
+                None => {
+                    owner.insert(pred, slot);
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for slot in 0..n {
+        let root = find(&mut parent, slot);
+        groups.entry(root).or_default().push(stratum.rules[slot]);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn single_scc_program_is_one_stratum() {
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let schedule = Schedule::build(&program);
+        assert_eq!(schedule.len(), 1);
+        let stratum = &schedule.strata()[0];
+        assert_eq!(stratum.rules, vec![0, 1]);
+        assert!(stratum.recursive);
+        // Both rules derive anc: one group.
+        assert_eq!(stratum.groups, vec![vec![0, 1]]);
+        assert_eq!(schedule.stratum_of_pred(&PredName::plain("anc")), Some(0));
+        assert_eq!(schedule.stratum_of_pred(&PredName::plain("par")), None);
+    }
+
+    #[test]
+    fn strata_respect_dependency_order() {
+        // sg feeds p; sg's stratum must come first.
+        let program = parse_program(
+            "p(X, Y) :- b1(X, Y).
+             p(X, Y) :- sg(X, Z1), p(Z1, Z2), b2(Z2, Y).
+             sg(X, Y) :- flat(X, Y).
+             sg(X, Y) :- up(X, Z1), sg(Z1, Z2), down(Z2, Y).",
+        )
+        .unwrap();
+        let schedule = Schedule::build(&program);
+        assert_eq!(schedule.len(), 2);
+        let sg = schedule.stratum_of_pred(&PredName::plain("sg")).unwrap();
+        let p = schedule.stratum_of_pred(&PredName::plain("p")).unwrap();
+        assert!(sg < p, "callee stratum must precede caller stratum");
+        assert_eq!(schedule.stratum_of_rule(2), sg);
+        assert_eq!(schedule.stratum_of_rule(0), p);
+        // Every derived body predicate's stratum <= the head's stratum.
+        for (i, rule) in program.rules.iter().enumerate() {
+            for atom in &rule.body {
+                if let Some(s) = schedule.stratum_of_pred(&atom.pred) {
+                    assert!(s <= schedule.stratum_of_rule(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_recursive_rules_form_independent_groups() {
+        // label and tag2 share nothing: same stratum only if mutually
+        // recursive (they are not), so they form separate singleton strata;
+        // two heads in ONE stratum needs mutual recursion.
+        let program = parse_program(
+            "a(X) :- b(X), c(X).
+             c(X) :- a(X).
+             d(X) :- e(X).",
+        )
+        .unwrap();
+        let schedule = Schedule::build(&program);
+        // a and c are mutually recursive: one stratum with one group; d is
+        // its own stratum.
+        let ac = schedule.stratum_of_pred(&PredName::plain("a")).unwrap();
+        assert_eq!(schedule.stratum_of_pred(&PredName::plain("c")), Some(ac));
+        let stratum = &schedule.strata()[ac];
+        assert!(stratum.recursive);
+        assert_eq!(stratum.groups.len(), 1);
+        let d = schedule.stratum_of_pred(&PredName::plain("d")).unwrap();
+        assert_ne!(d, ac);
+        assert!(!schedule.strata()[d].recursive);
+    }
+
+    #[test]
+    fn independent_rules_within_a_stratum_split_into_groups() {
+        // Mutually recursive pair (p, q) plus an unrelated recursive r in
+        // ITS own stratum; within the (p, q) stratum the two rule chains
+        // are coupled through the shared heads.
+        let program = parse_program(
+            "p(X) :- base(X).
+             p(X) :- q(X).
+             q(X) :- p(X), b2(X).",
+        )
+        .unwrap();
+        let schedule = Schedule::build(&program);
+        assert_eq!(schedule.len(), 1);
+        assert_eq!(schedule.strata()[0].groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_program_has_no_strata() {
+        let schedule = Schedule::build(&Program::from_rules(Vec::new()));
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.len(), 0);
+    }
+}

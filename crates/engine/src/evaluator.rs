@@ -1,4 +1,5 @@
-//! The fixpoint evaluator: naive and semi-naive bottom-up evaluation.
+//! The fixpoint evaluator: naive and semi-naive bottom-up evaluation,
+//! driven by a stratified schedule with work-sharded parallel fan-out.
 //!
 //! The fixpoint loop itself lives in [`FixpointRunner`], a compiled, reusable
 //! form of a program (slot-compiled [`RulePlan`]s plus the bookkeeping of
@@ -6,13 +7,51 @@
 //! classic run-to-fixpoint front end over it; the incremental-maintenance
 //! layer (`magic-incr`) keeps a runner alive across calls and *re-enters*
 //! the loop with externally seeded deltas via [`FixpointRunner::resume`].
+//!
+//! # The stratified scheduler
+//!
+//! Compiling a runner also builds the program's
+//! [`Schedule`](magic_datalog::Schedule): the predicate dependency graph
+//! condensed into topologically ordered strata (one per SCC).  Each
+//! iteration walks the strata in dependency order and turns every rule
+//! evaluation the classic loop would perform into an [`EvalTask`] — a
+//! `(plan, delta windows, shard)` triple.  Two structural wins fall out:
+//!
+//! * **Stratum retirement.**  Once every stratum below `s` has converged
+//!   and `s` itself sees no deltas, nothing can ever feed `s` again (all
+//!   rules deriving a predicate live in that predicate's stratum), so `s`
+//!   is retired and the loop never revisits its rules — lower strata run
+//!   to fixpoint and drop out while upper strata finish, and a resumed
+//!   view seeds its deltas into the lowest dirty stratum instead of
+//!   re-scanning the full rule list every iteration.
+//! * **Work-sharded fan-out.**  Tasks of an iteration only *read* the
+//!   database (through the share-safe borrow views of `magic-storage`),
+//!   so they fan out over a persistent worker pool; large tasks are
+//!   further split into shards along the join's outermost (occurrence-0)
+//!   enumeration range.  All writes happen afterwards, on one thread.
+//!
+//! # Determinism contract
+//!
+//! Thread count is invisible in every result and every counter: shard
+//! outputs are merged in schedule order (stratum, then rule index, then
+//! occurrence, then shard index), which reproduces the single-threaded
+//! row sequence exactly — occurrence-0 sharding splits the *outermost*
+//! loop of the join, so concatenating shard outputs in ascending range
+//! order is literally the unsharded enumeration.  Insertion (and thus
+//! dedup, row ids, `rule_firings`, `facts_derived`, observer callbacks)
+//! then runs single-threaded over that sequence in plan order, exactly
+//! like the classic loop.  `join_probes` partition across shards, so
+//! their sum is invariant too.  `tests/parallel_schedule.rs` holds this
+//! contract under randomized programs; `MAGIC_THREADS` (see
+//! [`Limits::resolved_threads`]) selects the thread count.
 
 use crate::error::EvalError;
-use crate::join::{evaluate_rule_windows, DeltaWindow};
+use crate::join::{evaluate_rule_windows, lead_enumeration_range, DeltaWindow, JoinCounters};
 use crate::limits::Limits;
 use crate::metrics::EvalStats;
 use crate::plan::RulePlan;
-use magic_datalog::{PredName, Program, ValId};
+use crate::pool::EvalPool;
+use magic_datalog::{PredName, Program, Schedule, ValId};
 use magic_storage::{Database, Relation};
 use std::collections::BTreeSet;
 
@@ -101,10 +140,54 @@ pub struct FixpointRunner {
     head_bound_plans: Vec<RulePlan>,
     /// Predicate arities of the program (used by `prepare`).
     arities: Vec<(PredName, usize)>,
+    /// The stratified schedule (dependency-ordered SCC strata) the
+    /// fixpoint loop walks; shared by every run/resume of this runner.
+    schedule: Schedule,
     limits: Limits,
     scheme: IterationScheme,
     discipline: WindowDiscipline,
 }
+
+/// One unit of evaluation work within an iteration: a rule plan (or its
+/// delta-driven variant), the delta windows to apply, and — when the task
+/// was sharded — an extra occurrence-0 window carrying the shard's slice
+/// of the outermost enumeration.  Tasks own their flat output shard;
+/// buffers are recycled across iterations.
+struct EvalTask {
+    plan_idx: usize,
+    /// `Some(nth)` selects `delta_plans[plan_idx][nth]` (seeded resume
+    /// mode); `None` selects the main plan.
+    variant: Option<usize>,
+    windows: Vec<DeltaWindow>,
+    out: Vec<ValId>,
+    counters: JoinCounters,
+    error: Option<EvalError>,
+}
+
+/// Hands workers `&mut` access to disjoint task slots through the pool
+/// (each index is claimed by exactly one thread; see [`EvalPool::run`]).
+struct TaskSlots(*mut EvalTask);
+unsafe impl Send for TaskSlots {}
+unsafe impl Sync for TaskSlots {}
+
+impl TaskSlots {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and claimed by exactly one thread at a time.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut EvalTask {
+        &mut *self.0.add(i)
+    }
+}
+
+/// Minimum outermost-enumeration rows before a single task is split into
+/// per-worker shards.
+const SHARD_MIN_RANGE: usize = 1024;
+
+/// Minimum summed outermost-enumeration rows in an iteration before its
+/// task batch is dispatched to the pool at all; below this the
+/// synchronization would cost more than the join work.
+const PARALLEL_MIN_WORK: usize = 4096;
 
 /// A delta-driven variant of a rule plan: the plan itself plus the body
 /// permutation that produced it.
@@ -240,6 +323,7 @@ impl FixpointRunner {
             delta_plans,
             head_bound_plans,
             arities,
+            schedule: Schedule::build(program),
             limits: Limits::default(),
             scheme: IterationScheme::SemiNaive,
             discipline: WindowDiscipline::Overlapping,
@@ -267,6 +351,13 @@ impl FixpointRunner {
     /// The compiled rule plans, in program rule order.
     pub fn plans(&self) -> &[RulePlan] {
         &self.plans
+    }
+
+    /// The stratified schedule the fixpoint loop executes (one per
+    /// compiled runner; the incremental layer's views and catalogs share
+    /// it across every maintenance operation).
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
     }
 
     /// The tracked predicates, sorted ascending.  Delta-mark vectors index
@@ -389,9 +480,105 @@ impl FixpointRunner {
         self.fixpoint(db, stats, Some(prev_marks), observer)
     }
 
+    /// Build the evaluation tasks for one rule under the current delta
+    /// windows, splitting into per-worker shards along the occurrence-0
+    /// enumeration when the range is worth it.  Returns the lead range
+    /// length (the iteration's parallel-work estimate).
+    #[allow(clippy::too_many_arguments)]
+    fn push_tasks(
+        &self,
+        db: &Database,
+        plan_idx: usize,
+        variant: Option<usize>,
+        windows: &[DeltaWindow],
+        threads: usize,
+        tasks: &mut Vec<EvalTask>,
+        tasks_by_plan: &mut [Vec<usize>],
+        spare: &mut Vec<EvalTask>,
+    ) -> usize {
+        // Single-threaded runs never shard or dispatch, so skip the
+        // lead-range probe (a per-task relation lookup) entirely.
+        let (lo, hi) = if threads > 1 {
+            let plan = match variant {
+                Some(nth) => &self.delta_plans[plan_idx][nth].plan,
+                None => &self.plans[plan_idx],
+            };
+            lead_enumeration_range(plan, db, windows)
+        } else {
+            (0, 0)
+        };
+        let range = hi.saturating_sub(lo);
+        let shards = if threads > 1 && range >= SHARD_MIN_RANGE.max(2 * threads) {
+            threads
+        } else {
+            1
+        };
+        for shard in 0..shards {
+            let mut task = spare.pop().unwrap_or_else(|| EvalTask {
+                plan_idx: 0,
+                variant: None,
+                windows: Vec::new(),
+                out: Vec::new(),
+                counters: JoinCounters::default(),
+                error: None,
+            });
+            debug_assert!(task.windows.is_empty() && task.out.is_empty());
+            task.plan_idx = plan_idx;
+            task.variant = variant;
+            task.counters = JoinCounters::default();
+            task.error = None;
+            if shards == 1 {
+                task.windows.extend_from_slice(windows);
+            } else {
+                // Replace (or add) the occurrence-0 window with this
+                // shard's slice of the outermost enumeration.  Shards
+                // partition [lo, hi) in ascending order, so concatenating
+                // their outputs reproduces the unsharded row sequence.
+                let from = lo + range * shard / shards;
+                let to = lo + range * (shard + 1) / shards;
+                let mut replaced = false;
+                for w in windows {
+                    if w.occurrence == 0 {
+                        task.windows.push(DeltaWindow {
+                            occurrence: 0,
+                            from,
+                            to,
+                        });
+                        replaced = true;
+                    } else {
+                        task.windows.push(*w);
+                    }
+                }
+                if !replaced {
+                    task.windows.push(DeltaWindow {
+                        occurrence: 0,
+                        from,
+                        to,
+                    });
+                }
+            }
+            tasks_by_plan[plan_idx].push(tasks.len());
+            tasks.push(task);
+        }
+        range
+    }
+
+    /// Evaluate one task against the (read-only) database.
+    fn run_task(&self, task: &mut EvalTask, db: &Database) {
+        let plan = match task.variant {
+            Some(nth) => &self.delta_plans[task.plan_idx][nth].plan,
+            None => &self.plans[task.plan_idx],
+        };
+        match evaluate_rule_windows(plan, db, &task.windows, &self.limits, &mut task.out) {
+            Ok(counters) => task.counters = counters,
+            Err(e) => task.error = Some(e),
+        }
+    }
+
     /// The shared loop.  `seed_marks` switches between run mode (first
     /// iteration full) and resume mode (first iteration windowed against
-    /// the given marks).
+    /// the given marks).  See the module docs for the scheduler structure
+    /// and the determinism contract.
     fn fixpoint(
         &self,
         db: &mut Database,
@@ -409,16 +596,29 @@ impl FixpointRunner {
             Some(marks) => marks,
             None => self.marks(db),
         };
-        // Per-plan flat output buffers (packed rows in arity-sized chunks),
-        // allocated once and reused across iterations: inserting clears
-        // them, leaving capacity behind.
-        let mut outs: Vec<Vec<ValId>> = self.plans.iter().map(|_| Vec::new()).collect();
+        let threads = self.limits.resolved_threads();
+        // The worker pool is spawned lazily, on the first iteration whose
+        // batch is actually worth dispatching, and lives until the run
+        // ends — iterations reuse the parked workers instead of paying
+        // thread start-up per iteration.
+        let mut pool: Option<EvalPool> = None;
+        let strata = self.schedule.strata();
+        // Permanently converged strata (semi-naive only): a stratum
+        // retires once everything below it is retired and it sees no
+        // deltas — nothing can feed it again.
+        let mut retired = vec![false; strata.len()];
+        // Task slots and their recycled buffers.
+        let mut tasks: Vec<EvalTask> = Vec::new();
+        let mut spare: Vec<EvalTask> = Vec::new();
+        // Per plan: indices into `tasks`, in construction order — the
+        // deterministic merge order of that plan's output shards.
+        let mut tasks_by_plan: Vec<Vec<usize>> = vec![Vec::new(); self.plans.len()];
         // Per-plan body-match counts of the current iteration.  For
-        // positive-arity heads this is implied by the buffer length; for
+        // positive-arity heads this is implied by the shard lengths; for
         // zero-arity heads (fully bound magic/answer predicates) it is the
         // only record of how many firings happened.
         let mut match_counts: Vec<usize> = vec![0; self.plans.len()];
-        // Reusable window buffer for the disjoint discipline.
+        // Reusable window scratch.
         let mut windows: Vec<DeltaWindow> = Vec::new();
 
         loop {
@@ -439,74 +639,139 @@ impl FixpointRunner {
             let cur_marks: Vec<usize> = self.marks(db);
 
             let full_first = !seeded && stats.iterations == first_iteration_at;
-            let mut produced = false;
+            let use_delta = self.scheme == IterationScheme::SemiNaive && !full_first;
 
-            for (plan_idx, plan) in self.plans.iter().enumerate() {
-                let out = &mut outs[plan_idx];
-                let use_delta = self.scheme == IterationScheme::SemiNaive && !full_first;
-                if use_delta {
-                    let occurrences = &self.tracked_occurrences[plan_idx];
-                    if occurrences.is_empty() {
-                        continue; // already fully evaluated in iteration 1
-                    }
-                    for (nth, &(occ, tracked_idx)) in occurrences.iter().enumerate() {
-                        let from = prev_marks[tracked_idx];
-                        let to = cur_marks[tracked_idx];
-                        if from >= to {
-                            continue; // no new facts for this occurrence
-                        }
-                        // In resume mode the delta-driven variant moves
-                        // the windowed atom to the front, so the join
-                        // fans out from the delta instead of re-scanning
-                        // the rule's leading atoms; window positions are
-                        // remapped through the variant's permutation.
-                        let (eval_plan, positions) = if seeded {
-                            let variant = &self.delta_plans[plan_idx][nth];
-                            (&variant.plan, Some(&variant.pos_of_orig))
-                        } else {
-                            (plan, None)
-                        };
-                        let map = |o: usize| match positions {
-                            Some(pos_of_orig) => pos_of_orig[o],
-                            None => o,
-                        };
-                        windows.clear();
-                        if self.discipline == WindowDiscipline::Disjoint {
-                            // Earlier tracked occurrences read the
-                            // pre-delta rows only, so a derivation touching
-                            // several delta facts is enumerated exactly
-                            // once (at its first delta occurrence).
-                            for &(prev_occ, prev_idx) in &occurrences[..nth] {
-                                if prev_marks[prev_idx] < cur_marks[prev_idx] {
-                                    windows.push(DeltaWindow {
-                                        occurrence: map(prev_occ),
-                                        from: 0,
-                                        to: prev_marks[prev_idx],
-                                    });
+            // ---- Task construction: strata in dependency order. ----
+            let mut lead_work = 0usize;
+            let mut lower_all_retired = true;
+            for (s, stratum) in strata.iter().enumerate() {
+                if retired[s] {
+                    continue;
+                }
+                // Whether any rule of this stratum had work this iteration.
+                let mut live = false;
+                for &plan_idx in &stratum.rules {
+                    if use_delta {
+                        let occurrences = &self.tracked_occurrences[plan_idx];
+                        for (nth, &(occ, tracked_idx)) in occurrences.iter().enumerate() {
+                            let from = prev_marks[tracked_idx];
+                            let to = cur_marks[tracked_idx];
+                            if from >= to {
+                                continue; // no new facts for this occurrence
+                            }
+                            live = true;
+                            // In resume mode the delta-driven variant moves
+                            // the windowed atom to the front, so the join
+                            // fans out from the delta instead of re-scanning
+                            // the rule's leading atoms; window positions are
+                            // remapped through the variant's permutation.
+                            let (variant, positions) = if seeded {
+                                (
+                                    Some(nth),
+                                    Some(&self.delta_plans[plan_idx][nth].pos_of_orig),
+                                )
+                            } else {
+                                (None, None)
+                            };
+                            let map = |o: usize| match positions {
+                                Some(pos_of_orig) => pos_of_orig[o],
+                                None => o,
+                            };
+                            windows.clear();
+                            if self.discipline == WindowDiscipline::Disjoint {
+                                // Earlier tracked occurrences read the
+                                // pre-delta rows only, so a derivation touching
+                                // several delta facts is enumerated exactly
+                                // once (at its first delta occurrence).
+                                for &(prev_occ, prev_idx) in &occurrences[..nth] {
+                                    if prev_marks[prev_idx] < cur_marks[prev_idx] {
+                                        windows.push(DeltaWindow {
+                                            occurrence: map(prev_occ),
+                                            from: 0,
+                                            to: prev_marks[prev_idx],
+                                        });
+                                    }
                                 }
                             }
+                            windows.push(DeltaWindow {
+                                occurrence: map(occ),
+                                from,
+                                to,
+                            });
+                            lead_work += self.push_tasks(
+                                db,
+                                plan_idx,
+                                variant,
+                                &windows,
+                                threads,
+                                &mut tasks,
+                                &mut tasks_by_plan,
+                                &mut spare,
+                            );
                         }
-                        windows.push(DeltaWindow {
-                            occurrence: map(occ),
-                            from,
-                            to,
-                        });
-                        let counters =
-                            evaluate_rule_windows(eval_plan, db, &windows, &self.limits, out)?;
-                        stats.join_probes += counters.probes;
-                        match_counts[plan_idx] += counters.matches;
+                    } else {
+                        live = true;
+                        lead_work += self.push_tasks(
+                            db,
+                            plan_idx,
+                            None,
+                            &[],
+                            threads,
+                            &mut tasks,
+                            &mut tasks_by_plan,
+                            &mut spare,
+                        );
                     }
-                } else {
-                    let counters = evaluate_rule_windows(plan, db, &[], &self.limits, out)?;
-                    stats.join_probes += counters.probes;
-                    match_counts[plan_idx] += counters.matches;
                 }
-                produced |= match_counts[plan_idx] > 0;
+                if use_delta && !live && lower_all_retired {
+                    retired[s] = true;
+                }
+                if !retired[s] {
+                    lower_all_retired = false;
+                }
             }
 
+            // ---- Read-only evaluation: inline, or fanned out. ----
+            if threads > 1 && tasks.len() > 1 && lead_work >= PARALLEL_MIN_WORK {
+                let pool = pool.get_or_insert_with(|| EvalPool::new(threads - 1));
+                let slots = TaskSlots(tasks.as_mut_ptr());
+                let db_read: &Database = db;
+                pool.run(tasks.len(), &|i| {
+                    // SAFETY: each index is claimed by exactly one thread,
+                    // so the `&mut` slots are disjoint; `db_read` is a
+                    // shared borrow for the whole batch.
+                    let task = unsafe { slots.get(i) };
+                    self.run_task(task, db_read);
+                });
+            } else {
+                for task in tasks.iter_mut() {
+                    self.run_task(task, db);
+                    // Abort the iteration at the first failing task, like
+                    // the classic loop: unrun tasks stay error-free and
+                    // empty, so the merge below still reports this error
+                    // (the first in task order).
+                    if task.error.is_some() {
+                        break;
+                    }
+                }
+            }
+
+            // ---- Deterministic merge: counters in task order. ----
+            let mut produced = false;
+            for task in &tasks {
+                if let Some(e) = &task.error {
+                    return Err(e.clone());
+                }
+                stats.join_probes += task.counters.probes;
+                match_counts[task.plan_idx] += task.counters.matches;
+                produced |= task.counters.matches > 0;
+            }
+
+            // ---- Sequential insert phase, in plan order: all dedup and
+            // id assignment happens here, behind the merge. ----
             let mut new_facts = 0usize;
             if produced {
-                for (plan_idx, out) in outs.iter_mut().enumerate() {
+                for plan_idx in 0..self.plans.len() {
                     let matches = std::mem::take(&mut match_counts[plan_idx]);
                     if matches == 0 {
                         continue;
@@ -519,7 +784,7 @@ impl FixpointRunner {
                     let relation = db.relation_mut(&plan.head_pred, arity);
                     if arity == 0 {
                         // A zero-arity head (fully bound magic/answer
-                        // predicate) leaves the flat buffer empty; every
+                        // predicate) leaves the flat buffers empty; every
                         // match fires the empty row, of which at most the
                         // first is new.
                         for nth in 0..matches {
@@ -534,18 +799,28 @@ impl FixpointRunner {
                         }
                         continue;
                     }
-                    for row in out.chunks_exact(arity) {
-                        let is_new = relation.insert_ids(row);
-                        if let Some(observer) = observer.as_deref_mut() {
-                            observer(plan_idx, row, is_new);
-                        }
-                        stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
-                        if is_new {
-                            new_facts += 1;
+                    for &t in &tasks_by_plan[plan_idx] {
+                        for row in tasks[t].out.chunks_exact(arity) {
+                            let is_new = relation.insert_ids(row);
+                            if let Some(observer) = observer.as_deref_mut() {
+                                observer(plan_idx, row, is_new);
+                            }
+                            stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
+                            if is_new {
+                                new_facts += 1;
+                            }
                         }
                     }
-                    out.clear();
                 }
+            }
+            // Recycle task slots (buffers keep their capacity).
+            for list in tasks_by_plan.iter_mut() {
+                list.clear();
+            }
+            for mut task in tasks.drain(..) {
+                task.out.clear();
+                task.windows.clear();
+                spare.push(task);
             }
             if db.total_facts() - base_facts > self.limits.max_facts {
                 return Err(EvalError::FactLimit {

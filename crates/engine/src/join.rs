@@ -48,7 +48,7 @@ use crate::error::EvalError;
 use crate::limits::Limits;
 use crate::plan::RulePlan;
 use magic_datalog::{Frame, Trail, ValId};
-use magic_storage::{Database, Relation};
+use magic_storage::{Database, DatabaseView, Relation};
 
 /// Restriction of one body occurrence to a "delta" window of its relation
 /// (row ids in `from..to`), used by semi-naive evaluation.
@@ -182,7 +182,7 @@ impl MatchSink for CountSink {
 /// `None` when some relation is absent (the body cannot match).
 fn resolve_relations<'a>(
     plan: &RulePlan,
-    db: &'a Database,
+    db: DatabaseView<'a>,
 ) -> Result<Option<Vec<&'a Relation>>, EvalError> {
     let mut resolved = Vec::with_capacity(plan.atoms.len());
     for atom in &plan.atoms {
@@ -212,7 +212,7 @@ fn run_join<S: MatchSink>(
     sink: &mut S,
 ) -> Result<JoinCounters, EvalError> {
     let mut counters = JoinCounters::default();
-    let Some(relations) = resolve_relations(plan, db)? else {
+    let Some(relations) = resolve_relations(plan, db.view())? else {
         return Ok(counters);
     };
     let ctx = JoinCtx {
@@ -328,6 +328,33 @@ pub fn count_derivations(
     let mut sink = CountSink;
     let counters = run_join(plan, db, &[], limits, &mut frame, &mut trail, &mut sink)?;
     Ok(counters.matches)
+}
+
+/// The row-id range the join's outermost (occurrence-0) enumeration will
+/// cover for `plan` under `windows`: the occurrence-0 delta window when one
+/// exists, else the full extent of the lead atom's relation snapshot.
+/// `(0, 0)` for empty-body plans or an absent lead relation.
+///
+/// This is the axis the scheduler shards across workers: occurrence 0 is
+/// the outermost loop of `descend`, so partitioning its range partitions
+/// the join's probes and — because ids enumerate in ascending order — the
+/// concatenated shard outputs reproduce the unsharded row sequence.
+pub(crate) fn lead_enumeration_range(
+    plan: &RulePlan,
+    db: &Database,
+    windows: &[DeltaWindow],
+) -> (usize, usize) {
+    let Some(pred) = plan.lead_pred() else {
+        return (0, 0);
+    };
+    let Some(snapshot) = db.view().snapshot(pred) else {
+        return (0, 0);
+    };
+    let watermark = snapshot.watermark();
+    match windows.iter().find(|w| w.occurrence == 0) {
+        Some(w) => (w.from.min(watermark), w.to.min(watermark)),
+        None => (0, watermark),
+    }
 }
 
 /// Clamp `range` to a delta window.

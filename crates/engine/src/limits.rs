@@ -19,6 +19,14 @@ pub struct Limits {
     /// of new facts over an ever-growing database; a time budget bounds it
     /// hard, which benchmark harnesses rely on.
     pub max_wall: Option<std::time::Duration>,
+    /// Worker threads for the evaluation fan-out (`0` = resolve from the
+    /// `MAGIC_THREADS` environment variable, defaulting to 1).  Thread
+    /// count is a pure wall-clock knob: the scheduler's deterministic
+    /// shard merge keeps answers, `rule_firings` and summed `join_probes`
+    /// bit-identical across any value, so this rides on `Limits` purely
+    /// for plumbing convenience (it reaches the planner, the incremental
+    /// layer and the benches through the existing builder).
+    pub threads: usize,
 }
 
 impl Limits {
@@ -28,6 +36,7 @@ impl Limits {
         max_facts: 50_000_000,
         max_term_depth: 100_000,
         max_wall: None,
+        threads: 0,
     };
 
     /// Tight limits for tests that expect divergence to be detected quickly.
@@ -42,6 +51,7 @@ impl Limits {
             max_facts: 200_000,
             max_term_depth: 512,
             max_wall: None,
+            threads: 0,
         }
     }
 
@@ -68,6 +78,30 @@ impl Limits {
         self.max_wall = Some(limit);
         self
     }
+
+    /// Set the evaluation worker-thread count (`0` = resolve from the
+    /// environment; see [`Limits::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Limits {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective thread count: an explicit setting wins; `0` consults
+    /// `MAGIC_THREADS` (where in turn `0` means "all available cores"),
+    /// and absent both, evaluation stays single-threaded.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads >= 1 {
+            return self.threads;
+        }
+        match std::env::var("MAGIC_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            Some(0) => std::thread::available_parallelism().map_or(1, usize::from),
+            Some(n) => n,
+            None => 1,
+        }
+    }
 }
 
 impl Default for Limits {
@@ -93,5 +127,11 @@ mod tests {
         let timed = l.with_max_wall(std::time::Duration::from_secs(5));
         assert_eq!(timed.max_wall, Some(std::time::Duration::from_secs(5)));
         assert!(Limits::strict().max_iterations < Limits::DEFAULT.max_iterations);
+    }
+
+    #[test]
+    fn explicit_thread_counts_win_over_the_environment() {
+        assert_eq!(Limits::default().with_threads(4).resolved_threads(), 4);
+        assert_eq!(Limits::default().with_threads(1).resolved_threads(), 1);
     }
 }

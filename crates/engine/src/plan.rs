@@ -85,6 +85,13 @@ pub struct RulePlan {
 }
 
 impl RulePlan {
+    /// The predicate read by the first body atom, if any — the join's
+    /// outermost enumeration, and therefore the axis the stratified
+    /// scheduler shards across worker threads (see `crate::evaluator`).
+    pub fn lead_pred(&self) -> Option<&PredName> {
+        self.atoms.first().map(|a| &a.pred)
+    }
+
     /// Compile a rule.  `derived` is the set of predicates defined by rules
     /// of the program being evaluated.
     pub fn compile(rule: &Rule, rule_idx: usize, derived: &BTreeSet<PredName>) -> RulePlan {

@@ -1,0 +1,235 @@
+//! A tiny batch-oriented worker pool for the fixpoint scheduler.
+//!
+//! The fixpoint loop alternates a read-only *evaluation phase* (all rule
+//! joins of an iteration) with a sequential *merge phase* (inserting the
+//! produced rows).  Spawning `std::thread::scope` workers per iteration
+//! would cost tens of microseconds of thread start-up for evaluation
+//! phases that are often shorter than that, so the pool keeps its workers
+//! parked on a condvar across iterations — and across the *whole* fixpoint
+//! run — and hands them one task batch per iteration.
+//!
+//! # Protocol and safety
+//!
+//! [`EvalPool::run`] publishes a batch as a type-erased `&dyn Fn(usize)`
+//! plus a task count, wakes the workers, claims tasks on the calling
+//! thread too, and returns only once every task index has completed.  The
+//! closure borrows iteration-local state (the database, the task slots);
+//! the lifetime is erased to park it in the shared cell, which is sound
+//! because `run` does not return while any worker can still observe the
+//! pointer: a worker only touches it between claiming an index (under the
+//! lock, `next < len`) and bumping `completed` (under the lock), and `run`
+//! blocks until `completed == len`.
+//!
+//! Each task index is claimed by exactly one thread, so a batch closure
+//! may hand out `&mut` access to disjoint per-task slots through a raw
+//! pointer (see the evaluator's use).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the current batch closure.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync + 'static));
+
+// SAFETY: the pointee is `Sync` (shared calls from several threads are
+// fine) and the pool's protocol guarantees it outlives every access.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    /// The published batch, `None` while idle.
+    job: Option<JobPtr>,
+    /// Number of tasks in the batch.
+    len: usize,
+    /// Next unclaimed task index.
+    next: usize,
+    /// Tasks finished so far.
+    completed: usize,
+    /// Set once, on drop.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between batches.
+    work: Condvar,
+    /// The publisher parks here until the batch completes.
+    done: Condvar,
+}
+
+/// A persistent pool of evaluation workers (see the module docs).
+pub(crate) struct EvalPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EvalPool {
+    /// Spawn `workers` background threads.  The calling thread participates
+    /// in every batch too, so a pool for `t` total threads takes `t - 1`.
+    pub(crate) fn new(workers: usize) -> EvalPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                len: 0,
+                next: 0,
+                completed: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        EvalPool { shared, workers }
+    }
+
+    /// Run `f(0), f(1), ..., f(len - 1)` across the pool plus the calling
+    /// thread; returns once every index has completed.  `f` is called
+    /// concurrently from several threads, each index from exactly one.
+    pub(crate) fn run<'env>(&self, len: usize, f: &(dyn Fn(usize) + Sync + 'env)) {
+        if len == 0 {
+            return;
+        }
+        // SAFETY: lifetime erasure only — see the module docs for why the
+        // pointer cannot outlive the borrow it erases.
+        let erased: &(dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync + 'env), &(dyn Fn(usize) + Sync + 'static)>(
+                f,
+            )
+        };
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            debug_assert!(state.job.is_none(), "overlapping EvalPool batches");
+            state.job = Some(JobPtr(erased));
+            state.len = len;
+            state.next = 0;
+            state.completed = 0;
+        }
+        self.shared.work.notify_all();
+        // The caller works the batch alongside the pool.
+        loop {
+            let index = {
+                let mut state = self.shared.state.lock().unwrap();
+                if state.next >= state.len {
+                    break;
+                }
+                let index = state.next;
+                state.next += 1;
+                index
+            };
+            f(index);
+            finish_one(&self.shared);
+        }
+        let mut state = self.shared.state.lock().unwrap();
+        while state.completed < state.len {
+            state = self.shared.done.wait(state).unwrap();
+        }
+        state.job = None;
+    }
+}
+
+/// Record one finished task; the last one clears the batch and wakes the
+/// publisher.
+fn finish_one(shared: &Shared) {
+    let mut state = shared.state.lock().unwrap();
+    state.completed += 1;
+    if state.completed == state.len {
+        state.job = None;
+        shared.done.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (job, index) = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(job) = state.job {
+                    if state.next < state.len {
+                        let index = state.next;
+                        state.next += 1;
+                        break (job, index);
+                    }
+                }
+                state = shared.work.wait(state).unwrap();
+            }
+        };
+        // SAFETY: the publisher blocks until `completed == len`, so the
+        // closure outlives this call.
+        unsafe { (*job.0)(index) };
+        finish_one(shared);
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().unwrap();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = EvalPool::new(3);
+        for len in [1usize, 2, 7, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(len, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn batches_can_borrow_and_mutate_disjoint_slots() {
+        let pool = EvalPool::new(2);
+        let mut slots = vec![0usize; 100];
+        struct SendPtr(*mut usize);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        impl SendPtr {
+            /// # Safety
+            ///
+            /// `i` must be in bounds and written by one thread at a time.
+            unsafe fn set(&self, i: usize, v: usize) {
+                *self.0.add(i) = v;
+            }
+        }
+        let ptr = SendPtr(slots.as_mut_ptr());
+        pool.run(100, &|i| {
+            // SAFETY: each index is claimed exactly once.
+            unsafe { ptr.set(i, i * 2) };
+        });
+        assert!(slots.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn empty_batches_and_reuse_are_fine() {
+        let pool = EvalPool::new(1);
+        pool.run(0, &|_| unreachable!());
+        let counter = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.run(4, &|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+}

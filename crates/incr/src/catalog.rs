@@ -7,6 +7,12 @@
 //! constants (`anc[bf](john)`).  Repeated queries with the same binding hit
 //! the cached view; base-fact updates stream into every cached view through
 //! [`ViewCatalog::update_all`].
+//!
+//! Each cached entry carries exactly one compiled
+//! [`Schedule`](magic_datalog::Schedule) (inside its view's fixpoint
+//! runner): the stratified shape is computed when the plan is
+//! materialized and shared by every subsequent maintenance resume —
+//! never rebuilt per update.
 
 use crate::error::IncrError;
 use crate::view::{MaterializedView, Update};

@@ -13,6 +13,13 @@
 //! each new derivation is enumerated exactly once — which keeps the
 //! per-row derivation counts in the [`SupportTable`] exact.
 //!
+//! Resumption is *stratum-seeded*: the runner's compiled
+//! [`Schedule`](magic_datalog::Schedule) (built once per view and shared
+//! by every maintenance operation) retires, on the first resumed
+//! iteration, every stratum below the lowest one the seeds can reach, so
+//! a single-fact update re-enters the scheduler at its dirty stratum
+//! instead of re-walking the full rule list each iteration.
+//!
 //! # Retraction
 //!
 //! Two strategies, chosen per retracted predicate at construction time:
@@ -285,6 +292,13 @@ impl MaterializedView {
     /// Cumulative evaluation metrics over construction and all updates.
     pub fn stats(&self) -> &EvalStats {
         &self.stats
+    }
+
+    /// The stratified schedule of the maintained program — compiled once
+    /// with the view's runner and shared by construction and every
+    /// insert/retract resume (see the module docs).
+    pub fn schedule(&self) -> &magic_datalog::Schedule {
+        self.runner.schedule()
     }
 
     /// The exact number of rule-body derivations currently supporting a

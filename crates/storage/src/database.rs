@@ -147,6 +147,39 @@ impl Database {
             .map(|(p, r)| (p.clone(), r.len()))
             .collect()
     }
+
+    /// A read-only view of the database — the share-safe surface the
+    /// engine's parallel evaluation workers resolve relations through.
+    /// See [`DatabaseView`].
+    pub fn view(&self) -> DatabaseView<'_> {
+        DatabaseView { db: self }
+    }
+}
+
+/// A borrowed read view over a [`Database`].
+///
+/// The view is `Copy` and hands out relation borrows tied to the
+/// *database's* lifetime (not the view's), so a worker can resolve its
+/// body relations once and keep probing them for the whole read phase.
+/// Nothing behind the view takes a lock: relations have no interior
+/// mutability, and the engine guarantees no writer exists while views are
+/// live (evaluation and insertion alternate; see
+/// [`RelationSnapshot`](crate::relation::RelationSnapshot)).
+#[derive(Clone, Copy, Debug)]
+pub struct DatabaseView<'a> {
+    db: &'a Database,
+}
+
+impl<'a> DatabaseView<'a> {
+    /// The relation stored for `pred`, if any.
+    pub fn relation(&self, pred: &PredName) -> Option<&'a Relation> {
+        self.db.relation(pred)
+    }
+
+    /// A watermark-pinned snapshot of the relation stored for `pred`.
+    pub fn snapshot(&self, pred: &PredName) -> Option<crate::relation::RelationSnapshot<'a>> {
+        self.db.relation(pred).map(Relation::snapshot)
+    }
 }
 
 impl fmt::Display for Database {

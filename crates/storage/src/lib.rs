@@ -68,7 +68,7 @@ pub mod support;
 pub use magic_datalog::arena;
 pub use magic_datalog::ValId;
 
-pub use database::Database;
+pub use database::{Database, DatabaseView};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
-pub use relation::{Relation, Row};
+pub use relation::{Relation, RelationSnapshot, Row};
 pub use support::SupportTable;

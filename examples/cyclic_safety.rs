@@ -32,11 +32,20 @@ fn main() {
         "  magic sets:   {} answers (terminates)",
         magic.answers.len()
     );
+    // The planner's cycle-detecting pre-check (dependency-graph SCCs over
+    // the rewritten program + the Theorem 10.3 argument-graph analysis)
+    // refuses the plan up front — no evaluation, no burned wall budget.
     match Planner::new(Strategy::Counting)
         .with_limits(limits)
         .evaluate(&nonlinear, &query, &chain(20))
     {
-        Err(e) => println!("  counting:     diverges as predicted ({e})"),
+        Err(e) => {
+            assert!(matches!(
+                e,
+                power_of_magic::magic::planner::PlanError::CountingUnsafe { .. }
+            ));
+            println!("  counting:     refused up front ({e})");
+        }
         Ok(r) => println!(
             "  counting:     unexpectedly terminated with {} answers",
             r.answers.len()

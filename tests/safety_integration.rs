@@ -65,12 +65,18 @@ fn theorem_10_3_nonlinear_ancestor_counting_diverges_even_on_acyclic_data() {
     let adorned = adorn(&program, &query, SipStrategy::FullLeftToRight).unwrap();
     // Predicted statically...
     assert_eq!(counting_safety(&adorned), CountingSafety::NonTerminating);
-    // ...and observed at run time, on a perfectly acyclic chain.
+    // ...and enforced by the planner's cycle-detecting pre-check: the
+    // schedule's SCC pass finds the recursion through counting-indexed
+    // predicates and the plan is refused up front with the typed error —
+    // no run-time limit is ever hit.
     let err = Planner::new(Strategy::Counting)
         .with_limits(strict())
         .evaluate(&program, &query, &chain(10))
         .unwrap_err();
-    assert!(matches!(err, PlanError::Eval(_)));
+    assert!(
+        matches!(err, PlanError::CountingUnsafe { .. }),
+        "expected the typed pre-check refusal, got {err}"
+    );
     // Magic sets handle the same program without trouble.
     let ok = Planner::new(Strategy::MagicSets)
         .with_limits(strict())
