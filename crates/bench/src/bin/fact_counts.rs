@@ -8,7 +8,7 @@
 //! * the bottom-up baselines derive the *entire* derived relation while the
 //!   rewrites derive only the query-reachable part (Section 1);
 //! * the magic facts are a small fraction of the derived facts (Section 9's
-//!   discussion of [5]);
+//!   discussion of reference \[5\]);
 //! * GSMS/GSC trade extra supplementary facts for fewer duplicate firings
 //!   than GMS/GC (Section 11);
 //! * on the chain, magic derives O(n²) ancestor facts for a query with n

@@ -8,18 +8,21 @@
 //! The report is the per-PR performance trajectory for this repository:
 //! PR 1 checked in `BENCH_PR1.json`, PR 2 added the `incr_*` scenarios
 //! (`BENCH_PR2.json`), PR 3 moved storage to interned packed rows and
-//! added the stress scenarios (`BENCH_PR3.json`), PR 4 adds the
-//! stratified parallel scheduler (`BENCH_PR4.json`): every classic cell
-//! is measured single-threaded *and* at the parallel thread count, with
-//! a `"threads"` field per cell and labels `gms@t4` for the parallel
-//! legs.  The pre-existing scenarios' probe counts must not move between
+//! added the stress scenarios (`BENCH_PR3.json`), PR 4 added the
+//! stratified parallel scheduler (`BENCH_PR4.json`: every classic cell
+//! measured single-threaded *and* at the parallel thread count, with a
+//! `"threads"` field per cell and labels `gms@t4` for the parallel
+//! legs), and PR 5 adds the `serve_*` scenarios (`BENCH_PR5.json`):
+//! query throughput and latency percentiles of a live `magic-serve`
+//! server, measured with and without a concurrent update stream.  The
+//! pre-existing scenarios' probe counts must not move between
 //! snapshots, and — the scheduler's determinism contract — every counter
 //! of a parallel cell must be bit-identical to its single-threaded twin
 //! (the report generator asserts this).  Usage:
 //!
 //! ```text
 //! cargo run --release -p magic-bench --bin perf_report -- \
-//!     [--out BENCH_PR4.json] [--baseline BENCH_PR3.json] [--quick] \
+//!     [--out BENCH_PR5.json] [--baseline BENCH_PR4.json] [--quick] \
 //!     [--threads N] [--filter <scenario-substring>] \
 //!     [--strategy <short-name>]...
 //! ```
@@ -37,6 +40,15 @@
 //! Counting plans that the planner's cycle-detecting pre-check refuses
 //! (`PlanError::CountingUnsafe`, Theorem 10.3) are recorded as skipped
 //! cells with the typed reason instead of burning the wall budget.
+//!
+//! Each `serve_*` scenario starts an in-process TCP server, warms one
+//! materialized view per query binding, then drives it with concurrent
+//! reader clients (one thread each) while an updater client replays a
+//! bounded insert/retract stream.  Two cells are recorded: `serve_quiet`
+//! (readers only — the pure snapshot-read ceiling) and `serve` (readers
+//! racing the update stream), each carrying `"qps"`, `"p50_ms"`,
+//! `"p99_ms"` and the applied-update count in its extra fields.  Latency
+//! is measured per request at the client, over loopback TCP.
 //!
 //! The JSON is written by hand: the build environment has no crates.io
 //! access, so there is no serde.  The format is flat and stable on purpose.
@@ -470,6 +482,246 @@ fn measure_incr(scenario: &IncrScenario, quick: bool) -> (Cell, Cell) {
     (incr_cell, scratch_cell)
 }
 
+/// A serving-layer scenario: an in-process `magic-serve` server driven by
+/// concurrent reader clients, with and without a live update stream.
+struct ServeScenario {
+    name: String,
+    program: magic_datalog::Program,
+    database: magic_storage::Database,
+    /// Node count of the underlying chain (edges + 1); the update stream
+    /// is generated over this node set.
+    nodes: usize,
+    /// Concurrent reader connections.
+    readers: usize,
+    /// Queries each reader issues.
+    requests_per_reader: usize,
+    /// Distinct query bindings (→ materialized views on the server).
+    bindings: usize,
+    /// Approximate length of the updater's bounded insert/retract stream
+    /// (the generated request mix carries ~this many updates).
+    update_ops: usize,
+}
+
+fn serve_scenarios(quick: bool) -> Vec<ServeScenario> {
+    let edges = if quick { 32 } else { 256 };
+    vec![ServeScenario {
+        name: format!("serve/ancestor/chain/{edges}"),
+        program: magic_workloads::programs::ancestor(),
+        database: magic_workloads::chain(edges),
+        nodes: edges + 1,
+        readers: if quick { 2 } else { 4 },
+        requests_per_reader: if quick { 40 } else { 250 },
+        bindings: if quick { 2 } else { 4 },
+        update_ops: if quick { 30 } else { 300 },
+    }]
+}
+
+/// Percentile (`p` in 0..=100) of an unsorted latency sample, in
+/// milliseconds; nearest-rank on the sorted data.
+fn percentile_ms(latencies: &mut [f64], p: f64) -> f64 {
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+    latencies[rank.saturating_sub(1).min(latencies.len() - 1)] * 1e3
+}
+
+/// Drive one serve leg: `readers` concurrent query clients, plus (when
+/// `with_updates`) an updater client replaying the bounded stream.
+/// Returns (cell, total queries) or an error message.
+fn run_serve_leg(
+    scenario: &ServeScenario,
+    with_updates: bool,
+    label: &str,
+) -> Result<Cell, String> {
+    use magic_serve::{Client, ServeConfig, Server};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // Views maintain single-threaded (like the `incr_*` cells): the
+    // serving layer's concurrency is across requests, not inside one
+    // fixpoint, and this keeps the cells comparable whatever the ambient
+    // MAGIC_THREADS is.
+    let config = ServeConfig {
+        limits: Limits::default().with_threads(1),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(
+        scenario.program.clone(),
+        scenario.database.clone(),
+        "127.0.0.1:0",
+        config,
+    )
+    .map_err(|e| format!("server start: {e}"))?;
+    let addr = server.addr();
+
+    // The load shape comes from the workloads request-stream generator
+    // (`magic_workloads::requests`): one deterministic query/update mix,
+    // whose query subsequence drives the readers and whose update
+    // subsequence drives the updater — the same stream the CI serve
+    // smoke replays at quick size.
+    let stream = magic_workloads::ancestor_request_stream(
+        scenario.nodes,
+        scenario.update_ops * 5, // ~80% queries => ~update_ops updates
+        80,
+        scenario.bindings,
+        60,
+        0xA11CE,
+    );
+    let query_pool: Vec<String> = stream
+        .iter()
+        .filter_map(|r| match r {
+            magic_workloads::ServeRequest::Query(q) => Some(q.clone()),
+            magic_workloads::ServeRequest::Update(_) => None,
+        })
+        .collect();
+    let update_stream: Vec<magic_workloads::UpdateOp> = stream
+        .into_iter()
+        .filter_map(|r| match r {
+            magic_workloads::ServeRequest::Update(op) => Some(op),
+            magic_workloads::ServeRequest::Query(_) => None,
+        })
+        .collect();
+    if query_pool.is_empty() {
+        return Err("generated request stream carries no queries".into());
+    }
+
+    // Warm every binding so the measured requests hit the pure
+    // snapshot-read path (materialization cost is a one-off).
+    let mut warm = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let distinct: std::collections::BTreeSet<&String> = query_pool.iter().collect();
+    let mut last_answers = 0usize;
+    for query in distinct {
+        last_answers = warm
+            .query(query)
+            .map_err(|e| format!("warm: {e}"))?
+            .rows
+            .len();
+    }
+
+    // Readers issue at least `requests_per_reader` queries each, and keep
+    // querying until the updater's bounded stream has fully drained — the
+    // `serve` leg must measure sustained mixed load, not a few microseconds
+    // of overlap (capped so a stalled updater cannot hang the report).
+    let updates_done = Arc::new(AtomicBool::new(!with_updates));
+    let start = Instant::now();
+    let updater = if with_updates {
+        let stream = update_stream;
+        let done = Arc::clone(&updates_done);
+        Some(std::thread::spawn(move || -> Result<usize, String> {
+            let mut client = Client::connect(addr).map_err(|e| format!("updater connect: {e}"))?;
+            let mut applied = 0usize;
+            for op in &stream {
+                let ack = match op {
+                    magic_workloads::UpdateOp::Insert(f) => client.insert_fact(f),
+                    magic_workloads::UpdateOp::Retract(f) => client.retract_fact(f),
+                };
+                if ack
+                    .inspect_err(|_| done.store(true, Ordering::Relaxed))
+                    .map_err(|e| format!("updater: {e}"))?
+                    .applied
+                {
+                    applied += 1;
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+            Ok(applied)
+        }))
+    } else {
+        None
+    };
+
+    let reader_handles: Vec<_> = (0..scenario.readers)
+        .map(|r| {
+            let queries = query_pool.clone();
+            let count = scenario.requests_per_reader;
+            let done = Arc::clone(&updates_done);
+            std::thread::spawn(move || -> Result<Vec<f64>, String> {
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("reader connect: {e}"))?;
+                let mut latencies = Vec::with_capacity(count);
+                for i in 0..count * 50 {
+                    if i >= count && done.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let query = &queries[(r * 17 + i) % queries.len()];
+                    let sent = Instant::now();
+                    client.query(query).map_err(|e| format!("reader: {e}"))?;
+                    latencies.push(sent.elapsed().as_secs_f64());
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut failure: Option<String> = None;
+    for handle in reader_handles {
+        match handle.join().map_err(|_| "reader panicked".to_string()) {
+            Ok(Ok(mut sample)) => latencies.append(&mut sample),
+            Ok(Err(e)) => failure = Some(e),
+            Err(e) => failure = Some(e),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let applied = match updater {
+        Some(handle) => match handle.join().map_err(|_| "updater panicked".to_string()) {
+            Ok(Ok(applied)) => applied,
+            Ok(Err(e)) => {
+                failure.get_or_insert(e);
+                0
+            }
+            Err(e) => {
+                failure.get_or_insert(e);
+                0
+            }
+        },
+        None => 0,
+    };
+    server.shutdown();
+    if let Some(message) = failure {
+        return Err(message);
+    }
+
+    let queries_total = latencies.len();
+    let qps = queries_total as f64 / elapsed;
+    let p50 = percentile_ms(&mut latencies, 50.0);
+    let p99 = percentile_ms(&mut latencies, 99.0);
+    let mut cell = Cell::new(
+        label,
+        Outcome::Ok {
+            wall_secs: elapsed,
+            samples: queries_total,
+            answers: last_answers,
+            iterations: 0,
+            rule_firings: 0,
+            facts_derived: 0,
+            duplicate_derivations: 0,
+            join_probes: 0,
+        },
+    );
+    cell.extra = format!(
+        ", \"readers\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+         \"updates_applied\": {}",
+        scenario.readers, qps, p50, p99, applied
+    );
+    Ok(cell)
+}
+
+/// Measure one serve scenario: the quiet (read-only) leg, then the leg
+/// racing a live update stream.
+fn measure_serve(scenario: &ServeScenario) -> Vec<Cell> {
+    ["serve_quiet", "serve"]
+        .into_iter()
+        .map(|label| {
+            let with_updates = label == "serve";
+            run_serve_leg(scenario, with_updates, label)
+                .unwrap_or_else(|message| Cell::new(label, Outcome::Error { message }))
+        })
+        .collect()
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -511,7 +763,7 @@ fn assert_counters_pinned(scenario: &str, single: &Outcome, parallel: &Outcome) 
 fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"pr\": 4,");
+    let _ = writeln!(out, "  \"pr\": 5,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(engine));
     let _ = writeln!(
         out,
@@ -599,10 +851,10 @@ fn baseline_wall_secs(snapshot: &str, scenario: &str, strategy: &str) -> Option<
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut out_path = "BENCH_PR5.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut quick = false;
-    let mut engine = "stratified-parallel".to_string();
+    let mut engine = "stratified-parallel+serve".to_string();
     let mut filter: Option<String> = None;
     let mut strategies: Vec<String> = Vec::new();
     let mut par_threads: Option<usize> = None;
@@ -736,6 +988,38 @@ fn main() {
             }
         }
         results.push((scenario.name.clone(), vec![incr_cell, scratch_cell]));
+    }
+
+    for scenario in serve_scenarios(quick) {
+        if let Some(f) = &filter {
+            if !scenario.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        if !strategies.is_empty()
+            && !strategies
+                .iter()
+                .any(|s| s == "serve" || s == "serve_quiet")
+        {
+            continue;
+        }
+        eprintln!("scenario {}", scenario.name);
+        let cells = measure_serve(&scenario);
+        for cell in &cells {
+            match &cell.outcome {
+                Outcome::Ok {
+                    wall_secs, samples, ..
+                } => eprintln!(
+                    "  {:<12} {wall_secs:>12.6}s  {samples} queries{}",
+                    cell.label, cell.extra
+                ),
+                Outcome::Skipped { .. } => eprintln!("  {:<12} skipped", cell.label),
+                Outcome::Error { message } => {
+                    eprintln!("  {:<12} error: {message}", cell.label)
+                }
+            }
+        }
+        results.push((scenario.name.clone(), cells));
     }
 
     let comparison = baseline_path.map(|path| {

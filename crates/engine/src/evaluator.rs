@@ -11,10 +11,10 @@
 //! # The stratified scheduler
 //!
 //! Compiling a runner also builds the program's
-//! [`Schedule`](magic_datalog::Schedule): the predicate dependency graph
+//! [`magic_datalog::Schedule`]: the predicate dependency graph
 //! condensed into topologically ordered strata (one per SCC).  Each
 //! iteration walks the strata in dependency order and turns every rule
-//! evaluation the classic loop would perform into an [`EvalTask`] — a
+//! evaluation the classic loop would perform into an `EvalTask` — a
 //! `(plan, delta windows, shard)` triple.  Two structural wins fall out:
 //!
 //! * **Stratum retirement.**  Once every stratum below `s` has converged

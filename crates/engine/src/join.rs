@@ -24,7 +24,7 @@
 //! # Entry points
 //!
 //! Three consumers drive the same `descend` loop through a zero-cost
-//! [`MatchSink`] parameter (monomorphized; the classic row-producing path
+//! `MatchSink` parameter (monomorphized; the classic row-producing path
 //! compiles to exactly the code it had before the abstraction existed):
 //!
 //! * [`evaluate_rule`] / [`evaluate_rule_windows`] — forward evaluation,

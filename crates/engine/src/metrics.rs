@@ -1,7 +1,7 @@
 //! Evaluation metrics.
 //!
 //! Section 9 of the paper compares strategies by the *facts* and *subqueries*
-//! they generate; Section 11 and the companion study [5] compare them by rule
+//! they generate; Section 11 and the companion study \[5\] compare them by rule
 //! firings and duplicate derivations.  These counters make all of those
 //! observable.
 
@@ -46,6 +46,24 @@ impl EvalStats {
             }
         } else {
             self.duplicate_derivations += 1;
+        }
+    }
+
+    /// Accumulate another run's counters into these (the per-predicate and
+    /// per-rule breakdowns are summed key-wise).  The incremental view
+    /// layer uses this to keep lifetime maintenance totals per view, and
+    /// the serving layer to aggregate across every view of a catalog.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.iterations += other.iterations;
+        self.rule_firings += other.rule_firings;
+        self.facts_derived += other.facts_derived;
+        self.duplicate_derivations += other.duplicate_derivations;
+        self.join_probes += other.join_probes;
+        for (pred, n) in &other.facts_by_pred {
+            *self.facts_by_pred.entry(pred.clone()).or_insert(0) += n;
+        }
+        for (rule, n) in &other.firings_by_rule {
+            *self.firings_by_rule.entry(*rule).or_insert(0) += n;
         }
     }
 

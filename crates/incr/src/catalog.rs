@@ -55,6 +55,17 @@ impl From<IncrError> for CatalogError {
     }
 }
 
+/// What a batched [`ViewCatalog::apply_all`] did.
+#[derive(Clone, Debug, Default)]
+pub struct ApplyAllOutcome {
+    /// State-changing applications, summed over all surviving views.
+    pub applied: usize,
+    /// Views evicted because their maintenance failed, with the error
+    /// that condemned each.  The catalog stays internally consistent;
+    /// evicted bindings re-materialize on next sight.
+    pub evicted: Vec<(String, CatalogError)>,
+}
+
 /// One cached view plus how to read the query's answers back out of it.
 #[derive(Clone, Debug)]
 struct CatalogEntry {
@@ -131,6 +142,21 @@ impl ViewCatalog {
         query: &Query,
         edb: &Database,
     ) -> Result<String, CatalogError> {
+        self.materialize_keyed(program, query, edb)
+            .map(|(key, _)| key)
+    }
+
+    /// [`ViewCatalog::materialize`], additionally reporting whether a view
+    /// was (re)built: `false` means the key was a cache hit on a live view
+    /// and the catalog did not change — the serving layer uses this to
+    /// skip publishing a fresh (expensive, whole-catalog-clone) snapshot
+    /// when two racing first-sight queries both request materialization.
+    pub fn materialize_keyed(
+        &mut self,
+        program: &Program,
+        query: &Query,
+        edb: &Database,
+    ) -> Result<(String, bool), CatalogError> {
         let plan = Planner::new(self.strategy)
             .with_limits(self.limits)
             .plan(program, query)?;
@@ -155,7 +181,27 @@ impl ViewCatalog {
                 },
             );
         }
-        Ok(key)
+        Ok((key, fresh))
+    }
+
+    /// The binding key `materialize` would cache `(program, query)` under,
+    /// computed by planning alone — nothing is materialized and the catalog
+    /// is not consulted.  The serving layer uses this to translate a query
+    /// into its snapshot lookup key exactly once per distinct query text.
+    pub fn binding_key(&self, program: &Program, query: &Query) -> Result<String, CatalogError> {
+        let plan = Planner::new(self.strategy)
+            .with_limits(self.limits)
+            .plan(program, query)?;
+        Ok(format!(
+            "{}@{}",
+            plan.view_binding(),
+            self.strategy.short_name()
+        ))
+    }
+
+    /// True iff a view is cached under `key`.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
     }
 
     /// The view cached under `key`.
@@ -195,6 +241,56 @@ impl ViewCatalog {
         Ok(changed)
     }
 
+    /// Apply a whole batch of updates to every cached view, letting each
+    /// view coalesce its consecutive insertions into one fixpoint re-entry
+    /// (see [`MaterializedView::apply`]) — the serving layer's write path,
+    /// where a maintenance writer drains its queue in batches.
+    ///
+    /// Updates whose predicate a view *derives* are filtered out for that
+    /// view (its copy of the predicate is maintained, not edited), so a
+    /// heterogeneous catalog never aborts a batch midway: every view sees
+    /// exactly the subsequence of updates it can accept, in order.
+    ///
+    /// A view whose maintenance *fails* (a limits budget, an arity
+    /// mismatch) is **evicted** rather than left behind: a cached view is
+    /// a rebuildable artifact, and evicting keeps every surviving view
+    /// consistent with the same update prefix — the failed binding simply
+    /// re-materializes from the authoritative base facts on next sight.
+    /// The alternative (aborting the batch midway) would leave some views
+    /// with the batch applied and others without, permanently.
+    pub fn apply_all(&mut self, updates: &[Update]) -> ApplyAllOutcome {
+        let mut outcome = ApplyAllOutcome::default();
+        for (key, entry) in self.entries.iter_mut() {
+            let accepted: Vec<Update> = updates
+                .iter()
+                .filter(|u| !entry.view.program().is_derived(&u.fact().pred))
+                .cloned()
+                .collect();
+            if accepted.is_empty() {
+                continue;
+            }
+            match entry.view.apply(accepted) {
+                Ok(report) => outcome.applied += report.applied,
+                Err(e) => outcome.evicted.push((key.clone(), e.into())),
+            }
+        }
+        for (key, _) in &outcome.evicted {
+            self.entries.remove(key);
+        }
+        outcome
+    }
+
+    /// Aggregate maintenance metrics summed over every cached view
+    /// (construction plus all updates) — the serving layer's `STATS`
+    /// surface.
+    pub fn aggregate_stats(&self) -> magic_engine::EvalStats {
+        let mut total = magic_engine::EvalStats::default();
+        for entry in self.entries.values() {
+            total.merge(entry.view.stats());
+        }
+        total
+    }
+
     /// Number of cached views.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -214,7 +310,60 @@ impl ViewCatalog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use magic_datalog::{parse_program, parse_query};
+    use magic_datalog::{parse_program, parse_query, Fact};
+
+    #[test]
+    fn apply_all_evicts_failing_views_and_keeps_the_rest_consistent() {
+        // View A derives from `par`; view B also matches `tag` rows at
+        // arity 2.  A batch carrying a wrong-arity `tag` fact must apply
+        // to A, evict B (its maintenance errors), and leave the catalog
+        // able to serve A's answers for the full batch.
+        let prog_a = parse_program("anc(X, Y) :- par(X, Y).").unwrap();
+        let prog_b = parse_program("label(X, L) :- tag(X, L).").unwrap();
+        let qa = parse_query("anc(a, Y)").unwrap();
+        let qb = parse_query("label(a, Y)").unwrap();
+        // Separate base databases: only B's database stores `tag` (at
+        // arity 2), so only B can reject the wrong-arity update below.
+        let mut db_a = Database::new();
+        db_a.insert_pair("par", "a", "b");
+        let mut db_b = Database::new();
+        db_b.insert_pair("tag", "a", "red");
+
+        let mut catalog = ViewCatalog::new(Strategy::MagicSets);
+        let ka = catalog.materialize(&prog_a, &qa, &db_a).unwrap();
+        let kb = catalog.materialize(&prog_b, &qb, &db_b).unwrap();
+        assert_eq!(catalog.len(), 2);
+
+        let updates = vec![
+            Update::Insert(Fact::plain("par", vec![Value::sym("a"), Value::sym("c")])),
+            Update::Insert(Fact::plain("tag", vec![Value::sym("oops")])), // arity 1
+        ];
+        let outcome = catalog.apply_all(&updates);
+        assert_eq!(outcome.evicted.len(), 1);
+        assert_eq!(outcome.evicted[0].0, kb);
+        assert_eq!(catalog.len(), 1);
+        // The surviving view saw the whole batch.
+        assert_eq!(catalog.answers(&ka).unwrap().len(), 2);
+        // The evicted binding re-materializes on next sight.
+        let (kb2, fresh) = catalog.materialize_keyed(&prog_b, &qb, &db_b).unwrap();
+        assert_eq!(kb, kb2);
+        assert!(fresh);
+        assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn materialize_keyed_reports_cache_hits() {
+        let program = parse_program("anc(X, Y) :- par(X, Y).").unwrap();
+        let query = parse_query("anc(a, Y)").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        let mut catalog = ViewCatalog::new(Strategy::MagicSets);
+        let (k1, fresh1) = catalog.materialize_keyed(&program, &query, &db).unwrap();
+        let (k2, fresh2) = catalog.materialize_keyed(&program, &query, &db).unwrap();
+        assert_eq!(k1, k2);
+        assert!(fresh1);
+        assert!(!fresh2);
+    }
 
     #[test]
     fn changed_program_rematerializes_instead_of_serving_stale_rules() {

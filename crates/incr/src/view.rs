@@ -68,6 +68,15 @@ pub enum Update {
     Retract(Fact),
 }
 
+impl Update {
+    /// The fact being inserted or retracted.
+    pub fn fact(&self) -> &Fact {
+        match self {
+            Update::Insert(f) | Update::Retract(f) => f,
+        }
+    }
+}
+
 /// What a batched [`MaterializedView::apply`] did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ApplyReport {
@@ -260,7 +269,7 @@ impl MaterializedView {
                 .run(&mut db, &mut op_stats, Some(&mut observer))
                 .map_err(IncrError::Eval)?;
         }
-        merge_stats(&mut stats, &op_stats);
+        stats.merge(&op_stats);
 
         Ok(MaterializedView {
             program: program.clone(),
@@ -468,7 +477,7 @@ impl MaterializedView {
                 .resume(&mut self.db, marks, &mut op_stats, Some(&mut observer))
                 .map_err(IncrError::Eval)?;
         }
-        merge_stats(&mut self.stats, &op_stats);
+        self.stats.merge(&op_stats);
         Ok(())
     }
 
@@ -641,7 +650,7 @@ impl MaterializedView {
         od.runner
             .run(&mut self.db, &mut od_stats, None)
             .map_err(IncrError::Eval)?;
-        merge_stats(&mut self.stats, &od_stats);
+        self.stats.merge(&od_stats);
 
         // 2. Collect the overdeleted rows per derived predicate (shadow
         //    rows that are actually present and not exogenous axioms), then
@@ -782,21 +791,6 @@ impl MaterializedView {
             }
         }
         Ok(())
-    }
-}
-
-/// Accumulate one operation's metrics into the view's lifetime metrics.
-fn merge_stats(into: &mut EvalStats, from: &EvalStats) {
-    into.iterations += from.iterations;
-    into.rule_firings += from.rule_firings;
-    into.facts_derived += from.facts_derived;
-    into.duplicate_derivations += from.duplicate_derivations;
-    into.join_probes += from.join_probes;
-    for (pred, n) in &from.facts_by_pred {
-        *into.facts_by_pred.entry(pred.clone()).or_insert(0) += n;
-    }
-    for (rule, n) in &from.firings_by_rule {
-        *into.firings_by_rule.entry(*rule).or_insert(0) += n;
     }
 }
 

@@ -1,0 +1,254 @@
+//! A blocking client for the wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection; every method is a synchronous
+//! request/response round trip.  The load generator in `magic-bench` and
+//! the consistency suite drive the server exclusively through this type,
+//! so it doubles as the protocol's reference implementation.
+
+use crate::protocol::ServerStats;
+use magic_datalog::{parse_term, Fact, Value};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed.
+    Io(io::Error),
+    /// The server sent something the client cannot parse.
+    Protocol(String),
+    /// The server answered `ERR <message>`.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A query response: the answers plus the snapshot they were read from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryReply {
+    /// The adorned binding key the serving view is cached under.
+    pub key: String,
+    /// Version of the snapshot the answers came from.
+    pub version: u64,
+    /// The answer rows (one value per free variable of the query), in the
+    /// server's deterministic (sorted) order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// An update acknowledgment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateAck {
+    /// True iff the update changed state (it was not a duplicate insert /
+    /// absent retract).
+    pub applied: bool,
+    /// Version of the first published snapshot containing the update (for
+    /// a no-op: the version current when it was processed).
+    pub version: u64,
+}
+
+/// One protocol connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Issue `QUERY <query>`; `query` uses the source syntax, e.g.
+    /// `"anc(john, Y)"`.
+    pub fn query(&mut self, query: &str) -> Result<QueryReply, ClientError> {
+        self.send(&format!("QUERY {query}"))?;
+        let header = self.read_line()?;
+        let rest = expect_ok(&header)?;
+        // `OK <count> <version> <key>`; the key may contain spaces.
+        let mut parts = rest.splitn(3, ' ');
+        let count: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad query header: {header}")))?;
+        let version: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad query header: {header}")))?;
+        let key = parts
+            .next()
+            .ok_or_else(|| ClientError::Protocol(format!("bad query header: {header}")))?
+            .to_string();
+        let mut rows = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = self.read_line()?;
+            let rest = line
+                .strip_prefix("ROW")
+                .ok_or_else(|| ClientError::Protocol(format!("expected ROW line, got: {line}")))?;
+            let mut row = Vec::new();
+            if let Some(values) = rest.strip_prefix('\t') {
+                for text in values.split('\t') {
+                    let value = parse_term(text)
+                        .ok()
+                        .and_then(|t| t.to_value())
+                        .ok_or_else(|| {
+                            ClientError::Protocol(format!("unparseable value {text:?}"))
+                        })?;
+                    row.push(value);
+                }
+            }
+            rows.push(row);
+        }
+        self.expect_end()?;
+        Ok(QueryReply { key, version, rows })
+    }
+
+    /// Issue `INSERT <fact>`; `fact` uses the source syntax, e.g.
+    /// `"par(john, mary)"`.  Blocks until the update is live.
+    pub fn insert(&mut self, fact: &str) -> Result<UpdateAck, ClientError> {
+        self.update("INSERT", fact)
+    }
+
+    /// Issue `RETRACT <fact>`.  Blocks until the update is live.
+    pub fn retract(&mut self, fact: &str) -> Result<UpdateAck, ClientError> {
+        self.update("RETRACT", fact)
+    }
+
+    /// [`Client::insert`] for an already-built [`Fact`].
+    pub fn insert_fact(&mut self, fact: &Fact) -> Result<UpdateAck, ClientError> {
+        self.update("INSERT", &fact.to_atom().to_string())
+    }
+
+    /// [`Client::retract`] for an already-built [`Fact`].
+    pub fn retract_fact(&mut self, fact: &Fact) -> Result<UpdateAck, ClientError> {
+        self.update("RETRACT", &fact.to_atom().to_string())
+    }
+
+    /// Issue `STATS`.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        self.send("STATS")?;
+        let header = self.read_line()?;
+        let rest = expect_ok(&header)?;
+        if rest != "stats" {
+            return Err(ClientError::Protocol(format!(
+                "expected `OK stats`, got: {header}"
+            )));
+        }
+        let mut body = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line == "END" {
+                break;
+            }
+            body.push(line);
+        }
+        ServerStats::parse_body(&body).map_err(ClientError::Protocol)
+    }
+
+    /// Issue `PING`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.send("PING")?;
+        let line = self.read_line()?;
+        match expect_ok(&line)? {
+            "pong" => Ok(()),
+            _ => Err(ClientError::Protocol(format!("expected pong, got: {line}"))),
+        }
+    }
+
+    /// Issue `QUIT` and consume the goodbye.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send("QUIT")?;
+        let _ = self.read_line()?;
+        Ok(())
+    }
+
+    /// Issue `SHUTDOWN`: stop the whole server (the owning
+    /// [`ServerHandle`](crate::ServerHandle) still joins its threads).
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        self.send("SHUTDOWN")?;
+        let _ = self.read_line()?;
+        Ok(())
+    }
+
+    fn update(&mut self, verb: &str, fact: &str) -> Result<UpdateAck, ClientError> {
+        self.send(&format!("{verb} {fact}"))?;
+        let line = self.read_line()?;
+        let rest = expect_ok(&line)?;
+        let (word, version) = rest
+            .split_once(' ')
+            .ok_or_else(|| ClientError::Protocol(format!("bad ack: {line}")))?;
+        let version: u64 = version
+            .parse()
+            .map_err(|_| ClientError::Protocol(format!("bad ack version: {line}")))?;
+        match word {
+            "applied" => Ok(UpdateAck {
+                applied: true,
+                version,
+            }),
+            "noop" => Ok(UpdateAck {
+                applied: false,
+                version,
+            }),
+            _ => Err(ClientError::Protocol(format!("bad ack: {line}"))),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".into()));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    fn expect_end(&mut self) -> Result<(), ClientError> {
+        let line = self.read_line()?;
+        if line == "END" {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!("expected END, got: {line}")))
+        }
+    }
+}
+
+/// Strip the `OK ` prefix or surface the server's `ERR`.
+fn expect_ok(line: &str) -> Result<&str, ClientError> {
+    if let Some(rest) = line.strip_prefix("OK") {
+        return Ok(rest.strip_prefix(' ').unwrap_or(rest));
+    }
+    if let Some(message) = line.strip_prefix("ERR ") {
+        return Err(ClientError::Server(message.to_string()));
+    }
+    Err(ClientError::Protocol(format!(
+        "expected OK or ERR, got: {line}"
+    )))
+}

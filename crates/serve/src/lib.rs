@@ -1,0 +1,68 @@
+//! # magic-serve
+//!
+//! A concurrent query-serving front end over
+//! [`magic_incr::ViewCatalog`]: the workspace's "heavy live traffic"
+//! layer, turning the paper's per-query-binding magic-set views into a
+//! network service.
+//!
+//! The paper's whole point is answering *bound* queries cheaply — an
+//! adorned magic-set view is a per-query-binding artifact, which is
+//! exactly the shape of a request/response serving layer.  Because the
+//! magic transformation preserves answers exactly (Drabent's correctness
+//! proof, arXiv:1012.2299), a maintained view can stand in for
+//! from-scratch evaluation for every query that shares its binding; this
+//! crate keeps a catalog of such views live under a stream of updates and
+//! serves them over TCP.
+//!
+//! * [`Server`] / [`ServerHandle`] — a thread-per-connection
+//!   [`std::net::TcpListener`] server: N concurrent reader threads answer
+//!   queries from immutable snapshot-and-swap catalog clones while a
+//!   single writer thread drains the maintenance queue, applies batched
+//!   insert/retract through the catalog and publishes fresh snapshots.
+//!   Readers never block on maintenance; writes are serialized and
+//!   acknowledged only once the snapshot containing them is live.
+//! * [`protocol`] — the minimal line-oriented wire protocol
+//!   (`QUERY anc(john, Y)`, `INSERT par(a, b)`, `RETRACT …`, `STATS`),
+//!   hand-rolled in-tree because the build environment has no crates.io
+//!   access.
+//! * [`Client`] — a blocking protocol client, used by the
+//!   `serve_*` benchmark scenarios, the consistency test suite and the
+//!   `serve_quickstart` example.
+//!
+//! See the repository's top-level `README.md` for the quickstart and
+//! `ARCHITECTURE.md` for how the serving path fits the engine underneath.
+//!
+//! ```
+//! use magic_core::planner::Strategy;
+//! use magic_datalog::parse_program;
+//! use magic_serve::{Client, ServeConfig, Server};
+//! use magic_storage::Database;
+//!
+//! let program = parse_program(
+//!     "anc(X, Y) :- par(X, Y).
+//!      anc(X, Y) :- par(X, Z), anc(Z, Y).",
+//! )
+//! .unwrap();
+//! let mut db = Database::new();
+//! db.insert_pair("par", "john", "mary");
+//!
+//! let mut server =
+//!     Server::start(program, db, "127.0.0.1:0", ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//!
+//! assert_eq!(client.query("anc(john, Y)").unwrap().rows.len(), 1);
+//! client.insert("par(mary, ann)").unwrap();
+//! assert_eq!(client.query("anc(john, Y)").unwrap().rows.len(), 2);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, QueryReply, UpdateAck};
+pub use protocol::{Request, ServerStats, ViewStats};
+pub use server::{ServeConfig, Server, ServerHandle};

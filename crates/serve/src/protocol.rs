@@ -1,0 +1,354 @@
+//! The wire protocol: a minimal line-oriented request/response format.
+//!
+//! The build environment is intentionally dependency-free (no crates.io),
+//! so the protocol is hand-rolled in-tree like the workspace's other
+//! offline stubs: plain UTF-8 lines over TCP, one request per line,
+//! human-typable with `nc`.
+//!
+//! # Requests
+//!
+//! ```text
+//! QUERY anc(john, Y)        plan/materialize on first sight, then answer
+//! INSERT par(john, mary)    enqueue a base-fact insertion (acked when live)
+//! RETRACT par(john, mary)   enqueue a base-fact retraction
+//! STATS                     snapshot version, counters, per-view totals
+//! PING                      liveness probe
+//! QUIT                      close this connection
+//! SHUTDOWN                  stop the whole server
+//! ```
+//!
+//! # Responses
+//!
+//! Every response starts with `OK …` or `ERR <message>`.  Multi-line
+//! responses (`QUERY`, `STATS`) are terminated by a line reading `END`.
+//!
+//! * `QUERY` → `OK <count> <version> <key>` followed by `<count>` lines
+//!   `ROW<TAB>v1<TAB>v2…` (one tab-separated value per free variable of
+//!   the query; a boolean query's single row is a bare `ROW`), then `END`.
+//!   `<version>` is the snapshot the answers were read from, `<key>` the
+//!   adorned binding key the view is cached under (it may contain spaces,
+//!   so it is always the final header field).
+//! * `INSERT` / `RETRACT` → `OK applied <version>` once the update is in
+//!   the published snapshot `<version>`, or `OK noop <version>` when it
+//!   was a no-op (duplicate insert / absent retract).
+//! * `STATS` → `OK stats`, `name=value` lines, one
+//!   `view<TAB><key><TAB>facts=<n><TAB>firings=<n><TAB>probes=<n>` line
+//!   per cached view, then `END`.
+//! * `PING` → `OK pong`; `QUIT`/`SHUTDOWN` → `OK bye`.
+//!
+//! Values use the Datalog term syntax on the wire in both directions
+//! (symbols, integers, compound terms like `cons(a, nil)`), so
+//! [`parse_term`](magic_datalog::parse_term) round-trips them; rows never
+//! contain tabs or newlines, which is what makes the framing trivial.
+
+use magic_datalog::{parse_query, Fact, Query, Value};
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY <atom>` — answer a (possibly non-ground) query.
+    Query(Query),
+    /// `INSERT <ground atom>` — insert a base fact.
+    Insert(Fact),
+    /// `RETRACT <ground atom>` — retract a base fact.
+    Retract(Fact),
+    /// `STATS` — report serving counters.
+    Stats,
+    /// `PING` — liveness probe.
+    Ping,
+    /// `QUIT` — close the connection.
+    Quit,
+    /// `SHUTDOWN` — stop the server.
+    Shutdown,
+}
+
+/// Parse one request line (already stripped of its newline).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim();
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb {
+        "QUERY" => {
+            if rest.is_empty() {
+                return Err("QUERY needs an atom, e.g. QUERY anc(john, Y)".into());
+            }
+            let query = parse_query(rest).map_err(|e| format!("bad query: {e}"))?;
+            Ok(Request::Query(query))
+        }
+        "INSERT" => Ok(Request::Insert(parse_fact(rest)?)),
+        "RETRACT" => Ok(Request::Retract(parse_fact(rest)?)),
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "" => Err("empty request".into()),
+        other => Err(format!(
+            "unknown verb {other:?} (expected QUERY, INSERT, RETRACT, STATS, PING, QUIT or \
+             SHUTDOWN)"
+        )),
+    }
+}
+
+/// Parse a ground atom like `par(john, mary)` into a [`Fact`].
+pub fn parse_fact(text: &str) -> Result<Fact, String> {
+    if text.is_empty() {
+        return Err("expected a ground atom, e.g. par(john, mary)".into());
+    }
+    let query = parse_query(text).map_err(|e| format!("bad fact: {e}"))?;
+    let values: Option<Vec<Value>> = query.atom.terms.iter().map(|t| t.to_value()).collect();
+    match values {
+        Some(values) => Ok(Fact::new(query.atom.pred, values)),
+        None => Err(format!("fact must be ground: {text}")),
+    }
+}
+
+/// Per-view totals reported by `STATS`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// The adorned binding key the view is cached under.
+    pub key: String,
+    /// Total facts (base + derived) in the view's maintained database.
+    pub facts: u64,
+    /// Lifetime rule firings of the view (construction + maintenance).
+    pub rule_firings: u64,
+    /// Lifetime join probes of the view.
+    pub join_probes: u64,
+}
+
+/// The counters reported by `STATS`: the published snapshot, the serving
+/// counters, and the maintenance totals aggregated over every cached view
+/// (see [`ViewCatalog::aggregate_stats`](magic_incr::ViewCatalog::aggregate_stats)).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Version of the currently published snapshot.
+    pub version: u64,
+    /// Number of cached (live, maintained) views.
+    pub views: u64,
+    /// Queries answered since the server started.
+    pub queries_served: u64,
+    /// State-changing updates applied and published.
+    pub updates_applied: u64,
+    /// Connections accepted since the server started.
+    pub connections: u64,
+    /// Views evicted because their maintenance failed (they
+    /// re-materialize from the base facts on next sight).
+    pub views_evicted: u64,
+    /// Aggregated fixpoint iterations over all views.
+    pub iterations: u64,
+    /// Aggregated rule firings over all views.
+    pub rule_firings: u64,
+    /// Aggregated new facts derived over all views.
+    pub facts_derived: u64,
+    /// Aggregated duplicate derivations over all views.
+    pub duplicate_derivations: u64,
+    /// Aggregated join probes over all views.
+    pub join_probes: u64,
+    /// Per-view totals, in catalog key order.
+    pub per_view: Vec<ViewStats>,
+}
+
+impl ServerStats {
+    /// Render the `STATS` response body (header, fields, views, `END`).
+    pub fn render(&self) -> String {
+        let mut out = String::from("OK stats\n");
+        for (name, value) in self.fields() {
+            out.push_str(&format!("{name}={value}\n"));
+        }
+        for view in &self.per_view {
+            out.push_str(&format!(
+                "view\t{}\tfacts={}\tfirings={}\tprobes={}\n",
+                view.key, view.facts, view.rule_firings, view.join_probes
+            ));
+        }
+        out.push_str("END\n");
+        out
+    }
+
+    /// Parse the body lines of a `STATS` response (everything between the
+    /// `OK stats` header and `END`, exclusive).
+    pub fn parse_body(lines: &[String]) -> Result<ServerStats, String> {
+        let mut stats = ServerStats::default();
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("view\t") {
+                let mut parts = rest.split('\t');
+                let key = parts
+                    .next()
+                    .ok_or_else(|| format!("bad view line: {line}"))?;
+                let mut view = ViewStats {
+                    key: key.to_string(),
+                    ..ViewStats::default()
+                };
+                for part in parts {
+                    let (name, value) = part
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad view field {part:?} in: {line}"))?;
+                    let value: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad view number {value:?} in: {line}"))?;
+                    match name {
+                        "facts" => view.facts = value,
+                        "firings" => view.rule_firings = value,
+                        "probes" => view.join_probes = value,
+                        // Forward compatibility, same as the scalar
+                        // fields: a newer server may report more.
+                        _ => {}
+                    }
+                }
+                stats.per_view.push(view);
+                continue;
+            }
+            let (name, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("bad stats line: {line}"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("bad stats number {value:?} in: {line}"))?;
+            match name {
+                "version" => stats.version = value,
+                "views" => stats.views = value,
+                "queries" => stats.queries_served = value,
+                "updates" => stats.updates_applied = value,
+                "connections" => stats.connections = value,
+                "views_evicted" => stats.views_evicted = value,
+                "iterations" => stats.iterations = value,
+                "rule_firings" => stats.rule_firings = value,
+                "facts_derived" => stats.facts_derived = value,
+                "duplicate_derivations" => stats.duplicate_derivations = value,
+                "join_probes" => stats.join_probes = value,
+                // Forward compatibility: a newer server may report more.
+                _ => {}
+            }
+        }
+        Ok(stats)
+    }
+
+    /// The scalar fields, in wire order.
+    fn fields(&self) -> [(&'static str, u64); 11] {
+        [
+            ("version", self.version),
+            ("views", self.views),
+            ("queries", self.queries_served),
+            ("updates", self.updates_applied),
+            ("connections", self.connections),
+            ("views_evicted", self.views_evicted),
+            ("iterations", self.iterations),
+            ("rule_firings", self.rule_firings),
+            ("facts_derived", self.facts_derived),
+            ("duplicate_derivations", self.duplicate_derivations),
+            ("join_probes", self.join_probes),
+        ]
+    }
+}
+
+/// Render a `QUERY` response: header, one `ROW` line per answer, `END`.
+pub fn render_answers(key: &str, version: u64, rows: &[Vec<Value>]) -> String {
+    let mut out = format!("OK {} {} {}\n", rows.len(), version, key);
+    for row in rows {
+        out.push_str("ROW");
+        for value in row {
+            out.push('\t');
+            out.push_str(&value.to_string());
+        }
+        out.push('\n');
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Render an `INSERT`/`RETRACT` acknowledgment.
+pub fn render_ack(applied: bool, version: u64) -> String {
+    if applied {
+        format!("OK applied {version}\n")
+    } else {
+        format!("OK noop {version}\n")
+    }
+}
+
+/// Render an error response.  The message is flattened to one line so the
+/// framing survives arbitrary error text.
+pub fn render_error(message: &str) -> String {
+    let flat: String = message
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("ERR {flat}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_parse() {
+        assert!(matches!(
+            parse_request("QUERY anc(john, Y)").unwrap(),
+            Request::Query(_)
+        ));
+        let fact = Fact::plain("par", vec![Value::sym("a"), Value::sym("b")]);
+        assert_eq!(
+            parse_request("INSERT par(a, b)").unwrap(),
+            Request::Insert(fact.clone())
+        );
+        assert_eq!(
+            parse_request("  RETRACT par(a, b)  ").unwrap(),
+            Request::Retract(fact)
+        );
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert!(parse_request("").is_err());
+        assert!(parse_request("EXPLAIN anc(X, Y)").is_err());
+        assert!(parse_request("INSERT par(X, b)").is_err()); // not ground
+        assert!(parse_request("QUERY ").is_err());
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = ServerStats {
+            version: 7,
+            views: 2,
+            queries_served: 100,
+            updates_applied: 31,
+            connections: 4,
+            views_evicted: 1,
+            iterations: 12,
+            rule_firings: 345,
+            facts_derived: 200,
+            duplicate_derivations: 9,
+            join_probes: 9999,
+            per_view: vec![ViewStats {
+                key: "anc[bf](a, b)@gms".into(),
+                facts: 42,
+                rule_firings: 17,
+                join_probes: 2048,
+            }],
+        };
+        let rendered = stats.render();
+        let lines: Vec<String> = rendered
+            .lines()
+            .skip(1) // OK stats
+            .take_while(|l| *l != "END")
+            .map(String::from)
+            .collect();
+        assert_eq!(ServerStats::parse_body(&lines).unwrap(), stats);
+    }
+
+    #[test]
+    fn answers_render_tab_separated_rows() {
+        let rows = vec![
+            vec![Value::sym("mary"), Value::Int(3)],
+            vec![Value::sym("ann"), Value::Int(4)],
+        ];
+        let text = render_answers("anc[bf](john)@gms", 9, &rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "OK 2 9 anc[bf](john)@gms");
+        assert_eq!(lines[1], "ROW\tmary\t3");
+        assert_eq!(lines[2], "ROW\tann\t4");
+        assert_eq!(lines[3], "END");
+        // A boolean (fully bound) query's row carries no values.
+        assert_eq!(render_answers("k", 1, &[vec![]]), "OK 1 1 k\nROW\nEND\n");
+    }
+}

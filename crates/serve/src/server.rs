@@ -1,0 +1,615 @@
+//! The server: thread-per-connection readers over snapshot-and-swap
+//! catalog clones, one maintenance writer.
+//!
+//! # Concurrency model
+//!
+//! * **Readers never block on maintenance.**  The writer publishes an
+//!   immutable [`Arc`] snapshot of the whole [`ViewCatalog`] after every
+//!   applied batch; a connection thread answering a query takes the
+//!   published `Arc` (one brief mutex lock to clone the pointer, never
+//!   held across any evaluation) and reads answers out of that frozen
+//!   catalog.  `MaterializedView` is `Clone`, which is what makes the
+//!   swap a pure data copy with no coordination on the probe path.
+//! * **Writes are serialized.**  `INSERT`/`RETRACT` requests are enqueued
+//!   to the single writer thread, which drains its queue in batches
+//!   (coalescing consecutive insertions into one fixpoint re-entry per
+//!   view via [`ViewCatalog::apply_all`]), applies them to the base
+//!   database and every cached view, bumps the version and publishes a
+//!   fresh snapshot.  The requesting connection is only acknowledged
+//!   *after* the snapshot containing its update is published, so a client
+//!   that gets `OK applied <v>` observes its own write in any snapshot
+//!   with version `>= v`.
+//! * **Unseen bindings materialize on demand.**  A query whose adorned
+//!   binding key is not yet cached is routed through the writer (which
+//!   owns the catalog and the authoritative base database), planned,
+//!   materialized, published, and then answered from the fresh snapshot.
+//!   Repeated queries with a known binding never touch the writer; the
+//!   query-text → key translation is memoized per server.
+//!
+//! Every published snapshot is a program fixpoint over a prefix of the
+//! applied update sequence, so responses are transactionally consistent:
+//! a reader can never observe half of a batch (no torn reads) — the
+//! property `tests/serve_consistency.rs` checks against a from-scratch
+//! oracle.
+
+use crate::protocol::{
+    parse_request, render_ack, render_answers, render_error, Request, ServerStats, ViewStats,
+};
+use magic_core::planner::Strategy;
+use magic_datalog::{PredName, Program, Query, Value};
+use magic_engine::Limits;
+use magic_incr::{Update, ViewCatalog};
+use magic_storage::Database;
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Rewrite strategy for on-demand view materialization.
+    pub strategy: Strategy,
+    /// Evaluation limits applied to every view.
+    pub limits: Limits,
+    /// Maximum updates coalesced into one maintenance batch (and thus one
+    /// published snapshot).
+    pub batch_max: usize,
+    /// Poll granularity of connection reads: how long a blocked reader
+    /// waits before re-checking the shutdown flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            strategy: Strategy::MagicSets,
+            limits: Limits::default(),
+            batch_max: 256,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// An immutable published state: one version of the whole catalog.
+struct Snapshot {
+    version: u64,
+    catalog: ViewCatalog,
+}
+
+/// An update acknowledgment channel: Ok((state-changed, published
+/// version)) or the rejection message.
+type UpdateReply = Sender<Result<(bool, u64), String>>;
+
+/// Commands on the maintenance queue.
+enum WriterCmd {
+    /// Apply one update; acknowledge with (state-changed, published
+    /// version) once the containing snapshot is live.
+    Update { update: Update, reply: UpdateReply },
+    /// Plan and materialize a view for `query`; acknowledge with the
+    /// binding key once the snapshot containing it is live.
+    Materialize {
+        query: Query,
+        reply: Sender<Result<String, String>>,
+    },
+    /// Stop the writer thread.
+    Shutdown,
+}
+
+/// State shared between the accept loop, connection threads, the writer
+/// and the handle.
+struct Shared {
+    program: Program,
+    derived: BTreeSet<PredName>,
+    published: Mutex<Arc<Snapshot>>,
+    writer_tx: Sender<WriterCmd>,
+    /// Memoized query-text → binding-key translation (one plan per
+    /// distinct query text, server-wide).
+    key_cache: Mutex<HashMap<String, String>>,
+    shutdown: AtomicBool,
+    queries_served: AtomicU64,
+    updates_applied: AtomicU64,
+    connections: AtomicU64,
+    /// Views evicted because their maintenance failed (see
+    /// [`magic_incr::ViewCatalog::apply_all`]); surfaced in `STATS`.
+    views_evicted: AtomicU64,
+    read_timeout: Duration,
+}
+
+impl Shared {
+    fn snapshot(&self) -> Arc<Snapshot> {
+        self.published.lock().expect("publish lock").clone()
+    }
+
+    fn publish(&self, snapshot: Snapshot) {
+        *self.published.lock().expect("publish lock") = Arc::new(snapshot);
+    }
+
+    /// Round-trip a command through the writer thread.
+    fn writer_call<T>(
+        &self,
+        make: impl FnOnce(Sender<Result<T, String>>) -> WriterCmd,
+    ) -> Result<T, String> {
+        let (tx, rx) = channel();
+        self.writer_tx
+            .send(make(tx))
+            .map_err(|_| "server is shutting down".to_string())?;
+        rx.recv()
+            .map_err(|_| "server is shutting down".to_string())?
+    }
+}
+
+/// A running server.  Dropping the handle shuts the server down and joins
+/// every thread; [`ServerHandle::shutdown`] does the same explicitly.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    writer_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+    /// `program` over `edb` until the returned handle is shut down.
+    ///
+    /// The catalog starts empty: views materialize on demand as queries
+    /// arrive, each keyed by its adorned binding.  `edb` becomes the
+    /// authoritative base-fact database, maintained by every acknowledged
+    /// update and used to materialize late-arriving bindings.
+    pub fn start(
+        program: Program,
+        edb: Database,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let catalog = ViewCatalog::new(config.strategy).with_limits(config.limits);
+        let (writer_tx, writer_rx) = channel();
+        let shared = Arc::new(Shared {
+            derived: program.derived_preds(),
+            program,
+            published: Mutex::new(Arc::new(Snapshot {
+                version: 0,
+                catalog: catalog.clone(),
+            })),
+            writer_tx,
+            key_cache: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            queries_served: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            views_evicted: AtomicU64::new(0),
+            read_timeout: config.read_timeout,
+        });
+
+        let writer_shared = Arc::clone(&shared);
+        let writer_thread = std::thread::Builder::new()
+            .name("magic-serve-writer".into())
+            .spawn(move || writer_loop(writer_shared, writer_rx, catalog, edb, config.batch_max))?;
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("magic-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_conns))?;
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            writer_thread: Some(writer_thread),
+            conn_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries answered so far (across all connections).
+    pub fn queries_served(&self) -> u64 {
+        self.shared.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// State-changing updates applied and published so far.
+    pub fn updates_applied(&self) -> u64 {
+        self.shared.updates_applied.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, stop the writer, wake blocked readers and join
+    /// every thread.  Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Stop the writer (ignore errors: it may already be gone).
+        let _ = self.shared.writer_tx.send(WriterCmd::Shutdown);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.writer_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conn_threads.lock().expect("conn list lock"));
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The maintenance writer: drains the queue in batches, applies updates
+/// to the authoritative base database and every cached view, materializes
+/// late bindings, and publishes a fresh snapshot after every change.
+fn writer_loop(
+    shared: Arc<Shared>,
+    rx: Receiver<WriterCmd>,
+    mut catalog: ViewCatalog,
+    mut base_db: Database,
+    batch_max: usize,
+) {
+    let mut version: u64 = 0;
+    // Arities the program declares; facts that disagree with the program
+    // or with a stored relation are rejected before they can reach
+    // storage (whose insert path treats a wrong-arity row as a caller
+    // bug and panics).
+    let declared_arities = shared.program.predicate_arities().unwrap_or_default();
+    // A command popped out of a batch drain that must be handled next.
+    let mut deferred: Option<WriterCmd> = None;
+    loop {
+        let cmd = match deferred.take() {
+            Some(cmd) => cmd,
+            None => match rx.recv() {
+                Ok(cmd) => cmd,
+                Err(_) => break, // every sender is gone
+            },
+        };
+        match cmd {
+            WriterCmd::Shutdown => break,
+            WriterCmd::Materialize { query, reply } => {
+                match catalog.materialize_keyed(&shared.program, &query, &base_db) {
+                    Ok((key, fresh)) => {
+                        // A cache hit (two connections racing the first
+                        // sight of one binding) changes nothing — the
+                        // published snapshot already contains the view,
+                        // so skip the expensive catalog clone.
+                        if fresh {
+                            version += 1;
+                            shared.publish(Snapshot {
+                                version,
+                                catalog: catalog.clone(),
+                            });
+                        }
+                        let _ = reply.send(Ok(key));
+                    }
+                    Err(e) => {
+                        let _ = reply.send(Err(e.to_string()));
+                    }
+                }
+            }
+            WriterCmd::Update { update, reply } => {
+                // Batch: greedily drain more queued updates (writes are
+                // serialized anyway, and coalescing insertions lets each
+                // view run one fixpoint re-entry for the whole batch).
+                let mut batch = vec![(update, reply)];
+                while batch.len() < batch_max {
+                    match rx.try_recv() {
+                        Ok(WriterCmd::Update { update, reply }) => batch.push((update, reply)),
+                        Ok(other) => {
+                            deferred = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Apply to the authoritative base database, validating
+                // each fact's arity *at application time* — against the
+                // database as the batch has mutated it so far, falling
+                // back to the program's declared arity.  (A single
+                // pre-pass would miss two same-batch inserts of a brand
+                // new predicate at different arities, and storage treats
+                // a wrong-arity row as a caller bug and panics.)
+                // Mismatches are answered immediately and dropped; the
+                // base database then decides which survivors are state
+                // changes — no-ops are acknowledged but never reach the
+                // views.
+                let mut changed: Vec<Update> = Vec::new();
+                let mut acks: Vec<(UpdateReply, bool)> = Vec::new();
+                for (update, reply) in batch {
+                    let fact = update.fact();
+                    let expected = base_db
+                        .relation(&fact.pred)
+                        .map(|rel| rel.arity())
+                        .or_else(|| declared_arities.get(&fact.pred).copied());
+                    if let Some(arity) = expected {
+                        if arity != fact.arity() {
+                            let _ = reply.send(Err(format!(
+                                "arity mismatch: {} is stored with arity {arity}, \
+                                 fact has arity {}",
+                                fact.pred,
+                                fact.arity()
+                            )));
+                            continue;
+                        }
+                    }
+                    let is_change = match &update {
+                        Update::Insert(f) => base_db.insert_fact(f),
+                        Update::Retract(f) => base_db.remove_fact(f),
+                    };
+                    if is_change {
+                        changed.push(update);
+                    }
+                    acks.push((reply, is_change));
+                }
+                if !changed.is_empty() {
+                    // A view whose maintenance fails is evicted by
+                    // `apply_all` (it re-materializes from `base_db` on
+                    // next sight), so the batch is never half-applied:
+                    // every surviving view and the base database agree on
+                    // the same update prefix, and the acknowledgments
+                    // below stay truthful.
+                    let outcome = catalog.apply_all(&changed);
+                    if !outcome.evicted.is_empty() {
+                        shared
+                            .views_evicted
+                            .fetch_add(outcome.evicted.len() as u64, Ordering::Relaxed);
+                    }
+                    version += 1;
+                    shared.publish(Snapshot {
+                        version,
+                        catalog: catalog.clone(),
+                    });
+                    shared
+                        .updates_applied
+                        .fetch_add(changed.len() as u64, Ordering::Relaxed);
+                }
+                for (reply, applied) in acks {
+                    let _ = reply.send(Ok((applied, version)));
+                }
+            }
+        }
+    }
+}
+
+/// Accept connections until shutdown; one thread per connection.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("magic-serve-conn".into())
+            .spawn(move || {
+                let _ = handle_connection(stream, conn_shared);
+            });
+        if let Ok(handle) = handle {
+            let mut conns = conn_threads.lock().expect("conn list lock");
+            // Reap finished connections as new ones arrive, so a
+            // long-lived server under connection churn holds handles
+            // proportional to *live* connections, not lifetime total.
+            conns.retain(|h| !h.is_finished());
+            conns.push(handle);
+        }
+    }
+}
+
+/// Buffered line reading with shutdown-aware timeouts: a read timeout
+/// only re-checks the flag, it never drops bytes already received.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// Upper bound on one request line; longer input is a protocol error.
+const MAX_LINE: usize = 1 << 20;
+
+impl LineReader {
+    /// The next full line, `None` on EOF or shutdown.
+    fn next_line(&mut self, shutdown: &AtomicBool) -> io::Result<Option<String>> {
+        loop {
+            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            if self.buf.len() > MAX_LINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "request line too long",
+                ));
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(None),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Serve one connection: parse request lines, dispatch, write responses.
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.read_timeout))?;
+    // Writes get a generous but *bounded* timeout: a client that stops
+    // reading while a large response fills the kernel send buffer must
+    // not pin this thread in `write_all` forever (shutdown joins every
+    // connection thread, so an unbounded write would deadlock it).  On
+    // timeout the response is torn mid-write and the connection closes.
+    stream.set_write_timeout(Some(
+        shared.read_timeout.max(Duration::from_millis(100)) * 50,
+    ))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = LineReader {
+        stream,
+        buf: Vec::new(),
+    };
+    while let Some(line) = reader.next_line(&shared.shutdown)? {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse_request(&line) {
+            Err(e) => render_error(&e),
+            Ok(Request::Ping) => "OK pong\n".to_string(),
+            Ok(Request::Quit) => {
+                writer.write_all(b"OK bye\n")?;
+                break;
+            }
+            Ok(Request::Shutdown) => {
+                writer.write_all(b"OK bye\n")?;
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = shared.writer_tx.send(WriterCmd::Shutdown);
+                // Unblock the accept loop; the owning handle joins later.
+                if let Ok(self_addr) = reader.stream.local_addr() {
+                    let _ = TcpStream::connect(self_addr);
+                }
+                break;
+            }
+            Ok(Request::Query(query)) => match answer_query(&shared, &query) {
+                Ok((key, ver, rows)) => {
+                    shared.queries_served.fetch_add(1, Ordering::Relaxed);
+                    render_answers(&key, ver, &rows)
+                }
+                Err(e) => render_error(&e),
+            },
+            Ok(Request::Insert(fact)) => dispatch_update(&shared, Update::Insert(fact)),
+            Ok(Request::Retract(fact)) => dispatch_update(&shared, Update::Retract(fact)),
+            Ok(Request::Stats) => gather_stats(&shared).render(),
+        };
+        writer.write_all(response.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// The read path: translate the query to its binding key (memoized),
+/// answer from the published snapshot, materializing through the writer
+/// only on first sight of a binding.
+fn answer_query(shared: &Shared, query: &Query) -> Result<(String, u64, Vec<Vec<Value>>), String> {
+    let text = query.atom.to_string();
+    let cached_key = shared
+        .key_cache
+        .lock()
+        .expect("key cache lock")
+        .get(&text)
+        .cloned();
+    if let Some(key) = cached_key {
+        let snapshot = shared.snapshot();
+        if let Some(rows) = snapshot.catalog.answers(&key) {
+            return Ok((key, snapshot.version, rows.into_iter().collect()));
+        }
+        // Key known but the view is not in this snapshot: it was evicted
+        // (failed maintenance) or materialization raced a concurrent
+        // first-sight query.  Fall through to the writer, which is
+        // idempotent for live bindings and rebuilds evicted ones.
+    }
+    // Materialize-then-read can race an eviction: the writer may process
+    // an update batch that fails this view's maintenance between our ack
+    // and our snapshot read.  Each retry rebuilds from the current base
+    // facts, so a transient race heals; persistent failure (e.g. a
+    // limits budget the data has outgrown) surfaces as the writer's
+    // materialization error on a later attempt or the final ERR below.
+    for _ in 0..3 {
+        let key = shared.writer_call(|reply| WriterCmd::Materialize {
+            query: query.clone(),
+            reply,
+        })?;
+        shared
+            .key_cache
+            .lock()
+            .expect("key cache lock")
+            .insert(text.clone(), key.clone());
+        let snapshot = shared.snapshot();
+        if let Some(rows) = snapshot.catalog.answers(&key) {
+            return Ok((key, snapshot.version, rows.into_iter().collect()));
+        }
+    }
+    Err(format!(
+        "view for {text} was repeatedly evicted while answering; its maintenance is failing"
+    ))
+}
+
+/// The write path: validate against the source program, enqueue to the
+/// writer, block until the containing snapshot is published.
+fn dispatch_update(shared: &Shared, update: Update) -> String {
+    let fact = update.fact();
+    if shared.derived.contains(&fact.pred) {
+        return render_error(&format!(
+            "{} is derived by the program; derived predicates are maintained, not edited",
+            fact.pred
+        ));
+    }
+    match shared.writer_call(|reply| WriterCmd::Update { update, reply }) {
+        Ok((applied, version)) => render_ack(applied, version),
+        Err(e) => render_error(&e),
+    }
+}
+
+/// Assemble the `STATS` response from the shared counters and the
+/// published snapshot.
+fn gather_stats(shared: &Shared) -> ServerStats {
+    let snapshot = shared.snapshot();
+    let totals = snapshot.catalog.aggregate_stats();
+    let per_view = snapshot
+        .catalog
+        .keys()
+        .map(|key| {
+            let view = snapshot.catalog.view(key).expect("key from keys()");
+            ViewStats {
+                key: key.to_string(),
+                facts: view.database().total_facts() as u64,
+                rule_firings: view.stats().rule_firings as u64,
+                join_probes: view.stats().join_probes as u64,
+            }
+        })
+        .collect();
+    ServerStats {
+        version: snapshot.version,
+        views: snapshot.catalog.len() as u64,
+        queries_served: shared.queries_served.load(Ordering::Relaxed),
+        updates_applied: shared.updates_applied.load(Ordering::Relaxed),
+        connections: shared.connections.load(Ordering::Relaxed),
+        views_evicted: shared.views_evicted.load(Ordering::Relaxed),
+        iterations: totals.iterations as u64,
+        rule_firings: totals.rule_firings as u64,
+        facts_derived: totals.facts_derived as u64,
+        duplicate_derivations: totals.duplicate_derivations as u64,
+        join_probes: totals.join_probes as u64,
+        per_view,
+    }
+}

@@ -41,6 +41,23 @@
 //! [`Relation::tombstones`] crosses a threshold, and take fresh marks
 //! afterwards.
 //!
+//! ## Share-safe reads and snapshot cloning
+//!
+//! Two properties make this storage layer safe to share across threads
+//! without locks on any probe path:
+//!
+//! * [`Database::view`] → [`DatabaseView`] and [`Relation::snapshot`] →
+//!   [`RelationSnapshot`] expose a borrow-based read surface (no interior
+//!   mutability, no coordination).  The join resolves relations through
+//!   it, which is what lets the parallel scheduler's workers — and any
+//!   reader holding a frozen database — probe concurrently.
+//! * `Database` and `Relation` are plain `Clone` (flat `Vec` copies plus
+//!   index maps), and every interned `ValId` stays valid process-wide, so
+//!   a clone is a self-contained immutable snapshot.  The serving layer
+//!   (`magic-serve`) leans on exactly this: its writer clones the
+//!   maintained state and publishes the clone behind an `Arc`, and its
+//!   readers answer from the frozen copy while maintenance continues.
+//!
 //! ```
 //! use magic_storage::Database;
 //! use magic_datalog::{Fact, PredName, Value};

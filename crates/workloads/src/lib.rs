@@ -13,6 +13,7 @@
 pub mod ancestor;
 pub mod lists;
 pub mod programs;
+pub mod requests;
 pub mod rng;
 pub mod same_generation;
 pub mod updates;
@@ -20,6 +21,7 @@ pub mod updates;
 pub use ancestor::node;
 pub use ancestor::{binary_tree, chain, cycle, random_dag};
 pub use lists::{list_term, list_value, reverse_database};
+pub use requests::{ancestor_request_stream, ServeRequest};
 pub use rng::SplitMix64;
 pub use same_generation::grid_node;
 pub use same_generation::{nested_sg_extras, same_generation_grid, SgConfig};

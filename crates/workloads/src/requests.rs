@@ -1,0 +1,110 @@
+//! Request-stream generators for the serving layer: deterministic mixes
+//! of queries and base-fact updates, the load shape `magic-serve`
+//! benchmarks and smoke tests replay against a running server.
+//!
+//! Queries are emitted as wire-syntax text (`a(n0, Y)`), drawn from a
+//! small rotating pool of bound constants so the server's view catalog
+//! settles to a handful of adorned bindings (the serving sweet spot the
+//! paper motivates); updates reuse the stateful generators in
+//! [`updates`](crate::updates), so every update in the stream is a real
+//! state change when replayed in order.
+
+use crate::node;
+use crate::rng::SplitMix64;
+use crate::updates::{ancestor_update_stream, UpdateOp};
+
+/// One request of a generated serving workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeRequest {
+    /// A query, in wire/source syntax (e.g. `a(n0, Y)`).
+    Query(String),
+    /// A base-fact update (insert or retract).
+    Update(UpdateOp),
+}
+
+impl ServeRequest {
+    /// True for queries.
+    pub fn is_query(&self) -> bool {
+        matches!(self, ServeRequest::Query(_))
+    }
+}
+
+/// A deterministic query/update mix over the `n`-node ancestor workload.
+///
+/// Of the `ops` requests, roughly `query_pct`% are queries
+/// `a(node(i), Y)` with `i` drawn from the first `bindings` nodes (each
+/// distinct `i` is one adorned binding, hence one materialized view on
+/// the server); the rest are `par`-edge updates from
+/// [`ancestor_update_stream`] with `insert_pct`% insertions, starting
+/// from the [`crate::chain`]`(n - 1)` state.  Same seed, same stream.
+pub fn ancestor_request_stream(
+    n: usize,
+    ops: usize,
+    query_pct: u32,
+    bindings: usize,
+    insert_pct: u32,
+    seed: u64,
+) -> Vec<ServeRequest> {
+    assert!(bindings >= 1, "need at least one query binding");
+    assert!(bindings <= n, "query bindings must name existing nodes");
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    // Updates come from the stateful generator (seeded independently of
+    // the interleaving draws so the update subsequence is replayable on
+    // its own); generating `ops` of them guarantees the mix never runs
+    // dry.
+    let updates = ancestor_update_stream(n, ops, insert_pct, seed ^ 0x5EED_FACE);
+    let mut updates = updates.into_iter();
+    let mut out = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        if rng.random_ratio(query_pct, 100) {
+            let i = rng.random_range(0..bindings);
+            out.push(ServeRequest::Query(format!("a({}, Y)", node(i))));
+        } else {
+            match updates.next() {
+                Some(op) => out.push(ServeRequest::Update(op)),
+                // The update generator dropped an op (saturated state):
+                // fall back to a query so the stream length is exact.
+                None => {
+                    let i = rng.random_range(0..bindings);
+                    out.push(ServeRequest::Query(format!("a({}, Y)", node(i))));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stream_is_deterministic_and_mixed() {
+        let a = ancestor_request_stream(32, 200, 80, 4, 60, 0xFACE);
+        let b = ancestor_request_stream(32, 200, 80, 4, 60, 0xFACE);
+        assert_eq!(a, b);
+        assert_ne!(a, ancestor_request_stream(32, 200, 80, 4, 60, 0xBEAD));
+        assert_eq!(a.len(), 200);
+        let queries = a.iter().filter(|r| r.is_query()).count();
+        // 80% nominal; leave wide noise margins.
+        assert!(queries > 120 && queries < 195, "queries: {queries}");
+        // Only the configured bindings are queried.
+        for request in &a {
+            if let ServeRequest::Query(text) = request {
+                assert!(text.starts_with("a(n"), "query: {text}");
+                let idx: usize = text["a(n".len()..text.find(',').unwrap()].parse().unwrap();
+                assert!(idx < 4, "binding out of pool: {text}");
+            }
+        }
+        // The update subsequence replays as real state changes.
+        let mut db = crate::chain(31);
+        for request in &a {
+            if let ServeRequest::Update(op) = request {
+                match op {
+                    UpdateOp::Insert(f) => assert!(db.insert_fact(f)),
+                    UpdateOp::Retract(f) => assert!(db.remove_fact(f)),
+                }
+            }
+        }
+    }
+}

@@ -1,8 +1,12 @@
 //! Incremental view maintenance, end to end: materialize a magic-set view
 //! once, then serve live inserts and retracts without re-running the
-//! fixpoint.
+//! fixpoint.  (Maintenance resumes the stratified scheduler at the lowest
+//! dirty stratum — the same engine path that fans evaluation out over the
+//! worker pool when `MAGIC_THREADS`/`Limits::threads` asks for it.)
 //!
-//! Run with `cargo run --release --example incremental_view`.
+//! Run with `cargo run --release --example incremental_view`.  For the
+//! same catalog served over TCP with concurrent readers, see
+//! `examples/serve_quickstart.rs`.
 
 use power_of_magic::incr::{MaterializedView, Update, ViewCatalog};
 use power_of_magic::lang::{Fact, PredName, Value};
@@ -68,7 +72,9 @@ fn main() {
 
     // ---------------------------------------------------------------
     // 2. The serving shape: a catalog of magic-set views keyed by the
-    //    adorned query binding, updated in one stream.
+    //    adorned query binding, updated in one stream.  This is exactly
+    //    the state `magic-serve` publishes as snapshots to its reader
+    //    threads (see the serve_quickstart example for the TCP version).
     // ---------------------------------------------------------------
     let mut catalog = ViewCatalog::new(Strategy::MagicSets);
     let mut edb = Database::new();

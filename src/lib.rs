@@ -16,10 +16,18 @@
 //!   (`magic-core`).
 //! * [`incr`] — incremental view maintenance: live insert/retract over
 //!   materialized magic-set views (`magic-incr`).
+//! * [`serve`] — the concurrent TCP query-serving front end over the view
+//!   catalog (`magic-serve`).
 //! * [`workloads`] — synthetic data generators (`magic-workloads`).
 //!
 //! See the `examples/` directory for end-to-end usage and the `tests/`
-//! directory for the reproduction of the paper's Appendix examples.
+//! directory for the reproduction of the paper's Appendix examples.  The
+//! repository-level guides live next to this crate:
+//!
+//! * `README.md` — what the paper is, the architecture map, quickstart
+//!   (library + server), how to run `perf_report`, the bench trajectory.
+//! * `ARCHITECTURE.md` — one section per crate, from the slot-compiled
+//!   join machine to the snapshot-and-swap serving path.
 
 #![warn(missing_docs)]
 
@@ -27,6 +35,7 @@ pub use magic_core as magic;
 pub use magic_datalog as lang;
 pub use magic_engine as engine;
 pub use magic_incr as incr;
+pub use magic_serve as serve;
 pub use magic_storage as storage;
 pub use magic_workloads as workloads;
 
