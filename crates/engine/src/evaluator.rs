@@ -28,7 +28,15 @@
 //!   database (through the share-safe borrow views of `magic-storage`),
 //!   so they fan out over a persistent worker pool; large tasks are
 //!   further split into shards along the join's outermost (occurrence-0)
-//!   enumeration range.  All writes happen afterwards, on one thread.
+//!   enumeration range.  Writes happen afterwards, in the insert phase.
+//! * **Per-predicate parallel merge.**  The insert phase groups the
+//!   iteration's merged shard outputs by head predicate and fans the
+//!   dedup + id-assignment + index-maintenance work for *disjoint*
+//!   relations back out over the same pool (`&mut` borrows handed out by
+//!   [`magic_storage::Database::relations_mut_disjoint`], so the fan-out
+//!   stays in safe aliasing territory).  Runs that install a
+//!   [`FiringObserver`] (the incremental layer's sequential support
+//!   counting) keep the single-threaded insert path.
 //!
 //! # Determinism contract
 //!
@@ -37,13 +45,18 @@
 //! occurrence, then shard index), which reproduces the single-threaded
 //! row sequence exactly — occurrence-0 sharding splits the *outermost*
 //! loop of the join, so concatenating shard outputs in ascending range
-//! order is literally the unsharded enumeration.  Insertion (and thus
-//! dedup, row ids, `rule_firings`, `facts_derived`, observer callbacks)
-//! then runs single-threaded over that sequence in plan order, exactly
-//! like the classic loop.  `join_probes` partition across shards, so
-//! their sum is invariant too.  `tests/parallel_schedule.rs` holds this
-//! contract under randomized programs; `MAGIC_THREADS` (see
-//! [`Limits::resolved_threads`]) selects the thread count.
+//! order is literally the unsharded enumeration.  Insertion then runs
+//! over that sequence in plan-then-task order *per relation*; relations
+//! are pairwise disjoint, so fanning distinct head predicates out across
+//! workers preserves every relation's row order, row ids and dedup
+//! outcomes exactly.  Firing counters (`rule_firings`, `facts_derived`,
+//! `duplicate_derivations`) are folded back in on one thread in plan
+//! order — they are sums, so the totals are bit-identical to the
+//! sequential path — and `join_probes` partition across shards, so their
+//! sum is invariant too.  `tests/parallel_schedule.rs` and
+//! `tests/parallel_merge.rs` hold this contract under randomized
+//! programs; `MAGIC_THREADS` (see [`Limits::resolved_threads`]) selects
+//! the thread count.
 
 use crate::error::EvalError;
 use crate::join::{evaluate_rule_windows, lead_enumeration_range, DeltaWindow, JoinCounters};
@@ -176,6 +189,35 @@ impl TaskSlots {
     /// `i` must be in bounds and claimed by exactly one thread at a time.
     #[allow(clippy::mut_from_ref)]
     unsafe fn get(&self, i: usize) -> &mut EvalTask {
+        &mut *self.0.add(i)
+    }
+}
+
+/// One unit of insert-phase work: a head relation (a provably disjoint
+/// `&mut` borrow — see [`magic_storage::Database::relations_mut_disjoint`])
+/// plus the plans feeding it this iteration, in plan order.  The worker
+/// records per-plan new-fact counts; the caller folds them into the stats
+/// on one thread afterwards.
+struct MergeTask<'a> {
+    relation: &'a mut Relation,
+    /// `(plan_idx, body-match count)` in plan order.
+    plans: Vec<(usize, usize)>,
+    /// New facts per entry of `plans`, filled by the merge worker.
+    new_by_plan: Vec<usize>,
+}
+
+/// Hands workers `&mut` access to disjoint merge-task slots (the insert
+/// phase's counterpart of [`TaskSlots`]).
+struct MergeSlots<'a>(*mut MergeTask<'a>);
+unsafe impl Send for MergeSlots<'_> {}
+unsafe impl Sync for MergeSlots<'_> {}
+
+impl<'a> MergeSlots<'a> {
+    /// # Safety
+    ///
+    /// `i` must be in bounds and claimed by exactly one thread at a time.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut MergeTask<'a> {
         &mut *self.0.add(i)
     }
 }
@@ -563,6 +605,38 @@ impl FixpointRunner {
         range
     }
 
+    /// Insert one plan's merged shard outputs into its head relation, in
+    /// task order, returning the number of new facts.  This is the body of
+    /// the per-relation merge — identical work whether it runs on the
+    /// caller's thread or fanned out (relations are disjoint across merge
+    /// tasks, and a relation's rows always land in plan-then-task order,
+    /// so row ids and dedup outcomes cannot depend on the thread count).
+    fn merge_plan_outputs(
+        &self,
+        relation: &mut Relation,
+        plan_idx: usize,
+        matches: usize,
+        tasks: &[EvalTask],
+        tasks_by_plan: &[Vec<usize>],
+    ) -> usize {
+        let arity = self.plans[plan_idx].head_terms.len();
+        if arity == 0 {
+            // A zero-arity head (fully bound magic/answer predicate)
+            // leaves the flat buffers empty; every match fires the empty
+            // row, of which at most the first is new.
+            return usize::from(matches > 0 && relation.insert_ids(&[]));
+        }
+        let mut new = 0;
+        for &t in &tasks_by_plan[plan_idx] {
+            for row in tasks[t].out.chunks_exact(arity) {
+                if relation.insert_ids(row) {
+                    new += 1;
+                }
+            }
+        }
+        new
+    }
+
     /// Evaluate one task against the (read-only) database.
     fn run_task(&self, task: &mut EvalTask, db: &Database) {
         let plan = match task.variant {
@@ -767,47 +841,130 @@ impl FixpointRunner {
                 produced |= task.counters.matches > 0;
             }
 
-            // ---- Sequential insert phase, in plan order: all dedup and
-            // id assignment happens here, behind the merge. ----
+            // ---- Insert phase: all dedup, id assignment and index
+            // maintenance happens here, behind the merge.  Plans with work
+            // are grouped by head predicate (plan order within a group);
+            // disjoint head relations then fan out over the pool, unless an
+            // observer needs the per-row sequential path. ----
             let mut new_facts = 0usize;
             if produced {
-                for plan_idx in 0..self.plans.len() {
-                    let matches = std::mem::take(&mut match_counts[plan_idx]);
-                    if matches == 0 {
-                        continue;
-                    }
-                    let plan = &self.plans[plan_idx];
-                    // All rows of one plan belong to its head predicate:
-                    // resolve the relation once and insert the packed
-                    // chunks directly — no per-fact allocation or clone.
-                    let arity = plan.head_terms.len();
-                    let relation = db.relation_mut(&plan.head_pred, arity);
-                    if arity == 0 {
-                        // A zero-arity head (fully bound magic/answer
-                        // predicate) leaves the flat buffers empty; every
-                        // match fires the empty row, of which at most the
-                        // first is new.
-                        for nth in 0..matches {
-                            let is_new = nth == 0 && relation.insert_ids(&[]);
-                            if let Some(observer) = observer.as_deref_mut() {
-                                observer(plan_idx, &[], is_new);
-                            }
-                            stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
-                            if is_new {
-                                new_facts += 1;
-                            }
+                // (plan_idx, body-match count) for every plan with work, in
+                // plan order, and the group boundaries by head predicate.
+                let mut work: Vec<(usize, usize)> = Vec::new();
+                let mut insert_rows = 0usize;
+                for (plan_idx, count) in match_counts.iter_mut().enumerate() {
+                    let matches = std::mem::take(count);
+                    if matches > 0 {
+                        if !self.plans[plan_idx].head_terms.is_empty() {
+                            insert_rows += matches;
                         }
-                        continue;
+                        work.push((plan_idx, matches));
                     }
-                    for &t in &tasks_by_plan[plan_idx] {
-                        for row in tasks[t].out.chunks_exact(arity) {
-                            let is_new = relation.insert_ids(row);
-                            if let Some(observer) = observer.as_deref_mut() {
-                                observer(plan_idx, row, is_new);
+                }
+                let mut groups: Vec<Vec<(usize, usize)>> = Vec::new();
+                let mut heads: Vec<&PredName> = Vec::new();
+                for &(plan_idx, matches) in &work {
+                    let head = &self.plans[plan_idx].head_pred;
+                    match heads.iter().position(|&h| h == head) {
+                        Some(g) => groups[g].push((plan_idx, matches)),
+                        None => {
+                            heads.push(head);
+                            groups.push(vec![(plan_idx, matches)]);
+                        }
+                    }
+                }
+                // The parallel path needs per-row observer calls out of the
+                // way (the incremental layer's support counting is a
+                // sequential `&mut` closure) and enough disjoint relations
+                // and rows to amortize the dispatch.
+                if observer.is_none()
+                    && threads > 1
+                    && heads.len() > 1
+                    && insert_rows >= PARALLEL_MIN_WORK
+                {
+                    // Resolve (creating if absent) every head relation
+                    // first, exactly like the sequential path would, then
+                    // take provably disjoint `&mut` borrows of them.
+                    for group in &groups {
+                        let plan = &self.plans[group[0].0];
+                        db.relation_mut(&plan.head_pred, plan.head_terms.len());
+                    }
+                    let mut merge_tasks: Vec<MergeTask<'_>> = db
+                        .relations_mut_disjoint(&heads)
+                        .into_iter()
+                        .zip(std::mem::take(&mut groups))
+                        .map(|(relation, plans)| MergeTask {
+                            new_by_plan: vec![0; plans.len()],
+                            relation,
+                            plans,
+                        })
+                        .collect();
+                    let pool = pool.get_or_insert_with(|| EvalPool::new(threads - 1));
+                    let slots = MergeSlots(merge_tasks.as_mut_ptr());
+                    let tasks_read: &[EvalTask] = &tasks;
+                    let by_plan_read: &[Vec<usize>] = &tasks_by_plan;
+                    pool.run(merge_tasks.len(), &|i| {
+                        // SAFETY: each index is claimed by exactly one
+                        // thread, so the `&mut` slots — and through them
+                        // the `&mut Relation`s, disjoint by construction —
+                        // are never aliased.
+                        let task = unsafe { slots.get(i) };
+                        for (nth, &(plan_idx, matches)) in task.plans.iter().enumerate() {
+                            task.new_by_plan[nth] = self.merge_plan_outputs(
+                                task.relation,
+                                plan_idx,
+                                matches,
+                                tasks_read,
+                                by_plan_read,
+                            );
+                        }
+                    });
+                    // Counter application stays on one thread, in group
+                    // then plan order; every firing counter is a sum, so
+                    // this reproduces the sequential path bit-for-bit.
+                    for task in &merge_tasks {
+                        for (nth, &(plan_idx, matches)) in task.plans.iter().enumerate() {
+                            let plan = &self.plans[plan_idx];
+                            let new = task.new_by_plan[nth];
+                            stats.record_firings(plan.rule_idx, &plan.head_pred, matches, new);
+                            new_facts += new;
+                        }
+                    }
+                } else {
+                    for &(plan_idx, matches) in &work {
+                        let plan = &self.plans[plan_idx];
+                        // All rows of one plan belong to its head predicate:
+                        // resolve the relation once and insert the packed
+                        // chunks directly — no per-fact allocation or clone.
+                        let arity = plan.head_terms.len();
+                        let relation = db.relation_mut(&plan.head_pred, arity);
+                        if arity == 0 {
+                            // A zero-arity head (fully bound magic/answer
+                            // predicate) leaves the flat buffers empty; every
+                            // match fires the empty row, of which at most the
+                            // first is new.
+                            for nth in 0..matches {
+                                let is_new = nth == 0 && relation.insert_ids(&[]);
+                                if let Some(observer) = observer.as_deref_mut() {
+                                    observer(plan_idx, &[], is_new);
+                                }
+                                stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
+                                if is_new {
+                                    new_facts += 1;
+                                }
                             }
-                            stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
-                            if is_new {
-                                new_facts += 1;
+                            continue;
+                        }
+                        for &t in &tasks_by_plan[plan_idx] {
+                            for row in tasks[t].out.chunks_exact(arity) {
+                                let is_new = relation.insert_ids(row);
+                                if let Some(observer) = observer.as_deref_mut() {
+                                    observer(plan_idx, row, is_new);
+                                }
+                                stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
+                                if is_new {
+                                    new_facts += 1;
+                                }
                             }
                         }
                     }

@@ -49,6 +49,31 @@ impl EvalStats {
         }
     }
 
+    /// Record `fired` firings of rule `rule_idx` deriving `pred`, `new` of
+    /// which produced new facts — the bulk form of
+    /// [`EvalStats::record_firing`], used by the parallel merge phase to
+    /// fold a whole per-relation insert batch into the counters at once.
+    /// The result is bit-identical to `fired` individual `record_firing`
+    /// calls with `new` of them flagged new, in any order: every counter
+    /// here is a sum.
+    pub fn record_firings(&mut self, rule_idx: usize, pred: &PredName, fired: usize, new: usize) {
+        debug_assert!(new <= fired);
+        if fired == 0 {
+            return;
+        }
+        self.rule_firings += fired;
+        *self.firings_by_rule.entry(rule_idx).or_insert(0) += fired;
+        self.facts_derived += new;
+        self.duplicate_derivations += fired - new;
+        if new > 0 {
+            if let Some(n) = self.facts_by_pred.get_mut(pred) {
+                *n += new;
+            } else {
+                self.facts_by_pred.insert(pred.clone(), new);
+            }
+        }
+    }
+
     /// Accumulate another run's counters into these (the per-predicate and
     /// per-rule breakdowns are summed key-wise).  The incremental view
     /// layer uses this to keep lifetime maintenance totals per view, and
@@ -109,6 +134,23 @@ impl fmt::Display for EvalStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bulk_firings_match_individual_recording() {
+        let p = PredName::plain("anc");
+        let mut bulk = EvalStats::default();
+        bulk.record_firings(2, &p, 5, 3);
+        bulk.record_firings(2, &p, 0, 0); // no-op, inserts no entries
+        bulk.record_firings(3, &p, 4, 0); // duplicates only: no facts_by_pred entry
+        let mut one = EvalStats::default();
+        for i in 0..5 {
+            one.record_firing(2, &p, i < 3);
+        }
+        for _ in 0..4 {
+            one.record_firing(3, &p, false);
+        }
+        assert_eq!(bulk, one);
+    }
 
     #[test]
     fn record_firing_updates_counters() {

@@ -18,7 +18,7 @@ use crate::error::IncrError;
 use crate::view::{MaterializedView, Update};
 use magic_core::planner::{PlanError, Planner, Strategy};
 use magic_datalog::{Atom, Program, Query, Value, Variable};
-use magic_engine::{answers::project_answers, Limits};
+use magic_engine::{answers::project_answers, EvalStats, Limits};
 use magic_storage::Database;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -60,6 +60,11 @@ impl From<IncrError> for CatalogError {
 pub struct ApplyAllOutcome {
     /// State-changing applications, summed over all surviving views.
     pub applied: usize,
+    /// Keys of the surviving views whose state actually changed (at least
+    /// one update of the batch was not a no-op for them).  The serving
+    /// layer republishes exactly these — an incremental publish touches
+    /// only the views a batch moved, never the whole catalog.
+    pub changed: Vec<String>,
     /// Views evicted because their maintenance failed, with the error
     /// that condemned each.  The catalog stays internally consistent;
     /// evicted bindings re-materialize on next sight.
@@ -72,6 +77,47 @@ struct CatalogEntry {
     view: MaterializedView,
     answer_atom: Atom,
     projection: Vec<Variable>,
+    /// Logical timestamp of the last materialize request for this binding
+    /// — the recency signal [`ViewCatalog::with_max_views`] eviction ranks
+    /// by.  Maintenance (`apply_all` / `update_all`) deliberately does not
+    /// bump it: being updated is not being *used*.
+    last_used: u64,
+}
+
+/// A frozen, self-contained reading surface over one cached view.
+///
+/// Produced by [`ViewCatalog::snapshot_view`].  The embedded [`Database`]
+/// is a copy-on-write clone of the live view's database — pure `Arc`
+/// pointer bumps, O(relations) and independent of fact count (see
+/// [`magic_storage::cow_clones`]) — so taking a snapshot costs nothing and
+/// the snapshot stays bit-stable while the writer keeps maintaining the
+/// live view.  The serving layer publishes these per binding and replaces
+/// only the entries a batch changed, instead of cloning whole catalogs.
+#[derive(Clone, Debug)]
+pub struct ViewSnapshot {
+    db: Database,
+    answer_atom: Atom,
+    projection: Vec<Variable>,
+    stats: EvalStats,
+}
+
+impl ViewSnapshot {
+    /// The query's answers as of this snapshot (probes the answer index
+    /// the view maintains; never scans).
+    pub fn answers(&self) -> BTreeSet<Vec<Value>> {
+        project_answers(&self.db, &self.answer_atom, &self.projection)
+    }
+
+    /// The frozen database: base facts plus every derived fact of the
+    /// fixpoint the snapshot was taken at.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Cumulative maintenance metrics of the view as of this snapshot.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
 }
 
 /// A set of live materialized views keyed by adorned query binding.
@@ -104,6 +150,11 @@ pub struct ViewCatalog {
     strategy: Strategy,
     limits: Limits,
     entries: BTreeMap<String, CatalogEntry>,
+    /// Capacity cap: materializing past it evicts the least-recently
+    /// *requested* binding.  `None` = unbounded.
+    max_views: Option<usize>,
+    /// Logical clock feeding `CatalogEntry::last_used`.
+    clock: u64,
 }
 
 impl ViewCatalog {
@@ -113,12 +164,29 @@ impl ViewCatalog {
             strategy,
             limits: Limits::default(),
             entries: BTreeMap::new(),
+            max_views: None,
+            clock: 0,
         }
     }
 
     /// Override the evaluation limits applied to every view.
     pub fn with_limits(mut self, limits: Limits) -> ViewCatalog {
         self.limits = limits;
+        self
+    }
+
+    /// Cap the catalog at `max_views` live views (0 means unbounded).
+    ///
+    /// When a fresh materialization would exceed the cap, the **coldest**
+    /// cached views — least recently requested through
+    /// [`ViewCatalog::materialize`] / [`ViewCatalog::materialize_keyed`] —
+    /// are dropped first; the binding just materialized is never a
+    /// candidate.  An evicted binding is not an error: like a
+    /// maintenance-failure eviction it simply re-materializes from the
+    /// authoritative base facts on next sight.  Serving deployments use
+    /// this to bound the memory a long tail of one-off bindings pins.
+    pub fn with_max_views(mut self, max_views: usize) -> ViewCatalog {
+        self.max_views = (max_views > 0).then_some(max_views);
         self
     }
 
@@ -161,8 +229,13 @@ impl ViewCatalog {
             .with_limits(self.limits)
             .plan(program, query)?;
         let key = format!("{}@{}", plan.view_binding(), self.strategy.short_name());
-        let fresh = match self.entries.get(&key) {
-            Some(entry) => entry.view.program() != &plan.program,
+        self.clock += 1;
+        let now = self.clock;
+        let fresh = match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = now;
+                entry.view.program() != &plan.program
+            }
             None => true,
         };
         if fresh {
@@ -178,10 +251,31 @@ impl ViewCatalog {
                     view,
                     answer_atom: plan.answer_atom.clone(),
                     projection: plan.projection.clone(),
+                    last_used: now,
                 },
             );
+            self.evict_cold();
         }
         Ok((key, fresh))
+    }
+
+    /// Enforce the [`ViewCatalog::with_max_views`] cap: drop
+    /// least-recently-requested entries until the catalog fits.  The entry
+    /// touched last (the one a materialization just installed or re-used)
+    /// always carries the freshest timestamp and therefore survives.
+    fn evict_cold(&mut self) {
+        let Some(cap) = self.max_views else {
+            return;
+        };
+        while self.entries.len() > cap {
+            let coldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("len > cap >= 1");
+            self.entries.remove(&coldest);
+        }
     }
 
     /// The binding key `materialize` would cache `(program, query)` under,
@@ -220,6 +314,21 @@ impl ViewCatalog {
         self.entries
             .get(key)
             .map(|e| project_answers(e.view.database(), &e.answer_atom, &e.projection))
+    }
+
+    /// A frozen [`ViewSnapshot`] of the view cached under `key`.
+    ///
+    /// O(relations) `Arc` pointer bumps — no row, page, or index data is
+    /// copied (the storage layer's copy-on-write clone; later writes to
+    /// the live view re-copy only the units they touch).  The serving
+    /// layer calls this once per view per *change*, never per publish.
+    pub fn snapshot_view(&self, key: &str) -> Option<ViewSnapshot> {
+        self.entries.get(key).map(|e| ViewSnapshot {
+            db: e.view.database().clone(),
+            answer_atom: e.answer_atom.clone(),
+            projection: e.projection.clone(),
+            stats: e.view.stats().clone(),
+        })
     }
 
     /// Apply one base-fact update to every cached view that can accept it
@@ -270,7 +379,12 @@ impl ViewCatalog {
                 continue;
             }
             match entry.view.apply(accepted) {
-                Ok(report) => outcome.applied += report.applied,
+                Ok(report) => {
+                    outcome.applied += report.applied;
+                    if report.applied > 0 {
+                        outcome.changed.push(key.clone());
+                    }
+                }
                 Err(e) => outcome.evicted.push((key.clone(), e.into())),
             }
         }
@@ -349,6 +463,104 @@ mod tests {
         assert_eq!(kb, kb2);
         assert!(fresh);
         assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn apply_all_reports_exactly_the_views_a_batch_moved() {
+        // Both views accept `par` (neither derives it), so a fresh fact
+        // changes both databases; replaying the same fact is a no-op
+        // everywhere and must report no changed views at all.
+        let prog_a = parse_program("anc(X, Y) :- par(X, Y).").unwrap();
+        let prog_b = parse_program("label(X, L) :- tag(X, L).").unwrap();
+        let mut db_a = Database::new();
+        db_a.insert_pair("par", "a", "b");
+        let mut db_b = Database::new();
+        db_b.insert_pair("tag", "a", "red");
+        let mut catalog = ViewCatalog::new(Strategy::MagicSets);
+        let ka = catalog
+            .materialize(&prog_a, &parse_query("anc(a, Y)").unwrap(), &db_a)
+            .unwrap();
+        let kb = catalog
+            .materialize(&prog_b, &parse_query("label(a, Y)").unwrap(), &db_b)
+            .unwrap();
+
+        let fact = Fact::plain("par", vec![Value::sym("a"), Value::sym("c")]);
+        let outcome = catalog.apply_all(&[Update::Insert(fact.clone())]);
+        let mut expected = vec![ka, kb];
+        expected.sort();
+        assert_eq!(outcome.changed, expected);
+        // A no-op batch (duplicate insert) changes nothing.
+        let outcome = catalog.apply_all(&[Update::Insert(fact)]);
+        assert!(outcome.changed.is_empty());
+        assert_eq!(outcome.applied, 0);
+    }
+
+    #[test]
+    fn max_views_evicts_the_least_recently_requested_binding() {
+        let program = parse_program("anc(X, Y) :- par(X, Y).").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("par", "b", "c");
+        db.insert_pair("par", "c", "d");
+        let mut catalog = ViewCatalog::new(Strategy::MagicSets).with_max_views(2);
+        let ka = catalog
+            .materialize(&program, &parse_query("anc(a, Y)").unwrap(), &db)
+            .unwrap();
+        let kb = catalog
+            .materialize(&program, &parse_query("anc(b, Y)").unwrap(), &db)
+            .unwrap();
+        // Re-request `a`: it becomes the warmest entry.
+        catalog
+            .materialize(&program, &parse_query("anc(a, Y)").unwrap(), &db)
+            .unwrap();
+        // A third binding overflows the cap; `b` (coldest) must go.
+        let kc = catalog
+            .materialize(&program, &parse_query("anc(c, Y)").unwrap(), &db)
+            .unwrap();
+        assert_eq!(catalog.len(), 2);
+        assert!(catalog.contains(&ka));
+        assert!(!catalog.contains(&kb));
+        assert!(catalog.contains(&kc));
+        // The evicted binding re-materializes on next sight (and evicts in
+        // turn).
+        let (kb2, fresh) = catalog
+            .materialize_keyed(&program, &parse_query("anc(b, Y)").unwrap(), &db)
+            .unwrap();
+        assert_eq!(kb, kb2);
+        assert!(fresh);
+        assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn snapshots_stay_frozen_while_the_live_view_moves_on() {
+        let program = parse_program(
+            "anc(X, Y) :- par(X, Y).
+             anc(X, Y) :- par(X, Z), anc(Z, Y).",
+        )
+        .unwrap();
+        let query = parse_query("anc(a, Y)").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        let mut catalog = ViewCatalog::new(Strategy::MagicSets);
+        let key = catalog.materialize(&program, &query, &db).unwrap();
+
+        let frozen = catalog.snapshot_view(&key).unwrap();
+        assert_eq!(frozen.answers().len(), 1);
+
+        catalog
+            .update_all(&Update::Insert(Fact::plain(
+                "par",
+                vec![Value::sym("b"), Value::sym("c")],
+            )))
+            .unwrap();
+        // The live view sees the new answer; the snapshot does not.
+        assert_eq!(catalog.answers(&key).unwrap().len(), 2);
+        assert_eq!(frozen.answers().len(), 1);
+        assert_eq!(
+            catalog.snapshot_view(&key).unwrap().stats(),
+            catalog.view(&key).unwrap().stats()
+        );
+        assert!(catalog.snapshot_view("no-such-binding").is_none());
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod catalog;
 pub mod error;
 pub mod view;
 
-pub use catalog::{ApplyAllOutcome, CatalogError, ViewCatalog};
+pub use catalog::{ApplyAllOutcome, CatalogError, ViewCatalog, ViewSnapshot};
 pub use error::IncrError;
 pub use view::{ApplyReport, MaterializedView, RetractStrategy, Update};

@@ -1,24 +1,28 @@
-//! The server: thread-per-connection readers over snapshot-and-swap
-//! catalog clones, one maintenance writer.
+//! The server: thread-per-connection readers over incrementally
+//! published copy-on-write view snapshots, one maintenance writer.
 //!
 //! # Concurrency model
 //!
-//! * **Readers never block on maintenance.**  The writer publishes an
-//!   immutable [`Arc`] snapshot of the whole [`ViewCatalog`] after every
-//!   applied batch; a connection thread answering a query takes the
-//!   published `Arc` (one brief mutex lock to clone the pointer, never
-//!   held across any evaluation) and reads answers out of that frozen
-//!   catalog.  `MaterializedView` is `Clone`, which is what makes the
-//!   swap a pure data copy with no coordination on the probe path.
+//! * **Readers never block on maintenance.**  The writer keeps one frozen
+//!   [`ViewSnapshot`] per cached binding and publishes the set behind an
+//!   immutable [`Arc`] after every applied batch; a connection thread
+//!   answering a query takes the published `Arc` (one brief mutex lock to
+//!   clone the pointer, never held across any evaluation) and reads
+//!   answers out of the frozen snapshot for its key.  Snapshots are
+//!   copy-on-write database clones (pure pointer bumps — see
+//!   [`magic_storage::cow_clones`]), so a publish re-freezes **only the
+//!   views the batch changed** and costs O(changed views), not O(catalog):
+//!   unchanged bindings keep riding the same `Arc` from publish to
+//!   publish, however many views are cached.
 //! * **Writes are serialized.**  `INSERT`/`RETRACT` requests are enqueued
 //!   to the single writer thread, which drains its queue in batches
 //!   (coalescing consecutive insertions into one fixpoint re-entry per
 //!   view via [`ViewCatalog::apply_all`]), applies them to the base
-//!   database and every cached view, bumps the version and publishes a
-//!   fresh snapshot.  The requesting connection is only acknowledged
-//!   *after* the snapshot containing its update is published, so a client
-//!   that gets `OK applied <v>` observes its own write in any snapshot
-//!   with version `>= v`.
+//!   database and every cached view, re-snapshots the changed views,
+//!   bumps the version and publishes.  The requesting connection is only
+//!   acknowledged *after* the snapshot containing its update is
+//!   published, so a client that gets `OK applied <v>` observes its own
+//!   write in any snapshot with version `>= v`.
 //! * **Unseen bindings materialize on demand.**  A query whose adorned
 //!   binding key is not yet cached is routed through the writer (which
 //!   owns the catalog and the authoritative base database), planned,
@@ -37,10 +41,10 @@ use crate::protocol::{
 };
 use magic_core::planner::Strategy;
 use magic_datalog::{PredName, Program, Query, Value};
-use magic_engine::Limits;
-use magic_incr::{Update, ViewCatalog};
+use magic_engine::{EvalStats, Limits};
+use magic_incr::{Update, ViewCatalog, ViewSnapshot};
 use magic_storage::Database;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -62,6 +66,10 @@ pub struct ServeConfig {
     /// Poll granularity of connection reads: how long a blocked reader
     /// waits before re-checking the shutdown flag.
     pub read_timeout: Duration,
+    /// Cap on cached views (0 = unbounded): past it, the catalog evicts
+    /// the least-recently-queried binding, which then re-materializes on
+    /// next sight.  See [`ViewCatalog::with_max_views`].
+    pub max_views: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,14 +79,17 @@ impl Default for ServeConfig {
             limits: Limits::default(),
             batch_max: 256,
             read_timeout: Duration::from_millis(50),
+            max_views: 0,
         }
     }
 }
 
-/// An immutable published state: one version of the whole catalog.
+/// An immutable published state: one frozen [`ViewSnapshot`] per cached
+/// binding, at one version.  Unchanged entries share their `Arc` with the
+/// previous snapshot — republishing is O(changed views).
 struct Snapshot {
     version: u64,
-    catalog: ViewCatalog,
+    views: BTreeMap<String, Arc<ViewSnapshot>>,
 }
 
 /// An update acknowledgment channel: Ok((state-changed, published
@@ -172,14 +183,16 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let catalog = ViewCatalog::new(config.strategy).with_limits(config.limits);
+        let catalog = ViewCatalog::new(config.strategy)
+            .with_limits(config.limits)
+            .with_max_views(config.max_views);
         let (writer_tx, writer_rx) = channel();
         let shared = Arc::new(Shared {
             derived: program.derived_preds(),
             program,
             published: Mutex::new(Arc::new(Snapshot {
                 version: 0,
-                catalog: catalog.clone(),
+                views: BTreeMap::new(),
             })),
             writer_tx,
             key_cache: Mutex::new(HashMap::new()),
@@ -260,6 +273,13 @@ impl Drop for ServerHandle {
 /// The maintenance writer: drains the queue in batches, applies updates
 /// to the authoritative base database and every cached view, materializes
 /// late bindings, and publishes a fresh snapshot after every change.
+///
+/// Publishing is incremental: `published` mirrors the catalog as a map of
+/// frozen per-view snapshots, and each publish cycle replaces only the
+/// entries [`ViewCatalog::apply_all`] reported changed (plus drops for
+/// evicted bindings and inserts for fresh materializations).  The map
+/// clone handed to readers bumps one `Arc` per view; no view data is
+/// copied for views the batch did not move.
 fn writer_loop(
     shared: Arc<Shared>,
     rx: Receiver<WriterCmd>,
@@ -268,6 +288,7 @@ fn writer_loop(
     batch_max: usize,
 ) {
     let mut version: u64 = 0;
+    let mut published: BTreeMap<String, Arc<ViewSnapshot>> = BTreeMap::new();
     // Arities the program declares; facts that disagree with the program
     // or with a stored relation are rejected before they can reach
     // storage (whose insert path treats a wrong-arity row as a caller
@@ -291,12 +312,20 @@ fn writer_loop(
                         // A cache hit (two connections racing the first
                         // sight of one binding) changes nothing — the
                         // published snapshot already contains the view,
-                        // so skip the expensive catalog clone.
+                        // so skip the publish entirely.
                         if fresh {
+                            // Materializing may also have evicted cold
+                            // bindings past the `max_views` cap: drop any
+                            // published entry the catalog no longer holds.
+                            published.retain(|k, _| catalog.contains(k));
+                            let snap = catalog
+                                .snapshot_view(&key)
+                                .expect("binding was just materialized");
+                            published.insert(key.clone(), Arc::new(snap));
                             version += 1;
                             shared.publish(Snapshot {
                                 version,
-                                catalog: catalog.clone(),
+                                views: published.clone(),
                             });
                         }
                         let _ = reply.send(Ok(key));
@@ -373,10 +402,23 @@ fn writer_loop(
                             .views_evicted
                             .fetch_add(outcome.evicted.len() as u64, Ordering::Relaxed);
                     }
+                    // Incremental republish: drop evicted entries,
+                    // re-freeze exactly the views this batch moved (each
+                    // re-freeze is an O(relations) COW clone), keep every
+                    // other published `Arc` as-is.
+                    for (key, _) in &outcome.evicted {
+                        published.remove(key);
+                    }
+                    for key in &outcome.changed {
+                        let snap = catalog
+                            .snapshot_view(key)
+                            .expect("changed binding is live in the catalog");
+                        published.insert(key.clone(), Arc::new(snap));
+                    }
                     version += 1;
                     shared.publish(Snapshot {
                         version,
-                        catalog: catalog.clone(),
+                        views: published.clone(),
                     });
                     shared
                         .updates_applied
@@ -530,7 +572,8 @@ fn answer_query(shared: &Shared, query: &Query) -> Result<(String, u64, Vec<Vec<
         .cloned();
     if let Some(key) = cached_key {
         let snapshot = shared.snapshot();
-        if let Some(rows) = snapshot.catalog.answers(&key) {
+        if let Some(view) = snapshot.views.get(&key) {
+            let rows = view.answers();
             return Ok((key, snapshot.version, rows.into_iter().collect()));
         }
         // Key known but the view is not in this snapshot: it was evicted
@@ -555,7 +598,8 @@ fn answer_query(shared: &Shared, query: &Query) -> Result<(String, u64, Vec<Vec<
             .expect("key cache lock")
             .insert(text.clone(), key.clone());
         let snapshot = shared.snapshot();
-        if let Some(rows) = snapshot.catalog.answers(&key) {
+        if let Some(view) = snapshot.views.get(&key) {
+            let rows = view.answers();
             return Ok((key, snapshot.version, rows.into_iter().collect()));
         }
     }
@@ -584,12 +628,12 @@ fn dispatch_update(shared: &Shared, update: Update) -> String {
 /// published snapshot.
 fn gather_stats(shared: &Shared) -> ServerStats {
     let snapshot = shared.snapshot();
-    let totals = snapshot.catalog.aggregate_stats();
-    let per_view = snapshot
-        .catalog
-        .keys()
-        .map(|key| {
-            let view = snapshot.catalog.view(key).expect("key from keys()");
+    let mut totals = EvalStats::default();
+    let per_view: Vec<ViewStats> = snapshot
+        .views
+        .iter()
+        .map(|(key, view)| {
+            totals.merge(view.stats());
             ViewStats {
                 key: key.to_string(),
                 facts: view.database().total_facts() as u64,
@@ -600,7 +644,7 @@ fn gather_stats(shared: &Shared) -> ServerStats {
         .collect();
     ServerStats {
         version: snapshot.version,
-        views: snapshot.catalog.len() as u64,
+        views: snapshot.views.len() as u64,
         queries_served: shared.queries_served.load(Ordering::Relaxed),
         updates_applied: shared.updates_applied.load(Ordering::Relaxed),
         connections: shared.connections.load(Ordering::Relaxed),

@@ -164,6 +164,48 @@ fn wire_shutdown_stops_the_server() {
 }
 
 #[test]
+fn max_views_evicts_cold_bindings_and_reheals_on_next_sight() {
+    let program = parse_program(
+        "anc(X, Y) :- par(X, Y).
+         anc(X, Y) :- par(X, Z), anc(Z, Y).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+        db.insert_pair("par", a, b);
+    }
+    let config = ServeConfig {
+        max_views: 2,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(program, db, "127.0.0.1:0", config).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Three distinct bindings against a cap of two: the first (coldest)
+    // binding is evicted from both the catalog and the published
+    // snapshot.
+    assert_eq!(client.query("anc(a, Y)").unwrap().rows.len(), 3);
+    assert_eq!(client.query("anc(b, Y)").unwrap().rows.len(), 2);
+    assert_eq!(client.query("anc(c, Y)").unwrap().rows.len(), 1);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.views, 2, "cap must hold: {:?}", stats.per_view);
+
+    // The evicted binding still answers — it re-materializes from the
+    // authoritative base facts on next sight (evicting the new coldest),
+    // and sees every update applied while it was cold.
+    assert!(client.insert("par(d, e)").unwrap().applied);
+    assert_eq!(client.query("anc(a, Y)").unwrap().rows.len(), 4);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.views, 2);
+    assert!(
+        stats.per_view.iter().any(|v| v.key.contains("(a)")),
+        "re-materialized binding must be live: {:?}",
+        stats.per_view
+    );
+    server.shutdown();
+}
+
+#[test]
 fn strict_limits_surface_as_errors_not_hangs() {
     let program = parse_program(
         "anc(X, Y) :- par(X, Y).

@@ -148,6 +148,32 @@ impl Database {
             .collect()
     }
 
+    /// Distinct mutable borrows of the relations named by `preds` — the
+    /// write-phase counterpart of [`Database::view`].  The engine's
+    /// parallel merge phase uses this to hand each worker its own head
+    /// relation: the borrows are provably disjoint (each relation is
+    /// yielded at most once), so the whole fan-out stays in safe code.
+    /// Results are positionally parallel to `preds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any requested predicate is absent or requested twice.
+    pub fn relations_mut_disjoint(&mut self, preds: &[&PredName]) -> Vec<&mut Relation> {
+        let mut out: Vec<Option<&mut Relation>> = Vec::new();
+        out.resize_with(preds.len(), || None);
+        for (name, rel) in self.relations.iter_mut() {
+            if let Some(pos) = preds.iter().position(|&p| p == name) {
+                out[pos] = Some(rel);
+            }
+        }
+        out.into_iter()
+            .enumerate()
+            .map(|(i, rel)| {
+                rel.unwrap_or_else(|| panic!("relation {} absent (or requested twice)", preds[i]))
+            })
+            .collect()
+    }
+
     /// A read-only view of the database — the share-safe surface the
     /// engine's parallel evaluation workers resolve relations through.
     /// See [`DatabaseView`].
@@ -254,6 +280,31 @@ mod tests {
         let mut db = Database::new();
         db.insert_pair("par", "a", "b");
         assert_eq!(db.to_string(), "par(a, b).\n");
+    }
+
+    #[test]
+    fn relations_mut_disjoint_yields_positionally() {
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("up", "a", "c");
+        db.insert_pair("down", "c", "a");
+        let (up, par) = (PredName::plain("up"), PredName::plain("par"));
+        let rels = db.relations_mut_disjoint(&[&up, &par]);
+        assert_eq!(rels.len(), 2);
+        for rel in rels {
+            rel.insert(vec![Value::sym("x"), Value::sym("y")]);
+        }
+        assert_eq!(db.count(&PredName::plain("up")), 2);
+        assert_eq!(db.count(&PredName::plain("par")), 2);
+        assert_eq!(db.count(&PredName::plain("down")), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent")]
+    fn relations_mut_disjoint_rejects_missing_preds() {
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.relations_mut_disjoint(&[&PredName::plain("nope")]);
     }
 
     #[test]

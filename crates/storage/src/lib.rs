@@ -16,10 +16,15 @@
 //! structural equality of any two ground values is a single integer
 //! compare, all the way down.
 //!
-//! A [`Relation`] stores all of its rows in one flat `Vec<ValId>` arena,
-//! addressed by `(row id × arity)`.  Duplicate elimination hashes the
-//! packed id slice (FxHash over `u32`s) into a row-hash → row-id table;
-//! secondary indexes map packed key slices to ascending lists of row ids.
+//! A [`Relation`] stores its rows append-only in **chunked pages** of 4096
+//! row slots: row `id` lives in page `id / 4096` at page-local offset
+//! `(id % 4096) × arity`, together with the page's liveness bits.
+//! Duplicate elimination hashes the packed id slice (FxHash over `u32`s)
+//! into a row-hash → row-id table split into 16 shards by hash; secondary
+//! indexes map packed keys to ascending lists of row ids, likewise
+//! sharded.  Index keys of **≤ 2 positions are packed inline into one
+//! `u64`** (two inline-tagged `ValId` raw words) — no per-key boxing and
+//! no node-table indirection on the dominant binary-relation workloads.
 //! Nothing on the insert or probe path hashes or clones a `Value`; rows
 //! are decoded back to `Vec<Value>` only at the API edge
 //! ([`Relation::iter`], [`Relation::row_values`], query answers).
@@ -41,7 +46,7 @@
 //! [`Relation::tombstones`] crosses a threshold, and take fresh marks
 //! afterwards.
 //!
-//! ## Share-safe reads and snapshot cloning
+//! ## Share-safe reads and copy-on-write snapshots
 //!
 //! Two properties make this storage layer safe to share across threads
 //! without locks on any probe path:
@@ -51,12 +56,16 @@
 //!   mutability, no coordination).  The join resolves relations through
 //!   it, which is what lets the parallel scheduler's workers — and any
 //!   reader holding a frozen database — probe concurrently.
-//! * `Database` and `Relation` are plain `Clone` (flat `Vec` copies plus
-//!   index maps), and every interned `ValId` stays valid process-wide, so
-//!   a clone is a self-contained immutable snapshot.  The serving layer
-//!   (`magic-serve`) leans on exactly this: its writer clones the
-//!   maintained state and publishes the clone behind an `Arc`, and its
-//!   readers answer from the frozen copy while maintenance continues.
+//! * Every storage unit — row pages, dedup shards, index shards — sits
+//!   behind an `Arc`, so `Database::clone` / `Relation::clone` are pure
+//!   pointer bumps: a clone is a self-contained **copy-on-write
+//!   snapshot**, and every interned `ValId` stays valid process-wide.
+//!   Writes after a clone re-copy exactly the units they touch
+//!   ([`cow_clones`] counts them), so publishing a snapshot costs nothing
+//!   and the writer pays O(touched units) per publish cycle, never O(data).
+//!   The serving layer (`magic-serve`) leans on exactly this: its writer
+//!   publishes cheap clones behind an `Arc` after every batch, and its
+//!   readers answer from the frozen copies while maintenance continues.
 //!
 //! ```
 //! use magic_storage::Database;
@@ -87,5 +96,5 @@ pub use magic_datalog::ValId;
 
 pub use database::{Database, DatabaseView};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHasher};
-pub use relation::{Relation, RelationSnapshot, Row};
+pub use relation::{cow_clones, Relation, RelationSnapshot, Row};
 pub use support::SupportTable;

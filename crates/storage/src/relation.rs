@@ -1,5 +1,6 @@
 //! In-memory relations over interned packed rows, with hash indexes on
-//! bound-position patterns and tombstone-based removal.
+//! bound-position patterns, tombstone-based removal, and chunked
+//! copy-on-write storage for O(changed pages) snapshot cloning.
 //!
 //! See the crate-level docs for the storage layout and the tombstone
 //! lifecycle.
@@ -9,10 +10,87 @@ use magic_datalog::arena::{decode_row, intern_row};
 use magic_datalog::{ValId, Value};
 use std::collections::HashSet;
 use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A row (tuple) of ground values — the *boundary* representation, decoded
 /// from the packed storage at the API edge.
 pub type Row = Vec<Value>;
+
+/// Rows per storage page (a power of two; see [`Page`]).
+const PAGE_ROWS: usize = 4096;
+/// `id >> PAGE_SHIFT` is the page of row `id`.
+const PAGE_SHIFT: usize = 12;
+/// `id & PAGE_MASK` is the page-local slot of row `id`.
+const PAGE_MASK: usize = PAGE_ROWS - 1;
+/// Liveness bitset words per page.
+const PAGE_WORDS: usize = PAGE_ROWS / 64;
+
+/// log2 of the dedup / index shard count.
+const SHARD_BITS: usize = 4;
+/// Number of copy-on-write shards the dedup table and each secondary
+/// index are split into.  A write touches exactly one shard, so a shared
+/// (published) relation re-clones at most `1/SHARDS` of a table per
+/// mutated shard instead of the whole thing.
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// The shard a 64-bit row/key hash falls into (its top [`SHARD_BITS`]
+/// bits; the map buckets inside the shard use the low bits).
+#[inline]
+fn shard_of(hash: u64) -> usize {
+    (hash >> (64 - SHARD_BITS)) as usize
+}
+
+/// Process-wide count of copy-on-write unit clones: how many row pages,
+/// dedup shards and index shards have been deep-cloned because a write
+/// landed on a unit still shared with a snapshot.
+static COW_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide copy-on-write clone counter (see [`cow_clones`]'s
+/// uses in the snapshot tests): total row pages, dedup shards and index
+/// shards deep-cloned by writes to shared relations since process start.
+///
+/// Cloning a [`Relation`] (or a whole database/catalog of them) never
+/// bumps this — a clone is pure `Arc` pointer bumps; only the first write
+/// to a unit that is still shared pays, and it pays once per unit per
+/// publish cycle.  This is what makes an *idle* snapshot publish free and
+/// a post-publish write O(touched units).
+pub fn cow_clones() -> u64 {
+    COW_CLONES.load(Ordering::Relaxed)
+}
+
+/// `Arc::make_mut` with clone accounting: transparently deep-clones the
+/// unit when it is shared (bumping [`cow_clones`]), and is a plain
+/// dereference when it is not.
+fn cow_mut<T: Clone>(arc: &mut Arc<T>) -> &mut T {
+    if Arc::get_mut(arc).is_none() {
+        COW_CLONES.fetch_add(1, Ordering::Relaxed);
+    }
+    Arc::make_mut(arc)
+}
+
+/// One chunk of row storage: up to [`PAGE_ROWS`] packed rows plus their
+/// liveness bits.  Pages are the unit of structural sharing — a cloned
+/// relation shares every page with its original, and a later write
+/// re-clones exactly the page it lands on (the append page, or the page
+/// of a tombstoned row).
+#[derive(Clone, Debug)]
+struct Page {
+    /// Packed rows: page-local row `r` occupies
+    /// `data[r * arity .. (r + 1) * arity]`.
+    data: Vec<ValId>,
+    /// Liveness bitset, one bit per page-local row slot.
+    live: [u64; PAGE_WORDS],
+}
+
+impl Page {
+    fn empty() -> Page {
+        Page {
+            data: Vec::new(),
+            live: [0; PAGE_WORDS],
+        }
+    }
+}
 
 /// The row ids sharing one row hash in the dedup table.
 ///
@@ -52,47 +130,179 @@ impl HashBucket {
     }
 }
 
+/// One copy-on-write shard of the dedup table: row hash → ids of live
+/// rows with that hash.
+type DedupShard = FxHashMap<u64, HashBucket>;
+
+/// One copy-on-write shard of a *narrow* index: keys of ≤ 2 positions
+/// packed into a single `u64` (two inline-tagged [`ValId`] raw words, the
+/// second `NULL`-padded for unary keys) — no per-key allocation, no
+/// node-table indirection, and a one-word hash per probe.
+type SmallShard = FxHashMap<u64, Vec<usize>>;
+
+/// One copy-on-write shard of a *wide* index (3+ key positions): boxed
+/// packed key → ascending live row ids.
+type WideShard = FxHashMap<Box<[ValId]>, Vec<usize>>;
+
+/// A secondary index on one bound-position pattern, split into [`SHARDS`]
+/// copy-on-write shards by key hash.  The representation is chosen once
+/// per pattern: patterns of ≤ 2 positions store their keys inline as one
+/// `u64` ([`pack_key2`]); wider patterns box the key slice.
+#[derive(Clone, Debug)]
+enum ShardedIndex {
+    Small(Vec<Arc<SmallShard>>),
+    Wide(Vec<Arc<WideShard>>),
+}
+
+/// Pack a ≤ 2-position key into one `u64`: the raw words of its (inline
+/// tagged) `ValId`s, with the second slot `NULL`-padded for unary keys.
+/// All keys of an index have the same length, so padding cannot collide
+/// with a genuine two-position key inside one index.
+#[inline]
+fn pack_key2(key: &[ValId]) -> u64 {
+    debug_assert!(!key.is_empty() && key.len() <= 2);
+    let hi = key[0].raw() as u64;
+    let lo = key.get(1).map_or(u32::MAX as u64, |v| v.raw() as u64);
+    (hi << 32) | lo
+}
+
+impl ShardedIndex {
+    fn empty(key_len: usize) -> ShardedIndex {
+        if key_len <= 2 {
+            ShardedIndex::Small(
+                (0..SHARDS)
+                    .map(|_| Arc::new(SmallShard::default()))
+                    .collect(),
+            )
+        } else {
+            ShardedIndex::Wide(
+                (0..SHARDS)
+                    .map(|_| Arc::new(WideShard::default()))
+                    .collect(),
+            )
+        }
+    }
+
+    /// Append `id` to the ascending id list of `key` (the incremental
+    /// index-maintenance step of an insert).
+    fn insert_row(&mut self, key: &[ValId], id: usize) {
+        let shard = shard_of(hash_ids(key));
+        match self {
+            ShardedIndex::Small(shards) => {
+                cow_mut(&mut shards[shard])
+                    .entry(pack_key2(key))
+                    .or_default()
+                    .push(id);
+            }
+            ShardedIndex::Wide(shards) => {
+                let map = cow_mut(&mut shards[shard]);
+                if let Some(ids) = map.get_mut(key) {
+                    ids.push(id);
+                } else {
+                    map.insert(key.into(), vec![id]);
+                }
+            }
+        }
+    }
+
+    /// Drop `id` from the id list of `key` (ids are ascending, so the
+    /// victim is found by binary search); empty lists drop their key.
+    fn remove_row(&mut self, key: &[ValId], id: usize) {
+        fn drop_id<K: std::hash::Hash + Eq + Clone>(
+            map: &mut FxHashMap<K, Vec<usize>>,
+            key: K,
+            id: usize,
+        ) {
+            if let Some(ids) = map.get_mut(&key) {
+                if let Ok(pos) = ids.binary_search(&id) {
+                    ids.remove(pos);
+                }
+                if ids.is_empty() {
+                    map.remove(&key);
+                }
+            }
+        }
+        let shard = shard_of(hash_ids(key));
+        match self {
+            ShardedIndex::Small(shards) => {
+                drop_id(cow_mut(&mut shards[shard]), pack_key2(key), id);
+            }
+            ShardedIndex::Wide(shards) => {
+                let map = cow_mut(&mut shards[shard]);
+                if let Some(ids) = map.get_mut(key) {
+                    if let Ok(pos) = ids.binary_search(&id) {
+                        ids.remove(pos);
+                    }
+                    if ids.is_empty() {
+                        map.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The ascending live row ids of `key` (`None` when the key is
+    /// absent — callers render that as the empty slice).
+    fn get(&self, key: &[ValId]) -> Option<&Vec<usize>> {
+        let shard = shard_of(hash_ids(key));
+        match self {
+            ShardedIndex::Small(shards) => shards[shard].get(&pack_key2(key)),
+            ShardedIndex::Wide(shards) => shards[shard].get(key),
+        }
+    }
+}
+
 /// An in-memory relation: a set of rows of fixed arity, stored as interned
-/// [`ValId`]s in one flat arena vector, with hash indexes built on demand
-/// for the bound-position patterns the evaluator needs.
+/// [`ValId`]s in chunked copy-on-write pages, with hash indexes built on
+/// demand for the bound-position patterns the evaluator needs.
 ///
-/// Rows are stored **once**, append-only in insertion order, at
-/// `data[id * arity .. (id + 1) * arity]` — so row ids are stable and
-/// iteration is deterministic.  Duplicate elimination goes through a
-/// row-hash → row-id table keyed on the packed id slice (no `Value`
-/// hashing or cloning on any probe).  Indexes map a key — the ids at a
-/// fixed list of positions — to the ids of the live rows having that key,
-/// kept in ascending id order, which is what lets the evaluator slice
-/// delta windows out of them by binary search.
+/// Rows are stored **once**, append-only in insertion order: row `id`
+/// lives in page `id / 4096` at page-local offset `(id % 4096) × arity` —
+/// so row ids are stable and iteration is deterministic.  Duplicate
+/// elimination goes through a sharded row-hash → row-id table keyed on
+/// the packed id slice (no `Value` hashing or cloning on any probe).
+/// Indexes map a key — the ids at a fixed list of positions — to the ids
+/// of the live rows having that key, kept in ascending id order, which is
+/// what lets the evaluator slice delta windows out of them by binary
+/// search.
+///
+/// **Every unit of storage — row pages, dedup shards, index shards — sits
+/// behind an `Arc`**, so `Relation::clone` is pure pointer bumps: a clone
+/// is an O(pages) *snapshot*, not a copy.  Writes go through
+/// `Arc::make_mut`, re-cloning exactly the units they touch when those
+/// are still shared with a snapshot (counted by [`cow_clones`]).  This is
+/// the property the serving layer's publish path and the incremental
+/// catalog's snapshots are built on.
 ///
 /// Removal marks rows dead (tombstones) and surgically drops them from the
 /// dedup table and every index — O(removed × indexes), never a rebuild of
-/// the store.  Dead slots stay in `data` until [`Relation::compact`], so
-/// row ids survive removals; [`Relation::watermark`] (the high-water row
-/// id) is the monotone quantity delta windows are measured against, while
-/// [`Relation::len`] counts live rows only.
-#[derive(Clone, Debug, Default)]
+/// the store.  Dead slots stay in their pages until [`Relation::compact`],
+/// so row ids survive removals; [`Relation::watermark`] (the high-water
+/// row id) is the monotone quantity delta windows are measured against,
+/// while [`Relation::len`] counts live rows only.
+#[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,
-    /// Flat packed row storage; row `id` occupies
-    /// `data[id * arity .. (id + 1) * arity]`.
-    data: Vec<ValId>,
+    /// Chunked copy-on-write row storage; row `id` lives in
+    /// `pages[id >> PAGE_SHIFT]`.
+    pages: Vec<Arc<Page>>,
     /// Number of row slots ever allocated (live + tombstoned).
     rows: usize,
-    /// Liveness bitset, one bit per row slot.
-    live: Vec<u64>,
     /// Number of tombstoned slots (`rows - live count`).
     dead: usize,
-    /// row hash -> ids of live rows with that hash (dedup without a copy).
-    dedup: FxHashMap<u64, HashBucket>,
-    /// positions -> key ids -> ascending live row ids.
-    indexes: FxHashMap<Vec<usize>, KeyIndex>,
+    /// Sharded dedup table: row hash -> ids of live rows with that hash.
+    dedup: Vec<Arc<DedupShard>>,
+    /// positions -> sharded index (key ids -> ascending live row ids).
+    indexes: FxHashMap<Vec<usize>, ShardedIndex>,
     /// Reusable key buffer for incremental index maintenance.
     key_scratch: Vec<ValId>,
 }
 
-/// A secondary index: packed key -> ascending live row ids.
-type KeyIndex = FxHashMap<Box<[ValId]>, Vec<usize>>;
+impl Default for Relation {
+    fn default() -> Relation {
+        Relation::new(0)
+    }
+}
 
 fn hash_ids(row: &[ValId]) -> u64 {
     let mut state = FxBuildHasher::default().build_hasher();
@@ -107,7 +317,14 @@ impl Relation {
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            ..Relation::default()
+            pages: Vec::new(),
+            rows: 0,
+            dead: 0,
+            dedup: (0..SHARDS)
+                .map(|_| Arc::new(DedupShard::default()))
+                .collect(),
+            indexes: FxHashMap::default(),
+            key_scratch: Vec::new(),
         }
     }
 
@@ -142,12 +359,16 @@ impl Relation {
     /// True iff row id `id` is live (in bounds and not tombstoned).
     #[inline]
     pub fn is_live(&self, id: usize) -> bool {
-        id < self.rows && self.live[id >> 6] & (1 << (id & 63)) != 0
+        id < self.rows && {
+            let slot = id & PAGE_MASK;
+            self.pages[id >> PAGE_SHIFT].live[slot >> 6] & (1 << (slot & 63)) != 0
+        }
     }
 
     #[inline]
     fn clear_live(&mut self, id: usize) {
-        self.live[id >> 6] &= !(1 << (id & 63));
+        let slot = id & PAGE_MASK;
+        cow_mut(&mut self.pages[id >> PAGE_SHIFT]).live[slot >> 6] &= !(1 << (slot & 63));
     }
 
     /// Insert a row of values; returns `true` if it was new.  Interns the
@@ -162,9 +383,9 @@ impl Relation {
     }
 
     /// Insert a packed row; returns `true` if it was new.  The storage hot
-    /// path: one FxHash over the id slice, one dedup-map probe, and an
-    /// append — no per-row allocation beyond the arena vector's amortized
-    /// growth.
+    /// path: one FxHash over the id slice, one dedup-shard probe for the
+    /// duplicate check (duplicates touch nothing else — no copy-on-write
+    /// traffic at all), and an append into the current page for new rows.
     ///
     /// # Panics
     ///
@@ -178,57 +399,63 @@ impl Relation {
             self.arity
         );
         let hash = hash_ids(row);
+        let shard = shard_of(hash);
+        // Read-only duplicate probe: the overwhelmingly common duplicate
+        // case never takes a write path (and so never clones a shared
+        // shard).
+        if let Some(bucket) = self.dedup[shard].get(&hash) {
+            let arity = self.arity;
+            let pages = &self.pages;
+            if bucket.ids().iter().any(|&id| {
+                let id = id as usize;
+                let off = (id & PAGE_MASK) * arity;
+                &pages[id >> PAGE_SHIFT].data[off..off + arity] == row
+            }) {
+                return false;
+            }
+        }
         let id = self.rows;
         let id32 = u32::try_from(id).expect("relation exceeds u32::MAX rows");
-        // One dedup-map probe per insert: duplicate check and id recording
-        // go through the same entry.
-        match self.dedup.entry(hash) {
-            std::collections::hash_map::Entry::Occupied(mut entry) => {
-                let data = &self.data;
-                let arity = self.arity;
-                if entry
-                    .get()
-                    .ids()
-                    .iter()
-                    .any(|&id| &data[id as usize * arity..(id as usize + 1) * arity] == row)
-                {
-                    return false;
-                }
-                entry.get_mut().push(id32);
-            }
+        match cow_mut(&mut self.dedup[shard]).entry(hash) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => entry.get_mut().push(id32),
             std::collections::hash_map::Entry::Vacant(entry) => {
                 entry.insert(HashBucket::One(id32));
             }
         }
         // Maintain every index without allocating a fresh key per index:
         // the scratch buffer is reused, and an owned key is copied only the
-        // first time a key value is seen.
+        // first time a (wide) key value is seen.
         let mut scratch = std::mem::take(&mut self.key_scratch);
         for (positions, index) in self.indexes.iter_mut() {
             scratch.clear();
             scratch.extend(positions.iter().map(|&p| row[p]));
-            if let Some(ids) = index.get_mut(scratch.as_slice()) {
-                ids.push(id);
-            } else {
-                index.insert(scratch.as_slice().into(), vec![id]);
-            }
+            index.insert_row(&scratch, id);
         }
         self.key_scratch = scratch;
         self.append_row_slot(row);
         true
     }
 
-    /// Append `row` to the flat arena as the next (live) row slot; the
-    /// shared tail of [`Relation::insert_ids`] and [`Relation::compact`].
-    /// Dedup/index bookkeeping is the caller's responsibility.
+    /// Append `row` as the next (live) row slot; the shared tail of
+    /// [`Relation::insert_ids`] and [`Relation::compact`].  Dedup/index
+    /// bookkeeping is the caller's responsibility.
     fn append_row_slot(&mut self, row: &[ValId]) -> usize {
         let id = self.rows;
-        self.data.extend_from_slice(row);
-        if self.rows.is_multiple_of(64) {
-            self.live.push(0);
+        if id & PAGE_MASK == 0 {
+            let mut page = Page::empty();
+            // The first page grows like a plain vector (small relations
+            // stay small); once a relation overflows it, later pages are
+            // allocated at exact full-page capacity up front.
+            if id > 0 {
+                page.data.reserve_exact(PAGE_ROWS * self.arity);
+            }
+            self.pages.push(Arc::new(page));
         }
+        let page = cow_mut(self.pages.last_mut().expect("append page exists"));
+        page.data.extend_from_slice(row);
+        let slot = id & PAGE_MASK;
+        page.live[slot >> 6] |= 1 << (slot & 63);
         self.rows += 1;
-        self.live[id >> 6] |= 1 << (id & 63);
         id
     }
 
@@ -249,7 +476,8 @@ impl Relation {
 
     /// The stored id of a packed row, if present and live.
     pub fn find_id(&self, row: &[ValId]) -> Option<usize> {
-        let bucket = self.dedup.get(&hash_ids(row))?;
+        let hash = hash_ids(row);
+        let bucket = self.dedup[shard_of(hash)].get(&hash)?;
         bucket
             .ids()
             .iter()
@@ -261,7 +489,8 @@ impl Relation {
     /// rows still decode (their slots persist until compaction).
     #[inline]
     pub fn row_ids(&self, id: usize) -> &[ValId] {
-        &self.data[id * self.arity..(id + 1) * self.arity]
+        let off = (id & PAGE_MASK) * self.arity;
+        &self.pages[id >> PAGE_SHIFT].data[off..off + self.arity]
     }
 
     /// The row with the given id, decoded to values.
@@ -305,10 +534,10 @@ impl Relation {
     ///
     /// Building over an already-populated relation takes the bulk sorted
     /// path: sort the live row ids by key, then insert one exactly-sized
-    /// id vector per distinct key — one boxed key per *group* instead of
-    /// one per row, and no hash-map entry churn while the map grows.  The
-    /// resulting index is identical (same keys, same ascending id lists)
-    /// to the incremental build.
+    /// id vector per distinct key — one owned key per *group* instead of
+    /// one per row, and no hash-map entry churn while the shards grow.
+    /// The resulting index is identical (same keys, same ascending id
+    /// lists) to the incremental build.
     pub fn ensure_index(&mut self, positions: &[usize]) {
         if positions.is_empty() || self.indexes.contains_key(positions) {
             return;
@@ -317,10 +546,12 @@ impl Relation {
         let index = if self.len() >= BULK_BUILD_MIN {
             self.build_index_bulk(positions)
         } else {
-            let mut index: KeyIndex = FxHashMap::default();
+            let mut index = ShardedIndex::empty(positions.len());
+            let mut key = Vec::with_capacity(positions.len());
             for (id, row) in self.iter_ids() {
-                let key: Box<[ValId]> = positions.iter().map(|&p| row[p]).collect();
-                index.entry(key).or_default().push(id);
+                key.clear();
+                key.extend(positions.iter().map(|&p| row[p]));
+                index.insert_row(&key, id);
             }
             index
         };
@@ -331,37 +562,73 @@ impl Relation {
     /// [`Relation::ensure_index`]).  Stable sort on the key projection
     /// keeps each group's ids in ascending order — the invariant the
     /// delta-window binary search relies on.
-    fn build_index_bulk(&self, positions: &[usize]) -> KeyIndex {
+    fn build_index_bulk(&self, positions: &[usize]) -> ShardedIndex {
         let key_of = |id: usize| {
             let row = self.row_ids(id);
             positions.iter().map(move |&p| row[p].raw())
         };
         let mut ids: Vec<usize> = self.iter_ids().map(|(id, _)| id).collect();
         ids.sort_by(|&a, &b| key_of(a).cmp(key_of(b)));
-        // Count the groups first so the map is allocated once at its final
-        // size (no rehashing while 30M ids stream in).
-        let mut groups = 0usize;
+        // Collect the group boundaries first so every shard map is
+        // allocated once at its final size (no rehashing while 30M ids
+        // stream in).
+        let mut groups: Vec<(usize, usize)> = Vec::new();
         let mut i = 0;
         while i < ids.len() {
             let mut j = i + 1;
             while j < ids.len() && key_of(ids[j]).eq(key_of(ids[i])) {
                 j += 1;
             }
-            groups += 1;
+            groups.push((i, j));
             i = j;
         }
-        let mut index: KeyIndex =
-            FxHashMap::with_capacity_and_hasher(groups, FxBuildHasher::default());
-        let mut i = 0;
-        while i < ids.len() {
-            let mut j = i + 1;
-            while j < ids.len() && key_of(ids[j]).eq(key_of(ids[i])) {
-                j += 1;
+        let mut per_shard = [0usize; SHARDS];
+        let mut key = Vec::with_capacity(positions.len());
+        for &(start, _) in &groups {
+            let row = self.row_ids(ids[start]);
+            key.clear();
+            key.extend(positions.iter().map(|&p| row[p]));
+            per_shard[shard_of(hash_ids(&key))] += 1;
+        }
+        let mut index = if positions.len() <= 2 {
+            ShardedIndex::Small(
+                per_shard
+                    .iter()
+                    .map(|&n| {
+                        Arc::new(SmallShard::with_capacity_and_hasher(
+                            n,
+                            FxBuildHasher::default(),
+                        ))
+                    })
+                    .collect(),
+            )
+        } else {
+            ShardedIndex::Wide(
+                per_shard
+                    .iter()
+                    .map(|&n| {
+                        Arc::new(WideShard::with_capacity_and_hasher(
+                            n,
+                            FxBuildHasher::default(),
+                        ))
+                    })
+                    .collect(),
+            )
+        };
+        for &(start, end) in &groups {
+            let row = self.row_ids(ids[start]);
+            key.clear();
+            key.extend(positions.iter().map(|&p| row[p]));
+            let shard = shard_of(hash_ids(&key));
+            let group = ids[start..end].to_vec();
+            match &mut index {
+                ShardedIndex::Small(shards) => {
+                    cow_mut(&mut shards[shard]).insert(pack_key2(&key), group);
+                }
+                ShardedIndex::Wide(shards) => {
+                    cow_mut(&mut shards[shard]).insert(key.as_slice().into(), group);
+                }
             }
-            let row = self.row_ids(ids[i]);
-            let key: Box<[ValId]> = positions.iter().map(|&p| row[p]).collect();
-            index.insert(key, ids[i..j].to_vec());
-            i = j;
         }
         index
     }
@@ -440,33 +707,27 @@ impl Relation {
         self.dead += 1;
         let id32 = id as u32;
         let hash = hash_ids(self.row_ids(id));
-        if let Some(bucket) = self.dedup.get_mut(&hash) {
+        let dedup_shard = cow_mut(&mut self.dedup[shard_of(hash)]);
+        if let Some(bucket) = dedup_shard.get_mut(&hash) {
             if bucket.remove(id32) {
-                self.dedup.remove(&hash);
+                dedup_shard.remove(&hash);
             }
         }
         let mut scratch = std::mem::take(&mut self.key_scratch);
-        let (data, arity) = (&self.data, self.arity);
-        let row = &data[id * arity..(id + 1) * arity];
+        let arity = self.arity;
+        let page = &self.pages[id >> PAGE_SHIFT];
+        let off = (id & PAGE_MASK) * arity;
+        let row = &page.data[off..off + arity];
         for (positions, index) in self.indexes.iter_mut() {
             scratch.clear();
             scratch.extend(positions.iter().map(|&p| row[p]));
-            if let Some(ids) = index.get_mut(scratch.as_slice()) {
-                // Ids are ascending, so the victim is found by binary
-                // search and removed with one shift of its (short) tail.
-                if let Ok(pos) = ids.binary_search(&id) {
-                    ids.remove(pos);
-                }
-                if ids.is_empty() {
-                    index.remove(scratch.as_slice());
-                }
-            }
+            index.remove_row(&scratch, id);
         }
         self.key_scratch = scratch;
         true
     }
 
-    /// Reclaim tombstoned slots: rewrite the arena with live rows only (in
+    /// Reclaim tombstoned slots: rewrite the pages with live rows only (in
     /// id order), rebuild the dedup table, and rebuild every existing index
     /// on its same position pattern.  **Row ids shift** — any ids, delta
     /// marks or watermarks taken before compaction are invalidated, so only
@@ -476,23 +737,26 @@ impl Relation {
         if self.dead == 0 {
             return;
         }
-        let old = std::mem::take(&mut self.data);
+        let old_pages = std::mem::take(&mut self.pages);
         let old_rows = self.rows;
-        let old_live = std::mem::take(&mut self.live);
-        let is_live = |id: usize| old_live[id >> 6] & (1 << (id & 63)) != 0;
-        self.data = Vec::with_capacity((old_rows - self.dead) * self.arity);
+        let arity = self.arity;
         self.rows = 0;
         self.dead = 0;
-        self.dedup.clear();
+        self.dedup = (0..SHARDS)
+            .map(|_| Arc::new(DedupShard::default()))
+            .collect();
         for id in 0..old_rows {
-            if !is_live(id) {
+            let slot = id & PAGE_MASK;
+            let page = &old_pages[id >> PAGE_SHIFT];
+            if page.live[slot >> 6] & (1 << (slot & 63)) == 0 {
                 continue;
             }
-            let row = &old[id * self.arity..(id + 1) * self.arity];
+            let row = &page.data[slot * arity..(slot + 1) * arity];
             let id32 = u32::try_from(self.rows).expect("relation exceeds u32::MAX rows");
             // Rows are unique (they survived the live dedup), so no
             // duplicate check — just record the id under the row hash.
-            match self.dedup.entry(hash_ids(row)) {
+            let hash = hash_ids(row);
+            match cow_mut(&mut self.dedup[shard_of(hash)]).entry(hash) {
                 std::collections::hash_map::Entry::Occupied(mut entry) => {
                     entry.get_mut().push(id32)
                 }
@@ -523,6 +787,11 @@ impl Relation {
     /// A read-only snapshot of this relation pinned at the current
     /// [`Relation::watermark`] — the share-safe view the engine's parallel
     /// workers read through.  See [`RelationSnapshot`].
+    ///
+    /// This borrow-scoped form is O(1) and lock-free; for an *owned*
+    /// snapshot that outlives the relation, `Relation::clone` is the
+    /// entry point — it is pure `Arc` pointer bumps over the shared
+    /// pages/shards (O(pages), no row copying; see [`cow_clones`]).
     pub fn snapshot(&self) -> RelationSnapshot<'_> {
         RelationSnapshot {
             relation: self,
@@ -539,9 +808,9 @@ impl Relation {
 /// mutability, so any number of workers may probe it while nobody holds
 /// `&mut`.  The engine's fixpoint alternates a read-only evaluation phase
 /// (workers joining over snapshots, writing packed head rows into
-/// per-worker output shards) with a sequential merge phase that inserts
-/// the shards in deterministic order; insert-side **dedup therefore lives
-/// entirely behind the merge step**, never in the workers.
+/// per-worker output shards) with a merge phase that inserts the shards
+/// in deterministic order; insert-side **dedup therefore lives entirely
+/// behind the merge step**, never in the join workers.
 ///
 /// The pinned watermark is the delta bound: rows with ids `>=`
 /// [`RelationSnapshot::watermark`] were inserted after the snapshot was
@@ -671,6 +940,31 @@ mod tests {
             assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids not ascending");
             assert_eq!(ids.len(), 10);
         }
+    }
+
+    #[test]
+    fn wide_index_keys_work_like_narrow_ones() {
+        // 3+ key positions take the boxed-key representation; behaviour
+        // must be indistinguishable from the packed ≤2-position form.
+        let mut r = Relation::new(4);
+        r.ensure_index(&[0, 1, 2]);
+        for i in 0..50i64 {
+            r.insert(vec![
+                Value::Int(i % 2),
+                Value::Int(i % 3),
+                Value::Int(i % 5),
+                Value::Int(i),
+            ]);
+        }
+        let key = intern_row(&[Value::Int(1), Value::Int(1), Value::Int(1)]);
+        let ids = r.lookup(&[0, 1, 2], &key).unwrap().to_vec();
+        assert!(!ids.is_empty());
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ids, r.scan_select(&[0, 1, 2], &key));
+        let (id, _) = r.iter_ids().next().unwrap();
+        r.remove_id(id);
+        let after = r.lookup(&[0, 1, 2], &key).unwrap();
+        assert!(!after.contains(&id));
     }
 
     #[test]
@@ -838,6 +1132,65 @@ mod tests {
         };
         assert_eq!(snap.lookup(&[0], &key_a).unwrap(), &[0]);
         assert_eq!(grown.lookup(&[0], &key_a).unwrap(), &[0, 3]);
+    }
+
+    #[test]
+    fn cloned_relation_is_isolated_from_later_writes() {
+        // The copy-on-write contract at the semantic level: a clone is a
+        // self-contained snapshot, whatever the original does afterwards
+        // — and vice versa.
+        let mut r = Relation::new(2);
+        r.ensure_index(&[0]);
+        for i in 0..100i64 {
+            r.insert(vec![Value::Int(i % 7), Value::Int(i)]);
+        }
+        let snap = r.clone();
+        for i in 100..200i64 {
+            r.insert(vec![Value::Int(i % 7), Value::Int(i)]);
+        }
+        r.remove(&[Value::Int(0), Value::Int(0)]);
+        assert_eq!(snap.len(), 100);
+        assert_eq!(r.len(), 199);
+        assert!(snap.contains(&[Value::Int(0), Value::Int(0)]));
+        assert!(!r.contains(&[Value::Int(0), Value::Int(0)]));
+        let key = intern_row(&[Value::Int(3)]);
+        assert_eq!(
+            snap.lookup(&[0], &key).unwrap(),
+            snap.scan_select(&[0], &key).as_slice()
+        );
+        assert_eq!(
+            r.lookup(&[0], &key).unwrap(),
+            r.scan_select(&[0], &key).as_slice()
+        );
+    }
+
+    #[test]
+    fn pages_span_boundaries_transparently() {
+        // Cross the 4096-row page boundary and make sure ids, iteration,
+        // dedup and index answers behave exactly as in the flat layout.
+        let mut r = Relation::new(2);
+        r.ensure_index(&[0]);
+        let n = (PAGE_ROWS + 100) as i64;
+        for i in 0..n {
+            assert!(r.insert(vec![Value::Int(i % 3), Value::Int(i)]));
+        }
+        for i in 0..n {
+            assert!(!r.insert(vec![Value::Int(i % 3), Value::Int(i)]));
+        }
+        assert_eq!(r.len(), n as usize);
+        assert_eq!(
+            r.row_ids(PAGE_ROWS),
+            intern_row(&[
+                Value::Int(PAGE_ROWS as i64 % 3),
+                Value::Int(PAGE_ROWS as i64)
+            ])
+            .as_slice()
+        );
+        let key = intern_row(&[Value::Int(1)]);
+        let ids = r.lookup(&[0], &key).unwrap();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ids.len(), r.scan_select(&[0], &key).len());
+        assert_eq!(r.iter_ids().count(), n as usize);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Parallel per-predicate merge determinism, and `Relation::merge`
+//! coverage.
+//!
+//! The engine's insert phase fans the dedup + id-assignment +
+//! index-maintenance work of one iteration out over disjoint head
+//! relations (see the determinism contract in
+//! `crates/engine/src/evaluator.rs`).  That is only sound if the thread
+//! count is *invisible in storage*: not just the same fact sets, but the
+//! same **row ids**, the same dedup state, and the same index answers,
+//! bit for bit.  These tests hold that contract under randomized
+//! multi-predicate derivation rounds sized past the parallel-merge work
+//! threshold, with `threads ∈ {1, 4}` compared pairwise.
+
+use power_of_magic::engine::{EvalStats, Evaluator, Limits};
+use power_of_magic::lang::{parse_program, Program, ValId};
+use power_of_magic::workloads::SplitMix64;
+use power_of_magic::Database;
+use std::collections::BTreeMap;
+
+/// Per-relation fingerprint: watermark, tombstone count, and the exact
+/// ascending `(row id, packed row)` sequence.
+type RelationFingerprint = (usize, usize, Vec<(usize, Vec<ValId>)>);
+
+/// Full storage-level fingerprint of a database.  Two runs with equal
+/// fingerprints assigned every row the same id in the same order — the
+/// strongest observable form of merge determinism (`ValId`s are
+/// process-global, so packed rows compare exactly).
+fn fingerprint(db: &Database) -> BTreeMap<String, RelationFingerprint> {
+    db.iter()
+        .map(|(pred, rel)| {
+            let rows: Vec<(usize, Vec<ValId>)> =
+                rel.iter_ids().map(|(id, row)| (id, row.to_vec())).collect();
+            (pred.to_string(), (rel.watermark(), rel.tombstones(), rows))
+        })
+        .collect()
+}
+
+fn run_at(program: &Program, edb: &Database, threads: usize) -> (Database, EvalStats) {
+    let result = Evaluator::new(program.clone())
+        .with_limits(Limits::default().with_threads(threads))
+        .run(edb)
+        .expect("evaluation succeeds");
+    (result.database, result.stats)
+}
+
+/// Evaluate at threads=1 and threads=4 and require bit-identical storage:
+/// row ids, dedup behavior, and index answers.
+fn assert_merge_deterministic(name: &str, program: &Program, edb: &Database) {
+    let (db1, stats1) = run_at(program, edb, 1);
+    let (mut db4, stats4) = run_at(program, edb, 4);
+    assert_eq!(stats1, stats4, "{name}: counters diverged");
+    assert_eq!(
+        fingerprint(&db1),
+        fingerprint(&db4),
+        "{name}: row-id assignment diverged"
+    );
+
+    // Dedup state: every stored row must be *known* to the parallel-built
+    // relation — re-inserting is a no-op and resolves to the same id.
+    for (pred, rel1) in db1.iter() {
+        let rel4 = db4.relation(pred).expect("fingerprints matched");
+        for (id, row) in rel1.iter_ids() {
+            assert_eq!(
+                rel4.find_id(row),
+                Some(id),
+                "{name}: dedup of {pred} row {id} diverged"
+            );
+        }
+    }
+
+    // Index answers: build a first-column index on every binary relation
+    // of the parallel result and require it to agree with a sequential
+    // scan of the sequential result (ascending ids, dead rows excluded).
+    let preds: Vec<_> = db1.predicates().cloned().collect();
+    for pred in preds {
+        let rel1 = db1.relation(&pred).unwrap();
+        if rel1.arity() != 2 {
+            continue;
+        }
+        let rel4 = db4.relation_mut_opt(&pred).unwrap();
+        rel4.ensure_index(&[0]);
+        for (_, row) in rel1.iter_ids() {
+            let via_index = rel4.lookup(&[0], &row[..1]).unwrap_or(&[]);
+            let via_scan = rel1.scan_select(&[0], &row[..1]);
+            assert_eq!(via_index, &via_scan[..], "{name}: {pred} index diverged");
+        }
+    }
+}
+
+/// A multi-headed program whose first iteration alone derives far more
+/// rows than the parallel-merge work threshold (4096), across several
+/// disjoint head relations — the shape the per-predicate fan-out exists
+/// for.  Recursion keeps later (smaller) iterations exercising the
+/// sequential fallback in the same run.
+#[test]
+fn randomized_multi_predicate_rounds_are_thread_invisible() {
+    let mut rng = SplitMix64::seed_from_u64(0xBEEF_CAFE);
+    let program = parse_program(
+        "p0(X, Y) :- b0(X, Y).
+         p1(X, Y) :- b1(X, Y).
+         p2(X, Y) :- b2(X, Y).
+         p0(X, Y) :- b0(X, Z), p0(Z, Y).
+         p1(X, Y) :- p0(X, Z), b1(Z, Y).
+         p2(X, Y) :- p1(X, Z), b2(Z, Y).
+         all(X, Y) :- p2(X, Y).",
+    )
+    .unwrap();
+    for round in 0..3 {
+        // ~6000 base rows over three predicates: the copy rules alone put
+        // the first iteration's insert volume past the 4096-row gate with
+        // >= 3 distinct head relations.  The node count stays small so the
+        // transitive closure (and debug-mode wall time) stays bounded.
+        let nodes = 60 + rng.random_range(0..20);
+        let mut edb = Database::new();
+        for pred in ["b0", "b1", "b2"] {
+            for _ in 0..2000 {
+                let a = rng.random_range(0..nodes);
+                let b = rng.random_range(0..nodes);
+                // Forward edges only: keeps the closure DAG-shaped and
+                // debug-mode runtimes bounded.
+                let (a, b) = (a.min(b), a.max(b) + 1);
+                edb.insert_pair(pred, &format!("n{a}"), &format!("n{b}"));
+            }
+        }
+        assert_merge_deterministic(&format!("round {round}"), &program, &edb);
+    }
+}
+
+#[test]
+fn zero_arity_heads_merge_deterministically() {
+    // Arity-0 heads take a dedicated path in the merge (no rows, only an
+    // existence bit); they must stay exact under both code paths.
+    let program = parse_program(
+        "p(X, Y) :- b(X, Y).
+         hit() :- p(X, Y), mark(Y).
+         q(X) :- p(X, Y), mark(Y).",
+    )
+    .unwrap();
+    let mut edb = Database::new();
+    for i in 0..3000 {
+        edb.insert_pair("b", &format!("n{i}"), &format!("n{}", i + 1));
+    }
+    edb.insert(
+        power_of_magic::lang::PredName::plain("mark"),
+        vec![power_of_magic::lang::Value::sym("n7")],
+    );
+    assert_merge_deterministic("zero-arity", &program, &edb);
+}
+
+// ---------------------------------------------------------------------------
+// Relation::merge — the bulk insert the fan-out is built from.
+// ---------------------------------------------------------------------------
+
+mod relation_merge {
+    use power_of_magic::lang::arena::intern_row;
+    use power_of_magic::lang::{PredName, Value};
+    use power_of_magic::Database;
+
+    fn pair(a: &str, b: &str) -> Vec<Value> {
+        vec![Value::sym(a), Value::sym(b)]
+    }
+
+    #[test]
+    fn merge_dedups_preserves_ids_and_maintains_indexes() {
+        let mut db = Database::new();
+        let p = PredName::plain("p");
+        for (a, b) in [("a", "b"), ("b", "c")] {
+            db.insert(p.clone(), pair(a, b));
+        }
+        let mut other = Database::new();
+        for (a, b) in [("b", "c"), ("c", "d"), ("a", "d")] {
+            other.insert(p.clone(), pair(a, b));
+        }
+
+        let target = db.relation_mut_opt(&p).unwrap();
+        // Index built *before* the merge: merge must maintain it, not
+        // leave it stale.
+        target.ensure_index(&[0]);
+        let added = target.merge(other.relation(&p).unwrap());
+        assert_eq!(added, 2, "one duplicate, two new");
+        assert_eq!(target.len(), 4);
+
+        // Pre-existing ids are untouched; new rows got the next ids in
+        // the other relation's iteration order.
+        assert_eq!(target.find_id(&intern_row(&pair("a", "b"))), Some(0));
+        assert_eq!(target.id_of(&pair("b", "c")), Some(1));
+        assert_eq!(target.id_of(&pair("c", "d")), Some(2));
+        assert_eq!(target.id_of(&pair("a", "d")), Some(3));
+
+        // The index answers reflect the merged rows, ascending by id.
+        let a_key = intern_row(&[Value::sym("a")]);
+        assert_eq!(target.lookup(&[0], &a_key), Some(&[0usize, 3][..]));
+
+        // Dedup after merge: every merged row is a duplicate now.
+        for (a, b) in [("b", "c"), ("c", "d"), ("a", "d")] {
+            assert!(!target.insert(pair(a, b)));
+        }
+    }
+
+    #[test]
+    fn merge_skips_tombstoned_source_rows() {
+        let p = PredName::plain("p");
+        let mut src_db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            src_db.insert(p.clone(), pair(a, b));
+        }
+        src_db.remove(&p, &pair("b", "c"));
+
+        let mut dst_db = Database::new();
+        dst_db.insert(p.clone(), pair("x", "y"));
+        let dst = dst_db.relation_mut_opt(&p).unwrap();
+        let added = dst.merge(src_db.relation(&p).unwrap());
+        assert_eq!(added, 2, "the tombstoned source row must not travel");
+        assert!(!dst.contains(&pair("b", "c")));
+        assert_eq!(dst.len(), 3);
+        assert_eq!(dst.tombstones(), 0);
+    }
+}
