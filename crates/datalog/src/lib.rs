@@ -46,7 +46,7 @@ pub mod term;
 
 pub use adornment::{Adornment, Binding};
 pub use analysis::{recursion_kind, DependencyGraph, RecursionKind};
-pub use arena::ValId;
+pub use arena::{ArenaSnapshot, SnapNode, ValId, ValIdRemap};
 pub use atom::{Atom, Fact};
 pub use error::DatalogError;
 pub use parser::{parse_program, parse_query, parse_rule, parse_source, parse_term, ParsedSource};

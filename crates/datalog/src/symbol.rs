@@ -86,6 +86,14 @@ impl Symbol {
     }
 }
 
+/// Every interned string, in id order — the symbol half of
+/// [`crate::arena::ArenaSnapshot`]'s watermark capture.  The returned
+/// vector is a point-in-time prefix: symbols interned after the call get
+/// larger ids and are simply absent from it.
+pub(crate) fn all_strings() -> Vec<&'static str> {
+    interner().read().unwrap().strings.clone()
+}
+
 impl From<&str> for Symbol {
     fn from(s: &str) -> Self {
         Symbol::new(s)

@@ -1,0 +1,58 @@
+//! Hand-rolled CRC-32 (IEEE 802.3, polynomial `0xEDB88320`).
+//!
+//! The build environment has no crates.io access (see the workspace
+//! `Cargo.toml`), so the checksum the WAL and checkpoint formats frame
+//! their bytes with lives here: the classic byte-at-a-time table
+//! variant, with the 256-entry table built in a `const` context so the
+//! whole module is allocation- and dependency-free.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 of `bytes` (initial value `!0`, final xor `!0` — the
+/// standard "zlib" convention, so `crc32(b"123456789")` is the classic
+/// check value `0xCBF43926`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_and_sensitivity() {
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+        assert_ne!(crc32(b"abc"), crc32(b"ab"));
+    }
+}

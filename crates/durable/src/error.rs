@@ -1,0 +1,49 @@
+//! The durable layer's error type.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong opening, writing, or recovering a
+/// durable store.
+///
+/// The two variants split along the recovery contract: `Io` is the
+/// environment failing underneath us (disk full, permissions, a
+/// vanished directory), while `Corrupt` is bytes that passed the I/O
+/// layer but fail validation — a checkpoint with a bad CRC, a frame
+/// whose payload doesn't parse back into updates, a dangling arena
+/// reference.  A *torn WAL tail* is deliberately **neither**: an
+/// incomplete or CRC-failing final frame is the expected signature of
+/// a crash mid-append, so recovery truncates it and reports it in
+/// [`Recovered::torn_tail_truncated`](crate::Recovered), rather than
+/// refusing to start.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// On-disk bytes failed validation (checksum, framing, or decode).
+    Corrupt(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "i/o error: {e}"),
+            DurableError::Corrupt(msg) => write!(f, "corrupt durable state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(e) => Some(e),
+            DurableError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}

@@ -22,6 +22,7 @@ use magic_engine::{answers::project_answers, EvalStats, Limits};
 use magic_storage::Database;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Errors raised by catalog operations.
 #[derive(Clone, Debug)]
@@ -82,6 +83,14 @@ struct CatalogEntry {
     /// by.  Maintenance (`apply_all` / `update_all`) deliberately does not
     /// bump it: being updated is not being *used*.
     last_used: u64,
+    /// Wall-clock counterpart of `last_used`, consulted by
+    /// [`ViewCatalog::with_view_ttl`] expiry (same bump discipline:
+    /// requests refresh it, maintenance does not).
+    last_used_at: Instant,
+    /// The query text the binding was materialized for — what
+    /// [`ViewCatalog::export_bindings`] persists so a recovered process
+    /// can re-plan and re-materialize the same view.
+    query_text: String,
 }
 
 /// A frozen, self-contained reading surface over one cached view.
@@ -153,6 +162,9 @@ pub struct ViewCatalog {
     /// Capacity cap: materializing past it evicts the least-recently
     /// *requested* binding.  `None` = unbounded.
     max_views: Option<usize>,
+    /// Idle-time cap: bindings not requested within this window are
+    /// dropped by [`ViewCatalog::evict_expired`].  `None` = no expiry.
+    view_ttl: Option<Duration>,
     /// Logical clock feeding `CatalogEntry::last_used`.
     clock: u64,
 }
@@ -165,6 +177,7 @@ impl ViewCatalog {
             limits: Limits::default(),
             entries: BTreeMap::new(),
             max_views: None,
+            view_ttl: None,
             clock: 0,
         }
     }
@@ -187,6 +200,23 @@ impl ViewCatalog {
     /// this to bound the memory a long tail of one-off bindings pins.
     pub fn with_max_views(mut self, max_views: usize) -> ViewCatalog {
         self.max_views = (max_views > 0).then_some(max_views);
+        self
+    }
+
+    /// Expire bindings not *requested* for `ttl` (a zero duration means
+    /// no expiry).  Time-based eviction composes with the
+    /// [`ViewCatalog::with_max_views`] count cap: TTL drops views that
+    /// went cold regardless of catalog size, the cap bounds the size
+    /// regardless of age — a serving deployment typically wants both.
+    ///
+    /// Expired entries are dropped inside
+    /// [`ViewCatalog::materialize_keyed`] whenever it (re)builds a view,
+    /// and whenever the owner calls [`ViewCatalog::evict_expired`]
+    /// directly (the serving writer does so once per maintenance cycle).
+    /// Like every other eviction, expiry is not an error: a dropped
+    /// binding simply re-materializes from the base facts on next sight.
+    pub fn with_view_ttl(mut self, ttl: Duration) -> ViewCatalog {
+        self.view_ttl = (ttl > Duration::ZERO).then_some(ttl);
         self
     }
 
@@ -234,6 +264,7 @@ impl ViewCatalog {
         let fresh = match self.entries.get_mut(&key) {
             Some(entry) => {
                 entry.last_used = now;
+                entry.last_used_at = Instant::now();
                 entry.view.program() != &plan.program
             }
             None => true,
@@ -252,11 +283,49 @@ impl ViewCatalog {
                     answer_atom: plan.answer_atom.clone(),
                     projection: plan.projection.clone(),
                     last_used: now,
+                    last_used_at: Instant::now(),
+                    query_text: query.atom.to_string(),
                 },
             );
+            // TTL expiry first (age-based), then the count cap: the
+            // entry just touched carries a fresh timestamp on both
+            // scales, so it survives either pass.
+            self.evict_expired();
             self.evict_cold();
         }
         Ok((key, fresh))
+    }
+
+    /// Drop every binding whose last request is older than the
+    /// [`ViewCatalog::with_view_ttl`] window; returns the evicted keys.
+    /// A no-op (returning nothing) when no TTL is configured.
+    pub fn evict_expired(&mut self) -> Vec<String> {
+        let Some(ttl) = self.view_ttl else {
+            return Vec::new();
+        };
+        let expired: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.last_used_at.elapsed() > ttl)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &expired {
+            self.entries.remove(key);
+        }
+        expired
+    }
+
+    /// The cached bindings as `(key, query text)` pairs, in key order —
+    /// what a checkpoint persists so recovery can re-plan each query and
+    /// re-materialize the same views over the restored base facts.  (The
+    /// views themselves are rebuildable artifacts and are deliberately
+    /// *not* serialized: re-materializing through the normal planner and
+    /// fixpoint keeps recovery on the already-verified code path.)
+    pub fn export_bindings(&self) -> Vec<(String, String)> {
+        self.entries
+            .iter()
+            .map(|(k, e)| (k.clone(), e.query_text.clone()))
+            .collect()
     }
 
     /// Enforce the [`ViewCatalog::with_max_views`] cap: drop
@@ -529,6 +598,75 @@ mod tests {
         assert_eq!(kb, kb2);
         assert!(fresh);
         assert_eq!(catalog.len(), 2);
+    }
+
+    #[test]
+    fn view_ttl_expires_idle_bindings_and_composes_with_the_count_cap() {
+        let program = parse_program("anc(X, Y) :- par(X, Y).").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        db.insert_pair("par", "b", "c");
+        db.insert_pair("par", "c", "d");
+        let mut catalog = ViewCatalog::new(Strategy::MagicSets)
+            .with_view_ttl(Duration::from_millis(30))
+            .with_max_views(2);
+        let ka = catalog
+            .materialize(&program, &parse_query("anc(a, Y)").unwrap(), &db)
+            .unwrap();
+        let kb = catalog
+            .materialize(&program, &parse_query("anc(b, Y)").unwrap(), &db)
+            .unwrap();
+        // Within the TTL nothing expires.
+        assert!(catalog.evict_expired().is_empty());
+        std::thread::sleep(Duration::from_millis(40));
+        // Re-request `a` to keep it warm; `b` goes stale.
+        catalog
+            .materialize(&program, &parse_query("anc(a, Y)").unwrap(), &db)
+            .unwrap();
+        let expired = catalog.evict_expired();
+        assert_eq!(expired, vec![kb.clone()]);
+        assert!(catalog.contains(&ka));
+        assert!(!catalog.contains(&kb));
+        // Expiry also runs inside materialize: let `a` go cold, then
+        // materialize a fresh binding — the stale one is dropped even
+        // though the count cap alone would have kept both.
+        std::thread::sleep(Duration::from_millis(40));
+        let kc = catalog
+            .materialize(&program, &parse_query("anc(c, Y)").unwrap(), &db)
+            .unwrap();
+        assert!(catalog.contains(&kc));
+        assert!(!catalog.contains(&ka));
+        assert_eq!(catalog.len(), 1);
+        // An expired binding is not an error: it re-materializes.
+        let (ka2, fresh) = catalog
+            .materialize_keyed(&program, &parse_query("anc(a, Y)").unwrap(), &db)
+            .unwrap();
+        assert_eq!(ka, ka2);
+        assert!(fresh);
+    }
+
+    #[test]
+    fn export_bindings_reports_keys_and_query_texts() {
+        let program = parse_program("anc(X, Y) :- par(X, Y).").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("par", "a", "b");
+        let mut catalog = ViewCatalog::new(Strategy::MagicSets);
+        let ka = catalog
+            .materialize(&program, &parse_query("anc(a, Y)").unwrap(), &db)
+            .unwrap();
+        let kb = catalog
+            .materialize(&program, &parse_query("anc(X, Y)").unwrap(), &db)
+            .unwrap();
+        let bindings = catalog.export_bindings();
+        assert_eq!(bindings.len(), 2);
+        let keys: Vec<&str> = bindings.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&ka.as_str()) && keys.contains(&kb.as_str()));
+        // Each exported query text re-plans to exactly its stored key —
+        // the invariant recovery relies on.
+        for (key, text) in &bindings {
+            let query = parse_query(text).unwrap();
+            assert_eq!(&catalog.binding_key(&program, &query).unwrap(), key);
+        }
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! A small durable server process: the kill target of the
+//! crash-recovery tests (`crates/serve/tests/durable_restart.rs`) and
+//! the CI recovery smoke.
+//!
+//! Usage: `durable_server <store-dir> [checkpoint-every]`
+//!
+//! Serves the classic ancestor program over a 16-edge `par` chain seed
+//! with durability rooted at `<store-dir>`, prints one line
+//! `ADDR <ip:port>` to stdout once recovery finished and the listener
+//! is live, then parks forever — the parent test decides when (and
+//! how rudely) the process dies.  On a restart over the same
+//! directory, the seed is ignored and the recovered disk state wins.
+
+use magic_datalog::parse_program;
+use magic_durable::{DurableConfig, FsyncPolicy};
+use magic_serve::{ServeConfig, Server};
+use magic_storage::Database;
+use std::io::Write;
+use std::time::Duration;
+
+fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let dir = args
+        .next()
+        .expect("usage: durable_server <store-dir> [checkpoint-every]");
+    let checkpoint_every: u64 = args
+        .next()
+        .map(|s| s.parse().expect("checkpoint-every must be an integer"))
+        .unwrap_or(8);
+
+    // `edge` mirrors the base `par` relation one-to-one: the recovery
+    // tests query `edge(X, Y)` to read the exact recovered base state
+    // back out through an ordinary derived view.
+    let program = parse_program(
+        "anc(X, Y) :- par(X, Y).
+         anc(X, Y) :- par(X, Z), anc(Z, Y).
+         edge(X, Y) :- par(X, Y).",
+    )
+    .expect("the built-in program parses");
+    let mut edb = Database::new();
+    for i in 0..16 {
+        edb.insert_pair("par", &format!("n{i}"), &format!("n{}", i + 1));
+    }
+
+    // `FsyncPolicy::Never` is deliberate: the tests kill with SIGKILL,
+    // which loses nothing the page cache already holds, so skipping
+    // fsync keeps the kill loop fast while still exercising the full
+    // log/checkpoint/recover machinery.  A production config would
+    // pick `Always` or `EveryN`.
+    let config = ServeConfig {
+        durability: Some(
+            DurableConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Never)
+                .with_checkpoint_every(checkpoint_every),
+        ),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(program, edb, "127.0.0.1:0", config)?;
+    println!("ADDR {}", server.addr());
+    std::io::stdout().flush()?;
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

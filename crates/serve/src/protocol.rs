@@ -145,6 +145,15 @@ pub struct ServerStats {
     pub duplicate_derivations: u64,
     /// Aggregated join probes over all views.
     pub join_probes: u64,
+    /// Bytes currently in the write-ahead log (0 when durability is
+    /// off): the replay debt a crash right now would incur.
+    pub wal_bytes: u64,
+    /// WAL sequence number the newest checkpoint covers through (0
+    /// when durability is off or nothing is checkpointed yet).
+    pub last_checkpoint: u64,
+    /// Failed response writes to clients (the connection is closed
+    /// after the failure; the server carries on).
+    pub write_errors: u64,
     /// Per-view totals, in catalog key order.
     pub per_view: Vec<ViewStats>,
 }
@@ -217,6 +226,9 @@ impl ServerStats {
                 "facts_derived" => stats.facts_derived = value,
                 "duplicate_derivations" => stats.duplicate_derivations = value,
                 "join_probes" => stats.join_probes = value,
+                "wal_bytes" => stats.wal_bytes = value,
+                "last_checkpoint" => stats.last_checkpoint = value,
+                "write_errors" => stats.write_errors = value,
                 // Forward compatibility: a newer server may report more.
                 _ => {}
             }
@@ -225,7 +237,7 @@ impl ServerStats {
     }
 
     /// The scalar fields, in wire order.
-    fn fields(&self) -> [(&'static str, u64); 11] {
+    fn fields(&self) -> [(&'static str, u64); 14] {
         [
             ("version", self.version),
             ("views", self.views),
@@ -238,6 +250,9 @@ impl ServerStats {
             ("facts_derived", self.facts_derived),
             ("duplicate_derivations", self.duplicate_derivations),
             ("join_probes", self.join_probes),
+            ("wal_bytes", self.wal_bytes),
+            ("last_checkpoint", self.last_checkpoint),
+            ("write_errors", self.write_errors),
         ]
     }
 }
@@ -319,6 +334,9 @@ mod tests {
             facts_derived: 200,
             duplicate_derivations: 9,
             join_probes: 9999,
+            wal_bytes: 4096,
+            last_checkpoint: 18,
+            write_errors: 3,
             per_view: vec![ViewStats {
                 key: "anc[bf](a, b)@gms".into(),
                 facts: 42,

@@ -30,17 +30,29 @@
 //!   Repeated queries with a known binding never touch the writer; the
 //!   query-text → key translation is memoized per server.
 //!
+//! * **Durability is optional and writer-owned.**  With
+//!   [`ServeConfig::durability`] set, the writer appends every
+//!   state-changing batch to a [`magic_durable`] write-ahead log
+//!   *before* publishing the snapshot that contains it — so `OK
+//!   applied` means *logged and published* — and checkpoints the whole
+//!   base database on a configured cadence.  Startup then recovers:
+//!   checkpoint load, view re-materialization, WAL-tail replay, torn
+//!   final frame truncated (it was never acked).  Readers are
+//!   unaffected; the log lives entirely on the writer thread.
+//!
 //! Every published snapshot is a program fixpoint over a prefix of the
 //! applied update sequence, so responses are transactionally consistent:
 //! a reader can never observe half of a batch (no torn reads) — the
 //! property `tests/serve_consistency.rs` checks against a from-scratch
-//! oracle.
+//! oracle, and `crates/serve/tests/durable_restart.rs` extends to
+//! recovered state after a mid-stream `SIGKILL`.
 
 use crate::protocol::{
     parse_request, render_ack, render_answers, render_error, Request, ServerStats, ViewStats,
 };
 use magic_core::planner::Strategy;
 use magic_datalog::{PredName, Program, Query, Value};
+use magic_durable::{DurableConfig, DurableStore};
 use magic_engine::{EvalStats, Limits};
 use magic_incr::{Update, ViewCatalog, ViewSnapshot};
 use magic_storage::Database;
@@ -48,13 +60,13 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server construction parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Rewrite strategy for on-demand view materialization.
     pub strategy: Strategy,
@@ -70,6 +82,18 @@ pub struct ServeConfig {
     /// the least-recently-queried binding, which then re-materializes on
     /// next sight.  See [`ViewCatalog::with_max_views`].
     pub max_views: usize,
+    /// Idle lifetime of cached views (zero = no TTL): a binding no
+    /// query has touched for this long is evicted by the writer's
+    /// maintenance tick and re-materializes on next sight.  Composes
+    /// with `max_views` — TTL bounds staleness in *time*, the cap in
+    /// *count*.  See [`ViewCatalog::with_view_ttl`].
+    pub view_ttl: Duration,
+    /// Crash safety (off by default): when set, the writer appends
+    /// every acked batch to a write-ahead log in this store directory
+    /// and checkpoints on the configured cadence, and
+    /// [`Server::start`] recovers prior state from that directory
+    /// before accepting connections.
+    pub durability: Option<DurableConfig>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +104,8 @@ impl Default for ServeConfig {
             batch_max: 256,
             read_timeout: Duration::from_millis(50),
             max_views: 0,
+            view_ttl: Duration::ZERO,
+            durability: None,
         }
     }
 }
@@ -126,8 +152,17 @@ struct Shared {
     updates_applied: AtomicU64,
     connections: AtomicU64,
     /// Views evicted because their maintenance failed (see
-    /// [`magic_incr::ViewCatalog::apply_all`]); surfaced in `STATS`.
+    /// [`magic_incr::ViewCatalog::apply_all`]) or because they idled
+    /// past the view TTL; surfaced in `STATS`.
     views_evicted: AtomicU64,
+    /// Mirror of [`DurableStore::wal_bytes`], maintained by the writer
+    /// so `STATS` never has to cross into the writer thread.
+    wal_bytes: AtomicU64,
+    /// Mirror of [`DurableStore::last_checkpoint_seq`].
+    last_checkpoint_seq: AtomicU64,
+    /// Response writes that failed (client gone mid-response); the
+    /// connection is closed and the failure counted, never ignored.
+    write_errors: AtomicU64,
     read_timeout: Duration,
 }
 
@@ -175,6 +210,14 @@ impl Server {
     /// arrive, each keyed by its adorned binding.  `edb` becomes the
     /// authoritative base-fact database, maintained by every acknowledged
     /// update and used to materialize late-arriving bindings.
+    ///
+    /// With [`ServeConfig::durability`] set, startup first runs
+    /// recovery against the store directory: the newest checkpoint is
+    /// loaded, its exported view bindings re-materialize, and the WAL
+    /// tail replays through maintenance, all *before* the listener
+    /// accepts its first connection.  On a brand-new store `edb` is
+    /// the seed and is checkpointed immediately; on an existing store
+    /// the disk state wins and `edb` is ignored.
     pub fn start(
         program: Program,
         edb: Database,
@@ -185,7 +228,19 @@ impl Server {
         let addr = listener.local_addr()?;
         let catalog = ViewCatalog::new(config.strategy)
             .with_limits(config.limits)
-            .with_max_views(config.max_views);
+            .with_max_views(config.max_views)
+            .with_view_ttl(config.view_ttl);
+        let durable_err = |e: magic_durable::DurableError| io::Error::other(e.to_string());
+        let (catalog, edb, store) = match &config.durability {
+            Some(durable) => {
+                let mut store = DurableStore::open(durable).map_err(durable_err)?;
+                let recovered = store
+                    .recover(&program, catalog, &edb)
+                    .map_err(durable_err)?;
+                (recovered.catalog, recovered.db, Some(store))
+            }
+            None => (catalog, edb, None),
+        };
         let (writer_tx, writer_rx) = channel();
         let shared = Arc::new(Shared {
             derived: program.derived_preds(),
@@ -201,13 +256,29 @@ impl Server {
             updates_applied: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             views_evicted: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(store.as_ref().map_or(0, DurableStore::wal_bytes)),
+            last_checkpoint_seq: AtomicU64::new(
+                store.as_ref().map_or(0, DurableStore::last_checkpoint_seq),
+            ),
+            write_errors: AtomicU64::new(0),
             read_timeout: config.read_timeout,
         });
 
         let writer_shared = Arc::clone(&shared);
+        let view_ttl = (config.view_ttl > Duration::ZERO).then_some(config.view_ttl);
         let writer_thread = std::thread::Builder::new()
             .name("magic-serve-writer".into())
-            .spawn(move || writer_loop(writer_shared, writer_rx, catalog, edb, config.batch_max))?;
+            .spawn(move || {
+                writer_loop(
+                    writer_shared,
+                    writer_rx,
+                    catalog,
+                    edb,
+                    config.batch_max,
+                    store,
+                    view_ttl,
+                )
+            })?;
 
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept_shared = Arc::clone(&shared);
@@ -286,9 +357,33 @@ fn writer_loop(
     mut catalog: ViewCatalog,
     mut base_db: Database,
     batch_max: usize,
+    mut store: Option<DurableStore>,
+    view_ttl: Option<Duration>,
 ) {
     let mut version: u64 = 0;
     let mut published: BTreeMap<String, Arc<ViewSnapshot>> = BTreeMap::new();
+    // Recovery may have handed us a warm catalog (re-materialized from
+    // a checkpoint's exported bindings).  Publish those views up front:
+    // a reader whose first query hits a recovered binding goes through
+    // the writer's materialize path, gets a cache hit (`fresh ==
+    // false`, so no publish happens there) and then reads the snapshot
+    // — which must therefore already contain the view.
+    for (key, _) in catalog.export_bindings() {
+        if let Some(snap) = catalog.snapshot_view(&key) {
+            published.insert(key, Arc::new(snap));
+        }
+    }
+    if !published.is_empty() {
+        shared.publish(Snapshot {
+            version,
+            views: published.clone(),
+        });
+    }
+    // How often an idle writer wakes to sweep TTL-expired views: often
+    // enough that staleness past the deadline stays a small fraction
+    // of the TTL, bounded so tiny test TTLs don't busy-spin.
+    let ttl_tick =
+        view_ttl.map(|ttl| (ttl / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
     // Arities the program declares; facts that disagree with the program
     // or with a stored relation are rejected before they can reach
     // storage (whose insert path treats a wrong-arity row as a caller
@@ -296,12 +391,38 @@ fn writer_loop(
     let declared_arities = shared.program.predicate_arities().unwrap_or_default();
     // A command popped out of a batch drain that must be handled next.
     let mut deferred: Option<WriterCmd> = None;
-    loop {
-        let cmd = match deferred.take() {
-            Some(cmd) => cmd,
-            None => match rx.recv() {
+    'main: loop {
+        let cmd = match (deferred.take(), ttl_tick) {
+            (Some(cmd), _) => cmd,
+            (None, None) => match rx.recv() {
                 Ok(cmd) => cmd,
                 Err(_) => break, // every sender is gone
+            },
+            (None, Some(tick)) => loop {
+                match rx.recv_timeout(tick) {
+                    Ok(cmd) => break cmd,
+                    Err(RecvTimeoutError::Disconnected) => break 'main,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Idle maintenance: sweep views past their TTL.
+                        // Eviction is never an error — a dropped
+                        // binding re-materializes from `base_db` on
+                        // next sight.
+                        let expired = catalog.evict_expired();
+                        if !expired.is_empty() {
+                            shared
+                                .views_evicted
+                                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+                            for key in &expired {
+                                published.remove(key);
+                            }
+                            version += 1;
+                            shared.publish(Snapshot {
+                                version,
+                                views: published.clone(),
+                            });
+                        }
+                    }
+                }
             },
         };
         match cmd {
@@ -389,6 +510,22 @@ fn writer_loop(
                     }
                     acks.push((reply, is_change));
                 }
+                // Write-ahead: the batch must be on the log *before*
+                // its snapshot publishes and its clients are acked —
+                // "OK applied" promises the write survives a crash.
+                // If the log itself fails, the in-memory state has
+                // already moved (and stays coherent: views below see
+                // the same batch), but every ack in the batch reports
+                // the broken promise instead of `OK`.
+                let mut log_failure: Option<String> = None;
+                if !changed.is_empty() {
+                    if let Some(store) = store.as_mut() {
+                        if let Err(e) = store.log_batch(&changed) {
+                            log_failure = Some(format!("applied but not logged: {e}"));
+                        }
+                        shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
+                    }
+                }
                 if !changed.is_empty() {
                     // A view whose maintenance fails is evicted by
                     // `apply_all` (it re-materializes from `base_db` on
@@ -425,10 +562,41 @@ fn writer_loop(
                         .fetch_add(changed.len() as u64, Ordering::Relaxed);
                 }
                 for (reply, applied) in acks {
-                    let _ = reply.send(Ok((applied, version)));
+                    let _ = match &log_failure {
+                        None => reply.send(Ok((applied, version))),
+                        Some(msg) => reply.send(Err(msg.clone())),
+                    };
+                }
+                // Checkpoint *after* acking: the cadence check rides
+                // the batch that crossed it, but clients never wait on
+                // a whole-database freeze.
+                if let Some(store) = store.as_mut() {
+                    if store.should_checkpoint() {
+                        match store.checkpoint(&base_db, &catalog.export_bindings()) {
+                            Ok(()) => {
+                                shared
+                                    .last_checkpoint_seq
+                                    .store(store.last_checkpoint_seq(), Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                // The WAL is intact, so durability
+                                // still holds — recovery just replays
+                                // a longer tail.  Try again next
+                                // cadence crossing.
+                                eprintln!("magic-serve: checkpoint failed: {e}");
+                            }
+                        }
+                        shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
+                    }
                 }
             }
         }
+    }
+    // Clean exit: push whatever the fsync policy deferred to disk, so a
+    // graceful shutdown under `FsyncPolicy::Never`/`EveryN` loses
+    // nothing even to a machine crash right after.
+    if let Some(store) = store.as_mut() {
+        let _ = store.sync();
     }
 }
 
@@ -505,6 +673,17 @@ impl LineReader {
     }
 }
 
+/// Write one response to a client, counting (and logging) a failure
+/// before propagating it: a client that vanished mid-response is an
+/// ordinary event for the server but must not vanish from observability
+/// — `write_errors` in `STATS` totals them.
+fn send_response(shared: &Shared, writer: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
+    writer.write_all(bytes).inspect_err(|e| {
+        shared.write_errors.fetch_add(1, Ordering::Relaxed);
+        eprintln!("magic-serve: client write failed, closing connection: {e}");
+    })
+}
+
 /// Serve one connection: parse request lines, dispatch, write responses.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_read_timeout(Some(shared.read_timeout))?;
@@ -530,11 +709,11 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
             Err(e) => render_error(&e),
             Ok(Request::Ping) => "OK pong\n".to_string(),
             Ok(Request::Quit) => {
-                writer.write_all(b"OK bye\n")?;
+                send_response(&shared, &mut writer, b"OK bye\n")?;
                 break;
             }
             Ok(Request::Shutdown) => {
-                writer.write_all(b"OK bye\n")?;
+                send_response(&shared, &mut writer, b"OK bye\n")?;
                 shared.shutdown.store(true, Ordering::SeqCst);
                 let _ = shared.writer_tx.send(WriterCmd::Shutdown);
                 // Unblock the accept loop; the owning handle joins later.
@@ -554,7 +733,7 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
             Ok(Request::Retract(fact)) => dispatch_update(&shared, Update::Retract(fact)),
             Ok(Request::Stats) => gather_stats(&shared).render(),
         };
-        writer.write_all(response.as_bytes())?;
+        send_response(&shared, &mut writer, response.as_bytes())?;
     }
     Ok(())
 }
@@ -654,6 +833,9 @@ fn gather_stats(shared: &Shared) -> ServerStats {
         facts_derived: totals.facts_derived as u64,
         duplicate_derivations: totals.duplicate_derivations as u64,
         join_probes: totals.join_probes as u64,
+        wal_bytes: shared.wal_bytes.load(Ordering::Relaxed),
+        last_checkpoint: shared.last_checkpoint_seq.load(Ordering::Relaxed),
+        write_errors: shared.write_errors.load(Ordering::Relaxed),
         per_view,
     }
 }

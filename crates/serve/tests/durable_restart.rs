@@ -1,0 +1,257 @@
+//! Kill-and-restart crash safety: the durable layer's headline
+//! acceptance tests.
+//!
+//! Each test spawns the real `durable_server` binary (a separate OS
+//! process — recovery across an *actual* process boundary, not a
+//! same-process re-open), streams acked updates at it, `SIGKILL`s it at
+//! an arbitrary point, restarts over the same store directory, and
+//! checks the recovered state against a client-side oracle.
+//!
+//! The correctness contract under a single client (updates are totally
+//! ordered) is **prefix semantics**: the recovered base state must
+//! equal the oracle applied to `sent[..m]` for some `m` with
+//! `acked <= m <= sent` — everything acknowledged survives, nothing
+//! is half-applied, and an in-flight (never-acked) trailing update may
+//! or may not have landed.  A torn final WAL frame — the disk
+//! signature of dying mid-append — must be truncated on recovery, not
+//! replayed and not fatal.
+
+#![cfg(unix)]
+
+use magic_serve::Client;
+use magic_workloads::SplitMix64;
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "magic-durable-restart-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The spawned server process; killed (if still alive) on drop.
+struct ServerProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl ServerProc {
+    /// Spawn `durable_server <dir> <checkpoint_every>` and wait for its
+    /// `ADDR` line, which it prints only after recovery completed and
+    /// the listener is live.
+    fn spawn(dir: &Path, checkpoint_every: u64) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_durable_server"))
+            .arg(dir)
+            .arg(checkpoint_every.to_string())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn durable_server");
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read ADDR line");
+        let addr = line
+            .trim()
+            .strip_prefix("ADDR ")
+            .unwrap_or_else(|| panic!("expected ADDR line, got {line:?}"))
+            .parse()
+            .expect("parse server address");
+        ServerProc { child, addr }
+    }
+
+    /// SIGKILL — no shutdown hooks, no flushes, mid-anything.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// One update of the generated stream.
+#[derive(Clone, Debug)]
+struct Op {
+    insert: bool,
+    a: String,
+    b: String,
+}
+
+impl Op {
+    fn atom(&self) -> String {
+        format!("par({}, {})", self.a, self.b)
+    }
+}
+
+/// The seed EDB the server binary starts from: a 16-edge chain.
+fn seed_edges() -> BTreeSet<(String, String)> {
+    (0..16)
+        .map(|i| (format!("n{i}"), format!("n{}", i + 1)))
+        .collect()
+}
+
+/// The oracle: seed + the first `m` ops applied in order.
+fn oracle(ops: &[Op], m: usize) -> BTreeSet<(String, String)> {
+    let mut edges = seed_edges();
+    for op in &ops[..m] {
+        let edge = (op.a.clone(), op.b.clone());
+        if op.insert {
+            edges.insert(edge);
+        } else {
+            edges.remove(&edge);
+        }
+    }
+    edges
+}
+
+/// A random stream over a small universe, dense enough that inserts
+/// collide (no-op acks) and retracts hit real rows.
+fn gen_ops(rng: &mut SplitMix64, n: usize) -> Vec<Op> {
+    (0..n)
+        .map(|_| {
+            let a = format!("s{}", rng.next_u64() % 6);
+            let b = format!("s{}", rng.next_u64() % 6);
+            Op {
+                insert: rng.next_u64() % 10 < 7,
+                a,
+                b,
+            }
+        })
+        .collect()
+}
+
+/// Read the whole recovered base relation back through the `edge`
+/// passthrough view.
+fn read_base(client: &mut Client) -> BTreeSet<(String, String)> {
+    client
+        .query("edge(X, Y)")
+        .expect("query edge(X, Y)")
+        .rows
+        .iter()
+        .map(|row| (row[0].to_string(), row[1].to_string()))
+        .collect()
+}
+
+#[test]
+fn sigkill_mid_stream_recovers_exactly_an_acked_consistent_prefix() {
+    let dir = tmp_dir("midstream");
+    let mut rng = SplitMix64::seed_from_u64(0xBEE51987);
+    let ops = gen_ops(&mut rng, 40);
+
+    let mut server = ServerProc::spawn(&dir, 4);
+    let mut client = Client::connect(server.addr).expect("connect");
+    // Ack every op in order; each ack means logged + published.
+    let acked = ops.len();
+    for op in &ops {
+        let result = if op.insert {
+            client.insert(&op.atom())
+        } else {
+            client.retract(&op.atom())
+        };
+        result.expect("acked update");
+    }
+    // One more update *in flight*: written to the socket, never
+    // waited for — the kill races its processing, so recovery may
+    // land on either side of it.
+    let inflight = Op {
+        insert: true,
+        a: "zz".into(),
+        b: "ww".into(),
+    };
+    let mut raw = TcpStream::connect(server.addr).expect("raw connect");
+    raw.write_all(format!("INSERT {}\n", inflight.atom()).as_bytes())
+        .expect("fire in-flight update");
+    raw.flush().expect("flush in-flight update");
+    server.kill();
+
+    let mut all = ops.clone();
+    all.push(inflight);
+    // Restart over the same directory: recovery must finish before the
+    // ADDR line prints.
+    let server = ServerProc::spawn(&dir, 4);
+    let mut client = Client::connect(server.addr).expect("reconnect");
+    let recovered = read_base(&mut client);
+    let matched = (acked..=all.len()).find(|&m| recovered == oracle(&all, m));
+    assert!(
+        matched.is_some(),
+        "recovered state matches no acked-or-longer prefix: {} edges recovered, \
+         acked prefix has {}",
+        recovered.len(),
+        oracle(&all, acked).len()
+    );
+
+    // The recovered server is fully live: maintained views answer over
+    // recovered state, and new writes stack on top of it.
+    let anc = client.query("anc(n0, Y)").expect("query anc over recovery");
+    assert!(anc.rows.len() >= 16, "the seed chain survived recovery");
+    client
+        .insert("par(post, crash)")
+        .expect("post-recovery write");
+    let after = read_base(&mut client);
+    assert_eq!(after.len(), recovered.len() + 1);
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.last_checkpoint > 0,
+        "checkpoint cadence 4 must have checkpointed during the stream"
+    );
+}
+
+#[test]
+fn torn_final_wal_frame_is_truncated_never_replayed() {
+    let dir = tmp_dir("torn");
+    // Cadence high enough that nothing checkpoints after the initial
+    // seed checkpoint: every op lives in the WAL, so the tear sits at
+    // the end of a log recovery genuinely needs.
+    let mut server = ServerProc::spawn(&dir, 100_000);
+    let mut client = Client::connect(server.addr).expect("connect");
+    let ops: Vec<Op> = (0..5)
+        .map(|i| Op {
+            insert: true,
+            a: format!("t{i}"),
+            b: format!("t{}", i + 1),
+        })
+        .collect();
+    for op in &ops {
+        client.insert(&op.atom()).expect("acked insert");
+    }
+    server.kill();
+
+    // Simulate dying mid-append: a frame header promising more bytes
+    // than follow, with a garbage checksum.
+    let wal = dir.join("wal.log");
+    let before = std::fs::metadata(&wal).expect("wal exists").len();
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&wal)
+        .expect("open wal");
+    file.write_all(&[0x40, 0, 0, 0, 0xDE, 0xAD, 0xBE, 0xEF, b'I', b' ', b'p'])
+        .expect("append torn frame");
+    drop(file);
+
+    let mut server = ServerProc::spawn(&dir, 100_000);
+    let mut client = Client::connect(server.addr).expect("reconnect");
+    // Every acked op survived; the torn frame contributed nothing.
+    assert_eq!(read_base(&mut client), oracle(&ops, ops.len()));
+    // Recovery healed the file on disk, not just in memory.
+    assert!(std::fs::metadata(&wal).expect("wal exists").len() <= before);
+    client.insert("par(after, tear)").expect("post-tear write");
+    server.kill();
+
+    // And the healed log replays cleanly on a third start.
+    let server = ServerProc::spawn(&dir, 100_000);
+    let mut client = Client::connect(&server.addr).expect("third connect");
+    let mut expected = oracle(&ops, ops.len());
+    expected.insert(("after".into(), "tear".into()));
+    assert_eq!(read_base(&mut client), expected);
+    drop(server);
+}

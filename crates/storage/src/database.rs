@@ -85,6 +85,15 @@ impl Database {
         self.remove(&fact.pred, &fact.values)
     }
 
+    /// Adopt a prebuilt relation under `pred`, replacing any existing one
+    /// — the restore path of checkpointing, where whole relations are
+    /// rebuilt from packed dumps (see
+    /// [`Relation::from_packed_rows`]) and handed over wholesale instead
+    /// of row by row.
+    pub fn insert_relation(&mut self, pred: PredName, relation: Relation) {
+        self.relations.insert(pred, relation);
+    }
+
     /// Remove a whole relation, returning it if present.  Used to clean up
     /// scratch relations (e.g. the overdeletion shadow predicates of
     /// incremental maintenance) after a pass over the database.

@@ -784,6 +784,52 @@ impl Relation {
         added
     }
 
+    /// The live rows, packed flat in id order: `len() × arity()` ids,
+    /// row `r` at `r × arity .. (r + 1) × arity`.  This is the
+    /// (de)serialization surface checkpointing reads — tombstones are
+    /// skipped, so the dump is exactly what
+    /// [`Relation::from_packed_rows`] rebuilds (a checkpoint/restore
+    /// cycle implies a compaction).  Note the ids are process-run-local;
+    /// a cross-process consumer must pair the dump with an
+    /// [`ArenaSnapshot`](magic_datalog::ArenaSnapshot) and remap on load.
+    pub fn packed_live_rows(&self) -> Vec<ValId> {
+        let mut out = Vec::with_capacity(self.len() * self.arity);
+        for (_, row) in self.iter_ids() {
+            out.extend_from_slice(row);
+        }
+        out
+    }
+
+    /// Rebuild a relation from a flat packed dump of `n_rows` rows (the
+    /// inverse of [`Relation::packed_live_rows`], after any cross-process
+    /// id remapping).  Rows are inserted in dump order, so ids come out
+    /// dense `0..n_rows`; duplicate rows in the dump are deduplicated
+    /// like any insert.  `n_rows` is explicit so zero-arity relations
+    /// (whose rows serialize no ids at all) round-trip too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != n_rows * arity`.
+    pub fn from_packed_rows(arity: usize, n_rows: usize, ids: &[ValId]) -> Relation {
+        assert_eq!(
+            ids.len(),
+            n_rows * arity,
+            "packed dump length {} does not match {n_rows} rows of arity {arity}",
+            ids.len()
+        );
+        let mut rel = Relation::new(arity);
+        if arity == 0 {
+            for _ in 0..n_rows {
+                rel.insert_ids(&[]);
+            }
+        } else {
+            for row in ids.chunks_exact(arity) {
+                rel.insert_ids(row);
+            }
+        }
+        rel
+    }
+
     /// A read-only snapshot of this relation pinned at the current
     /// [`Relation::watermark`] — the share-safe view the engine's parallel
     /// workers read through.  See [`RelationSnapshot`].
@@ -1218,6 +1264,36 @@ mod tests {
             assert_eq!(ids, bulk.scan_select(&[0], &key), "bulk != scan");
             assert_eq!(ids, incremental.lookup(&[0], &key).unwrap());
         }
+    }
+
+    #[test]
+    fn packed_dump_round_trips_and_skips_tombstones() {
+        let mut r = Relation::new(2);
+        for i in 0..20i64 {
+            r.insert(vec![Value::Int(i % 5), Value::Int(i)]);
+        }
+        r.remove(&[Value::Int(2), Value::Int(7)]);
+        r.remove(&[Value::Int(0), Value::Int(15)]);
+        let dump = r.packed_live_rows();
+        assert_eq!(dump.len(), r.len() * r.arity());
+        let rebuilt = Relation::from_packed_rows(2, r.len(), &dump);
+        assert_eq!(rebuilt, r);
+        assert_eq!(rebuilt.tombstones(), 0);
+        // Ids came out dense in dump order.
+        assert_eq!(rebuilt.watermark(), r.len());
+        // Zero-arity relations round-trip through the explicit row count.
+        let mut b = Relation::new(0);
+        b.insert_ids(&[]);
+        let rebuilt = Relation::from_packed_rows(0, b.len(), &b.packed_live_rows());
+        assert_eq!(rebuilt.len(), 1);
+        let empty = Relation::from_packed_rows(0, 0, &[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "packed dump length")]
+    fn packed_dump_length_mismatch_panics() {
+        Relation::from_packed_rows(2, 3, &intern_row(&[v("a"), v("b")]));
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   materialized magic-set views (`magic-incr`).
 //! * [`serve`] — the concurrent TCP query-serving front end over the view
 //!   catalog (`magic-serve`).
+//! * [`durable`] — crash safety for the serving layer: write-ahead log,
+//!   checkpoint/restore, recovery (`magic-durable`).
 //! * [`workloads`] — synthetic data generators (`magic-workloads`).
 //!
 //! See the `examples/` directory for end-to-end usage and the `tests/`
@@ -33,6 +35,7 @@
 
 pub use magic_core as magic;
 pub use magic_datalog as lang;
+pub use magic_durable as durable;
 pub use magic_engine as engine;
 pub use magic_incr as incr;
 pub use magic_serve as serve;

@@ -1,0 +1,133 @@
+//! Arena snapshot round-trips (PR 7): the portability layer under
+//! durable checkpoints.
+//!
+//! Raw [`ValId`] words are process-run-local (inline symbol ids and
+//! node-table indexes depend on interning order), so checkpoints ship
+//! an [`ArenaSnapshot`] — symbol strings in id order, node entries in
+//! table order — and recovery re-installs it, remapping every stored
+//! word.  Two properties carry the whole scheme:
+//!
+//! * **Install is the identity in the capturing process.**  Interning
+//!   is hash-consed, so re-interning a captured symbol or node yields
+//!   the id it already had; `install()`'s remap must therefore fix
+//!   every id the snapshot covers.  (Cross-process, the remap is a
+//!   genuine translation — `crates/durable` tests and the
+//!   kill-and-restart suite cover that path.)
+//! * **Capture is watermark-pinned.**  A snapshot covers exactly the
+//!   nodes interned before it was taken; later interning grows the
+//!   arena without invalidating earlier snapshots.
+//!
+//! The seeded loop mirrors `tests/packed_storage.rs`: random nested
+//! values spanning every encoding (inline ints, table ints, inline
+//! symbols, compounds, lists) — deterministic, no `rand`.
+
+use power_of_magic::lang::{ArenaSnapshot, ValId, Value};
+use power_of_magic::workloads::SplitMix64;
+
+/// A random ground value biased to cover every [`ValId`] encoding:
+/// inline and table integers, symbols, nested compounds and lists.
+fn random_value(rng: &mut SplitMix64, depth: u32) -> Value {
+    match rng.next_u64() % if depth == 0 { 3 } else { 5 } {
+        0 => {
+            // Half inline range, half forced into the node table.
+            let v = rng.next_u64() as i64 % (1 << 31);
+            Value::Int(if rng.next_u64().is_multiple_of(2) {
+                v % (1 << 20)
+            } else {
+                v | (1 << 30)
+            })
+        }
+        1 => Value::sym(&format!("s{}", rng.next_u64() % 64)),
+        2 => Value::sym(&format!("rare_{}", rng.next_u64() % 4096)),
+        3 => {
+            let n = 1 + (rng.next_u64() % 3) as usize;
+            let args = (0..n).map(|_| random_value(rng, depth - 1)).collect();
+            Value::app(format!("f{}", rng.next_u64() % 8).as_str().into(), args)
+        }
+        _ => {
+            let n = (rng.next_u64() % 4) as usize;
+            Value::list((0..n).map(|_| random_value(rng, depth - 1)).collect())
+        }
+    }
+}
+
+#[test]
+fn snapshot_round_trips_every_value_shape_with_stable_ids() {
+    let values = vec![
+        Value::Int(0),
+        Value::Int(-1),
+        Value::Int((1 << 29) - 1), // largest inline int
+        Value::Int(-(1 << 29)),    // smallest inline int
+        Value::Int(1 << 29),       // first table int
+        Value::Int(i64::MAX),
+        Value::Int(i64::MIN),
+        Value::sym("snapshot_shape_sym"),
+        Value::app(
+            "outer".into(),
+            vec![
+                Value::app("inner".into(), vec![Value::Int(1 << 40)]),
+                Value::sym("x"),
+            ],
+        ),
+        Value::list(vec![Value::Int(1), Value::sym("a"), Value::nil()]),
+        Value::nil(),
+    ];
+    let ids: Vec<ValId> = values.iter().map(ValId::intern).collect();
+    let snapshot = ArenaSnapshot::capture();
+    let remap = snapshot.install().expect("self-snapshot installs");
+    for (v, &id) in values.iter().zip(&ids) {
+        assert_eq!(remap.remap(id), Some(id), "id of {v} must be stable");
+        assert_eq!(id.value(), *v, "value of {v} survives");
+    }
+    assert_eq!(remap.remap(ValId::NULL), Some(ValId::NULL));
+}
+
+#[test]
+fn seeded_property_loop_install_is_identity_in_process() {
+    let mut rng = SplitMix64::seed_from_u64(0xA2E7A5EED);
+    for round in 0..20 {
+        let values: Vec<Value> = (0..50).map(|_| random_value(&mut rng, 3)).collect();
+        let ids: Vec<ValId> = values.iter().map(ValId::intern).collect();
+        let snapshot = ArenaSnapshot::capture();
+        let remap = snapshot.install().expect("self-snapshot installs");
+        // Whole rows at once, as checkpoint restore does.
+        let row = remap.remap_row(&ids).expect("row remaps");
+        assert_eq!(row, ids, "round {round}: ids stable across save/load");
+        for (v, &id) in values.iter().zip(&ids) {
+            assert_eq!(remap.remap_raw(id.raw()), Some(id), "round {round}");
+            assert_eq!(id.value(), *v, "round {round}: {v} decodes");
+        }
+    }
+}
+
+#[test]
+fn capture_is_watermark_pinned_and_later_interning_is_harmless() {
+    let early = ValId::intern(&Value::app(
+        "watermark_probe".into(),
+        vec![Value::Int(1 << 35)],
+    ));
+    let before = ArenaSnapshot::capture();
+    // Grow the arena after the capture: fresh symbols and nodes.
+    let mut rng = SplitMix64::seed_from_u64(7);
+    let late: Vec<ValId> = (0..100)
+        .map(|i| {
+            ValId::intern(&Value::app(
+                format!("late_{i}").as_str().into(),
+                vec![random_value(&mut rng, 2)],
+            ))
+        })
+        .collect();
+    let after = ArenaSnapshot::capture();
+    assert!(after.nodes().len() > before.nodes().len());
+    assert!(after.symbols().len() > before.symbols().len());
+    // The early snapshot still installs cleanly and still fixes the
+    // ids it covers.
+    let remap = before.install().expect("older snapshot installs");
+    assert_eq!(remap.remap(early), Some(early));
+    // The newer snapshot covers everything, old and new.
+    let remap = after.install().expect("newer snapshot installs");
+    assert_eq!(remap.remap(early), Some(early));
+    for &id in &late {
+        assert_eq!(remap.remap(id), Some(id));
+    }
+}
