@@ -34,14 +34,22 @@
 //! (a stale checkpoint with all `n` updates still in the log).  Their
 //! walls demonstrate the durable design's core bound — recovery time
 //! is proportional to WAL-since-checkpoint, not to database size or
-//! total update history.  The pre-existing scenarios' probe counts must not move
+//! total update history.  PR 8 (`BENCH_PR8.json`) adds the
+//! `serve_overload` scenario: a closed-loop warm phase estimates the
+//! writer's update capacity, then paced concurrent updaters drive
+//! ~2x that capacity at a deliberately tiny writer queue
+//! (`max_queue_depth = 4`) — the cell records the shed rate and the
+//! latency percentiles of the *served* (acked) updates, demonstrating
+//! the overload contract: a bounded queue buys bounded ack latency,
+//! and the excess is refused with `BUSY`, not absorbed.
+//! The pre-existing scenarios' probe counts must not move
 //! between snapshots, and — the scheduler's determinism contract —
 //! every counter of a parallel cell must be bit-identical to its
 //! single-threaded twin (the report generator asserts this).  Usage:
 //!
 //! ```text
 //! cargo run --release -p magic-bench --bin perf_report -- \
-//!     [--out BENCH_PR7.json] [--baseline BENCH_PR6.json] [--quick] \
+//!     [--out BENCH_PR8.json] [--baseline BENCH_PR7.json] [--quick] \
 //!     [--threads N] [--filter <scenario-substring>] \
 //!     [--strategy <short-name>]...
 //! ```
@@ -876,6 +884,150 @@ fn measure_publish(views: usize, quick: bool) -> Cell {
     cell
 }
 
+/// The writer-queue bound the `serve_overload` scenario measures at:
+/// deliberately tiny, so that paced concurrent updaters can actually
+/// fill it (closed-loop clients can never hold more commands in flight
+/// than they have connections).
+const OVERLOAD_QUEUE_DEPTH: usize = 4;
+
+/// Concurrent updater connections driving the overload phase.  Must
+/// exceed [`OVERLOAD_QUEUE_DEPTH`] or the queue can never be full at
+/// dispatch time and nothing sheds.
+const OVERLOAD_WRITERS: usize = 12;
+
+/// Measure the overload-protection path: a closed-loop warm phase
+/// estimates the writer's update capacity, then [`OVERLOAD_WRITERS`]
+/// paced updaters drive ~2x that capacity at a queue bound of
+/// [`OVERLOAD_QUEUE_DEPTH`].  The contract the cell demonstrates: the
+/// excess is refused with `BUSY` (a fast, truthful no), while every
+/// *served* update keeps a bounded ack latency — the queue bound is
+/// the latency bound.  `wall_secs` is the overload phase's elapsed
+/// time; the shed rate and served-latency percentiles ride in the
+/// extra fields.  Every fact is unique and disconnected from the
+/// warmed view's binding, so per-op maintenance cost stays flat.
+fn measure_serve_overload(quick: bool) -> Cell {
+    use magic_serve::{Client, ClientError, ServeConfig, Server};
+
+    let fail = |message: String| Cell::new("overload", Outcome::Error { message });
+    let config = ServeConfig {
+        limits: Limits::default().with_threads(1),
+        max_queue_depth: OVERLOAD_QUEUE_DEPTH,
+        ..ServeConfig::default()
+    };
+    let edges = if quick { 32 } else { 256 };
+    let mut server = match Server::start(
+        magic_workloads::programs::ancestor(),
+        magic_workloads::chain(edges),
+        "127.0.0.1:0",
+        config,
+    ) {
+        Ok(server) => server,
+        Err(e) => return fail(format!("server start: {e}")),
+    };
+    let addr = server.addr();
+
+    // Warm one view so the writer's per-update cost includes live
+    // maintenance (the serving write path, not a bare insert).
+    let mut warm = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => return fail(format!("connect: {e}")),
+    };
+    if let Err(e) = warm.query(&format!("a({}, Y)", magic_workloads::node(0))) {
+        return fail(format!("warm query: {e}"));
+    }
+
+    // Closed-loop capacity estimate: one client, acked inserts back to
+    // back — the writer's sustainable service rate.
+    let warm_ops = if quick { 20 } else { 60 };
+    let start = Instant::now();
+    for i in 0..warm_ops {
+        if let Err(e) = warm.insert(&format!("par(warm{i}, warm{i}x)")) {
+            return fail(format!("warm insert: {e}"));
+        }
+    }
+    let per_op = start.elapsed().as_secs_f64() / warm_ops as f64;
+    let capacity = 1.0 / per_op;
+
+    // Overload phase: each paced updater sleeps `interval` before each
+    // op, so the aggregate *offered* rate targets 2x capacity.  Facts
+    // are unique per (writer, op), so acked/shed partition cleanly.
+    let interval = per_op * OVERLOAD_WRITERS as f64 / 2.0;
+    let ops_per_writer = if quick { 25 } else { 100 };
+    let start = Instant::now();
+    let writers: Vec<_> = (0..OVERLOAD_WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || -> Result<(Vec<f64>, usize), String> {
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("updater connect: {e}"))?;
+                let mut served = Vec::new();
+                let mut shed = 0usize;
+                for i in 0..ops_per_writer {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+                    let sent = Instant::now();
+                    match client.insert(&format!("par(ow{w}a{i}, ow{w}b{i})")) {
+                        Ok(_) => served.push(sent.elapsed().as_secs_f64()),
+                        Err(ClientError::Busy { .. }) => shed += 1,
+                        Err(e) => return Err(format!("updater {w}: {e}")),
+                    }
+                }
+                Ok((served, shed))
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut shed = 0usize;
+    let mut failure: Option<String> = None;
+    for writer in writers {
+        match writer.join().map_err(|_| "updater panicked".to_string()) {
+            Ok(Ok((mut sample, s))) => {
+                latencies.append(&mut sample);
+                shed += s;
+            }
+            Ok(Err(e)) => failure = Some(e),
+            Err(e) => failure = Some(e),
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = Client::connect(addr)
+        .map_err(|e| format!("post-storm connect: {e}"))
+        .and_then(|mut c| c.stats().map_err(|e| format!("post-storm stats: {e}")));
+    server.shutdown();
+    if let Some(message) = failure {
+        return fail(message);
+    }
+    let stats = match stats {
+        Ok(stats) => stats,
+        Err(message) => return fail(message),
+    };
+
+    let attempted = OVERLOAD_WRITERS * ops_per_writer;
+    let acked = latencies.len();
+    let p50 = percentile_ms(&mut latencies, 50.0);
+    let p99 = percentile_ms(&mut latencies, 99.0);
+    let mut cell = Cell::new(
+        "overload",
+        Outcome::Ok {
+            wall_secs: elapsed,
+            samples: attempted,
+            answers: 0,
+            iterations: 0,
+            rule_firings: 0,
+            facts_derived: 0,
+            duplicate_derivations: 0,
+            join_probes: 0,
+        },
+    );
+    cell.extra = format!(
+        ", \"writers\": {OVERLOAD_WRITERS}, \"queue_depth\": {OVERLOAD_QUEUE_DEPTH}, \
+         \"capacity_ops_per_sec\": {capacity:.0}, \"acked\": {acked}, \"shed\": {shed}, \
+         \"shed_rate\": {:.3}, \"served_p50_ms\": {p50:.3}, \"served_p99_ms\": {p99:.3}, \
+         \"stats_shed_updates\": {}",
+        shed as f64 / attempted as f64,
+        stats.shed_updates,
+    );
+    cell
+}
+
 /// A scratch directory for one durable cell, wiped before use and on
 /// drop so repeated report runs never see each other's files.
 struct ScratchDir(std::path::PathBuf);
@@ -1149,7 +1301,7 @@ fn assert_counters_pinned(scenario: &str, single: &Outcome, parallel: &Outcome) 
 fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"pr\": 7,");
+    let _ = writeln!(out, "  \"pr\": 8,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(engine));
     let _ = writeln!(
         out,
@@ -1311,10 +1463,10 @@ fn annotate_variance_suspects(results: &mut [(String, Vec<Cell>)], snapshot: &st
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR7.json".to_string();
+    let mut out_path = "BENCH_PR8.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut quick = false;
-    let mut engine = "parallel-merge-cow+serve+durable".to_string();
+    let mut engine = "parallel-merge-cow+serve+durable+overload".to_string();
     let mut filter: Option<String> = None;
     let mut strategies: Vec<String> = Vec::new();
     let mut par_threads: Option<usize> = None;
@@ -1578,6 +1730,27 @@ fn main() {
             Outcome::Error { message } => eprintln!("  {:<12} error: {message}", cell.label),
         }
         results.push((name, vec![cell]));
+    }
+
+    let overload_name = format!("serve_overload/queue/{OVERLOAD_QUEUE_DEPTH}");
+    let overload_wanted = filter
+        .as_ref()
+        .is_none_or(|f| overload_name.contains(f.as_str()))
+        && (strategies.is_empty() || strategies.iter().any(|s| s == "overload"));
+    if overload_wanted {
+        eprintln!("scenario {overload_name}");
+        let cell = measure_serve_overload(quick);
+        match &cell.outcome {
+            Outcome::Ok {
+                wall_secs, samples, ..
+            } => eprintln!(
+                "  {:<12} {wall_secs:>12.6}s  {samples} attempts{}",
+                cell.label, cell.extra
+            ),
+            Outcome::Skipped { .. } => eprintln!("  {:<12} skipped", cell.label),
+            Outcome::Error { message } => eprintln!("  {:<12} error: {message}", cell.label),
+        }
+        results.push((overload_name, vec![cell]));
     }
 
     results.append(&mut durable_results);

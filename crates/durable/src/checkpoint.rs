@@ -278,12 +278,27 @@ impl Checkpoint {
     /// rename itself is durable.  A crash at any point leaves either
     /// the old checkpoint or the new one — never a torn mix.
     pub fn write_to(&self, path: &Path) -> Result<(), DurableError> {
+        self.write_to_with(path, None)
+    }
+
+    /// [`Checkpoint::write_to`] with a fault-injection schedule: the
+    /// rename step consults the plan, and an injected failure leaves
+    /// the temp file behind exactly like a real rename failure would
+    /// (the previous checkpoint at `path` is untouched either way).
+    pub fn write_to_with(
+        &self,
+        path: &Path,
+        faults: Option<&crate::faults::FaultPlan>,
+    ) -> Result<(), DurableError> {
         let bytes = self.encode();
         let tmp = path.with_extension("tmp");
         {
             let mut file = File::create(&tmp)?;
             file.write_all(&bytes)?;
             file.sync_all()?;
+        }
+        if let Some(plan) = faults {
+            plan.on_checkpoint_rename()?;
         }
         fs::rename(&tmp, path)?;
         if let Some(dir) = path.parent() {

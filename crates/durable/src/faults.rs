@@ -1,0 +1,341 @@
+//! Deterministic fault injection for the durable and serving layers.
+//!
+//! Robustness claims are only as good as the failures they were tested
+//! against, and real I/O failures (a full disk, a dying device, a
+//! half-written frame) are rare and unreproducible.  This module turns
+//! them into *scheduled events*: a [`FaultPlan`] names, per fault site,
+//! exactly which occurrence(s) of the operation should fail, so a test
+//! can say "the 3rd fsync fails, twice" and replay that history every
+//! run.  The plan is threaded through [`Wal`](crate::Wal) /
+//! [`DurableStore`](crate::DurableStore) /
+//! [`Checkpoint`](crate::Checkpoint) and (in `magic-serve`) the accept
+//! loop; with no plan installed every hook compiles down to an `Option`
+//! check that is never taken.
+//!
+//! # Spec grammar
+//!
+//! A plan parses from a comma- or semicolon-separated list of clauses
+//! (the `MAGIC_FAULTS` environment variable uses the same grammar):
+//!
+//! ```text
+//! <site>=<from>[x<count>][:<millis>]
+//! ```
+//!
+//! meaning: starting at the `<from>`-th operation at `<site>`
+//! (1-based), the next `<count>` operations (default 1) are hit;
+//! `<millis>` parameterizes stall sites.  Sites:
+//!
+//! | site               | counter    | effect when hit                         |
+//! |--------------------|------------|-----------------------------------------|
+//! | `wal-fsync-fail`   | fsyncs     | the fsync returns an injected I/O error |
+//! | `wal-torn`         | appends    | half the frame is written, then an error |
+//! | `wal-stall`        | appends    | the append sleeps `<millis>` ms first    |
+//! | `ckpt-rename-fail` | renames    | the checkpoint rename returns an error   |
+//! | `conn-stall`       | accepts    | the connection sleeps `<millis>` ms before serving |
+//! | `conn-drop`        | accepts    | the connection is closed unserved        |
+//!
+//! Example: `wal-fsync-fail=3x2,conn-drop=1` — the 3rd and 4th fsyncs
+//! fail, and the first accepted connection is dropped on the floor.
+//!
+//! Counters are per-plan atomics, so a plan shared between a `Wal` and
+//! an accept loop keeps one deterministic history per site.  "Seeded"
+//! plans come from `magic_workloads::chaos`, which derives spec strings
+//! from a `SplitMix64` seed; the plan itself is deterministic by
+//! construction and needs no randomness.
+
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The name of the environment variable [`FaultPlan::from_env`] reads.
+pub const MAGIC_FAULTS_ENV: &str = "MAGIC_FAULTS";
+
+/// What kind of failure a clause injects (see the module docs table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FaultKind {
+    FsyncFail,
+    TornAppend,
+    AppendStall,
+    CkptRenameFail,
+    ConnStall,
+    ConnDrop,
+}
+
+impl FaultKind {
+    fn parse(name: &str) -> Option<FaultKind> {
+        match name {
+            "wal-fsync-fail" => Some(FaultKind::FsyncFail),
+            "wal-torn" => Some(FaultKind::TornAppend),
+            "wal-stall" => Some(FaultKind::AppendStall),
+            "ckpt-rename-fail" => Some(FaultKind::CkptRenameFail),
+            "conn-stall" => Some(FaultKind::ConnStall),
+            "conn-drop" => Some(FaultKind::ConnDrop),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::FsyncFail => "wal-fsync-fail",
+            FaultKind::TornAppend => "wal-torn",
+            FaultKind::AppendStall => "wal-stall",
+            FaultKind::CkptRenameFail => "ckpt-rename-fail",
+            FaultKind::ConnStall => "conn-stall",
+            FaultKind::ConnDrop => "conn-drop",
+        }
+    }
+}
+
+/// One parsed clause: hit occurrences `from .. from + count` (1-based,
+/// half-open) of the site's counter.
+#[derive(Clone, Debug)]
+struct FaultRule {
+    kind: FaultKind,
+    from: u64,
+    count: u64,
+    millis: u64,
+}
+
+impl FaultRule {
+    fn hits(&self, n: u64) -> bool {
+        n >= self.from && n < self.from + self.count
+    }
+}
+
+/// What [`FaultPlan::on_append`] tells the WAL to do.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppendFault {
+    /// Write only half the frame, then report an injected error.
+    pub torn: bool,
+    /// Sleep this long before writing (simulates a wedged device).
+    pub stall: Option<Duration>,
+}
+
+/// What [`FaultPlan::on_connection`] tells the accept loop to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnFault {
+    /// Serve normally.
+    None,
+    /// Sleep this long before serving the connection.
+    Stall(Duration),
+    /// Close the connection without serving it.
+    Drop,
+}
+
+/// A deterministic schedule of injected failures (see module docs).
+///
+/// Cloning is cheap only through [`Arc`]; the plan's counters are the
+/// identity of the schedule, so share one instance per process.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    fsyncs: AtomicU64,
+    appends: AtomicU64,
+    renames: AtomicU64,
+    accepts: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Parse a plan from the spec grammar in the module docs.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        for clause in spec.split([',', ';']) {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (name, sched) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause {clause:?} is missing `=`"))?;
+            let kind = FaultKind::parse(name.trim())
+                .ok_or_else(|| format!("unknown fault site {:?}", name.trim()))?;
+            let (sched, millis) = match sched.split_once(':') {
+                Some((s, ms)) => (
+                    s,
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("bad millis in fault clause {clause:?}"))?,
+                ),
+                None => (sched, 0),
+            };
+            let (from, count) = match sched.split_once('x') {
+                Some((f, c)) => (
+                    f.parse::<u64>()
+                        .map_err(|_| format!("bad occurrence in fault clause {clause:?}"))?,
+                    c.parse::<u64>()
+                        .map_err(|_| format!("bad count in fault clause {clause:?}"))?,
+                ),
+                None => (
+                    sched
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad occurrence in fault clause {clause:?}"))?,
+                    1,
+                ),
+            };
+            if from == 0 {
+                return Err(format!(
+                    "fault clause {clause:?}: occurrences are 1-based (got 0)"
+                ));
+            }
+            if matches!(kind, FaultKind::AppendStall | FaultKind::ConnStall) && millis == 0 {
+                return Err(format!(
+                    "fault clause {clause:?}: stall sites need `:<millis>`"
+                ));
+            }
+            rules.push(FaultRule {
+                kind,
+                from,
+                count,
+                millis,
+            });
+        }
+        Ok(FaultPlan {
+            rules,
+            ..FaultPlan::default()
+        })
+    }
+
+    /// The plan named by the `MAGIC_FAULTS` environment variable, if
+    /// set and non-empty.  A malformed spec is a hard error (panic):
+    /// silently ignoring a chaos schedule would turn a fault-injection
+    /// run into a green happy-path run.
+    pub fn from_env() -> Option<Arc<FaultPlan>> {
+        let spec = std::env::var(MAGIC_FAULTS_ENV).ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        Some(Arc::new(FaultPlan::parse(&spec).unwrap_or_else(|e| {
+            panic!("bad {MAGIC_FAULTS_ENV} spec {spec:?}: {e}")
+        })))
+    }
+
+    /// True iff the plan injects nothing (no clauses).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    fn hit(&self, kind: FaultKind, n: u64) -> Option<&FaultRule> {
+        self.rules.iter().find(|r| r.kind == kind && r.hits(n))
+    }
+
+    /// Count one fsync; `Err` if the plan fails this occurrence.
+    pub fn on_fsync(&self) -> io::Result<()> {
+        let n = self.fsyncs.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.hit(FaultKind::FsyncFail, n) {
+            Some(_) => Err(injected(format!("injected fsync failure (fsync #{n})"))),
+            None => Ok(()),
+        }
+    }
+
+    /// Count one WAL frame append and report what to do with it.
+    pub fn on_append(&self) -> AppendFault {
+        let n = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        AppendFault {
+            torn: self.hit(FaultKind::TornAppend, n).is_some(),
+            stall: self
+                .hit(FaultKind::AppendStall, n)
+                .map(|r| Duration::from_millis(r.millis)),
+        }
+    }
+
+    /// Count one checkpoint rename; `Err` if the plan fails it.
+    pub fn on_checkpoint_rename(&self) -> io::Result<()> {
+        let n = self.renames.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.hit(FaultKind::CkptRenameFail, n) {
+            Some(_) => Err(injected(format!(
+                "injected checkpoint rename failure (rename #{n})"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Count one accepted connection and report what to do with it.
+    /// `Drop` wins over `Stall` when both clauses hit the same
+    /// occurrence.
+    pub fn on_connection(&self) -> ConnFault {
+        let n = self.accepts.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.hit(FaultKind::ConnDrop, n).is_some() {
+            return ConnFault::Drop;
+        }
+        match self.hit(FaultKind::ConnStall, n) {
+            Some(r) => ConnFault::Stall(Duration::from_millis(r.millis)),
+            None => ConnFault::None,
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    /// Render back to the spec grammar (counters are not part of the
+    /// spec, so a round trip restarts the schedule from occurrence 1).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{}={}", r.kind.name(), r.from)?;
+            if r.count != 1 {
+                write!(f, "x{}", r.count)?;
+            }
+            if r.millis != 0 {
+                write!(f, ":{}", r.millis)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The error every injected failure carries: `Other`, with a message
+/// prefixed `injected` so logs and tests can tell scheduled chaos from
+/// a genuinely failing environment.
+fn injected(msg: String) -> io::Error {
+    io::Error::other(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_and_schedules_deterministically() {
+        let plan = FaultPlan::parse("wal-fsync-fail=3x2, conn-drop=1; wal-stall=2:150").unwrap();
+        assert_eq!(
+            plan.to_string(),
+            "wal-fsync-fail=3x2,conn-drop=1,wal-stall=2:150"
+        );
+        // fsyncs 1, 2 pass; 3 and 4 fail; 5 passes.
+        assert!(plan.on_fsync().is_ok());
+        assert!(plan.on_fsync().is_ok());
+        assert!(plan.on_fsync().is_err());
+        assert!(plan.on_fsync().is_err());
+        assert!(plan.on_fsync().is_ok());
+        // First connection drops, second is clean.
+        assert_eq!(plan.on_connection(), ConnFault::Drop);
+        assert_eq!(plan.on_connection(), ConnFault::None);
+        // Append 1 clean, append 2 stalls 150ms, append 3 clean.
+        assert_eq!(plan.on_append(), AppendFault::default());
+        assert_eq!(plan.on_append().stall, Some(Duration::from_millis(150)));
+        assert_eq!(plan.on_append(), AppendFault::default());
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(FaultPlan::parse("wal-fsync-fail").is_err()); // no `=`
+        assert!(FaultPlan::parse("no-such-site=1").is_err());
+        assert!(FaultPlan::parse("wal-fsync-fail=0").is_err()); // 1-based
+        assert!(FaultPlan::parse("wal-fsync-fail=x2").is_err());
+        assert!(FaultPlan::parse("wal-stall=1").is_err()); // stall needs ms
+        assert!(FaultPlan::parse("conn-stall=1").is_err());
+        let empty = FaultPlan::parse("  ").unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn torn_and_stall_share_the_append_counter() {
+        let plan = FaultPlan::parse("wal-torn=2,wal-stall=2:30").unwrap();
+        assert_eq!(plan.on_append(), AppendFault::default());
+        let second = plan.on_append();
+        assert!(second.torn);
+        assert_eq!(second.stall, Some(Duration::from_millis(30)));
+    }
+}

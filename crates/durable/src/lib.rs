@@ -22,6 +22,13 @@
 //!   planner/fixpoint path, replay the WAL tail through view
 //!   maintenance, and truncate a torn final frame (which, by the
 //!   ack-after-log rule, no client was ever told succeeded).
+//! * **[`faults`]** — a deterministic fault-injection seam: a
+//!   [`FaultPlan`] (parsed from the `MAGIC_FAULTS` environment
+//!   variable or installed programmatically) schedules exactly which
+//!   fsync, append, checkpoint rename, or accepted connection fails,
+//!   so the failure paths above are exercised reproducibly in tests
+//!   instead of argued about.  [`DurableStore::probe`] is the
+//!   degraded-mode health check that proves the WAL path works again.
 //!
 //! Everything here is dependency-free by construction (the build
 //! environment has no crates.io access): CRC32 is hand-rolled in
@@ -33,10 +40,12 @@
 pub mod checkpoint;
 pub mod crc32;
 pub mod error;
+pub mod faults;
 pub mod store;
 pub mod wal;
 
 pub use checkpoint::{Checkpoint, RelationDump};
 pub use error::DurableError;
+pub use faults::{AppendFault, ConnFault, FaultPlan, MAGIC_FAULTS_ENV};
 pub use store::{DurableConfig, DurableStore, Recovered};
 pub use wal::{FsyncPolicy, Wal, WalFrame, WalScan};

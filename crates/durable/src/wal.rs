@@ -29,11 +29,13 @@
 
 use crate::crc32::crc32;
 use crate::error::DurableError;
+use crate::faults::FaultPlan;
 use magic_datalog::{parse_query, Fact, Value};
 use magic_incr::Update;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// When the WAL issues `fsync` after appending a frame.
 ///
@@ -89,6 +91,9 @@ pub struct Wal {
     bytes: u64,
     policy: FsyncPolicy,
     appends_since_sync: u32,
+    /// Injected-failure schedule (see [`crate::faults`]); `None` means
+    /// every operation runs for real.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Wal {
@@ -96,6 +101,15 @@ impl Wal {
     /// is positioned at the end; call [`Wal::scan`] before appending if
     /// the file may hold a torn tail from a previous run.
     pub fn open(path: impl Into<PathBuf>, policy: FsyncPolicy) -> io::Result<Wal> {
+        Wal::open_with_faults(path, policy, None)
+    }
+
+    /// [`Wal::open`] with a fault-injection schedule installed.
+    pub fn open_with_faults(
+        path: impl Into<PathBuf>,
+        policy: FsyncPolicy,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> io::Result<Wal> {
         let path = path.into();
         let mut file = OpenOptions::new()
             .read(true)
@@ -110,6 +124,7 @@ impl Wal {
             bytes,
             policy,
             appends_since_sync: 0,
+            faults,
         })
     }
 
@@ -126,12 +141,36 @@ impl Wal {
     /// Append one frame and apply the fsync policy.  The frame is
     /// written with a single `write_all`, so on a kill either the
     /// whole frame reaches the page cache or a detectable tear does.
+    ///
+    /// On *failure* (a real I/O error or an injected fault) the file
+    /// may be left holding a partial frame — exactly the tear a crash
+    /// would leave.  The owner must [`Wal::heal`] before appending
+    /// again, or later frames would land behind garbage that
+    /// [`Wal::scan`] (correctly) refuses to read past.
     pub fn append(&mut self, seq: u64, updates: &[Update]) -> io::Result<()> {
         let payload = encode_payload(seq, updates);
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        if let Some(plan) = &self.faults {
+            let fault = plan.on_append();
+            if let Some(stall) = fault.stall {
+                std::thread::sleep(stall);
+            }
+            if fault.torn {
+                // Half the frame reaches the file, then the "device"
+                // errors — the on-disk signature of a mid-append crash,
+                // while this process stays alive to handle it.
+                let half = &frame[..frame.len() / 2];
+                let written = self.file.write(half).unwrap_or(0);
+                self.bytes += written as u64;
+                return Err(io::Error::other(format!(
+                    "injected torn append at seq {seq} ({written} of {} bytes written)",
+                    frame.len()
+                )));
+            }
+        }
         self.file.write_all(&frame)?;
         self.bytes += frame.len() as u64;
         self.appends_since_sync += 1;
@@ -149,9 +188,27 @@ impl Wal {
 
     /// Force the log's bytes to stable storage now.
     pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(plan) = &self.faults {
+            plan.on_fsync()?;
+        }
         self.file.sync_data()?;
         self.appends_since_sync = 0;
         Ok(())
+    }
+
+    /// Re-establish the append invariant after a failed [`Wal::append`]:
+    /// scan for the valid frame prefix, truncate anything dangling
+    /// (the partial frame a failed write left), and leave the cursor at
+    /// the healed end.  Returns true iff a tear was cut.
+    pub fn heal(&mut self) -> Result<bool, DurableError> {
+        // A failed write leaves `bytes` (and the cursor) untrustworthy;
+        // re-derive both from the file itself.
+        self.bytes = self.file.seek(SeekFrom::End(0))?;
+        let scan = self.scan()?;
+        if scan.torn {
+            self.truncate_to(scan.valid_len)?;
+        }
+        Ok(scan.torn)
     }
 
     /// Read the whole log from the start, decoding frames until the
@@ -391,6 +448,37 @@ mod tests {
         assert!(scan.torn);
         assert!(scan.frames.is_empty());
         assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn injected_torn_append_errors_then_heal_restores_the_append_invariant() {
+        use crate::faults::FaultPlan;
+        let path = tmp("inject");
+        let plan = Arc::new(FaultPlan::parse("wal-torn=2").unwrap());
+        let mut wal =
+            Wal::open_with_faults(&path, FsyncPolicy::Never, Some(Arc::clone(&plan))).unwrap();
+        wal.append(1, &[Update::Insert(fact("par", "a", "b"))])
+            .unwrap();
+        let good_len = wal.bytes();
+        // The 2nd append is injected torn: half a frame lands on disk
+        // and the call errors.
+        let err = wal
+            .append(2, &[Update::Insert(fact("par", "b", "c"))])
+            .unwrap_err();
+        assert!(err.to_string().contains("injected torn append"));
+        assert!(fs::metadata(&path).unwrap().len() > good_len);
+        // Scanning sees the tear; healing cuts it; appending resumes.
+        let healed = wal.heal().unwrap();
+        assert!(healed);
+        assert_eq!(wal.bytes(), good_len);
+        wal.append(3, &[Update::Insert(fact("par", "c", "d"))])
+            .unwrap();
+        let scan = wal.scan().unwrap();
+        assert!(!scan.torn);
+        assert_eq!(
+            scan.frames.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
     }
 
     #[test]

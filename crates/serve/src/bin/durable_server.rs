@@ -10,6 +10,15 @@
 //! is live, then parks forever — the parent test decides when (and
 //! how rudely) the process dies.  On a restart over the same
 //! directory, the seed is ignored and the recovered disk state wins.
+//!
+//! Environment knobs (all optional), so the overload and chaos suites
+//! can shape the server without growing the positional interface:
+//!
+//! * `MAGIC_SERVE_FSYNC` — `never` (default), `always`, or `every=<n>`.
+//! * `MAGIC_SERVE_QUEUE_DEPTH` — writer queue bound (`max_queue_depth`).
+//! * `MAGIC_SERVE_WRITER_DEADLINE_MS` — writer round-trip deadline.
+//! * `MAGIC_FAULTS` — read by the serve layer itself; listed here
+//!   because this binary is its usual carrier in tests.
 
 use magic_datalog::parse_program;
 use magic_durable::{DurableConfig, FsyncPolicy};
@@ -42,19 +51,42 @@ fn main() -> std::io::Result<()> {
         edb.insert_pair("par", &format!("n{i}"), &format!("n{}", i + 1));
     }
 
-    // `FsyncPolicy::Never` is deliberate: the tests kill with SIGKILL,
+    // `FsyncPolicy::Never` is the default: the tests kill with SIGKILL,
     // which loses nothing the page cache already holds, so skipping
     // fsync keeps the kill loop fast while still exercising the full
-    // log/checkpoint/recover machinery.  A production config would
-    // pick `Always` or `EveryN`.
-    let config = ServeConfig {
+    // log/checkpoint/recover machinery.  The fault suites override to
+    // `always` so injected fsync failures strike the batch that caused
+    // them.
+    let fsync = match std::env::var("MAGIC_SERVE_FSYNC").as_deref() {
+        Ok("always") => FsyncPolicy::Always,
+        Ok(s) if s.starts_with("every=") => FsyncPolicy::EveryN(
+            s["every=".len()..]
+                .parse()
+                .expect("MAGIC_SERVE_FSYNC=every=<n> needs an integer"),
+        ),
+        Ok("never") | Err(_) => FsyncPolicy::Never,
+        Ok(other) => panic!("MAGIC_SERVE_FSYNC={other:?}: expected never, always or every=<n>"),
+    };
+    let env_u64 = |name: &str| {
+        std::env::var(name).ok().map(|s| {
+            s.parse::<u64>()
+                .unwrap_or_else(|_| panic!("{name} must be an integer"))
+        })
+    };
+    let mut config = ServeConfig {
         durability: Some(
             DurableConfig::new(&dir)
-                .with_fsync(FsyncPolicy::Never)
+                .with_fsync(fsync)
                 .with_checkpoint_every(checkpoint_every),
         ),
         ..ServeConfig::default()
     };
+    if let Some(depth) = env_u64("MAGIC_SERVE_QUEUE_DEPTH") {
+        config.max_queue_depth = depth as usize;
+    }
+    if let Some(ms) = env_u64("MAGIC_SERVE_WRITER_DEADLINE_MS") {
+        config.writer_deadline = Duration::from_millis(ms);
+    }
     let server = Server::start(program, edb, "127.0.0.1:0", config)?;
     println!("ADDR {}", server.addr());
     std::io::stdout().flush()?;

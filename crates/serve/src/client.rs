@@ -9,17 +9,60 @@ use crate::protocol::ServerStats;
 use magic_datalog::{parse_term, Fact, Value};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
-/// Errors a client call can produce.
+/// Errors a client call can produce.  The overload/degradation refusals
+/// (`Busy`, `Timeout`, `Degraded`) are parsed out of the server's
+/// structured `ERR` forms so callers can branch on retry semantics
+/// instead of string-matching:
+///
+/// * [`ClientError::Busy`] — **not applied**; retry after
+///   `retry_after_ms`.
+/// * [`ClientError::Timeout`] — **outcome unknown**; the command is
+///   still queued server-side and may yet apply.  Retry only
+///   idempotent operations.
+/// * [`ClientError::Degraded`] — **not applied**; the server is
+///   read-only until its durable path recovers.  Reads still work.
 #[derive(Debug)]
 pub enum ClientError {
     /// The connection failed.
     Io(io::Error),
     /// The server sent something the client cannot parse.
     Protocol(String),
-    /// The server answered `ERR <message>`.
+    /// The server shed the request under overload (`ERR BUSY …`): it
+    /// was never applied; retry after the hinted backoff.
+    Busy {
+        /// Server-suggested minimum wait before retrying, milliseconds.
+        retry_after_ms: u64,
+        /// The human-readable remainder of the error line.
+        message: String,
+    },
+    /// The writer deadline expired (`ERR TIMEOUT …`): the request may
+    /// still apply later — outcome unknown.
+    Timeout(String),
+    /// The server is in read-only degraded mode (`ERR DEGRADED …`):
+    /// the update was refused (never applied); reads still serve.
+    Degraded(String),
+    /// The server answered `ERR <message>` (any other refusal).
     Server(String),
+}
+
+impl ClientError {
+    /// True for errors after which a *query* (idempotent read) is safe
+    /// and sensible to retry on a fresh connection: transport errors
+    /// and both overload refusals.  `Degraded` is excluded — reads are
+    /// served even while degraded, so a degraded refusal on a read
+    /// path is unexpected and worth surfacing.
+    pub fn is_retryable_for_reads(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_)
+                | ClientError::Busy { .. }
+                | ClientError::Timeout(_)
+                | ClientError::Protocol(_)
+        )
+    }
 }
 
 impl fmt::Display for ClientError {
@@ -27,6 +70,12 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Busy {
+                retry_after_ms,
+                message,
+            } => write!(f, "server busy (retry after {retry_after_ms}ms): {message}"),
+            ClientError::Timeout(m) => write!(f, "server timeout (outcome unknown): {m}"),
+            ClientError::Degraded(m) => write!(f, "server degraded (read-only): {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
         }
     }
@@ -67,15 +116,102 @@ pub struct UpdateAck {
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    /// The server address, kept for [`Client::reconnect`].
+    addr: SocketAddr,
 }
 
 impl Client {
     /// Connect to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true).ok();
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { writer, reader })
+        Ok(Client {
+            writer,
+            reader,
+            addr,
+        })
+    }
+
+    /// Connect, retrying with doubling backoff (starting at 10ms,
+    /// capped at 500ms per attempt) until a connection succeeds or
+    /// `attempts` are exhausted.  Useful against a server that is
+    /// restarting, or one whose accept path is being fault-injected
+    /// (connections dropped before the handshake).
+    pub fn connect_with_backoff(addr: impl ToSocketAddrs, attempts: u32) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+        let mut delay = Duration::from_millis(10);
+        let mut last_err = io::Error::other("no connection attempts made");
+        for attempt in 0..attempts.max(1) {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = e,
+            }
+            if attempt + 1 < attempts.max(1) {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The server address this client is (or was) connected to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drop the current connection and dial the same address again,
+    /// with backoff.  In-flight request state is abandoned — only call
+    /// between round trips.
+    pub fn reconnect(&mut self, attempts: u32) -> io::Result<()> {
+        let fresh = Client::connect_with_backoff(self.addr, attempts)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// [`Client::query`], retrying across reconnects.  Queries are
+    /// idempotent, so a retry is always safe; the loop retries on
+    /// transport errors, `BUSY` sheds and `TIMEOUT`s (reconnecting
+    /// first when the transport broke), and gives up after `attempts`
+    /// or on any non-retryable error.
+    pub fn query_with_retry(
+        &mut self,
+        query: &str,
+        attempts: u32,
+    ) -> Result<QueryReply, ClientError> {
+        let mut delay = Duration::from_millis(10);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+            match self.query(query) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.is_retryable_for_reads() => {
+                    // A BUSY shed honors the server's retry hint when
+                    // it is longer than our own backoff.
+                    if let ClientError::Busy { retry_after_ms, .. } = &e {
+                        delay = delay.max(Duration::from_millis(*retry_after_ms));
+                    }
+                    // Transport gone (or response stream torn): the
+                    // connection is unusable; re-dial before retrying.
+                    if matches!(e, ClientError::Io(_) | ClientError::Protocol(_)) {
+                        let _ = self.reconnect(3);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| ClientError::Protocol("no query attempts made".into())))
     }
 
     /// Issue `QUERY <query>`; `query` uses the source syntax, e.g.
@@ -240,15 +376,71 @@ impl Client {
     }
 }
 
-/// Strip the `OK ` prefix or surface the server's `ERR`.
+/// Strip the `OK ` prefix or surface the server's `ERR`, classifying
+/// the structured refusals (`BUSY`/`TIMEOUT`/`DEGRADED`) into their
+/// own variants.
 fn expect_ok(line: &str) -> Result<&str, ClientError> {
     if let Some(rest) = line.strip_prefix("OK") {
         return Ok(rest.strip_prefix(' ').unwrap_or(rest));
     }
     if let Some(message) = line.strip_prefix("ERR ") {
-        return Err(ClientError::Server(message.to_string()));
+        return Err(classify_server_error(message));
     }
     Err(ClientError::Protocol(format!(
         "expected OK or ERR, got: {line}"
     )))
+}
+
+/// Map the message after `ERR ` to a [`ClientError`] variant by its
+/// leading structured token (falling back to [`ClientError::Server`]).
+fn classify_server_error(message: &str) -> ClientError {
+    if let Some(rest) = message.strip_prefix("BUSY ") {
+        // `BUSY <retry-after-ms> <detail>`; a malformed hint falls
+        // back to a conservative default rather than a parse error.
+        let (hint, detail) = rest.split_once(' ').unwrap_or((rest, ""));
+        return ClientError::Busy {
+            retry_after_ms: hint.parse().unwrap_or(100),
+            message: detail.to_string(),
+        };
+    }
+    if let Some(rest) = message.strip_prefix("TIMEOUT ") {
+        return ClientError::Timeout(rest.to_string());
+    }
+    if let Some(rest) = message.strip_prefix("DEGRADED ") {
+        return ClientError::Degraded(rest.to_string());
+    }
+    ClientError::Server(message.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_errors_classify() {
+        match classify_server_error("BUSY 100 writer queue is at capacity (32)") {
+            ClientError::Busy {
+                retry_after_ms,
+                message,
+            } => {
+                assert_eq!(retry_after_ms, 100);
+                assert!(message.contains("capacity"));
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert!(matches!(
+            classify_server_error("TIMEOUT writer did not respond within 50ms; ..."),
+            ClientError::Timeout(_)
+        ));
+        assert!(matches!(
+            classify_server_error("DEGRADED read-only: the durable path is failing"),
+            ClientError::Degraded(_)
+        ));
+        assert!(matches!(
+            classify_server_error("arity mismatch: par is stored with arity 2"),
+            ClientError::Server(_)
+        ));
+        assert!(!ClientError::Degraded("x".into()).is_retryable_for_reads());
+        assert!(ClientError::Timeout("x".into()).is_retryable_for_reads());
+    }
 }

@@ -22,6 +22,17 @@
 //! Every response starts with `OK …` or `ERR <message>`.  Multi-line
 //! responses (`QUERY`, `STATS`) are terminated by a line reading `END`.
 //!
+//! Three error messages are *structured* — their first token is a
+//! machine-readable word that tells a client what a refused update
+//! means (see [`crate::ClientError`] for the client-side mapping):
+//!
+//! ```text
+//! ERR BUSY <retry-after-ms> <detail>   shed: NOT applied; retry after the hint
+//! ERR TIMEOUT <detail>                 outcome UNKNOWN: still queued, may apply
+//! ERR DEGRADED <detail>                NOT applied; server is read-only until
+//!                                      its durable path recovers (STATS degraded)
+//! ```
+//!
 //! * `QUERY` → `OK <count> <version> <key>` followed by `<count>` lines
 //!   `ROW<TAB>v1<TAB>v2…` (one tab-separated value per free variable of
 //!   the query; a boolean query's single row is a bare `ROW`), then `END`.
@@ -154,6 +165,20 @@ pub struct ServerStats {
     /// Failed response writes to clients (the connection is closed
     /// after the failure; the server carries on).
     pub write_errors: u64,
+    /// Writer commands currently in flight (enqueued, not yet popped);
+    /// the gauge the `BUSY` shed decision reads.
+    pub queue_depth: u64,
+    /// Updates refused with `ERR BUSY …` because the writer queue was
+    /// at capacity.  Shed updates were never applied or logged.
+    pub shed_updates: u64,
+    /// Writer round-trips that exceeded the configured deadline and
+    /// returned `ERR TIMEOUT …` (outcome unknown to that client).
+    pub deadline_misses: u64,
+    /// 1 while the server is in read-only degraded mode (updates
+    /// refused with `ERR DEGRADED …`), 0 when healthy.
+    pub degraded: u64,
+    /// Lifetime count of transitions *into* degraded mode.
+    pub degraded_entered: u64,
     /// Per-view totals, in catalog key order.
     pub per_view: Vec<ViewStats>,
 }
@@ -229,6 +254,11 @@ impl ServerStats {
                 "wal_bytes" => stats.wal_bytes = value,
                 "last_checkpoint" => stats.last_checkpoint = value,
                 "write_errors" => stats.write_errors = value,
+                "queue_depth" => stats.queue_depth = value,
+                "shed_updates" => stats.shed_updates = value,
+                "deadline_misses" => stats.deadline_misses = value,
+                "degraded" => stats.degraded = value,
+                "degraded_entered" => stats.degraded_entered = value,
                 // Forward compatibility: a newer server may report more.
                 _ => {}
             }
@@ -237,7 +267,7 @@ impl ServerStats {
     }
 
     /// The scalar fields, in wire order.
-    fn fields(&self) -> [(&'static str, u64); 14] {
+    fn fields(&self) -> [(&'static str, u64); 19] {
         [
             ("version", self.version),
             ("views", self.views),
@@ -253,6 +283,11 @@ impl ServerStats {
             ("wal_bytes", self.wal_bytes),
             ("last_checkpoint", self.last_checkpoint),
             ("write_errors", self.write_errors),
+            ("queue_depth", self.queue_depth),
+            ("shed_updates", self.shed_updates),
+            ("deadline_misses", self.deadline_misses),
+            ("degraded", self.degraded),
+            ("degraded_entered", self.degraded_entered),
         ]
     }
 }
@@ -337,6 +372,11 @@ mod tests {
             wal_bytes: 4096,
             last_checkpoint: 18,
             write_errors: 3,
+            queue_depth: 5,
+            shed_updates: 77,
+            deadline_misses: 2,
+            degraded: 1,
+            degraded_entered: 6,
             per_view: vec![ViewStats {
                 key: "anc[bf](a, b)@gms".into(),
                 facts: 42,

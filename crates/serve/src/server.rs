@@ -40,6 +40,24 @@
 //!   final frame truncated (it was never acked).  Readers are
 //!   unaffected; the log lives entirely on the writer thread.
 //!
+//! * **Overload sheds, it never queues without bound.**  The writer
+//!   queue carries an atomic depth gauge; once it reaches
+//!   [`ServeConfig::max_queue_depth`], new updates are refused up
+//!   front with `ERR BUSY <retry-after-ms> …` (definitely not
+//!   applied), and every writer round-trip is bounded by
+//!   [`ServeConfig::writer_deadline`] (`ERR TIMEOUT …` = outcome
+//!   unknown, the command may still apply).  Reads are never shed.
+//!
+//! * **Durable failures degrade, they don't kill.**  When a WAL append
+//!   or checkpoint fails, the writer rolls the un-logged batch back
+//!   out of the base database, refuses the batch's acks with `ERR
+//!   DEGRADED …`, and flips into read-only degraded mode: reads keep
+//!   serving the last consistent snapshot while a background probe
+//!   retries the durable path on capped exponential backoff
+//!   (25ms → 2s) and clears the flag on success.  `STATS` surfaces
+//!   the whole story (`queue_depth`, `shed_updates`,
+//!   `deadline_misses`, `degraded`, `degraded_entered`).
+//!
 //! Every published snapshot is a program fixpoint over a prefix of the
 //! applied update sequence, so responses are transactionally consistent:
 //! a reader can never observe half of a batch (no torn reads) — the
@@ -52,7 +70,7 @@ use crate::protocol::{
 };
 use magic_core::planner::Strategy;
 use magic_datalog::{PredName, Program, Query, Value};
-use magic_durable::{DurableConfig, DurableStore};
+use magic_durable::{ConnFault, DurableConfig, DurableStore, FaultPlan};
 use magic_engine::{EvalStats, Limits};
 use magic_incr::{Update, ViewCatalog, ViewSnapshot};
 use magic_storage::Database;
@@ -63,7 +81,20 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Retry hint, in milliseconds, carried by every `BUSY` shed.  A
+/// constant (rather than a measured estimate) keeps the wire contract
+/// simple; clients treat it as a floor for their own backoff.
+const BUSY_RETRY_AFTER_MS: u64 = 100;
+
+/// First retry delay after entering degraded mode; doubles per failed
+/// probe up to [`PROBE_BACKOFF_MAX`].
+const PROBE_BACKOFF_MIN: Duration = Duration::from_millis(25);
+
+/// Cap on the degraded-mode probe backoff: even a long outage is
+/// re-checked at least every couple of seconds.
+const PROBE_BACKOFF_MAX: Duration = Duration::from_secs(2);
 
 /// Server construction parameters.
 #[derive(Clone, Debug)]
@@ -94,6 +125,34 @@ pub struct ServeConfig {
     /// [`Server::start`] recovers prior state from that directory
     /// before accepting connections.
     pub durability: Option<DurableConfig>,
+    /// Overload bound on the writer queue (0 = unbounded).  When the
+    /// number of in-flight writer commands reaches this cap, new
+    /// updates are *shed* before they enqueue: the client gets an
+    /// `ERR BUSY <retry-after-ms> …` line and the fact is never
+    /// applied or logged.  Reads and view materializations are never
+    /// shed — they keep serving from the published snapshot.
+    pub max_queue_depth: usize,
+    /// Deadline on every writer round-trip — update acks and on-demand
+    /// materializations (zero = wait forever).  A round-trip that
+    /// exceeds it returns `ERR TIMEOUT …` to the client; the command
+    /// stays queued and **may still apply later**, so a timed-out
+    /// update has *unknown* outcome (unlike a `BUSY` shed, which
+    /// definitely did not apply).
+    pub writer_deadline: Duration,
+    /// Bound on blocking response writes (zero = unbounded).  A client
+    /// that stops reading while a large response fills the kernel send
+    /// buffer must not pin a connection thread forever; on expiry the
+    /// response is torn mid-write and the connection closes.  The
+    /// default (5s) is generous — it exists to bound shutdown, not to
+    /// police slow links.
+    pub write_timeout: Duration,
+    /// Deterministic fault injection (testing only; `None` in
+    /// production).  When unset, the `MAGIC_FAULTS` environment
+    /// variable is consulted at startup — see
+    /// [`magic_durable::faults`].  The plan is shared between the
+    /// durable store (fsync/append/rename faults) and the accept loop
+    /// (connection stall/drop faults).
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +165,10 @@ impl Default for ServeConfig {
             max_views: 0,
             view_ttl: Duration::ZERO,
             durability: None,
+            max_queue_depth: 1024,
+            writer_deadline: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            faults: None,
         }
     }
 }
@@ -164,6 +227,30 @@ struct Shared {
     /// connection is closed and the failure counted, never ignored.
     write_errors: AtomicU64,
     read_timeout: Duration,
+    write_timeout: Duration,
+    /// Overload knobs (see [`ServeConfig`]).
+    max_queue_depth: usize,
+    writer_deadline: Duration,
+    /// Commands currently in flight to the writer (enqueued but not
+    /// yet popped).  Incremented *before* the channel send so the
+    /// gauge can only over-count, never under-count — the shed check
+    /// errs toward shedding at the boundary rather than letting the
+    /// queue grow past its cap.
+    queue_depth: AtomicU64,
+    /// Updates refused with `BUSY` because the queue was at capacity.
+    shed_updates: AtomicU64,
+    /// Writer round-trips that exceeded [`ServeConfig::writer_deadline`].
+    deadline_misses: AtomicU64,
+    /// Read-only degraded mode: set by the writer when the durable
+    /// path (WAL append or checkpoint) fails, cleared when a
+    /// background probe proves it healthy again.  While set, updates
+    /// are refused with `DEGRADED`; reads keep serving the last
+    /// consistent snapshot.
+    degraded: AtomicBool,
+    /// Times the server has *entered* degraded mode (lifetime count).
+    degraded_entered: AtomicU64,
+    /// Shared fault plan for the accept loop's connection faults.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl Shared {
@@ -175,17 +262,51 @@ impl Shared {
         *self.published.lock().expect("publish lock") = Arc::new(snapshot);
     }
 
-    /// Round-trip a command through the writer thread.
+    /// Round-trip a command through the writer thread, under the
+    /// configured deadline.  On expiry the command is *not* revoked —
+    /// it stays queued and may apply later — so a `TIMEOUT` error
+    /// means "outcome unknown", and the writer's eventual reply lands
+    /// on a disconnected channel (harmless: its send is ignored).
     fn writer_call<T>(
         &self,
         make: impl FnOnce(Sender<Result<T, String>>) -> WriterCmd,
     ) -> Result<T, String> {
         let (tx, rx) = channel();
-        self.writer_tx
-            .send(make(tx))
-            .map_err(|_| "server is shutting down".to_string())?;
-        rx.recv()
-            .map_err(|_| "server is shutting down".to_string())?
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+        if self.writer_tx.send(make(tx)).is_err() {
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return Err("server is shutting down".to_string());
+        }
+        if self.writer_deadline.is_zero() {
+            rx.recv()
+                .map_err(|_| "server is shutting down".to_string())?
+        } else {
+            match rx.recv_timeout(self.writer_deadline) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Disconnected) => Err("server is shutting down".to_string()),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+                    Err(format!(
+                        "TIMEOUT writer did not respond within {}ms; the command is \
+                         still queued and may yet apply",
+                        self.writer_deadline.as_millis()
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Book-keeping for a command the writer popped off its queue:
+    /// every counted (client-originated) command decrements the depth
+    /// gauge exactly once, at pop time.  `Shutdown` is sent outside
+    /// [`Shared::writer_call`] and is never counted.
+    fn note_pop(&self, cmd: &WriterCmd) {
+        if matches!(
+            cmd,
+            WriterCmd::Update { .. } | WriterCmd::Materialize { .. }
+        ) {
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -231,9 +352,20 @@ impl Server {
             .with_max_views(config.max_views)
             .with_view_ttl(config.view_ttl);
         let durable_err = |e: magic_durable::DurableError| io::Error::other(e.to_string());
+        // One fault plan instance for the whole server: explicit config
+        // wins, else `MAGIC_FAULTS`.  Resolving it here (rather than
+        // letting the store read the environment on its own) keeps the
+        // durable store and the accept loop sharing the *same*
+        // occurrence counters, so a spec like `conn-drop=2` counts
+        // connections globally, not per subsystem.
+        let faults = config.faults.clone().or_else(FaultPlan::from_env);
         let (catalog, edb, store) = match &config.durability {
             Some(durable) => {
-                let mut store = DurableStore::open(durable).map_err(durable_err)?;
+                let mut durable = durable.clone();
+                if durable.faults.is_none() {
+                    durable.faults = faults.clone();
+                }
+                let mut store = DurableStore::open(&durable).map_err(durable_err)?;
                 let recovered = store
                     .recover(&program, catalog, &edb)
                     .map_err(durable_err)?;
@@ -262,6 +394,15 @@ impl Server {
             ),
             write_errors: AtomicU64::new(0),
             read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            max_queue_depth: config.max_queue_depth,
+            writer_deadline: config.writer_deadline,
+            queue_depth: AtomicU64::new(0),
+            shed_updates: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            degraded_entered: AtomicU64::new(0),
+            faults,
         });
 
         let writer_shared = Arc::clone(&shared);
@@ -341,6 +482,45 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Which durable operation failed — and therefore what the degraded-mode
+/// probe retries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DegradedCause {
+    /// A WAL append or fsync failed; the probe heals the log tail and
+    /// proves an empty append round-trips.
+    Wal,
+    /// A checkpoint failed (acked state is still WAL-safe); the probe
+    /// retries the checkpoint.
+    Checkpoint,
+}
+
+impl DegradedCause {
+    fn noun(self) -> &'static str {
+        match self {
+            DegradedCause::Wal => "WAL append",
+            DegradedCause::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// Flip the server into read-only degraded mode (idempotent on the
+/// counters: re-entering while already degraded only updates the cause).
+fn enter_degraded(
+    shared: &Shared,
+    degraded_cause: &mut Option<DegradedCause>,
+    probe_backoff: &mut Duration,
+    next_probe: &mut Option<Instant>,
+    cause: DegradedCause,
+) {
+    if degraded_cause.is_none() {
+        shared.degraded.store(true, Ordering::Release);
+        shared.degraded_entered.fetch_add(1, Ordering::Relaxed);
+    }
+    *degraded_cause = Some(cause);
+    *probe_backoff = PROBE_BACKOFF_MIN;
+    *next_probe = Some(Instant::now() + *probe_backoff);
+}
+
 /// The maintenance writer: drains the queue in batches, applies updates
 /// to the authoritative base database and every cached view, materializes
 /// late bindings, and publishes a fresh snapshot after every change.
@@ -391,22 +571,47 @@ fn writer_loop(
     let declared_arities = shared.program.predicate_arities().unwrap_or_default();
     // A command popped out of a batch drain that must be handled next.
     let mut deferred: Option<WriterCmd> = None;
+    // Degraded mode: while `Some`, the durable path is broken — updates
+    // are refused and a probe retries the failing operation on a capped
+    // exponential backoff.  Owned by the writer; mirrored to
+    // `shared.degraded` for the connection threads' front-door check.
+    let mut degraded_cause: Option<DegradedCause> = None;
+    let mut probe_backoff = PROBE_BACKOFF_MIN;
+    let mut next_probe: Option<Instant> = None;
     'main: loop {
-        let cmd = match (deferred.take(), ttl_tick) {
-            (Some(cmd), _) => cmd,
-            (None, None) => match rx.recv() {
-                Ok(cmd) => cmd,
-                Err(_) => break, // every sender is gone
-            },
-            (None, Some(tick)) => loop {
-                match rx.recv_timeout(tick) {
-                    Ok(cmd) => break cmd,
+        // While degraded, bound the blocking receive by the time until
+        // the next probe so recovery is never starved by an idle queue.
+        let probe_wait = next_probe.map(|at| {
+            at.saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(5))
+        });
+        let tick = match (probe_wait, ttl_tick) {
+            (Some(p), Some(t)) => Some(p.min(t)),
+            (Some(p), None) => Some(p),
+            (None, t) => t,
+        };
+        let cmd: Option<WriterCmd> = match deferred.take() {
+            Some(cmd) => Some(cmd),
+            None => match tick {
+                None => match rx.recv() {
+                    Ok(cmd) => {
+                        shared.note_pop(&cmd);
+                        Some(cmd)
+                    }
+                    Err(_) => break, // every sender is gone
+                },
+                Some(tick) => match rx.recv_timeout(tick) {
+                    Ok(cmd) => {
+                        shared.note_pop(&cmd);
+                        Some(cmd)
+                    }
                     Err(RecvTimeoutError::Disconnected) => break 'main,
                     Err(RecvTimeoutError::Timeout) => {
                         // Idle maintenance: sweep views past their TTL.
                         // Eviction is never an error — a dropped
                         // binding re-materializes from `base_db` on
-                        // next sight.
+                        // next sight.  (The probe, the other idle duty,
+                        // runs at the bottom of the loop body.)
                         let expired = catalog.evict_expired();
                         if !expired.is_empty() {
                             shared
@@ -421,13 +626,15 @@ fn writer_loop(
                                 views: published.clone(),
                             });
                         }
+                        None
                     }
-                }
+                },
             },
         };
         match cmd {
-            WriterCmd::Shutdown => break,
-            WriterCmd::Materialize { query, reply } => {
+            None => {}
+            Some(WriterCmd::Shutdown) => break,
+            Some(WriterCmd::Materialize { query, reply }) => {
                 match catalog.materialize_keyed(&shared.program, &query, &base_db) {
                     Ok((key, fresh)) => {
                         // A cache hit (two connections racing the first
@@ -439,34 +646,74 @@ fn writer_loop(
                             // bindings past the `max_views` cap: drop any
                             // published entry the catalog no longer holds.
                             published.retain(|k, _| catalog.contains(k));
-                            let snap = catalog
-                                .snapshot_view(&key)
-                                .expect("binding was just materialized");
-                            published.insert(key.clone(), Arc::new(snap));
-                            version += 1;
-                            shared.publish(Snapshot {
-                                version,
-                                views: published.clone(),
-                            });
+                            // Under a pathologically tiny `max_views`
+                            // the eviction sweep can claw back the very
+                            // binding just materialized; that is an
+                            // answerable error (the client's retry loop
+                            // re-materializes), never a writer panic.
+                            match catalog.snapshot_view(&key) {
+                                Some(snap) => {
+                                    published.insert(key.clone(), Arc::new(snap));
+                                    version += 1;
+                                    shared.publish(Snapshot {
+                                        version,
+                                        views: published.clone(),
+                                    });
+                                    let _ = reply.send(Ok(key));
+                                }
+                                None => {
+                                    // Still publish the sweep's drops so
+                                    // readers don't hold stale entries.
+                                    version += 1;
+                                    shared.publish(Snapshot {
+                                        version,
+                                        views: published.clone(),
+                                    });
+                                    let _ = reply.send(Err(format!(
+                                        "view {key} was evicted immediately after \
+                                         materialization (max_views is too small for \
+                                         the working set); retry"
+                                    )));
+                                }
+                            }
+                        } else {
+                            let _ = reply.send(Ok(key));
                         }
-                        let _ = reply.send(Ok(key));
                     }
                     Err(e) => {
                         let _ = reply.send(Err(e.to_string()));
                     }
                 }
             }
-            WriterCmd::Update { update, reply } => {
+            Some(WriterCmd::Update { update: _, reply }) if degraded_cause.is_some() => {
+                // The front door refuses updates while degraded, but a
+                // command already queued when the flag rose races past
+                // it and lands here; refuse it truthfully too.
+                let cause = degraded_cause.expect("guard checked");
+                let _ = reply.send(Err(format!(
+                    "DEGRADED read-only: the last {} failed; updates are refused \
+                     until a background probe restores the durable path",
+                    cause.noun()
+                )));
+            }
+            Some(WriterCmd::Update { update, reply }) => {
                 // Batch: greedily drain more queued updates (writes are
                 // serialized anyway, and coalescing insertions lets each
                 // view run one fixpoint re-entry for the whole batch).
                 let mut batch = vec![(update, reply)];
                 while batch.len() < batch_max {
                     match rx.try_recv() {
-                        Ok(WriterCmd::Update { update, reply }) => batch.push((update, reply)),
-                        Ok(other) => {
-                            deferred = Some(other);
-                            break;
+                        Ok(cmd) => {
+                            shared.note_pop(&cmd);
+                            match cmd {
+                                WriterCmd::Update { update, reply } => {
+                                    batch.push((update, reply));
+                                }
+                                other => {
+                                    deferred = Some(other);
+                                    break;
+                                }
+                            }
                         }
                         Err(_) => break,
                     }
@@ -513,20 +760,35 @@ fn writer_loop(
                 // Write-ahead: the batch must be on the log *before*
                 // its snapshot publishes and its clients are acked —
                 // "OK applied" promises the write survives a crash.
-                // If the log itself fails, the in-memory state has
-                // already moved (and stays coherent: views below see
-                // the same batch), but every ack in the batch reports
-                // the broken promise instead of `OK`.
+                // If the log itself fails, the failed append is
+                // scrubbed from the log (see
+                // [`DurableStore::log_batch`]) and the batch is rolled
+                // back out of the base database — exact inverses in
+                // reverse order, sound because `changed` holds only
+                // state-changers.  Memory, disk and the refusal acks
+                // then agree: the batch never happened.  The views
+                // never see it (maintenance below is skipped) and the
+                // server enters read-only degraded mode.
                 let mut log_failure: Option<String> = None;
                 if !changed.is_empty() {
                     if let Some(store) = store.as_mut() {
                         if let Err(e) = store.log_batch(&changed) {
-                            log_failure = Some(format!("applied but not logged: {e}"));
+                            for u in changed.iter().rev() {
+                                match u {
+                                    Update::Insert(f) => {
+                                        base_db.remove_fact(f);
+                                    }
+                                    Update::Retract(f) => {
+                                        base_db.insert_fact(f);
+                                    }
+                                }
+                            }
+                            log_failure = Some(e.to_string());
                         }
                         shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
                     }
                 }
-                if !changed.is_empty() {
+                if log_failure.is_none() && !changed.is_empty() {
                     // A view whose maintenance fails is evicted by
                     // `apply_all` (it re-materializes from `base_db` on
                     // next sight), so the batch is never half-applied:
@@ -547,10 +809,21 @@ fn writer_loop(
                         published.remove(key);
                     }
                     for key in &outcome.changed {
-                        let snap = catalog
-                            .snapshot_view(key)
-                            .expect("changed binding is live in the catalog");
-                        published.insert(key.clone(), Arc::new(snap));
+                        // A changed binding should still be live, but if
+                        // the catalog dropped it anyway (eviction racing
+                        // maintenance), dropping the published entry is
+                        // the correct degraded answer — the next query
+                        // re-materializes — and beats a writer panic,
+                        // which would wedge every future update.
+                        match catalog.snapshot_view(key) {
+                            Some(snap) => {
+                                published.insert(key.clone(), Arc::new(snap));
+                            }
+                            None => {
+                                published.remove(key);
+                                shared.views_evicted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
                     }
                     version += 1;
                     shared.publish(Snapshot {
@@ -561,33 +834,116 @@ fn writer_loop(
                         .updates_applied
                         .fetch_add(changed.len() as u64, Ordering::Relaxed);
                 }
+                // Enter degraded mode *before* the refusal acks go out:
+                // a client that saw `ERR DEGRADED` must already find
+                // the flag raised when it asks `STATS`.
+                if let Some(detail) = &log_failure {
+                    eprintln!(
+                        "magic-serve: WAL append failed, entering read-only \
+                         degraded mode: {detail}"
+                    );
+                    enter_degraded(
+                        &shared,
+                        &mut degraded_cause,
+                        &mut probe_backoff,
+                        &mut next_probe,
+                        DegradedCause::Wal,
+                    );
+                }
                 for (reply, applied) in acks {
                     let _ = match &log_failure {
                         None => reply.send(Ok((applied, version))),
-                        Some(msg) => reply.send(Err(msg.clone())),
+                        Some(detail) => reply.send(Err(format!(
+                            "DEGRADED update refused: WAL append failed ({detail}); \
+                             the batch was rolled back and the server is read-only \
+                             until the durable path recovers"
+                        ))),
                     };
                 }
                 // Checkpoint *after* acking: the cadence check rides
-                // the batch that crossed it, but clients never wait on
-                // a whole-database freeze.
-                if let Some(store) = store.as_mut() {
-                    if store.should_checkpoint() {
-                        match store.checkpoint(&base_db, &catalog.export_bindings()) {
-                            Ok(()) => {
-                                shared
-                                    .last_checkpoint_seq
-                                    .store(store.last_checkpoint_seq(), Ordering::Relaxed);
+                // the batch that crossed it, but clients never wait
+                // on a whole-database freeze.
+                if log_failure.is_none() {
+                    if let Some(store) = store.as_mut() {
+                        if store.should_checkpoint() {
+                            match store.checkpoint(&base_db, &catalog.export_bindings()) {
+                                Ok(()) => {
+                                    shared
+                                        .last_checkpoint_seq
+                                        .store(store.last_checkpoint_seq(), Ordering::Relaxed);
+                                }
+                                Err(e) => {
+                                    // The WAL is intact and every ack
+                                    // sent was honest — durability still
+                                    // holds, recovery just replays a
+                                    // longer tail.  But a store that
+                                    // cannot checkpoint is sick (disk
+                                    // full, permissions), so enter
+                                    // degraded mode and let the probe
+                                    // retry on backoff rather than
+                                    // piling more acked writes onto an
+                                    // unbounded WAL tail.
+                                    eprintln!(
+                                        "magic-serve: checkpoint failed, entering \
+                                         read-only degraded mode: {e}"
+                                    );
+                                    enter_degraded(
+                                        &shared,
+                                        &mut degraded_cause,
+                                        &mut probe_backoff,
+                                        &mut next_probe,
+                                        DegradedCause::Checkpoint,
+                                    );
+                                }
                             }
-                            Err(e) => {
-                                // The WAL is intact, so durability
-                                // still holds — recovery just replays
-                                // a longer tail.  Try again next
-                                // cadence crossing.
-                                eprintln!("magic-serve: checkpoint failed: {e}");
-                            }
+                            shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
                         }
-                        shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
                     }
+                }
+            }
+        }
+        // Degraded-mode probe: when due, retry the failing durable
+        // operation; on success clear the flag and resume accepting
+        // updates, on failure back off (capped exponential).  Checked
+        // after every command *and* on idle ticks, so neither a busy
+        // read path nor an empty queue can starve recovery.
+        if let Some(cause) = degraded_cause {
+            let due = next_probe.is_none_or(|at| Instant::now() >= at);
+            if due {
+                if let Some(store) = store.as_mut() {
+                    let outcome = match cause {
+                        DegradedCause::Wal => store.probe(),
+                        DegradedCause::Checkpoint => {
+                            store.checkpoint(&base_db, &catalog.export_bindings())
+                        }
+                    };
+                    match outcome {
+                        Ok(()) => {
+                            eprintln!(
+                                "magic-serve: durable path recovered ({} probe \
+                                 succeeded); leaving degraded mode",
+                                cause.noun()
+                            );
+                            degraded_cause = None;
+                            next_probe = None;
+                            probe_backoff = PROBE_BACKOFF_MIN;
+                            shared.degraded.store(false, Ordering::Release);
+                            shared
+                                .last_checkpoint_seq
+                                .store(store.last_checkpoint_seq(), Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            next_probe = Some(Instant::now() + probe_backoff);
+                            probe_backoff = (probe_backoff * 2).min(PROBE_BACKOFF_MAX);
+                        }
+                    }
+                    shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
+                } else {
+                    // No store: degraded mode is unreachable, but be
+                    // safe and self-heal rather than probing forever.
+                    degraded_cause = None;
+                    next_probe = None;
+                    shared.degraded.store(false, Ordering::Release);
                 }
             }
         }
@@ -612,10 +968,28 @@ fn accept_loop(
         }
         let Ok(stream) = stream else { continue };
         shared.connections.fetch_add(1, Ordering::Relaxed);
+        // Injected connection faults (tests only — `shared.faults` is
+        // `None` in production).  A drop closes the socket before any
+        // request is read; a stall sleeps *inside* the connection
+        // thread so the accept loop itself never blocks.
+        let mut stall: Option<Duration> = None;
+        if let Some(plan) = &shared.faults {
+            match plan.on_connection() {
+                ConnFault::Drop => {
+                    drop(stream);
+                    continue;
+                }
+                ConnFault::Stall(d) => stall = Some(d),
+                ConnFault::None => {}
+            }
+        }
         let conn_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("magic-serve-conn".into())
             .spawn(move || {
+                if let Some(d) = stall {
+                    std::thread::sleep(d);
+                }
                 let _ = handle_connection(stream, conn_shared);
             });
         if let Ok(handle) = handle {
@@ -687,14 +1061,16 @@ fn send_response(shared: &Shared, writer: &mut TcpStream, bytes: &[u8]) -> io::R
 /// Serve one connection: parse request lines, dispatch, write responses.
 fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     stream.set_read_timeout(Some(shared.read_timeout))?;
-    // Writes get a generous but *bounded* timeout: a client that stops
-    // reading while a large response fills the kernel send buffer must
-    // not pin this thread in `write_all` forever (shutdown joins every
-    // connection thread, so an unbounded write would deadlock it).  On
-    // timeout the response is torn mid-write and the connection closes.
-    stream.set_write_timeout(Some(
-        shared.read_timeout.max(Duration::from_millis(100)) * 50,
-    ))?;
+    // Writes get an explicit, bounded timeout
+    // ([`ServeConfig::write_timeout`], zero = unbounded): a client that
+    // stops reading while a large response fills the kernel send buffer
+    // must not pin this thread in `write_all` forever (shutdown joins
+    // every connection thread, so an unbounded write would deadlock
+    // it).  On expiry the response is torn mid-write and the
+    // connection closes.
+    if !shared.write_timeout.is_zero() {
+        stream.set_write_timeout(Some(shared.write_timeout))?;
+    }
     stream.set_nodelay(true).ok();
     let mut writer = stream.try_clone()?;
     let mut reader = LineReader {
@@ -787,14 +1163,41 @@ fn answer_query(shared: &Shared, query: &Query) -> Result<(String, u64, Vec<Vec<
     ))
 }
 
-/// The write path: validate against the source program, enqueue to the
-/// writer, block until the containing snapshot is published.
+/// The write path: validate against the source program, shed if the
+/// server is degraded or the writer queue is at capacity, otherwise
+/// enqueue to the writer and block (bounded by the writer deadline)
+/// until the containing snapshot is published.
+///
+/// The three structured refusals a client can see here, and what they
+/// promise:
+/// * `ERR DEGRADED …` — not applied, and retrying now will not help;
+///   wait for the server to recover (poll `STATS degraded`).
+/// * `ERR BUSY <retry-after-ms> …` — not applied; retry after the
+///   hinted backoff.
+/// * `ERR TIMEOUT …` — outcome *unknown*: the command is still queued
+///   and may apply later.  Only idempotent retries are safe.
 fn dispatch_update(shared: &Shared, update: Update) -> String {
     let fact = update.fact();
     if shared.derived.contains(&fact.pred) {
         return render_error(&format!(
             "{} is derived by the program; derived predicates are maintained, not edited",
             fact.pred
+        ));
+    }
+    if shared.degraded.load(Ordering::Acquire) {
+        return render_error(
+            "DEGRADED read-only: the durable path is failing; updates are \
+             refused while a background probe retries it",
+        );
+    }
+    if shared.max_queue_depth > 0
+        && shared.queue_depth.load(Ordering::Relaxed) >= shared.max_queue_depth as u64
+    {
+        shared.shed_updates.fetch_add(1, Ordering::Relaxed);
+        return render_error(&format!(
+            "BUSY {BUSY_RETRY_AFTER_MS} writer queue is at capacity ({}); \
+             retry after the hinted backoff",
+            shared.max_queue_depth
         ));
     }
     match shared.writer_call(|reply| WriterCmd::Update { update, reply }) {
@@ -836,6 +1239,11 @@ fn gather_stats(shared: &Shared) -> ServerStats {
         wal_bytes: shared.wal_bytes.load(Ordering::Relaxed),
         last_checkpoint: shared.last_checkpoint_seq.load(Ordering::Relaxed),
         write_errors: shared.write_errors.load(Ordering::Relaxed),
+        queue_depth: shared.queue_depth.load(Ordering::Relaxed),
+        shed_updates: shared.shed_updates.load(Ordering::Relaxed),
+        deadline_misses: shared.deadline_misses.load(Ordering::Relaxed),
+        degraded: shared.degraded.load(Ordering::Acquire) as u64,
+        degraded_entered: shared.degraded_entered.load(Ordering::Relaxed),
         per_view,
     }
 }

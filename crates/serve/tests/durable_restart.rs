@@ -18,66 +18,14 @@
 
 #![cfg(unix)]
 
-use magic_serve::Client;
+mod common;
+
+use common::{read_base, seed_edges, tmp_dir, ServerProc};
+use magic_serve::{Client, ClientError};
 use magic_workloads::SplitMix64;
 use std::collections::BTreeSet;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
-
-fn tmp_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "magic-durable-restart-{name}-{}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
-/// The spawned server process; killed (if still alive) on drop.
-struct ServerProc {
-    child: Child,
-    addr: SocketAddr,
-}
-
-impl ServerProc {
-    /// Spawn `durable_server <dir> <checkpoint_every>` and wait for its
-    /// `ADDR` line, which it prints only after recovery completed and
-    /// the listener is live.
-    fn spawn(dir: &Path, checkpoint_every: u64) -> ServerProc {
-        let mut child = Command::new(env!("CARGO_BIN_EXE_durable_server"))
-            .arg(dir)
-            .arg(checkpoint_every.to_string())
-            .stdout(Stdio::piped())
-            .spawn()
-            .expect("spawn durable_server");
-        let stdout = child.stdout.take().expect("child stdout is piped");
-        let mut line = String::new();
-        BufReader::new(stdout)
-            .read_line(&mut line)
-            .expect("read ADDR line");
-        let addr = line
-            .trim()
-            .strip_prefix("ADDR ")
-            .unwrap_or_else(|| panic!("expected ADDR line, got {line:?}"))
-            .parse()
-            .expect("parse server address");
-        ServerProc { child, addr }
-    }
-
-    /// SIGKILL — no shutdown hooks, no flushes, mid-anything.
-    fn kill(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
-
-impl Drop for ServerProc {
-    fn drop(&mut self) {
-        self.kill();
-    }
-}
+use std::io::Write;
+use std::net::TcpStream;
 
 /// One update of the generated stream.
 #[derive(Clone, Debug)]
@@ -91,13 +39,6 @@ impl Op {
     fn atom(&self) -> String {
         format!("par({}, {})", self.a, self.b)
     }
-}
-
-/// The seed EDB the server binary starts from: a 16-edge chain.
-fn seed_edges() -> BTreeSet<(String, String)> {
-    (0..16)
-        .map(|i| (format!("n{i}"), format!("n{}", i + 1)))
-        .collect()
 }
 
 /// The oracle: seed + the first `m` ops applied in order.
@@ -127,18 +68,6 @@ fn gen_ops(rng: &mut SplitMix64, n: usize) -> Vec<Op> {
                 b,
             }
         })
-        .collect()
-}
-
-/// Read the whole recovered base relation back through the `edge`
-/// passthrough view.
-fn read_base(client: &mut Client) -> BTreeSet<(String, String)> {
-    client
-        .query("edge(X, Y)")
-        .expect("query edge(X, Y)")
-        .rows
-        .iter()
-        .map(|row| (row[0].to_string(), row[1].to_string()))
         .collect()
 }
 
@@ -254,4 +183,111 @@ fn torn_final_wal_frame_is_truncated_never_replayed() {
     expected.insert(("after".into(), "tear".into()));
     assert_eq!(read_base(&mut client), expected);
     drop(server);
+}
+
+#[test]
+fn overload_sheds_busy_and_every_acked_update_survives_restart() {
+    // Overload acceptance: a deliberately wedged writer (every early
+    // WAL append stalled by an injected fault) behind a tiny queue
+    // bound, hammered by more concurrent writers than the queue can
+    // hold.  The server must shed with `BUSY` — never queue without
+    // bound, never panic — and after a SIGKILL + restart the recovered
+    // state must contain *every* acked fact and *no* shed fact: a shed
+    // is a refusal, not a silent drop of something promised.
+    let dir = tmp_dir("overload");
+    let mut server = ServerProc::spawn_with_env(
+        &dir,
+        4,
+        &[
+            // Stall the first 40 appends 60ms each: the writer stays
+            // busy while the front door keeps having to decide.
+            ("MAGIC_FAULTS", "wal-stall=1x40:60"),
+            ("MAGIC_SERVE_QUEUE_DEPTH", "2"),
+        ],
+    );
+    let addr = server.addr;
+
+    // Six writer threads race distinct facts at a queue of two.  Each
+    // op is one unique fact, so the restart oracle is exact set
+    // arithmetic: acked ⊆ recovered, shed ∩ recovered = ∅, and
+    // anything with unknown outcome (timeout/transport) may go either
+    // way.
+    let workers: Vec<_> = (0..6)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut acked = Vec::new();
+                let mut shed = Vec::new();
+                let mut unknown = Vec::new();
+                let mut client = Client::connect(addr).expect("worker connect");
+                for i in 0..10 {
+                    let (a, b) = (format!("w{w}a{i}"), format!("w{w}b{i}"));
+                    match client.insert(&format!("par({a}, {b})")) {
+                        Ok(_) => acked.push((a, b)),
+                        Err(ClientError::Busy { retry_after_ms, .. }) => {
+                            assert!(retry_after_ms > 0, "BUSY must carry a retry hint");
+                            shed.push((a, b));
+                        }
+                        Err(ClientError::Degraded(m)) => {
+                            panic!("stall faults must not degrade the server: {m}")
+                        }
+                        Err(_) => unknown.push((a, b)),
+                    }
+                }
+                (acked, shed, unknown)
+            })
+        })
+        .collect();
+    let mut acked = BTreeSet::new();
+    let mut shed = BTreeSet::new();
+    let mut unknown = BTreeSet::new();
+    for worker in workers {
+        let (a, s, u) = worker.join().expect("worker thread");
+        acked.extend(a);
+        shed.extend(s);
+        unknown.extend(u);
+    }
+    assert!(
+        !shed.is_empty(),
+        "six writers against a queue of two behind a stalled writer must shed"
+    );
+    assert!(!acked.is_empty(), "some writes must still get through");
+
+    // The server survived the storm: it answers, and it counted the
+    // sheds it issued.
+    let mut client = Client::connect(addr).expect("post-storm connect");
+    let stats = client.stats().expect("post-storm stats");
+    assert!(
+        stats.shed_updates >= shed.len() as u64,
+        "sheds issued ({}) must be counted (stats: {})",
+        shed.len(),
+        stats.shed_updates
+    );
+    assert_eq!(stats.degraded, 0, "stalls are slow, not broken");
+    server.kill();
+
+    // Kill + restart: the oracle over unique facts.
+    let server = ServerProc::spawn(&dir, 4);
+    let mut client = Client::connect(server.addr).expect("restart connect");
+    let recovered = read_base(&mut client);
+    for edge in &acked {
+        assert!(
+            recovered.contains(edge),
+            "acked fact lost across restart: {edge:?}"
+        );
+    }
+    for edge in &shed {
+        assert!(
+            !recovered.contains(edge),
+            "BUSY-shed fact silently applied: {edge:?}"
+        );
+    }
+    // Everything recovered is accounted for: seed, acked, or an
+    // unknown-outcome op that landed.
+    let seed = seed_edges();
+    for edge in &recovered {
+        assert!(
+            seed.contains(edge) || acked.contains(edge) || unknown.contains(edge),
+            "recovered fact nobody sent: {edge:?}"
+        );
+    }
 }

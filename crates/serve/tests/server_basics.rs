@@ -206,6 +206,72 @@ fn max_views_evicts_cold_bindings_and_reheals_on_next_sight() {
 }
 
 #[test]
+fn tiny_max_views_materialize_evict_races_never_panic_the_writer() {
+    // `max_views: 1` makes every distinct binding evict the previous
+    // one, so concurrent first-sight queries race materialization
+    // against eviction as hard as possible.  The writer once held an
+    // `expect("binding was just materialized")` on this path — under a
+    // cap this tight, a materialize whose binding is clawed back
+    // immediately must surface as a retryable error (or a served
+    // retry), never a writer panic that would wedge all future writes.
+    let program = parse_program(
+        "anc(X, Y) :- par(X, Y).
+         anc(X, Y) :- par(X, Z), anc(Z, Y).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+        db.insert_pair("par", a, b);
+    }
+    let config = ServeConfig {
+        max_views: 1,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(program, db, "127.0.0.1:0", config).unwrap();
+    let addr = server.addr();
+
+    let racers: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let (query, rows) = match t % 3 {
+                    0 => ("anc(a, Y)", 3),
+                    1 => ("anc(b, Y)", 2),
+                    _ => ("anc(c, Y)", 1),
+                };
+                let mut served = 0usize;
+                for _ in 0..25 {
+                    match client.query(query) {
+                        Ok(reply) => {
+                            assert_eq!(reply.rows.len(), rows, "wrong answers for {query}");
+                            served += 1;
+                        }
+                        // Losing the materialize/evict race repeatedly
+                        // is legal under a cap of one; what matters is
+                        // that it is an *error*, not a dead writer.
+                        Err(ClientError::Server(m)) => {
+                            assert!(m.contains("evicted"), "unexpected refusal: {m}")
+                        }
+                        Err(e) => panic!("unexpected failure: {e}"),
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+    let served: usize = racers.into_iter().map(|t| t.join().unwrap()).sum();
+    assert!(served > 0, "some queries must win the race");
+
+    // The writer survived the storm: reads and writes both still work.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.insert("par(d, e)").unwrap().applied);
+    assert_eq!(client.query("anc(a, Y)").unwrap().rows.len(), 4);
+    let stats = client.stats().unwrap();
+    assert!(stats.views <= 1, "the cap must hold: {:?}", stats.per_view);
+    server.shutdown();
+}
+
+#[test]
 fn strict_limits_surface_as_errors_not_hangs() {
     let program = parse_program(
         "anc(X, Y) :- par(X, Y).

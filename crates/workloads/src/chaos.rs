@@ -1,0 +1,185 @@
+//! Chaos scenario generation: seeded fault schedules for the serving
+//! stack's fault-injection seam (`magic_durable::faults` — a dev
+//! dependency here, so no intra-doc link).
+//!
+//! A *chaos scenario* pairs a deterministic fault-spec string (the
+//! `MAGIC_FAULTS` grammar: `<site>=<from>[x<count>][:<millis>]`, comma
+//! separated) with a deterministic update workload seed, so one `u64`
+//! reproduces an entire run — which syncs fail, which frames tear,
+//! which connections stall, and which facts were in flight when they
+//! did.  The chaos test suite (`crates/serve/tests/chaos.rs`) and the
+//! CI fault matrix both draw their schedules from here instead of
+//! hand-picking them, the same philosophy as the rest of this crate:
+//! generated, seeded, reproducible.
+//!
+//! This module emits *strings*, not parsed plans, so the crate stays
+//! free of a `magic-durable` dependency; the durable crate's parser is
+//! the single authority on the grammar (the dev-dependency test below
+//! round-trips every generated spec through it).
+
+use crate::rng::SplitMix64;
+
+/// One reproducible chaos run: a fault schedule plus the workload that
+/// drives the server through it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosScenario {
+    /// A stable human-readable label (`chaos-<seed>-<n>`), used as the
+    /// store-directory suffix and in failure reports.
+    pub name: String,
+    /// The fault schedule in `MAGIC_FAULTS` grammar, e.g.
+    /// `"wal-fsync-fail=3x2,conn-drop=5"`.
+    pub fault_spec: String,
+    /// Seed for the update stream driven at the server during the run.
+    pub workload_seed: u64,
+    /// How many update operations the run should drive.
+    pub ops: usize,
+}
+
+/// The fault sites a generated schedule may draw from, with the
+/// parameter shapes that make each meaningful.  Stall sites carry a
+/// bounded delay so a generated schedule can slow a run down but never
+/// wedge it.
+const SITES: &[SiteSpec] = &[
+    SiteSpec {
+        site: "wal-fsync-fail",
+        timed: false,
+    },
+    SiteSpec {
+        site: "wal-torn",
+        timed: false,
+    },
+    SiteSpec {
+        site: "ckpt-rename-fail",
+        timed: false,
+    },
+    SiteSpec {
+        site: "wal-stall",
+        timed: true,
+    },
+    SiteSpec {
+        site: "conn-stall",
+        timed: true,
+    },
+    SiteSpec {
+        site: "conn-drop",
+        timed: false,
+    },
+];
+
+struct SiteSpec {
+    site: &'static str,
+    timed: bool,
+}
+
+/// Draw one fault rule (`site=from[xcount][:millis]`) from `rng`.
+fn chaos_rule(rng: &mut SplitMix64) -> String {
+    let spec = &SITES[rng.random_range(0..SITES.len())];
+    // Strike early (the workloads are short), occasionally repeat.
+    // The bootstrap checkpoint (rename #1, performed before the
+    // listener is live) is exempt: failing it would abort startup
+    // rather than exercise degraded mode, so rename schedules start
+    // at the second occurrence.
+    let from = if spec.site == "ckpt-rename-fail" {
+        rng.random_range(2..12)
+    } else {
+        rng.random_range(1..12)
+    };
+    let count = rng.random_range(1..4);
+    let mut rule = format!("{}={from}", spec.site);
+    if count > 1 {
+        rule.push_str(&format!("x{count}"));
+    }
+    if spec.timed {
+        // 10..160ms: long enough to overlap in-flight work, short
+        // enough that a test suite full of scenarios stays quick.
+        let millis = 10 + rng.random_range(0..150);
+        rule.push_str(&format!(":{millis}"));
+    }
+    rule
+}
+
+/// A full seeded fault-spec string: one to three rules over *distinct*
+/// sites, comma separated, deterministic in `rng`'s state.
+pub fn chaos_fault_spec(rng: &mut SplitMix64) -> String {
+    let rules = rng.random_range(1..4);
+    let mut spec_parts: Vec<String> = Vec::new();
+    while spec_parts.len() < rules {
+        let rule = chaos_rule(rng);
+        let site = rule.split('=').next().expect("rule has a site").to_string();
+        if spec_parts.iter().any(|r| r.starts_with(&site)) {
+            // Same site drawn twice: skip rather than emit a duplicate
+            // (the parser would accept it, but two schedules on one
+            // counter make the scenario harder to reason about).
+            continue;
+        }
+        spec_parts.push(rule);
+    }
+    spec_parts.join(",")
+}
+
+/// `count` reproducible scenarios derived from `seed`.  The same
+/// `(seed, count)` always yields the same schedules, and scenario `i`
+/// of `chaos_scenarios(s, n)` equals scenario `i` of
+/// `chaos_scenarios(s, m)` for `i < min(n, m)` — so a CI matrix can
+/// grow without invalidating earlier cells.
+pub fn chaos_scenarios(seed: u64, count: usize) -> Vec<ChaosScenario> {
+    (0..count)
+        .map(|i| {
+            // One generator per scenario (seeded by mixing `seed` and
+            // the index through SplitMix64 itself) keeps scenarios
+            // prefix-stable: later scenarios never perturb earlier
+            // ones however many rules each happens to draw.
+            let mut mix = SplitMix64::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37));
+            let mut rng = SplitMix64::seed_from_u64(mix.next_u64());
+            let fault_spec = chaos_fault_spec(&mut rng);
+            ChaosScenario {
+                name: format!("chaos-{seed}-{i}"),
+                fault_spec,
+                workload_seed: rng.next_u64(),
+                ops: 24 + rng.random_range(0..40),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_and_prefix_stable() {
+        let a = chaos_scenarios(7, 6);
+        let b = chaos_scenarios(7, 6);
+        assert_eq!(a, b);
+        let shorter = chaos_scenarios(7, 3);
+        assert_eq!(&a[..3], &shorter[..]);
+        // Different seeds give different schedules somewhere.
+        let c = chaos_scenarios(8, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_generated_spec_parses_as_a_fault_plan() {
+        // The durable crate's parser is the grammar authority; every
+        // spec this module can emit must round-trip through it.
+        for scenario in chaos_scenarios(0xC4A05, 64) {
+            let plan = magic_durable::FaultPlan::parse(&scenario.fault_spec)
+                .unwrap_or_else(|e| panic!("{}: {e}", scenario.name));
+            assert!(!plan.is_empty(), "{}: empty plan", scenario.name);
+        }
+    }
+
+    #[test]
+    fn specs_bound_their_stalls() {
+        // No generated stall may exceed the documented 160ms bound —
+        // the property that keeps a chaos suite fast.
+        for scenario in chaos_scenarios(99, 64) {
+            for rule in scenario.fault_spec.split(',') {
+                if let Some((_, millis)) = rule.split_once(':') {
+                    let millis: u64 = millis.parse().expect("stall millis parse");
+                    assert!((10..160).contains(&millis), "stall out of range: {rule}");
+                }
+            }
+        }
+    }
+}

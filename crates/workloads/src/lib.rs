@@ -6,11 +6,15 @@
 //! `ancestor`; layered `up`/`flat`/`down` structures for `same-generation`;
 //! ground lists for `reverse`), the cyclic variants used by the safety
 //! experiments, and the Appendix's four benchmark programs ready-parsed.
+//! The [`chaos`] module extends the same seeded-and-reproducible
+//! discipline to fault schedules for the serving stack's
+//! fault-injection seam.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ancestor;
+pub mod chaos;
 pub mod lists;
 pub mod programs;
 pub mod requests;
@@ -20,6 +24,7 @@ pub mod updates;
 
 pub use ancestor::node;
 pub use ancestor::{binary_tree, chain, cycle, random_dag};
+pub use chaos::{chaos_fault_spec, chaos_scenarios, ChaosScenario};
 pub use lists::{list_term, list_value, reverse_database};
 pub use requests::{ancestor_request_stream, ServeRequest};
 pub use rng::SplitMix64;
