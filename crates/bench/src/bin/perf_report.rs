@@ -42,6 +42,17 @@
 //! latency percentiles of the *served* (acked) updates, demonstrating
 //! the overload contract: a bounded queue buys bounded ack latency,
 //! and the excess is refused with `BUSY`, not absorbed.
+//! PR 9 (`BENCH_PR9.json`) adds the `serve_pipelined` scenario: one
+//! `PipeClient` connection keeps a fixed window of binary-protocol
+//! queries in flight (zipfian key popularity from
+//! `magic_workloads::load`) against a four-shard server, with and
+//! without a concurrent skewed update stream — the cells that
+//! demonstrate what the pipelined wire format plus the sharded writer
+//! layout buy over the synchronous text protocol's one-request-per-RTT
+//! ceiling (the `serve_quiet` cell above).  Each cell embeds the
+//! observed qps, latency percentiles, and the server's end-of-run
+//! shard/pipeline telemetry (`queue_depth`, `shed_updates`,
+//! `batch_size_p50`).
 //! The pre-existing scenarios' probe counts must not move
 //! between snapshots, and — the scheduler's determinism contract —
 //! every counter of a parallel cell must be bit-identical to its
@@ -49,7 +60,7 @@
 //!
 //! ```text
 //! cargo run --release -p magic-bench --bin perf_report -- \
-//!     [--out BENCH_PR8.json] [--baseline BENCH_PR7.json] [--quick] \
+//!     [--out BENCH_PR9.json] [--baseline BENCH_PR8.json] [--quick] \
 //!     [--threads N] [--filter <scenario-substring>] \
 //!     [--strategy <short-name>]...
 //! ```
@@ -750,6 +761,224 @@ fn measure_serve(scenario: &ServeScenario) -> Vec<Cell> {
         .collect()
 }
 
+/// In-flight window of the pipelined closed-loop client: deep enough to
+/// keep the server's decode/batch path fed over loopback, shallow enough
+/// that the recorded latency reflects service time and the queueing the
+/// *server* added, not an unbounded client-side backlog.
+const PIPELINE_WINDOW: usize = 64;
+
+/// Writer shard count of the pipelined cells — the multi-shard layout
+/// the restart and chaos suites pin.
+const PIPELINE_SHARDS: usize = 4;
+
+/// Drive one pipelined leg: a single `PipeClient` keeping
+/// [`PIPELINE_WINDOW`] zipfian binary-protocol queries in flight against
+/// a [`PIPELINE_SHARDS`]-shard server, plus (when `with_updates`) a
+/// text-protocol updater streaming skewed `par` edits for the whole
+/// measured window.  Latency is submit→claim at the client, so it
+/// includes the window's own queueing — the number a production
+/// pipelined caller would actually observe.
+fn run_pipelined_leg(quick: bool, with_updates: bool, label: &str) -> Result<Cell, String> {
+    use magic_serve::{Client, PipeClient, ServeConfig, Server};
+    use magic_workloads::{LoadConfig, LoadGen, ServeRequest, UpdateOp};
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let edges = if quick { 32 } else { 256 };
+    let total_queries = if quick { 2_000 } else { 40_000 };
+    let config = ServeConfig {
+        limits: Limits::default().with_threads(1),
+        writer_shards: PIPELINE_SHARDS,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(
+        magic_workloads::programs::ancestor_intro(),
+        magic_workloads::chain(edges),
+        "127.0.0.1:0",
+        config,
+    )
+    .map_err(|e| format!("server start: {e}"))?;
+    let addr = server.addr();
+
+    // The zipfian load shape (`magic_workloads::load`): query popularity
+    // over the chain's node ranks, update endpoints over the `z*` side
+    // universe.  Two single-purpose generators (one all-queries, one
+    // all-updates) keep each stream deterministic on its own.
+    let shape = LoadConfig {
+        query_keys: (edges / 4).max(8),
+        ..LoadConfig::default()
+    };
+    let queries: Vec<String> = LoadGen::new(
+        LoadConfig {
+            query_pct: 100,
+            ..shape.clone()
+        },
+        0xB1A5ED,
+    )
+    .filter_map(|r| match r {
+        ServeRequest::Query(q) => Some(q),
+        ServeRequest::Update(_) => None,
+    })
+    .take(total_queries)
+    .collect();
+
+    // Warm every binding so the measured loop runs on the pure
+    // snapshot-read path (plus whatever republishes the updater forces).
+    let mut warm = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let distinct: std::collections::BTreeSet<&String> = queries.iter().collect();
+    let mut last_answers = 0usize;
+    for query in distinct {
+        last_answers = warm
+            .query(query)
+            .map_err(|e| format!("warm: {e}"))?
+            .rows
+            .len();
+    }
+
+    // The updater draws from an *infinite* skewed edit stream and stops
+    // on the flag, so the live leg is sustained mixed load for the whole
+    // measured window by construction.
+    let done = Arc::new(AtomicBool::new(false));
+    let updater = with_updates.then(|| {
+        let done = Arc::clone(&done);
+        let stream = LoadGen::new(
+            LoadConfig {
+                query_pct: 0,
+                ..shape
+            },
+            0x5EED,
+        );
+        std::thread::spawn(move || -> Result<usize, String> {
+            let mut client = Client::connect(addr).map_err(|e| format!("updater connect: {e}"))?;
+            let mut applied = 0usize;
+            for request in stream {
+                if done.load(Ordering::Relaxed) {
+                    break;
+                }
+                let ServeRequest::Update(op) = request else {
+                    continue;
+                };
+                let ack = match &op {
+                    UpdateOp::Insert(f) => client.insert_fact(f),
+                    UpdateOp::Retract(f) => client.retract_fact(f),
+                };
+                if ack.map_err(|e| format!("updater: {e}"))?.applied {
+                    applied += 1;
+                }
+            }
+            Ok(applied)
+        })
+    });
+
+    // The measured closed loop: one pipelined connection, WINDOW ids in
+    // flight, claimed oldest-first.  Responses are claimed raw
+    // (status-checked, bodies not re-parsed into rows): the cell
+    // measures serving capacity, and on a single-core loopback host a
+    // full client-side row parse would otherwise steal the core the
+    // server is being measured on — the warm phase above already
+    // verified the answers through the parsing client.  Runs inside a
+    // closure so the updater and server are torn down on either path
+    // before the Result is inspected.
+    let measured = (|| -> Result<(Vec<f64>, f64, magic_serve::ServerStats), String> {
+        let mut pipe = PipeClient::connect(addr).map_err(|e| format!("pipe connect: {e}"))?;
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut window: VecDeque<(u64, Instant)> = VecDeque::with_capacity(PIPELINE_WINDOW);
+        let start = Instant::now();
+        for query in &queries {
+            if window.len() >= PIPELINE_WINDOW {
+                let (id, sent) = window.pop_front().expect("window is non-empty");
+                pipe.wait_response_timed(id)
+                    .map_err(|e| format!("pipelined wait: {e}"))?;
+                latencies.push(sent.elapsed().as_secs_f64());
+            }
+            let id = pipe
+                .submit_query(query)
+                .map_err(|e| format!("pipelined submit: {e}"))?;
+            window.push_back((id, Instant::now()));
+        }
+        for (id, sent) in window {
+            pipe.wait_response_timed(id)
+                .map_err(|e| format!("pipelined drain: {e}"))?;
+            latencies.push(sent.elapsed().as_secs_f64());
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        // Shard/pipeline telemetry over the same connection, right after
+        // the measured window (the updater may still be running).
+        let id = pipe
+            .submit_stats()
+            .map_err(|e| format!("stats submit: {e}"))?;
+        let stats = pipe
+            .wait_stats(id)
+            .map_err(|e| format!("stats wait: {e}"))?;
+        Ok((latencies, elapsed, stats))
+    })();
+
+    done.store(true, Ordering::Relaxed);
+    let mut failure: Option<String> = None;
+    let applied = match updater {
+        Some(handle) => match handle.join().map_err(|_| "updater panicked".to_string()) {
+            Ok(Ok(applied)) => applied,
+            Ok(Err(e)) | Err(e) => {
+                failure = Some(e);
+                0
+            }
+        },
+        None => 0,
+    };
+    server.shutdown();
+    let (mut latencies, elapsed, stats) = measured?;
+    if let Some(message) = failure {
+        return Err(message);
+    }
+
+    let queries_total = latencies.len();
+    let qps = queries_total as f64 / elapsed;
+    let p50 = percentile_ms(&mut latencies, 50.0);
+    let p99 = percentile_ms(&mut latencies, 99.0);
+    let mut cell = Cell::new(
+        label,
+        Outcome::Ok {
+            wall_secs: elapsed,
+            samples: queries_total,
+            answers: last_answers,
+            iterations: 0,
+            rule_firings: 0,
+            facts_derived: 0,
+            duplicate_derivations: 0,
+            join_probes: 0,
+        },
+    );
+    cell.extra = format!(
+        ", \"shards\": {}, \"window\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \
+         \"p99_ms\": {:.3}, \"queue_depth\": {}, \"shed_updates\": {}, \
+         \"batch_size_p50\": {}, \"updates_applied\": {}",
+        PIPELINE_SHARDS,
+        PIPELINE_WINDOW,
+        qps,
+        p50,
+        p99,
+        stats.queue_depth,
+        stats.shed_updates,
+        stats.batch_size_p50,
+        applied
+    );
+    Ok(cell)
+}
+
+/// Measure the pipelined scenario: the quiet (read-only) leg, then the
+/// leg racing the sustained skewed update stream.
+fn measure_serve_pipelined(quick: bool) -> Vec<Cell> {
+    ["serve_pipelined_quiet", "serve_pipelined"]
+        .into_iter()
+        .map(|label| {
+            let with_updates = label == "serve_pipelined";
+            run_pipelined_leg(quick, with_updates, label)
+                .unwrap_or_else(|message| Cell::new(label, Outcome::Error { message }))
+        })
+        .collect()
+}
+
 /// View counts for the `serve_publish` scenarios: the publish-cost cells
 /// must stay flat across this range (the CI smoke compares the first and
 /// last).
@@ -1301,7 +1530,7 @@ fn assert_counters_pinned(scenario: &str, single: &Outcome, parallel: &Outcome) 
 fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"pr\": 8,");
+    let _ = writeln!(out, "  \"pr\": 9,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(engine));
     let _ = writeln!(
         out,
@@ -1463,10 +1692,10 @@ fn annotate_variance_suspects(results: &mut [(String, Vec<Cell>)], snapshot: &st
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut out_path = "BENCH_PR9.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut quick = false;
-    let mut engine = "parallel-merge-cow+serve+durable+overload".to_string();
+    let mut engine = "parallel-merge-cow+serve+durable+overload+pipelined-shards".to_string();
     let mut filter: Option<String> = None;
     let mut strategies: Vec<String> = Vec::new();
     let mut par_threads: Option<usize> = None;
@@ -1705,6 +1934,34 @@ fn main() {
             }
         }
         results.push((scenario.name.clone(), cells));
+    }
+
+    let pipelined_name = format!(
+        "serve_pipelined/ancestor/chain/{}",
+        if quick { 32 } else { 256 }
+    );
+    let pipelined_wanted = filter
+        .as_ref()
+        .is_none_or(|f| pipelined_name.contains(f.as_str()))
+        && (strategies.is_empty() || strategies.iter().any(|s| s == "pipelined"));
+    if pipelined_wanted {
+        eprintln!("scenario {pipelined_name}");
+        let cells = measure_serve_pipelined(quick);
+        for cell in &cells {
+            match &cell.outcome {
+                Outcome::Ok {
+                    wall_secs, samples, ..
+                } => eprintln!(
+                    "  {:<20} {wall_secs:>12.6}s  {samples} queries{}",
+                    cell.label, cell.extra
+                ),
+                Outcome::Skipped { .. } => eprintln!("  {:<20} skipped", cell.label),
+                Outcome::Error { message } => {
+                    eprintln!("  {:<20} error: {message}", cell.label)
+                }
+            }
+        }
+        results.push((pipelined_name, cells));
     }
 
     for views in PUBLISH_VIEW_COUNTS {

@@ -1,16 +1,26 @@
-//! A blocking client for the wire protocol.
+//! Clients for the wire protocols.
 //!
-//! One [`Client`] wraps one TCP connection; every method is a synchronous
-//! request/response round trip.  The load generator in `magic-bench` and
-//! the consistency suite drive the server exclusively through this type,
-//! so it doubles as the protocol's reference implementation.
+//! Two clients share one error model:
+//!
+//! * [`Client`] — the line-oriented text protocol.  One connection,
+//!   every method a synchronous request/response round trip.  It
+//!   doubles as the text protocol's reference implementation.
+//! * [`PipeClient`] — the `MGWP01` binary framing.  Requests are
+//!   *submitted* (nonblocking, returning a request id) and their
+//!   responses *waited on* separately, so many requests ride the wire
+//!   concurrently; the server answers in completion order and the
+//!   client correlates by id.  This is what the throughput benchmarks
+//!   drive the server with — on a loopback connection the synchronous
+//!   client pays one full round trip per request, the pipelined client
+//!   amortizes it across the whole in-flight window.
 
-use crate::protocol::ServerStats;
+use crate::protocol::{op, status, Frame, ServerStats, BINARY_MAGIC, MAX_FRAME};
 use magic_datalog::{parse_term, Fact, Value};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Errors a client call can produce.  The overload/degradation refusals
 /// (`Busy`, `Timeout`, `Degraded`) are parsed out of the server's
@@ -328,24 +338,7 @@ impl Client {
     fn update(&mut self, verb: &str, fact: &str) -> Result<UpdateAck, ClientError> {
         self.send(&format!("{verb} {fact}"))?;
         let line = self.read_line()?;
-        let rest = expect_ok(&line)?;
-        let (word, version) = rest
-            .split_once(' ')
-            .ok_or_else(|| ClientError::Protocol(format!("bad ack: {line}")))?;
-        let version: u64 = version
-            .parse()
-            .map_err(|_| ClientError::Protocol(format!("bad ack version: {line}")))?;
-        match word {
-            "applied" => Ok(UpdateAck {
-                applied: true,
-                version,
-            }),
-            "noop" => Ok(UpdateAck {
-                applied: false,
-                version,
-            }),
-            _ => Err(ClientError::Protocol(format!("bad ack: {line}"))),
-        }
+        parse_ack_line(&line)
     }
 
     fn send(&mut self, line: &str) -> Result<(), ClientError> {
@@ -410,6 +403,428 @@ fn classify_server_error(message: &str) -> ClientError {
         return ClientError::Degraded(rest.to_string());
     }
     ClientError::Server(message.to_string())
+}
+
+/// Parse an update acknowledgment line (`OK applied <v>` / `OK noop <v>`).
+fn parse_ack_line(line: &str) -> Result<UpdateAck, ClientError> {
+    let rest = expect_ok(line)?;
+    let (word, version) = rest
+        .split_once(' ')
+        .ok_or_else(|| ClientError::Protocol(format!("bad ack: {line}")))?;
+    let version: u64 = version
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad ack version: {line}")))?;
+    match word {
+        "applied" => Ok(UpdateAck {
+            applied: true,
+            version,
+        }),
+        "noop" => Ok(UpdateAck {
+            applied: false,
+            version,
+        }),
+        _ => Err(ClientError::Protocol(format!("bad ack: {line}"))),
+    }
+}
+
+/// Parse a full query response body (`OK <count> <version> <key>`,
+/// `ROW` lines, `END`) out of already-received lines.
+fn parse_query_lines(lines: &[&str]) -> Result<QueryReply, ClientError> {
+    let header = *lines
+        .first()
+        .ok_or_else(|| ClientError::Protocol("empty query response".into()))?;
+    let rest = expect_ok(header)?;
+    let mut parts = rest.splitn(3, ' ');
+    let count: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad query header: {header}")))?;
+    let version: u64 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad query header: {header}")))?;
+    let key = parts
+        .next()
+        .ok_or_else(|| ClientError::Protocol(format!("bad query header: {header}")))?
+        .to_string();
+    if lines.len() != count + 2 || lines[count + 1] != "END" {
+        return Err(ClientError::Protocol(format!(
+            "query response advertised {count} rows but carried {} lines",
+            lines.len()
+        )));
+    }
+    let mut rows = Vec::with_capacity(count);
+    for line in &lines[1..=count] {
+        let rest = line
+            .strip_prefix("ROW")
+            .ok_or_else(|| ClientError::Protocol(format!("expected ROW line, got: {line}")))?;
+        let mut row = Vec::new();
+        if let Some(values) = rest.strip_prefix('\t') {
+            for text in values.split('\t') {
+                let value = parse_term(text)
+                    .ok()
+                    .and_then(|t| t.to_value())
+                    .ok_or_else(|| ClientError::Protocol(format!("unparseable value {text:?}")))?;
+                row.push(value);
+            }
+        }
+        rows.push(row);
+    }
+    Ok(QueryReply { key, version, rows })
+}
+
+/// One completed binary response, parked until its id is waited on.
+struct Completed {
+    tag: u8,
+    body: Vec<u8>,
+    at: Instant,
+}
+
+/// A pipelined client for the `MGWP01` binary framing.
+///
+/// Requests are **submitted** without waiting (`submit_query`,
+/// `submit_insert`, …), each returning the request id the server will
+/// tag its response with; responses are claimed later with the
+/// matching `wait_*` call.  Any number of requests may be in flight,
+/// the server answers in completion order, and responses that arrive
+/// while waiting on a different id are parked until claimed.
+///
+/// A transport failure poisons the connection: the *first* error
+/// surfaces as [`ClientError::Io`], and every subsequent submit or
+/// wait — including waits for ids that were in flight when the
+/// connection died — returns an error immediately instead of hanging.
+/// [`PipeClient::reconnect`] dials the same address again (abandoning
+/// all in-flight state) and [`PipeClient::query_with_retry`] wraps the
+/// submit/wait/reconnect loop for idempotent reads.
+pub struct PipeClient {
+    stream: TcpStream,
+    addr: SocketAddr,
+    next_id: u64,
+    inbuf: Vec<u8>,
+    /// Ids submitted and not yet claimed by a `wait_*` call.
+    pending: HashSet<u64>,
+    /// Responses received for ids not yet waited on.
+    completed: HashMap<u64, Completed>,
+    /// Set on the first transport failure; poisons every later call.
+    broken: Option<String>,
+}
+
+impl PipeClient {
+    /// Connect and send the `MGWP01` preamble that selects the binary
+    /// protocol.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PipeClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let mut client = PipeClient {
+            stream,
+            addr,
+            next_id: 0,
+            inbuf: Vec::new(),
+            pending: HashSet::new(),
+            completed: HashMap::new(),
+            broken: None,
+        };
+        client.stream.write_all(BINARY_MAGIC)?;
+        Ok(client)
+    }
+
+    /// [`PipeClient::connect`], retrying with doubling backoff
+    /// (10ms..500ms per attempt) until a connection succeeds or
+    /// `attempts` are exhausted.
+    pub fn connect_with_backoff(addr: impl ToSocketAddrs, attempts: u32) -> io::Result<PipeClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
+        let mut delay = Duration::from_millis(10);
+        let mut last_err = io::Error::other("no connection attempts made");
+        for attempt in 0..attempts.max(1) {
+            match PipeClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = e,
+            }
+            if attempt + 1 < attempts.max(1) {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+        }
+        Err(last_err)
+    }
+
+    /// The server address this client is (or was) connected to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of submitted requests whose responses have not been
+    /// claimed yet (parked responses count until waited on).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drop the connection and dial the same address again with
+    /// backoff.  **All in-flight state is abandoned**: parked
+    /// responses are discarded and waits for pre-reconnect ids will
+    /// error — only reconnect once every outstanding id is resolved or
+    /// written off.
+    pub fn reconnect(&mut self, attempts: u32) -> io::Result<()> {
+        let fresh = PipeClient::connect_with_backoff(self.addr, attempts)?;
+        let next_id = self.next_id;
+        *self = fresh;
+        // Keep ids unique across the reconnect so a stale id can never
+        // be confused with a fresh submission's.
+        self.next_id = next_id;
+        Ok(())
+    }
+
+    /// Submit `QUERY <query>` (source syntax, e.g. `"anc(john, Y)"`);
+    /// claim the response later with [`PipeClient::wait_query`].
+    pub fn submit_query(&mut self, query: &str) -> Result<u64, ClientError> {
+        self.submit(op::QUERY, query.as_bytes())
+    }
+
+    /// Submit `INSERT <fact>`; claim with [`PipeClient::wait_ack`].
+    pub fn submit_insert(&mut self, fact: &str) -> Result<u64, ClientError> {
+        self.submit(op::INSERT, fact.as_bytes())
+    }
+
+    /// Submit `RETRACT <fact>`; claim with [`PipeClient::wait_ack`].
+    pub fn submit_retract(&mut self, fact: &str) -> Result<u64, ClientError> {
+        self.submit(op::RETRACT, fact.as_bytes())
+    }
+
+    /// Submit `STATS`; claim with [`PipeClient::wait_stats`].
+    pub fn submit_stats(&mut self) -> Result<u64, ClientError> {
+        self.submit(op::STATS, b"")
+    }
+
+    /// Submit `PING`; claim with [`PipeClient::wait_pong`].
+    pub fn submit_ping(&mut self) -> Result<u64, ClientError> {
+        self.submit(op::PING, b"")
+    }
+
+    /// Wait for the response to a [`PipeClient::submit_query`] id.
+    pub fn wait_query(&mut self, id: u64) -> Result<QueryReply, ClientError> {
+        self.wait_query_timed(id).map(|(reply, _)| reply)
+    }
+
+    /// [`PipeClient::wait_query`], also returning the instant the
+    /// response frame was decoded off the socket — the timestamp
+    /// latency benchmarks difference against their submit time.
+    pub fn wait_query_timed(&mut self, id: u64) -> Result<(QueryReply, Instant), ClientError> {
+        let done = self.wait_raw(id)?;
+        let body = completed_text(&done)?;
+        let lines: Vec<&str> = body.lines().collect();
+        Ok((parse_query_lines(&lines)?, done.at))
+    }
+
+    /// Claim the raw response body for `id` without interpreting it
+    /// beyond the status tag, returning the payload bytes and the
+    /// instant the frame was decoded off the socket: an `OK` yields
+    /// the full text-protocol response verbatim, an `ERR` classifies
+    /// into the structured [`ClientError`] variants.  The zero-parse
+    /// consumption path for proxies and load harnesses that relay,
+    /// count or discard bodies rather than materialize every row.
+    pub fn wait_response_timed(&mut self, id: u64) -> Result<(Vec<u8>, Instant), ClientError> {
+        let done = self.wait_raw(id)?;
+        match done.tag {
+            status::OK => Ok((done.body, done.at)),
+            status::ERR => Err(classify_server_error(&String::from_utf8_lossy(&done.body))),
+            other => Err(ClientError::Protocol(format!(
+                "unknown response status {other}"
+            ))),
+        }
+    }
+
+    /// Wait for the acknowledgment of a submitted update.
+    pub fn wait_ack(&mut self, id: u64) -> Result<UpdateAck, ClientError> {
+        self.wait_ack_timed(id).map(|(ack, _)| ack)
+    }
+
+    /// [`PipeClient::wait_ack`] with the response decode instant.
+    pub fn wait_ack_timed(&mut self, id: u64) -> Result<(UpdateAck, Instant), ClientError> {
+        let done = self.wait_raw(id)?;
+        let body = completed_text(&done)?;
+        let line = body.lines().next().unwrap_or("");
+        Ok((parse_ack_line(line)?, done.at))
+    }
+
+    /// Wait for the response to a [`PipeClient::submit_stats`] id.
+    pub fn wait_stats(&mut self, id: u64) -> Result<ServerStats, ClientError> {
+        let done = self.wait_raw(id)?;
+        let body = completed_text(&done)?;
+        let mut lines = body.lines();
+        match lines.next() {
+            Some("OK stats") => {}
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected `OK stats`, got: {other:?}"
+                )))
+            }
+        }
+        let body_lines: Vec<String> = lines
+            .take_while(|line| *line != "END")
+            .map(str::to_string)
+            .collect();
+        ServerStats::parse_body(&body_lines).map_err(ClientError::Protocol)
+    }
+
+    /// Wait for the pong of a [`PipeClient::submit_ping`] id.
+    pub fn wait_pong(&mut self, id: u64) -> Result<(), ClientError> {
+        let done = self.wait_raw(id)?;
+        let body = completed_text(&done)?;
+        match body.lines().next() {
+            Some("OK pong") => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got: {other:?}"
+            ))),
+        }
+    }
+
+    /// One-shot pipelined read with retries: submit, wait, and on a
+    /// retryable failure reconnect and try again — the same loop (and
+    /// the same `BUSY`-hint handling) as [`Client::query_with_retry`],
+    /// over the binary protocol.
+    pub fn query_with_retry(
+        &mut self,
+        query: &str,
+        attempts: u32,
+    ) -> Result<QueryReply, ClientError> {
+        let mut delay = Duration::from_millis(10);
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(500));
+            }
+            let result = self.submit_query(query).and_then(|id| self.wait_query(id));
+            match result {
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.is_retryable_for_reads() => {
+                    if let ClientError::Busy { retry_after_ms, .. } = &e {
+                        delay = delay.max(Duration::from_millis(*retry_after_ms));
+                    }
+                    if matches!(e, ClientError::Io(_) | ClientError::Protocol(_)) {
+                        let _ = self.reconnect(3);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| ClientError::Protocol("no query attempts made".into())))
+    }
+
+    /// Encode and write one request frame; nonblocking in the protocol
+    /// sense (no response is read), blocking in the socket sense (the
+    /// kernel send buffer accepts the bytes before this returns).
+    fn submit(&mut self, tag: u8, body: &[u8]) -> Result<u64, ClientError> {
+        if let Some(reason) = &self.broken {
+            return Err(broken_error(reason));
+        }
+        if body.len() + 9 > MAX_FRAME {
+            return Err(ClientError::Protocol(format!(
+                "request body of {} bytes exceeds the frame limit",
+                body.len()
+            )));
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        let frame = Frame {
+            req_id: id,
+            tag,
+            body: body.to_vec(),
+        };
+        if let Err(e) = self.stream.write_all(&frame.encode()) {
+            self.broken = Some(e.to_string());
+            return Err(ClientError::Io(e));
+        }
+        self.pending.insert(id);
+        Ok(id)
+    }
+
+    /// Read frames off the socket until `id`'s response is in hand
+    /// (parking responses for other ids as they arrive).
+    fn wait_raw(&mut self, id: u64) -> Result<Completed, ClientError> {
+        loop {
+            if let Some(done) = self.completed.remove(&id) {
+                self.pending.remove(&id);
+                return Ok(done);
+            }
+            if !self.pending.contains(&id) {
+                return Err(ClientError::Protocol(format!(
+                    "request id {id} was never submitted (or was already claimed)"
+                )));
+            }
+            if let Some(reason) = self.broken.clone() {
+                self.pending.remove(&id);
+                return Err(broken_error(&reason));
+            }
+            // Drain every complete frame already buffered before
+            // touching the socket again.
+            let mut decoded_any = false;
+            loop {
+                match Frame::decode(&self.inbuf) {
+                    Ok(Some((frame, used))) => {
+                        self.inbuf.drain(..used);
+                        self.completed.insert(
+                            frame.req_id,
+                            Completed {
+                                tag: frame.tag,
+                                body: frame.body,
+                                at: Instant::now(),
+                            },
+                        );
+                        decoded_any = true;
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        self.broken = Some(format!("response framing broke: {e}"));
+                        break;
+                    }
+                }
+            }
+            if decoded_any || self.broken.is_some() {
+                continue;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.broken = Some("server closed the connection".into());
+                }
+                Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.broken = Some(e.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// The error every call on a poisoned [`PipeClient`] returns.
+fn broken_error(reason: &str) -> ClientError {
+    ClientError::Io(io::Error::other(format!(
+        "pipelined connection is broken: {reason}"
+    )))
+}
+
+/// Decode a completed response: an `ERR` status classifies into the
+/// structured [`ClientError`] variants, an `OK` status yields the
+/// text-protocol response body.
+fn completed_text(done: &Completed) -> Result<String, ClientError> {
+    let body = String::from_utf8_lossy(&done.body).into_owned();
+    match done.tag {
+        status::OK => Ok(body),
+        status::ERR => Err(classify_server_error(&body)),
+        other => Err(ClientError::Protocol(format!(
+            "unknown response status {other}"
+        ))),
+    }
 }
 
 #[cfg(test)]

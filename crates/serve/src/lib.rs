@@ -14,20 +14,29 @@
 //! crate keeps a catalog of such views live under a stream of updates and
 //! serves them over TCP.
 //!
-//! * [`Server`] / [`ServerHandle`] — a thread-per-connection
-//!   [`std::net::TcpListener`] server: N concurrent reader threads answer
-//!   queries from immutable snapshot-and-swap catalog clones while a
-//!   single writer thread drains the maintenance queue, applies batched
-//!   insert/retract through the catalog and publishes fresh snapshots.
-//!   Readers never block on maintenance; writes are serialized and
-//!   acknowledged only once the snapshot containing them is live.
-//! * [`protocol`] — the minimal line-oriented wire protocol
-//!   (`QUERY anc(john, Y)`, `INSERT par(a, b)`, `RETRACT …`, `STATS`),
-//!   hand-rolled in-tree because the build environment has no crates.io
-//!   access.
-//! * [`Client`] — a blocking protocol client, used by the
-//!   `serve_*` benchmark scenarios, the consistency test suite and the
-//!   `serve_quickstart` example.
+//! * [`Server`] / [`ServerHandle`] — a pooled, pipelined TCP server: a
+//!   nonblocking accept loop deals connections to a fixed pool of
+//!   reader threads that pump them (read, decode every buffered
+//!   request, poll writer replies, write responses), while the base
+//!   relations are hash-partitioned across
+//!   [`ServeConfig::writer_shards`] maintenance writers — each with
+//!   its own bounded queue, write-ahead log and published snapshot
+//!   slot, replicating applied batches to its peers behind a per-batch
+//!   ack barrier.  Readers never block on maintenance; writes
+//!   serialize per predicate through its home shard and are
+//!   acknowledged only once the containing snapshot is live on every
+//!   shard.
+//! * [`protocol`] — two wire protocols on one port, hand-rolled
+//!   in-tree because the build environment has no crates.io access:
+//!   the line-oriented text protocol (`QUERY anc(john, Y)`,
+//!   `INSERT par(a, b)`, `RETRACT …`, `STATS`), and the pipelined
+//!   `MGWP01` binary framing ([`protocol::Frame`]) with client request
+//!   ids and out-of-order responses, selected by a full-magic preamble
+//!   sniff.
+//! * [`Client`] / [`PipeClient`] — a blocking text-protocol client
+//!   (the protocol's reference implementation) and the pipelined
+//!   binary-protocol client the throughput benchmarks drive the server
+//!   with.
 //!
 //! See the repository's top-level `README.md` for the quickstart and
 //! `ARCHITECTURE.md` for how the serving path fits the engine underneath.
@@ -63,6 +72,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, QueryReply, UpdateAck};
-pub use protocol::{Request, ServerStats, ViewStats};
+pub use client::{Client, ClientError, PipeClient, QueryReply, UpdateAck};
+pub use protocol::{Frame, Request, ServerStats, ShardStats, Sniff, ViewStats, BINARY_MAGIC};
 pub use server::{ServeConfig, Server, ServerHandle};

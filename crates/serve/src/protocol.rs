@@ -54,6 +54,149 @@
 
 use magic_datalog::{parse_query, Fact, Query, Value};
 
+/// The binary protocol's connection preamble: a client that wants
+/// pipelined framing opens its stream with exactly these six bytes.
+///
+/// The server sniffs the first bytes of every connection against this
+/// magic **in full** — never just the first byte.  (`b'M'` is
+/// printable, so a first-byte-only printability heuristic would
+/// misclassify every binary connection as text; the full-magic check
+/// is the regression guard.)  A text connection's first verb can never
+/// collide: no request verb starts with `MGWP01`.
+pub const BINARY_MAGIC: &[u8; 6] = b"MGWP01";
+
+/// Hard cap on one binary frame's payload (16 MiB): a length prefix
+/// past it is a protocol error, not an allocation.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Binary request opcodes (the `tag` of a client→server [`Frame`]).
+pub mod op {
+    /// `QUERY` — body is the query atom text.
+    pub const QUERY: u8 = 1;
+    /// `INSERT` — body is the ground fact text.
+    pub const INSERT: u8 = 2;
+    /// `RETRACT` — body is the ground fact text.
+    pub const RETRACT: u8 = 3;
+    /// `STATS` — empty body.
+    pub const STATS: u8 = 4;
+    /// `PING` — empty body.
+    pub const PING: u8 = 5;
+}
+
+/// Binary response status (the `tag` of a server→client [`Frame`]).
+pub mod status {
+    /// Success: the body is the text protocol's full `OK …` response
+    /// for the request (including its `END` terminator when
+    /// multi-line).
+    pub const OK: u8 = 0;
+    /// Refusal: the body is the error message, exactly the text after
+    /// the text protocol's `ERR ` prefix (structured first tokens —
+    /// `BUSY`/`TIMEOUT`/`DEGRADED` — included).
+    pub const ERR: u8 = 1;
+}
+
+/// One binary frame, either direction:
+///
+/// ```text
+/// [u32 LE payload-len][u64 LE request-id][u8 tag][body bytes]
+/// ```
+///
+/// `payload-len` counts everything after the length word (so it is
+/// `9 + body.len()`).  The request id is chosen by the client and
+/// echoed verbatim in the response frame, which is what makes
+/// pipelining work: a client may have any number of requests in
+/// flight, and the server may answer them **out of order** — reads
+/// complete from the published snapshot immediately while an update
+/// ahead of them is still waiting on its writer shard.  The body is
+/// UTF-8 text reusing the text protocol's grammar in both directions;
+/// the frame layer adds what the text protocol lacks (request ids,
+/// batching, out-of-order completion), not a second payload encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen correlation id, echoed in the response.
+    pub req_id: u64,
+    /// Request opcode ([`op`]) or response status ([`status`]).
+    pub tag: u8,
+    /// UTF-8 payload (request argument or response text).
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// Encode the frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let len = 9 + self.body.len();
+        let mut out = Vec::with_capacity(4 + len);
+        out.extend_from_slice(&(len as u32).to_le_bytes());
+        out.extend_from_slice(&self.req_id.to_le_bytes());
+        out.push(self.tag);
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Decode one frame from the front of `buf`.
+    ///
+    /// Returns `Ok(None)` when `buf` holds only a partial frame (read
+    /// more and retry), `Ok(Some((frame, consumed)))` on success, and
+    /// `Err` on an unframeable prefix (undersized or oversized length
+    /// word) — the connection is beyond resync and should close.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Frame, usize)>, String> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if len < 9 {
+            return Err(format!("binary frame payload too short ({len} bytes)"));
+        }
+        if len > MAX_FRAME {
+            return Err(format!(
+                "binary frame payload of {len} bytes exceeds the {MAX_FRAME}-byte cap"
+            ));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let mut req_id = [0u8; 8];
+        req_id.copy_from_slice(&buf[4..12]);
+        Ok(Some((
+            Frame {
+                req_id: u64::from_le_bytes(req_id),
+                tag: buf[12],
+                body: buf[13..4 + len].to_vec(),
+            },
+            4 + len,
+        )))
+    }
+}
+
+/// What a connection's opening bytes say about its protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sniff {
+    /// Too few bytes to decide yet (everything so far is a proper
+    /// prefix of [`BINARY_MAGIC`]): read more.
+    Undecided,
+    /// The stream opened with the full binary magic; the caller should
+    /// consume [`BINARY_MAGIC`]`.len()` bytes and frame from there.
+    Binary,
+    /// Anything else: the line-oriented text protocol.
+    Text,
+}
+
+/// Classify a connection's opening bytes.  The check matches the
+/// *entire* magic, not a printability heuristic on the first byte —
+/// `MGWP01` deliberately starts with a printable `M` so any sniff
+/// shortcut fails loudly in tests rather than silently in production.
+pub fn sniff(first_bytes: &[u8]) -> Sniff {
+    let shared = first_bytes.len().min(BINARY_MAGIC.len());
+    if first_bytes[..shared] != BINARY_MAGIC[..shared] {
+        return Sniff::Text;
+    }
+    if first_bytes.len() >= BINARY_MAGIC.len() {
+        Sniff::Binary
+    } else {
+        Sniff::Undecided
+    }
+}
+
 /// One parsed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -113,6 +256,30 @@ pub fn parse_fact(text: &str) -> Result<Fact, String> {
         Some(values) => Ok(Fact::new(query.atom.pred, values)),
         None => Err(format!("fact must be ground: {text}")),
     }
+}
+
+/// Per-writer-shard counters reported by `STATS` (one `shard\t…` line
+/// each).  The scalar overload fields on [`ServerStats`] are the
+/// aggregates of these; the per-shard breakdown is what tells an
+/// operator *which* partition is hot or degraded.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index in `0..writer_shards`.
+    pub index: u64,
+    /// Commands currently enqueued for this shard's writer.
+    pub queue_depth: u64,
+    /// Updates refused `BUSY` because this shard's queue was full.
+    pub shed_updates: u64,
+    /// Writer round-trips on this shard that exceeded the deadline.
+    pub deadline_misses: u64,
+    /// 1 while this shard is in read-only degraded mode.
+    pub degraded: u64,
+    /// Lifetime transitions of this shard into degraded mode.
+    pub degraded_entered: u64,
+    /// Bytes in this shard's write-ahead log.
+    pub wal_bytes: u64,
+    /// WAL sequence this shard's newest checkpoint covers through.
+    pub last_checkpoint: u64,
 }
 
 /// Per-view totals reported by `STATS`.
@@ -179,8 +346,20 @@ pub struct ServerStats {
     pub degraded: u64,
     /// Lifetime count of transitions *into* degraded mode.
     pub degraded_entered: u64,
+    /// Number of writer shards the base relations are partitioned
+    /// across (1 = the classic single-writer layout).
+    pub writer_shards: u64,
+    /// Pipelined requests currently in flight across all connections
+    /// (decoded but not yet answered).
+    pub inflight_requests: u64,
+    /// Median number of requests decoded per connection pump — the
+    /// observed pipelining batch size (1 on a strictly synchronous
+    /// client; larger means fewer syscalls per request).
+    pub batch_size_p50: u64,
     /// Per-view totals, in catalog key order.
     pub per_view: Vec<ViewStats>,
+    /// Per-writer-shard counters, in shard-index order.
+    pub per_shard: Vec<ShardStats>,
 }
 
 impl ServerStats {
@@ -194,6 +373,20 @@ impl ServerStats {
             out.push_str(&format!(
                 "view\t{}\tfacts={}\tfirings={}\tprobes={}\n",
                 view.key, view.facts, view.rule_firings, view.join_probes
+            ));
+        }
+        for shard in &self.per_shard {
+            out.push_str(&format!(
+                "shard\t{}\tqueue_depth={}\tshed={}\tdeadline_misses={}\tdegraded={}\
+                 \tdegraded_entered={}\twal_bytes={}\tlast_checkpoint={}\n",
+                shard.index,
+                shard.queue_depth,
+                shard.shed_updates,
+                shard.deadline_misses,
+                shard.degraded,
+                shard.degraded_entered,
+                shard.wal_bytes,
+                shard.last_checkpoint
             ));
         }
         out.push_str("END\n");
@@ -233,6 +426,39 @@ impl ServerStats {
                 stats.per_view.push(view);
                 continue;
             }
+            if let Some(rest) = line.strip_prefix("shard\t") {
+                let mut parts = rest.split('\t');
+                let index = parts
+                    .next()
+                    .ok_or_else(|| format!("bad shard line: {line}"))?;
+                let mut shard = ShardStats {
+                    index: index
+                        .parse()
+                        .map_err(|_| format!("bad shard index {index:?} in: {line}"))?,
+                    ..ShardStats::default()
+                };
+                for part in parts {
+                    let (name, value) = part
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad shard field {part:?} in: {line}"))?;
+                    let value: u64 = value
+                        .parse()
+                        .map_err(|_| format!("bad shard number {value:?} in: {line}"))?;
+                    match name {
+                        "queue_depth" => shard.queue_depth = value,
+                        "shed" => shard.shed_updates = value,
+                        "deadline_misses" => shard.deadline_misses = value,
+                        "degraded" => shard.degraded = value,
+                        "degraded_entered" => shard.degraded_entered = value,
+                        "wal_bytes" => shard.wal_bytes = value,
+                        "last_checkpoint" => shard.last_checkpoint = value,
+                        // Forward compatibility, as for views.
+                        _ => {}
+                    }
+                }
+                stats.per_shard.push(shard);
+                continue;
+            }
             let (name, value) = line
                 .split_once('=')
                 .ok_or_else(|| format!("bad stats line: {line}"))?;
@@ -259,6 +485,9 @@ impl ServerStats {
                 "deadline_misses" => stats.deadline_misses = value,
                 "degraded" => stats.degraded = value,
                 "degraded_entered" => stats.degraded_entered = value,
+                "writer_shards" => stats.writer_shards = value,
+                "inflight_requests" => stats.inflight_requests = value,
+                "batch_size_p50" => stats.batch_size_p50 = value,
                 // Forward compatibility: a newer server may report more.
                 _ => {}
             }
@@ -267,7 +496,7 @@ impl ServerStats {
     }
 
     /// The scalar fields, in wire order.
-    fn fields(&self) -> [(&'static str, u64); 19] {
+    fn fields(&self) -> [(&'static str, u64); 22] {
         [
             ("version", self.version),
             ("views", self.views),
@@ -288,6 +517,9 @@ impl ServerStats {
             ("deadline_misses", self.deadline_misses),
             ("degraded", self.degraded),
             ("degraded_entered", self.degraded_entered),
+            ("writer_shards", self.writer_shards),
+            ("inflight_requests", self.inflight_requests),
+            ("batch_size_p50", self.batch_size_p50),
         ]
     }
 }
@@ -377,12 +609,37 @@ mod tests {
             deadline_misses: 2,
             degraded: 1,
             degraded_entered: 6,
+            writer_shards: 4,
+            inflight_requests: 12,
+            batch_size_p50: 8,
             per_view: vec![ViewStats {
                 key: "anc[bf](a, b)@gms".into(),
                 facts: 42,
                 rule_firings: 17,
                 join_probes: 2048,
             }],
+            per_shard: vec![
+                ShardStats {
+                    index: 0,
+                    queue_depth: 3,
+                    shed_updates: 70,
+                    deadline_misses: 2,
+                    degraded: 1,
+                    degraded_entered: 6,
+                    wal_bytes: 4000,
+                    last_checkpoint: 18,
+                },
+                ShardStats {
+                    index: 1,
+                    queue_depth: 2,
+                    shed_updates: 7,
+                    deadline_misses: 0,
+                    degraded: 0,
+                    degraded_entered: 0,
+                    wal_bytes: 96,
+                    last_checkpoint: 11,
+                },
+            ],
         };
         let rendered = stats.render();
         let lines: Vec<String> = rendered
@@ -408,5 +665,65 @@ mod tests {
         assert_eq!(lines[3], "END");
         // A boolean (fully bound) query's row carries no values.
         assert_eq!(render_answers("k", 1, &[vec![]]), "OK 1 1 k\nROW\nEND\n");
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_bad_lengths() {
+        let frame = Frame {
+            req_id: 0xDEAD_BEEF_CAFE_F00D,
+            tag: op::QUERY,
+            body: b"anc(john, Y)".to_vec(),
+        };
+        let bytes = frame.encode();
+        // Partial prefixes decode to "need more", byte by byte.
+        for cut in 0..bytes.len() {
+            assert_eq!(Frame::decode(&bytes[..cut]).unwrap(), None, "cut={cut}");
+        }
+        let (decoded, consumed) = Frame::decode(&bytes).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(consumed, bytes.len());
+        // Two frames back to back: the first decode consumes exactly one.
+        let mut two = bytes.clone();
+        let second = Frame {
+            req_id: 2,
+            tag: status::OK,
+            body: b"OK pong\n".to_vec(),
+        };
+        two.extend_from_slice(&second.encode());
+        let (first, consumed) = Frame::decode(&two).unwrap().unwrap();
+        assert_eq!(first, frame);
+        let (next, _) = Frame::decode(&two[consumed..]).unwrap().unwrap();
+        assert_eq!(next, second);
+        // An empty body is legal (STATS/PING).
+        let empty = Frame {
+            req_id: 9,
+            tag: op::STATS,
+            body: vec![],
+        };
+        let (decoded, _) = Frame::decode(&empty.encode()).unwrap().unwrap();
+        assert_eq!(decoded, empty);
+        // Undersized and oversized length words are hard errors.
+        assert!(Frame::decode(&3u32.to_le_bytes()).is_err());
+        assert!(Frame::decode(&(MAX_FRAME as u32 + 1).to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn sniff_requires_the_full_magic_not_a_printable_first_byte() {
+        // Regression: a binary frame starts with printable bytes
+        // ('M'), so a first-byte printability heuristic would call
+        // every binary connection text.  The sniff must match the
+        // whole magic.
+        assert_eq!(sniff(b""), Sniff::Undecided);
+        assert_eq!(sniff(b"M"), Sniff::Undecided);
+        assert_eq!(sniff(b"MGWP0"), Sniff::Undecided);
+        assert_eq!(sniff(b"MGWP01"), Sniff::Binary);
+        assert_eq!(sniff(b"MGWP01\x15\0\0\0"), Sniff::Binary);
+        // Text requests diverge from the magic early — even ones that
+        // share a first byte with it.
+        assert_eq!(sniff(b"QUERY anc(a, Y)\n"), Sniff::Text);
+        assert_eq!(sniff(b"MGWP02"), Sniff::Text); // wrong version byte
+        assert_eq!(sniff(b"MG"), Sniff::Undecided);
+        assert_eq!(sniff(b"MX"), Sniff::Text);
+        assert_eq!(sniff(b"PING\n"), Sniff::Text);
     }
 }

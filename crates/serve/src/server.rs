@@ -1,84 +1,110 @@
-//! The server: thread-per-connection readers over incrementally
-//! published copy-on-write view snapshots, one maintenance writer.
+//! The server: a pooled, pipelined front end over sharded maintenance
+//! writers and incrementally published copy-on-write view snapshots.
 //!
 //! # Concurrency model
 //!
-//! * **Readers never block on maintenance.**  The writer keeps one frozen
-//!   [`ViewSnapshot`] per cached binding and publishes the set behind an
-//!   immutable [`Arc`] after every applied batch; a connection thread
-//!   answering a query takes the published `Arc` (one brief mutex lock to
-//!   clone the pointer, never held across any evaluation) and reads
-//!   answers out of the frozen snapshot for its key.  Snapshots are
-//!   copy-on-write database clones (pure pointer bumps — see
-//!   [`magic_storage::cow_clones`]), so a publish re-freezes **only the
-//!   views the batch changed** and costs O(changed views), not O(catalog):
-//!   unchanged bindings keep riding the same `Arc` from publish to
-//!   publish, however many views are cached.
-//! * **Writes are serialized.**  `INSERT`/`RETRACT` requests are enqueued
-//!   to the single writer thread, which drains its queue in batches
-//!   (coalescing consecutive insertions into one fixpoint re-entry per
-//!   view via [`ViewCatalog::apply_all`]), applies them to the base
-//!   database and every cached view, re-snapshots the changed views,
-//!   bumps the version and publishes.  The requesting connection is only
-//!   acknowledged *after* the snapshot containing its update is
-//!   published, so a client that gets `OK applied <v>` observes its own
-//!   write in any snapshot with version `>= v`.
+//! * **Readers never block on maintenance.**  Each writer shard keeps
+//!   one frozen [`ViewSnapshot`] per cached binding it owns and
+//!   publishes the set behind an immutable [`Arc`] after every applied
+//!   batch; a connection answering a query takes the owning shard's
+//!   published `Arc` (one brief mutex lock to clone the pointer, never
+//!   held across any evaluation) and reads answers out of the frozen
+//!   snapshot for its key.  Snapshots are copy-on-write database
+//!   clones (pure pointer bumps — see [`magic_storage::cow_clones`]),
+//!   so a publish re-freezes **only the views the batch changed** and
+//!   costs O(changed views), not O(catalog).
+//!
+//! * **Writes are partitioned, then serialized.**  Base relations are
+//!   hash-partitioned across [`ServeConfig::writer_shards`] writer
+//!   threads; every update to a predicate is routed to its *home*
+//!   shard, which drains its queue in batches (one fixpoint re-entry
+//!   per view per batch via [`ViewCatalog::apply_all`]), appends the
+//!   batch to **its own** write-ahead log, applies it to its replica
+//!   of the base database, maintains the views it owns and publishes.
+//!   With more than one shard the home then fans the batch out to its
+//!   peers as replication commands (each shard keeps a full base
+//!   replica so any shard can materialize any view); a per-batch
+//!   barrier delivers the client acknowledgments only once **every**
+//!   shard has published the batch, so ack-after-publish and
+//!   read-your-writes hold across the whole partition.  Order is safe:
+//!   all updates to one predicate serialize through its home shard and
+//!   replicate in that order (per-sender FIFO channels), and updates
+//!   to different predicates commute — a view's state is a function of
+//!   the base state alone.
+//!
+//! * **Connections are pumped, not parked.**  A nonblocking accept
+//!   loop hands each connection to one of a fixed pool of reader
+//!   threads ([`ServeConfig::reader_threads`]); each reader pumps its
+//!   connections round-robin — read, decode *every* buffered request,
+//!   dispatch, poll in-flight writer replies, write completed
+//!   responses.  A client may therefore pipeline: many requests ride
+//!   one syscall, and the per-request wire round-trip that bounds a
+//!   synchronous client's throughput is amortized away.
+//!
+//! * **Two wire protocols share the port.**  The first bytes of every
+//!   connection are sniffed against [`BINARY_MAGIC`] *in full*: a
+//!   `MGWP01` preamble selects the length-prefixed binary framing
+//!   (request ids, batching, out-of-order responses — see
+//!   [`crate::protocol`]); anything else is the line-oriented text
+//!   protocol, answered strictly in request order.
+//!
 //! * **Unseen bindings materialize on demand.**  A query whose adorned
-//!   binding key is not yet cached is routed through the writer (which
-//!   owns the catalog and the authoritative base database), planned,
-//!   materialized, published, and then answered from the fresh snapshot.
-//!   Repeated queries with a known binding never touch the writer; the
-//!   query-text → key translation is memoized per server.
+//!   binding key is not yet cached is planned on the connection thread
+//!   (memoized per query text) and routed to the shard that owns the
+//!   key, which materializes, publishes, and lets the connection
+//!   answer from the fresh snapshot.
 //!
-//! * **Durability is optional and writer-owned.**  With
-//!   [`ServeConfig::durability`] set, the writer appends every
-//!   state-changing batch to a [`magic_durable`] write-ahead log
-//!   *before* publishing the snapshot that contains it — so `OK
-//!   applied` means *logged and published* — and checkpoints the whole
-//!   base database on a configured cadence.  Startup then recovers:
-//!   checkpoint load, view re-materialization, WAL-tail replay, torn
-//!   final frame truncated (it was never acked).  Readers are
-//!   unaffected; the log lives entirely on the writer thread.
+//! * **Durability is optional and shard-owned.**  With
+//!   [`ServeConfig::durability`] set, each shard logs its home
+//!   predicates to its own WAL *before* publishing (`OK applied`
+//!   means *logged and published*) and checkpoints its partition on
+//!   the configured cadence.  Startup recovers per shard — checkpoint
+//!   load, WAL-tail replay — then merges the disjoint partitions and
+//!   re-materializes each shard's exported bindings over the merged
+//!   base.  A store remembers its shard count (`shards.meta`) and
+//!   refuses to reopen at a different one.
 //!
-//! * **Overload sheds, it never queues without bound.**  The writer
-//!   queue carries an atomic depth gauge; once it reaches
-//!   [`ServeConfig::max_queue_depth`], new updates are refused up
-//!   front with `ERR BUSY <retry-after-ms> …` (definitely not
-//!   applied), and every writer round-trip is bounded by
+//! * **Overload sheds, it never queues without bound.**  Each shard
+//!   queue carries an atomic depth gauge; at
+//!   [`ServeConfig::max_queue_depth`] new updates are refused up front
+//!   with `ERR BUSY <retry-after-ms> …` (definitely not applied), and
+//!   every writer round-trip is bounded by
 //!   [`ServeConfig::writer_deadline`] (`ERR TIMEOUT …` = outcome
-//!   unknown, the command may still apply).  Reads are never shed.
+//!   unknown).  Reads are never shed.  Replication commands are
+//!   neither counted nor shed — they are the writers' own traffic.
 //!
-//! * **Durable failures degrade, they don't kill.**  When a WAL append
-//!   or checkpoint fails, the writer rolls the un-logged batch back
-//!   out of the base database, refuses the batch's acks with `ERR
-//!   DEGRADED …`, and flips into read-only degraded mode: reads keep
-//!   serving the last consistent snapshot while a background probe
-//!   retries the durable path on capped exponential backoff
-//!   (25ms → 2s) and clears the flag on success.  `STATS` surfaces
-//!   the whole story (`queue_depth`, `shed_updates`,
-//!   `deadline_misses`, `degraded`, `degraded_entered`).
+//! * **Durable failures degrade the shard, they don't kill the
+//!   server.**  When a shard's WAL append or checkpoint fails, that
+//!   shard rolls the un-logged batch back, refuses its acks with `ERR
+//!   DEGRADED …`, skips replication (its peers never see the rolled-
+//!   back batch), and flips read-only while a background probe retries
+//!   on capped exponential backoff (25ms → 2s).  Healthy shards keep
+//!   accepting writes for their own predicates.  `STATS` reports both
+//!   the aggregate and a per-shard breakdown.
 //!
-//! Every published snapshot is a program fixpoint over a prefix of the
-//! applied update sequence, so responses are transactionally consistent:
-//! a reader can never observe half of a batch (no torn reads) — the
-//! property `tests/serve_consistency.rs` checks against a from-scratch
-//! oracle, and `crates/serve/tests/durable_restart.rs` extends to
-//! recovered state after a mid-stream `SIGKILL`.
+//! Every published shard snapshot is a program fixpoint over a prefix
+//! of the applied update sequence for that shard's views, so responses
+//! are transactionally consistent: a reader can never observe half of
+//! a batch (no torn reads) — the property `tests/serve_consistency.rs`
+//! checks against a from-scratch oracle, and
+//! `crates/serve/tests/durable_restart.rs` extends to recovered state
+//! after a mid-stream `SIGKILL`.
 
 use crate::protocol::{
-    parse_request, render_ack, render_answers, render_error, Request, ServerStats, ViewStats,
+    op, parse_fact, parse_request, render_ack, render_answers, render_error, sniff, status, Frame,
+    Request, ServerStats, ShardStats, Sniff, ViewStats, BINARY_MAGIC,
 };
-use magic_core::planner::Strategy;
-use magic_datalog::{PredName, Program, Query, Value};
-use magic_durable::{ConnFault, DurableConfig, DurableStore, FaultPlan};
+use magic_core::planner::{Planner, Strategy};
+use magic_datalog::{parse_query, PredName, Program, Query, Value};
+use magic_durable::{verify_shard_layout, ConnFault, DurableConfig, DurableStore, FaultPlan};
 use magic_engine::{EvalStats, Limits};
 use magic_incr::{Update, ViewCatalog, ViewSnapshot};
 use magic_storage::Database;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -96,6 +122,26 @@ const PROBE_BACKOFF_MIN: Duration = Duration::from_millis(25);
 /// re-checked at least every couple of seconds.
 const PROBE_BACKOFF_MAX: Duration = Duration::from_secs(2);
 
+/// Upper bound on one request line; longer input is a protocol error.
+const MAX_LINE: usize = 1 << 20;
+
+/// How long the nonblocking accept loop sleeps when nothing is
+/// arriving before re-checking the listener and the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Cap on distinct binding keys in the rendered-response cache; keys
+/// past it simply re-render (the working set of a skewed read mix is
+/// far smaller).
+const RESPONSE_CACHE_MAX_KEYS: usize = 256;
+
+/// Largest response body the cache will hold; a huge view's answer is
+/// rendered per request rather than pinned in memory.
+const RESPONSE_CACHE_MAX_BYTES: usize = 1 << 16;
+
+/// Log2 buckets of the pipelining histogram (requests decoded per
+/// connection pump); bucket `i` covers `2^i ..= 2^(i+1)-1`.
+const BATCH_BUCKETS: usize = 16;
+
 /// Server construction parameters.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -106,31 +152,36 @@ pub struct ServeConfig {
     /// Maximum updates coalesced into one maintenance batch (and thus one
     /// published snapshot).
     pub batch_max: usize,
-    /// Poll granularity of connection reads: how long a blocked reader
-    /// waits before re-checking the shutdown flag.
+    /// Idle poll granularity of the connection reader pool: the ceiling
+    /// on how long a reader sleeps when none of its connections made
+    /// progress (clamped to at most 1ms — the pump is nonblocking, so
+    /// this bounds added latency, it no longer parks a thread).
     pub read_timeout: Duration,
-    /// Cap on cached views (0 = unbounded): past it, the catalog evicts
-    /// the least-recently-queried binding, which then re-materializes on
-    /// next sight.  See [`ViewCatalog::with_max_views`].
+    /// Cap on cached views per writer shard (0 = unbounded): past it,
+    /// the shard's catalog evicts the least-recently-queried binding,
+    /// which then re-materializes on next sight.  See
+    /// [`ViewCatalog::with_max_views`].
     pub max_views: usize,
     /// Idle lifetime of cached views (zero = no TTL): a binding no
-    /// query has touched for this long is evicted by the writer's
+    /// query has touched for this long is evicted by its shard's
     /// maintenance tick and re-materializes on next sight.  Composes
     /// with `max_views` — TTL bounds staleness in *time*, the cap in
     /// *count*.  See [`ViewCatalog::with_view_ttl`].
     pub view_ttl: Duration,
-    /// Crash safety (off by default): when set, the writer appends
-    /// every acked batch to a write-ahead log in this store directory
-    /// and checkpoints on the configured cadence, and
-    /// [`Server::start`] recovers prior state from that directory
-    /// before accepting connections.
+    /// Crash safety (off by default): when set, each writer shard
+    /// appends every acked batch of its home predicates to its own
+    /// write-ahead log in this store directory and checkpoints its
+    /// partition on the configured cadence; [`Server::start`] recovers
+    /// prior state from that directory before accepting connections.
+    /// The directory records its shard count and refuses to reopen at
+    /// a different [`ServeConfig::writer_shards`].
     pub durability: Option<DurableConfig>,
-    /// Overload bound on the writer queue (0 = unbounded).  When the
-    /// number of in-flight writer commands reaches this cap, new
-    /// updates are *shed* before they enqueue: the client gets an
-    /// `ERR BUSY <retry-after-ms> …` line and the fact is never
-    /// applied or logged.  Reads and view materializations are never
-    /// shed — they keep serving from the published snapshot.
+    /// Overload bound on each shard's writer queue (0 = unbounded).
+    /// When the number of in-flight commands for a shard reaches this
+    /// cap, new updates routed to it are *shed* before they enqueue:
+    /// the client gets an `ERR BUSY <retry-after-ms> …` line and the
+    /// fact is never applied or logged.  Reads are never shed — they
+    /// keep serving from the published snapshots.
     pub max_queue_depth: usize,
     /// Deadline on every writer round-trip — update acks and on-demand
     /// materializations (zero = wait forever).  A round-trip that
@@ -139,19 +190,29 @@ pub struct ServeConfig {
     /// update has *unknown* outcome (unlike a `BUSY` shed, which
     /// definitely did not apply).
     pub writer_deadline: Duration,
-    /// Bound on blocking response writes (zero = unbounded).  A client
+    /// Bound on stalled response writes (zero = unbounded).  A client
     /// that stops reading while a large response fills the kernel send
-    /// buffer must not pin a connection thread forever; on expiry the
-    /// response is torn mid-write and the connection closes.  The
-    /// default (5s) is generous — it exists to bound shutdown, not to
-    /// police slow links.
+    /// buffer must not pin its connection forever; once no byte has
+    /// moved for this long the response is torn mid-write and the
+    /// connection closes.  The default (5s) is generous — it exists to
+    /// bound shutdown, not to police slow links.
     pub write_timeout: Duration,
+    /// Number of writer shards the base relations are hash-partitioned
+    /// across (0 or 1 = the classic single-writer layout, byte-for-byte
+    /// compatible with earlier stores).  More shards parallelize WAL
+    /// appends and view maintenance across predicates; updates to one
+    /// predicate always serialize through one shard.
+    pub writer_shards: usize,
+    /// Size of the connection reader pool (0 = auto: the machine's
+    /// available parallelism, clamped to 2..=8).  Each reader pumps
+    /// many connections; the pool replaces thread-per-connection.
+    pub reader_threads: usize,
     /// Deterministic fault injection (testing only; `None` in
     /// production).  When unset, the `MAGIC_FAULTS` environment
     /// variable is consulted at startup — see
-    /// [`magic_durable::faults`].  The plan is shared between the
-    /// durable store (fsync/append/rename faults) and the accept loop
-    /// (connection stall/drop faults).
+    /// [`magic_durable::faults`].  The plan is shared between every
+    /// shard's durable store (fsync/append/rename faults) and the
+    /// accept loop (connection stall/drop faults).
     pub faults: Option<Arc<FaultPlan>>,
 }
 
@@ -168,14 +229,49 @@ impl Default for ServeConfig {
             max_queue_depth: 1024,
             writer_deadline: Duration::from_secs(30),
             write_timeout: Duration::from_secs(5),
+            writer_shards: 1,
+            reader_threads: 0,
             faults: None,
         }
     }
 }
 
+/// FNV-1a — the workspace is dependency-free, and the partition only
+/// needs a stable, well-mixed hash of short names.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The home shard of a predicate or binding-key name.
+fn shard_of(name: &str, shards: usize) -> usize {
+    if shards <= 1 {
+        0
+    } else {
+        (fnv1a(name.as_bytes()) % shards as u64) as usize
+    }
+}
+
+/// `db` restricted to the predicates homed on `shard` — what that
+/// shard's checkpoint persists.  Relations are copy-on-write, so the
+/// projection clones pointers, not tuples.
+fn project_home(db: &Database, shard: usize, shards: usize) -> Database {
+    let mut out = Database::new();
+    for (pred, rel) in db.iter() {
+        if shard_of(&pred.to_string(), shards) == shard {
+            out.insert_relation(pred.clone(), rel.clone());
+        }
+    }
+    out
+}
+
 /// An immutable published state: one frozen [`ViewSnapshot`] per cached
-/// binding, at one version.  Unchanged entries share their `Arc` with the
-/// previous snapshot — republishing is O(changed views).
+/// binding a shard owns, at one version.  Unchanged entries share their
+/// `Arc` with the previous snapshot — republishing is O(changed views).
 struct Snapshot {
     version: u64,
     views: BTreeMap<String, Arc<ViewSnapshot>>,
@@ -184,12 +280,59 @@ struct Snapshot {
 /// An update acknowledgment channel: Ok((state-changed, published
 /// version)) or the rejection message.
 type UpdateReply = Sender<Result<(bool, u64), String>>;
+/// The connection-side end of an update acknowledgment.
+type UpdateRx = Receiver<Result<(bool, u64), String>>;
+/// The connection-side end of a materialization acknowledgment.
+type MaterializeRx = Receiver<Result<String, String>>;
 
-/// Commands on the maintenance queue.
+/// Completion barrier for one cross-shard update batch: the home shard
+/// arms it with the client acks after logging and publishing locally,
+/// every peer shard arrives once it has applied and published the
+/// replicated batch, and the *last* arrival delivers the acks — so `OK
+/// applied <v>` still means "visible on every shard".
+struct BatchBarrier {
+    remaining: AtomicUsize,
+    max_version: AtomicU64,
+    acks: Mutex<Vec<(UpdateReply, bool)>>,
+}
+
+impl BatchBarrier {
+    fn new(peers: usize, home_version: u64, acks: Vec<(UpdateReply, bool)>) -> BatchBarrier {
+        BatchBarrier {
+            remaining: AtomicUsize::new(peers),
+            max_version: AtomicU64::new(home_version),
+            acks: Mutex::new(acks),
+        }
+    }
+
+    /// One shard finished the batch at `version` (0 = it had nothing
+    /// to publish).  The final arrival acks every client with the
+    /// highest version any shard published the batch at.
+    fn arrive(&self, version: u64) {
+        self.max_version.fetch_max(version, Ordering::AcqRel);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let version = self.max_version.load(Ordering::Acquire);
+            let acks = std::mem::take(&mut *self.acks.lock().expect("barrier acks lock"));
+            for (reply, applied) in acks {
+                let _ = reply.send(Ok((applied, version)));
+            }
+        }
+    }
+}
+
+/// Commands on a shard's maintenance queue.
 enum WriterCmd {
-    /// Apply one update; acknowledge with (state-changed, published
-    /// version) once the containing snapshot is live.
+    /// Apply one update homed on this shard; acknowledge with
+    /// (state-changed, published version) once the containing snapshot
+    /// is live on every shard.
     Update { update: Update, reply: UpdateReply },
+    /// Apply a batch another shard already logged and acked ownership
+    /// of; arrive at the barrier once published locally.  Never
+    /// counted against the queue-depth gauge and never shed.
+    Replicate {
+        updates: Arc<Vec<Update>>,
+        barrier: Arc<BatchBarrier>,
+    },
     /// Plan and materialize a view for `query`; acknowledge with the
     /// binding key once the snapshot containing it is live.
     Materialize {
@@ -200,60 +343,35 @@ enum WriterCmd {
     Shutdown,
 }
 
-/// State shared between the accept loop, connection threads, the writer
-/// and the handle.
-struct Shared {
-    program: Program,
-    derived: BTreeSet<PredName>,
+/// Per-shard shared state: the command queue, the published snapshot
+/// slot for the views the shard owns, and the shard's own overload and
+/// durability gauges.
+struct ShardState {
+    tx: Sender<WriterCmd>,
     published: Mutex<Arc<Snapshot>>,
-    writer_tx: Sender<WriterCmd>,
-    /// Memoized query-text → binding-key translation (one plan per
-    /// distinct query text, server-wide).
-    key_cache: Mutex<HashMap<String, String>>,
-    shutdown: AtomicBool,
-    queries_served: AtomicU64,
-    updates_applied: AtomicU64,
-    connections: AtomicU64,
-    /// Views evicted because their maintenance failed (see
-    /// [`magic_incr::ViewCatalog::apply_all`]) or because they idled
-    /// past the view TTL; surfaced in `STATS`.
-    views_evicted: AtomicU64,
-    /// Mirror of [`DurableStore::wal_bytes`], maintained by the writer
-    /// so `STATS` never has to cross into the writer thread.
-    wal_bytes: AtomicU64,
-    /// Mirror of [`DurableStore::last_checkpoint_seq`].
-    last_checkpoint_seq: AtomicU64,
-    /// Response writes that failed (client gone mid-response); the
-    /// connection is closed and the failure counted, never ignored.
-    write_errors: AtomicU64,
-    read_timeout: Duration,
-    write_timeout: Duration,
-    /// Overload knobs (see [`ServeConfig`]).
-    max_queue_depth: usize,
-    writer_deadline: Duration,
-    /// Commands currently in flight to the writer (enqueued but not
+    /// Commands currently in flight to this shard (enqueued but not
     /// yet popped).  Incremented *before* the channel send so the
     /// gauge can only over-count, never under-count — the shed check
     /// errs toward shedding at the boundary rather than letting the
     /// queue grow past its cap.
     queue_depth: AtomicU64,
-    /// Updates refused with `BUSY` because the queue was at capacity.
+    /// Updates refused with `BUSY` because this queue was at capacity.
     shed_updates: AtomicU64,
-    /// Writer round-trips that exceeded [`ServeConfig::writer_deadline`].
+    /// Writer round-trips on this shard that exceeded the deadline.
     deadline_misses: AtomicU64,
-    /// Read-only degraded mode: set by the writer when the durable
-    /// path (WAL append or checkpoint) fails, cleared when a
-    /// background probe proves it healthy again.  While set, updates
-    /// are refused with `DEGRADED`; reads keep serving the last
-    /// consistent snapshot.
+    /// Read-only degraded mode for this shard: set by its writer when
+    /// the durable path (WAL append or checkpoint) fails, cleared when
+    /// a background probe proves it healthy again.
     degraded: AtomicBool,
-    /// Times the server has *entered* degraded mode (lifetime count).
+    /// Times this shard has *entered* degraded mode (lifetime count).
     degraded_entered: AtomicU64,
-    /// Shared fault plan for the accept loop's connection faults.
-    faults: Option<Arc<FaultPlan>>,
+    /// Mirror of [`DurableStore::wal_bytes`] for this shard's log.
+    wal_bytes: AtomicU64,
+    /// Mirror of [`DurableStore::last_checkpoint_seq`].
+    last_checkpoint_seq: AtomicU64,
 }
 
-impl Shared {
+impl ShardState {
     fn snapshot(&self) -> Arc<Snapshot> {
         self.published.lock().expect("publish lock").clone()
     }
@@ -262,44 +380,10 @@ impl Shared {
         *self.published.lock().expect("publish lock") = Arc::new(snapshot);
     }
 
-    /// Round-trip a command through the writer thread, under the
-    /// configured deadline.  On expiry the command is *not* revoked —
-    /// it stays queued and may apply later — so a `TIMEOUT` error
-    /// means "outcome unknown", and the writer's eventual reply lands
-    /// on a disconnected channel (harmless: its send is ignored).
-    fn writer_call<T>(
-        &self,
-        make: impl FnOnce(Sender<Result<T, String>>) -> WriterCmd,
-    ) -> Result<T, String> {
-        let (tx, rx) = channel();
-        self.queue_depth.fetch_add(1, Ordering::Relaxed);
-        if self.writer_tx.send(make(tx)).is_err() {
-            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            return Err("server is shutting down".to_string());
-        }
-        if self.writer_deadline.is_zero() {
-            rx.recv()
-                .map_err(|_| "server is shutting down".to_string())?
-        } else {
-            match rx.recv_timeout(self.writer_deadline) {
-                Ok(result) => result,
-                Err(RecvTimeoutError::Disconnected) => Err("server is shutting down".to_string()),
-                Err(RecvTimeoutError::Timeout) => {
-                    self.deadline_misses.fetch_add(1, Ordering::Relaxed);
-                    Err(format!(
-                        "TIMEOUT writer did not respond within {}ms; the command is \
-                         still queued and may yet apply",
-                        self.writer_deadline.as_millis()
-                    ))
-                }
-            }
-        }
-    }
-
     /// Book-keeping for a command the writer popped off its queue:
     /// every counted (client-originated) command decrements the depth
-    /// gauge exactly once, at pop time.  `Shutdown` is sent outside
-    /// [`Shared::writer_call`] and is never counted.
+    /// gauge exactly once, at pop time.  `Shutdown` and `Replicate`
+    /// are sent by the server itself and are never counted.
     fn note_pop(&self, cmd: &WriterCmd) {
         if matches!(
             cmd,
@@ -310,32 +394,190 @@ impl Shared {
     }
 }
 
+/// State shared between the accept loop, the reader pool, the writer
+/// shards and the handle.
+struct Shared {
+    program: Program,
+    derived: BTreeSet<PredName>,
+    strategy: Strategy,
+    limits: Limits,
+    shards: Vec<ShardState>,
+    /// Global snapshot version counter: every publish on any shard
+    /// takes the next value, so versions are unique and each shard's
+    /// slot is monotonic.  At one shard this degenerates to the
+    /// classic single-writer version sequence.
+    version: AtomicU64,
+    /// Memoized query-text → binding-key translation (one plan per
+    /// distinct query text, server-wide).
+    key_cache: Mutex<HashMap<String, String>>,
+    /// Rendered-response cache: binding key → (published version, the
+    /// full rendered response at that version).  Published snapshots
+    /// are immutable, so a view's rendered answer is a pure function
+    /// of `(key, version)` — the hot keys of a skewed read mix serve
+    /// as one map probe and a memcpy instead of re-collecting and
+    /// re-formatting hundreds of rows per request.  Only the latest
+    /// version per key is kept; any publish that moves the view
+    /// changes the version and misses naturally.
+    response_cache: Mutex<HashMap<String, (u64, Vec<u8>)>>,
+    shutdown: AtomicBool,
+    queries_served: AtomicU64,
+    updates_applied: AtomicU64,
+    connections: AtomicU64,
+    /// Views evicted because their maintenance failed (see
+    /// [`magic_incr::ViewCatalog::apply_all`]) or because they idled
+    /// past the view TTL; surfaced in `STATS`.
+    views_evicted: AtomicU64,
+    /// Response writes that failed (client gone mid-response); the
+    /// connection is closed and the failure counted, never ignored.
+    write_errors: AtomicU64,
+    /// Decoded requests not yet answered, across every connection —
+    /// the pipelining depth the server is actually holding.
+    inflight_requests: AtomicU64,
+    /// Log2 histogram of requests decoded per connection pump; the
+    /// observed batch size the pipelined protocol achieves.
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+    write_timeout: Duration,
+    /// Overload knobs (see [`ServeConfig`]).
+    max_queue_depth: usize,
+    writer_deadline: Duration,
+    /// Shared fault plan for the accept loop's connection faults.
+    faults: Option<Arc<FaultPlan>>,
+}
+
+impl Shared {
+    fn next_version(&self) -> u64 {
+        self.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn shard_of_key(&self, key: &str) -> usize {
+        shard_of(key, self.shards.len())
+    }
+
+    /// The cached rendered response for `(key, version)`, if the cache
+    /// holds exactly that version.
+    fn cached_response(&self, key: &str, version: u64) -> Option<Vec<u8>> {
+        let cache = self.response_cache.lock().expect("response cache lock");
+        match cache.get(key) {
+            Some((v, body)) if *v == version => Some(body.clone()),
+            _ => None,
+        }
+    }
+
+    /// Remember the rendered response for `(key, version)`, bounded in
+    /// both key count and body size — an oversized answer or an
+    /// overflowing key population degrades to per-request rendering,
+    /// never to unbounded memory.
+    fn cache_response(&self, key: &str, version: u64, body: &[u8]) {
+        if body.len() > RESPONSE_CACHE_MAX_BYTES {
+            return;
+        }
+        let mut cache = self.response_cache.lock().expect("response cache lock");
+        if cache.len() >= RESPONSE_CACHE_MAX_KEYS && !cache.contains_key(key) {
+            return;
+        }
+        cache.insert(key.to_string(), (version, body.to_vec()));
+    }
+
+    /// The binding key `key_cache` memoizes: identical to what the
+    /// owning shard's catalog computes, because both run the same
+    /// deterministic planner over the same program.
+    fn binding_key(&self, query: &Query) -> Result<String, String> {
+        let plan = Planner::new(self.strategy)
+            .with_limits(self.limits)
+            .plan(&self.program, query)
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "{}@{}",
+            plan.view_binding(),
+            self.strategy.short_name()
+        ))
+    }
+
+    fn slot_deadline(&self) -> Option<Instant> {
+        (!self.writer_deadline.is_zero()).then(|| Instant::now() + self.writer_deadline)
+    }
+
+    fn record_batch(&self, decoded: usize) {
+        let bucket = (usize::BITS - 1)
+            .saturating_sub(decoded.leading_zeros())
+            .min(BATCH_BUCKETS as u32 - 1) as usize;
+        self.batch_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Median of the batch-size histogram, reported as its bucket's
+    /// lower bound (1, 2, 4, …); 0 before any request was decoded.
+    fn batch_p50(&self) -> u64 {
+        let counts: Vec<u64> = self
+            .batch_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let half = total.div_ceil(2);
+        let mut seen = 0u64;
+        for (bucket, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= half {
+                return 1u64 << bucket;
+            }
+        }
+        0
+    }
+
+    /// Raise the shutdown flag and stop every writer (idempotent).
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            let _ = shard.tx.send(WriterCmd::Shutdown);
+        }
+    }
+}
+
 /// A running server.  Dropping the handle shuts the server down and joins
 /// every thread; [`ServerHandle::shutdown`] does the same explicitly.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
-    writer_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    writer_threads: Vec<JoinHandle<()>>,
+    reader_threads: Vec<JoinHandle<()>>,
 }
 
 /// Namespace for [`Server::start`].
 pub struct Server;
 
+/// Everything one writer shard owns, handed to its thread at spawn.
+struct WriterInit {
+    idx: usize,
+    rx: Receiver<WriterCmd>,
+    catalog: ViewCatalog,
+    db: Database,
+    store: Option<DurableStore>,
+    /// Send ends of every *other* shard's queue, for replication
+    /// fan-out (empty in the single-shard layout).
+    peer_txs: Vec<Sender<WriterCmd>>,
+}
+
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
     /// `program` over `edb` until the returned handle is shut down.
     ///
-    /// The catalog starts empty: views materialize on demand as queries
-    /// arrive, each keyed by its adorned binding.  `edb` becomes the
-    /// authoritative base-fact database, maintained by every acknowledged
-    /// update and used to materialize late-arriving bindings.
+    /// The catalogs start empty: views materialize on demand as queries
+    /// arrive, each keyed by its adorned binding and owned by the shard
+    /// its key hashes to.  `edb` becomes the authoritative base-fact
+    /// database (replicated across shards; each predicate's home shard
+    /// serializes and logs its updates), maintained by every
+    /// acknowledged update and used to materialize late-arriving
+    /// bindings.
     ///
     /// With [`ServeConfig::durability`] set, startup first runs
-    /// recovery against the store directory: the newest checkpoint is
-    /// loaded, its exported view bindings re-materialize, and the WAL
-    /// tail replays through maintenance, all *before* the listener
+    /// recovery against the store directory — per shard: newest
+    /// checkpoint load and WAL-tail replay; then the disjoint
+    /// partitions merge and each shard's exported view bindings
+    /// re-materialize over the merged base — all *before* the listener
     /// accepts its first connection.  On a brand-new store `edb` is
     /// the seed and is checkpointed immediately; on an existing store
     /// the disk state wins and `edb` is ignored.
@@ -346,94 +588,201 @@ impl Server {
         config: ServeConfig,
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let catalog = ViewCatalog::new(config.strategy)
-            .with_limits(config.limits)
-            .with_max_views(config.max_views)
-            .with_view_ttl(config.view_ttl);
+        let shards = config.writer_shards.max(1);
         let durable_err = |e: magic_durable::DurableError| io::Error::other(e.to_string());
         // One fault plan instance for the whole server: explicit config
         // wins, else `MAGIC_FAULTS`.  Resolving it here (rather than
-        // letting the store read the environment on its own) keeps the
-        // durable store and the accept loop sharing the *same*
+        // letting each store read the environment on its own) keeps
+        // every durable store and the accept loop sharing the *same*
         // occurrence counters, so a spec like `conn-drop=2` counts
         // connections globally, not per subsystem.
         let faults = config.faults.clone().or_else(FaultPlan::from_env);
-        let (catalog, edb, store) = match &config.durability {
+        let new_catalog = || {
+            ViewCatalog::new(config.strategy)
+                .with_limits(config.limits)
+                .with_max_views(config.max_views)
+                .with_view_ttl(config.view_ttl)
+        };
+        let (catalogs, dbs, stores) = match &config.durability {
             Some(durable) => {
                 let mut durable = durable.clone();
                 if durable.faults.is_none() {
                     durable.faults = faults.clone();
                 }
-                let mut store = DurableStore::open(&durable).map_err(durable_err)?;
-                let recovered = store
-                    .recover(&program, catalog, &edb)
-                    .map_err(durable_err)?;
-                (recovered.catalog, recovered.db, Some(store))
+                verify_shard_layout(&durable.dir, shards).map_err(durable_err)?;
+                if shards == 1 {
+                    // The classic path, byte-compatible with stores
+                    // written by earlier single-writer servers.
+                    let mut store = DurableStore::open(&durable).map_err(durable_err)?;
+                    let recovered = store
+                        .recover(&program, new_catalog(), &edb)
+                        .map_err(durable_err)?;
+                    (
+                        vec![recovered.catalog],
+                        vec![recovered.db],
+                        vec![Some(store)],
+                    )
+                } else {
+                    // Per-shard recovery: each store covers a disjoint
+                    // predicate partition, so the merged union *is*
+                    // the acked base state; views then re-materialize
+                    // over it — the same fixpoint the single-store
+                    // replay-through-maintenance reaches, because a
+                    // view's state is a function of the base state.
+                    let mut stores = Vec::with_capacity(shards);
+                    let mut shard_bindings = Vec::with_capacity(shards);
+                    let mut merged = Database::new();
+                    for i in 0..shards {
+                        let mut store =
+                            DurableStore::open_shard(&durable, i, shards).map_err(durable_err)?;
+                        let seed = project_home(&edb, i, shards);
+                        let recovered = store.recover_base(&seed).map_err(durable_err)?;
+                        merged.merge(&recovered.db);
+                        shard_bindings.push(recovered.bindings);
+                        stores.push(Some(store));
+                    }
+                    let mut catalogs: Vec<ViewCatalog> =
+                        (0..shards).map(|_| new_catalog()).collect();
+                    for (catalog, bindings) in catalogs.iter_mut().zip(shard_bindings) {
+                        for (_key, text) in bindings {
+                            // A binding whose query no longer plans
+                            // (the program changed between runs) is
+                            // dropped, not fatal: views are caches.
+                            let Ok(query) = parse_query(&text) else {
+                                continue;
+                            };
+                            let _ = catalog.materialize_keyed(&program, &query, &merged);
+                        }
+                    }
+                    let dbs = (0..shards).map(|_| merged.clone()).collect();
+                    (catalogs, dbs, stores)
+                }
             }
-            None => (catalog, edb, None),
+            None => (
+                (0..shards).map(|_| new_catalog()).collect(),
+                (0..shards).map(|_| edb.clone()).collect(),
+                (0..shards)
+                    .map(|_| None)
+                    .collect::<Vec<Option<DurableStore>>>(),
+            ),
         };
-        let (writer_tx, writer_rx) = channel();
+
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let shard_states: Vec<ShardState> = txs
+            .iter()
+            .zip(&stores)
+            .map(|(tx, store)| ShardState {
+                tx: tx.clone(),
+                published: Mutex::new(Arc::new(Snapshot {
+                    version: 0,
+                    views: BTreeMap::new(),
+                })),
+                queue_depth: AtomicU64::new(0),
+                shed_updates: AtomicU64::new(0),
+                deadline_misses: AtomicU64::new(0),
+                degraded: AtomicBool::new(false),
+                degraded_entered: AtomicU64::new(0),
+                wal_bytes: AtomicU64::new(store.as_ref().map_or(0, DurableStore::wal_bytes)),
+                last_checkpoint_seq: AtomicU64::new(
+                    store.as_ref().map_or(0, DurableStore::last_checkpoint_seq),
+                ),
+            })
+            .collect();
         let shared = Arc::new(Shared {
             derived: program.derived_preds(),
             program,
-            published: Mutex::new(Arc::new(Snapshot {
-                version: 0,
-                views: BTreeMap::new(),
-            })),
-            writer_tx,
+            strategy: config.strategy,
+            limits: config.limits,
+            shards: shard_states,
+            version: AtomicU64::new(0),
             key_cache: Mutex::new(HashMap::new()),
+            response_cache: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             queries_served: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             views_evicted: AtomicU64::new(0),
-            wal_bytes: AtomicU64::new(store.as_ref().map_or(0, DurableStore::wal_bytes)),
-            last_checkpoint_seq: AtomicU64::new(
-                store.as_ref().map_or(0, DurableStore::last_checkpoint_seq),
-            ),
             write_errors: AtomicU64::new(0),
-            read_timeout: config.read_timeout,
+            inflight_requests: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             write_timeout: config.write_timeout,
             max_queue_depth: config.max_queue_depth,
             writer_deadline: config.writer_deadline,
-            queue_depth: AtomicU64::new(0),
-            shed_updates: AtomicU64::new(0),
-            deadline_misses: AtomicU64::new(0),
-            degraded: AtomicBool::new(false),
-            degraded_entered: AtomicU64::new(0),
             faults,
         });
 
-        let writer_shared = Arc::clone(&shared);
         let view_ttl = (config.view_ttl > Duration::ZERO).then_some(config.view_ttl);
-        let writer_thread = std::thread::Builder::new()
-            .name("magic-serve-writer".into())
-            .spawn(move || {
-                writer_loop(
-                    writer_shared,
-                    writer_rx,
-                    catalog,
-                    edb,
-                    config.batch_max,
-                    store,
-                    view_ttl,
-                )
-            })?;
+        let mut writer_threads = Vec::with_capacity(shards);
+        let shard_inits = rxs
+            .into_iter()
+            .zip(catalogs)
+            .zip(dbs.into_iter().zip(stores));
+        for (i, ((rx, catalog), (db, store))) in shard_inits.enumerate() {
+            let peer_txs: Vec<Sender<WriterCmd>> = txs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, tx)| tx.clone())
+                .collect();
+            let init = WriterInit {
+                idx: i,
+                rx,
+                catalog,
+                db,
+                store,
+                peer_txs,
+            };
+            let writer_shared = Arc::clone(&shared);
+            writer_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("magic-serve-writer-{i}"))
+                    .spawn(move || writer_loop(writer_shared, init, config.batch_max, view_ttl))?,
+            );
+        }
 
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let reader_count = if config.reader_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(2, 8)
+        } else {
+            config.reader_threads
+        };
+        let idle = config
+            .read_timeout
+            .clamp(Duration::from_micros(200), Duration::from_millis(1));
+        let mut reader_txs = Vec::with_capacity(reader_count);
+        let mut reader_threads = Vec::with_capacity(reader_count);
+        for i in 0..reader_count {
+            let (tx, rx) = channel::<NewConn>();
+            reader_txs.push(tx);
+            let reader_shared = Arc::clone(&shared);
+            reader_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("magic-serve-reader-{i}"))
+                    .spawn(move || reader_loop(reader_shared, rx, idle))?,
+            );
+        }
+
         let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conn_threads);
         let accept_thread = std::thread::Builder::new()
             .name("magic-serve-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, accept_conns))?;
+            .spawn(move || accept_loop(listener, accept_shared, reader_txs))?;
 
         Ok(ServerHandle {
             addr,
             shared,
             accept_thread: Some(accept_thread),
-            writer_thread: Some(writer_thread),
-            conn_threads,
+            writer_threads,
+            reader_threads,
         })
     }
 }
@@ -454,23 +803,18 @@ impl ServerHandle {
         self.shared.updates_applied.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting, stop the writer, wake blocked readers and join
-    /// every thread.  Idempotent; also runs on drop.
+    /// Stop accepting, stop every writer shard, let the reader pool
+    /// drop its connections and join every thread.  Idempotent; also
+    /// runs on drop.
     pub fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Stop the writer (ignore errors: it may already be gone).
-        let _ = self.shared.writer_tx.send(WriterCmd::Shutdown);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.shared.begin_shutdown();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.writer_thread.take() {
+        for t in self.writer_threads.drain(..) {
             let _ = t.join();
         }
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.conn_threads.lock().expect("conn list lock"));
-        for t in handles {
+        for t in self.reader_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -503,59 +847,67 @@ impl DegradedCause {
     }
 }
 
-/// Flip the server into read-only degraded mode (idempotent on the
+/// Flip one shard into read-only degraded mode (idempotent on the
 /// counters: re-entering while already degraded only updates the cause).
 fn enter_degraded(
-    shared: &Shared,
+    shard: &ShardState,
     degraded_cause: &mut Option<DegradedCause>,
     probe_backoff: &mut Duration,
     next_probe: &mut Option<Instant>,
     cause: DegradedCause,
 ) {
     if degraded_cause.is_none() {
-        shared.degraded.store(true, Ordering::Release);
-        shared.degraded_entered.fetch_add(1, Ordering::Relaxed);
+        shard.degraded.store(true, Ordering::Release);
+        shard.degraded_entered.fetch_add(1, Ordering::Relaxed);
     }
     *degraded_cause = Some(cause);
     *probe_backoff = PROBE_BACKOFF_MIN;
     *next_probe = Some(Instant::now() + *probe_backoff);
 }
 
-/// The maintenance writer: drains the queue in batches, applies updates
-/// to the authoritative base database and every cached view, materializes
-/// late bindings, and publishes a fresh snapshot after every change.
+/// One maintenance writer shard: drains its queue in batches, applies
+/// updates homed on it to its base replica and the views it owns,
+/// replicates to its peers, materializes late bindings, and publishes a
+/// fresh snapshot after every change.
 ///
-/// Publishing is incremental: `published` mirrors the catalog as a map of
-/// frozen per-view snapshots, and each publish cycle replaces only the
-/// entries [`ViewCatalog::apply_all`] reported changed (plus drops for
-/// evicted bindings and inserts for fresh materializations).  The map
-/// clone handed to readers bumps one `Arc` per view; no view data is
-/// copied for views the batch did not move.
+/// Publishing is incremental: `published` mirrors the shard's catalog
+/// as a map of frozen per-view snapshots, and each publish cycle
+/// replaces only the entries [`ViewCatalog::apply_all`] reported
+/// changed (plus drops for evicted bindings and inserts for fresh
+/// materializations).  The map clone handed to readers bumps one `Arc`
+/// per view; no view data is copied for views the batch did not move.
 fn writer_loop(
     shared: Arc<Shared>,
-    rx: Receiver<WriterCmd>,
-    mut catalog: ViewCatalog,
-    mut base_db: Database,
+    init: WriterInit,
     batch_max: usize,
-    mut store: Option<DurableStore>,
     view_ttl: Option<Duration>,
 ) {
-    let mut version: u64 = 0;
+    let WriterInit {
+        idx,
+        rx,
+        mut catalog,
+        db: mut base_db,
+        mut store,
+        peer_txs,
+    } = init;
+    let me = &shared.shards[idx];
+    let shard_count = shared.shards.len();
+    let mut last_version: u64 = 0;
     let mut published: BTreeMap<String, Arc<ViewSnapshot>> = BTreeMap::new();
     // Recovery may have handed us a warm catalog (re-materialized from
     // a checkpoint's exported bindings).  Publish those views up front:
     // a reader whose first query hits a recovered binding goes through
-    // the writer's materialize path, gets a cache hit (`fresh ==
-    // false`, so no publish happens there) and then reads the snapshot
-    // — which must therefore already contain the view.
+    // the materialize path, gets a cache hit (`fresh == false`, so no
+    // publish happens there) and then reads the snapshot — which must
+    // therefore already contain the view.
     for (key, _) in catalog.export_bindings() {
         if let Some(snap) = catalog.snapshot_view(&key) {
             published.insert(key, Arc::new(snap));
         }
     }
     if !published.is_empty() {
-        shared.publish(Snapshot {
-            version,
+        me.publish(Snapshot {
+            version: 0,
             views: published.clone(),
         });
     }
@@ -571,10 +923,12 @@ fn writer_loop(
     let declared_arities = shared.program.predicate_arities().unwrap_or_default();
     // A command popped out of a batch drain that must be handled next.
     let mut deferred: Option<WriterCmd> = None;
-    // Degraded mode: while `Some`, the durable path is broken — updates
-    // are refused and a probe retries the failing operation on a capped
-    // exponential backoff.  Owned by the writer; mirrored to
-    // `shared.degraded` for the connection threads' front-door check.
+    // Degraded mode: while `Some`, this shard's durable path is broken
+    // — updates homed here are refused and a probe retries the failing
+    // operation on a capped exponential backoff.  Owned by the writer;
+    // mirrored to the shard's `degraded` flag for the connection-side
+    // front-door check.  Replicated batches from healthy peers still
+    // apply: they are already logged by their home shard.
     let mut degraded_cause: Option<DegradedCause> = None;
     let mut probe_backoff = PROBE_BACKOFF_MIN;
     let mut next_probe: Option<Instant> = None;
@@ -595,14 +949,14 @@ fn writer_loop(
             None => match tick {
                 None => match rx.recv() {
                     Ok(cmd) => {
-                        shared.note_pop(&cmd);
+                        me.note_pop(&cmd);
                         Some(cmd)
                     }
                     Err(_) => break, // every sender is gone
                 },
                 Some(tick) => match rx.recv_timeout(tick) {
                     Ok(cmd) => {
-                        shared.note_pop(&cmd);
+                        me.note_pop(&cmd);
                         Some(cmd)
                     }
                     Err(RecvTimeoutError::Disconnected) => break 'main,
@@ -620,9 +974,9 @@ fn writer_loop(
                             for key in &expired {
                                 published.remove(key);
                             }
-                            version += 1;
-                            shared.publish(Snapshot {
-                                version,
+                            last_version = shared.next_version();
+                            me.publish(Snapshot {
+                                version: last_version,
                                 views: published.clone(),
                             });
                         }
@@ -654,9 +1008,9 @@ fn writer_loop(
                             match catalog.snapshot_view(&key) {
                                 Some(snap) => {
                                     published.insert(key.clone(), Arc::new(snap));
-                                    version += 1;
-                                    shared.publish(Snapshot {
-                                        version,
+                                    last_version = shared.next_version();
+                                    me.publish(Snapshot {
+                                        version: last_version,
                                         views: published.clone(),
                                     });
                                     let _ = reply.send(Ok(key));
@@ -664,9 +1018,9 @@ fn writer_loop(
                                 None => {
                                     // Still publish the sweep's drops so
                                     // readers don't hold stale entries.
-                                    version += 1;
-                                    shared.publish(Snapshot {
-                                        version,
+                                    last_version = shared.next_version();
+                                    me.publish(Snapshot {
+                                        version: last_version,
                                         views: published.clone(),
                                     });
                                     let _ = reply.send(Err(format!(
@@ -685,6 +1039,53 @@ fn writer_loop(
                     }
                 }
             }
+            Some(WriterCmd::Replicate { updates, barrier }) => {
+                // A batch a peer shard owns: it is already validated,
+                // logged and rolled forward there.  Apply it to the
+                // local base replica and whatever views this shard
+                // owns, publish if anything moved, and arrive at the
+                // barrier so the acks can go out.  Never logged here —
+                // each WAL covers only its shard's home predicates.
+                for update in updates.iter() {
+                    match update {
+                        Update::Insert(f) => base_db.insert_fact(f),
+                        Update::Retract(f) => base_db.remove_fact(f),
+                    };
+                }
+                let outcome = catalog.apply_all(updates.as_slice());
+                let mut moved = false;
+                if !outcome.evicted.is_empty() {
+                    shared
+                        .views_evicted
+                        .fetch_add(outcome.evicted.len() as u64, Ordering::Relaxed);
+                    for (key, _) in &outcome.evicted {
+                        published.remove(key);
+                    }
+                    moved = true;
+                }
+                for key in &outcome.changed {
+                    match catalog.snapshot_view(key) {
+                        Some(snap) => {
+                            published.insert(key.clone(), Arc::new(snap));
+                        }
+                        None => {
+                            published.remove(key);
+                            shared.views_evicted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    moved = true;
+                }
+                if moved {
+                    last_version = shared.next_version();
+                    me.publish(Snapshot {
+                        version: last_version,
+                        views: published.clone(),
+                    });
+                    barrier.arrive(last_version);
+                } else {
+                    barrier.arrive(0);
+                }
+            }
             Some(WriterCmd::Update { update: _, reply }) if degraded_cause.is_some() => {
                 // The front door refuses updates while degraded, but a
                 // command already queued when the flag rose races past
@@ -698,13 +1099,14 @@ fn writer_loop(
             }
             Some(WriterCmd::Update { update, reply }) => {
                 // Batch: greedily drain more queued updates (writes are
-                // serialized anyway, and coalescing insertions lets each
-                // view run one fixpoint re-entry for the whole batch).
+                // serialized per shard anyway, and coalescing insertions
+                // lets each view run one fixpoint re-entry for the whole
+                // batch).
                 let mut batch = vec![(update, reply)];
                 while batch.len() < batch_max {
                     match rx.try_recv() {
                         Ok(cmd) => {
-                            shared.note_pop(&cmd);
+                            me.note_pop(&cmd);
                             match cmd {
                                 WriterCmd::Update { update, reply } => {
                                     batch.push((update, reply));
@@ -718,13 +1120,13 @@ fn writer_loop(
                         Err(_) => break,
                     }
                 }
-                // Apply to the authoritative base database, validating
-                // each fact's arity *at application time* — against the
-                // database as the batch has mutated it so far, falling
-                // back to the program's declared arity.  (A single
-                // pre-pass would miss two same-batch inserts of a brand
-                // new predicate at different arities, and storage treats
-                // a wrong-arity row as a caller bug and panics.)
+                // Apply to the base replica, validating each fact's
+                // arity *at application time* — against the database as
+                // the batch has mutated it so far, falling back to the
+                // program's declared arity.  (A single pre-pass would
+                // miss two same-batch inserts of a brand new predicate
+                // at different arities, and storage treats a
+                // wrong-arity row as a caller bug and panics.)
                 // Mismatches are answered immediately and dropped; the
                 // base database then decides which survivors are state
                 // changes — no-ops are acknowledged but never reach the
@@ -757,18 +1159,17 @@ fn writer_loop(
                     }
                     acks.push((reply, is_change));
                 }
-                // Write-ahead: the batch must be on the log *before*
-                // its snapshot publishes and its clients are acked —
-                // "OK applied" promises the write survives a crash.
-                // If the log itself fails, the failed append is
-                // scrubbed from the log (see
-                // [`DurableStore::log_batch`]) and the batch is rolled
-                // back out of the base database — exact inverses in
-                // reverse order, sound because `changed` holds only
-                // state-changers.  Memory, disk and the refusal acks
-                // then agree: the batch never happened.  The views
-                // never see it (maintenance below is skipped) and the
-                // server enters read-only degraded mode.
+                // Write-ahead: the batch must be on this shard's log
+                // *before* its snapshot publishes and its clients are
+                // acked — "OK applied" promises the write survives a
+                // crash.  If the log itself fails, the failed append is
+                // scrubbed from the log (see [`DurableStore::log_batch`])
+                // and the batch is rolled back out of the base replica —
+                // exact inverses in reverse order, sound because
+                // `changed` holds only state-changers.  Memory, disk and
+                // the refusal acks then agree: the batch never happened.
+                // The views never see it, the peers are never told, and
+                // this shard enters read-only degraded mode.
                 let mut log_failure: Option<String> = None;
                 if !changed.is_empty() {
                     if let Some(store) = store.as_mut() {
@@ -785,7 +1186,7 @@ fn writer_loop(
                             }
                             log_failure = Some(e.to_string());
                         }
-                        shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
+                        me.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
                     }
                 }
                 if log_failure.is_none() && !changed.is_empty() {
@@ -825,9 +1226,9 @@ fn writer_loop(
                             }
                         }
                     }
-                    version += 1;
-                    shared.publish(Snapshot {
-                        version,
+                    last_version = shared.next_version();
+                    me.publish(Snapshot {
+                        version: last_version,
                         views: published.clone(),
                     });
                     shared
@@ -839,37 +1240,67 @@ fn writer_loop(
                 // the flag raised when it asks `STATS`.
                 if let Some(detail) = &log_failure {
                     eprintln!(
-                        "magic-serve: WAL append failed, entering read-only \
-                         degraded mode: {detail}"
+                        "magic-serve: WAL append failed on shard {idx}, entering \
+                         read-only degraded mode: {detail}"
                     );
                     enter_degraded(
-                        &shared,
+                        me,
                         &mut degraded_cause,
                         &mut probe_backoff,
                         &mut next_probe,
                         DegradedCause::Wal,
                     );
-                }
-                for (reply, applied) in acks {
-                    let _ = match &log_failure {
-                        None => reply.send(Ok((applied, version))),
-                        Some(detail) => reply.send(Err(format!(
+                    for (reply, _) in acks {
+                        let _ = reply.send(Err(format!(
                             "DEGRADED update refused: WAL append failed ({detail}); \
-                             the batch was rolled back and the server is read-only \
+                             the batch was rolled back and the shard is read-only \
                              until the durable path recovers"
-                        ))),
-                    };
+                        )));
+                    }
+                } else if changed.is_empty() || peer_txs.is_empty() {
+                    // Nothing to replicate (all no-ops) or the classic
+                    // single-shard layout: ack directly.
+                    for (reply, applied) in acks {
+                        let _ = reply.send(Ok((applied, last_version)));
+                    }
+                } else {
+                    // Fan the batch out; the last peer to publish
+                    // delivers the acks.  Forwarding from here (not the
+                    // connection threads) keeps all of one predicate's
+                    // updates flowing to every replica in home-shard
+                    // order — std channels are per-sender FIFO.  Sends
+                    // are nonblocking, so shards never wait on each
+                    // other; a dead peer (shutdown race) counts as
+                    // arrived so the acks still go out.
+                    let barrier = Arc::new(BatchBarrier::new(peer_txs.len(), last_version, acks));
+                    let updates = Arc::new(changed);
+                    for tx in &peer_txs {
+                        let cmd = WriterCmd::Replicate {
+                            updates: Arc::clone(&updates),
+                            barrier: Arc::clone(&barrier),
+                        };
+                        if tx.send(cmd).is_err() {
+                            barrier.arrive(0);
+                        }
+                    }
                 }
                 // Checkpoint *after* acking: the cadence check rides
                 // the batch that crossed it, but clients never wait
-                // on a whole-database freeze.
+                // on a whole-partition freeze.
                 if log_failure.is_none() {
                     if let Some(store) = store.as_mut() {
                         if store.should_checkpoint() {
-                            match store.checkpoint(&base_db, &catalog.export_bindings()) {
+                            let result = if peer_txs.is_empty() {
+                                store.checkpoint(&base_db, &catalog.export_bindings())
+                            } else {
+                                store.checkpoint(
+                                    &project_home(&base_db, idx, shard_count),
+                                    &catalog.export_bindings(),
+                                )
+                            };
+                            match result {
                                 Ok(()) => {
-                                    shared
-                                        .last_checkpoint_seq
+                                    me.last_checkpoint_seq
                                         .store(store.last_checkpoint_seq(), Ordering::Relaxed);
                                 }
                                 Err(e) => {
@@ -884,11 +1315,11 @@ fn writer_loop(
                                     // piling more acked writes onto an
                                     // unbounded WAL tail.
                                     eprintln!(
-                                        "magic-serve: checkpoint failed, entering \
-                                         read-only degraded mode: {e}"
+                                        "magic-serve: checkpoint failed on shard {idx}, \
+                                         entering read-only degraded mode: {e}"
                                     );
                                     enter_degraded(
-                                        &shared,
+                                        me,
                                         &mut degraded_cause,
                                         &mut probe_backoff,
                                         &mut next_probe,
@@ -896,7 +1327,7 @@ fn writer_loop(
                                     );
                                 }
                             }
-                            shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
+                            me.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
                         }
                     }
                 }
@@ -914,22 +1345,28 @@ fn writer_loop(
                     let outcome = match cause {
                         DegradedCause::Wal => store.probe(),
                         DegradedCause::Checkpoint => {
-                            store.checkpoint(&base_db, &catalog.export_bindings())
+                            if peer_txs.is_empty() {
+                                store.checkpoint(&base_db, &catalog.export_bindings())
+                            } else {
+                                store.checkpoint(
+                                    &project_home(&base_db, idx, shard_count),
+                                    &catalog.export_bindings(),
+                                )
+                            }
                         }
                     };
                     match outcome {
                         Ok(()) => {
                             eprintln!(
-                                "magic-serve: durable path recovered ({} probe \
-                                 succeeded); leaving degraded mode",
+                                "magic-serve: durable path recovered on shard {idx} \
+                                 ({} probe succeeded); leaving degraded mode",
                                 cause.noun()
                             );
                             degraded_cause = None;
                             next_probe = None;
                             probe_backoff = PROBE_BACKOFF_MIN;
-                            shared.degraded.store(false, Ordering::Release);
-                            shared
-                                .last_checkpoint_seq
+                            me.degraded.store(false, Ordering::Release);
+                            me.last_checkpoint_seq
                                 .store(store.last_checkpoint_seq(), Ordering::Relaxed);
                         }
                         Err(_) => {
@@ -937,13 +1374,13 @@ fn writer_loop(
                             probe_backoff = (probe_backoff * 2).min(PROBE_BACKOFF_MAX);
                         }
                     }
-                    shared.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
+                    me.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
                 } else {
                     // No store: degraded mode is unreachable, but be
                     // safe and self-heal rather than probing forever.
                     degraded_cause = None;
                     next_probe = None;
-                    shared.degraded.store(false, Ordering::Release);
+                    me.degraded.store(false, Ordering::Release);
                 }
             }
         }
@@ -956,277 +1393,720 @@ fn writer_loop(
     }
 }
 
-/// Accept connections until shutdown; one thread per connection.
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<Shared>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    for stream in listener.incoming() {
+/// A connection on its way from the accept loop to a reader thread.
+struct NewConn {
+    stream: TcpStream,
+    /// Injected connection stall (tests only): the pump ignores the
+    /// connection until this instant, without parking the thread.
+    ready_at: Option<Instant>,
+}
+
+/// Accept connections (nonblocking, shutdown-aware) and deal them
+/// round-robin to the reader pool.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, reader_txs: Vec<Sender<NewConn>>) {
+    let mut next = 0usize;
+    loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        shared.connections.fetch_add(1, Ordering::Relaxed);
-        // Injected connection faults (tests only — `shared.faults` is
-        // `None` in production).  A drop closes the socket before any
-        // request is read; a stall sleeps *inside* the connection
-        // thread so the accept loop itself never blocks.
-        let mut stall: Option<Duration> = None;
-        if let Some(plan) = &shared.faults {
-            match plan.on_connection() {
-                ConnFault::Drop => {
-                    drop(stream);
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                // Injected connection faults (tests only —
+                // `shared.faults` is `None` in production).  A drop
+                // closes the socket before any request is read; a
+                // stall defers the first pump without parking anything.
+                let mut ready_at = None;
+                if let Some(plan) = &shared.faults {
+                    match plan.on_connection() {
+                        ConnFault::Drop => {
+                            drop(stream);
+                            continue;
+                        }
+                        ConnFault::Stall(d) => ready_at = Some(Instant::now() + d),
+                        ConnFault::None => {}
+                    }
+                }
+                if stream.set_nonblocking(true).is_err() {
                     continue;
                 }
-                ConnFault::Stall(d) => stall = Some(d),
-                ConnFault::None => {}
-            }
-        }
-        let conn_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
-            .name("magic-serve-conn".into())
-            .spawn(move || {
-                if let Some(d) = stall {
-                    std::thread::sleep(d);
+                stream.set_nodelay(true).ok();
+                let mut conn = NewConn { stream, ready_at };
+                // Round-robin; skip readers that already exited.
+                for _ in 0..reader_txs.len() {
+                    let tx = &reader_txs[next % reader_txs.len()];
+                    next = next.wrapping_add(1);
+                    match tx.send(conn) {
+                        Ok(()) => break,
+                        Err(returned) => conn = returned.0,
+                    }
                 }
-                let _ = handle_connection(stream, conn_shared);
-            });
-        if let Ok(handle) = handle {
-            let mut conns = conn_threads.lock().expect("conn list lock");
-            // Reap finished connections as new ones arrive, so a
-            // long-lived server under connection churn holds handles
-            // proportional to *live* connections, not lifetime total.
-            conns.retain(|h| !h.is_finished());
-            conns.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
         }
     }
 }
 
-/// Buffered line reading with shutdown-aware timeouts: a read timeout
-/// only re-checks the flag, it never drops bytes already received.
-struct LineReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-}
-
-/// Upper bound on one request line; longer input is a protocol error.
-const MAX_LINE: usize = 1 << 20;
-
-impl LineReader {
-    /// The next full line, `None` on EOF or shutdown.
-    fn next_line(&mut self, shutdown: &AtomicBool) -> io::Result<Option<String>> {
+/// One reader-pool thread: pump every owned connection; sleep only
+/// when a full pass over all of them made no progress.
+fn reader_loop(shared: Arc<Shared>, rx: Receiver<NewConn>, idle: Duration) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            for conn in conns.drain(..) {
+                conn.abandon(&shared);
+            }
+            return;
+        }
+        let mut progress = false;
         loop {
-            if let Some(i) = self.buf.iter().position(|&b| b == b'\n') {
-                let mut line: Vec<u8> = self.buf.drain(..=i).collect();
-                line.pop(); // the newline
-                if line.last() == Some(&b'\r') {
-                    line.pop();
+            match rx.try_recv() {
+                Ok(new) => {
+                    conns.push(Conn::new(new));
+                    progress = true;
                 }
-                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    if conns.is_empty() {
+                        return;
+                    }
+                    break;
+                }
             }
-            if self.buf.len() > MAX_LINE {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "request line too long",
-                ));
+        }
+        let mut i = 0;
+        while i < conns.len() {
+            let (moved, alive) = conns[i].pump(&shared);
+            progress |= moved;
+            if alive {
+                i += 1;
+            } else {
+                conns.swap_remove(i).abandon(&shared);
             }
-            if shutdown.load(Ordering::SeqCst) {
-                return Ok(None);
-            }
-            let mut chunk = [0u8; 4096];
-            match self.stream.read(&mut chunk) {
-                Ok(0) => return Ok(None),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut => {}
-                Err(e) => return Err(e),
-            }
+        }
+        if !progress {
+            std::thread::sleep(idle);
         }
     }
 }
 
-/// Write one response to a client, counting (and logging) a failure
-/// before propagating it: a client that vanished mid-response is an
-/// ordinary event for the server but must not vanish from observability
-/// — `write_errors` in `STATS` totals them.
-fn send_response(shared: &Shared, writer: &mut TcpStream, bytes: &[u8]) -> io::Result<()> {
-    writer.write_all(bytes).inspect_err(|e| {
-        shared.write_errors.fetch_add(1, Ordering::Relaxed);
-        eprintln!("magic-serve: client write failed, closing connection: {e}");
-    })
+/// Wire protocol of one pumped connection, decided by the first bytes.
+enum ConnMode {
+    /// Nothing (or only a proper prefix of the magic) received yet.
+    Unknown,
+    /// Line-oriented text protocol; responses in strict request order.
+    Text,
+    /// `MGWP01` framed protocol; responses in completion order.
+    Binary,
 }
 
-/// Serve one connection: parse request lines, dispatch, write responses.
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
-    stream.set_read_timeout(Some(shared.read_timeout))?;
-    // Writes get an explicit, bounded timeout
-    // ([`ServeConfig::write_timeout`], zero = unbounded): a client that
-    // stops reading while a large response fills the kernel send buffer
-    // must not pin this thread in `write_all` forever (shutdown joins
-    // every connection thread, so an unbounded write would deadlock
-    // it).  On expiry the response is torn mid-write and the
-    // connection closes.
-    if !shared.write_timeout.is_zero() {
-        stream.set_write_timeout(Some(shared.write_timeout))?;
-    }
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
-    let mut reader = LineReader {
-        stream,
-        buf: Vec::new(),
-    };
-    while let Some(line) = reader.next_line(&shared.shutdown)? {
-        if line.trim().is_empty() {
-            continue;
+/// One decoded request awaiting its response bytes.
+struct Slot {
+    /// Binary request id (0 and unused in text mode).
+    req_id: u64,
+    state: SlotState,
+}
+
+/// Lifecycle of a request: either its response bytes are ready, or it
+/// is parked on a writer-shard reply channel the pump polls.
+enum SlotState {
+    /// Response bytes in text-protocol form, ready to stage.
+    Ready(Vec<u8>),
+    /// An update in flight to its home shard.
+    AwaitUpdate {
+        rx: UpdateRx,
+        shard: usize,
+        deadline: Option<Instant>,
+    },
+    /// A first-sight query waiting for its view to materialize.
+    AwaitMaterialize {
+        rx: MaterializeRx,
+        query: Query,
+        shard: usize,
+        attempts: u32,
+        deadline: Option<Instant>,
+    },
+}
+
+/// One pumped connection: buffers, mode, and the in-flight request
+/// window.
+struct Conn {
+    stream: TcpStream,
+    mode: ConnMode,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    pending: VecDeque<Slot>,
+    ready_at: Option<Instant>,
+    eof: bool,
+    /// `QUIT`/`SHUTDOWN` seen: stop decoding, flush, then close.
+    closing: bool,
+    write_stuck_since: Option<Instant>,
+}
+
+impl Conn {
+    fn new(new: NewConn) -> Conn {
+        Conn {
+            stream: new.stream,
+            mode: ConnMode::Unknown,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            pending: VecDeque::new(),
+            ready_at: new.ready_at,
+            eof: false,
+            closing: false,
+            write_stuck_since: None,
         }
-        let response = match parse_request(&line) {
-            Err(e) => render_error(&e),
-            Ok(Request::Ping) => "OK pong\n".to_string(),
+    }
+
+    /// Drop the connection, releasing whatever it still holds against
+    /// the in-flight gauge.
+    fn abandon(self, shared: &Shared) {
+        shared
+            .inflight_requests
+            .fetch_sub(self.pending.len() as u64, Ordering::Relaxed);
+    }
+
+    /// One nonblocking service pass: read, decode, dispatch, poll
+    /// writer replies, stage and write responses.  Returns (made
+    /// progress, still alive); a dead connection must be handed to
+    /// [`Conn::abandon`].
+    fn pump(&mut self, shared: &Shared) -> (bool, bool) {
+        if let Some(at) = self.ready_at {
+            if Instant::now() < at {
+                return (false, true);
+            }
+            self.ready_at = None;
+        }
+        let mut progress = false;
+        // Pull whatever the socket holds (bounded per pass so one loud
+        // client cannot starve its siblings on the same reader).
+        if !self.eof && !self.closing {
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        self.eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.inbuf.extend_from_slice(&chunk[..n]);
+                        progress = true;
+                        if self.inbuf.len() >= MAX_LINE {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return (true, false),
+                }
+            }
+        }
+        // Protocol sniff: match the *full* binary magic (never a
+        // first-byte heuristic — `M` is printable) before committing.
+        if matches!(self.mode, ConnMode::Unknown) && !self.inbuf.is_empty() {
+            match sniff(&self.inbuf) {
+                Sniff::Binary => {
+                    self.inbuf.drain(..BINARY_MAGIC.len());
+                    self.mode = ConnMode::Binary;
+                    progress = true;
+                }
+                Sniff::Text => {
+                    self.mode = ConnMode::Text;
+                    progress = true;
+                }
+                Sniff::Undecided => {
+                    if self.eof {
+                        return (progress, false);
+                    }
+                }
+            }
+        }
+        // Decode and dispatch every complete request in the buffer —
+        // this is the batching that amortizes the wire round-trip.
+        let mut decoded = 0usize;
+        match self.mode {
+            ConnMode::Text => {
+                while !self.closing {
+                    let Some(i) = self.inbuf.iter().position(|&b| b == b'\n') else {
+                        if self.inbuf.len() > MAX_LINE {
+                            return (true, false);
+                        }
+                        break;
+                    };
+                    let mut line: Vec<u8> = self.inbuf.drain(..=i).collect();
+                    line.pop(); // the newline
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let line = String::from_utf8_lossy(&line).into_owned();
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    decoded += 1;
+                    self.handle_text(shared, &line);
+                }
+            }
+            ConnMode::Binary => loop {
+                match Frame::decode(&self.inbuf) {
+                    Ok(Some((frame, used))) => {
+                        self.inbuf.drain(..used);
+                        decoded += 1;
+                        self.handle_frame(shared, frame);
+                    }
+                    Ok(None) => break,
+                    // Framing is beyond resync; nothing correlatable
+                    // can be sent back.
+                    Err(_) => return (true, false),
+                }
+            },
+            ConnMode::Unknown => {}
+        }
+        if decoded > 0 {
+            progress = true;
+            shared.record_batch(decoded);
+        }
+        // Advance parked requests.
+        for slot in self.pending.iter_mut() {
+            if poll_slot(shared, slot) {
+                progress = true;
+            }
+        }
+        // Stage completed responses: text strictly in request order,
+        // binary in completion order (each framed with its id).
+        match self.mode {
+            ConnMode::Binary => {
+                let outbuf = &mut self.outbuf;
+                let mut staged = 0u64;
+                self.pending.retain_mut(|slot| {
+                    if let SlotState::Ready(bytes) = &slot.state {
+                        outbuf.extend_from_slice(&frame_response(slot.req_id, bytes));
+                        staged += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if staged > 0 {
+                    shared
+                        .inflight_requests
+                        .fetch_sub(staged, Ordering::Relaxed);
+                    progress = true;
+                }
+            }
+            _ => {
+                while matches!(
+                    self.pending.front(),
+                    Some(Slot {
+                        state: SlotState::Ready(_),
+                        ..
+                    })
+                ) {
+                    let slot = self.pending.pop_front().expect("front checked");
+                    let SlotState::Ready(bytes) = slot.state else {
+                        unreachable!("front checked Ready")
+                    };
+                    self.outbuf.extend_from_slice(&bytes);
+                    shared.inflight_requests.fetch_sub(1, Ordering::Relaxed);
+                    progress = true;
+                }
+            }
+        }
+        if !self.outbuf.is_empty() {
+            match self.flush(shared) {
+                Ok(moved) => progress |= moved,
+                Err(()) => return (true, false),
+            }
+        }
+        let drained = self.pending.is_empty() && self.outbuf.is_empty();
+        if (self.closing || self.eof) && drained {
+            return (progress, false);
+        }
+        (progress, true)
+    }
+
+    /// Nonblocking write of the staged response bytes, with the
+    /// stalled-client bound [`ServeConfig::write_timeout`] implements.
+    fn flush(&mut self, shared: &Shared) -> Result<bool, ()> {
+        let mut progress = false;
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => {
+                    shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(());
+                }
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                    self.write_stuck_since = None;
+                    progress = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    let now = Instant::now();
+                    let since = *self.write_stuck_since.get_or_insert(now);
+                    if !shared.write_timeout.is_zero()
+                        && now.duration_since(since) > shared.write_timeout
+                    {
+                        shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!(
+                            "magic-serve: client write stalled past the write \
+                             timeout, closing connection"
+                        );
+                        return Err(());
+                    }
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("magic-serve: client write failed, closing connection: {e}");
+                    return Err(());
+                }
+            }
+        }
+        Ok(progress)
+    }
+
+    /// Dispatch one text-protocol request line.
+    fn handle_text(&mut self, shared: &Shared, line: &str) {
+        let state = match parse_request(line) {
+            Err(e) => ready_err(&e),
+            Ok(Request::Ping) => SlotState::Ready(b"OK pong\n".to_vec()),
             Ok(Request::Quit) => {
-                send_response(&shared, &mut writer, b"OK bye\n")?;
-                break;
+                self.closing = true;
+                SlotState::Ready(b"OK bye\n".to_vec())
             }
             Ok(Request::Shutdown) => {
-                send_response(&shared, &mut writer, b"OK bye\n")?;
-                shared.shutdown.store(true, Ordering::SeqCst);
-                let _ = shared.writer_tx.send(WriterCmd::Shutdown);
-                // Unblock the accept loop; the owning handle joins later.
-                if let Ok(self_addr) = reader.stream.local_addr() {
-                    let _ = TcpStream::connect(self_addr);
-                }
-                break;
+                self.closing = true;
+                shared.begin_shutdown();
+                SlotState::Ready(b"OK bye\n".to_vec())
             }
-            Ok(Request::Query(query)) => match answer_query(&shared, &query) {
-                Ok((key, ver, rows)) => {
-                    shared.queries_served.fetch_add(1, Ordering::Relaxed);
-                    render_answers(&key, ver, &rows)
-                }
-                Err(e) => render_error(&e),
-            },
-            Ok(Request::Insert(fact)) => dispatch_update(&shared, Update::Insert(fact)),
-            Ok(Request::Retract(fact)) => dispatch_update(&shared, Update::Retract(fact)),
-            Ok(Request::Stats) => gather_stats(&shared).render(),
+            Ok(Request::Query(query)) => start_query(shared, query),
+            Ok(Request::Insert(fact)) => start_update(shared, Update::Insert(fact)),
+            Ok(Request::Retract(fact)) => start_update(shared, Update::Retract(fact)),
+            Ok(Request::Stats) => SlotState::Ready(gather_stats(shared).render().into_bytes()),
         };
-        send_response(&shared, &mut writer, response.as_bytes())?;
+        self.push_slot(shared, 0, state);
     }
-    Ok(())
+
+    /// Dispatch one binary-protocol request frame.
+    fn handle_frame(&mut self, shared: &Shared, frame: Frame) {
+        let state = match frame.tag {
+            op::PING => SlotState::Ready(b"OK pong\n".to_vec()),
+            op::STATS => SlotState::Ready(gather_stats(shared).render().into_bytes()),
+            op::QUERY | op::INSERT | op::RETRACT => match std::str::from_utf8(&frame.body) {
+                Err(_) => ready_err("request body is not UTF-8"),
+                Ok(body) => match frame.tag {
+                    op::QUERY => match parse_query(body.trim()) {
+                        Ok(query) => start_query(shared, query),
+                        Err(e) => ready_err(&format!("bad query: {e}")),
+                    },
+                    op::INSERT => match parse_fact(body.trim()) {
+                        Ok(fact) => start_update(shared, Update::Insert(fact)),
+                        Err(e) => ready_err(&e),
+                    },
+                    _ => match parse_fact(body.trim()) {
+                        Ok(fact) => start_update(shared, Update::Retract(fact)),
+                        Err(e) => ready_err(&e),
+                    },
+                },
+            },
+            other => ready_err(&format!(
+                "unknown binary op {other} (expected QUERY=1, INSERT=2, RETRACT=3, \
+                 STATS=4 or PING=5)"
+            )),
+        };
+        self.push_slot(shared, frame.req_id, state);
+    }
+
+    fn push_slot(&mut self, shared: &Shared, req_id: u64, state: SlotState) {
+        shared.inflight_requests.fetch_add(1, Ordering::Relaxed);
+        self.pending.push_back(Slot { req_id, state });
+    }
 }
 
-/// The read path: translate the query to its binding key (memoized),
-/// answer from the published snapshot, materializing through the writer
-/// only on first sight of a binding.
-fn answer_query(shared: &Shared, query: &Query) -> Result<(String, u64, Vec<Vec<Value>>), String> {
+/// Wrap finished response bytes (text-protocol form) into a binary
+/// response frame for `req_id`.
+fn frame_response(req_id: u64, bytes: &[u8]) -> Vec<u8> {
+    let (tag, body) = match bytes.strip_prefix(b"ERR ") {
+        Some(msg) => (status::ERR, msg.strip_suffix(b"\n").unwrap_or(msg)),
+        None => (status::OK, bytes),
+    };
+    Frame {
+        req_id,
+        tag,
+        body: body.to_vec(),
+    }
+    .encode()
+}
+
+fn ready_err(message: &str) -> SlotState {
+    SlotState::Ready(render_error(message).into_bytes())
+}
+
+/// The read path: translate the query to its binding key (planned on
+/// this thread, memoized per query text), answer from the owning
+/// shard's published snapshot, materializing through that shard only
+/// on first sight of a binding.
+fn start_query(shared: &Shared, query: Query) -> SlotState {
     let text = query.atom.to_string();
-    let cached_key = shared
+    let cached = shared
         .key_cache
         .lock()
         .expect("key cache lock")
         .get(&text)
         .cloned();
-    if let Some(key) = cached_key {
-        let snapshot = shared.snapshot();
-        if let Some(view) = snapshot.views.get(&key) {
-            let rows = view.answers();
-            return Ok((key, snapshot.version, rows.into_iter().collect()));
+    let key = match cached {
+        Some(key) => Some(key),
+        None => match shared.binding_key(&query) {
+            Ok(key) => {
+                shared
+                    .key_cache
+                    .lock()
+                    .expect("key cache lock")
+                    .insert(text, key.clone());
+                Some(key)
+            }
+            // A query that does not plan is routed through a writer
+            // below so the refusal carries the catalog's canonical
+            // message.
+            Err(_) => None,
+        },
+    };
+    if let Some(key) = &key {
+        let shard = shared.shard_of_key(key);
+        let snapshot = shared.shards[shard].snapshot();
+        if let Some(view) = snapshot.views.get(key) {
+            shared.queries_served.fetch_add(1, Ordering::Relaxed);
+            if let Some(body) = shared.cached_response(key, snapshot.version) {
+                return SlotState::Ready(body);
+            }
+            let rows: Vec<Vec<Value>> = view.answers().into_iter().collect();
+            let body = render_answers(key, snapshot.version, &rows).into_bytes();
+            shared.cache_response(key, snapshot.version, &body);
+            return SlotState::Ready(body);
         }
-        // Key known but the view is not in this snapshot: it was evicted
-        // (failed maintenance) or materialization raced a concurrent
-        // first-sight query.  Fall through to the writer, which is
-        // idempotent for live bindings and rebuilds evicted ones.
+        // Key known but the view is not in this snapshot: first sight,
+        // an eviction (failed maintenance), or a raced materialization.
+        // The owning shard's materialize path is idempotent for live
+        // bindings and rebuilds evicted ones.
     }
-    // Materialize-then-read can race an eviction: the writer may process
-    // an update batch that fails this view's maintenance between our ack
-    // and our snapshot read.  Each retry rebuilds from the current base
-    // facts, so a transient race heals; persistent failure (e.g. a
-    // limits budget the data has outgrown) surfaces as the writer's
-    // materialization error on a later attempt or the final ERR below.
-    for _ in 0..3 {
-        let key = shared.writer_call(|reply| WriterCmd::Materialize {
-            query: query.clone(),
-            reply,
-        })?;
-        shared
-            .key_cache
-            .lock()
-            .expect("key cache lock")
-            .insert(text.clone(), key.clone());
-        let snapshot = shared.snapshot();
-        if let Some(view) = snapshot.views.get(&key) {
-            let rows = view.answers();
-            return Ok((key, snapshot.version, rows.into_iter().collect()));
-        }
+    let shard = key.as_deref().map_or(0, |k| shared.shard_of_key(k));
+    issue_materialize(shared, query, shard, 1)
+}
+
+/// Park a query on the owning shard's materialize path (attempt
+/// `attempts` of 3 — materialize-then-read can race an eviction, and
+/// each retry rebuilds from the current base facts).
+fn issue_materialize(shared: &Shared, query: Query, shard: usize, attempts: u32) -> SlotState {
+    let (tx, rx) = channel();
+    let state = &shared.shards[shard];
+    state.queue_depth.fetch_add(1, Ordering::Relaxed);
+    let cmd = WriterCmd::Materialize {
+        query: query.clone(),
+        reply: tx,
+    };
+    if state.tx.send(cmd).is_err() {
+        state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        return ready_err("server is shutting down");
     }
-    Err(format!(
-        "view for {text} was repeatedly evicted while answering; its maintenance is failing"
-    ))
+    SlotState::AwaitMaterialize {
+        rx,
+        query,
+        shard,
+        attempts,
+        deadline: shared.slot_deadline(),
+    }
 }
 
 /// The write path: validate against the source program, shed if the
-/// server is degraded or the writer queue is at capacity, otherwise
-/// enqueue to the writer and block (bounded by the writer deadline)
-/// until the containing snapshot is published.
+/// home shard is degraded or its queue is at capacity, otherwise
+/// enqueue to the home shard; the slot then waits (bounded by the
+/// writer deadline) until the containing snapshot is published on
+/// every shard.
 ///
 /// The three structured refusals a client can see here, and what they
 /// promise:
 /// * `ERR DEGRADED …` — not applied, and retrying now will not help;
-///   wait for the server to recover (poll `STATS degraded`).
+///   wait for the shard to recover (poll `STATS degraded`).
 /// * `ERR BUSY <retry-after-ms> …` — not applied; retry after the
 ///   hinted backoff.
 /// * `ERR TIMEOUT …` — outcome *unknown*: the command is still queued
 ///   and may apply later.  Only idempotent retries are safe.
-fn dispatch_update(shared: &Shared, update: Update) -> String {
+fn start_update(shared: &Shared, update: Update) -> SlotState {
     let fact = update.fact();
     if shared.derived.contains(&fact.pred) {
-        return render_error(&format!(
+        return ready_err(&format!(
             "{} is derived by the program; derived predicates are maintained, not edited",
             fact.pred
         ));
     }
-    if shared.degraded.load(Ordering::Acquire) {
-        return render_error(
+    let shard = shard_of(&fact.pred.to_string(), shared.shards.len());
+    let state = &shared.shards[shard];
+    if state.degraded.load(Ordering::Acquire) {
+        return ready_err(
             "DEGRADED read-only: the durable path is failing; updates are \
              refused while a background probe retries it",
         );
     }
     if shared.max_queue_depth > 0
-        && shared.queue_depth.load(Ordering::Relaxed) >= shared.max_queue_depth as u64
+        && state.queue_depth.load(Ordering::Relaxed) >= shared.max_queue_depth as u64
     {
-        shared.shed_updates.fetch_add(1, Ordering::Relaxed);
-        return render_error(&format!(
+        state.shed_updates.fetch_add(1, Ordering::Relaxed);
+        return ready_err(&format!(
             "BUSY {BUSY_RETRY_AFTER_MS} writer queue is at capacity ({}); \
              retry after the hinted backoff",
             shared.max_queue_depth
         ));
     }
-    match shared.writer_call(|reply| WriterCmd::Update { update, reply }) {
-        Ok((applied, version)) => render_ack(applied, version),
-        Err(e) => render_error(&e),
+    let (tx, rx) = channel();
+    state.queue_depth.fetch_add(1, Ordering::Relaxed);
+    if state
+        .tx
+        .send(WriterCmd::Update { update, reply: tx })
+        .is_err()
+    {
+        state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        return ready_err("server is shutting down");
+    }
+    SlotState::AwaitUpdate {
+        rx,
+        shard,
+        deadline: shared.slot_deadline(),
     }
 }
 
-/// Assemble the `STATS` response from the shared counters and the
-/// published snapshot.
-fn gather_stats(shared: &Shared) -> ServerStats {
-    let snapshot = shared.snapshot();
-    let mut totals = EvalStats::default();
-    let per_view: Vec<ViewStats> = snapshot
-        .views
-        .iter()
-        .map(|(key, view)| {
-            totals.merge(view.stats());
-            ViewStats {
-                key: key.to_string(),
-                facts: view.database().total_facts() as u64,
-                rule_firings: view.stats().rule_firings as u64,
-                join_probes: view.stats().join_probes as u64,
+/// Deadline bookkeeping for a parked slot: `None` to keep waiting, or
+/// the `TIMEOUT` refusal once the writer deadline passes.  On expiry
+/// the command is *not* revoked — it stays queued and may apply later
+/// — so the message says "outcome unknown", and the writer's eventual
+/// reply lands on a disconnected channel (harmless).
+fn deadline_check(shared: &Shared, shard: usize, deadline: Option<Instant>) -> Option<SlotState> {
+    let at = deadline?;
+    if Instant::now() < at {
+        return None;
+    }
+    shared.shards[shard]
+        .deadline_misses
+        .fetch_add(1, Ordering::Relaxed);
+    Some(ready_err(&format!(
+        "TIMEOUT writer did not respond within {}ms; the command is \
+         still queued and may yet apply",
+        shared.writer_deadline.as_millis()
+    )))
+}
+
+/// Advance one parked slot; true if its state changed.
+fn poll_slot(shared: &Shared, slot: &mut Slot) -> bool {
+    let next = match &mut slot.state {
+        SlotState::Ready(_) => None,
+        SlotState::AwaitUpdate {
+            rx,
+            shard,
+            deadline,
+        } => match rx.try_recv() {
+            Ok(Ok((applied, version))) => {
+                Some(SlotState::Ready(render_ack(applied, version).into_bytes()))
             }
+            Ok(Err(e)) => Some(ready_err(&e)),
+            Err(TryRecvError::Disconnected) => Some(ready_err("server is shutting down")),
+            Err(TryRecvError::Empty) => deadline_check(shared, *shard, *deadline),
+        },
+        SlotState::AwaitMaterialize {
+            rx,
+            query,
+            shard,
+            attempts,
+            deadline,
+        } => match rx.try_recv() {
+            Ok(Ok(key)) => {
+                shared
+                    .key_cache
+                    .lock()
+                    .expect("key cache lock")
+                    .insert(query.atom.to_string(), key.clone());
+                let vshard = shared.shard_of_key(&key);
+                let snapshot = shared.shards[vshard].snapshot();
+                if let Some(view) = snapshot.views.get(&key) {
+                    shared.queries_served.fetch_add(1, Ordering::Relaxed);
+                    if let Some(body) = shared.cached_response(&key, snapshot.version) {
+                        Some(SlotState::Ready(body))
+                    } else {
+                        let rows: Vec<Vec<Value>> = view.answers().into_iter().collect();
+                        let body = render_answers(&key, snapshot.version, &rows).into_bytes();
+                        shared.cache_response(&key, snapshot.version, &body);
+                        Some(SlotState::Ready(body))
+                    }
+                } else if *attempts < 3 {
+                    Some(issue_materialize(
+                        shared,
+                        query.clone(),
+                        vshard,
+                        *attempts + 1,
+                    ))
+                } else {
+                    Some(ready_err(&format!(
+                        "view for {} was repeatedly evicted while answering; its \
+                         maintenance is failing",
+                        query.atom
+                    )))
+                }
+            }
+            Ok(Err(e)) => Some(ready_err(&e)),
+            Err(TryRecvError::Disconnected) => Some(ready_err("server is shutting down")),
+            Err(TryRecvError::Empty) => deadline_check(shared, *shard, *deadline),
+        },
+    };
+    match next {
+        Some(state) => {
+            slot.state = state;
+            true
+        }
+        None => false,
+    }
+}
+
+/// Assemble the `STATS` response from the shared counters and every
+/// shard's published snapshot.
+fn gather_stats(shared: &Shared) -> ServerStats {
+    let mut totals = EvalStats::default();
+    let mut per_view_map: BTreeMap<String, ViewStats> = BTreeMap::new();
+    let mut version = 0u64;
+    let mut views = 0u64;
+    for shard in &shared.shards {
+        let snapshot = shard.snapshot();
+        version = version.max(snapshot.version);
+        views += snapshot.views.len() as u64;
+        for (key, view) in &snapshot.views {
+            totals.merge(view.stats());
+            per_view_map.insert(
+                key.clone(),
+                ViewStats {
+                    key: key.clone(),
+                    facts: view.database().total_facts() as u64,
+                    rule_firings: view.stats().rule_firings as u64,
+                    join_probes: view.stats().join_probes as u64,
+                },
+            );
+        }
+    }
+    let per_shard: Vec<ShardStats> = shared
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(index, shard)| ShardStats {
+            index: index as u64,
+            queue_depth: shard.queue_depth.load(Ordering::Relaxed),
+            shed_updates: shard.shed_updates.load(Ordering::Relaxed),
+            deadline_misses: shard.deadline_misses.load(Ordering::Relaxed),
+            degraded: shard.degraded.load(Ordering::Acquire) as u64,
+            degraded_entered: shard.degraded_entered.load(Ordering::Relaxed),
+            wal_bytes: shard.wal_bytes.load(Ordering::Relaxed),
+            last_checkpoint: shard.last_checkpoint_seq.load(Ordering::Relaxed),
         })
         .collect();
     ServerStats {
-        version: snapshot.version,
-        views: snapshot.views.len() as u64,
+        version,
+        views,
         queries_served: shared.queries_served.load(Ordering::Relaxed),
         updates_applied: shared.updates_applied.load(Ordering::Relaxed),
         connections: shared.connections.load(Ordering::Relaxed),
@@ -1236,14 +2116,22 @@ fn gather_stats(shared: &Shared) -> ServerStats {
         facts_derived: totals.facts_derived as u64,
         duplicate_derivations: totals.duplicate_derivations as u64,
         join_probes: totals.join_probes as u64,
-        wal_bytes: shared.wal_bytes.load(Ordering::Relaxed),
-        last_checkpoint: shared.last_checkpoint_seq.load(Ordering::Relaxed),
+        wal_bytes: per_shard.iter().map(|s| s.wal_bytes).sum(),
+        last_checkpoint: per_shard
+            .iter()
+            .map(|s| s.last_checkpoint)
+            .max()
+            .unwrap_or(0),
         write_errors: shared.write_errors.load(Ordering::Relaxed),
-        queue_depth: shared.queue_depth.load(Ordering::Relaxed),
-        shed_updates: shared.shed_updates.load(Ordering::Relaxed),
-        deadline_misses: shared.deadline_misses.load(Ordering::Relaxed),
-        degraded: shared.degraded.load(Ordering::Acquire) as u64,
-        degraded_entered: shared.degraded_entered.load(Ordering::Relaxed),
-        per_view,
+        queue_depth: per_shard.iter().map(|s| s.queue_depth).sum(),
+        shed_updates: per_shard.iter().map(|s| s.shed_updates).sum(),
+        deadline_misses: per_shard.iter().map(|s| s.deadline_misses).sum(),
+        degraded: per_shard.iter().map(|s| s.degraded).sum(),
+        degraded_entered: per_shard.iter().map(|s| s.degraded_entered).sum(),
+        writer_shards: shared.shards.len() as u64,
+        inflight_requests: shared.inflight_requests.load(Ordering::Relaxed),
+        batch_size_p50: shared.batch_p50(),
+        per_view: per_view_map.into_values().collect(),
+        per_shard,
     }
 }

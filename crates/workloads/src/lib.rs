@@ -16,6 +16,7 @@
 pub mod ancestor;
 pub mod chaos;
 pub mod lists;
+pub mod load;
 pub mod programs;
 pub mod requests;
 pub mod rng;
@@ -26,6 +27,7 @@ pub use ancestor::node;
 pub use ancestor::{binary_tree, chain, cycle, random_dag};
 pub use chaos::{chaos_fault_spec, chaos_scenarios, ChaosScenario};
 pub use lists::{list_term, list_value, reverse_database};
+pub use load::{LoadConfig, LoadGen, PoissonArrivals, Zipf};
 pub use requests::{ancestor_request_stream, ServeRequest};
 pub use rng::SplitMix64;
 pub use same_generation::grid_node;
