@@ -53,6 +53,19 @@
 //! observed qps, latency percentiles, and the server's end-of-run
 //! shard/pipeline telemetry (`queue_depth`, `shed_updates`,
 //! `batch_size_p50`).
+//! PR 10 (`BENCH_PR10.json`) adds the stratified scenario families —
+//! `win_lose` (negation), `bom_total` (`sum` aggregate) and `shortest`
+//! (`min` aggregate over hop counts threaded through the data) — each
+//! *oracle-checked*: before a stratified scenario is measured, every
+//! strategy the planner accepts is evaluated once and its answer set
+//! asserted equal to a plain-Rust oracle's expected rows
+//! (`magic_workloads::stratified`), so an ok cell certifies semantics,
+//! not just wall time.  Strategy/feature combinations the planner
+//! refuses by policy (aggregates under any rewrite, negation under the
+//! non-gms rewrites — `PlanError::GuardedUnsupported`) and
+//! unstratifiable programs (`PlanError::Unstratifiable`) are recorded
+//! as skipped cells with the typed reason, exactly like the counting
+//! safety pre-check below.
 //! The pre-existing scenarios' probe counts must not move
 //! between snapshots, and — the scheduler's determinism contract —
 //! every counter of a parallel cell must be bit-identical to its
@@ -60,7 +73,7 @@
 //!
 //! ```text
 //! cargo run --release -p magic-bench --bin perf_report -- \
-//!     [--out BENCH_PR9.json] [--baseline BENCH_PR8.json] [--quick] \
+//!     [--out BENCH_PR10.json] [--baseline BENCH_PR9.json] [--quick] \
 //!     [--threads N] [--filter <scenario-substring>] \
 //!     [--strategy <short-name>]...
 //! ```
@@ -92,13 +105,15 @@
 //! access, so there is no serde.  The format is flat and stable on purpose.
 
 use magic_bench::{
-    ancestor_chain, list_reverse, nested_same_generation, same_generation, Scenario,
+    ancestor_chain, bom_rollup, list_reverse, nested_same_generation, same_generation,
+    shortest_hops, win_lose_game, Scenario,
 };
 use magic_core::planner::{PlanError, Planner, Strategy};
-use magic_datalog::{Fact, Value};
+use magic_datalog::{Fact, PredName, Value};
 use magic_durable::{DurableConfig, DurableStore, FsyncPolicy, Wal};
 use magic_engine::{EvalStats, Evaluator, Limits};
 use magic_incr::{MaterializedView, Update, ViewCatalog};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -213,8 +228,9 @@ fn skip_reason(scenario: &str, strategy: Strategy) -> Option<String> {
 
 /// Measure one cell at the given thread count: repeat the run until a 3 s
 /// budget or 200 samples, whichever comes first, and report the minimum
-/// wall time.  Plans the cycle-detecting pre-check refuses are recorded as
-/// typed skips.
+/// wall time.  Plans the planner's pre-checks refuse — counting safety,
+/// stratification, the guarded-feature policy — are recorded as typed
+/// skips.
 fn measure(scenario: &Scenario, strategy: Strategy, quick: bool, threads: usize) -> Outcome {
     if let Some(reason) = skip_reason(&scenario.name, strategy) {
         return Outcome::Skipped { reason };
@@ -226,7 +242,11 @@ fn measure(scenario: &Scenario, strategy: Strategy, quick: bool, threads: usize)
     let start = Instant::now();
     let result = match run() {
         Ok(result) => result,
-        Err(e @ PlanError::CountingUnsafe { .. }) => {
+        Err(
+            e @ (PlanError::CountingUnsafe { .. }
+            | PlanError::Unstratifiable { .. }
+            | PlanError::GuardedUnsupported { .. }),
+        ) => {
             return Outcome::Skipped {
                 reason: e.to_string(),
             }
@@ -1530,7 +1550,7 @@ fn assert_counters_pinned(scenario: &str, single: &Outcome, parallel: &Outcome) 
 fn render(scenarios: &[(String, Vec<Cell>)], baseline: Option<&str>, engine: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"pr\": 9,");
+    let _ = writeln!(out, "  \"pr\": 10,");
     let _ = writeln!(out, "  \"engine\": \"{}\",", json_escape(engine));
     let _ = writeln!(
         out,
@@ -1690,12 +1710,74 @@ fn annotate_variance_suspects(results: &mut [(String, Vec<Cell>)], snapshot: &st
     }
 }
 
+/// The oracle's answer rows for `pred`: its facts' value tuples.
+fn oracle_rows(oracle: BTreeSet<Fact>, pred: &str) -> BTreeSet<Vec<Value>> {
+    oracle
+        .into_iter()
+        .filter(|f| f.pred == PredName::plain(pred))
+        .map(|f| f.values)
+        .collect()
+}
+
+/// The stratified scenario roster, each paired with the answer rows its
+/// plain-Rust oracle expects for the scenario's query.
+fn stratified_scenarios(quick: bool) -> Vec<(Scenario, BTreeSet<Vec<Value>>)> {
+    let (game, bom, paths) = if quick {
+        (
+            win_lose_game(16, 36),
+            bom_rollup(4, 4),
+            shortest_hops(8, 16, 4),
+        )
+    } else {
+        (
+            win_lose_game(128, 300),
+            bom_rollup(12, 8),
+            shortest_hops(24, 80, 10),
+        )
+    };
+    let game_rows = oracle_rows(magic_workloads::win_lose_oracle(&game.database), "win");
+    let bom_rows = oracle_rows(magic_workloads::bom_oracle(&bom.database), "total");
+    let path_rows = oracle_rows(
+        magic_workloads::shortest_oracle(&paths.database),
+        "shortest",
+    );
+    vec![(game, game_rows), (bom, bom_rows), (paths, path_rows)]
+}
+
+/// The oracle gate for stratified cells: every strategy the planner
+/// accepts must produce exactly the oracle's answer rows.  Typed refusals
+/// (counting safety, stratification, the guarded-feature policy) pass
+/// through — they become skipped cells — but a wrong answer set aborts
+/// the report: an ok stratified cell certifies semantics, not just wall
+/// time.
+fn assert_oracle(scenario: &Scenario, expected: &BTreeSet<Vec<Value>>) {
+    for strategy in Strategy::ALL {
+        match scenario.run(strategy) {
+            Ok(result) => assert!(
+                result.answers == *expected,
+                "{}: {} answers diverge from the oracle ({} vs {} rows)",
+                scenario.name,
+                strategy.short_name(),
+                result.answers.len(),
+                expected.len()
+            ),
+            Err(
+                PlanError::CountingUnsafe { .. }
+                | PlanError::Unstratifiable { .. }
+                | PlanError::GuardedUnsupported { .. },
+            ) => {}
+            Err(e) => panic!("{}: {} failed: {e}", scenario.name, strategy.short_name()),
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = "BENCH_PR9.json".to_string();
+    let mut out_path = "BENCH_PR10.json".to_string();
     let mut baseline_path: Option<String> = None;
     let mut quick = false;
-    let mut engine = "parallel-merge-cow+serve+durable+overload+pipelined-shards".to_string();
+    let mut engine =
+        "parallel-merge-cow+serve+durable+overload+pipelined-shards+stratified".to_string();
     let mut filter: Option<String> = None;
     let mut strategies: Vec<String> = Vec::new();
     let mut par_threads: Option<usize> = None;
@@ -1727,7 +1809,7 @@ fn main() {
     let par_threads =
         par_threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
 
-    let scenarios: Vec<Scenario> = if quick {
+    let mut scenarios: Vec<Scenario> = if quick {
         vec![
             ancestor_chain(64),
             same_generation(2, 4),
@@ -1747,6 +1829,15 @@ fn main() {
             same_generation(64, 64),
         ]
     };
+
+    // The stratified families join the classic roster; their oracle's
+    // expected answer rows are kept aside and asserted before each one
+    // is measured.
+    let mut oracle_expected: BTreeMap<String, BTreeSet<Vec<Value>>> = BTreeMap::new();
+    for (scenario, expected) in stratified_scenarios(quick) {
+        oracle_expected.insert(scenario.name.clone(), expected);
+        scenarios.push(scenario);
+    }
 
     let mut results: Vec<(String, Vec<Cell>)> = Vec::new();
 
@@ -1829,6 +1920,10 @@ fn main() {
             }
         }
         eprintln!("scenario {}", scenario.name);
+        let oracle = oracle_expected.get(&scenario.name);
+        if let Some(expected) = oracle {
+            assert_oracle(scenario, expected);
+        }
         let mut cells = Vec::new();
         for strategy in Strategy::ALL {
             if !strategies.is_empty() && !strategies.iter().any(|s| s == strategy.short_name()) {
@@ -1836,6 +1931,15 @@ fn main() {
             }
             eprint!("  {:<10}", strategy.short_name());
             let outcome = measure(scenario, strategy, quick, 1);
+            if let (Some(expected), Outcome::Ok { answers, .. }) = (oracle, &outcome) {
+                assert_eq!(
+                    *answers,
+                    expected.len(),
+                    "{}: {} answer count diverged from the oracle",
+                    scenario.name,
+                    strategy.short_name()
+                );
+            }
             match &outcome {
                 Outcome::Ok {
                     wall_secs,
@@ -1847,6 +1951,9 @@ fn main() {
             }
             let mut cell = Cell::new(strategy.short_name(), outcome);
             cell.extra = ", \"threads\": 1".to_string();
+            if oracle.is_some() {
+                cell.extra.push_str(", \"oracle_checked\": true");
+            }
             let single = cells.len();
             cells.push(cell);
             // The parallel leg: same cell at `par_threads` workers, with
@@ -1868,6 +1975,9 @@ fn main() {
                 assert_counters_pinned(&scenario.name, &cells[single].outcome, &outcome);
                 let mut cell = Cell::new(label, outcome);
                 cell.extra = format!(", \"threads\": {par_threads}");
+                if oracle.is_some() {
+                    cell.extra.push_str(", \"oracle_checked\": true");
+                }
                 cells.push(cell);
             }
         }

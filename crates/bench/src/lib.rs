@@ -116,6 +116,45 @@ pub fn list_reverse(n: usize) -> Scenario {
     )
 }
 
+/// The stratified win/lose game over a random `n`-position graph with
+/// roughly `moves` moves: all winning positions, `win(X)?`.  The program
+/// negates `has_move` one stratum down, so only the strategies that
+/// support negation produce cells; the rest record typed skips.
+pub fn win_lose_game(n: usize, moves: usize) -> Scenario {
+    Scenario::new(
+        format!("win_lose/{n}x{moves}"),
+        magic_workloads::win_lose(),
+        magic_datalog::parse_query("win(X)").expect("query parses"),
+        magic_workloads::game_graph(n, moves, 0xB10C),
+    )
+}
+
+/// The bill-of-materials rollup over a random BOM of `assemblies`
+/// assemblies drawing up to `max_parts` parts each: per-assembly cost
+/// totals, `total(A, T)?`.  The head aggregates (`sum<C>`), so only the
+/// baseline evaluators produce cells; every rewrite records a typed skip.
+pub fn bom_rollup(assemblies: usize, max_parts: usize) -> Scenario {
+    Scenario::new(
+        format!("bom_total/{assemblies}x{max_parts}"),
+        magic_workloads::bill_of_materials(),
+        magic_datalog::parse_query("total(A, T)").expect("query parses"),
+        magic_workloads::bom_database(assemblies, max_parts, 0xB0B0),
+    )
+}
+
+/// Shortest paths in hops via `min` over a random `n`-node graph with
+/// roughly `edges` edges (cycles allowed) and hop counts bounded by
+/// `bound`: `shortest(X, Y, D)?`.  Like [`bom_rollup`], aggregate-headed,
+/// so baseline-only.
+pub fn shortest_hops(n: usize, edges: usize, bound: usize) -> Scenario {
+    Scenario::new(
+        format!("shortest/{n}x{edges}"),
+        magic_workloads::shortest_paths(),
+        magic_datalog::parse_query("shortest(X, Y, D)").expect("query parses"),
+        magic_workloads::hop_graph(n, edges, bound, 0x5EED),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +175,37 @@ mod tests {
                 scenario.name
             );
         }
+    }
+
+    #[test]
+    fn stratified_scenarios_run_and_match_their_oracles() {
+        let game = win_lose_game(16, 36);
+        let winners = game.run(Strategy::MagicSets).unwrap().answers;
+        let expected: std::collections::BTreeSet<Vec<magic_datalog::Value>> =
+            magic_workloads::win_lose_oracle(&game.database)
+                .into_iter()
+                .filter(|f| f.pred == magic_datalog::PredName::plain("win"))
+                .map(|f| f.values)
+                .collect();
+        assert_eq!(winners, expected);
+        assert!(!winners.is_empty());
+
+        let bom = bom_rollup(4, 3);
+        let totals = bom.run(Strategy::SemiNaiveBottomUp).unwrap().answers;
+        assert_eq!(totals.len(), 4);
+
+        let paths = shortest_hops(8, 16, 4);
+        let shortest = paths.run(Strategy::SemiNaiveBottomUp).unwrap().answers;
+        assert!(!shortest.is_empty());
+    }
+
+    #[test]
+    fn aggregate_scenarios_are_typed_refusals_under_rewrites() {
+        let err = bom_rollup(3, 2).run(Strategy::MagicSets).unwrap_err();
+        assert!(matches!(
+            err,
+            magic_core::planner::PlanError::GuardedUnsupported { .. }
+        ));
     }
 
     #[test]

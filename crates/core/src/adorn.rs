@@ -209,8 +209,18 @@ pub fn adorn(
                 },
                 rule.head.terms.clone(),
             );
+            // Negated atoms are not sideways-information sources (v1):
+            // adornment passes over them — they keep their plain names and
+            // ride along unchanged, to be complemented against the *full*
+            // relation (the planner appends their unrewritten cones).  An
+            // aggregate head likewise passes through untouched; the
+            // rewrites themselves refuse aggregate programs upstream.
+            let mut adorned_rule = Rule::new(head, body).with_negated(rule.negated.clone());
+            if let Some(agg) = &rule.aggregate {
+                adorned_rule = adorned_rule.with_aggregate(agg.clone());
+            }
             result.rules.push(AdornedRule {
-                rule: Rule::new(head, body),
+                rule: adorned_rule,
                 head_adornment: adornment.clone(),
                 original_rule_idx,
                 sip: remapped_sip,

@@ -11,7 +11,7 @@ use crate::optimality::{account, FactAccounting};
 use crate::rewrite::{counting, gms, gsc, gsms, semijoin, Method, RewriteError, RewrittenProgram};
 use crate::safety::{analyze, SafetyReport};
 use crate::sip_builder::SipStrategy;
-use magic_datalog::{PredName, Program, Query, Schedule, Value};
+use magic_datalog::{DependencyGraph, PredName, Program, Query, Schedule, Value};
 use magic_engine::{
     answers::project_answers, EvalError, EvalStats, Evaluator, IterationScheme, Limits,
 };
@@ -116,6 +116,26 @@ pub enum PlanError {
         /// A counting-indexed predicate of the offending recursive cone.
         pred: String,
     },
+    /// The program (or, for the magic rewrite, its rewritten form) is not
+    /// stratifiable: some negated/aggregated dependency stays inside a
+    /// strongly connected component, so no evaluation order can finish the
+    /// complemented relation before it is needed.  Refused up front with
+    /// the offending cycle, mirroring [`PlanError::CountingUnsafe`].
+    Unstratifiable {
+        /// The negated/aggregated predicate closing the cycle.
+        pred: String,
+        /// The members of the offending SCC, pretty-printed in order.
+        cycle: Vec<String>,
+    },
+    /// The chosen strategy cannot evaluate this program's negation or
+    /// aggregates (v1 policy: aggregates only under the bottom-up
+    /// baselines; negation under the baselines and GMS).
+    GuardedUnsupported {
+        /// The refusing strategy's short name.
+        strategy: String,
+        /// Why the strategy refuses.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -128,6 +148,17 @@ impl fmt::Display for PlanError {
                 "counting plan refused: recursion through counting-indexed \
                  predicate {pred} with a cyclic argument graph cannot \
                  terminate (Theorem 10.3)"
+            ),
+            PlanError::Unstratifiable { pred, cycle } => write!(
+                f,
+                "plan refused: the program is not stratifiable — {pred} is \
+                 negated/aggregated inside the cycle [{}]",
+                cycle.join(" -> ")
+            ),
+            PlanError::GuardedUnsupported { strategy, reason } => write!(
+                f,
+                "strategy {strategy} does not support this program's \
+                 negation/aggregates: {reason}"
             ),
         }
     }
@@ -301,13 +332,19 @@ impl Planner {
     /// evaluating.  Errors for the two baseline strategies, which do not
     /// rewrite.
     pub fn rewrite(&self, program: &Program, query: &Query) -> Result<RewrittenProgram, PlanError> {
+        if matches!(
+            self.strategy,
+            Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp
+        ) {
+            return Err(PlanError::Rewrite(RewriteError::CountingNotApplicable {
+                reason: "the bottom-up baselines do not rewrite the program".into(),
+            }));
+        }
+        check_stratified(program)?;
+        self.check_guarded_supported(program)?;
         let adorned = adorn(program, query, self.sip).map_err(RewriteError::Datalog)?;
-        let rewritten = match self.strategy {
-            Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp => {
-                return Err(PlanError::Rewrite(RewriteError::CountingNotApplicable {
-                    reason: "the bottom-up baselines do not rewrite the program".into(),
-                }))
-            }
+        let mut rewritten = match self.strategy {
+            Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp => unreachable!("refused above"),
             Strategy::MagicSets => gms::rewrite(&adorned, self.gms_options)?,
             Strategy::SupplementaryMagicSets => gsms::rewrite(&adorned)?,
             Strategy::Counting => counting::rewrite(&adorned)?,
@@ -317,7 +354,41 @@ impl Planner {
                 semijoin::optimize(&gsc::rewrite(&adorned)?)?
             }
         };
+        if program.rules.iter().any(|r| !r.negated.is_empty()) {
+            append_negated_cones(program, &mut rewritten.program);
+            check_stratified(&rewritten.program)?;
+        }
         Ok(rewritten)
+    }
+
+    /// The v1 negation/aggregate policy: aggregates are stratum-boundary
+    /// reductions and never sideways-information sources, so no rewrite
+    /// supports them; negated subgoals are supported by GMS only (the
+    /// modified rules carry them, with their cones appended unrewritten —
+    /// see [`append_negated_cones`]).  The bottom-up baselines evaluate
+    /// everything the engine stratifies.
+    fn check_guarded_supported(&self, program: &Program) -> Result<(), PlanError> {
+        if program.rules.iter().any(|r| r.aggregate.is_some()) {
+            return Err(PlanError::GuardedUnsupported {
+                strategy: self.strategy.to_string(),
+                reason: "aggregate heads are stratum-boundary reductions, not \
+                         sideways-information sources; evaluate them with a \
+                         bottom-up baseline"
+                    .into(),
+            });
+        }
+        if program.rules.iter().any(|r| !r.negated.is_empty())
+            && self.strategy != Strategy::MagicSets
+        {
+            return Err(PlanError::GuardedUnsupported {
+                strategy: self.strategy.to_string(),
+                reason: "negated subgoals are only supported under gms, where \
+                         the modified rules keep them and their cones are \
+                         appended unrewritten"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 
     /// Build a plan for `(program, query)`.
@@ -329,18 +400,23 @@ impl Planner {
             IterationScheme::SemiNaive
         };
         match self.strategy {
-            Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp => Ok(Plan {
-                strategy: self.strategy,
-                program: program.clone(),
-                rewritten: None,
-                adorned: None,
-                answer_atom: query.atom.clone(),
-                projection: query.free_vars(),
-                base_preds,
-                limits: self.limits,
-                scheme,
-            }),
+            Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp => {
+                check_stratified(program)?;
+                Ok(Plan {
+                    strategy: self.strategy,
+                    program: program.clone(),
+                    rewritten: None,
+                    adorned: None,
+                    answer_atom: query.atom.clone(),
+                    projection: query.free_vars(),
+                    base_preds,
+                    limits: self.limits,
+                    scheme,
+                })
+            }
             _ => {
+                check_stratified(program)?;
+                self.check_guarded_supported(program)?;
                 let adorned = adorn(program, query, self.sip).map_err(RewriteError::Datalog)?;
                 let rewritten = self.rewrite(program, query)?;
                 if self.strategy.is_counting() {
@@ -369,6 +445,41 @@ impl Planner {
         edb: &Database,
     ) -> Result<PlanResult, PlanError> {
         self.plan(program, query)?.execute(edb)
+    }
+}
+
+/// Refuse unstratifiable programs with the typed violation (the first, in
+/// deterministic order) before any rewrite or evaluation work.
+fn check_stratified(program: &Program) -> Result<(), PlanError> {
+    let schedule = Schedule::build(program);
+    if let Some(v) = schedule.stratification_violations().first() {
+        return Err(PlanError::Unstratifiable {
+            pred: v.pred.to_string(),
+            cycle: v.cycle.iter().map(|p| p.to_string()).collect(),
+        });
+    }
+    Ok(())
+}
+
+/// The v1 negation policy for the magic rewrite: a negated subgoal reads
+/// the *complete* relation of its predicate, so magic restriction — which
+/// prunes derivation to query-relevant bindings — must not apply to it.
+/// Negated atoms keep their plain names through adornment; this appends
+/// the original (unrewritten) rules of every negated derived predicate's
+/// reachable cone, so the rewritten program defines those plain names in
+/// full while the positive fragment stays magic-restricted.
+fn append_negated_cones(original: &Program, rewritten: &mut Program) {
+    let graph = DependencyGraph::build(original);
+    let mut cone: BTreeSet<PredName> = BTreeSet::new();
+    for rule in &original.rules {
+        for atom in &rule.negated {
+            cone.extend(graph.reachable_from(&atom.pred));
+        }
+    }
+    for rule in &original.rules {
+        if cone.contains(&rule.head.pred) {
+            rewritten.rules.push(rule.clone());
+        }
     }
 }
 
@@ -563,6 +674,121 @@ mod tests {
         );
         assert_eq!(method_of(Strategy::NaiveBottomUp), None);
         assert_eq!(Strategy::CountingSemijoin.to_string(), "gc+sj");
+    }
+
+    #[test]
+    fn unstratifiable_programs_are_refused_at_plan_time() {
+        // win(X) :- move(X, Y), not win(Y) — negation inside win's own
+        // recursive component.  Every strategy must refuse before any
+        // rewrite or evaluation work, with the offending predicate named.
+        let program = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let query = parse_query("win(a)").unwrap();
+        for strategy in Strategy::ALL {
+            let err = Planner::new(strategy).plan(&program, &query).unwrap_err();
+            match err {
+                PlanError::Unstratifiable {
+                    ref pred,
+                    ref cycle,
+                } => {
+                    assert_eq!(pred, "win", "{strategy}");
+                    assert!(cycle.contains(&"win".to_string()), "{strategy}: {cycle:?}");
+                }
+                other => panic!("{strategy}: expected Unstratifiable, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn gms_with_negation_appends_the_unrewritten_cone() {
+        // unreached reads the complement of reach, so the rewritten
+        // program must still define plain (unrestricted) reach alongside
+        // the magic-restricted fragment.
+        let program = parse_program(
+            "reach(X) :- source(X).
+             reach(Y) :- reach(X), edge(X, Y).
+             unreached(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        let query = parse_query("unreached(Y)").unwrap();
+        let mut db = Database::new();
+        db.insert(PredName::plain("source"), vec![Value::sym("a")]);
+        db.insert_pair("edge", "a", "b");
+        db.insert_pair("edge", "b", "c");
+        db.insert_pair("edge", "d", "e");
+        for n in ["a", "b", "c", "d", "e"] {
+            db.insert(PredName::plain("node"), vec![Value::sym(n)]);
+        }
+        let reference = Planner::new(Strategy::SemiNaiveBottomUp)
+            .evaluate(&program, &query, &db)
+            .unwrap();
+        assert_eq!(reference.answers.len(), 2); // d, e
+        let magic = Planner::new(Strategy::MagicSets)
+            .evaluate(&program, &query, &db)
+            .unwrap();
+        assert_eq!(magic.answers, reference.answers);
+        // The rewritten program carries the original reach rules under
+        // their plain name (the appended cone).
+        let rewritten = Planner::new(Strategy::MagicSets)
+            .rewrite(&program, &query)
+            .unwrap();
+        let plain_reach = rewritten
+            .program
+            .rules
+            .iter()
+            .filter(|r| r.head.pred == PredName::plain("reach"))
+            .count();
+        assert_eq!(plain_reach, 2, "cone must define plain reach in full");
+    }
+
+    #[test]
+    fn aggregates_and_non_gms_negation_are_typed_refusals() {
+        // v1 policy: aggregates are refused under every rewrite strategy;
+        // negation is only supported under the magic-sets rewrites.
+        let aggregated = parse_program(
+            "cost(P, C) :- part_cost(P, C).
+             total(P, sum<C>) :- cost(P, C).",
+        )
+        .unwrap();
+        let agg_query = parse_query("total(p, C)").unwrap();
+        let negated = parse_program(
+            "reach(X) :- source(X).
+             reach(Y) :- reach(X), edge(X, Y).
+             unreached(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        let neg_query = parse_query("unreached(Y)").unwrap();
+        for strategy in Strategy::ALL {
+            if matches!(
+                strategy,
+                Strategy::NaiveBottomUp | Strategy::SemiNaiveBottomUp
+            ) {
+                continue;
+            }
+            let err = Planner::new(strategy)
+                .plan(&aggregated, &agg_query)
+                .unwrap_err();
+            assert!(
+                matches!(err, PlanError::GuardedUnsupported { .. }),
+                "{strategy}: expected GuardedUnsupported for aggregates, got {err}"
+            );
+            let neg = Planner::new(strategy).plan(&negated, &neg_query);
+            if matches!(strategy, Strategy::MagicSets) {
+                assert!(neg.is_ok(), "{strategy}: gms must plan negation");
+            } else {
+                let err = neg.unwrap_err();
+                assert!(
+                    matches!(err, PlanError::GuardedUnsupported { .. }),
+                    "{strategy}: expected GuardedUnsupported for negation, got {err}"
+                );
+            }
+        }
+        // The baselines evaluate both programs fine.
+        assert!(Planner::new(Strategy::SemiNaiveBottomUp)
+            .plan(&aggregated, &agg_query)
+            .is_ok());
+        assert!(Planner::new(Strategy::NaiveBottomUp)
+            .plan(&negated, &neg_query)
+            .is_ok());
     }
 
     #[test]

@@ -128,7 +128,12 @@ fn rewrite_rule(ar: &AdornedRule, rule_number: usize, options: GmsOptions, out: 
         }
         body.push(atom.clone());
     }
-    out.push(Rule::new(ar.rule.head.clone(), body));
+    // The modified rule keeps its negated atoms verbatim: they are checked
+    // against the full (plain-named) relations, whose unrewritten defining
+    // cones the planner appends.  Magic rules above stay positive — a
+    // magic set without the negation filter over-approximates the relevant
+    // bindings, which is always sound.
+    out.push(Rule::new(ar.rule.head.clone(), body).with_negated(ar.rule.negated.clone()));
 }
 
 /// Apply the generalized magic-sets rewrite to an adorned program.

@@ -7,13 +7,23 @@ use crate::program::Program;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The predicate dependency graph of a program: an edge `p -> q` exists when
-/// some rule with head `p` mentions `q` in its body.
+/// some rule with head `p` mentions `q` in its body (positively or under
+/// `not`).
+///
+/// Edges through a negated atom, and *every* body edge of an aggregate rule
+/// (an aggregate must see its input relation complete), are additionally
+/// recorded as *strict*: stratified semantics requires the callee to sit in
+/// a strictly lower stratum, so a strict edge inside a strongly connected
+/// component is a stratification violation.
 #[derive(Clone, Debug, Default)]
 pub struct DependencyGraph {
     /// Adjacency: head predicate -> body predicates it depends on.
     pub edges: BTreeMap<PredName, BTreeSet<PredName>>,
     /// All predicates mentioned by the program.
     pub nodes: BTreeSet<PredName>,
+    /// Edges `(head, callee)` that must cross strata downward: negated body
+    /// atoms, and all body atoms of aggregate rules.
+    pub strict_edges: BTreeSet<(PredName, PredName)>,
 }
 
 impl DependencyGraph {
@@ -21,15 +31,28 @@ impl DependencyGraph {
     pub fn build(program: &Program) -> DependencyGraph {
         let mut edges: BTreeMap<PredName, BTreeSet<PredName>> = BTreeMap::new();
         let mut nodes = BTreeSet::new();
+        let mut strict_edges = BTreeSet::new();
         for rule in &program.rules {
             nodes.insert(rule.head.pred.clone());
             let entry = edges.entry(rule.head.pred.clone()).or_default();
             for atom in &rule.body {
                 nodes.insert(atom.pred.clone());
                 entry.insert(atom.pred.clone());
+                if rule.aggregate.is_some() {
+                    strict_edges.insert((rule.head.pred.clone(), atom.pred.clone()));
+                }
+            }
+            for atom in &rule.negated {
+                nodes.insert(atom.pred.clone());
+                entry.insert(atom.pred.clone());
+                strict_edges.insert((rule.head.pred.clone(), atom.pred.clone()));
             }
         }
-        DependencyGraph { edges, nodes }
+        DependencyGraph {
+            edges,
+            nodes,
+            strict_edges,
+        }
     }
 
     /// Successors of a predicate (empty set if it has no rules).

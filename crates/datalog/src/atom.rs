@@ -154,7 +154,7 @@ impl fmt::Display for Atom {
 }
 
 /// A ground fact: a predicate name applied to ground values.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Fact {
     /// The predicate.
     pub pred: PredName,

@@ -49,6 +49,26 @@ pub enum DatalogError {
         /// The query predicate name.
         predicate: String,
     },
+    /// A negated atom (or aggregate) uses a variable that no positive body
+    /// atom binds — under complementation it would range over the whole
+    /// domain.
+    UnsafeNegation {
+        /// The offending rule, pretty-printed.
+        rule: String,
+        /// The unbound variable.
+        variable: String,
+        /// The negated (or aggregate-head) predicate it occurs in.
+        predicate: String,
+    },
+    /// An aggregate rule violates a structural restriction (one aggregate
+    /// per head, a single defining rule per aggregate head, no aggregate
+    /// over a non-integer fold for `sum`/`min`/`max`).
+    MalformedAggregate {
+        /// The offending rule (or clause), pretty-printed.
+        rule: String,
+        /// Human-readable description of the violation.
+        message: String,
+    },
 }
 
 impl fmt::Display for DatalogError {
@@ -80,6 +100,18 @@ impl fmt::Display for DatalogError {
             } => write!(f, "parse error at {line}:{column}: {message}"),
             DatalogError::UnknownQueryPredicate { predicate } => {
                 write!(f, "query predicate {predicate} is not defined by the program")
+            }
+            DatalogError::UnsafeNegation {
+                rule,
+                variable,
+                predicate,
+            } => write!(
+                f,
+                "unsafe negation: variable {variable} of negated/aggregated \
+                 predicate {predicate} is not bound by any positive body atom: {rule}"
+            ),
+            DatalogError::MalformedAggregate { rule, message } => {
+                write!(f, "malformed aggregate ({message}): {rule}")
             }
         }
     }

@@ -52,8 +52,8 @@ pub use error::DatalogError;
 pub use parser::{parse_program, parse_query, parse_rule, parse_source, parse_term, ParsedSource};
 pub use pred::PredName;
 pub use program::Program;
-pub use rule::{Query, Rule};
-pub use schedule::{Schedule, Stratum};
+pub use rule::{AggFunc, Aggregate, Query, Rule};
+pub use schedule::{Schedule, StratificationViolation, Stratum};
 pub use slots::{Frame, SlotTerm, Trail};
 pub use symbol::Symbol;
 pub use term::{Bindings, LinearExpr, SymbolicLength, Term, Value, Variable};

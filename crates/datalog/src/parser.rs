@@ -15,12 +15,19 @@
 //! function symbols start with a lowercase letter (or are quoted with single
 //! quotes, or are integers).  Lists use Prolog syntax: `[]`, `[a, b, c]`,
 //! `[H | T]`; they desugar to the reserved `cons`/`nil` functors.
+//!
+//! Stratified extensions: a body atom may be negated with the `not` keyword
+//! (`stuck(X) :- pos(X), not can_move(X).` — `not` is only a keyword when
+//! followed by a predicate name, so a predicate called `not` with a
+//! parenthesized argument list still parses), and one head position may be
+//! an aggregate (`total(P, sum<C>) :- part(P, S), cost(S, C).` with
+//! `count`/`sum`/`min`/`max`).
 
 use crate::atom::{Atom, Fact};
 use crate::error::DatalogError;
 use crate::program::Program;
-use crate::rule::{Query, Rule};
-use crate::term::Term;
+use crate::rule::{AggFunc, Aggregate, Query, Rule};
+use crate::term::{Term, Variable};
 
 /// The result of parsing a source text: the rules, the embedded ground
 /// facts, and any queries (`?- ...`) in order of appearance.
@@ -53,6 +60,8 @@ enum Token {
     Comma,
     Dot,
     Pipe,
+    Lt,          // < (aggregate heads only)
+    Gt,          // > (aggregate heads only)
     Implies,     // :-
     QueryPrefix, // ?-
 }
@@ -161,6 +170,14 @@ impl<'a> Lexer<'a> {
                 '|' => {
                     self.bump();
                     Token::Pipe
+                }
+                '<' => {
+                    self.bump();
+                    Token::Lt
+                }
+                '>' => {
+                    self.bump();
+                    Token::Gt
                 }
                 ':' => {
                     self.bump();
@@ -381,6 +398,69 @@ impl Parser {
         }
     }
 
+    /// Parse a rule head: a plain atom whose term list may contain at most
+    /// one aggregate term `func<Var>` with `func` in
+    /// `count`/`sum`/`min`/`max`.  The aggregate position holds the plain
+    /// variable in the returned atom; the aggregate itself is returned
+    /// separately.
+    fn parse_head(&mut self) -> Result<(Atom, Option<Aggregate>), DatalogError> {
+        let name = match self.bump() {
+            Some(Token::LowerIdent(name)) => name,
+            _ => return Err(self.error("expected a predicate name")),
+        };
+        let mut terms = Vec::new();
+        let mut aggregate = None;
+        if self.peek() == Some(&Token::LParen) {
+            self.bump();
+            if self.peek() != Some(&Token::RParen) {
+                loop {
+                    // An aggregate term is a lowercase aggregate-function
+                    // name immediately followed by `<`; anything else is an
+                    // ordinary term (so a constant named `sum` still parses).
+                    let agg_func = match self.peek() {
+                        Some(Token::LowerIdent(f)) => AggFunc::from_name(f).filter(|_| {
+                            self.tokens.get(self.pos + 1).map(|s| &s.token) == Some(&Token::Lt)
+                        }),
+                        _ => None,
+                    };
+                    if let Some(func) = agg_func {
+                        self.bump(); // function name
+                        self.bump(); // '<'
+                        let var = match self.bump() {
+                            Some(Token::UpperIdent(v)) => v,
+                            _ => {
+                                return Err(self.error(format!(
+                                    "aggregate argument of {func}<..> must be a variable"
+                                )))
+                            }
+                        };
+                        self.expect(&Token::Gt, &format!("'>' closing {func}<{var}"))?;
+                        if aggregate.is_some() {
+                            return Err(
+                                self.error("at most one aggregate is allowed per rule head")
+                            );
+                        }
+                        aggregate = Some(Aggregate {
+                            func,
+                            var: Variable::new(&var),
+                            position: terms.len(),
+                        });
+                        terms.push(Term::var(&var));
+                    } else {
+                        terms.push(self.parse_term()?);
+                    }
+                    if self.peek() == Some(&Token::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Token::RParen, "')'")?;
+        }
+        Ok((Atom::plain(&name, terms), aggregate))
+    }
+
     fn parse_clause(&mut self) -> Result<Clause, DatalogError> {
         if self.peek() == Some(&Token::QueryPrefix) {
             self.bump();
@@ -388,22 +468,43 @@ impl Parser {
             self.expect(&Token::Dot, "'.' after query")?;
             return Ok(Clause::Query(Query::new(atom)));
         }
-        let head = self.parse_atom()?;
+        let (head, aggregate) = self.parse_head()?;
         let mut body = Vec::new();
+        let mut negated = Vec::new();
         if self.peek() == Some(&Token::Implies) {
             self.bump();
             // An empty body after ':-' (as in the paper's `reverse([],[]) :-`)
             // is allowed.
             if self.peek() != Some(&Token::Dot) {
-                body.push(self.parse_atom()?);
-                while self.peek() == Some(&Token::Comma) {
-                    self.bump();
-                    body.push(self.parse_atom()?);
+                loop {
+                    // `not` is a keyword only when followed by a predicate
+                    // name, so a predicate literally called `not` (always
+                    // followed by `(`, `,` or `.` here) still parses.
+                    let is_negation = matches!(self.peek(), Some(Token::LowerIdent(w)) if w == "not")
+                        && matches!(
+                            self.tokens.get(self.pos + 1).map(|s| &s.token),
+                            Some(Token::LowerIdent(_))
+                        );
+                    if is_negation {
+                        self.bump();
+                        negated.push(self.parse_atom()?);
+                    } else {
+                        body.push(self.parse_atom()?);
+                    }
+                    if self.peek() == Some(&Token::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
                 }
             }
         }
         self.expect(&Token::Dot, "'.' at end of clause")?;
-        Ok(Clause::Rule(Rule::new(head, body)))
+        let mut rule = Rule::new(head, body).with_negated(negated);
+        if let Some(agg) = aggregate {
+            rule = rule.with_aggregate(agg);
+        }
+        Ok(Clause::Rule(rule))
     }
 }
 
@@ -620,5 +721,75 @@ mod tests {
         let r = parse_rule(src).unwrap();
         let reparsed = parse_rule(&r.to_string()).unwrap();
         assert_eq!(r, reparsed);
+    }
+
+    #[test]
+    fn parse_negated_atoms() {
+        let r = parse_rule("stuck(X) :- pos(X), not can_move(X).").unwrap();
+        assert_eq!(r.body.len(), 1);
+        assert_eq!(r.negated.len(), 1);
+        assert_eq!(r.negated[0].to_string(), "can_move(X)");
+        assert!(r.is_guarded());
+        assert_eq!(r.to_string(), "stuck(X) :- pos(X), not can_move(X).");
+        // `not` anywhere among the conjuncts; display normalizes to the end.
+        let r = parse_rule("lose(X) :- not win(X), pos(X).").unwrap();
+        assert_eq!(r.body.len(), 1);
+        assert_eq!(r.negated.len(), 1);
+        assert_eq!(r.to_string(), "lose(X) :- pos(X), not win(X).");
+        // Zero-arity negation.
+        let r = parse_rule("quiet :- idle, not alarm.").unwrap();
+        assert_eq!(r.negated[0].pred.to_string(), "alarm");
+        assert_eq!(r.negated[0].arity(), 0);
+        // A predicate literally named `not` (followed by '(') stays positive.
+        let r = parse_rule("p(X) :- not(X).").unwrap();
+        assert!(r.negated.is_empty());
+        assert_eq!(r.body[0].pred.to_string(), "not");
+        // ... including when negated itself.
+        let r = parse_rule("p(X) :- q(X), not not(X).").unwrap();
+        assert_eq!(r.negated[0].pred.to_string(), "not");
+        assert_eq!(r.to_string(), "p(X) :- q(X), not not(X).");
+    }
+
+    #[test]
+    fn parse_aggregate_heads() {
+        let r = parse_rule("total(P, sum<C>) :- part(P, S), cost(S, C).").unwrap();
+        let agg = r.aggregate.as_ref().unwrap();
+        assert_eq!(agg.func, AggFunc::Sum);
+        assert_eq!(agg.var.name(), "C");
+        assert_eq!(agg.position, 1);
+        assert_eq!(r.head.to_string(), "total(P, C)");
+        assert_eq!(r.to_string(), "total(P, sum<C>) :- part(P, S), cost(S, C).");
+        // Round-trip through display for all four functions, with odd spacing.
+        for src in [
+            "n(count<X>) :- p(X).",
+            "best(G,   min< D >) :- dist(G, D).",
+            "worst(G, max<D>) :- dist(G, D).",
+            "s(A, sum<B>, c) :- t(A, B).",
+        ] {
+            let r = parse_rule(src).unwrap();
+            assert_eq!(r, parse_rule(&r.to_string()).unwrap());
+        }
+        // A constant named after an aggregate function is still a constant.
+        let r = parse_rule("p(sum, X) :- q(X).").unwrap();
+        assert!(r.aggregate.is_none());
+        assert_eq!(r.head.terms[0], Term::sym("sum"));
+    }
+
+    #[test]
+    fn malformed_aggregates_are_rejected() {
+        // Two aggregates in one head.
+        let err = parse_rule("p(count<X>, sum<Y>) :- q(X, Y).").unwrap_err();
+        assert!(
+            err.to_string().contains("at most one aggregate"),
+            "got {err}"
+        );
+        // Non-variable aggregate argument.
+        let err = parse_rule("p(sum<3>) :- q(X).").unwrap_err();
+        assert!(err.to_string().contains("must be a variable"), "got {err}");
+        // Unclosed aggregate.
+        assert!(parse_rule("p(sum<X) :- q(X).").is_err());
+        // Aggregates are not terms: not in bodies, not in queries.
+        assert!(parse_rule("p(X) :- q(sum<X>).").is_err());
+        assert!(parse_query("?- p(count<X>).").is_err());
     }
 }

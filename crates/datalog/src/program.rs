@@ -56,13 +56,14 @@ impl Program {
             .collect()
     }
 
-    /// The set of *base* predicates: those that appear in rule bodies but are
-    /// never the head of a (non-fact) rule.
+    /// The set of *base* predicates: those that appear in rule bodies
+    /// (positively or under `not`) but are never the head of a (non-fact)
+    /// rule.
     pub fn base_preds(&self) -> BTreeSet<PredName> {
         let derived = self.derived_preds();
         self.rules
             .iter()
-            .flat_map(|r| r.body.iter())
+            .flat_map(|r| r.body.iter().chain(r.negated.iter()))
             .map(|a| a.pred.clone())
             .filter(|p| !derived.contains(p))
             .collect()
@@ -93,7 +94,7 @@ impl Program {
         };
         for rule in &self.rules {
             record(&rule.head.pred, rule.head.arity())?;
-            for atom in &rule.body {
+            for atom in rule.body.iter().chain(rule.negated.iter()) {
                 record(&atom.pred, atom.arity())?;
             }
         }
@@ -127,13 +128,58 @@ impl Program {
     }
 
     /// Validate the program: every rule satisfies (WF) and (C), arities are
-    /// consistent, and (if `base` is non-empty) no base predicate heads a
-    /// rule.
+    /// consistent, negated/aggregated variables are positively bound, and
+    /// aggregate heads are structurally sound (a single defining rule, no
+    /// mixing with plain derivations, the aggregated variable confined to
+    /// its head position).
     pub fn validate(&self) -> Result<(), DatalogError> {
         self.predicate_arities()?;
         for rule in &self.rules {
             rule.check_well_formed()?;
             rule.check_connected()?;
+            rule.check_negation_safe()?;
+        }
+        self.check_aggregate_heads()
+    }
+
+    /// Structural checks on aggregate rules: an aggregate head predicate
+    /// must have exactly one defining rule (two reductions over the same
+    /// head, or a mix of aggregate and plain derivations, has no single
+    /// group-by meaning), and the aggregated variable may not occur in any
+    /// other head position (it is consumed by the fold, not grouped on).
+    fn check_aggregate_heads(&self) -> Result<(), DatalogError> {
+        for rule in &self.rules {
+            let Some(agg) = &rule.aggregate else { continue };
+            let defining = self
+                .rules
+                .iter()
+                .filter(|r| r.head.pred == rule.head.pred)
+                .count();
+            if defining > 1 {
+                return Err(DatalogError::MalformedAggregate {
+                    rule: rule.to_string(),
+                    message: format!(
+                        "aggregate head {} must have exactly one defining rule, found {defining}",
+                        rule.head.pred
+                    ),
+                });
+            }
+            let elsewhere = rule
+                .head
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != agg.position)
+                .any(|(_, t)| t.vars().contains(&agg.var));
+            if elsewhere {
+                return Err(DatalogError::MalformedAggregate {
+                    rule: rule.to_string(),
+                    message: format!(
+                        "aggregated variable {} also occurs in a group-by head position",
+                        agg.var.name()
+                    ),
+                });
+            }
         }
         Ok(())
     }
@@ -160,7 +206,10 @@ impl Program {
         }
         self.rules.iter().all(|r| {
             r.head.terms.iter().all(term_is_flat)
-                && r.body.iter().all(|a| a.terms.iter().all(term_is_flat))
+                && r.body
+                    .iter()
+                    .chain(r.negated.iter())
+                    .all(|a| a.terms.iter().all(term_is_flat))
         })
     }
 

@@ -1,4 +1,10 @@
 //! Horn clauses (rules), queries, and the paper's well-formedness conditions.
+//!
+//! Beyond the paper's positive language, rules may carry *negated* body
+//! atoms (`not p(X)`) and one *aggregate* head position
+//! (`total(P, sum<C>)`), evaluated under stratified semantics: a negated
+//! or aggregated subgoal may only read predicates from strictly lower
+//! strata (see [`crate::schedule::Schedule`]).
 
 use crate::atom::Atom;
 use crate::error::DatalogError;
@@ -7,42 +13,132 @@ use crate::term::{Term, Value, Variable};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
+/// An aggregate function: a stratum-boundary reduction over the grouped
+/// matches of a rule body.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunc {
+    /// The number of distinct values of the aggregated variable per group.
+    Count,
+    /// The sum of the distinct integer values per group.
+    Sum,
+    /// The minimum integer value per group.
+    Min,
+    /// The maximum integer value per group.
+    Max,
+}
+
+impl AggFunc {
+    /// The surface-syntax keyword of the function.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parse a surface keyword into the function, if it is one.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One aggregate head position: `func<Var>` at `position` of the head.
+/// The head atom itself keeps a plain variable term at that position (so
+/// all positional machinery — plans, adornments — sees an ordinary head);
+/// the aggregate is applied as a group-by reduction at the rule's stratum
+/// boundary, grouping on the remaining head positions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Aggregate {
+    /// The reduction applied per group.
+    pub func: AggFunc,
+    /// The aggregated body variable (must occur in the positive body).
+    pub var: Variable,
+    /// The head argument position holding the aggregate result.
+    pub position: usize,
+}
+
 /// A Horn clause `head :- body`.  A rule with an empty body is a fact
 /// (and, by condition (WF), must be ground).
+///
+/// `body` holds the *positive* atoms only; negated atoms live in
+/// [`negated`](Rule::negated) so that every positive-only analysis and
+/// rewrite (sips, adornment, magic rules, delta variants) keeps its exact
+/// pre-negation meaning.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Rule {
     /// The head atom.
     pub head: Atom,
-    /// The body atoms (predicate occurrences), in textual order.
+    /// The positive body atoms (predicate occurrences), in textual order.
     pub body: Vec<Atom>,
+    /// The negated body atoms (`not p(...)`), in textual order.  Under
+    /// stratified semantics each is an anti-join against the *finished*
+    /// relation of a strictly lower stratum.
+    pub negated: Vec<Atom>,
+    /// The aggregate head position, if any.
+    pub aggregate: Option<Aggregate>,
 }
 
 impl Rule {
-    /// Construct a rule.
+    /// Construct a (positive) rule.
     pub fn new(head: Atom, body: Vec<Atom>) -> Rule {
-        Rule { head, body }
+        Rule {
+            head,
+            body,
+            negated: Vec::new(),
+            aggregate: None,
+        }
+    }
+
+    /// Attach negated body atoms to the rule.
+    pub fn with_negated(mut self, negated: Vec<Atom>) -> Rule {
+        self.negated = negated;
+        self
+    }
+
+    /// Attach an aggregate head position to the rule.
+    pub fn with_aggregate(mut self, aggregate: Aggregate) -> Rule {
+        self.aggregate = Some(aggregate);
+        self
     }
 
     /// Construct a fact (a rule with an empty body).
     pub fn fact(head: Atom) -> Rule {
-        Rule {
-            head,
-            body: Vec::new(),
-        }
+        Rule::new(head, Vec::new())
     }
 
     /// True iff the rule has an empty body.
     pub fn is_fact(&self) -> bool {
-        self.body.is_empty()
+        self.body.is_empty() && self.negated.is_empty()
     }
 
-    /// All variables of the rule, in first-occurrence order (head first).
+    /// True iff the rule uses negation or aggregation — i.e. must be
+    /// *guarded* by stratification and evaluated semi-positively.
+    pub fn is_guarded(&self) -> bool {
+        !self.negated.is_empty() || self.aggregate.is_some()
+    }
+
+    /// All variables of the rule, in first-occurrence order (head first,
+    /// then the positive body, then the negated atoms).
     pub fn vars(&self) -> Vec<Variable> {
         let mut out = Vec::new();
         for t in &self.head.terms {
             t.collect_vars(&mut out);
         }
-        for atom in &self.body {
+        for atom in self.body.iter().chain(self.negated.iter()) {
             for t in &atom.terms {
                 t.collect_vars(&mut out);
             }
@@ -50,7 +146,9 @@ impl Rule {
         out
     }
 
-    /// The set of variables appearing in the body.
+    /// The set of variables appearing in the *positive* body.  Negated
+    /// atoms bind nothing: the safety condition requires their variables to
+    /// already appear here.
     pub fn body_vars(&self) -> BTreeSet<Variable> {
         self.body.iter().flat_map(|a| a.vars()).collect()
     }
@@ -124,9 +222,52 @@ impl Rule {
         Ok(())
     }
 
-    /// The set of predicate names occurring in the body.
+    /// Check the negation safety condition: every variable of a negated
+    /// atom must be bound by a positive body atom (an unbound variable
+    /// under complementation would range over the whole domain).  The
+    /// aggregated variable, when present, must be bound positively too.
+    pub fn check_negation_safe(&self) -> Result<(), DatalogError> {
+        let bound = self.body_vars();
+        for atom in &self.negated {
+            for v in atom.vars() {
+                if !bound.contains(&v) {
+                    return Err(DatalogError::UnsafeNegation {
+                        rule: self.to_string(),
+                        variable: v.name().to_string(),
+                        predicate: atom.pred.to_string(),
+                    });
+                }
+            }
+        }
+        if let Some(agg) = &self.aggregate {
+            if !bound.contains(&agg.var) {
+                return Err(DatalogError::UnsafeNegation {
+                    rule: self.to_string(),
+                    variable: agg.var.name().to_string(),
+                    predicate: self.head.pred.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The set of predicate names occurring in the positive body.
     pub fn body_preds(&self) -> BTreeSet<PredName> {
         self.body.iter().map(|a| a.pred.clone()).collect()
+    }
+
+    /// The set of predicate names occurring in the negated body atoms.
+    pub fn negated_preds(&self) -> BTreeSet<PredName> {
+        self.negated.iter().map(|a| a.pred.clone()).collect()
+    }
+
+    /// All predicate names the rule reads: positive and negated.
+    pub fn all_body_preds(&self) -> BTreeSet<PredName> {
+        self.body
+            .iter()
+            .chain(self.negated.iter())
+            .map(|a| a.pred.clone())
+            .collect()
     }
 
     /// Rename every variable of the rule using `f`.
@@ -134,6 +275,12 @@ impl Rule {
         Rule {
             head: self.head.rename_vars(f),
             body: self.body.iter().map(|a| a.rename_vars(f)).collect(),
+            negated: self.negated.iter().map(|a| a.rename_vars(f)).collect(),
+            aggregate: self.aggregate.as_ref().map(|agg| Aggregate {
+                func: agg.func,
+                var: f(agg.var),
+                position: agg.position,
+            }),
         }
     }
 
@@ -146,14 +293,42 @@ impl Rule {
 
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.head)?;
-        if !self.body.is_empty() {
+        // The head, with the aggregate position printed as `func<Var>`.
+        match &self.aggregate {
+            None => write!(f, "{}", self.head)?,
+            Some(agg) => {
+                write!(f, "{}(", self.head.pred)?;
+                for (i, term) in self.head.terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if i == agg.position {
+                        write!(f, "{}<{}>", agg.func, agg.var.name())?;
+                    } else {
+                        write!(f, "{term}")?;
+                    }
+                }
+                write!(f, ")")?;
+            }
+        }
+        // Negated atoms print after the positive body (parsing accepts them
+        // anywhere; printing normalizes them to the end).
+        if !self.body.is_empty() || !self.negated.is_empty() {
             write!(f, " :- ")?;
-            for (i, atom) in self.body.iter().enumerate() {
-                if i > 0 {
+            let mut first = true;
+            for atom in &self.body {
+                if !first {
                     write!(f, ", ")?;
                 }
+                first = false;
                 write!(f, "{atom}")?;
+            }
+            for atom in &self.negated {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "not {atom}")?;
             }
         }
         write!(f, ".")
@@ -290,6 +465,61 @@ mod tests {
         assert_eq!(q.bound_values(), vec![Value::sym("john")]);
         assert_eq!(q.free_vars(), vec![Variable::new("Y")]);
         assert_eq!(q.to_string(), "?- anc(john, Y).");
+    }
+
+    #[test]
+    fn negated_display_and_safety() {
+        // stuck(X) :- pos(X), not can_move(X).
+        let rule = Rule::new(
+            Atom::plain("stuck", vec![Term::var("X")]),
+            vec![Atom::plain("pos", vec![Term::var("X")])],
+        )
+        .with_negated(vec![Atom::plain("can_move", vec![Term::var("X")])]);
+        assert_eq!(rule.to_string(), "stuck(X) :- pos(X), not can_move(X).");
+        assert!(rule.is_guarded());
+        assert!(!rule.is_fact());
+        rule.check_negation_safe().unwrap();
+        assert!(rule.negated_preds().contains(&PredName::plain("can_move")));
+        assert!(rule.all_body_preds().contains(&PredName::plain("pos")));
+
+        // bad(X) :- p(X), not q(Y): Y is not positively bound.
+        let bad = Rule::new(
+            Atom::plain("bad", vec![Term::var("X")]),
+            vec![Atom::plain("p", vec![Term::var("X")])],
+        )
+        .with_negated(vec![Atom::plain("q", vec![Term::var("Y")])]);
+        let err = bad.check_negation_safe().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains('Y') && msg.contains('q'), "{msg}");
+    }
+
+    #[test]
+    fn aggregate_display_and_rename() {
+        // total(P, sum<C>) :- part(P, S, N), cost(S, C).
+        let rule = Rule::new(
+            Atom::plain("total", vec![Term::var("P"), Term::var("C")]),
+            vec![
+                Atom::plain("part", vec![Term::var("P"), Term::var("S"), Term::var("N")]),
+                Atom::plain("cost", vec![Term::var("S"), Term::var("C")]),
+            ],
+        )
+        .with_aggregate(Aggregate {
+            func: AggFunc::Sum,
+            var: Variable::new("C"),
+            position: 1,
+        });
+        assert_eq!(
+            rule.to_string(),
+            "total(P, sum<C>) :- part(P, S, N), cost(S, C)."
+        );
+        rule.check_negation_safe().unwrap();
+        let renamed = rule.standardize_apart(3);
+        assert_eq!(
+            renamed.aggregate.as_ref().unwrap().var,
+            Variable::new("C__3")
+        );
+        assert_eq!(AggFunc::from_name("min"), Some(AggFunc::Min));
+        assert_eq!(AggFunc::from_name("avg"), None);
     }
 
     #[test]

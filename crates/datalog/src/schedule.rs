@@ -56,6 +56,12 @@ pub struct Stratum {
     /// True iff the stratum is recursive: its SCC has more than one
     /// predicate, or its single predicate depends on itself.
     pub recursive: bool,
+    /// True iff some rule of this stratum is *guarded* — carries a negated
+    /// atom or an aggregate head.  Guarded strata force the engine into
+    /// sequential stratified mode: every lower stratum must be finished
+    /// (so negation can complement against it and aggregates fold complete
+    /// groups) before this stratum starts.
+    pub guarded: bool,
     /// Partition of [`Stratum::rules`] into mutually *independent* groups:
     /// two rules land in the same group iff they are (transitively)
     /// connected by a shared stratum-local predicate — a head they both
@@ -69,6 +75,35 @@ pub struct Stratum {
     pub groups: Vec<Vec<usize>>,
 }
 
+/// A stratification violation: a negated or aggregated dependency edge
+/// that stays *inside* a strongly connected component, so the callee can
+/// never be finished before the caller needs to complement against it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StratificationViolation {
+    /// The rule-head predicate whose guarded edge closes the cycle.
+    pub head: PredName,
+    /// The negated (or aggregated) predicate it depends on.
+    pub pred: PredName,
+    /// The members of the offending SCC, in `BTreeSet` order.
+    pub cycle: Vec<PredName>,
+}
+
+impl std::fmt::Display for StratificationViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cycle = self
+            .cycle
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        write!(
+            f,
+            "{} depends on {} through negation/aggregation inside the cycle [{}]",
+            self.head, self.pred, cycle
+        )
+    }
+}
+
 /// A stratified evaluation schedule for a program.  See the module docs.
 #[derive(Clone, Debug, Default)]
 pub struct Schedule {
@@ -77,6 +112,8 @@ pub struct Schedule {
     stratum_of_rule: Vec<usize>,
     /// Derived predicate -> stratum index.
     stratum_of_pred: BTreeMap<PredName, usize>,
+    /// Guarded edges that stay inside one SCC (unstratifiable cycles).
+    violations: Vec<StratificationViolation>,
 }
 
 impl Schedule {
@@ -112,6 +149,7 @@ impl Schedule {
                 preds,
                 rules: Vec::new(),
                 recursive,
+                guarded: false,
                 groups: Vec::new(),
             });
         }
@@ -120,15 +158,56 @@ impl Schedule {
             let s = stratum_of_pred[&rule.head.pred];
             strata[s].rules.push(stratum_of_rule.len());
             stratum_of_rule.push(s);
+            if rule.is_guarded() {
+                strata[s].guarded = true;
+            }
         }
         for stratum in &mut strata {
             stratum.groups = independence_groups(program, stratum);
+        }
+        // A strict (negated/aggregated) edge whose endpoints share an SCC
+        // can never be satisfied by evaluating strata in order: record the
+        // violation so planners and the engine can refuse with a typed
+        // error instead of computing a wrong fixpoint.
+        let mut violations = Vec::new();
+        for (head, pred) in &graph.strict_edges {
+            let (Some(&sh), Some(&sp)) = (stratum_of_pred.get(head), stratum_of_pred.get(pred))
+            else {
+                continue; // base predicates are always in stratum "minus one"
+            };
+            if sh == sp {
+                violations.push(StratificationViolation {
+                    head: head.clone(),
+                    pred: pred.clone(),
+                    cycle: strata[sh].preds.iter().cloned().collect(),
+                });
+            }
         }
         Schedule {
             strata,
             stratum_of_rule,
             stratum_of_pred,
+            violations,
         }
+    }
+
+    /// The stratification violations of the program (empty iff the program
+    /// is stratifiable).  Each entry names the guarded edge and the SCC it
+    /// closes; consumers surface the first as the typed refusal reason.
+    pub fn stratification_violations(&self) -> &[StratificationViolation] {
+        &self.violations
+    }
+
+    /// True iff every negated/aggregated dependency crosses strictly
+    /// downward between strata.
+    pub fn is_stratified(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// True iff some stratum carries negation or aggregation (the engine
+    /// switches to sequential stratified mode when so).
+    pub fn has_guarded_strata(&self) -> bool {
+        self.strata.iter().any(|s| s.guarded)
     }
 
     /// The strata in evaluation (dependency) order.
@@ -198,6 +277,7 @@ fn independence_groups(program: &Program, stratum: &Stratum) -> Vec<Vec<usize>> 
         let rule = &program.rules[rule_idx];
         let touched = std::iter::once(&rule.head.pred)
             .chain(rule.body.iter().map(|a| &a.pred))
+            .chain(rule.negated.iter().map(|a| &a.pred))
             .filter(|p| stratum.preds.contains(*p));
         for pred in touched {
             match owner.get(pred) {
@@ -319,5 +399,66 @@ mod tests {
         let schedule = Schedule::build(&Program::from_rules(Vec::new()));
         assert!(schedule.is_empty());
         assert_eq!(schedule.len(), 0);
+        assert!(schedule.is_stratified());
+        assert!(!schedule.has_guarded_strata());
+    }
+
+    #[test]
+    fn win_lose_program_stratifies_with_guarded_stratum() {
+        // The classic win/lose game: win is positive, lose complements it.
+        let program = parse_program(
+            "win(X) :- move(X, Y), not win(Y).
+             lose(X) :- pos(X), not win(X).",
+        )
+        .unwrap();
+        let schedule = Schedule::build(&program);
+        // win negates *itself* through move: unstratifiable.
+        assert!(!schedule.is_stratified());
+        let v = &schedule.stratification_violations()[0];
+        assert_eq!(v.head, PredName::plain("win"));
+        assert_eq!(v.pred, PredName::plain("win"));
+        assert!(v.to_string().contains("win"));
+
+        // The standard stratified variant over a DAG of moves: reached/win
+        // positive, lose in a strictly higher stratum.
+        let program = parse_program(
+            "can_move(X) :- move(X, Y).
+             lose(X) :- pos(X), not can_move(X).",
+        )
+        .unwrap();
+        let schedule = Schedule::build(&program);
+        assert!(schedule.is_stratified());
+        assert!(schedule.has_guarded_strata());
+        let cm = schedule
+            .stratum_of_pred(&PredName::plain("can_move"))
+            .unwrap();
+        let lose = schedule.stratum_of_pred(&PredName::plain("lose")).unwrap();
+        assert!(cm < lose, "negated callee must sit strictly lower");
+        assert!(!schedule.strata()[cm].guarded);
+        assert!(schedule.strata()[lose].guarded);
+    }
+
+    #[test]
+    fn aggregate_rules_make_guarded_strata_and_cycles_are_violations() {
+        let program = parse_program(
+            "cost(P, sum<C>) :- part(P, S), price(S, C).
+             price(S, C) :- base_price(S, C).",
+        )
+        .unwrap();
+        let schedule = Schedule::build(&program);
+        assert!(schedule.is_stratified());
+        assert!(schedule.has_guarded_strata());
+        let price = schedule.stratum_of_pred(&PredName::plain("price")).unwrap();
+        let cost = schedule.stratum_of_pred(&PredName::plain("cost")).unwrap();
+        assert!(price < cost);
+
+        // Aggregate through its own recursion: refused.
+        let program = parse_program("total(P, sum<C>) :- sub(P, Q), total(Q, C).").unwrap();
+        let schedule = Schedule::build(&program);
+        assert!(!schedule.is_stratified());
+        assert_eq!(
+            schedule.stratification_violations()[0].pred,
+            PredName::plain("total")
+        );
     }
 }

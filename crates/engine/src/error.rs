@@ -43,6 +43,34 @@ pub enum EvalError {
         /// Arity of the stored relation.
         stored_arity: usize,
     },
+    /// A negated atom reached evaluation with an unbound variable (the
+    /// rule escaped the front-end safety check).
+    UnsafeNegation {
+        /// The offending rule, pretty-printed.
+        rule: String,
+    },
+    /// The program's negation/aggregation closes a dependency cycle, so no
+    /// stratified evaluation order exists.  Carries the offending predicate
+    /// and the cycle it sits on.
+    Unstratifiable {
+        /// The negated/aggregated predicate closing the cycle.
+        predicate: String,
+        /// The members of the offending SCC, pretty-printed in order.
+        cycle: Vec<String>,
+    },
+    /// A `sum`/`min`/`max` aggregate was applied to a non-integer value.
+    AggregateType {
+        /// The rule whose aggregate failed.
+        rule: String,
+        /// The offending (non-integer) value, pretty-printed.
+        value: String,
+    },
+    /// A stratified (guarded) program was driven through an entry point
+    /// that cannot respect stratum order, e.g. an incremental resume.
+    GuardedUnsupported {
+        /// What was attempted.
+        operation: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -70,6 +98,22 @@ impl fmt::Display for EvalError {
             } => write!(
                 f,
                 "predicate {predicate} used with arity {rule_arity} but stored with arity {stored_arity}"
+            ),
+            EvalError::UnsafeNegation { rule } => {
+                write!(f, "negated atom not fully bound by the positive body: {rule}")
+            }
+            EvalError::Unstratifiable { predicate, cycle } => write!(
+                f,
+                "program is not stratifiable: {predicate} is negated/aggregated inside the cycle [{}]",
+                cycle.join(" -> ")
+            ),
+            EvalError::AggregateType { rule, value } => write!(
+                f,
+                "aggregate applied to non-integer value {value}: {rule}"
+            ),
+            EvalError::GuardedUnsupported { operation } => write!(
+                f,
+                "stratified program (negation/aggregates) does not support {operation}"
             ),
         }
     }

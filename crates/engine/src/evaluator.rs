@@ -64,9 +64,9 @@ use crate::limits::Limits;
 use crate::metrics::EvalStats;
 use crate::plan::RulePlan;
 use crate::pool::EvalPool;
-use magic_datalog::{PredName, Program, Schedule, ValId};
+use magic_datalog::{AggFunc, PredName, Program, Schedule, ValId};
 use magic_storage::{Database, Relation};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Which fixpoint iteration scheme to use.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -275,7 +275,8 @@ fn delta_variant(
         bound.extend(rule.body[o].var_set());
         body.push(rule.body[o].clone());
     }
-    let reordered = magic_datalog::Rule::new(rule.head.clone(), body);
+    let reordered =
+        magic_datalog::Rule::new(rule.head.clone(), body).with_negated(rule.negated.clone());
     DeltaVariant {
         plan: RulePlan::compile(&reordered, rule_idx, derived),
         pos_of_orig,
@@ -296,8 +297,20 @@ impl FixpointRunner {
     /// predicates — and without the delta-driven plan variants.  This is
     /// the run-to-fixpoint form [`Evaluator`] uses; `resume` is
     /// unavailable on it.
+    ///
+    /// Fact-rule heads are tracked in addition to the derived predicates:
+    /// to the planner a predicate defined only by ground facts is not
+    /// "derived", but its rows still land at the end of the first
+    /// iteration, and a rule reading it must see that delta or it never
+    /// re-fires (the full pass ran while the relation was still empty).
     pub fn for_program(program: &Program) -> FixpointRunner {
-        FixpointRunner::build(program, &program.derived_preds(), false)
+        let mut tracked = program.derived_preds();
+        for rule in &program.rules {
+            if rule.is_fact() {
+                tracked.insert(rule.head.pred.clone());
+            }
+        }
+        FixpointRunner::build(program, &tracked, false)
     }
 
     fn build(program: &Program, tracked: &BTreeSet<PredName>, resumable: bool) -> FixpointRunner {
@@ -660,6 +673,19 @@ impl FixpointRunner {
         seed_marks: Option<Vec<usize>>,
         mut observer: Option<FiringObserver<'_>>,
     ) -> Result<(), EvalError> {
+        if self.schedule.has_guarded_strata() {
+            // Negation/aggregates force semi-positive evaluation: every
+            // stratum must be *finished* before a higher one complements
+            // against it, which the interleaved delta loop below cannot
+            // guarantee.  Seeded re-entry is refused outright — a seed in a
+            // low stratum could retract complements already taken above it.
+            if seed_marks.is_some() {
+                return Err(EvalError::GuardedUnsupported {
+                    operation: "incremental resume (seeded deltas)".into(),
+                });
+            }
+            return self.fixpoint_stratified(db, stats, observer);
+        }
         let base_facts = db.total_facts();
         let started = std::time::Instant::now();
         let seeded = seed_marks.is_some();
@@ -988,6 +1014,266 @@ impl FixpointRunner {
                 break;
             }
             prev_marks = cur_marks;
+        }
+        Ok(())
+    }
+
+    /// Sequential semi-positive evaluation for guarded (stratified)
+    /// programs: strata run strictly in dependency order, each to its own
+    /// fixpoint, so every negated atom complements against a *finished*
+    /// lower-stratum relation and every aggregate folds complete groups.
+    ///
+    /// The whole path is single-threaded by design — thread-count
+    /// determinism is then trivial (`MAGIC_THREADS` cannot change a single
+    /// counter), which is the contract the parallel loop above buys with
+    /// its deterministic merge.  Guarded programs are expected to be
+    /// negation/aggregate *tips* over large positive cones; the positive
+    /// cones still run through the parallel loop when evaluated on their
+    /// own (e.g. under the magic rewrites, which strip to the positive
+    /// fragment).
+    fn fixpoint_stratified(
+        &self,
+        db: &mut Database,
+        stats: &mut EvalStats,
+        mut observer: Option<FiringObserver<'_>>,
+    ) -> Result<(), EvalError> {
+        // Refuse unstratifiable programs with the typed violation before
+        // touching the database: evaluating them would compute *some*
+        // fixpoint, just not a meaningful (perfect-model) one.
+        if let Some(v) = self.schedule.stratification_violations().first() {
+            return Err(EvalError::Unstratifiable {
+                predicate: v.pred.to_string(),
+                cycle: v.cycle.iter().map(|p| p.to_string()).collect(),
+            });
+        }
+        // Re-check negation safety at the evaluation boundary: runners can
+        // be built from unvalidated programs, and an unbound negated
+        // variable would otherwise surface only if the join reaches it.
+        for plan in &self.plans {
+            if plan.rule.is_guarded() && plan.rule.check_negation_safe().is_err() {
+                return Err(EvalError::UnsafeNegation {
+                    rule: plan.rule.to_string(),
+                });
+            }
+        }
+        let base_facts = db.total_facts();
+        let started = std::time::Instant::now();
+        let mut scratch: Vec<ValId> = Vec::new();
+        let mut windows: Vec<DeltaWindow> = Vec::new();
+        // Per-iteration evaluation outputs, in rule order:
+        // (plan index, flat rows, body-match count).
+        let mut outputs: Vec<(usize, Vec<ValId>, usize)> = Vec::new();
+        let mut spare: Vec<Vec<ValId>> = Vec::new();
+        for stratum in self.schedule.strata() {
+            // Aggregate rules run first, one-shot: every body dependency of
+            // an aggregate rule is a strict edge, so in a stratified program
+            // its inputs live strictly below and are already finished; the
+            // stratum's plain rules (which may read the aggregate's output)
+            // then start from the folded rows.
+            for &plan_idx in &stratum.rules {
+                if self.plans[plan_idx].rule.aggregate.is_some() {
+                    self.run_aggregate_rule(plan_idx, db, stats, &mut observer, &mut scratch)?;
+                }
+            }
+            if db.total_facts() - base_facts > self.limits.max_facts {
+                return Err(EvalError::FactLimit {
+                    limit: self.limits.max_facts,
+                });
+            }
+            let plain: Vec<usize> = stratum
+                .rules
+                .iter()
+                .copied()
+                .filter(|&i| self.plans[i].rule.aggregate.is_none())
+                .collect();
+            if plain.is_empty() {
+                continue;
+            }
+            // The stratum's own semi-naive fixpoint: first iteration full,
+            // then delta-windowed.  Deltas of lower strata are finished
+            // (from == to) and upper strata have not started, so the
+            // windows only ever select this stratum's new rows.
+            let mut first = true;
+            let mut prev_marks = self.marks(db);
+            loop {
+                stats.iterations += 1;
+                if stats.iterations > self.limits.max_iterations {
+                    return Err(EvalError::IterationLimit {
+                        limit: self.limits.max_iterations,
+                    });
+                }
+                if let Some(max_wall) = self.limits.max_wall {
+                    if started.elapsed() > max_wall {
+                        return Err(EvalError::TimeLimit { limit: max_wall });
+                    }
+                }
+                let cur_marks = self.marks(db);
+                let use_delta = self.scheme == IterationScheme::SemiNaive && !first;
+                for &plan_idx in &plain {
+                    let plan = &self.plans[plan_idx];
+                    if use_delta {
+                        let occurrences = &self.tracked_occurrences[plan_idx];
+                        for (nth, &(occ, tracked_idx)) in occurrences.iter().enumerate() {
+                            let from = prev_marks[tracked_idx];
+                            let to = cur_marks[tracked_idx];
+                            if from >= to {
+                                continue;
+                            }
+                            windows.clear();
+                            if self.discipline == WindowDiscipline::Disjoint {
+                                for &(prev_occ, prev_idx) in &occurrences[..nth] {
+                                    if prev_marks[prev_idx] < cur_marks[prev_idx] {
+                                        windows.push(DeltaWindow {
+                                            occurrence: prev_occ,
+                                            from: 0,
+                                            to: prev_marks[prev_idx],
+                                        });
+                                    }
+                                }
+                            }
+                            windows.push(DeltaWindow {
+                                occurrence: occ,
+                                from,
+                                to,
+                            });
+                            let mut buf = spare.pop().unwrap_or_default();
+                            let counters =
+                                evaluate_rule_windows(plan, db, &windows, &self.limits, &mut buf)?;
+                            stats.join_probes += counters.probes;
+                            outputs.push((plan_idx, buf, counters.matches));
+                        }
+                    } else {
+                        let mut buf = spare.pop().unwrap_or_default();
+                        let counters =
+                            evaluate_rule_windows(plan, db, &[], &self.limits, &mut buf)?;
+                        stats.join_probes += counters.probes;
+                        outputs.push((plan_idx, buf, counters.matches));
+                    }
+                }
+                // Insert phase, in rule order (mirrors the sequential path
+                // of the parallel loop above).
+                let mut new_facts = 0usize;
+                for (plan_idx, buf, matches) in outputs.drain(..) {
+                    let plan = &self.plans[plan_idx];
+                    let arity = plan.head_terms.len();
+                    let relation = db.relation_mut(&plan.head_pred, arity);
+                    if arity == 0 {
+                        for nth in 0..matches {
+                            let is_new = nth == 0 && relation.insert_ids(&[]);
+                            if let Some(observer) = observer.as_deref_mut() {
+                                observer(plan_idx, &[], is_new);
+                            }
+                            stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
+                            if is_new {
+                                new_facts += 1;
+                            }
+                        }
+                    } else {
+                        for row in buf.chunks_exact(arity) {
+                            let is_new = relation.insert_ids(row);
+                            if let Some(observer) = observer.as_deref_mut() {
+                                observer(plan_idx, row, is_new);
+                            }
+                            stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
+                            if is_new {
+                                new_facts += 1;
+                            }
+                        }
+                    }
+                    let mut buf = buf;
+                    buf.clear();
+                    spare.push(buf);
+                }
+                if db.total_facts() - base_facts > self.limits.max_facts {
+                    return Err(EvalError::FactLimit {
+                        limit: self.limits.max_facts,
+                    });
+                }
+                if new_facts == 0 {
+                    break;
+                }
+                prev_marks = cur_marks;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate one aggregate rule as a stratum-boundary group-by
+    /// reduction: a single full evaluation of the positive body (its
+    /// inputs are finished lower strata), distinct `(group, value)` pairs
+    /// under set semantics, then one folded output row per group.  Groups
+    /// are folded and inserted in deterministic id order.
+    fn run_aggregate_rule(
+        &self,
+        plan_idx: usize,
+        db: &mut Database,
+        stats: &mut EvalStats,
+        observer: &mut Option<FiringObserver<'_>>,
+        scratch: &mut Vec<ValId>,
+    ) -> Result<(), EvalError> {
+        let plan = &self.plans[plan_idx];
+        let agg = plan
+            .rule
+            .aggregate
+            .as_ref()
+            .expect("run_aggregate_rule requires an aggregate plan");
+        let arity = plan.head_terms.len();
+        scratch.clear();
+        let counters = evaluate_rule_windows(plan, db, &[], &self.limits, scratch)?;
+        stats.join_probes += counters.probes;
+        // Distinct values per group: a value derived through two body
+        // instantiations counts (and sums) once.  An empty body yields no
+        // groups, hence no rows — not a zero count.
+        let mut groups: BTreeMap<Vec<ValId>, BTreeSet<ValId>> = BTreeMap::new();
+        for row in scratch.chunks_exact(arity) {
+            let mut key = Vec::with_capacity(arity - 1);
+            for (i, &id) in row.iter().enumerate() {
+                if i != agg.position {
+                    key.push(id);
+                }
+            }
+            groups.entry(key).or_default().insert(row[agg.position]);
+        }
+        scratch.clear();
+        let relation = db.relation_mut(&plan.head_pred, arity);
+        let mut row = vec![ValId::NULL; arity];
+        for (key, values) in &groups {
+            let result = match agg.func {
+                AggFunc::Count => ValId::from_int(values.len() as i64),
+                AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                    let mut folded: Option<i64> = None;
+                    for &v in values {
+                        let Some(i) = v.as_int() else {
+                            return Err(EvalError::AggregateType {
+                                rule: plan.rule.to_string(),
+                                value: v.to_string(),
+                            });
+                        };
+                        folded = Some(match (folded, agg.func) {
+                            (None, _) => i,
+                            (Some(acc), AggFunc::Sum) => acc + i,
+                            (Some(acc), AggFunc::Min) => acc.min(i),
+                            (Some(acc), AggFunc::Max) => acc.max(i),
+                            (Some(_), AggFunc::Count) => unreachable!(),
+                        });
+                    }
+                    ValId::from_int(folded.expect("groups are non-empty"))
+                }
+            };
+            let mut rest = key.iter();
+            for (i, slot) in row.iter_mut().enumerate() {
+                *slot = if i == agg.position {
+                    result
+                } else {
+                    *rest.next().expect("key covers the non-aggregate positions")
+                };
+            }
+            let is_new = relation.insert_ids(&row);
+            if let Some(observer) = observer.as_deref_mut() {
+                observer(plan_idx, &row, is_new);
+            }
+            stats.record_firing(plan.rule_idx, &plan.head_pred, is_new);
         }
         Ok(())
     }
@@ -1322,6 +1608,135 @@ mod tests {
         assert_eq!(firings, stats.rule_firings);
         assert_eq!(new, stats.facts_derived);
         assert_eq!(new, 4 * 5 / 2);
+    }
+
+    #[test]
+    fn stratified_negation_complements_finished_lower_strata() {
+        let program = parse_program(
+            "reach(Y) :- start(Y).
+             reach(Y) :- reach(X), edge(X, Y).
+             unreached(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert(PredName::plain("start"), vec![Value::sym("a")]);
+        db.insert_pair("edge", "a", "b");
+        db.insert_pair("edge", "b", "c");
+        for n in ["a", "b", "c", "d", "e"] {
+            db.insert(PredName::plain("node"), vec![Value::sym(n)]);
+        }
+        let result = Evaluator::new(program).run(&db).unwrap();
+        assert_eq!(result.database.count(&PredName::plain("reach")), 3);
+        let unreached = result
+            .database
+            .relation(&PredName::plain("unreached"))
+            .unwrap();
+        let names: BTreeSet<String> = unreached.iter().map(|row| row[0].to_string()).collect();
+        assert_eq!(names, BTreeSet::from(["d".to_string(), "e".to_string()]));
+    }
+
+    #[test]
+    fn unstratifiable_program_is_refused_before_evaluation() {
+        // The classic win/lose game negates win through its own recursion.
+        let program = parse_program("win(X) :- move(X, Y), not win(Y).").unwrap();
+        let mut db = Database::new();
+        db.insert_pair("move", "a", "b");
+        let err = Evaluator::new(program).run(&db).unwrap_err();
+        match err {
+            EvalError::Unstratifiable { predicate, cycle } => {
+                assert_eq!(predicate, "win");
+                assert!(cycle.contains(&"win".to_string()));
+            }
+            other => panic!("expected Unstratifiable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn aggregates_fold_groups_at_the_stratum_boundary() {
+        // A one-level bill of materials: sum/min/max/count per assembly.
+        let program = parse_program(
+            "part_cost(A, C) :- uses(A, P), price(P, C).
+             total(A, sum<C>) :- part_cost(A, C).
+             cheapest(A, min<C>) :- part_cost(A, C).
+             priciest(A, max<C>) :- part_cost(A, C).
+             breadth(A, count<P>) :- uses(A, P).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        let mut link = |pred: &str, a: &str, b: Value| {
+            db.insert(PredName::plain(pred), vec![Value::sym(a), b]);
+        };
+        link("uses", "bike", Value::sym("wheel"));
+        link("uses", "bike", Value::sym("frame"));
+        link("uses", "cart", Value::sym("wheel"));
+        link("price", "wheel", Value::Int(30));
+        link("price", "frame", Value::Int(100));
+        let result = Evaluator::new(program).run(&db).unwrap();
+        let db = &result.database;
+        let rows = |pred: &str| -> BTreeSet<(String, i64)> {
+            db.relation(&PredName::plain(pred))
+                .unwrap()
+                .iter()
+                .map(|row| {
+                    let Value::Int(v) = row[1] else {
+                        panic!("expected an integer aggregate result")
+                    };
+                    (row[0].to_string(), v)
+                })
+                .collect()
+        };
+        assert_eq!(
+            rows("total"),
+            BTreeSet::from([("bike".to_string(), 130), ("cart".to_string(), 30)])
+        );
+        assert_eq!(
+            rows("cheapest"),
+            BTreeSet::from([("bike".to_string(), 30), ("cart".to_string(), 30)])
+        );
+        assert_eq!(
+            rows("priciest"),
+            BTreeSet::from([("bike".to_string(), 100), ("cart".to_string(), 30)])
+        );
+        assert_eq!(
+            rows("breadth"),
+            BTreeSet::from([("bike".to_string(), 2), ("cart".to_string(), 1)])
+        );
+    }
+
+    #[test]
+    fn aggregate_over_non_integers_is_a_type_error() {
+        let program = parse_program("tallest(max<N>) :- name(N).").unwrap();
+        let mut db = Database::new();
+        db.insert(PredName::plain("name"), vec![Value::sym("alice")]);
+        let err = Evaluator::new(program).run(&db).unwrap_err();
+        match err {
+            EvalError::AggregateType { value, .. } => assert_eq!(value, "alice"),
+            other => panic!("expected AggregateType, got {other}"),
+        }
+    }
+
+    #[test]
+    fn guarded_resume_is_refused_with_a_typed_error() {
+        let program = parse_program(
+            "reach(Y) :- start(Y).
+             reach(Y) :- reach(X), edge(X, Y).
+             unreached(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        let mut tracked = program.derived_preds();
+        tracked.extend(program.base_preds());
+        let runner = FixpointRunner::compile(&program, &tracked);
+        let mut db = Database::new();
+        db.insert(PredName::plain("start"), vec![Value::sym("a")]);
+        db.insert(PredName::plain("node"), vec![Value::sym("b")]);
+        let mut stats = EvalStats::default();
+        runner.run(&mut db, &mut stats, None).unwrap();
+        assert_eq!(db.count(&PredName::plain("unreached")), 1);
+
+        let marks = runner.marks(&db);
+        db.insert_pair("edge", "a", "b");
+        let err = runner.resume(&mut db, marks, &mut stats, None).unwrap_err();
+        assert!(matches!(err, EvalError::GuardedUnsupported { .. }));
     }
 
     use std::collections::BTreeSet;

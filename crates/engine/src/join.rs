@@ -78,6 +78,10 @@ struct JoinCtx<'a> {
     /// The relation of each body atom, resolved once (`None` = no relation
     /// stored, i.e. empty).
     relations: Vec<&'a Relation>,
+    /// The relation of each negated atom (`None` = absent = empty, so the
+    /// negation trivially holds).  Under stratified scheduling these are
+    /// *finished* lower-stratum relations.
+    neg_relations: Vec<Option<&'a Relation>>,
     /// Per-occurrence delta windows (at most one per body occurrence).
     windows: &'a [DeltaWindow],
     limits: &'a Limits,
@@ -201,6 +205,31 @@ fn resolve_relations<'a>(
     Ok(resolved.into_iter().collect())
 }
 
+/// Resolve and arity-check the negated atoms' relations.  An absent
+/// relation is kept as `None`: the complement of an empty relation always
+/// holds, so it must not abort the join the way an absent positive
+/// relation does.
+fn resolve_neg_relations<'a>(
+    plan: &RulePlan,
+    db: DatabaseView<'a>,
+) -> Result<Vec<Option<&'a Relation>>, EvalError> {
+    let mut resolved = Vec::with_capacity(plan.neg_atoms.len());
+    for atom in &plan.neg_atoms {
+        let relation = db.relation(&atom.pred);
+        if let Some(relation) = relation {
+            if relation.arity() != atom.arity {
+                return Err(EvalError::ArityMismatch {
+                    predicate: atom.pred.to_string(),
+                    rule_arity: atom.arity,
+                    stored_arity: relation.arity(),
+                });
+            }
+        }
+        resolved.push(relation);
+    }
+    Ok(resolved)
+}
+
 /// Drive the join for `plan` with the given sink over a pre-bound frame.
 fn run_join<S: MatchSink>(
     plan: &RulePlan,
@@ -212,19 +241,24 @@ fn run_join<S: MatchSink>(
     sink: &mut S,
 ) -> Result<JoinCounters, EvalError> {
     let mut counters = JoinCounters::default();
+    let neg_relations = resolve_neg_relations(plan, db.view())?;
     let Some(relations) = resolve_relations(plan, db.view())? else {
         return Ok(counters);
     };
     let ctx = JoinCtx {
         plan,
         relations,
+        neg_relations,
         windows,
         limits,
     };
+    // One reusable key buffer per positive atom, plus one scratch row per
+    // negated atom (used by the anti-join probe at full depth).
     let mut keys: Vec<Vec<ValId>> = plan
         .atoms
         .iter()
         .map(|a| Vec::with_capacity(a.key_terms.len()))
+        .chain(plan.neg_atoms.iter().map(|a| Vec::with_capacity(a.arity)))
         .collect();
     let mut chosen: Vec<usize> = Vec::new();
     descend(
@@ -389,6 +423,27 @@ fn descend<S: MatchSink>(
     counters: &mut JoinCounters,
 ) -> Result<(), EvalError> {
     if depth == ctx.plan.atoms.len() {
+        // Anti-join: a satisfied positive body only counts as a match if no
+        // negated atom's (fully bound) row is present in its relation.
+        for (j, neg) in ctx.plan.neg_atoms.iter().enumerate() {
+            let key = &mut keys[ctx.plan.atoms.len() + j];
+            key.clear();
+            for term in &neg.terms {
+                let v = term.eval_slots(frame);
+                if v.is_null() {
+                    return Err(EvalError::UnsafeNegation {
+                        rule: ctx.plan.rule.to_string(),
+                    });
+                }
+                key.push(v);
+            }
+            if let Some(relation) = ctx.neg_relations[j] {
+                counters.probes += 1;
+                if relation.contains_ids(key) {
+                    return Ok(());
+                }
+            }
+        }
         counters.matches += 1;
         return sink.emit(ctx, frame, chosen);
     }
@@ -665,6 +720,41 @@ mod tests {
             count_derivations(&plan, &db, &b, &Limits::default()).unwrap(),
             2
         );
+    }
+
+    #[test]
+    fn negated_atom_is_an_anti_join() {
+        // stuck(X) :- pos(X), not can_move(X).
+        let rule = parse_rule("stuck(X) :- pos(X), not can_move(X).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut db = Database::new();
+        for p in ["a", "b", "c"] {
+            db.insert(PredName::plain("pos"), vec![Value::sym(p)]);
+        }
+        db.insert(PredName::plain("can_move"), vec![Value::sym("a")]);
+        let mut out = Vec::new();
+        let counters = evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
+        assert_eq!(render_flat("stuck", 1, &out), vec!["stuck(b)", "stuck(c)"]);
+        assert_eq!(counters.matches, 2);
+
+        // An absent negated relation means the negation trivially holds.
+        let rule = parse_rule("all(X) :- pos(X), not nothing(X).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut out = Vec::new();
+        evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn unbound_negated_variable_is_reported() {
+        let rule = parse_rule("p(X) :- q(X), not r(Y).").unwrap();
+        let plan = RulePlan::compile(&rule, 0, &BTreeSet::new());
+        let mut db = Database::new();
+        db.insert(PredName::plain("q"), vec![Value::sym("a")]);
+        db.insert(PredName::plain("r"), vec![Value::sym("b")]);
+        let mut out = Vec::new();
+        let err = evaluate_rule(&plan, &db, None, &Limits::default(), &mut out).unwrap_err();
+        assert!(matches!(err, EvalError::UnsafeNegation { .. }));
     }
 
     #[test]

@@ -44,6 +44,21 @@
 use magic_datalog::{PredName, Rule, SlotTerm, Variable};
 use std::collections::BTreeSet;
 
+/// A compiled negated body atom: by the safety condition every variable is
+/// bound once the positive body is solved, so the whole atom compiles to a
+/// row of evaluable [`SlotTerm`]s — the anti-join is a single
+/// `Relation::contains_ids` probe against the finished lower-stratum
+/// relation per satisfied positive instantiation.
+#[derive(Clone, Debug)]
+pub struct NegAtomPlan {
+    /// The predicate this atom complements against.
+    pub pred: PredName,
+    /// The atom's arity.
+    pub arity: usize,
+    /// The slot-compiled terms, one per position.
+    pub terms: Vec<SlotTerm>,
+}
+
 /// The per-atom part of a compiled rule plan.
 #[derive(Clone, Debug)]
 pub struct AtomPlan {
@@ -79,6 +94,9 @@ pub struct RulePlan {
     pub slot_vars: Vec<Variable>,
     /// Access plans, one per body atom, in evaluation order.
     pub atoms: Vec<AtomPlan>,
+    /// Anti-join plans for the negated atoms, checked once per satisfied
+    /// positive instantiation (after all body atoms, before emitting).
+    pub neg_atoms: Vec<NegAtomPlan>,
     /// Body occurrence indices whose predicate is derived in the program
     /// (candidates for delta-restricted evaluation in semi-naive mode).
     pub derived_occurrences: Vec<usize>,
@@ -164,6 +182,23 @@ impl RulePlan {
                 check,
             });
         }
+        // Negated atoms compile after the whole positive body: safety
+        // guarantees their variables are bound by then, so every term is
+        // evaluable.  (An unsafe rule that slips through still compiles —
+        // its unbound slots stay NULL and the join reports UnsafeNegation.)
+        let neg_atoms = rule
+            .negated
+            .iter()
+            .map(|atom| NegAtomPlan {
+                pred: atom.pred.clone(),
+                arity: atom.arity(),
+                terms: atom
+                    .terms
+                    .iter()
+                    .map(|t| t.to_slots(&mut slot_of))
+                    .collect(),
+            })
+            .collect();
         let head_terms = rule
             .head
             .terms
@@ -179,6 +214,7 @@ impl RulePlan {
             num_slots,
             slot_vars,
             atoms,
+            neg_atoms,
             derived_occurrences,
         }
     }

@@ -108,6 +108,8 @@ pub struct ViewSnapshot {
     answer_atom: Atom,
     projection: Vec<Variable>,
     stats: EvalStats,
+    recompute_reason: Option<String>,
+    recomputes: u64,
 }
 
 impl ViewSnapshot {
@@ -126,6 +128,18 @@ impl ViewSnapshot {
     /// Cumulative maintenance metrics of the view as of this snapshot.
     pub fn stats(&self) -> &EvalStats {
         &self.stats
+    }
+
+    /// Why the view is maintained by full recompute, if it is ([`None`]
+    /// for incrementally maintained views) — see
+    /// [`MaterializedView::recompute_reason`].
+    pub fn recompute_reason(&self) -> Option<&str> {
+        self.recompute_reason.as_deref()
+    }
+
+    /// Full recomputes updates had forced as of this snapshot.
+    pub fn recompute_count(&self) -> u64 {
+        self.recomputes
     }
 }
 
@@ -397,6 +411,8 @@ impl ViewCatalog {
             answer_atom: e.answer_atom.clone(),
             projection: e.projection.clone(),
             stats: e.view.stats().clone(),
+            recompute_reason: e.view.recompute_reason().map(str::to_string),
+            recomputes: e.view.recompute_count(),
         })
     }
 
@@ -472,6 +488,21 @@ impl ViewCatalog {
             total.merge(entry.view.stats());
         }
         total
+    }
+
+    /// The views maintained by full recompute (guarded programs), as
+    /// `(key, reason, recompute count)` — the serving layer's STATS
+    /// surface for the v1 negation/aggregate fallback, so degraded
+    /// maintenance is visible, never silent.
+    pub fn recompute_views(&self) -> Vec<(String, String, u64)> {
+        self.entries
+            .iter()
+            .filter_map(|(k, e)| {
+                e.view
+                    .recompute_reason()
+                    .map(|r| (k.clone(), r.to_string(), e.view.recompute_count()))
+            })
+            .collect()
     }
 
     /// Number of cached views.

@@ -37,4 +37,4 @@ pub mod view;
 
 pub use catalog::{ApplyAllOutcome, CatalogError, ViewCatalog, ViewSnapshot};
 pub use error::IncrError;
-pub use view::{ApplyReport, MaterializedView, RetractStrategy, Update};
+pub use view::{ApplyReport, MaintenanceMode, MaterializedView, RetractStrategy, Update};

@@ -93,6 +93,25 @@ pub enum RetractStrategy {
     Counting,
     /// Delete-and-rederive (the cone contains recursion).
     DRed,
+    /// Full recompute: the program uses negation or aggregates, for which
+    /// neither counting nor DRed is sound in v1 (a lost fact can *add*
+    /// derivations through a complement, and aggregate outputs shift
+    /// without any per-derivation support notion).
+    Recompute,
+}
+
+/// How the view propagates base-fact updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MaintenanceMode {
+    /// Delta-driven resume for inserts, counting/DRed for retracts.
+    Incremental,
+    /// Every update re-runs the stratified fixpoint from the base facts
+    /// and swaps the result in.  v1 policy for guarded (negation /
+    /// aggregate) programs; the reason names the construct responsible.
+    Recompute {
+        /// Why incremental maintenance is off, e.g. "program uses negation".
+        reason: String,
+    },
 }
 
 /// A live materialized view: a program fixpoint maintained under
@@ -144,6 +163,13 @@ pub struct MaterializedView {
     limits: Limits,
     /// Cumulative maintenance metrics (construction + every update).
     stats: EvalStats,
+    /// How updates propagate ([`MaintenanceMode::Recompute`] for guarded
+    /// programs).
+    mode: MaintenanceMode,
+    /// How many full recomputes updates have forced (0 in incremental
+    /// mode) — surfaced through the catalog into serving STATS so the
+    /// fallback is visible, not silent.
+    recomputes: u64,
 }
 
 /// The compiled overdeletion program: for each rule `h :- b1 … bk` of the
@@ -257,16 +283,37 @@ impl MaterializedView {
             }
         }
 
+        // Guarded programs (negation / aggregates) fall back to full
+        // recompute on every update: a retracted fact can *add* facts
+        // through a complement, so derivation counting and DRed are both
+        // unsound, and aggregate outputs carry no per-derivation support.
+        let mode = if program.rules.iter().any(|r| !r.negated.is_empty()) {
+            MaintenanceMode::Recompute {
+                reason: "program uses negation".into(),
+            }
+        } else if program.rules.iter().any(|r| r.aggregate.is_some()) {
+            MaintenanceMode::Recompute {
+                reason: "program uses aggregates".into(),
+            }
+        } else {
+            MaintenanceMode::Incremental
+        };
+
         let mut db = edb.clone();
         let mut stats = EvalStats::default();
         let mut support = SupportTable::new();
         let mut op_stats = EvalStats::default();
-        {
+        if mode == MaintenanceMode::Incremental {
             let mut observer = |plan_idx: usize, row: &[ValId], _is_new: bool| {
                 support.add(&head_preds[plan_idx], row, 1);
             };
             runner
                 .run(&mut db, &mut op_stats, Some(&mut observer))
+                .map_err(IncrError::Eval)?;
+        } else {
+            // No support tracking: recompute mode never consults it.
+            runner
+                .run(&mut db, &mut op_stats, None)
                 .map_err(IncrError::Eval)?;
         }
         stats.merge(&op_stats);
@@ -284,6 +331,8 @@ impl MaterializedView {
             od: None,
             limits,
             stats,
+            mode,
+            recomputes: 0,
         })
     }
 
@@ -336,9 +385,30 @@ impl MaterializedView {
         }
     }
 
+    /// How this view propagates updates.
+    pub fn maintenance_mode(&self) -> &MaintenanceMode {
+        &self.mode
+    }
+
+    /// Why incremental maintenance is off, if it is ([`None`] for
+    /// incremental views) — the typed reason the serving layer surfaces.
+    pub fn recompute_reason(&self) -> Option<&str> {
+        match &self.mode {
+            MaintenanceMode::Incremental => None,
+            MaintenanceMode::Recompute { reason } => Some(reason),
+        }
+    }
+
+    /// How many full recomputes updates have forced so far.
+    pub fn recompute_count(&self) -> u64 {
+        self.recomputes
+    }
+
     /// How retractions of `pred` are maintained.
     pub fn retract_strategy(&self, pred: &PredName) -> RetractStrategy {
-        if self.counting_safe.contains(pred) {
+        if matches!(self.mode, MaintenanceMode::Recompute { .. }) {
+            RetractStrategy::Recompute
+        } else if self.counting_safe.contains(pred) {
             RetractStrategy::Counting
         } else {
             RetractStrategy::DRed
@@ -373,6 +443,11 @@ impl MaterializedView {
         if self.db.contains(fact) {
             return Ok(false);
         }
+        if matches!(self.mode, MaintenanceMode::Recompute { .. }) {
+            self.db.insert(fact.pred.clone(), fact.values.clone());
+            self.recompute()?;
+            return Ok(true);
+        }
         let marks = self.runner.marks(&self.db);
         self.db.insert(fact.pred.clone(), fact.values.clone());
         self.resume(marks)?;
@@ -385,6 +460,11 @@ impl MaterializedView {
         self.check_updatable(fact)?;
         if !self.db.contains(fact) {
             return Ok(false);
+        }
+        if matches!(self.mode, MaintenanceMode::Recompute { .. }) {
+            self.db.remove(&fact.pred, &fact.values);
+            self.recompute()?;
+            return Ok(true);
         }
         if self.counting_safe.contains(&fact.pred) || !self.base_preds.contains(&fact.pred) {
             // Predicates outside the program's body cannot affect any
@@ -406,6 +486,9 @@ impl MaterializedView {
         &mut self,
         updates: I,
     ) -> Result<ApplyReport, IncrError> {
+        if matches!(self.mode, MaintenanceMode::Recompute { .. }) {
+            return self.apply_recompute(updates);
+        }
         let mut report = ApplyReport::default();
         // Marks taken before the first pending insertion, if any.
         let mut pending: Option<Vec<usize>> = None;
@@ -460,6 +543,84 @@ impl MaterializedView {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// The recompute-mode batch path: mutate the base facts in order, then
+    /// re-run the stratified fixpoint once for the whole batch.  Same
+    /// error contract as the incremental path — an offending update drops
+    /// the rest of the batch, but the already-applied prefix is
+    /// propagated, leaving the view at a fixpoint of its program.
+    fn apply_recompute<I: IntoIterator<Item = Update>>(
+        &mut self,
+        updates: I,
+    ) -> Result<ApplyReport, IncrError> {
+        let mut report = ApplyReport::default();
+        let mut dirty = false;
+        let mut failure: Option<IncrError> = None;
+        for update in updates {
+            if let Err(e) = self.check_updatable(update.fact()) {
+                failure = Some(e);
+                break;
+            }
+            let applied = match &update {
+                Update::Insert(f) => {
+                    if self.db.contains(f) {
+                        false
+                    } else {
+                        self.db.insert(f.pred.clone(), f.values.clone());
+                        true
+                    }
+                }
+                Update::Retract(f) => {
+                    if self.db.contains(f) {
+                        self.db.remove(&f.pred, &f.values);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if applied {
+                report.applied += 1;
+                dirty = true;
+            } else {
+                report.no_ops += 1;
+            }
+        }
+        if dirty {
+            self.recompute()?;
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Rebuild the fixpoint from the current base facts (plus exogenous
+    /// axioms) and swap it in — the whole maintenance step in
+    /// [`MaintenanceMode::Recompute`].
+    fn recompute(&mut self) -> Result<(), IncrError> {
+        let mut db = Database::new();
+        for (pred, rel) in self.db.iter() {
+            if !self.derived_preds.contains(pred) {
+                for row in rel.iter() {
+                    db.insert(pred.clone(), row);
+                }
+            }
+        }
+        for (pred, rows) in &self.exogenous {
+            for row in rows {
+                db.insert(pred.clone(), magic_storage::arena::decode_row(row));
+            }
+        }
+        let mut op_stats = EvalStats::default();
+        self.runner
+            .run(&mut db, &mut op_stats, None)
+            .map_err(IncrError::Eval)?;
+        self.stats.merge(&op_stats);
+        self.db = db;
+        self.recomputes += 1;
         Ok(())
     }
 
@@ -768,6 +929,11 @@ impl MaterializedView {
     /// which are allowed a zero count).  Test/debug helper — full-join
     /// cost.
     pub fn verify_support(&self) -> Result<(), String> {
+        if matches!(self.mode, MaintenanceMode::Recompute { .. }) {
+            // Recompute mode maintains no support table; there is nothing
+            // to drift.
+            return Ok(());
+        }
         for pred in &self.derived_preds {
             let Some(rel) = self.db.relation(pred) else {
                 continue;
@@ -1048,6 +1214,79 @@ mod tests {
         assert!(view.database().contains(&fact2("anc", "x", "y")));
         assert!(!view.database().contains(&fact2("anc", "a", "b")));
         assert_matches_oracle(&view, "after retracting all base support");
+    }
+
+    #[test]
+    fn guarded_programs_fall_back_to_recompute_on_update() {
+        // unreached reads the complement of reach: retracting an edge can
+        // *add* unreached facts, which no support-counting scheme models.
+        // The view must select recompute mode, stay oracle-exact through
+        // inserts and retracts, and report the typed reason.
+        let program = parse_program(
+            "reach(X) :- source(X).
+             reach(Y) :- reach(X), edge(X, Y).
+             unreached(X) :- node(X), not reach(X).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert(PredName::plain("source"), vec![Value::sym("a")]);
+        db.insert_pair("edge", "a", "b");
+        for n in ["a", "b", "c"] {
+            db.insert(PredName::plain("node"), vec![Value::sym(n)]);
+        }
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        assert_eq!(view.recompute_reason(), Some("program uses negation"));
+        assert_eq!(
+            view.retract_strategy(&PredName::plain("edge")),
+            RetractStrategy::Recompute
+        );
+        let unreached_c = Fact::plain("unreached", vec![Value::sym("c")]);
+        assert!(view.database().contains(&unreached_c));
+
+        // Insert edge(b, c): c becomes reached, unreached(c) disappears —
+        // an insertion *deleting* a derived fact, the non-monotone case.
+        assert!(view.insert(&fact2("edge", "b", "c")).unwrap());
+        assert!(!view.database().contains(&unreached_c));
+        assert_matches_oracle(&view, "after insert under negation");
+
+        // Retract it again: unreached(c) must come back.
+        assert!(view.retract(&fact2("edge", "b", "c")).unwrap());
+        assert!(view.database().contains(&unreached_c));
+        assert_matches_oracle(&view, "after retract under negation");
+        assert_eq!(view.recompute_count(), 2);
+    }
+
+    #[test]
+    fn aggregate_views_recompute_and_batched_apply_coalesces() {
+        let program = parse_program("total(P, sum<C>) :- part_cost(P, C).").unwrap();
+        let mut db = Database::new();
+        db.insert(
+            PredName::plain("part_cost"),
+            vec![Value::sym("bike"), Value::int(100)],
+        );
+        let mut view = MaterializedView::new(&program, &db).unwrap();
+        assert_eq!(view.recompute_reason(), Some("program uses aggregates"));
+        let total = |n: i64| Fact::plain("total", vec![Value::sym("bike"), Value::int(n)]);
+        assert!(view.database().contains(&total(100)));
+
+        // One batch, one recompute: the old total is replaced, not kept.
+        let report = view
+            .apply(vec![
+                Update::Insert(Fact::plain(
+                    "part_cost",
+                    vec![Value::sym("bike"), Value::int(30)],
+                )),
+                Update::Insert(Fact::plain(
+                    "part_cost",
+                    vec![Value::sym("bike"), Value::int(30)],
+                )), // duplicate: no-op
+            ])
+            .unwrap();
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.no_ops, 1);
+        assert!(view.database().contains(&total(130)));
+        assert!(!view.database().contains(&total(100)));
+        assert_eq!(view.recompute_count(), 1);
     }
 
     #[test]

@@ -293,6 +293,13 @@ pub struct ViewStats {
     pub rule_firings: u64,
     /// Lifetime join probes of the view.
     pub join_probes: u64,
+    /// Full recomputes forced by updates (non-zero only for views whose
+    /// program uses negation or aggregates — the v1 recompute-on-update
+    /// maintenance fallback).
+    pub recomputes: u64,
+    /// Why the view is maintained by recompute, if it is (empty for
+    /// incrementally maintained views).
+    pub recompute_reason: String,
 }
 
 /// The counters reported by `STATS`: the published snapshot, the serving
@@ -356,6 +363,10 @@ pub struct ServerStats {
     /// observed pipelining batch size (1 on a strictly synchronous
     /// client; larger means fewer syscalls per request).
     pub batch_size_p50: u64,
+    /// Views maintained by full recompute instead of incrementally —
+    /// programs with negation or aggregates (the v1 fallback, see the
+    /// per-view `recompute_reason`).
+    pub recompute_views: u64,
     /// Per-view totals, in catalog key order.
     pub per_view: Vec<ViewStats>,
     /// Per-writer-shard counters, in shard-index order.
@@ -371,8 +382,17 @@ impl ServerStats {
         }
         for view in &self.per_view {
             out.push_str(&format!(
-                "view\t{}\tfacts={}\tfirings={}\tprobes={}\n",
-                view.key, view.facts, view.rule_firings, view.join_probes
+                "view\t{}\tfacts={}\tfirings={}\tprobes={}\trecomputes={}\treason={}\n",
+                view.key,
+                view.facts,
+                view.rule_firings,
+                view.join_probes,
+                view.recomputes,
+                if view.recompute_reason.is_empty() {
+                    "-"
+                } else {
+                    &view.recompute_reason
+                }
             ));
         }
         for shard in &self.per_shard {
@@ -411,6 +431,12 @@ impl ServerStats {
                     let (name, value) = part
                         .split_once('=')
                         .ok_or_else(|| format!("bad view field {part:?} in: {line}"))?;
+                    if name == "reason" {
+                        if value != "-" {
+                            view.recompute_reason = value.to_string();
+                        }
+                        continue;
+                    }
                     let value: u64 = value
                         .parse()
                         .map_err(|_| format!("bad view number {value:?} in: {line}"))?;
@@ -418,6 +444,7 @@ impl ServerStats {
                         "facts" => view.facts = value,
                         "firings" => view.rule_firings = value,
                         "probes" => view.join_probes = value,
+                        "recomputes" => view.recomputes = value,
                         // Forward compatibility, same as the scalar
                         // fields: a newer server may report more.
                         _ => {}
@@ -488,6 +515,7 @@ impl ServerStats {
                 "writer_shards" => stats.writer_shards = value,
                 "inflight_requests" => stats.inflight_requests = value,
                 "batch_size_p50" => stats.batch_size_p50 = value,
+                "recompute_views" => stats.recompute_views = value,
                 // Forward compatibility: a newer server may report more.
                 _ => {}
             }
@@ -496,7 +524,7 @@ impl ServerStats {
     }
 
     /// The scalar fields, in wire order.
-    fn fields(&self) -> [(&'static str, u64); 22] {
+    fn fields(&self) -> [(&'static str, u64); 23] {
         [
             ("version", self.version),
             ("views", self.views),
@@ -520,6 +548,7 @@ impl ServerStats {
             ("writer_shards", self.writer_shards),
             ("inflight_requests", self.inflight_requests),
             ("batch_size_p50", self.batch_size_p50),
+            ("recompute_views", self.recompute_views),
         ]
     }
 }
@@ -612,11 +641,14 @@ mod tests {
             writer_shards: 4,
             inflight_requests: 12,
             batch_size_p50: 8,
+            recompute_views: 1,
             per_view: vec![ViewStats {
                 key: "anc[bf](a, b)@gms".into(),
                 facts: 42,
                 rule_firings: 17,
                 join_probes: 2048,
+                recomputes: 3,
+                recompute_reason: "guarded program: negation".into(),
             }],
             per_shard: vec![
                 ShardStats {

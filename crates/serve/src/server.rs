@@ -2072,12 +2072,16 @@ fn gather_stats(shared: &Shared) -> ServerStats {
     let mut per_view_map: BTreeMap<String, ViewStats> = BTreeMap::new();
     let mut version = 0u64;
     let mut views = 0u64;
+    let mut recompute_views = 0u64;
     for shard in &shared.shards {
         let snapshot = shard.snapshot();
         version = version.max(snapshot.version);
         views += snapshot.views.len() as u64;
         for (key, view) in &snapshot.views {
             totals.merge(view.stats());
+            if view.recompute_reason().is_some() {
+                recompute_views += 1;
+            }
             per_view_map.insert(
                 key.clone(),
                 ViewStats {
@@ -2085,6 +2089,8 @@ fn gather_stats(shared: &Shared) -> ServerStats {
                     facts: view.database().total_facts() as u64,
                     rule_firings: view.stats().rule_firings as u64,
                     join_probes: view.stats().join_probes as u64,
+                    recomputes: view.recompute_count(),
+                    recompute_reason: view.recompute_reason().unwrap_or("").to_string(),
                 },
             );
         }
@@ -2131,6 +2137,7 @@ fn gather_stats(shared: &Shared) -> ServerStats {
         writer_shards: shared.shards.len() as u64,
         inflight_requests: shared.inflight_requests.load(Ordering::Relaxed),
         batch_size_p50: shared.batch_p50(),
+        recompute_views,
         per_view: per_view_map.into_values().collect(),
         per_shard,
     }

@@ -21,6 +21,7 @@ pub mod programs;
 pub mod requests;
 pub mod rng;
 pub mod same_generation;
+pub mod stratified;
 pub mod updates;
 
 pub use ancestor::node;
@@ -32,4 +33,8 @@ pub use requests::{ancestor_request_stream, ServeRequest};
 pub use rng::SplitMix64;
 pub use same_generation::grid_node;
 pub use same_generation::{nested_sg_extras, same_generation_grid, SgConfig};
+pub use stratified::{
+    bill_of_materials, bom_database, bom_oracle, game_graph, hop_graph, shortest_oracle,
+    shortest_paths, unstratifiable_win_lose, win_lose, win_lose_oracle,
+};
 pub use updates::{ancestor_update_stream, same_generation_update_stream, UpdateOp};

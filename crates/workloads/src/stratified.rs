@@ -1,0 +1,349 @@
+//! Stratified-negation and aggregate scenario families: the win/lose
+//! game, bill-of-materials rollups, and shortest paths via `min` — the
+//! workloads the stratified evaluator unlocks, each paired with a plain
+//! Rust oracle computing the expected perfect model so benchmarks and
+//! tests can assert exact answers, not just "it ran".
+
+use crate::rng::SplitMix64;
+use magic_datalog::{parse_program, Fact, PredName, Program, Value};
+use magic_storage::Database;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The position name with the given index (`p0`, `p1`, ...).
+pub fn position(i: usize) -> String {
+    format!("p{i}")
+}
+
+/// The stratified win/lose game: a position is *lost* when it has no
+/// moves at all, and *won* when some move reaches a lost position.  The
+/// `not has_move` complement sits in a strictly lower stratum than
+/// `lose`, which sits strictly below `win` — three strata, no cycle
+/// through the negation.
+pub fn win_lose() -> Program {
+    parse_program(
+        "has_move(X) :- move(X, Y).
+         lose(X) :- position(X), not has_move(X).
+         win(X) :- move(X, Y), lose(Y).",
+    )
+    .expect("win/lose program parses")
+}
+
+/// The classic *unstratifiable* win/lose formulation — `win` negated
+/// inside its own recursive rule.  Exists to be refused: the planner must
+/// reject it with `Unstratifiable` before any evaluation.
+pub fn unstratifiable_win_lose() -> Program {
+    parse_program("win(X) :- move(X, Y), not win(Y).").expect("recursive win/lose parses")
+}
+
+/// A random game graph: `n` positions, roughly `moves` directed moves
+/// between distinct positions (self-moves excluded so losing positions
+/// exist), every position declared under `position/1`.  Deterministic for
+/// a given `seed`.
+pub fn game_graph(n: usize, moves: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    for i in 0..n {
+        db.insert(PredName::plain("position"), vec![Value::sym(&position(i))]);
+    }
+    if n < 2 {
+        return db;
+    }
+    for _ in 0..moves {
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        db.insert_pair("move", &position(a), &position(b));
+    }
+    db
+}
+
+/// The perfect model of [`win_lose`] over `db`, computed directly in
+/// Rust: the expected `win` and `lose` relations as fact sets.
+pub fn win_lose_oracle(db: &Database) -> BTreeSet<Fact> {
+    let positions: BTreeSet<String> = rows_of(db, "position")
+        .into_iter()
+        .map(|row| row[0].clone())
+        .collect();
+    let moves: Vec<(String, String)> = rows_of(db, "move")
+        .into_iter()
+        .map(|row| (row[0].clone(), row[1].clone()))
+        .collect();
+    let movers: BTreeSet<&String> = moves.iter().map(|(a, _)| a).collect();
+    let lost: BTreeSet<&String> = positions.iter().filter(|p| !movers.contains(p)).collect();
+    let mut expected = BTreeSet::new();
+    for p in &lost {
+        expected.insert(Fact::plain("lose", vec![Value::sym(p)]));
+    }
+    for (a, b) in &moves {
+        if lost.contains(b) {
+            expected.insert(Fact::plain("win", vec![Value::sym(a)]));
+        }
+    }
+    expected
+}
+
+/// The bill-of-materials rollup program: per-assembly totals, extremes,
+/// and component counts, each an aggregate over the (non-recursive)
+/// component-cost stratum.  Aggregation is over *sets*: duplicate
+/// `(group, value)` pairs contribute once, which is why
+/// [`bom_database`] assigns every part a distinct cost.
+pub fn bill_of_materials() -> Program {
+    parse_program(
+        "cost(A, C) :- assembly(A, P), part_cost(P, C).
+         total(A, sum<C>) :- cost(A, C).
+         cheapest(A, min<C>) :- cost(A, C).
+         priciest(A, max<C>) :- cost(A, C).
+         breadth(A, count<P>) :- assembly(A, P).",
+    )
+    .expect("bill-of-materials program parses")
+}
+
+/// A random bill of materials: `assemblies` assemblies each drawing
+/// between 1 and `max_parts` parts from a shared pool, every part priced
+/// with a *distinct* integer cost (so set-semantics sums equal bag
+/// sums).  Deterministic for a given `seed`.
+pub fn bom_database(assemblies: usize, max_parts: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let pool = (assemblies * max_parts).max(1);
+    for p in 0..pool {
+        // Distinct, seed-shuffled-looking costs: a fixed stride over a
+        // large base keeps them unique without bookkeeping.
+        let cost = 10 + 7 * p as i64;
+        db.insert(
+            PredName::plain("part_cost"),
+            vec![Value::sym(&format!("part{p}")), Value::int(cost)],
+        );
+    }
+    for a in 0..assemblies {
+        let parts = 1 + rng.random_range(0..max_parts);
+        let mut chosen = BTreeSet::new();
+        while chosen.len() < parts {
+            chosen.insert(rng.random_range(0..pool));
+        }
+        for p in chosen {
+            db.insert_pair("assembly", &format!("asm{a}"), &format!("part{p}"));
+        }
+    }
+    db
+}
+
+/// The expected aggregate relations of [`bill_of_materials`] over `db`,
+/// computed directly in Rust (distinct `(assembly, cost)` pairs, per the
+/// engine's set semantics).
+pub fn bom_oracle(db: &Database) -> BTreeSet<Fact> {
+    let prices: BTreeMap<String, i64> = rows_of(db, "part_cost")
+        .into_iter()
+        .map(|row| {
+            let cost: i64 = row[1].parse().expect("integer cost");
+            (row[0].clone(), cost)
+        })
+        .collect();
+    let mut costs: BTreeMap<String, BTreeSet<i64>> = BTreeMap::new();
+    let mut parts: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for row in rows_of(db, "assembly") {
+        let price = prices[&row[1]];
+        costs.entry(row[0].clone()).or_default().insert(price);
+        parts
+            .entry(row[0].clone())
+            .or_default()
+            .insert(row[1].clone());
+    }
+    let mut expected = BTreeSet::new();
+    for (asm, cs) in &costs {
+        for &c in cs {
+            expected.insert(fact_sym_int("cost", asm, c));
+        }
+        expected.insert(fact_sym_int("total", asm, cs.iter().sum()));
+        expected.insert(fact_sym_int("cheapest", asm, *cs.iter().next().unwrap()));
+        expected.insert(fact_sym_int("priciest", asm, *cs.iter().last().unwrap()));
+    }
+    for (asm, ps) in &parts {
+        expected.insert(fact_sym_int("breadth", asm, ps.len() as i64));
+    }
+    expected
+}
+
+/// Shortest paths (in hops) via `min`: `dist(X, Y, I)` holds when `Y` is
+/// reachable from `X` in exactly `I` hops with `I` within the data's
+/// `succ` bound, and `shortest` folds the minimum per pair at the
+/// stratum boundary.  Hop counts are threaded through the base `succ`
+/// relation — the engine has no arithmetic, so the counter *is* data,
+/// and the `succ` bound is what keeps `dist` finite on cyclic graphs.
+pub fn shortest_paths() -> Program {
+    parse_program(
+        "dist(X, Y, I) :- edge(X, Y), one(I).
+         dist(X, Z, J) :- dist(X, Y, I), edge(Y, Z), succ(I, J).
+         shortest(X, Y, min<I>) :- dist(X, Y, I).",
+    )
+    .expect("shortest-paths program parses")
+}
+
+/// A random directed graph of `n` nodes (`p0`, ...) and roughly `edges`
+/// edges (cycles allowed), plus the hop-counter scaffolding `one(1)` and
+/// `succ(i, i+1)` up to `bound` — the maximum path length `dist`
+/// explores.  Deterministic for a given `seed`.
+pub fn hop_graph(n: usize, edges: usize, bound: usize, seed: u64) -> Database {
+    let mut db = Database::new();
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    db.insert(PredName::plain("one"), vec![Value::int(1)]);
+    for i in 1..bound {
+        db.insert(
+            PredName::plain("succ"),
+            vec![Value::int(i as i64), Value::int(i as i64 + 1)],
+        );
+    }
+    if n < 2 {
+        return db;
+    }
+    for _ in 0..edges {
+        let a = rng.random_range(0..n);
+        let mut b = rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        db.insert_pair("edge", &position(a), &position(b));
+    }
+    db
+}
+
+/// The expected `shortest` relation of [`shortest_paths`] over `db`:
+/// breadth-first hop counts per ordered pair, capped at the database's
+/// `succ` bound.  (Only `shortest` is returned — `dist` enumerates every
+/// hop count up to the bound and is an implementation detail.)
+pub fn shortest_oracle(db: &Database) -> BTreeSet<Fact> {
+    let bound = rows_of(db, "succ").len() + 1;
+    let mut adjacency: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut nodes: BTreeSet<String> = BTreeSet::new();
+    for row in rows_of(db, "edge") {
+        nodes.insert(row[0].clone());
+        nodes.insert(row[1].clone());
+        adjacency
+            .entry(row[0].clone())
+            .or_default()
+            .insert(row[1].clone());
+    }
+    let mut expected = BTreeSet::new();
+    for start in &nodes {
+        // BFS from `start`, depth-capped at the succ bound.
+        let mut dist: BTreeMap<&String, usize> = BTreeMap::new();
+        let mut frontier = vec![start];
+        let mut depth = 0;
+        while !frontier.is_empty() && depth < bound {
+            depth += 1;
+            let mut next = Vec::new();
+            for node in frontier {
+                for to in adjacency.get(node).into_iter().flatten() {
+                    // The start is not pre-seeded: it gets a distance only
+                    // via a real cycle, matching `dist`'s path semantics.
+                    if !dist.contains_key(to) {
+                        dist.insert(to, depth);
+                        next.push(to);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        for (to, d) in dist {
+            expected.insert(Fact::plain(
+                "shortest",
+                vec![Value::sym(start), Value::sym(to), Value::int(d as i64)],
+            ));
+        }
+    }
+    expected
+}
+
+/// `pred(sym, int)` as a fact.
+fn fact_sym_int(pred: &str, sym: &str, n: i64) -> Fact {
+    Fact::plain(pred, vec![Value::sym(sym), Value::int(n)])
+}
+
+/// The rows of `pred` in `db`, stringified per position (integers print
+/// bare, e.g. `"17"`).
+fn rows_of(db: &Database, pred: &str) -> Vec<Vec<String>> {
+    db.relation(&PredName::plain(pred))
+        .map(|rel| {
+            rel.iter()
+                .map(|row| row.iter().map(|v| v.to_string()).collect())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use magic_engine::Evaluator;
+
+    fn derived_facts(program: &Program, db: &Database, preds: &[&str]) -> BTreeSet<Fact> {
+        let result = Evaluator::new(program.clone()).run(db).unwrap();
+        let wanted: BTreeSet<PredName> = preds.iter().map(|p| PredName::plain(p)).collect();
+        result
+            .database
+            .facts()
+            .filter(|f| wanted.contains(&f.pred))
+            .collect()
+    }
+
+    #[test]
+    fn win_lose_engine_matches_oracle() {
+        let db = game_graph(40, 90, 11);
+        let engine = derived_facts(&win_lose(), &db, &["win", "lose"]);
+        assert_eq!(engine, win_lose_oracle(&db));
+        // The scenario is non-degenerate: both outcomes occur.
+        assert!(engine.iter().any(|f| f.pred == PredName::plain("win")));
+        assert!(engine.iter().any(|f| f.pred == PredName::plain("lose")));
+    }
+
+    #[test]
+    fn unstratifiable_variant_is_detected() {
+        let schedule = magic_datalog::Schedule::build(&unstratifiable_win_lose());
+        assert!(!schedule.is_stratified());
+    }
+
+    #[test]
+    fn bom_engine_matches_oracle() {
+        let db = bom_database(6, 5, 23);
+        let engine = derived_facts(
+            &bill_of_materials(),
+            &db,
+            &["cost", "total", "cheapest", "priciest", "breadth"],
+        );
+        assert_eq!(engine, bom_oracle(&db));
+    }
+
+    #[test]
+    fn shortest_paths_engine_matches_oracle() {
+        let db = hop_graph(16, 40, 8, 5);
+        let engine = derived_facts(&shortest_paths(), &db, &["shortest"]);
+        assert_eq!(engine, shortest_oracle(&db));
+        assert!(!engine.is_empty());
+    }
+
+    #[test]
+    fn shortest_paths_terminate_on_cycles() {
+        // A pure cycle: dist saturates at the succ bound instead of
+        // diverging, and each pair's shortest hop count is exact.
+        let mut db = Database::new();
+        db.insert(PredName::plain("one"), vec![Value::int(1)]);
+        for i in 1..6 {
+            db.insert(
+                PredName::plain("succ"),
+                vec![Value::int(i), Value::int(i + 1)],
+            );
+        }
+        for i in 0..4 {
+            db.insert_pair("edge", &position(i), &position((i + 1) % 4));
+        }
+        let engine = derived_facts(&shortest_paths(), &db, &["shortest"]);
+        assert_eq!(engine, shortest_oracle(&db));
+        // Every node reaches itself around the cycle in exactly 4 hops.
+        assert!(engine.contains(&Fact::plain(
+            "shortest",
+            vec![Value::sym("p0"), Value::sym("p0"), Value::int(4)],
+        )));
+    }
+}

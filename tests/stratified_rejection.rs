@@ -1,0 +1,187 @@
+//! Rejection suite for guarded (negation/aggregate) programs: anything the
+//! stratified semantics cannot give a meaning to must be refused with a
+//! *typed* error naming the offending predicates — before any evaluation
+//! touches the database.
+//!
+//! Three layers are exercised:
+//!
+//! * `Program::validate` — structural safety (unbound negated/aggregated
+//!   variables, malformed aggregate heads),
+//! * `Planner::plan` — stratification, for every strategy, at plan time,
+//! * `Evaluator::run` — the same stratification check at the evaluation
+//!   boundary (runners can be built from unvalidated programs).
+
+use power_of_magic::engine::{EvalError, Evaluator};
+use power_of_magic::lang::DatalogError;
+use power_of_magic::magic::planner::PlanError;
+use power_of_magic::{parse_program, parse_query, Database, Planner, Strategy};
+
+/// Unstratifiable programs: the query, the predicate expected to be
+/// reported as closing the cycle, and the full expected membership of the
+/// offending SCC.
+const UNSTRATIFIABLE: &[(&str, &str, &str, &[&str])] = &[
+    (
+        "recursive win/lose (negation through own recursion)",
+        "win(X) :- move(X, Y), not win(Y).",
+        "win(X)",
+        &["win"],
+    ),
+    (
+        "mutual negation",
+        "p(X) :- node(X), not q(X).
+         q(X) :- node(X), not p(X).",
+        "p(X)",
+        &["p", "q"],
+    ),
+    (
+        "aggregate inside its own cycle",
+        "t(X, sum<N>) :- t(Y, N), link(X, Y).",
+        "t(X, N)",
+        &["t"],
+    ),
+    (
+        "negation on a longer cycle",
+        "a(X) :- node(X), not c(X).
+         b(X) :- a(X).
+         c(X) :- b(X).",
+        "a(X)",
+        &["a", "b", "c"],
+    ),
+];
+
+#[test]
+fn unstratifiable_programs_are_refused_at_plan_time_by_every_strategy() {
+    for &(label, src, query, cycle_members) in UNSTRATIFIABLE {
+        let program = parse_program(src).unwrap_or_else(|e| panic!("{label}: parse: {e}"));
+        let query = parse_query(query).unwrap();
+        for strategy in Strategy::ALL {
+            match Planner::new(strategy).plan(&program, &query) {
+                Err(PlanError::Unstratifiable { pred, cycle }) => {
+                    assert!(
+                        cycle_members.contains(&pred.as_str()),
+                        "{label} under {strategy}: offending pred {pred} not in {cycle_members:?}"
+                    );
+                    let mut got: Vec<&str> = cycle.iter().map(String::as_str).collect();
+                    got.sort_unstable();
+                    assert_eq!(got, *cycle_members, "{label} under {strategy}: wrong cycle");
+                }
+                Err(PlanError::GuardedUnsupported { .. }) => panic!(
+                    "{label} under {strategy}: refused as unsupported, but the \
+                     stratification violation must win (it is a property of the \
+                     program, not the strategy)"
+                ),
+                other => panic!("{label} under {strategy}: expected Unstratifiable, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn unstratifiable_programs_are_refused_at_the_evaluation_boundary() {
+    for &(label, src, _, cycle_members) in UNSTRATIFIABLE {
+        let program = parse_program(src).unwrap();
+        // The engine re-checks even when handed a program the planner never
+        // saw; the database must come back untouched by derivations.
+        match Evaluator::new(program).run(&Database::new()) {
+            Err(EvalError::Unstratifiable { predicate, cycle }) => {
+                assert!(
+                    cycle_members.contains(&predicate.as_str()),
+                    "{label}: offending pred {predicate} not in {cycle_members:?}"
+                );
+                assert!(!cycle.is_empty(), "{label}: empty cycle report");
+            }
+            other => panic!("{label}: expected EvalError::Unstratifiable, got {other:?}"),
+        }
+    }
+}
+
+/// Unbound-variable rejections: rule source, expected unbound variable and
+/// the negated/aggregated predicate it is reported against.
+const UNSAFE: &[(&str, &str, &str, &str)] = &[
+    (
+        "negation with no positive body at all",
+        "isolated(c0) :- not friend(X, Y).",
+        "X",
+        "friend",
+    ),
+    (
+        "negated variable not bound positively",
+        "odd(X) :- num(X), not pair(X, Y).",
+        "Y",
+        "pair",
+    ),
+];
+
+#[test]
+fn unbound_negated_or_aggregated_variables_are_refused_with_the_exact_names() {
+    for &(label, src, variable, predicate) in UNSAFE {
+        let program = parse_program(src).unwrap_or_else(|e| panic!("{label}: parse: {e}"));
+        match program.validate() {
+            Err(DatalogError::UnsafeNegation {
+                variable: v,
+                predicate: p,
+                rule,
+            }) => {
+                assert_eq!(v, variable, "{label}: wrong variable ({rule})");
+                assert_eq!(p, predicate, "{label}: wrong predicate ({rule})");
+            }
+            other => panic!("{label}: expected UnsafeNegation, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unbound_aggregated_variables_are_refused() {
+    // The aggregated variable is a head variable like any other, so an
+    // unbound one is caught by the range-restriction (well-formedness)
+    // check, which names it exactly.
+    let program = parse_program("total(A, sum<C>) :- item(A).").unwrap();
+    match program.validate() {
+        Err(DatalogError::NotWellFormed { variable, rule }) => {
+            assert_eq!(variable, "C", "wrong variable ({rule})");
+        }
+        other => panic!("expected NotWellFormed, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_aggregate_heads_are_refused() {
+    // An aggregate head must be defined by exactly one rule: the fold runs
+    // once at the stratum boundary, so a second defining rule has no sound
+    // place to land.
+    let program = parse_program(
+        "total(A, sum<C>) :- item(A, C).
+         total(A, C) :- extra(A, C).",
+    )
+    .unwrap();
+    match program.validate() {
+        Err(DatalogError::MalformedAggregate { message, .. }) => {
+            assert!(
+                message.contains("total"),
+                "message should name the predicate: {message}"
+            );
+        }
+        other => panic!("expected MalformedAggregate, got {other:?}"),
+    }
+}
+
+#[test]
+fn stratifiable_guarded_programs_are_not_rejected() {
+    // The flip side: negation one stratum down is fine everywhere the
+    // policy allows it, and must never trip the unstratifiability check.
+    let program = parse_program(
+        "reach(X) :- start(X).
+         reach(Y) :- reach(X), edge(X, Y).
+         unreached(X) :- node(X), not reach(X).",
+    )
+    .unwrap();
+    program.validate().expect("program is safe");
+    let query = parse_query("unreached(X)").unwrap();
+    for strategy in Strategy::ALL {
+        match Planner::new(strategy).plan(&program, &query) {
+            Ok(_) => {}
+            Err(PlanError::GuardedUnsupported { .. }) => {} // policy, not stratification
+            Err(other) => panic!("{strategy}: spurious rejection: {other}"),
+        }
+    }
+}

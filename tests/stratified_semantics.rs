@@ -1,0 +1,497 @@
+//! Stratified-semantics property suite.
+//!
+//! Correctness oracle: the *perfect model* of a stratified program,
+//! computed by the dumbest correct evaluator imaginable — enumerate every
+//! assignment of rule variables over the active domain, check positive
+//! atoms by membership and negated atoms by absence against the finished
+//! lower strata, fold aggregates by brute-force grouping — must equal
+//! what the optimized engine (slot-compiled joins, semi-naive deltas,
+//! anti-joins, stratum-boundary aggregate folds) derives.  The suite
+//! drives seeded randomized stratified programs (negation + aggregates
+//! over templates with known-safe shapes) through both, mirroring the
+//! seeded-SplitMix64 discipline of `tests/incremental.rs`, plus
+//! gms-rewritten positive fragments checked against the same oracle's
+//! answer projection.
+
+use power_of_magic::engine::Evaluator;
+use power_of_magic::lang::{Atom, Fact, PredName, Program, Rule, Term, Value};
+use power_of_magic::workloads::SplitMix64;
+use power_of_magic::{Database, Planner, Query, Strategy};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A derived fact set keyed by predicate display name.
+type Model = BTreeMap<String, BTreeSet<Vec<Value>>>;
+
+/// Ground a rule term under a binding (generated rules use only
+/// variables and constants — no function terms).
+fn ground(term: &Term, binding: &BTreeMap<String, Value>) -> Value {
+    match term {
+        Term::Var(v) => binding[v.name()].clone(),
+        Term::Int(n) => Value::int(*n),
+        Term::Sym(s) => Value::sym(s.as_str()),
+        other => panic!("oracle rules have no function terms: {other}"),
+    }
+}
+
+/// All assignments of `vars` over `domain`, visited depth-first.
+fn for_each_assignment(
+    vars: &[String],
+    domain: &[Value],
+    binding: &mut BTreeMap<String, Value>,
+    visit: &mut impl FnMut(&BTreeMap<String, Value>),
+) {
+    match vars.split_first() {
+        None => visit(binding),
+        Some((var, rest)) => {
+            for value in domain {
+                binding.insert(var.clone(), value.clone());
+                for_each_assignment(rest, domain, binding, visit);
+            }
+            binding.remove(var);
+        }
+    }
+}
+
+/// True iff the rule body holds under the binding: every positive atom's
+/// grounded row is present, every negated atom's absent.
+fn body_holds(rule: &Rule, model: &Model, binding: &BTreeMap<String, Value>) -> bool {
+    let row_of =
+        |atom: &Atom| -> Vec<Value> { atom.terms.iter().map(|t| ground(t, binding)).collect() };
+    let present = |atom: &Atom| {
+        model
+            .get(&atom.pred.to_string())
+            .is_some_and(|rows| rows.contains(&row_of(atom)))
+    };
+    rule.body.iter().all(present) && !rule.negated.iter().any(present)
+}
+
+/// The distinct values appearing anywhere in the model — the active
+/// domain brute-force enumeration ranges over.
+fn active_domain(model: &Model) -> Vec<Value> {
+    let mut domain: BTreeSet<Value> = BTreeSet::new();
+    for rows in model.values() {
+        for row in rows {
+            domain.extend(row.iter().cloned());
+        }
+    }
+    domain.into_iter().collect()
+}
+
+/// The variables a rule's enumeration must range over: everything bound
+/// by the positive body (generated rules are safe, so head, negated and
+/// aggregated variables are all among these).
+fn body_vars(rule: &Rule) -> Vec<String> {
+    let mut vars: Vec<String> = Vec::new();
+    for atom in &rule.body {
+        for v in atom.vars() {
+            if !vars.contains(&v.name().to_string()) {
+                vars.push(v.name().to_string());
+            }
+        }
+    }
+    vars
+}
+
+/// One brute-force pass of a plain rule; returns true if a new fact landed.
+fn fire_plain(rule: &Rule, model: &mut Model) -> bool {
+    let vars = body_vars(rule);
+    let domain = active_domain(model);
+    let mut derived: Vec<Vec<Value>> = Vec::new();
+    for_each_assignment(&vars, &domain, &mut BTreeMap::new(), &mut |binding| {
+        if body_holds(rule, model, binding) {
+            derived.push(rule.head.terms.iter().map(|t| ground(t, binding)).collect());
+        }
+    });
+    let rows = model.entry(rule.head.pred.to_string()).or_default();
+    let before = rows.len();
+    rows.extend(derived);
+    rows.len() != before
+}
+
+/// Brute-force an aggregate rule: group the satisfying assignments by the
+/// non-aggregate head positions, fold the distinct aggregated values.
+fn fire_aggregate(rule: &Rule, model: &mut Model) {
+    use power_of_magic::lang::AggFunc;
+    let agg = rule.aggregate.as_ref().expect("aggregate rule");
+    let vars = body_vars(rule);
+    let domain = active_domain(model);
+    let mut groups: BTreeMap<Vec<Value>, BTreeSet<Value>> = BTreeMap::new();
+    for_each_assignment(&vars, &domain, &mut BTreeMap::new(), &mut |binding| {
+        if body_holds(rule, model, binding) {
+            let key: Vec<Value> = rule
+                .head
+                .terms
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != agg.position)
+                .map(|(_, t)| ground(t, binding))
+                .collect();
+            groups
+                .entry(key)
+                .or_default()
+                .insert(binding[agg.var.name()].clone());
+        }
+    });
+    let as_int = |v: &Value| match v {
+        Value::Int(n) => *n,
+        other => panic!("aggregated non-integer {other}"),
+    };
+    let rows = model.entry(rule.head.pred.to_string()).or_default();
+    for (key, values) in groups {
+        let folded = match agg.func {
+            AggFunc::Count => values.len() as i64,
+            AggFunc::Sum => values.iter().map(as_int).sum(),
+            AggFunc::Min => values.iter().map(as_int).min().unwrap(),
+            AggFunc::Max => values.iter().map(as_int).max().unwrap(),
+        };
+        let mut row = Vec::new();
+        let mut key = key.into_iter();
+        for i in 0..rule.head.terms.len() {
+            if i == agg.position {
+                row.push(Value::int(folded));
+            } else {
+                row.push(key.next().unwrap());
+            }
+        }
+        rows.insert(row);
+    }
+}
+
+/// The perfect model of a layered stratified program: each layer's plain
+/// rules iterate to fixpoint against the finished lower layers, then the
+/// layer's aggregate rules fold once at the boundary.
+fn perfect_model(layers: &[Vec<Rule>], edb: &Database) -> BTreeSet<Fact> {
+    let mut model: Model = BTreeMap::new();
+    for fact in edb.facts() {
+        model
+            .entry(fact.pred.to_string())
+            .or_default()
+            .insert(fact.values.clone());
+    }
+    let mut derived_preds: BTreeSet<String> = BTreeSet::new();
+    for layer in layers {
+        for rule in layer {
+            derived_preds.insert(rule.head.pred.to_string());
+        }
+        loop {
+            let mut changed = false;
+            for rule in layer.iter().filter(|r| r.aggregate.is_none()) {
+                changed |= fire_plain(rule, &mut model);
+            }
+            if !changed {
+                break;
+            }
+        }
+        for rule in layer.iter().filter(|r| r.aggregate.is_some()) {
+            fire_aggregate(rule, &mut model);
+        }
+    }
+    let mut facts = BTreeSet::new();
+    for (pred, rows) in &model {
+        if derived_preds.contains(pred) {
+            for row in rows {
+                facts.insert(Fact::plain(pred, row.clone()));
+            }
+        }
+    }
+    facts
+}
+
+/// What the engine derives for the same program, restricted to the
+/// derived predicates.
+fn engine_model(program: &Program, edb: &Database) -> BTreeSet<Fact> {
+    let result = Evaluator::new(program.clone())
+        .run(edb)
+        .expect("engine evaluates the stratified program");
+    let derived: BTreeSet<PredName> = program.rules.iter().map(|r| r.head.pred.clone()).collect();
+    result
+        .database
+        .facts()
+        .filter(|f| derived.contains(&f.pred))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Randomized stratified program generator.
+// ---------------------------------------------------------------------------
+
+/// A usable predicate: name, arity, and whether its last column is
+/// integer-valued (the columns `sum`/`min`/`max` may fold).
+#[derive(Clone)]
+struct PredInfo {
+    name: String,
+    arity: usize,
+    int_col: bool,
+}
+
+fn pred(name: &str, arity: usize, int_col: bool) -> PredInfo {
+    PredInfo {
+        name: name.to_string(),
+        arity,
+        int_col,
+    }
+}
+
+fn pick<'a>(rng: &mut SplitMix64, items: &'a [PredInfo]) -> &'a PredInfo {
+    &items[rng.random_range(0..items.len())]
+}
+
+/// A random stratified program over a random EDB: 2–4 derived layers of
+/// safe template rules (copies, joins, projections, positive recursion,
+/// negation of strictly-lower predicates, boundary aggregates), returned
+/// both layered (for the oracle) and flat (for the engine).  With
+/// `positive_only`, the guarded templates are replaced by positive ones —
+/// the shape the gms-rewrite leg needs.
+fn random_stratified(
+    rng: &mut SplitMix64,
+    positive_only: bool,
+) -> (Vec<Vec<Rule>>, Program, Database) {
+    let n = 6 + rng.random_range(0..3);
+    let mut edb = Database::new();
+    let constant = |i: usize| format!("c{i}");
+    for i in 0..n {
+        edb.insert(PredName::plain("node"), vec![Value::sym(&constant(i))]);
+        edb.insert(
+            PredName::plain("score"),
+            vec![
+                Value::sym(&constant(i)),
+                Value::int(1 + rng.random_range(0..40) as i64),
+            ],
+        );
+    }
+    for _ in 0..n + rng.random_range(0..n) {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        edb.insert_pair("edge", &constant(a), &constant(b));
+    }
+
+    let binaries_of = |preds: &[PredInfo]| -> Vec<PredInfo> {
+        preds.iter().filter(|p| p.arity == 2).cloned().collect()
+    };
+    let unaries_of = |preds: &[PredInfo]| -> Vec<PredInfo> {
+        preds.iter().filter(|p| p.arity == 1).cloned().collect()
+    };
+    let int_cols_of = |preds: &[PredInfo]| -> Vec<PredInfo> {
+        preds
+            .iter()
+            .filter(|p| p.arity == 2 && p.int_col)
+            .cloned()
+            .collect()
+    };
+    let var = Term::var;
+    let atom1 = |p: &PredInfo, x: &str| Atom::plain(&p.name, vec![var(x)]);
+    let atom2 = |p: &PredInfo, x: &str, y: &str| Atom::plain(&p.name, vec![var(x), var(y)]);
+
+    let mut lower = vec![
+        pred("edge", 2, false),
+        pred("node", 1, false),
+        pred("score", 2, true),
+    ];
+    let mut layers: Vec<Vec<Rule>> = Vec::new();
+    let mut serial = 0usize;
+    for _ in 0..2 + rng.random_range(0..3) {
+        let mut layer: Vec<Rule> = Vec::new();
+        let mut born: Vec<PredInfo> = Vec::new();
+        for _ in 0..1 + rng.random_range(0..2) {
+            let name = format!("p{serial}");
+            serial += 1;
+            let binaries = binaries_of(&lower);
+            let unaries = unaries_of(&lower);
+            let int_cols = int_cols_of(&lower);
+            let template = match rng.random_range(0..7) {
+                // The guarded templates (negation at 2/3, aggregate at 5)
+                // degrade to their positive cousins in positive-only mode.
+                2 if positive_only => 1,
+                3 if positive_only => 0,
+                5 if positive_only => 6,
+                t => t,
+            };
+            match template {
+                // q(X, Y) :- a(X, Z), b(Z, Y).
+                0 => {
+                    layer.push(Rule::new(
+                        Atom::plain(&name, vec![var("X"), var("Y")]),
+                        vec![
+                            atom2(pick(rng, &binaries), "X", "Z"),
+                            atom2(pick(rng, &binaries), "Z", "Y"),
+                        ],
+                    ));
+                    born.push(pred(&name, 2, false));
+                }
+                // q(X) :- a(X, Y).  (projection)
+                1 => {
+                    layer.push(Rule::new(
+                        Atom::plain(&name, vec![var("X")]),
+                        vec![atom2(pick(rng, &binaries), "X", "Y")],
+                    ));
+                    born.push(pred(&name, 1, false));
+                }
+                // q(X) :- node(X), not a(X).  (negation, lower stratum)
+                2 if !unaries.is_empty() => {
+                    layer.push(
+                        Rule::new(
+                            Atom::plain(&name, vec![var("X")]),
+                            vec![atom1(&pred("node", 1, false), "X")],
+                        )
+                        .with_negated(vec![atom1(pick(rng, &unaries), "X")]),
+                    );
+                    born.push(pred(&name, 1, false));
+                }
+                // q(X, Y) :- a(X, Y), not b(X).  (guarded copy)
+                3 if !unaries.is_empty() => {
+                    layer.push(
+                        Rule::new(
+                            Atom::plain(&name, vec![var("X"), var("Y")]),
+                            vec![atom2(pick(rng, &binaries), "X", "Y")],
+                        )
+                        .with_negated(vec![atom1(pick(rng, &unaries), "X")]),
+                    );
+                    born.push(pred(&name, 2, false));
+                }
+                // Positive recursion: base copy + transitive step.
+                4 => {
+                    let step = pick(rng, &binaries).clone();
+                    let this = pred(&name, 2, false);
+                    layer.push(Rule::new(
+                        Atom::plain(&name, vec![var("X"), var("Y")]),
+                        vec![atom2(&step, "X", "Y")],
+                    ));
+                    layer.push(Rule::new(
+                        Atom::plain(&name, vec![var("X"), var("Y")]),
+                        vec![atom2(&this, "X", "Z"), atom2(&step, "Z", "Y")],
+                    ));
+                    born.push(this);
+                }
+                // q(X, f<N>) :- w(X, N).  (boundary aggregate, sole rule)
+                5 if !int_cols.is_empty() => {
+                    use power_of_magic::lang::{AggFunc, Aggregate, Variable};
+                    let funcs = [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count];
+                    let func = funcs[rng.random_range(0..funcs.len())];
+                    layer.push(
+                        Rule::new(
+                            Atom::plain(&name, vec![var("X"), var("N")]),
+                            vec![atom2(pick(rng, &int_cols), "X", "N")],
+                        )
+                        .with_aggregate(Aggregate {
+                            func,
+                            var: Variable::new("N"),
+                            position: 1,
+                        }),
+                    );
+                    born.push(pred(&name, 2, true));
+                }
+                // q(X, N) :- a(X, Y), score(Y, N).  (int-column join)
+                _ => {
+                    layer.push(Rule::new(
+                        Atom::plain(&name, vec![var("X"), var("N")]),
+                        vec![
+                            atom2(pick(rng, &binaries), "X", "Y"),
+                            atom2(&pred("score", 2, true), "Y", "N"),
+                        ],
+                    ));
+                    born.push(pred(&name, 2, true));
+                }
+            }
+        }
+        lower.extend(born);
+        layers.push(layer);
+    }
+    let program = Program::from_rules(layers.iter().flatten().cloned().collect());
+    program.validate().expect("generated program is safe");
+    (layers, program, edb)
+}
+
+#[test]
+fn randomized_stratified_programs_match_the_perfect_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x57AB_51F1);
+    for round in 0..12 {
+        let seed = rng.next_u64();
+        let mut round_rng = SplitMix64::seed_from_u64(seed);
+        let (layers, program, edb) = random_stratified(&mut round_rng, false);
+        let oracle = perfect_model(&layers, &edb);
+        let engine = engine_model(&program, &edb);
+        assert_eq!(
+            engine, oracle,
+            "round {round} (seed {seed:#x}): engine diverged from the perfect model\n{program}"
+        );
+    }
+}
+
+#[test]
+fn negation_heavy_rounds_are_nondegenerate() {
+    // At least one seeded round must actually derive through a negated
+    // atom (a complement row that survives), or the suite is vacuous.
+    let mut rng = SplitMix64::seed_from_u64(0x57AB_51F1);
+    let mut negated_derivations = 0usize;
+    for _ in 0..12 {
+        let seed = rng.next_u64();
+        let mut round_rng = SplitMix64::seed_from_u64(seed);
+        let (layers, program, edb) = random_stratified(&mut round_rng, false);
+        let guarded: BTreeSet<String> = program
+            .rules
+            .iter()
+            .filter(|r| !r.negated.is_empty())
+            .map(|r| r.head.pred.to_string())
+            .collect();
+        if guarded.is_empty() {
+            continue;
+        }
+        negated_derivations += perfect_model(&layers, &edb)
+            .iter()
+            .filter(|f| guarded.contains(&f.pred.to_string()))
+            .count();
+    }
+    assert!(
+        negated_derivations > 0,
+        "no seeded round derived anything through negation"
+    );
+}
+
+/// A random *positive* fragment (joins, projections, recursion — no
+/// guards), for the gms leg: a bound-first query on the last binary
+/// predicate, answered by the magic-rewritten plan, must project exactly
+/// the oracle's rows.
+#[test]
+fn gms_rewritten_positive_fragments_match_the_oracle_projection() {
+    let mut rng = SplitMix64::seed_from_u64(0x6A51C);
+    let mut checked = 0usize;
+    for round in 0..12 {
+        let seed = rng.next_u64();
+        let mut round_rng = SplitMix64::seed_from_u64(seed);
+        let (layers, program, edb) = random_stratified(&mut round_rng, true);
+        assert!(
+            !program.rules.iter().any(Rule::is_guarded),
+            "positive-only generation produced a guard"
+        );
+        let Some(target) = program
+            .rules
+            .iter()
+            .rev()
+            .map(|r| &r.head)
+            .find(|h| h.terms.len() == 2)
+        else {
+            continue;
+        };
+        let query = Query::plain(
+            &target.pred.to_string(),
+            vec![Term::sym("c0"), Term::var("Y")],
+        );
+        let result = Planner::new(Strategy::MagicSets)
+            .evaluate(&program, &query, &edb)
+            .expect("gms evaluates the positive fragment");
+        let expected: BTreeSet<Vec<Value>> = perfect_model(&layers, &edb)
+            .into_iter()
+            .filter(|f| f.pred == target.pred && f.values[0] == Value::sym("c0"))
+            .map(|f| vec![f.values[1].clone()])
+            .collect();
+        assert_eq!(
+            result.answers, expected,
+            "round {round} (seed {seed:#x}): gms answers diverged\n{program}"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 6,
+        "too few positive fragments ({checked}) to trust the gms leg"
+    );
+}
